@@ -1,0 +1,52 @@
+"""Benchmark-suite plumbing.
+
+Each experiment benchmark renders its table/figure rows into
+``benchmarks/results/<eid>.txt``; the terminal-summary hook replays every
+rendered table at the end of the run, so ``pytest benchmarks/
+--benchmark-only | tee bench_output.txt`` captures the reproduced tables
+alongside pytest-benchmark's timing table.
+
+Set ``REPRO_BENCH_QUICK=1`` to run the shrunken (test-sized) experiment
+variants — useful for smoke-testing the benchmark suite itself.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+import pytest
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+def bench_quick() -> bool:
+    return os.environ.get("REPRO_BENCH_QUICK", "") == "1"
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> Path:
+    RESULTS_DIR.mkdir(exist_ok=True)
+    return RESULTS_DIR
+
+
+@pytest.fixture
+def save_result(results_dir):
+    """Callable: persist one experiment's rendered output."""
+
+    def save(eid: str, text: str) -> None:
+        (results_dir / f"{eid}.txt").write_text(text + "\n", encoding="utf-8")
+
+    return save
+
+
+def pytest_terminal_summary(terminalreporter, exitstatus, config):
+    if not RESULTS_DIR.is_dir():
+        return
+    files = sorted(RESULTS_DIR.glob("*.txt"))
+    if not files:
+        return
+    terminalreporter.section("reproduced tables and figures")
+    for path in files:
+        terminalreporter.write_line("")
+        terminalreporter.write_line(path.read_text(encoding="utf-8").rstrip())

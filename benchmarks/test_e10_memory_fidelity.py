@@ -1,0 +1,24 @@
+"""Benchmark E10 (extension) — memory-model fidelity under RA.
+
+Swaps the memory controllers from the flat service-interval model to the
+banked open-page FR-FCFS DRAM controller while keeping the RA network
+coupling fixed — fidelity mixing applied to a second component.
+"""
+
+from repro.harness import run_e10
+
+from .conftest import bench_quick
+
+
+def test_e10_memory_fidelity(benchmark, save_result):
+    result = benchmark.pedantic(
+        lambda: run_e10(quick=bench_quick()), rounds=1, iterations=1
+    )
+    save_result("E10", result.render())
+    benchmark.extra_info.update(result.notes)
+    # Memory fidelity must matter: the detailed model shifts full-system
+    # runtime substantially on these (row-locality-poor) workloads.
+    assert result.notes["mean_runtime_shift_from_memory_fidelity"] > 0.05
+    for row in result.rows:
+        app, flat_finish, dram_finish = row[0], row[1], row[2]
+        assert dram_finish != flat_finish, f"{app}: memory model had no effect"

@@ -1,0 +1,34 @@
+"""Benchmark E1 — load-latency validation curves.
+
+Regenerates the standard network-validation figure: mean packet latency vs
+offered load on an 8x8 mesh for the OO cycle simulator, the SIMD simulator,
+and the two self-contained abstract models, over uniform/transpose/hotspot
+traffic.
+"""
+
+from repro.harness import run_e1
+
+from .conftest import bench_quick
+
+
+def test_e1_load_latency(benchmark, save_result):
+    result = benchmark.pedantic(
+        lambda: run_e1(quick=bench_quick()), rounds=1, iterations=1
+    )
+    save_result("E1", result.render())
+    benchmark.extra_info["max_simd_vs_oo_error"] = result.notes[
+        "max_simd_vs_oo_error"
+    ]
+    # The two detailed simulators must agree closely at every unsaturated
+    # point — the validation that lets the SIMD network serve as ground
+    # truth elsewhere — and loosely even deep in saturation.
+    assert result.notes["max_simd_vs_oo_error"] < 0.05
+    assert result.notes["max_simd_vs_oo_error_saturated"] < 0.15
+    # The fixed model must fall below the detailed latency at the highest
+    # (pre-saturation) load of every pattern.
+    by_pattern = {}
+    for pattern, rate, oo, simd, fixed, queueing in result.rows:
+        by_pattern.setdefault(pattern, []).append((rate, oo, fixed))
+    for pattern, points in by_pattern.items():
+        rate, oo, fixed = max(points)
+        assert fixed < oo, f"{pattern}: fixed model should be optimistic"

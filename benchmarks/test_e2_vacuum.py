@@ -1,0 +1,26 @@
+"""Benchmark E2 — the cost of evaluating the NoC in a vacuum.
+
+Regenerates the isolated-vs-in-context comparison: the same cycle-level
+network evaluated with trace replay and matched-average-load synthetic
+traffic vs its behaviour inside the full-system co-simulation.
+"""
+
+from repro.harness import run_e2
+
+from .conftest import bench_quick
+
+
+def test_e2_vacuum(benchmark, save_result):
+    result = benchmark.pedantic(
+        lambda: run_e2(quick=bench_quick()), rounds=1, iterations=1
+    )
+    save_result("E2", result.render())
+    benchmark.extra_info["mean_matched_load_error"] = result.notes[
+        "mean_matched_load_error"
+    ]
+    # The vacuum methodology must show a real error on every app...
+    for row in result.rows:
+        assert row[5] > 0.02, f"{row[0]}: matched-load error suspiciously small"
+    # ...while exact trace replay stays faithful (validation column).
+    for row in result.rows:
+        assert row[4] < 0.1, f"{row[0]}: trace replay should track context"

@@ -1,0 +1,25 @@
+"""Benchmark E4 — full-system execution-time error.
+
+The system-level consequence of the network-model choice: target runtime
+error under the abstract model vs under reciprocal abstraction, per app.
+Shares (memoized) co-simulation runs with E3.
+"""
+
+from repro.harness import run_e4
+
+from .conftest import bench_quick
+
+
+def test_e4_runtime_error(benchmark, save_result):
+    result = benchmark.pedantic(
+        lambda: run_e4(quick=bench_quick()), rounds=1, iterations=1
+    )
+    save_result("E4", result.render())
+    benchmark.extra_info["ra_runtime_error_reduction"] = result.notes[
+        "ra_runtime_error_reduction"
+    ]
+    # RA's runtime estimate must beat the fixed model's on average.
+    assert result.notes["ra_runtime_error_reduction"] > 0.0
+    mean_fixed = sum(r[4] for r in result.rows) / len(result.rows)
+    mean_ra = sum(r[5] for r in result.rows) / len(result.rows)
+    assert mean_ra < mean_fixed

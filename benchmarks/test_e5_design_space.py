@@ -1,0 +1,26 @@
+"""Benchmark E5 — design-space exploration through the detailed component.
+
+VC-count sweep under RA co-simulation vs the abstract model: the detailed
+component's design choices must be visible at the full-system level under
+RA and invisible to the abstract model.
+"""
+
+from repro.harness import run_e5
+
+from .conftest import bench_quick
+
+
+def test_e5_design_space(benchmark, save_result):
+    result = benchmark.pedantic(
+        lambda: run_e5(quick=bench_quick()), rounds=1, iterations=1
+    )
+    save_result("E5", result.render())
+    benchmark.extra_info["ra_visible_runtime_spread"] = result.notes[
+        "ra_visible_runtime_spread"
+    ]
+    # The abstract model reports one runtime for every design point.
+    assert len({row[3] for row in result.rows}) == 1
+    # RA distinguishes them: fewer VCs -> no faster execution.
+    ra_finishes = [row[1] for row in result.rows]
+    assert ra_finishes == sorted(ra_finishes, reverse=True)
+    assert result.notes["ra_visible_runtime_spread"] > 0.005

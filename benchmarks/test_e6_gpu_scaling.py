@@ -1,0 +1,29 @@
+"""Benchmark E6 — the headline speed figure.
+
+Host co-simulation time with the serial ("CPU") vs data-parallel ("GPU")
+detailed network over growing targets: measured wall-clock rows from real
+runs of this library's two simulators, plus the paper-calibrated model rows
+anchored at 16% (256 cores) and 65% (512 cores).
+"""
+
+from repro.harness import run_e6
+
+from .conftest import bench_quick
+
+
+def test_e6_gpu_scaling(benchmark, save_result):
+    result = benchmark.pedantic(
+        lambda: run_e6(quick=bench_quick()), rounds=1, iterations=1
+    )
+    save_result("E6", result.render())
+    benchmark.extra_info.update(result.notes)
+    # Model anchors (by calibration).
+    assert result.notes["model_anchor_err_256"] < 0.01
+    assert result.notes["model_anchor_err_512"] < 0.01
+    # Measured shape: the data-parallel simulator's advantage must grow
+    # monotonically with target size.
+    measured = [r for r in result.rows if str(r[0]).startswith("measured")]
+    reductions = [row[4] for row in measured]
+    assert reductions == sorted(reductions)
+    # ...and it must actually win on the largest measured target.
+    assert reductions[-1] > 0.2

@@ -1,0 +1,29 @@
+"""Benchmark E7 — synchronization-quantum ablation.
+
+Sweeps the coupling quantum and reports the accuracy/clamping/host-time
+trade-off against the quantum-1 reference — the design knob at the heart of
+the reciprocal-abstraction coupling.
+"""
+
+from repro.harness import run_e7
+
+from .conftest import bench_quick
+
+
+def test_e7_quantum_sweep(benchmark, save_result):
+    result = benchmark.pedantic(
+        lambda: run_e7(quick=bench_quick()), rounds=1, iterations=1
+    )
+    save_result("E7", result.render())
+    errors = [row[2] for row in result.rows]
+    clamps = [row[4] for row in result.rows]
+    benchmark.extra_info["max_lat_err"] = max(errors)
+    # Accuracy degrades monotonically with quantum size...
+    assert errors == sorted(errors)
+    # ...because boundary clamping affects a growing share of deliveries.
+    assert clamps == sorted(clamps)
+    # The operating point used by the accuracy experiments (Q=4) stays
+    # within 10% latency error of the ground truth.
+    q4 = next((row for row in result.rows if row[0] == 4), None)
+    if q4 is not None:
+        assert q4[2] < 0.10

@@ -1,0 +1,27 @@
+"""Benchmark E8 — which direction of reciprocity matters.
+
+Compares coupling modes against cycle-accurate truth: full reciprocal
+abstraction (per-message detailed latencies), the table-feedback hybrid
+(detailed network in shadow, EWMA table delivers), the statically-seeded
+table, and the fixed model.
+"""
+
+from repro.harness import run_e8
+
+from .conftest import bench_quick
+
+
+def test_e8_reciprocity(benchmark, save_result):
+    result = benchmark.pedantic(
+        lambda: run_e8(quick=bench_quick()), rounds=1, iterations=1
+    )
+    save_result("E8", result.render())
+    benchmark.extra_info.update(result.notes)
+    rows = {row[0]: row for row in result.rows}
+    # Any form of reciprocity beats the static models on latency error.
+    assert rows["full-ra"][2] < rows["fixed"][2]
+    assert rows["table-feedback"][2] < rows["fixed"][2]
+    # Without feedback the retunable table degenerates to the fixed model.
+    assert abs(rows["table-static"][2] - rows["fixed"][2]) < 0.05
+    # Static models collapse the latency distribution (KS distance).
+    assert rows["full-ra"][4] < rows["fixed"][4]

@@ -1,0 +1,24 @@
+"""Benchmark E9 (extension) — adaptive synchronization quantum.
+
+The adaptive controller should deliver near-small-quantum accuracy with
+substantially fewer synchronization windows than quantum-1 coupling.
+"""
+
+from repro.harness import run_e9
+
+from .conftest import bench_quick
+
+
+def test_e9_adaptive_quantum(benchmark, save_result):
+    result = benchmark.pedantic(
+        lambda: run_e9(quick=bench_quick()), rounds=1, iterations=1
+    )
+    save_result("E9", result.render())
+    benchmark.extra_info.update(result.notes)
+    rows = {row[0]: row for row in result.rows}
+    # Accuracy: adaptive within 10% latency error of cycle-accurate truth.
+    assert result.notes["adaptive_lat_error"] < 0.10
+    # Efficiency: fewer windows than quantum-1 coupling.
+    assert result.notes["adaptive_window_saving_vs_q1"] > 0.2
+    # And it must not be worse than fixed-16 on accuracy.
+    assert rows["adaptive-2..32"][2] < rows["fixed-16"][2]

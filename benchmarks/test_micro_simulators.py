@@ -1,0 +1,88 @@
+"""Micro-benchmarks of the individual simulation engines.
+
+These use pytest-benchmark's normal statistical mode (they are cheap and
+repeatable): cycles/second of the two network simulators at two sizes, the
+event kernel, the cache, and the coherence-protocol hot path.  They document
+where host time goes and back the E6 discussion with per-component numbers.
+"""
+
+import pytest
+
+from repro.fullsys import Cache, CacheLineState, CmpConfig, CmpSystem, EventQueue
+from repro.noc import CycleNetwork, Mesh, NocConfig
+from repro.noc_gpu import SimdNetwork
+from repro.workloads import SyntheticTraffic, make_programs
+
+
+def drive_network(cls, width, cycles=120, rate=0.05):
+    topo = Mesh(width, width)
+    net = cls(topo, NocConfig())
+    traffic = SyntheticTraffic(topo, "uniform", rate=rate, seed=7)
+
+    def run():
+        traffic.drive(net, cycles, drain=False)
+        return net
+
+    return run
+
+
+class TestNetworkThroughput:
+    def test_oo_network_8x8(self, benchmark):
+        benchmark(drive_network(CycleNetwork, 8))
+
+    def test_simd_network_8x8(self, benchmark):
+        benchmark(drive_network(SimdNetwork, 8))
+
+    def test_oo_network_16x16(self, benchmark):
+        benchmark(drive_network(CycleNetwork, 16, cycles=60))
+
+    def test_simd_network_16x16(self, benchmark):
+        benchmark(drive_network(SimdNetwork, 16, cycles=60))
+
+
+class TestEventKernel:
+    def test_schedule_and_drain(self, benchmark):
+        def run():
+            queue = EventQueue()
+            for t in range(5000):
+                queue.schedule(t % 997, lambda: None)
+            queue.run_all()
+
+        benchmark(run)
+
+
+class TestCache:
+    def test_hit_path(self, benchmark):
+        cache = Cache.from_geometry(512, 8)
+        for line in range(512):
+            cache.insert(line, CacheLineState.SHARED)
+
+        def run():
+            for line in range(512):
+                cache.lookup(line)
+
+        benchmark(run)
+
+    def test_insert_evict_path(self, benchmark):
+        cache = Cache.from_geometry(64, 4)
+
+        def run():
+            for line in range(512):
+                cache.insert(line, CacheLineState.MODIFIED)
+
+        benchmark(run)
+
+
+class TestFullSystem:
+    def test_cmp_event_throughput(self, benchmark):
+        """Events/second of the coarse-grain simulator on a 2x2 target."""
+
+        def run():
+            topo = Mesh(2, 2)
+            system = CmpSystem(
+                topo, CmpConfig(), make_programs("water", 4, seed=3, scale=0.2)
+            )
+            system.run_to_completion()
+            return system.events.events_processed
+
+        benchmark.pedantic(run, rounds=3, iterations=1)

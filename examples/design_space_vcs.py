@@ -1,0 +1,69 @@
+#!/usr/bin/env python3
+"""Design-space exploration through the detailed component.
+
+The point of reciprocal abstraction beyond accuracy: once the detailed NoC
+is in the loop, *NoC design choices become visible at the full-system level*.
+This example sweeps virtual-channel count and buffer depth and reports the
+impact on target execution time and message latency — under reciprocal
+abstraction and under the abstract model (which, by construction, cannot see
+router microarchitecture at all).
+
+Usage:  python examples/design_space_vcs.py
+"""
+
+from repro import NocConfig, TargetConfig, build_cosim
+from repro.harness import format_table
+
+
+def main() -> None:
+    base = TargetConfig(width=4, height=4, app="fft", seed=3, scale=0.5)
+    design_points = [
+        ("2 VCs x 2 flits", NocConfig(num_vcs=2, buffer_depth=2)),
+        ("2 VCs x 4 flits", NocConfig(num_vcs=2, buffer_depth=4)),
+        ("4 VCs x 4 flits", NocConfig(num_vcs=4, buffer_depth=4)),
+        ("8 VCs x 8 flits", NocConfig(num_vcs=8, buffer_depth=8)),
+    ]
+
+    rows = []
+    for name, noc in design_points:
+        print(f"evaluating {name} ...")
+        ra = build_cosim(
+            base.variant(noc=noc, network_model="simd", quantum=4)
+        ).run()
+        fixed = build_cosim(base.variant(noc=noc, network_model="fixed")).run()
+        rows.append(
+            (
+                name,
+                ra.finish_cycle,
+                ra.mean_latency(),
+                fixed.finish_cycle,
+                fixed.mean_latency(),
+            )
+        )
+
+    print()
+    print(
+        format_table(
+            [
+                "router design",
+                "RA target cycles",
+                "RA msg lat",
+                "abstract cycles",
+                "abstract lat",
+            ],
+            rows,
+            title="VC/buffer design sweep on a 4x4 CMP (fft)",
+        )
+    )
+    spread = (max(r[1] for r in rows) - min(r[1] for r in rows)) / max(
+        r[1] for r in rows
+    )
+    print(
+        f"\nRA exposes a {100 * spread:.1f}% full-system runtime spread across "
+        "router designs; the abstract model reports the identical number for "
+        "every design point."
+    )
+
+
+if __name__ == "__main__":
+    main()

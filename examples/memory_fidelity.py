@@ -1,0 +1,86 @@
+#!/usr/bin/env python3
+"""Fidelity mixing beyond the NoC: swapping the memory-controller model.
+
+Reciprocal abstraction's framework claim is that *any* component can run at
+a different fidelity inside the same full-system context.  This example
+keeps the RA network coupling fixed and swaps the memory controllers:
+
+* ``simple`` — flat service-interval bandwidth model (fixed DRAM latency),
+* ``dram``   — banked open-page FR-FCFS controller (``repro.dram``): row
+  buffers, bank conflicts, burst-gated channel bandwidth.
+
+The detailed model exposes row-locality behaviour the flat model cannot
+represent; on zipf-random coherence traffic that means longer, burstier
+memory latencies and a visibly different full-system outcome.
+
+Usage:  python examples/memory_fidelity.py [app]
+"""
+
+import sys
+
+from repro import TargetConfig, build_cosim
+from repro.fullsys import CmpConfig
+from repro.harness import format_table
+
+
+def run(app: str, memory_model: str):
+    config = TargetConfig(
+        width=4,
+        height=4,
+        app=app,
+        seed=3,
+        scale=0.5,
+        network_model="simd",
+        quantum=4,
+        cmp=CmpConfig(memory_model=memory_model),
+    )
+    cosim = build_cosim(config)
+    result = cosim.run()
+    return result, cosim.system
+
+
+def main() -> None:
+    app = sys.argv[1] if len(sys.argv) > 1 else "ocean"
+    rows = []
+    dram_stats = None
+    for model in ("simple", "dram"):
+        print(f"co-simulating {app} with the {model} memory model ...")
+        result, system = run(app, model)
+        summary = system.summary()
+        rows.append(
+            (
+                model,
+                result.finish_cycle,
+                summary["mean_miss_latency"],
+                result.mean_latency(),
+            )
+        )
+        if model == "dram":
+            mc = next(iter(system.memctrls.values()))
+            dram_stats = mc.summary()
+
+    print()
+    print(
+        format_table(
+            ["memory model", "target cycles", "miss latency", "msg latency"],
+            rows,
+            title=f"Memory-model fidelity on a 4x4 CMP ({app}), RA network fixed",
+        )
+    )
+    if dram_stats:
+        print(
+            f"\nDRAM controller internals: row-hit rate "
+            f"{dram_stats['row_hit_rate']:.2f}, "
+            f"{dram_stats['row_conflicts']:.0f} row conflicts, "
+            f"mean queue delay {dram_stats['mean_queue_delay']:.1f} cycles."
+        )
+    print(
+        "\nThe flat model hides row-buffer and bank-conflict behaviour; under "
+        "zipf-random coherence traffic the detailed controller is slower and "
+        "burstier, shifting the full-system result — the vacuum argument, "
+        "applied to memory."
+    )
+
+
+if __name__ == "__main__":
+    main()

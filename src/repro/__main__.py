@@ -1,0 +1,7 @@
+"""``python -m repro`` — run reproduced experiments from the shell."""
+
+import sys
+
+from .harness.cli import main
+
+sys.exit(main())

@@ -1,0 +1,22 @@
+"""Abstract (message-level) network models — the coarse side of the paper's
+fidelity spectrum.
+
+* :class:`FixedLatencyModel` — zero-load hop latency, no contention.
+* :class:`QueueingLatencyModel` — hop latency + M/D/1 per-channel waits.
+* :class:`TableLatencyModel` — EWMA table retuned from observed latencies.
+
+All three implement :class:`AbstractNetworkModel` and agree exactly with the
+cycle-level simulator at zero load.
+"""
+
+from .analytical import FixedLatencyModel
+from .base import AbstractNetworkModel
+from .queueing import QueueingLatencyModel
+from .table import TableLatencyModel
+
+__all__ = [
+    "AbstractNetworkModel",
+    "FixedLatencyModel",
+    "QueueingLatencyModel",
+    "TableLatencyModel",
+]

@@ -1,0 +1,39 @@
+"""The fixed-latency (zero-load hop) model.
+
+This is the "more abstract network model" of the paper's comparison: latency
+is a pure function of hop count and packet size, ignoring all contention.
+It is exact at zero load and increasingly optimistic as load grows — the
+inaccuracy the headline 69%-error-reduction claim is measured against.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from ..util import check_non_negative
+from .base import AbstractNetworkModel
+
+__all__ = ["FixedLatencyModel"]
+
+
+class FixedLatencyModel(AbstractNetworkModel):
+    """Latency = zero-load pipeline latency (+ an optional fixed slack).
+
+    Args:
+        slack: constant cycles added to every prediction.  A small slack is
+            how simulators typically "calibrate" a hop model against an
+            average observed load; the default of 0 is the pure hop model.
+    """
+
+    def __init__(self, topo, config, slack: int = 0) -> None:
+        super().__init__(topo, config)
+        check_non_negative(slack, "slack")
+        self.slack = slack
+
+    def latency(
+        self, src: int, dst: int, size_flits: int, msg_class: int, now: int
+    ) -> int:
+        return self.zero_load_latency(src, dst, size_flits) + self.slack
+
+    def describe(self) -> Dict[str, object]:
+        return {"model": "fixed", "slack": self.slack}

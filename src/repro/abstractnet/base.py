@@ -1,0 +1,56 @@
+"""Interface shared by the abstract (non-cycle-level) network models.
+
+An abstract model answers one question: *how long will this message take?*
+It never simulates flits; the co-simulation layer calls :meth:`latency` when
+a message is sent and schedules the delivery directly.
+
+Models may also *learn*: :meth:`observe` feeds back latencies measured by a
+detailed simulator (this is the reciprocal direction of reciprocal
+abstraction), and :meth:`on_quantum` lets load-tracking models age their
+state once per synchronization quantum.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from ..noc.config import NocConfig
+from ..noc.topology import Topology
+
+__all__ = ["AbstractNetworkModel"]
+
+
+class AbstractNetworkModel:
+    """Base class for message-level network latency models."""
+
+    def __init__(self, topo: Topology, config: NocConfig) -> None:
+        self.topo = topo
+        self.config = config
+
+    # ------------------------------------------------------------------
+    def latency(
+        self, src: int, dst: int, size_flits: int, msg_class: int, now: int
+    ) -> int:
+        """Predicted end-to-end latency (cycles) for one message."""
+        raise NotImplementedError
+
+    def observe(
+        self, src: int, dst: int, size_flits: int, msg_class: int, measured: int
+    ) -> None:
+        """Feed back a latency measured by a detailed simulator (optional)."""
+
+    def on_quantum(self, now: int, quantum: int) -> None:
+        """Hook called once per synchronization quantum (optional)."""
+
+    # ------------------------------------------------------------------
+    def zero_load_latency(self, src: int, dst: int, size_flits: int) -> int:
+        """Contention-free latency; identical across all models by design."""
+        hops = self.topo.node_distance(src, dst)
+        return self.config.min_latency(hops, size_flits)
+
+    def describe(self) -> Dict[str, object]:
+        """Model name and key parameters, for experiment reports."""
+        return {"model": type(self).__name__}
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return type(self).__name__

@@ -1,0 +1,168 @@
+"""Queueing-theoretic contention model.
+
+A middle fidelity point between the fixed hop model and the cycle-level
+simulator: each channel on a message's path is an M/D/1 queue whose
+utilization is estimated online from the traffic the model itself routes.
+Per-hop waiting time follows the M/D/1 mean-wait formula
+
+    W = rho * S / (2 * (1 - rho))
+
+with ``S`` the mean packet service time (flits) observed on that channel.
+
+The model is *self-contained*: it needs no detailed simulator.  It also
+accepts reciprocal feedback (:meth:`observe`), which it uses to scale its
+predictions by the measured-to-predicted ratio — the hybrid configuration
+exercised by experiment E8.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from ..errors import ConfigError
+from ..noc.routing import RoutingFunction, XYRouting
+from ..noc.topology import LOCAL, Topology
+from ..util import clamp, ewma
+from .base import AbstractNetworkModel
+
+__all__ = ["QueueingLatencyModel"]
+
+
+class _ChannelLoad:
+    """Online utilization and mean-service estimate for one channel."""
+
+    __slots__ = ("flits_in_window", "packets_in_window", "rho", "mean_service")
+
+    def __init__(self) -> None:
+        self.flits_in_window = 0
+        self.packets_in_window = 0
+        self.rho = 0.0
+        self.mean_service = 1.0
+
+    def age(self, window_cycles: int, alpha: float) -> None:
+        sample_rho = min(1.0, self.flits_in_window / max(1, window_cycles))
+        self.rho = ewma(self.rho, sample_rho, alpha)
+        if self.packets_in_window:
+            sample_service = self.flits_in_window / self.packets_in_window
+            self.mean_service = ewma(self.mean_service, sample_service, alpha)
+        self.flits_in_window = 0
+        self.packets_in_window = 0
+
+
+class QueueingLatencyModel(AbstractNetworkModel):
+    """Hop latency plus per-channel M/D/1 waiting time.
+
+    Args:
+        topo, config: as for every network model.
+        routing: routing function used to enumerate a message's path
+            (deterministic XY by default — adaptive functions are followed
+            along their first preference).
+        alpha: EWMA weight for utilization updates per quantum.
+        rho_cap: utilizations are clamped below this to keep the M/D/1
+            denominator finite; saturated channels predict a large but
+            bounded wait, matching how a real network sheds load upstream.
+        feedback_gain: 0 disables reciprocal feedback; 1 fully trusts the
+            measured/predicted ratio from :meth:`observe`.
+    """
+
+    def __init__(
+        self,
+        topo: Topology,
+        config,
+        routing: RoutingFunction | None = None,
+        alpha: float = 0.5,
+        rho_cap: float = 0.95,
+        feedback_gain: float = 0.0,
+    ) -> None:
+        super().__init__(topo, config)
+        if not 0.0 < rho_cap < 1.0:
+            raise ConfigError(f"rho_cap must be in (0, 1), got {rho_cap}")
+        if not 0.0 <= feedback_gain <= 1.0:
+            raise ConfigError(f"feedback_gain must be in [0, 1], got {feedback_gain}")
+        self.routing = routing or XYRouting()
+        self.alpha = alpha
+        self.rho_cap = rho_cap
+        self.feedback_gain = feedback_gain
+        self._channels: Dict[Tuple[int, int], _ChannelLoad] = {}
+        self._correction = 1.0  # measured/predicted ratio, EWMA-smoothed
+        self._last_quantum_end = 0
+
+    # ------------------------------------------------------------------
+    def path(self, src: int, dst: int) -> List[Tuple[int, int]]:
+        """Channels (router, out_port) a message crosses from src to dst."""
+        cur = self.topo.node_router(src)
+        goal = self.topo.node_router(dst)
+        channels: List[Tuple[int, int]] = []
+        # Path length is bounded by the network diameter; the guard protects
+        # against a routing function that fails to converge.
+        for _ in range(self.topo.num_routers + 1):
+            if cur == goal:
+                return channels
+            port = self.routing.first(self.topo, cur, goal)
+            if port == LOCAL:
+                return channels
+            channels.append((cur, port))
+            nxt = self.topo.neighbor(cur, port)
+            if nxt is None:
+                raise ConfigError(
+                    f"routing walked off the topology at router {cur} port {port}"
+                )
+            cur = nxt
+        raise ConfigError(f"routing did not reach {goal} from {src}")
+
+    # ------------------------------------------------------------------
+    def latency(
+        self, src: int, dst: int, size_flits: int, msg_class: int, now: int
+    ) -> int:
+        base = self.zero_load_latency(src, dst, size_flits)
+        wait = 0.0
+        for key in self.path(src, dst):
+            chan = self._channels.get(key)
+            if chan is None:
+                chan = self._channels[key] = _ChannelLoad()
+            chan.flits_in_window += size_flits
+            chan.packets_in_window += 1
+            rho = clamp(chan.rho, 0.0, self.rho_cap)
+            wait += rho * chan.mean_service / (2.0 * (1.0 - rho))
+        predicted = base + wait
+        if self.feedback_gain:
+            gain = self.feedback_gain
+            predicted = predicted * ((1.0 - gain) + gain * self._correction)
+        return max(base, round(predicted))
+
+    def observe(
+        self, src: int, dst: int, size_flits: int, msg_class: int, measured: int
+    ) -> None:
+        if not self.feedback_gain:
+            return
+        # Compare against the *uncorrected* prediction so the correction
+        # ratio does not chase its own tail.
+        base = self.zero_load_latency(src, dst, size_flits)
+        wait = sum(
+            clamp(ch.rho, 0.0, self.rho_cap)
+            * ch.mean_service
+            / (2.0 * (1.0 - clamp(ch.rho, 0.0, self.rho_cap)))
+            for key in self.path(src, dst)
+            if (ch := self._channels.get(key)) is not None
+        )
+        predicted = max(1.0, base + wait)
+        self._correction = ewma(self._correction, measured / predicted, 0.05)
+
+    def on_quantum(self, now: int, quantum: int) -> None:
+        window = max(1, now - self._last_quantum_end)
+        self._last_quantum_end = now
+        for chan in self._channels.values():
+            chan.age(window, self.alpha)
+
+    # ------------------------------------------------------------------
+    def channel_utilization(self, router: int, port: int) -> float:
+        chan = self._channels.get((router, port))
+        return chan.rho if chan is not None else 0.0
+
+    def describe(self) -> Dict[str, object]:
+        return {
+            "model": "queueing",
+            "alpha": self.alpha,
+            "rho_cap": self.rho_cap,
+            "feedback_gain": self.feedback_gain,
+        }

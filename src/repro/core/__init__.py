@@ -1,0 +1,31 @@
+"""Reciprocal abstraction — the paper's contribution.
+
+The co-simulation framework couples the coarse-grain full-system simulator
+with a network model of any fidelity through a three-method interface
+(:class:`NetworkModel`), exchanging *traffic context* downward and *measured
+latency* upward at synchronization-quantum boundaries.
+"""
+
+from .adapters import AbstractModelAdapter, DetailedNetworkAdapter
+from .bridge import MessageBridge
+from .config import TargetConfig, build_cosim, default_target_table
+from .cosim import CoSimResult, CoSimulator
+from .feedback import LatencyFeedback
+from .interfaces import Delivery, NetworkModel
+from .quantum import AdaptiveQuantum, FixedQuantum
+
+__all__ = [
+    "NetworkModel",
+    "Delivery",
+    "CoSimulator",
+    "CoSimResult",
+    "MessageBridge",
+    "LatencyFeedback",
+    "FixedQuantum",
+    "AdaptiveQuantum",
+    "DetailedNetworkAdapter",
+    "AbstractModelAdapter",
+    "TargetConfig",
+    "build_cosim",
+    "default_target_table",
+]

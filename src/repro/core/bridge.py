@@ -1,0 +1,49 @@
+"""Message ↔ packet translation between the two abstraction levels.
+
+The full-system simulator thinks in protocol :class:`Message` s; the
+cycle-level network thinks in :class:`Packet` s of flits.  The bridge maps
+one to the other and back, carrying the message as the packet payload so no
+lookup table is needed on ejection.
+"""
+
+from __future__ import annotations
+
+from ..errors import SimulationError
+from ..fullsys.coherence import Message
+from ..noc.packet import Packet
+
+__all__ = ["MessageBridge"]
+
+
+class MessageBridge:
+    """Stateless translator (kept as a class for counting and symmetry)."""
+
+    def __init__(self) -> None:
+        self.packets_created = 0
+        self.messages_recovered = 0
+
+    def to_packet(self, msg: Message, inject_cycle: int) -> Packet:
+        """Wrap a protocol message as a network packet."""
+        if msg.src == msg.dst:
+            raise SimulationError(
+                f"message {msg!r} is tile-local; it must not reach the network"
+            )
+        self.packets_created += 1
+        return Packet(
+            src=msg.src,
+            dst=msg.dst,
+            size_flits=msg.size_flits,
+            msg_class=msg.msg_class,
+            inject_cycle=inject_cycle,
+            payload=msg,
+        )
+
+    def to_message(self, packet: Packet) -> Message:
+        """Recover the protocol message carried by an ejected packet."""
+        msg = packet.payload
+        if not isinstance(msg, Message):
+            raise SimulationError(
+                f"packet {packet!r} does not carry a protocol message"
+            )
+        self.messages_recovered += 1
+        return msg

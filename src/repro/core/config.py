@@ -1,0 +1,158 @@
+"""Whole-experiment configuration and the target-machine table.
+
+:class:`TargetConfig` bundles everything one co-simulation run needs —
+topology, CMP parameters, NoC parameters, workload, network-model choice,
+and quantum — and knows how to build the pieces.  The experiment harness
+(:mod:`repro.harness.experiments`) composes runs from these.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Dict
+
+from ..abstractnet import (
+    FixedLatencyModel,
+    QueueingLatencyModel,
+    TableLatencyModel,
+)
+from ..errors import ConfigError
+from ..fullsys.cmp import CmpSystem
+from ..fullsys.config import CmpConfig
+from ..noc.config import NocConfig
+from ..noc.network import CycleNetwork
+from ..noc.routing import make_routing
+from ..noc.topology import ConcentratedMesh, Mesh, Topology, Torus
+from ..workloads.apps import make_mixed_programs, make_programs
+from .adapters import AbstractModelAdapter, DetailedNetworkAdapter
+from .cosim import CoSimulator
+from .feedback import LatencyFeedback
+
+__all__ = ["TargetConfig", "default_target_table", "build_cosim"]
+
+_NETWORK_MODELS = ("cycle", "simd", "fixed", "queueing", "table", "table-shadow")
+
+
+@dataclass
+class TargetConfig:
+    """One runnable co-simulation configuration."""
+
+    width: int = 8
+    height: int = 8
+    concentration: int = 1
+    topology: str = "mesh"  # mesh | torus | cmesh
+    routing: str = "xy"
+    #: application name, or "mix:<a>+<b>+..." for a multiprogrammed mix
+    app: str = "fft"
+    seed: int = 1
+    scale: float = 1.0
+    network_model: str = "cycle"
+    quantum: int = 4
+    noc: NocConfig = field(default_factory=NocConfig)
+    cmp: CmpConfig = field(default_factory=CmpConfig)
+
+    def __post_init__(self) -> None:
+        if self.network_model not in _NETWORK_MODELS:
+            raise ConfigError(
+                f"unknown network model {self.network_model!r}; "
+                f"known: {_NETWORK_MODELS}"
+            )
+
+    # ------------------------------------------------------------------
+    def make_topology(self) -> Topology:
+        if self.topology == "mesh" and self.concentration == 1:
+            return Mesh(self.width, self.height)
+        if self.topology == "torus":
+            return Torus(self.width, self.height, self.concentration)
+        if self.topology in ("mesh", "cmesh"):
+            return ConcentratedMesh(self.width, self.height, self.concentration)
+        raise ConfigError(f"unknown topology {self.topology!r}")
+
+    @property
+    def num_cores(self) -> int:
+        return self.width * self.height * self.concentration
+
+    def variant(self, **changes) -> "TargetConfig":
+        """A copy with some fields replaced (ablation sweeps)."""
+        return replace(self, **changes)
+
+
+def build_cosim(config: TargetConfig, simd_network_factory=None) -> CoSimulator:
+    """Assemble system + network model + co-simulator from a config.
+
+    ``simd_network_factory`` injects the GPU-style network constructor
+    without making this module depend on :mod:`repro.noc_gpu` (which imports
+    the other way for its tests).
+    """
+    topo = config.make_topology()
+    if config.app.startswith("mix:"):
+        # Multiprogrammed mix, e.g. "mix:fft+canneal": apps round-robin over
+        # cores with disjoint shared regions and no barriers.
+        names = config.app[len("mix:"):].split("+")
+        programs = make_mixed_programs(
+            names, topo.num_nodes, seed=config.seed, scale=config.scale
+        )
+    else:
+        programs = make_programs(
+            config.app, topo.num_nodes, seed=config.seed, scale=config.scale
+        )
+    system = CmpSystem(topo, config.cmp, programs)
+    feedback = LatencyFeedback(topo)
+    routing = make_routing(config.routing)
+
+    name = config.network_model
+    shadow = None
+    if name == "cycle":
+        network = DetailedNetworkAdapter(
+            CycleNetwork(topo, config.noc, routing=routing)
+        )
+    elif name == "simd":
+        if simd_network_factory is None:
+            from ..noc_gpu import SimdNetwork  # deferred heavy import
+
+            simd_network_factory = SimdNetwork
+        network = DetailedNetworkAdapter(simd_network_factory(topo, config.noc))
+    elif name == "fixed":
+        network = AbstractModelAdapter(FixedLatencyModel(topo, config.noc))
+    elif name == "queueing":
+        network = AbstractModelAdapter(
+            QueueingLatencyModel(topo, config.noc, routing=routing)
+        )
+    elif name == "table":
+        model = TableLatencyModel(topo, config.noc)
+        feedback.attach(model)
+        network = AbstractModelAdapter(model)
+    elif name == "table-shadow":
+        model = TableLatencyModel(topo, config.noc)
+        feedback.attach(model)
+        network = AbstractModelAdapter(model)
+        shadow = DetailedNetworkAdapter(
+            CycleNetwork(topo, config.noc, routing=routing)
+        )
+    else:  # pragma: no cover - guarded in __post_init__
+        raise ConfigError(f"unknown network model {name!r}")
+
+    return CoSimulator(
+        system, network, quantum=config.quantum, feedback=feedback, shadow=shadow
+    )
+
+
+def default_target_table() -> Dict[str, str]:
+    """The target-system configuration table (the paper's Table 1 analogue)."""
+    noc = NocConfig()
+    cmp = CmpConfig()
+    return {
+        "Cores": "64 in-order tiles (8x8 mesh), IPC 2, MLP 4",
+        "L1 data cache": f"{cmp.l1_lines} lines, {cmp.l1_ways}-way LRU, "
+        f"{cmp.l1_hit_latency}-cycle hit",
+        "L2 cache": f"distributed S-NUCA, {cmp.l2_lines} lines/bank, "
+        f"{cmp.l2_ways}-way, {cmp.l2_latency}-cycle array",
+        "Coherence": "directory MSI, blocking home, explicit PutM/PutAck",
+        "Memory": f"{cmp.mem_latency}-cycle DRAM, 1 req/{cmp.mem_service} cycles "
+        "per controller, controllers at mesh corners",
+        "NoC": f"{noc.num_vcs} VCs x {noc.buffer_depth} flits, "
+        f"{noc.router_delay}-cycle routers, {noc.link_delay}-cycle links, "
+        "XY wormhole, credit flow control",
+        "Messages": f"control {cmp.ctrl_flits} flit, data {cmp.data_flits} flits",
+        "Co-simulation": "reciprocal abstraction, quantum 4 (ground truth: 1)",
+    }

@@ -1,0 +1,250 @@
+"""The reciprocal-abstraction co-simulator — the paper's contribution.
+
+:class:`CoSimulator` couples a coarse-grain full-system simulator
+(:class:`~repro.fullsys.cmp.CmpSystem`) with any network model implementing
+:class:`~repro.core.interfaces.NetworkModel`:
+
+* **context** direction: every network-bound protocol message the system
+  creates is handed to the network model at its creation cycle, so the
+  detailed component always sees real, closed-loop traffic;
+* **feedback** direction: the latency the network model reports for each
+  message is the latency the system experiences, and is additionally
+  aggregated into a :class:`~repro.core.feedback.LatencyFeedback` table that
+  can retune abstract models online.
+
+Detailed (non-inline) models advance in *synchronization quanta*: the system
+runs ``[t, t+Q)``, its messages are injected at their creation cycles, the
+network advances the same window, and deliveries landing inside the window
+are clamped to the boundary (at Q=1 this clamping is at most one cycle — the
+configuration used as ground truth throughout the experiments).  Inline
+(abstract) models are evaluated synchronously inside the event loop, exactly
+as a built-in analytical network would be.
+
+A *shadow* detailed network can be attached for the hybrid modes of
+experiment E8: it receives the same traffic (context) but its deliveries are
+discarded except for feeding the feedback table, while an inline model
+supplies the latencies the system actually uses.
+"""
+
+from __future__ import annotations
+
+import time
+from collections import defaultdict
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from ..errors import ConfigError, SimulationError
+from ..fullsys.cmp import CmpSystem
+from ..fullsys.coherence import Message
+from .feedback import LatencyFeedback
+from .interfaces import NetworkModel
+from .quantum import FixedQuantum
+
+__all__ = ["CoSimulator", "CoSimResult"]
+
+
+@dataclass
+class CoSimResult:
+    """Everything an experiment needs from one co-simulation run."""
+
+    finish_cycle: Optional[int]
+    cycles: int
+    windows: int
+    messages_sent: int
+    deliveries: int
+    clamped_deliveries: int
+    #: latency each delivered message *experienced* (incl. quantum clamping),
+    #: keyed by message class; key -1 aggregates all classes.
+    applied_latencies: Dict[int, List[int]] = field(default_factory=dict)
+    wall_system: float = 0.0
+    wall_network: float = 0.0
+    wall_total: float = 0.0
+    system_summary: Dict[str, float] = field(default_factory=dict)
+    network_description: Dict[str, object] = field(default_factory=dict)
+    feedback_snapshot: Dict = field(default_factory=dict)
+
+    def mean_latency(self, msg_class: int = -1) -> float:
+        """Mean applied message latency (all classes by default)."""
+        lats = self.applied_latencies.get(msg_class, [])
+        return sum(lats) / len(lats) if lats else 0.0
+
+    def latency_count(self, msg_class: int = -1) -> int:
+        return len(self.applied_latencies.get(msg_class, []))
+
+    @property
+    def completed(self) -> bool:
+        return self.finish_cycle is not None
+
+
+class CoSimulator:
+    """Couple a full-system simulator with a network model."""
+
+    def __init__(
+        self,
+        system: CmpSystem,
+        network: NetworkModel,
+        quantum: int | FixedQuantum | object = 4,
+        feedback: Optional[LatencyFeedback] = None,
+        shadow: Optional[NetworkModel] = None,
+    ) -> None:
+        self.system = system
+        self.network = network
+        self.quantum = (
+            FixedQuantum(quantum) if isinstance(quantum, int) else quantum
+        )
+        self.feedback = feedback if feedback is not None else LatencyFeedback(
+            system.topo
+        )
+        self.shadow = shadow
+        if shadow is not None and shadow.inline:
+            raise ConfigError("a shadow network must be a detailed (non-inline) model")
+        if shadow is not None and not network.inline:
+            raise ConfigError(
+                "shadow mode pairs an inline delivery model with a detailed "
+                "shadow; the main network is already detailed"
+            )
+
+        self._outbox: List[Message] = []
+        self._shadow_outbox: List[Message] = []
+        self._applied: Dict[int, List[int]] = defaultdict(list)
+        self.messages_sent = 0
+        self.deliveries = 0
+        self.clamped = 0
+        self.windows = 0
+        self._wall_system = 0.0
+        self._wall_network = 0.0
+        system.transport = self._on_message
+
+    # ------------------------------------------------------------------
+    # Transport hook (called by the system at message-creation time)
+    # ------------------------------------------------------------------
+    def _on_message(self, msg: Message) -> None:
+        self.messages_sent += 1
+        now = self.system.now
+        if self.network.inline:
+            self.network.send(msg, now)
+            for delivered, when, latency in self.network.pop_deliveries():
+                self._schedule_delivery(delivered, when, record_feedback=False)
+        else:
+            self._outbox.append(msg)
+        if self.shadow is not None:
+            self._shadow_outbox.append(msg)
+
+    def _schedule_delivery(
+        self, msg: Message, when: int, record_feedback: bool
+    ) -> None:
+        deliver_at = max(when, self.system.now)
+        if deliver_at > when:
+            self.clamped += 1
+        latency = deliver_at - msg.created_cycle
+        self._applied[msg.msg_class].append(latency)
+        self._applied[-1].append(latency)
+        self.deliveries += 1
+        if record_feedback:
+            self.feedback.record(msg, latency)
+        self.system.events.schedule(
+            deliver_at, lambda m=msg: self.system.deliver(m)
+        )
+
+    # ------------------------------------------------------------------
+    # Main loop
+    # ------------------------------------------------------------------
+    def run(self, max_cycles: int = 5_000_000) -> CoSimResult:
+        """Run until every core finishes (or ``max_cycles``)."""
+        wall_start = time.perf_counter()
+        self.system.start()
+        t = self.system.now
+        while not self.system.all_finished:
+            if t >= max_cycles:
+                break
+            if (
+                self.system.events.pending == 0
+                and not self._outbox
+                and getattr(self.network, "in_flight", 0) == 0
+            ):
+                raise SimulationError(
+                    "co-simulation wedged: no events, no traffic in flight, "
+                    f"but only {self.system._finished_cores} of "
+                    f"{len(self.system.cores)} cores finished"
+                )
+            window = self.quantum.next_quantum()
+            target = min(t + window, max_cycles)
+            sent_before = self.messages_sent
+            t0 = time.perf_counter()
+            self.system.run_until(target)
+            self._wall_system += time.perf_counter() - t0
+            self._advance_network(target)
+            self.quantum.observe_window(
+                self.messages_sent - sent_before, self.deliveries
+            )
+            self.windows += 1
+            t = target
+        if self.system.all_finished:
+            self._drain_tail()
+        return self._result(time.perf_counter() - wall_start)
+
+    def _drain_tail(self) -> None:
+        """Deliver the protocol's trailing messages after the last core
+        finishes (writebacks, acks, unblocks) so message accounting balances
+        and the final system state is quiescent."""
+        guard = self.system.now + max(10_000, 100 * self.quantum.next_quantum())
+        while (
+            self.system.events.pending
+            or self._outbox
+            or self._shadow_outbox
+            or getattr(self.network, "in_flight", 0)
+            or (self.shadow is not None and self.shadow.in_flight)
+        ):
+            if self.system.now > guard:
+                raise SimulationError(
+                    "co-simulation tail failed to drain "
+                    f"({self.system.events.pending} events, "
+                    f"{getattr(self.network, 'in_flight', 0)} packets left)"
+                )
+            target = self.system.now + self.quantum.next_quantum()
+            self.system.run_until(target)
+            self._advance_network(target)
+
+    def _advance_network(self, target: int) -> None:
+        t0 = time.perf_counter()
+        if not self.network.inline:
+            for msg in self._outbox:
+                self.network.send(msg, msg.created_cycle)
+            self._outbox.clear()
+            self.network.advance(target)
+            for msg, when, latency in self.network.pop_deliveries():
+                self._schedule_delivery(msg, when, record_feedback=True)
+        else:
+            self.network.advance(target)
+        if self.shadow is not None:
+            for msg in self._shadow_outbox:
+                self.shadow.send(msg, msg.created_cycle)
+            self._shadow_outbox.clear()
+            self.shadow.advance(target)
+            for msg, when, latency in self.shadow.pop_deliveries():
+                # Shadow deliveries feed the reciprocal table only; the
+                # system already received this message from the inline model.
+                self.feedback.record(msg, latency)
+        self._wall_network += time.perf_counter() - t0
+
+    # ------------------------------------------------------------------
+    def _result(self, wall_total: float) -> CoSimResult:
+        description = dict(self.network.describe())
+        description["quantum"] = self.quantum.describe()
+        if self.shadow is not None:
+            description["shadow"] = self.shadow.describe()
+        return CoSimResult(
+            finish_cycle=self.system.finish_cycle,
+            cycles=self.system.now,
+            windows=self.windows,
+            messages_sent=self.messages_sent,
+            deliveries=self.deliveries,
+            clamped_deliveries=self.clamped,
+            applied_latencies=dict(self._applied),
+            wall_system=self._wall_system,
+            wall_network=self._wall_network,
+            wall_total=wall_total,
+            system_summary=self.system.summary(),
+            network_description=description,
+            feedback_snapshot=self.feedback.snapshot(),
+        )

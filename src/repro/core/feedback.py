@@ -1,0 +1,82 @@
+"""The reciprocal feedback path: detailed-model latencies flowing back up.
+
+:class:`LatencyFeedback` aggregates latencies observed by the detailed
+network into an EWMA table keyed by (hop distance, message class).  Three
+consumers use it:
+
+* the co-simulator's statistics (per-class latency the system experienced),
+* abstract models being retuned online
+  (:class:`~repro.abstractnet.table.TableLatencyModel` and the queueing
+  model's correction term), via :meth:`attach`,
+* the hybrid modes of experiment E8, which *deliver* from the table.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Dict, List, Optional, Tuple
+
+from ..abstractnet.base import AbstractNetworkModel
+from ..fullsys.coherence import Message
+from ..noc.topology import Topology
+from ..util import ewma
+
+__all__ = ["LatencyFeedback"]
+
+
+class LatencyFeedback:
+    """EWMA latency table fed by detailed-network observations."""
+
+    def __init__(self, topo: Topology, alpha: float = 0.1) -> None:
+        self.topo = topo
+        self.alpha = alpha
+        self._table: Dict[Tuple[int, int], float] = {}
+        self._counts: Dict[Tuple[int, int], int] = defaultdict(int)
+        self._listeners: List[AbstractNetworkModel] = []
+        self.observations = 0
+
+    # ------------------------------------------------------------------
+    def attach(self, model: AbstractNetworkModel) -> None:
+        """Forward every observation to ``model.observe`` as well."""
+        self._listeners.append(model)
+
+    def record(self, msg: Message, latency: int) -> None:
+        """One message delivered by the detailed network."""
+        distance = self.topo.node_distance(msg.src, msg.dst)
+        key = (distance, msg.msg_class)
+        current = self._table.get(key)
+        self._table[key] = (
+            float(latency) if current is None else ewma(current, latency, self.alpha)
+        )
+        self._counts[key] += 1
+        self.observations += 1
+        for model in self._listeners:
+            model.observe(msg.src, msg.dst, msg.size_flits, msg.msg_class, latency)
+
+    # ------------------------------------------------------------------
+    def estimate(
+        self, distance: int, msg_class: int, default: Optional[float] = None
+    ) -> Optional[float]:
+        """Learned latency for a bucket, or ``default`` when never observed.
+
+        Falls back to the same distance in any class (distance dominates
+        latency) before giving up.
+        """
+        value = self._table.get((distance, msg_class))
+        if value is not None:
+            return value
+        same_distance = [
+            v for (d, _), v in self._table.items() if d == distance
+        ]
+        if same_distance:
+            return sum(same_distance) / len(same_distance)
+        return default
+
+    def snapshot(self) -> Dict[Tuple[int, int], float]:
+        return dict(self._table)
+
+    def count(self, distance: int, msg_class: int) -> int:
+        return self._counts[(distance, msg_class)]
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"LatencyFeedback(buckets={len(self._table)}, n={self.observations})"

@@ -1,0 +1,61 @@
+"""The network-model interface the co-simulator programs against.
+
+Reciprocal abstraction needs exactly three capabilities from a network
+model, regardless of its fidelity:
+
+1. accept a message at its creation cycle (:meth:`send` — the *context*
+   direction: the component sees real traffic),
+2. advance its own notion of time (:meth:`advance`), and
+3. report deliveries with their latencies (:meth:`pop_deliveries` — the
+   *feedback* direction: the system sees real latencies).
+
+Cycle-level simulators implement these by actually moving flits; abstract
+models implement them by evaluating a formula.  ``inline`` distinguishes the
+two coupling styles: an inline model is evaluated synchronously inside the
+full-system event loop (no quantum skew), while a non-inline (detailed)
+model advances in quantum-sized slices.
+"""
+
+from __future__ import annotations
+
+from typing import List, Protocol, Tuple, runtime_checkable
+
+from ..fullsys.coherence import Message
+
+__all__ = ["NetworkModel", "Delivery"]
+
+#: (message, delivery_cycle, latency_cycles)
+Delivery = Tuple[Message, int, int]
+
+
+@runtime_checkable
+class NetworkModel(Protocol):
+    """What the co-simulator requires of any network model."""
+
+    #: True when latencies are computed at send time and the model needs no
+    #: quantum-synchronized advancement.
+    inline: bool
+
+    #: The model's current cycle (detailed models only need this to agree
+    #: with the co-simulator about window boundaries).
+    cycle: int
+
+    def send(self, msg: Message, now: int) -> None:
+        """Accept ``msg`` created at cycle ``now`` (the context direction)."""
+        ...
+
+    def advance(self, to_cycle: int) -> None:
+        """Advance the model's state to ``to_cycle``."""
+        ...
+
+    def pop_deliveries(self) -> List[Delivery]:
+        """Messages whose delivery is now known, with cycle and latency."""
+        ...
+
+    def drain(self, max_cycles: int) -> None:
+        """Deliver everything still in flight (end of simulation)."""
+        ...
+
+    def describe(self) -> dict:
+        """Name and parameters for reports."""
+        ...

@@ -1,0 +1,92 @@
+"""Synchronization-quantum control.
+
+The two simulators exchange traffic and latencies only at quantum
+boundaries.  A larger quantum amortizes coupling overhead (and, with the
+GPU-style network, kernel launches) but lets deliveries land up to a quantum
+late; experiment E7 sweeps this trade-off.
+
+:class:`AdaptiveQuantum` implements the refinement the paper's design space
+invites: shrink the quantum when the network is busy (accuracy matters,
+deliveries are frequent) and grow it when idle (nothing to get wrong).
+"""
+
+from __future__ import annotations
+
+from ..errors import ConfigError
+from ..util import clamp, ewma
+
+__all__ = ["FixedQuantum", "AdaptiveQuantum"]
+
+
+class FixedQuantum:
+    """Constant quantum of ``cycles``."""
+
+    def __init__(self, cycles: int = 4) -> None:
+        if cycles < 1:
+            raise ConfigError(f"quantum must be >= 1 cycle, got {cycles}")
+        self.cycles = cycles
+
+    def next_quantum(self) -> int:
+        return self.cycles
+
+    def observe_window(self, messages: int, deliveries: int) -> None:
+        """Fixed control ignores traffic."""
+
+    def describe(self) -> dict:
+        return {"quantum": "fixed", "cycles": self.cycles}
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"FixedQuantum({self.cycles})"
+
+
+class AdaptiveQuantum:
+    """Traffic-sensitive quantum in ``[min_cycles, max_cycles]``.
+
+    Tracks an EWMA of messages exchanged per cycle; the quantum is sized so
+    that an *expected* ``target_messages`` cross each window — busy phases
+    get fine-grained coupling, idle phases get coarse, cheap windows.
+    """
+
+    def __init__(
+        self,
+        min_cycles: int = 16,
+        max_cycles: int = 512,
+        target_messages: float = 32.0,
+        alpha: float = 0.3,
+    ) -> None:
+        if not 1 <= min_cycles <= max_cycles:
+            raise ConfigError(
+                f"need 1 <= min <= max, got {min_cycles}..{max_cycles}"
+            )
+        if target_messages <= 0:
+            raise ConfigError("target_messages must be positive")
+        self.min_cycles = min_cycles
+        self.max_cycles = max_cycles
+        self.target_messages = target_messages
+        self.alpha = alpha
+        self._rate = 0.0  # messages per cycle, smoothed
+        self._current = max_cycles
+
+    def next_quantum(self) -> int:
+        return self._current
+
+    def observe_window(self, messages: int, deliveries: int) -> None:
+        window = max(1, self._current)
+        sample = (messages + deliveries) / window
+        self._rate = ewma(self._rate, sample, self.alpha)
+        if self._rate <= 0.0:
+            self._current = self.max_cycles
+            return
+        ideal = self.target_messages / self._rate
+        self._current = int(clamp(ideal, self.min_cycles, self.max_cycles))
+
+    def describe(self) -> dict:
+        return {
+            "quantum": "adaptive",
+            "min": self.min_cycles,
+            "max": self.max_cycles,
+            "target_messages": self.target_messages,
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"AdaptiveQuantum({self.min_cycles}..{self.max_cycles})"

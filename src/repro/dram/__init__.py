@@ -1,0 +1,11 @@
+"""Detailed DRAM controller — the reproduction's second detailed component.
+
+Banked open-page DRAM with FR-FCFS scheduling, replacing the simple
+service-interval memory model to demonstrate that reciprocal abstraction's
+fidelity mixing is not NoC-specific (experiment E10).
+"""
+
+from .config import DramConfig
+from .controller import DramController, DramRequest
+
+__all__ = ["DramConfig", "DramController", "DramRequest"]

@@ -1,0 +1,56 @@
+"""Configuration of the detailed DRAM controller model."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import ConfigError
+from ..util import check_positive
+
+__all__ = ["DramConfig"]
+
+
+@dataclass
+class DramConfig:
+    """Open-page DDR-style timing, in target core cycles.
+
+    The defaults approximate a DDR3-1600 part behind a 2 GHz core clock:
+    ~15 ns for each of tRP/tRCD/tCAS → 30 cycles, 4-cycle data burst.
+
+    Attributes:
+        banks: banks per rank (requests to different banks overlap).
+        row_lines: cache lines per DRAM row (8 KiB row / 64 B line = 128).
+        t_rp: precharge (close an open row).
+        t_rcd: activate (open a row).
+        t_cas: column access (read from an open row).
+        t_burst: data transfer on the shared channel bus.
+        queue_depth: pending requests the controller accepts before
+            back-pressuring (modelled as serialization at the front end).
+    """
+
+    banks: int = 8
+    row_lines: int = 128
+    t_rp: int = 30
+    t_rcd: int = 30
+    t_cas: int = 30
+    t_burst: int = 4
+    queue_depth: int = 16
+
+    def __post_init__(self) -> None:
+        for name in ("banks", "row_lines", "t_rp", "t_rcd", "t_cas", "t_burst",
+                     "queue_depth"):
+            check_positive(getattr(self, name), name)
+        if self.banks & (self.banks - 1):
+            raise ConfigError(f"banks must be a power of two, got {self.banks}")
+
+    @property
+    def row_hit_latency(self) -> int:
+        return self.t_cas + self.t_burst
+
+    @property
+    def row_closed_latency(self) -> int:
+        return self.t_rcd + self.t_cas + self.t_burst
+
+    @property
+    def row_conflict_latency(self) -> int:
+        return self.t_rp + self.t_rcd + self.t_cas + self.t_burst

@@ -1,0 +1,40 @@
+"""Exception hierarchy for the :mod:`repro` library.
+
+Every error raised deliberately by the library derives from
+:class:`ReproError`, so callers can catch library failures without also
+swallowing programming errors such as :class:`TypeError`.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class ConfigError(ReproError):
+    """A configuration value is invalid or inconsistent with another value."""
+
+
+class TopologyError(ReproError):
+    """A topology query referenced a router, node, or port that does not exist."""
+
+
+class RoutingError(ReproError):
+    """A routing function could not produce a legal output port."""
+
+
+class ProtocolError(ReproError):
+    """The coherence protocol reached a state it should never reach.
+
+    Raised instead of silently corrupting simulation state; it always
+    indicates a bug in the protocol tables, not a user mistake.
+    """
+
+
+class SimulationError(ReproError):
+    """A simulator was driven in an unsupported way (e.g. stepping backwards)."""
+
+
+class WorkloadError(ReproError):
+    """A workload description is malformed or exhausted unexpectedly."""

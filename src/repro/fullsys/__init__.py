@@ -1,0 +1,39 @@
+"""Coarse-grain full-system CMP simulator — the paper's *system context*.
+
+One tile per node: in-order core with bounded MLP, private L1, a bank of the
+distributed shared L2 with its directory, and (at designated tiles) a memory
+controller.  Coherence is a blocking home-centric MSI directory protocol;
+every inter-tile protocol message crosses the pluggable network transport,
+which is where the reciprocal-abstraction co-simulation attaches.
+"""
+
+from .address import AddressMap
+from .cache import Cache, CacheLineState
+from .cmp import CmpSystem, FixedTransport
+from .coherence import DirectoryEntry, Message, MessageKind, message_profile
+from .config import CmpConfig
+from .core_model import Core, CoreProgram, Mshr, Phase
+from .directory import HomeController
+from .events import EventQueue
+from .memory import MemoryController, assign_controllers
+
+__all__ = [
+    "AddressMap",
+    "Cache",
+    "CacheLineState",
+    "CmpSystem",
+    "FixedTransport",
+    "CmpConfig",
+    "Core",
+    "CoreProgram",
+    "Mshr",
+    "Phase",
+    "HomeController",
+    "EventQueue",
+    "MemoryController",
+    "assign_controllers",
+    "Message",
+    "MessageKind",
+    "DirectoryEntry",
+    "message_profile",
+]

@@ -1,0 +1,70 @@
+"""Address layout of the target CMP.
+
+The unit of coherence is a cache line; everywhere in the full-system
+simulator an "address" is a *line address* (byte address >> log2(line)).
+The shared L2 is statically distributed (S-NUCA): each line has a home tile
+chosen by low-order line-address interleaving, which spreads request traffic
+across the die and is what gives coherence traffic its spatial structure.
+"""
+
+from __future__ import annotations
+
+from ..errors import ConfigError
+
+__all__ = ["AddressMap"]
+
+
+class AddressMap:
+    """Line-address partitioning: homes, private heaps, and the shared heap.
+
+    The synthetic workloads draw from two regions:
+
+    * a *private* region per core (stack/heap accesses that miss to memory
+      but never generate coherence), and
+    * a *shared* region (data structures touched by many cores, the source
+      of invalidations and 3-hop forwards).
+
+    Region sizes are in lines and chosen by the workload; the map only fixes
+    the base offsets so regions never collide.
+    """
+
+    #: lines reserved per private region (2**20 lines = 64 MiB of 64 B lines)
+    PRIVATE_REGION_LINES = 1 << 20
+
+    def __init__(self, num_tiles: int, interleave_shift: int = 0) -> None:
+        if num_tiles < 1:
+            raise ConfigError(f"need >= 1 tile, got {num_tiles}")
+        if interleave_shift < 0:
+            raise ConfigError(f"interleave_shift must be >= 0, got {interleave_shift}")
+        self.num_tiles = num_tiles
+        self.interleave_shift = interleave_shift
+        #: shared region starts above every private region
+        self.shared_base = (num_tiles + 1) * self.PRIVATE_REGION_LINES
+
+    # ------------------------------------------------------------------
+    def home_tile(self, line: int) -> int:
+        """Tile whose L2 bank and directory own ``line``."""
+        return (line >> self.interleave_shift) % self.num_tiles
+
+    def private_line(self, core: int, offset: int) -> int:
+        """The ``offset``-th line of ``core``'s private region."""
+        if not 0 <= core < self.num_tiles:
+            raise ConfigError(f"core {core} outside [0, {self.num_tiles})")
+        if offset < 0 or offset >= self.PRIVATE_REGION_LINES:
+            raise ConfigError(f"private offset {offset} out of range")
+        return core * self.PRIVATE_REGION_LINES + offset
+
+    def shared_line(self, offset: int) -> int:
+        """The ``offset``-th line of the global shared region."""
+        if offset < 0:
+            raise ConfigError(f"shared offset {offset} must be >= 0")
+        return self.shared_base + offset
+
+    def is_shared(self, line: int) -> bool:
+        return line >= self.shared_base
+
+    def owner_core(self, line: int) -> int:
+        """For private lines: which core's region the line belongs to."""
+        if self.is_shared(line):
+            raise ConfigError(f"line {line} is shared; it has no owner core")
+        return line // self.PRIVATE_REGION_LINES

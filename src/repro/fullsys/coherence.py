@@ -1,0 +1,152 @@
+"""Directory-based MSI coherence protocol.
+
+The protocol is *home-centric and blocking*: every transaction for a line is
+serialized at the line's home directory, which stays busy until the requester
+sends an Unblock.  Dirty data always flows through the home (owner ->
+home -> requester), and dirty L1 evictions are explicit transactions
+(PutM / PutAck).  These two choices eliminate the classic directory races
+(late writebacks, forward-to-stale-owner) at the cost of one extra hop on
+owner-sourced fills — an accepted coarse-grain simplification, documented in
+DESIGN.md, that slightly *increases* network traffic and therefore keeps the
+co-simulation experiments conservative.
+
+Message walk-throughs:
+
+* **Load miss**: GETS -> home.  Home recalls the owner if any (RECALL_S /
+  RECALL_DATA), fetches from memory if the L2 bank misses (MEM_READ /
+  MEM_DATA), then DATA -> requester, who answers UNBLOCK.
+* **Store miss / upgrade**: GETX -> home.  Home recalls an owner with
+  RECALL_X, or sends INV to every sharer; sharers ack the *requester*
+  directly (INV_ACK).  DATA carries ``acks_expected``; the requester
+  unblocks the home after data and all acks arrive.
+* **Dirty eviction**: PUTM (with data) -> home; home answers PUT_ACK.  The
+  L1 keeps the line in an *evicting* shadow state until the ack so it can
+  still answer a RECALL that crossed the PutM on the wire.
+"""
+
+from __future__ import annotations
+
+import itertools
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Deque, Optional, Set
+
+from ..errors import ProtocolError
+from ..noc.packet import MessageClass
+
+__all__ = ["MessageKind", "Message", "DirectoryEntry", "message_profile"]
+
+
+class MessageKind:
+    """Protocol message opcodes."""
+
+    GETS = "GetS"
+    GETX = "GetX"
+    RECALL_S = "RecallS"  # home -> owner: downgrade to S, send data home
+    RECALL_X = "RecallX"  # home -> owner: invalidate, send data home
+    RECALL_DATA = "RecallData"  # owner -> home
+    DATA = "Data"  # home -> requester (carries acks_expected)
+    INV = "Inv"  # home -> sharer
+    INV_ACK = "InvAck"  # sharer -> requester
+    UNBLOCK = "Unblock"  # requester -> home: transaction complete
+    PUTM = "PutM"  # L1 -> home: dirty eviction (carries data)
+    PUT_ACK = "PutAck"  # home -> L1
+    MEM_READ = "MemRead"  # home -> memory controller
+    MEM_DATA = "MemData"  # memory controller -> home
+    MEM_WB = "MemWB"  # home -> memory controller (dirty L2 victim)
+
+
+#: (message class, carries_data) per opcode; sizes resolve via CmpConfig.
+_PROFILES = {
+    MessageKind.GETS: (MessageClass.REQUEST, False),
+    MessageKind.GETX: (MessageClass.REQUEST, False),
+    MessageKind.RECALL_S: (MessageClass.CONTROL, False),
+    MessageKind.RECALL_X: (MessageClass.CONTROL, False),
+    MessageKind.RECALL_DATA: (MessageClass.WRITEBACK, True),
+    MessageKind.DATA: (MessageClass.RESPONSE, True),
+    MessageKind.INV: (MessageClass.CONTROL, False),
+    MessageKind.INV_ACK: (MessageClass.CONTROL, False),
+    MessageKind.UNBLOCK: (MessageClass.CONTROL, False),
+    MessageKind.PUTM: (MessageClass.WRITEBACK, True),
+    MessageKind.PUT_ACK: (MessageClass.CONTROL, False),
+    MessageKind.MEM_READ: (MessageClass.REQUEST, False),
+    MessageKind.MEM_DATA: (MessageClass.RESPONSE, True),
+    MessageKind.MEM_WB: (MessageClass.WRITEBACK, True),
+}
+
+
+def message_profile(kind: str) -> tuple:
+    """``(msg_class, carries_data)`` for an opcode."""
+    try:
+        return _PROFILES[kind]
+    except KeyError:
+        raise ProtocolError(f"unknown message kind {kind!r}") from None
+
+
+_msg_ids = itertools.count()
+
+
+@dataclass
+class Message:
+    """One protocol message travelling between tiles.
+
+    ``size_flits`` and ``msg_class`` are what the network sees; everything
+    else is protocol payload.
+    """
+
+    kind: str
+    src: int
+    dst: int
+    line: int
+    requester: int
+    size_flits: int
+    msg_class: int
+    created_cycle: int = 0
+    acks_expected: int = 0
+    mid: int = field(default_factory=lambda: next(_msg_ids))
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"Msg({self.kind} {self.src}->{self.dst} line={self.line} "
+            f"req={self.requester} t={self.created_cycle})"
+        )
+
+
+# Directory-entry busy states
+IDLE = "idle"
+BUSY_RECALL = "busy_recall"  # waiting for RECALL_DATA from the old owner
+BUSY_MEM = "busy_mem"  # waiting for MEM_DATA from a memory controller
+BUSY_UNBLOCK = "busy_unblock"  # waiting for the requester's UNBLOCK
+
+
+@dataclass
+class DirectoryEntry:
+    """Sharing state and transaction context for one line at its home."""
+
+    owner: Optional[int] = None
+    sharers: Set[int] = field(default_factory=set)
+    state: str = IDLE
+    #: request currently being serviced (None when IDLE)
+    active: Optional[Message] = None
+    #: requests waiting for the line to go idle
+    pending: Deque[Message] = field(default_factory=deque)
+
+    @property
+    def is_idle(self) -> bool:
+        return self.state == IDLE
+
+    @property
+    def is_clean_and_quiet(self) -> bool:
+        """True when the entry carries no information and can be dropped."""
+        return (
+            self.state == IDLE
+            and self.owner is None
+            and not self.sharers
+            and not self.pending
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"DirEntry(owner={self.owner}, sharers={sorted(self.sharers)}, "
+            f"state={self.state}, queued={len(self.pending)})"
+        )

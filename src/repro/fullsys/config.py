@@ -1,0 +1,103 @@
+"""Configuration of the coarse-grain full-system CMP simulator."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from ..errors import ConfigError
+from ..util import check_positive
+
+__all__ = ["CmpConfig"]
+
+
+@dataclass
+class CmpConfig:
+    """Target-machine parameters for :class:`~repro.fullsys.cmp.CmpSystem`.
+
+    Cache geometries are in *lines* (the simulator is timing-only, so line
+    size in bytes never appears except through ``data_flits``).
+
+    Attributes:
+        l1_lines / l1_ways: private L1 data cache per core.
+        l2_lines / l2_ways: one distributed shared-L2 bank per tile.
+        l1_hit_latency: cycles per L1 hit (charged inline to the core).
+        dir_latency: directory/L2-bank controller occupancy per message.
+        l2_latency: extra cycles for an L2 data array access.
+        mem_latency: DRAM access latency at a memory controller.
+        mem_service: cycles between successive requests one controller can
+            accept (bandwidth model).
+        mem_controllers: tile ids hosting memory controllers; ``None`` picks
+            the four mesh corners (or fewer for tiny systems).
+        memory_model: ``"simple"`` (service-interval bandwidth model using
+            ``mem_latency``/``mem_service``) or ``"dram"`` (detailed banked
+            open-page controller from :mod:`repro.dram`).
+        ipc: core issue rate for non-memory instructions.
+        mlp: outstanding L1 misses a core tolerates before stalling — the
+            self-throttling knob that makes traffic realistic in context.
+        ctrl_flits / data_flits: network sizes of control and data messages.
+        local_latency: delivery latency for messages whose source and
+            destination tile coincide (they never enter the network).
+        barrier_latency: cycles to release a phase barrier once the last
+            core arrives.
+        segment_max_accesses / segment_max_cycles: bounds on how much work a
+            core simulates per event (coarseness of event interleaving).
+    """
+
+    l1_lines: int = 512
+    l1_ways: int = 8
+    l2_lines: int = 4096
+    l2_ways: int = 16
+    l1_hit_latency: int = 1
+    dir_latency: int = 2
+    l2_latency: int = 4
+    mem_latency: int = 120
+    mem_service: int = 4
+    mem_controllers: Optional[List[int]] = None
+    memory_model: str = "simple"
+    ipc: float = 2.0
+    mlp: int = 4
+    ctrl_flits: int = 1
+    data_flits: int = 5
+    local_latency: int = 3
+    barrier_latency: int = 20
+    segment_max_accesses: int = 64
+    segment_max_cycles: int = 256
+
+    def __post_init__(self) -> None:
+        for name in (
+            "l1_lines",
+            "l1_ways",
+            "l2_lines",
+            "l2_ways",
+            "l1_hit_latency",
+            "dir_latency",
+            "l2_latency",
+            "mem_latency",
+            "mem_service",
+            "mlp",
+            "ctrl_flits",
+            "data_flits",
+            "local_latency",
+            "barrier_latency",
+            "segment_max_accesses",
+            "segment_max_cycles",
+        ):
+            check_positive(getattr(self, name), name)
+        check_positive(self.ipc, "ipc")
+        if self.l1_lines % self.l1_ways:
+            raise ConfigError("l1_lines must be divisible by l1_ways")
+        if self.l2_lines % self.l2_ways:
+            raise ConfigError("l2_lines must be divisible by l2_ways")
+        if self.memory_model not in ("simple", "dram"):
+            raise ConfigError(f"unknown memory_model {self.memory_model!r}")
+
+    def default_mem_controllers(self, width: int, height: int) -> List[int]:
+        """The four grid corners (deduplicated for degenerate grids)."""
+        corners = {
+            0,
+            width - 1,
+            (height - 1) * width,
+            height * width - 1,
+        }
+        return sorted(corners)

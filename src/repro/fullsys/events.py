@@ -1,0 +1,77 @@
+"""Discrete-event kernel for the coarse-grain full-system simulator.
+
+A deliberately small engine: a binary heap of ``(time, sequence, callback)``
+entries.  The sequence number makes simultaneous events fire in scheduling
+order, which keeps whole-system runs deterministic.
+
+The co-simulation layer drives the kernel in bounded slices
+(:meth:`run_until`) — one slice per synchronization quantum.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Callable, List, Optional, Tuple
+
+from ..errors import SimulationError
+
+__all__ = ["EventQueue"]
+
+
+class EventQueue:
+    """Time-ordered callback queue."""
+
+    def __init__(self) -> None:
+        self.now = 0
+        self._heap: List[Tuple[int, int, Callable[[], None]]] = []
+        self._seq = 0
+        self.events_processed = 0
+
+    def schedule(self, time: int, callback: Callable[[], None]) -> None:
+        """Run ``callback`` at ``time`` (>= now)."""
+        if time < self.now:
+            raise SimulationError(
+                f"cannot schedule event at {time}; simulator is at {self.now}"
+            )
+        heapq.heappush(self._heap, (time, self._seq, callback))
+        self._seq += 1
+
+    def schedule_in(self, delay: int, callback: Callable[[], None]) -> None:
+        """Run ``callback`` ``delay`` cycles from now."""
+        self.schedule(self.now + delay, callback)
+
+    # ------------------------------------------------------------------
+    def run_until(self, time: int) -> None:
+        """Process every event with timestamp <= ``time``; leave now=time.
+
+        Events may schedule further events; newly scheduled events inside
+        the window are processed in the same call.
+        """
+        if time < self.now:
+            raise SimulationError(f"run_until({time}) but simulator is at {self.now}")
+        while self._heap and self._heap[0][0] <= time:
+            self.now, _, callback = heapq.heappop(self._heap)
+            callback()
+            self.events_processed += 1
+        self.now = time
+
+    def run_all(self, max_time: Optional[int] = None) -> None:
+        """Drain the queue completely (or up to ``max_time``)."""
+        while self._heap:
+            if max_time is not None and self._heap[0][0] > max_time:
+                self.now = max_time
+                return
+            self.now, _, callback = heapq.heappop(self._heap)
+            callback()
+            self.events_processed += 1
+
+    # ------------------------------------------------------------------
+    @property
+    def pending(self) -> int:
+        return len(self._heap)
+
+    def next_event_time(self) -> Optional[int]:
+        return self._heap[0][0] if self._heap else None
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"EventQueue(now={self.now}, pending={self.pending})"

@@ -1,0 +1,87 @@
+"""Memory-controller model.
+
+A controller is a single-channel DRAM interface with a fixed access latency
+and a service-interval bandwidth model: it can *accept* one request every
+``mem_service`` cycles, so bursts queue up and later requests see the queue.
+Each home tile is statically assigned to its nearest controller, which is
+what concentrates memory traffic on the corner tiles and produces the
+hotspot component of realistic NoC load.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from ..errors import ConfigError
+from ..noc.topology import Topology
+
+__all__ = ["MemoryController", "assign_controllers"]
+
+
+class MemoryController:
+    """Bandwidth-limited DRAM channel at one tile."""
+
+    def __init__(self, node: int, latency: int, service_interval: int) -> None:
+        if latency < 1 or service_interval < 1:
+            raise ConfigError("memory latency and service interval must be >= 1")
+        self.node = node
+        self.latency = latency
+        self.service_interval = service_interval
+        self._next_free = 0
+        # Statistics
+        self.reads = 0
+        self.writebacks = 0
+        self.total_queue_delay = 0
+
+    def service_read(self, now: int) -> int:
+        """Accept a read at ``now``; returns the cycle its data is ready."""
+        start = max(now, self._next_free)
+        self._next_free = start + self.service_interval
+        self.reads += 1
+        self.total_queue_delay += start - now
+        return start + self.latency
+
+    def service_writeback(self, now: int) -> None:
+        """Accept a writeback (consumes bandwidth, needs no response)."""
+        start = max(now, self._next_free)
+        self._next_free = start + self.service_interval
+        self.writebacks += 1
+        self.total_queue_delay += start - now
+
+    # ------------------------------------------------------------------
+    # Uniform memory-model interface (shared with repro.dram)
+    # ------------------------------------------------------------------
+    def read(self, line: int, now: int, on_ready) -> None:
+        """Accept a read; invoke ``on_ready(completion_cycle)``.
+
+        The simple model resolves completion immediately; detailed models
+        (``repro.dram``) may call back later from their own events.
+        """
+        on_ready(self.service_read(now))
+
+    def writeback(self, line: int, now: int) -> None:
+        self.service_writeback(now)
+
+    @property
+    def mean_queue_delay(self) -> float:
+        total = self.reads + self.writebacks
+        return self.total_queue_delay / total if total else 0.0
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"MemoryController(node={self.node}, reads={self.reads})"
+
+
+def assign_controllers(topo: Topology, controller_nodes: List[int]) -> Dict[int, int]:
+    """Map every tile to its nearest controller node (ties: lowest id)."""
+    if not controller_nodes:
+        raise ConfigError("need at least one memory controller")
+    for node in controller_nodes:
+        if not 0 <= node < topo.num_nodes:
+            raise ConfigError(f"memory controller node {node} outside the topology")
+    assignment: Dict[int, int] = {}
+    for tile in range(topo.num_nodes):
+        assignment[tile] = min(
+            controller_nodes,
+            key=lambda mc: (topo.node_distance(tile, mc), mc),
+        )
+    return assignment

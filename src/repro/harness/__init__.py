@@ -1,0 +1,79 @@
+"""Experiment harness: runners, error metrics, host-time accounting, and the
+per-experiment entry points that regenerate every table and figure."""
+
+from .experiments import (
+    ALL_EXPERIMENTS,
+    ExperimentResult,
+    run_e1,
+    run_e2,
+    run_e3,
+    run_e4,
+    run_e5,
+    run_e6,
+    run_e7,
+    run_e8,
+    run_e9,
+    run_e10,
+    run_table1,
+)
+from .figures import AsciiChart
+from .persist import load_all, load_result, save_all, save_result
+from .regress import RegressionReport, compare, compare_many
+from .metrics import (
+    distribution_distance,
+    error_reduction,
+    mean_error_reduction,
+    relative_error,
+    summarize,
+)
+from .report import format_kv, format_percent, format_table
+from .runner import (
+    clear_run_cache,
+    make_network,
+    run_cosim,
+    run_cosim_traced,
+    run_isolated,
+    sweep_injection,
+)
+from .timing import HostTimingModel, measured_reduction, measured_split
+
+__all__ = [
+    "ALL_EXPERIMENTS",
+    "ExperimentResult",
+    "run_table1",
+    "run_e1",
+    "run_e2",
+    "run_e3",
+    "run_e4",
+    "run_e5",
+    "run_e6",
+    "run_e7",
+    "run_e8",
+    "run_e9",
+    "run_e10",
+    "AsciiChart",
+    "RegressionReport",
+    "compare",
+    "compare_many",
+    "save_result",
+    "load_result",
+    "save_all",
+    "load_all",
+    "relative_error",
+    "error_reduction",
+    "mean_error_reduction",
+    "distribution_distance",
+    "summarize",
+    "format_table",
+    "format_kv",
+    "format_percent",
+    "run_cosim",
+    "run_cosim_traced",
+    "run_isolated",
+    "sweep_injection",
+    "make_network",
+    "clear_run_cache",
+    "HostTimingModel",
+    "measured_reduction",
+    "measured_split",
+]

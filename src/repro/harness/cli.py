@@ -1,0 +1,71 @@
+"""Command-line interface: run any reproduced experiment from the shell.
+
+Examples::
+
+    python -m repro E3              # the headline accuracy table
+    python -m repro E6 --quick      # shrunken variant
+    python -m repro table1          # target configuration table
+    python -m repro all --quick     # everything
+
+Results print as the same fixed-width tables the benchmark suite saves.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from typing import List, Optional
+
+from .experiments import ALL_EXPERIMENTS, run_table1
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Reproduce experiments from 'Reciprocal abstraction for "
+        "computer architecture co-simulation' (ISPASS 2015).",
+    )
+    parser.add_argument(
+        "experiment",
+        choices=sorted(ALL_EXPERIMENTS) + ["table1", "all"],
+        help="experiment id (E1..E10), 'table1', or 'all'",
+    )
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="run the shrunken (test-sized) variant",
+    )
+    parser.add_argument(
+        "--seed", type=int, default=None, help="override the workload seed"
+    )
+    return parser
+
+
+def _run_one(eid: str, quick: bool, seed: Optional[int]) -> None:
+    runner = ALL_EXPERIMENTS[eid]
+    kwargs = {"quick": quick}
+    if seed is not None:
+        kwargs["seed"] = seed
+    start = time.perf_counter()
+    result = runner(**kwargs)
+    elapsed = time.perf_counter() - start
+    print(result.render())
+    print(f"\n  [{eid} completed in {elapsed:.1f}s]\n")
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.experiment == "table1":
+        print(run_table1())
+        return 0
+    targets = sorted(ALL_EXPERIMENTS) if args.experiment == "all" else [args.experiment]
+    for eid in targets:
+        _run_one(eid, args.quick, args.seed)
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    sys.exit(main())

@@ -1,0 +1,671 @@
+"""One entry point per reproduced experiment (E1..E9 in DESIGN.md).
+
+Each ``run_eN`` returns an :class:`ExperimentResult` whose rows are the
+table/figure series the paper's evaluation would carry; ``render()`` prints
+them.  ``quick=True`` shrinks workloads/target sizes for test suites; the
+benchmark harness runs the full versions.
+
+The detailed network in accuracy experiments is the SIMD simulator (it is
+statistically interchangeable with the OO simulator — validated by E1 and
+``tests/test_simd_vs_oo.py`` — and several times faster, which keeps full
+sweeps tractable in pure Python).  Ground truth is always the detailed
+network at quantum 1.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from ..core.config import TargetConfig, default_target_table
+from ..core.cosim import CoSimResult
+from ..noc.config import NocConfig
+from ..noc.topology import Mesh
+from ..workloads.apps import splash_apps
+from ..workloads.synthetic import SyntheticTraffic
+from ..workloads.traces import TraceInjector, matched_load_synthetic
+from . import metrics
+from .figures import AsciiChart
+from .report import format_kv, format_percent, format_table
+from .runner import make_network, run_cosim, run_cosim_traced, sweep_injection
+from .timing import HostTimingModel, measured_reduction
+
+__all__ = [
+    "ExperimentResult",
+    "run_table1",
+    "run_e1",
+    "run_e2",
+    "run_e3",
+    "run_e4",
+    "run_e5",
+    "run_e6",
+    "run_e7",
+    "run_e8",
+    "run_e9",
+    "run_e10",
+    "ALL_EXPERIMENTS",
+]
+
+
+@dataclass
+class ExperimentResult:
+    """Rows plus headline aggregates for one experiment."""
+
+    eid: str
+    title: str
+    headers: List[str]
+    rows: List[Sequence]
+    notes: Dict[str, float] = field(default_factory=dict)
+    #: optional pre-rendered ASCII figures (appended after the table)
+    figures: List[str] = field(default_factory=list)
+
+    def render(self) -> str:
+        lines = [format_table(self.headers, self.rows, title=f"[{self.eid}] {self.title}")]
+        if self.notes:
+            lines.append("")
+            for key, value in self.notes.items():
+                shown = (
+                    format_percent(value)
+                    if "reduction" in key or "error" in key
+                    else f"{value:.4g}"
+                )
+                lines.append(f"  {key}: {shown}")
+        for figure in self.figures:
+            lines.append("")
+            lines.append(figure)
+        return "\n".join(lines)
+
+
+def run_table1() -> str:
+    """The target-machine configuration table (paper Table 1 analogue)."""
+    return format_kv(default_target_table(), title="Target system configuration")
+
+
+# ----------------------------------------------------------------------
+# E1: load-latency validation of the network simulators and models
+# ----------------------------------------------------------------------
+def _abstract_curve(topo, noc, model, pattern, rate, cycles, seed) -> float:
+    """Mean latency an abstract model predicts for a synthetic stream."""
+    traffic = SyntheticTraffic(topo, pattern, rate=rate, size_flits=4, seed=seed)
+    total = 0
+    count = 0
+    for cycle in range(cycles):
+        for packet in traffic.packets_for_cycle(cycle):
+            total += model.latency(
+                packet.src, packet.dst, packet.size_flits, packet.msg_class, cycle
+            )
+            count += 1
+        if cycle % 64 == 63:
+            model.on_quantum(cycle + 1, 64)
+    return total / count if count else 0.0
+
+
+def run_e1(quick: bool = False, seed: int = 11) -> ExperimentResult:
+    """Latency vs offered load: cycle-level (OO), SIMD, fixed, queueing."""
+    from ..abstractnet import FixedLatencyModel, QueueingLatencyModel
+
+    topo = Mesh(8, 8)
+    noc = NocConfig()
+    patterns = ["uniform"] if quick else ["uniform", "transpose", "hotspot"]
+    rates = [0.02, 0.06] if quick else [0.01, 0.03, 0.05, 0.08, 0.11]
+    cycles = 400 if quick else 1500
+
+    rows = []
+    for pattern in patterns:
+        def traffic_at(rate, pattern=pattern):
+            return SyntheticTraffic(topo, pattern, rate=rate, size_flits=4, seed=seed)
+
+        oo = sweep_injection(topo, traffic_at, rates, cycles, kind="cycle", noc=noc)
+        simd = sweep_injection(topo, traffic_at, rates, cycles, kind="simd", noc=noc)
+        for (rate, oo_stats), (_, simd_stats) in zip(oo, simd):
+            fixed = _abstract_curve(
+                topo, noc, FixedLatencyModel(topo, noc), pattern, rate, cycles, seed
+            )
+            queueing = _abstract_curve(
+                topo, noc, QueueingLatencyModel(topo, noc), pattern, rate, cycles, seed
+            )
+            rows.append(
+                (
+                    pattern,
+                    rate,
+                    oo_stats.mean_latency,
+                    simd_stats.mean_latency,
+                    fixed,
+                    queueing,
+                )
+            )
+
+    # Headline: SIMD-vs-OO agreement (validates using SIMD as ground truth).
+    # Saturated points (latency dominated by unbounded source queues) are
+    # reported separately: there the absolute latency reflects how long the
+    # run lasted, so only loose agreement is meaningful.
+    unsaturated = [
+        metrics.relative_error(r[3], r[2]) for r in rows if 0 < r[2] < 100
+    ]
+    saturated = [
+        metrics.relative_error(r[3], r[2]) for r in rows if r[2] >= 100
+    ]
+    figures = []
+    for pattern in patterns:
+        points = [r for r in rows if r[0] == pattern]
+        if len(points) < 2:
+            continue
+        chart = AsciiChart(
+            width=56, height=12, title=f"{pattern}: latency vs offered load", log_y=True
+        )
+        xs = [r[1] for r in points]
+        chart.add_series("cycle", xs, [r[2] for r in points], marker="*")
+        chart.add_series("simd", xs, [r[3] for r in points], marker="s")
+        chart.add_series("fixed", xs, [r[4] for r in points], marker="f")
+        chart.add_series("queueing", xs, [r[5] for r in points], marker="q")
+        figures.append(chart.render())
+    return ExperimentResult(
+        eid="E1",
+        title="Load-latency curves: detailed simulators vs abstract models (8x8 mesh)",
+        headers=["pattern", "rate", "cycle_oo", "cycle_simd", "fixed", "queueing"],
+        rows=rows,
+        notes={
+            "max_simd_vs_oo_error": max(unsaturated) if unsaturated else 0.0,
+            "max_simd_vs_oo_error_saturated": max(saturated) if saturated else 0.0,
+        },
+        figures=figures,
+    )
+
+
+# ----------------------------------------------------------------------
+# E2: vacuum (isolated) simulation vs in-context simulation
+# ----------------------------------------------------------------------
+def run_e2(quick: bool = False, seed: int = 5) -> ExperimentResult:
+    """Isolated NoC evaluation error: trace replay and matched-load Bernoulli
+    traffic vs the same network in full-system context."""
+    apps = ["radix"] if quick else ["fft", "radix", "ocean", "barnes"]
+    rows = []
+    for app in apps:
+        config = TargetConfig(
+            width=4,
+            height=4,
+            app=app,
+            seed=seed,
+            network_model="cycle",
+            quantum=4,
+            scale=0.4 if quick else 1.0,
+        )
+        result, recorder, cosim = run_cosim_traced(config)
+        topo = config.make_topology()
+        # In-context latency: what the cycle network itself measured inside
+        # the co-simulation (the component's own view — the quantity a
+        # component study reports; excludes quantum clamping).
+        context_lat = cosim.network.network.stats.mean_latency
+        # Replay the trace open loop.
+        replay_net = make_network("cycle", topo, config.noc)
+        TraceInjector(recorder.records).drive(replay_net, drain=True)
+        # Matched-average-load Bernoulli traffic, same duration.
+        matched_net = make_network("cycle", topo, config.noc)
+        matched = matched_load_synthetic(recorder.records, topo, seed=seed)
+        matched.drive(matched_net, cycles=max(1, recorder.duration), drain=False)
+        matched_net.run(2000)
+
+        replay_lat = replay_net.stats.mean_latency
+        matched_lat = matched_net.stats.mean_latency
+        rows.append(
+            (
+                app,
+                context_lat,
+                replay_lat,
+                matched_lat,
+                metrics.relative_error(replay_lat, context_lat),
+                metrics.relative_error(matched_lat, context_lat),
+            )
+        )
+    mean_matched_err = sum(r[5] for r in rows) / len(rows)
+    return ExperimentResult(
+        eid="E2",
+        title="Vacuum evaluation error: isolated NoC runs vs in-context (4x4 CMP)",
+        headers=[
+            "app",
+            "in_context_lat",
+            "trace_replay_lat",
+            "matched_load_lat",
+            "replay_error",
+            "matched_error",
+        ],
+        rows=rows,
+        notes={"mean_matched_load_error": mean_matched_err},
+    )
+
+
+# ----------------------------------------------------------------------
+# E3/E4: accuracy of abstract model vs reciprocal abstraction
+# ----------------------------------------------------------------------
+def _accuracy_sweep(quick: bool, seed: int) -> List[Dict]:
+    apps = ["fft", "water"] if quick else splash_apps()
+    scale = 0.4 if quick else 1.0
+    runs = []
+    for app in apps:
+        base = TargetConfig(width=4, height=4, app=app, seed=seed, scale=scale)
+        truth = run_cosim(base.variant(network_model="simd", quantum=1))
+        ra = run_cosim(base.variant(network_model="simd", quantum=4))
+        fixed = run_cosim(base.variant(network_model="fixed"))
+        queueing = run_cosim(base.variant(network_model="queueing"))
+        runs.append(
+            {
+                "app": app,
+                "truth": truth,
+                "ra": ra,
+                "fixed": fixed,
+                "queueing": queueing,
+            }
+        )
+    return runs
+
+
+def run_e3(quick: bool = False, seed: int = 3) -> ExperimentResult:
+    """Packet latency error: abstract network model vs RA co-simulation.
+
+    The paper's headline: RA reduces latency error vs the abstract model by
+    69% on average.
+    """
+    rows = []
+    pairs = []
+    for run in _accuracy_sweep(quick, seed):
+        truth_lat = run["truth"].mean_latency()
+        fixed_err = metrics.relative_error(run["fixed"].mean_latency(), truth_lat)
+        queue_err = metrics.relative_error(run["queueing"].mean_latency(), truth_lat)
+        ra_err = metrics.relative_error(run["ra"].mean_latency(), truth_lat)
+        pairs.append((fixed_err, ra_err))
+        rows.append(
+            (
+                run["app"],
+                truth_lat,
+                run["fixed"].mean_latency(),
+                run["queueing"].mean_latency(),
+                run["ra"].mean_latency(),
+                fixed_err,
+                queue_err,
+                ra_err,
+            )
+        )
+    reduction = metrics.mean_error_reduction(pairs)
+    return ExperimentResult(
+        eid="E3",
+        title="Packet latency error vs cycle-accurate ground truth (per app)",
+        headers=[
+            "app",
+            "truth_lat",
+            "fixed_lat",
+            "queueing_lat",
+            "ra_lat",
+            "fixed_err",
+            "queueing_err",
+            "ra_err",
+        ],
+        rows=rows,
+        notes={
+            "ra_error_reduction_vs_fixed": reduction,
+            "paper_anchor_reduction": 0.69,
+        },
+    )
+
+
+def run_e4(quick: bool = False, seed: int = 3) -> ExperimentResult:
+    """Full-system execution-time error from the network-model choice."""
+    rows = []
+    pairs = []
+    for run in _accuracy_sweep(quick, seed):
+        truth_finish = float(run["truth"].finish_cycle or run["truth"].cycles)
+        fixed_err = metrics.relative_error(
+            float(run["fixed"].finish_cycle or 0), truth_finish
+        )
+        ra_err = metrics.relative_error(
+            float(run["ra"].finish_cycle or 0), truth_finish
+        )
+        pairs.append((fixed_err, ra_err))
+        rows.append(
+            (
+                run["app"],
+                truth_finish,
+                float(run["fixed"].finish_cycle or 0),
+                float(run["ra"].finish_cycle or 0),
+                fixed_err,
+                ra_err,
+            )
+        )
+    return ExperimentResult(
+        eid="E4",
+        title="Target execution-time error from the network model (per app)",
+        headers=[
+            "app",
+            "truth_finish",
+            "fixed_finish",
+            "ra_finish",
+            "fixed_err",
+            "ra_err",
+        ],
+        rows=rows,
+        notes={"ra_runtime_error_reduction": metrics.mean_error_reduction(pairs)},
+    )
+
+
+# ----------------------------------------------------------------------
+# E5: design-space exploration through the detailed component
+# ----------------------------------------------------------------------
+def run_e5(quick: bool = False, seed: int = 3) -> ExperimentResult:
+    """Router design sweep (VCs x buffers): visible through RA, invisible to
+    the abstract model.  Points are ordered weakest-first so the RA-visible
+    runtime trend is monotone."""
+    points = [(2, 2), (8, 8)] if quick else [(2, 2), (2, 4), (4, 4), (8, 8)]
+    scale = 0.4 if quick else 1.0
+    rows = []
+    ra_finishes = []
+    for num_vcs, depth in points:
+        noc = NocConfig(num_vcs=num_vcs, buffer_depth=depth)
+        base = TargetConfig(
+            width=4, height=4, app="fft", seed=seed, scale=scale, noc=noc
+        )
+        ra = run_cosim(base.variant(network_model="simd", quantum=4))
+        fixed = run_cosim(base.variant(network_model="fixed"))
+        ra_finishes.append(float(ra.finish_cycle or 0))
+        rows.append(
+            (
+                f"{num_vcs}vc x {depth}f",
+                float(ra.finish_cycle or 0),
+                ra.mean_latency(),
+                float(fixed.finish_cycle or 0),
+                fixed.mean_latency(),
+            )
+        )
+    spread = (max(ra_finishes) - min(ra_finishes)) / max(ra_finishes)
+    return ExperimentResult(
+        eid="E5",
+        title="Design-space exploration: router design, RA co-sim vs abstract model",
+        headers=["design", "ra_finish", "ra_lat", "fixed_finish", "fixed_lat"],
+        rows=rows,
+        notes={"ra_visible_runtime_spread": spread},
+    )
+
+
+# ----------------------------------------------------------------------
+# E6: CPU vs CPU+GPU co-simulation time
+# ----------------------------------------------------------------------
+def run_e6(quick: bool = False, seed: int = 3) -> ExperimentResult:
+    """Host co-simulation time at 64/256/512-core targets.
+
+    Measured part: wall clock of real co-simulations with the OO network
+    ("CPU") vs the SIMD network ("GPU") over a fixed window of target
+    cycles.  Modelled part: the paper-calibrated cost model (16% @ 256,
+    65% @ 512).
+    """
+    sizes = [(4, 4), (8, 8)] if quick else [(8, 8), (16, 16), (32, 16)]
+    window = 800 if quick else 3000
+    rows = []
+    for width, height in sizes:
+        cores = width * height
+        base = TargetConfig(
+            width=width, height=height, app="ocean", seed=seed, quantum=16
+        )
+        cpu = run_cosim(base.variant(network_model="cycle"), max_cycles=window)
+        gpu = run_cosim(base.variant(network_model="simd"), max_cycles=window)
+        rows.append(
+            (
+                f"measured-{cores}",
+                cores,
+                cpu.wall_total,
+                gpu.wall_total,
+                measured_reduction(cpu, gpu),
+            )
+        )
+    model = HostTimingModel()
+    for entry in model.sweep((64, 256, 512)):
+        rows.append(
+            (
+                f"model-{int(entry['cores'])}",
+                int(entry["cores"]),
+                entry["cpu_cosim"],
+                entry["gpu_cosim"],
+                entry["gpu_reduction"],
+            )
+        )
+    anchors = model.paper_anchor_errors()
+    return ExperimentResult(
+        eid="E6",
+        title="Co-simulation host time: CPU-only vs CPU+GPU detailed network",
+        headers=["row", "cores", "cpu_time", "gpu_time", "gpu_reduction"],
+        rows=rows,
+        notes={
+            "model_anchor_err_256": anchors["err_256"],
+            "model_anchor_err_512": anchors["err_512"],
+        },
+    )
+
+
+# ----------------------------------------------------------------------
+# E7: synchronization-quantum ablation
+# ----------------------------------------------------------------------
+def run_e7(quick: bool = False, seed: int = 3) -> ExperimentResult:
+    """Quantum size vs accuracy and host cost of the RA coupling."""
+    quanta = [1, 16, 64] if quick else [1, 4, 16, 64, 256]
+    scale = 0.4 if quick else 1.0
+    base = TargetConfig(
+        width=4, height=4, app="fft", seed=seed, scale=scale, network_model="simd"
+    )
+    truth: Optional[CoSimResult] = None
+    rows = []
+    for quantum in quanta:
+        result = run_cosim(base.variant(quantum=quantum))
+        if truth is None:
+            truth = result  # Q=1 leads the sweep and serves as reference
+        lat_err = metrics.relative_error(
+            result.mean_latency(), truth.mean_latency()
+        )
+        finish_err = metrics.relative_error(
+            float(result.finish_cycle or 0), float(truth.finish_cycle or 1)
+        )
+        clamp_frac = result.clamped_deliveries / max(1, result.deliveries)
+        rows.append(
+            (
+                quantum,
+                result.mean_latency(),
+                lat_err,
+                finish_err,
+                clamp_frac,
+                result.windows,
+                result.wall_total,
+            )
+        )
+    return ExperimentResult(
+        eid="E7",
+        title="Synchronization-quantum sweep (reference: quantum 1)",
+        headers=[
+            "quantum",
+            "mean_lat",
+            "lat_err",
+            "finish_err",
+            "clamped_frac",
+            "windows",
+            "wall_s",
+        ],
+        rows=rows,
+        notes={},
+    )
+
+
+# ----------------------------------------------------------------------
+# E8: which direction of reciprocity matters
+# ----------------------------------------------------------------------
+def run_e8(quick: bool = False, seed: int = 3) -> ExperimentResult:
+    """Full RA vs table-feedback hybrid vs pure abstract model."""
+    scale = 0.4 if quick else 1.0
+    base = TargetConfig(width=4, height=4, app="fft", seed=seed, scale=scale)
+    truth = run_cosim(base.variant(network_model="simd", quantum=1))
+    modes = [
+        ("full-ra", base.variant(network_model="simd", quantum=4)),
+        ("table-feedback", base.variant(network_model="table-shadow", quantum=4)),
+        ("table-static", base.variant(network_model="table")),
+        ("fixed", base.variant(network_model="fixed")),
+    ]
+    truth_lat = truth.mean_latency()
+    truth_finish = float(truth.finish_cycle or truth.cycles)
+    truth_dist = truth.applied_latencies.get(-1, [])
+    rows = []
+    errors = {}
+    for name, config in modes:
+        result = run_cosim(config)
+        lat_err = metrics.relative_error(result.mean_latency(), truth_lat)
+        finish_err = metrics.relative_error(
+            float(result.finish_cycle or 0), truth_finish
+        )
+        # A retuned table can match the *mean* while collapsing the
+        # latency *distribution* (every same-distance message gets the same
+        # latency); the KS distance exposes what only per-message detailed
+        # feedback preserves.
+        ks = metrics.distribution_distance(
+            result.applied_latencies.get(-1, [0]), truth_dist
+        )
+        errors[name] = lat_err
+        rows.append((name, result.mean_latency(), lat_err, finish_err, ks))
+    return ExperimentResult(
+        eid="E8",
+        title="Reciprocity ablation: latency error by coupling mode (truth: Q=1)",
+        headers=["mode", "mean_lat", "lat_err", "finish_err", "ks_distance"],
+        rows=rows,
+        notes={
+            "full_ra_error": errors.get("full-ra", 0.0),
+            "fixed_error": errors.get("fixed", 0.0),
+        },
+    )
+
+
+# ----------------------------------------------------------------------
+# E9 (extension): adaptive synchronization quantum
+# ----------------------------------------------------------------------
+def run_e9(quick: bool = False, seed: int = 3) -> ExperimentResult:
+    """Adaptive vs fixed quantum: accuracy per synchronization window.
+
+    This is the natural refinement of the paper's coupling (not evaluated
+    there, hence an *extension* experiment): size the quantum by observed
+    traffic so busy phases couple finely and idle phases coarsely.  The
+    adaptive controller should approach small-fixed-quantum accuracy with
+    markedly fewer synchronization windows than quantum-1 coupling.
+    """
+    from ..core.config import build_cosim
+    from ..core.quantum import AdaptiveQuantum, FixedQuantum
+
+    scale = 0.4 if quick else 1.0
+    base = TargetConfig(
+        width=4, height=4, app="fft", seed=seed, scale=scale, network_model="simd"
+    )
+
+    def run_with(controller):
+        cosim = build_cosim(base)
+        cosim.quantum = controller
+        return cosim.run()
+
+    truth = run_with(FixedQuantum(1))
+    modes = [
+        ("fixed-1", truth),
+        ("fixed-4", run_with(FixedQuantum(4))),
+        ("fixed-16", run_with(FixedQuantum(16))),
+        (
+            "adaptive-2..32",
+            run_with(
+                AdaptiveQuantum(min_cycles=2, max_cycles=32, target_messages=24)
+            ),
+        ),
+    ]
+    rows = []
+    for name, result in modes:
+        rows.append(
+            (
+                name,
+                result.mean_latency(),
+                metrics.relative_error(result.mean_latency(), truth.mean_latency()),
+                result.windows,
+                result.clamped_deliveries / max(1, result.deliveries),
+            )
+        )
+    adaptive = rows[-1]
+    fixed1 = rows[0]
+    return ExperimentResult(
+        eid="E9",
+        title="Extension: adaptive synchronization quantum (truth: fixed-1)",
+        headers=["mode", "mean_lat", "lat_err", "windows", "clamped_frac"],
+        rows=rows,
+        notes={
+            "adaptive_lat_error": adaptive[2],
+            "adaptive_window_saving_vs_q1": 1.0 - adaptive[3] / fixed1[3],
+        },
+    )
+
+
+# ----------------------------------------------------------------------
+# E10 (extension): memory-model fidelity under reciprocal abstraction
+# ----------------------------------------------------------------------
+def run_e10(quick: bool = False, seed: int = 3) -> ExperimentResult:
+    """Fidelity mixing beyond the NoC: flat memory vs detailed DRAM.
+
+    Reciprocal abstraction's premise is that *any* component can be swapped
+    to a different fidelity inside the same full-system context.  This
+    extension experiment swaps the memory controllers: the simple
+    service-interval model vs the banked open-page FR-FCFS DRAM controller
+    (:mod:`repro.dram`), with the RA network coupling unchanged.  The
+    detailed model exposes row-buffer and bank-conflict behaviour the flat
+    model cannot represent, shifting full-system results substantially —
+    the same vacuum argument, applied to memory.
+    """
+    from ..fullsys.config import CmpConfig
+
+    apps = ["ocean"] if quick else ["ocean", "radix", "water"]
+    scale = 0.3 if quick else 0.6
+    rows = []
+    shifts = []
+    for app in apps:
+        base = TargetConfig(
+            width=4, height=4, app=app, seed=seed, scale=scale,
+            network_model="simd", quantum=4,
+        )
+        simple = run_cosim(base)
+        dram = run_cosim(
+            base.variant(cmp=CmpConfig(memory_model="dram"))
+        )
+        simple_finish = float(simple.finish_cycle or simple.cycles)
+        dram_finish = float(dram.finish_cycle or dram.cycles)
+        shift = metrics.relative_error(simple_finish, dram_finish)
+        shifts.append(shift)
+        rows.append(
+            (
+                app,
+                simple_finish,
+                dram_finish,
+                simple.system_summary["mean_miss_latency"],
+                dram.system_summary["mean_miss_latency"],
+                shift,
+            )
+        )
+    return ExperimentResult(
+        eid="E10",
+        title="Extension: memory-model fidelity (flat vs banked FR-FCFS DRAM)",
+        headers=[
+            "app",
+            "flat_finish",
+            "dram_finish",
+            "flat_misslat",
+            "dram_misslat",
+            "runtime_shift",
+        ],
+        rows=rows,
+        notes={"mean_runtime_shift_from_memory_fidelity": sum(shifts) / len(shifts)},
+    )
+
+
+ALL_EXPERIMENTS = {
+    "E1": run_e1,
+    "E2": run_e2,
+    "E3": run_e3,
+    "E4": run_e4,
+    "E5": run_e5,
+    "E6": run_e6,
+    "E7": run_e7,
+    "E8": run_e8,
+    "E9": run_e9,
+    "E10": run_e10,
+}

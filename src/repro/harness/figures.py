@@ -1,0 +1,134 @@
+"""ASCII figure rendering: line charts for terminals.
+
+The paper's evaluation figures are x/y curves (latency vs load, time vs
+cores).  This module renders such series as fixed-width character plots so
+the benchmark output carries actual *figures*, not only tables, without any
+plotting dependency.
+
+Example::
+
+    chart = AsciiChart(width=60, height=12, title="latency vs load")
+    chart.add_series("cycle", rates, latencies, marker="*")
+    chart.add_series("fixed", rates, fixed_lats, marker="o")
+    print(chart.render())
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+from ..errors import ConfigError
+
+__all__ = ["AsciiChart"]
+
+
+@dataclass
+class _Series:
+    name: str
+    xs: List[float]
+    ys: List[float]
+    marker: str
+
+
+class AsciiChart:
+    """A multi-series scatter/line chart drawn with characters.
+
+    Points are plotted on a ``width`` x ``height`` grid with linear axes
+    (log-y optional, for saturation curves spanning decades).  Rendering is
+    deterministic; later series overwrite earlier ones where cells collide.
+    """
+
+    def __init__(
+        self,
+        width: int = 64,
+        height: int = 16,
+        title: str = "",
+        log_y: bool = False,
+    ) -> None:
+        if width < 16 or height < 4:
+            raise ConfigError("chart needs width >= 16 and height >= 4")
+        self.width = width
+        self.height = height
+        self.title = title
+        self.log_y = log_y
+        self._series: List[_Series] = []
+
+    def add_series(
+        self,
+        name: str,
+        xs: Sequence[float],
+        ys: Sequence[float],
+        marker: Optional[str] = None,
+    ) -> None:
+        """Add one named series; ``marker`` defaults to cycling ``*o+x#@``."""
+        if len(xs) != len(ys):
+            raise ConfigError(f"series {name!r}: {len(xs)} xs vs {len(ys)} ys")
+        if not xs:
+            raise ConfigError(f"series {name!r} is empty")
+        if marker is None:
+            marker = "*o+x#@%&"[len(self._series) % 8]
+        if len(marker) != 1:
+            raise ConfigError(f"marker must be one character, got {marker!r}")
+        self._series.append(_Series(name, list(xs), list(ys), marker))
+
+    # ------------------------------------------------------------------
+    def _bounds(self) -> Tuple[float, float, float, float]:
+        xs = [x for s in self._series for x in s.xs]
+        ys = [self._y(y) for s in self._series for y in s.ys]
+        x_lo, x_hi = min(xs), max(xs)
+        y_lo, y_hi = min(ys), max(ys)
+        if x_hi == x_lo:
+            x_hi = x_lo + 1.0
+        if y_hi == y_lo:
+            y_hi = y_lo + 1.0
+        return x_lo, x_hi, y_lo, y_hi
+
+    def _y(self, value: float) -> float:
+        if not self.log_y:
+            return value
+        return math.log10(max(value, 1e-9))
+
+    def _y_label(self, grid_value: float) -> float:
+        return 10.0**grid_value if self.log_y else grid_value
+
+    def render(self) -> str:
+        """Draw the chart; includes a legend and min/max axis labels."""
+        if not self._series:
+            raise ConfigError("chart has no series")
+        x_lo, x_hi, y_lo, y_hi = self._bounds()
+        grid = [[" "] * self.width for _ in range(self.height)]
+        for series in self._series:
+            for x, y in zip(series.xs, series.ys):
+                col = round((x - x_lo) / (x_hi - x_lo) * (self.width - 1))
+                row = round(
+                    (self._y(y) - y_lo) / (y_hi - y_lo) * (self.height - 1)
+                )
+                grid[self.height - 1 - row][col] = series.marker
+
+        top_label = f"{self._y_label(y_hi):.4g}"
+        bottom_label = f"{self._y_label(y_lo):.4g}"
+        label_width = max(len(top_label), len(bottom_label))
+        lines = []
+        if self.title:
+            lines.append(self.title)
+        for i, row in enumerate(grid):
+            if i == 0:
+                label = top_label.rjust(label_width)
+            elif i == self.height - 1:
+                label = bottom_label.rjust(label_width)
+            else:
+                label = " " * label_width
+            lines.append(f"{label} |{''.join(row)}")
+        axis = " " * label_width + " +" + "-" * self.width
+        lines.append(axis)
+        x_left = f"{x_lo:.4g}"
+        x_right = f"{x_hi:.4g}"
+        pad = self.width - len(x_left) - len(x_right)
+        lines.append(
+            " " * (label_width + 2) + x_left + " " * max(1, pad) + x_right
+        )
+        legend = "   ".join(f"{s.marker} {s.name}" for s in self._series)
+        lines.append(" " * (label_width + 2) + legend)
+        return "\n".join(lines)

@@ -1,0 +1,83 @@
+"""Error metrics used by the accuracy experiments.
+
+The paper's headline metric is *packet latency error*: how far a network
+model's latency (as experienced by the full system) is from the
+cycle-accurate ground truth, and how much reciprocal abstraction reduces
+that error relative to the abstract model (69% on average in the paper).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Sequence, Tuple
+
+import numpy as np
+
+from ..util import geometric_mean
+
+__all__ = [
+    "relative_error",
+    "error_reduction",
+    "mean_error_reduction",
+    "distribution_distance",
+    "summarize",
+]
+
+
+def relative_error(measured: float, truth: float) -> float:
+    """|measured - truth| / truth (truth must be nonzero)."""
+    if truth == 0:
+        raise ValueError("ground truth is zero; relative error undefined")
+    return abs(measured - truth) / abs(truth)
+
+
+def error_reduction(baseline_error: float, improved_error: float) -> float:
+    """Fraction of the baseline error removed (1.0 = perfect, <0 = worse)."""
+    if baseline_error == 0:
+        return 0.0 if improved_error == 0 else float("-inf")
+    return 1.0 - improved_error / baseline_error
+
+
+def mean_error_reduction(
+    pairs: Iterable[Tuple[float, float]], geometric: bool = False
+) -> float:
+    """Average error reduction over (baseline_error, improved_error) pairs.
+
+    The arithmetic mean of per-workload reductions is the conventional
+    "reduces error by X% on average"; the geometric variant is stricter and
+    only defined when every workload improves.
+    """
+    reductions = [error_reduction(b, i) for b, i in pairs]
+    if not reductions:
+        raise ValueError("no error pairs supplied")
+    if geometric:
+        return geometric_mean(max(r, 0.0) for r in reductions)
+    return sum(reductions) / len(reductions)
+
+
+def distribution_distance(a: Sequence[float], b: Sequence[float]) -> float:
+    """Kolmogorov–Smirnov distance between two latency samples.
+
+    Used to show that vacuum simulation distorts the latency *distribution*
+    even when means happen to be close.
+    """
+    if not len(a) or not len(b):
+        raise ValueError("empty sample")
+    xs = np.sort(np.asarray(a, dtype=float))
+    ys = np.sort(np.asarray(b, dtype=float))
+    grid = np.union1d(xs, ys)
+    cdf_a = np.searchsorted(xs, grid, side="right") / len(xs)
+    cdf_b = np.searchsorted(ys, grid, side="right") / len(ys)
+    return float(np.max(np.abs(cdf_a - cdf_b)))
+
+
+def summarize(values: Sequence[float]) -> Dict[str, float]:
+    """mean / p50 / p95 / max of a sample (0s when empty)."""
+    if not len(values):
+        return {"mean": 0.0, "p50": 0.0, "p95": 0.0, "max": 0.0}
+    arr = np.asarray(values, dtype=float)
+    return {
+        "mean": float(arr.mean()),
+        "p50": float(np.percentile(arr, 50)),
+        "p95": float(np.percentile(arr, 95)),
+        "max": float(arr.max()),
+    }

@@ -1,0 +1,78 @@
+"""Persistence for experiment results.
+
+Experiments are minutes-long; saving their row data lets reports, plots, and
+regression comparisons run without re-simulating.  The format is plain JSON
+with a schema version, so saved results stay readable as the library evolves.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import List
+
+from ..errors import ConfigError
+from .experiments import ExperimentResult
+
+__all__ = ["save_result", "load_result", "save_all", "load_all"]
+
+_SCHEMA = 1
+
+
+def _to_dict(result: ExperimentResult) -> dict:
+    return {
+        "schema": _SCHEMA,
+        "eid": result.eid,
+        "title": result.title,
+        "headers": list(result.headers),
+        "rows": [list(row) for row in result.rows],
+        "notes": dict(result.notes),
+        "figures": list(result.figures),
+    }
+
+
+def _from_dict(data: dict) -> ExperimentResult:
+    if data.get("schema") != _SCHEMA:
+        raise ConfigError(
+            f"unsupported experiment-result schema {data.get('schema')!r}"
+        )
+    return ExperimentResult(
+        eid=data["eid"],
+        title=data["title"],
+        headers=list(data["headers"]),
+        rows=[tuple(row) for row in data["rows"]],
+        notes=dict(data["notes"]),
+        figures=list(data.get("figures", [])),
+    )
+
+
+def save_result(result: ExperimentResult, path: str | Path) -> None:
+    """Write one result as JSON."""
+    Path(path).write_text(
+        json.dumps(_to_dict(result), indent=2, sort_keys=True) + "\n",
+        encoding="utf-8",
+    )
+
+
+def load_result(path: str | Path) -> ExperimentResult:
+    """Read a result written by :func:`save_result`."""
+    return _from_dict(json.loads(Path(path).read_text(encoding="utf-8")))
+
+
+def save_all(results: List[ExperimentResult], directory: str | Path) -> List[Path]:
+    """Save every result as ``<eid>.json`` under ``directory``."""
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    paths = []
+    for result in results:
+        path = directory / f"{result.eid}.json"
+        save_result(result, path)
+        paths.append(path)
+    return paths
+
+
+def load_all(directory: str | Path) -> List[ExperimentResult]:
+    """Load every ``*.json`` result under ``directory``, sorted by eid."""
+    directory = Path(directory)
+    results = [load_result(p) for p in sorted(directory.glob("*.json"))]
+    return sorted(results, key=lambda r: (len(r.eid), r.eid))

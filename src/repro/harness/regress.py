@@ -1,0 +1,130 @@
+"""Regression comparison between saved experiment results.
+
+Experiments are stochastic only through their fixed seeds, so two runs of
+the same library version produce identical rows; across versions, numeric
+drift beyond tolerance signals a behaviour change worth reviewing.  This
+module diffs two :class:`~repro.harness.experiments.ExperimentResult` sets
+(typically ``load_all(golden_dir)`` vs a fresh run) and reports per-cell
+relative drift.
+
+Usage::
+
+    golden = load_all("golden/")
+    fresh = [ALL_EXPERIMENTS[r.eid](quick=False) for r in golden]
+    report = compare_many(golden, fresh, tolerance=0.05)
+    assert not report.regressions, report.render()
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Sequence
+
+from ..errors import ConfigError
+from .experiments import ExperimentResult
+from .report import format_table
+
+__all__ = ["Drift", "RegressionReport", "compare", "compare_many"]
+
+
+@dataclass(frozen=True)
+class Drift:
+    """One cell (or note) whose value moved beyond tolerance."""
+
+    eid: str
+    where: str  # "row 3 col mean_lat" or "note ra_error_reduction"
+    old: float
+    new: float
+
+    @property
+    def relative(self) -> float:
+        if self.old == 0:
+            return float("inf") if self.new != 0 else 0.0
+        return abs(self.new - self.old) / abs(self.old)
+
+
+@dataclass
+class RegressionReport:
+    """All drifts found between two result sets."""
+
+    tolerance: float
+    compared_cells: int = 0
+    regressions: List[Drift] = field(default_factory=list)
+
+    def render(self) -> str:
+        if not self.regressions:
+            return (
+                f"no regressions: {self.compared_cells} numeric cells within "
+                f"{self.tolerance:.0%}"
+            )
+        rows = [
+            (d.eid, d.where, d.old, d.new, d.relative)
+            for d in self.regressions
+        ]
+        return format_table(
+            ["eid", "where", "old", "new", "drift"],
+            rows,
+            title=f"regressions beyond {self.tolerance:.0%} "
+            f"({len(self.regressions)} of {self.compared_cells} cells)",
+        )
+
+
+def _numeric(value) -> bool:
+    return isinstance(value, (int, float)) and not isinstance(value, bool)
+
+
+def compare(
+    old: ExperimentResult,
+    new: ExperimentResult,
+    tolerance: float = 0.05,
+    report: RegressionReport | None = None,
+) -> RegressionReport:
+    """Diff two results of the same experiment."""
+    if old.eid != new.eid:
+        raise ConfigError(f"comparing {old.eid} against {new.eid}")
+    if report is None:
+        report = RegressionReport(tolerance=tolerance)
+    if len(old.rows) != len(new.rows):
+        report.regressions.append(
+            Drift(old.eid, "row count", float(len(old.rows)), float(len(new.rows)))
+        )
+        return report
+
+    def check(where: str, a, b) -> None:
+        if not (_numeric(a) and _numeric(b)):
+            return
+        report.compared_cells += 1
+        drift = Drift(old.eid, where, float(a), float(b))
+        if drift.relative > tolerance:
+            report.regressions.append(drift)
+
+    headers = old.headers
+    for i, (row_a, row_b) in enumerate(zip(old.rows, new.rows)):
+        for j, (a, b) in enumerate(zip(row_a, row_b)):
+            name = headers[j] if j < len(headers) else f"col{j}"
+            check(f"row {i} {name}", a, b)
+    for key in old.notes:
+        if key in new.notes:
+            check(f"note {key}", old.notes[key], new.notes[key])
+        else:
+            report.regressions.append(Drift(old.eid, f"note {key} missing", 0.0, 0.0))
+    return report
+
+
+def compare_many(
+    old: Sequence[ExperimentResult],
+    new: Sequence[ExperimentResult],
+    tolerance: float = 0.05,
+) -> RegressionReport:
+    """Diff matching experiments from two sets (matched by eid)."""
+    report = RegressionReport(tolerance=tolerance)
+    new_by_id = {r.eid: r for r in new}
+    for old_result in old:
+        fresh = new_by_id.get(old_result.eid)
+        if fresh is None:
+            report.regressions.append(
+                Drift(old_result.eid, "experiment missing", 0.0, 0.0)
+            )
+            continue
+        compare(old_result, fresh, tolerance, report)
+    return report

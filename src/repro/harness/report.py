@@ -1,0 +1,55 @@
+"""Plain-text rendering of experiment tables and series.
+
+Every experiment prints through these helpers so benchmark output looks like
+the rows a paper table/figure would carry.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence
+
+__all__ = ["format_table", "format_kv", "format_percent"]
+
+
+def _render_cell(value) -> str:
+    if isinstance(value, float):
+        if value != value:  # NaN
+            return "nan"
+        if abs(value) >= 1000:
+            return f"{value:,.0f}"
+        if abs(value) >= 10:
+            return f"{value:.1f}"
+        return f"{value:.3f}"
+    return str(value)
+
+
+def format_table(
+    headers: Sequence[str], rows: Iterable[Sequence], title: str = ""
+) -> str:
+    """Fixed-width table with a rule under the header."""
+    rendered: List[List[str]] = [[_render_cell(c) for c in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in rendered:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in rendered:
+        lines.append("  ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def format_kv(pairs: dict, title: str = "") -> str:
+    """Aligned key/value block (configuration tables)."""
+    width = max(len(str(k)) for k in pairs) if pairs else 0
+    lines = [title] if title else []
+    for key, value in pairs.items():
+        lines.append(f"{str(key).ljust(width)}  {_render_cell(value)}")
+    return "\n".join(lines)
+
+
+def format_percent(fraction: float) -> str:
+    return f"{100.0 * fraction:.1f}%"

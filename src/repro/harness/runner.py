@@ -1,0 +1,147 @@
+"""Shared experiment-execution helpers.
+
+Experiments compose three runner primitives:
+
+* :func:`run_cosim` — one full co-simulation from a
+  :class:`~repro.core.config.TargetConfig`;
+* :func:`run_isolated` — a network alone under a traffic generator (the
+  vacuum methodology);
+* :func:`sweep_injection` — the classic load–latency curve.
+
+``run_cosim`` results are memoized per process keyed on the configuration,
+because several experiments share runs (E3/E4 reuse the same sweeps) and
+co-simulations are the expensive primitive.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Tuple
+
+from ..core.config import TargetConfig, build_cosim
+from ..core.cosim import CoSimResult
+from ..errors import ConfigError
+from ..noc.config import NocConfig
+from ..noc.network import CycleNetwork
+from ..noc.stats import NetworkStats
+from ..noc.topology import Topology
+from ..noc_gpu.simd_network import SimdNetwork
+from ..workloads.traces import TraceRecorder
+
+__all__ = [
+    "run_cosim",
+    "run_cosim_traced",
+    "make_network",
+    "run_isolated",
+    "sweep_injection",
+    "clear_run_cache",
+]
+
+_cache: Dict[Tuple, CoSimResult] = {}
+
+
+def _config_key(config: TargetConfig, max_cycles: Optional[int]) -> Tuple:
+    return (
+        config.width,
+        config.height,
+        config.concentration,
+        config.topology,
+        config.routing,
+        config.app,
+        config.seed,
+        config.scale,
+        config.network_model,
+        config.quantum,
+        repr(config.noc),
+        repr(config.cmp),
+        max_cycles,
+    )
+
+
+def run_cosim(
+    config: TargetConfig, max_cycles: Optional[int] = None, cache: bool = True
+) -> CoSimResult:
+    """Build and run one co-simulation (memoized by configuration)."""
+    key = _config_key(config, max_cycles)
+    if cache and key in _cache:
+        return _cache[key]
+    cosim = build_cosim(config)
+    result = cosim.run(**({} if max_cycles is None else {"max_cycles": max_cycles}))
+    if cache:
+        _cache[key] = result
+    return result
+
+
+def run_cosim_traced(
+    config: TargetConfig, max_cycles: Optional[int] = None
+) -> Tuple[CoSimResult, TraceRecorder, object]:
+    """Run a co-simulation recording its network-message trace.
+
+    Returns ``(result, trace_recorder, cosim)`` — the co-simulator itself is
+    returned so callers can inspect the live network's own statistics (the
+    component's in-context view, needed by the vacuum experiment).
+    """
+    cosim = build_cosim(config)
+    recorder = TraceRecorder(cosim._on_message)
+    cosim.system.transport = recorder
+    result = cosim.run(**({} if max_cycles is None else {"max_cycles": max_cycles}))
+    return result, recorder, cosim
+
+
+def clear_run_cache() -> None:
+    _cache.clear()
+
+
+# ----------------------------------------------------------------------
+# Isolated (vacuum) network runs
+# ----------------------------------------------------------------------
+def make_network(kind: str, topo: Topology, noc: Optional[NocConfig] = None):
+    """A flit-level simulator by name: ``cycle`` (OO) or ``simd``."""
+    noc = noc or NocConfig()
+    if kind == "cycle":
+        return CycleNetwork(topo, noc)
+    if kind == "simd":
+        return SimdNetwork(topo, noc)
+    raise ConfigError(f"unknown network kind {kind!r} (cycle|simd)")
+
+
+def run_isolated(
+    topo: Topology,
+    traffic,
+    cycles: int,
+    kind: str = "cycle",
+    noc: Optional[NocConfig] = None,
+    drain: bool = True,
+) -> NetworkStats:
+    """Drive a lone network with a traffic generator; returns its stats.
+
+    ``traffic`` is anything with ``drive(network, cycles, drain=...)`` —
+    synthetic generators and matched-load trace reductions both qualify.
+    """
+    network = make_network(kind, topo, noc)
+    traffic.drive(network, cycles, drain=drain)
+    return network.stats
+
+
+def sweep_injection(
+    topo: Topology,
+    make_traffic: Callable[[float], object],
+    rates: List[float],
+    cycles: int,
+    kind: str = "cycle",
+    noc: Optional[NocConfig] = None,
+) -> List[Tuple[float, NetworkStats]]:
+    """Load–latency curve: one isolated run per injection rate.
+
+    Runs ``cycles`` of injection plus a cooldown of the same length with
+    injection stopped, *without* requiring a full drain: past saturation the
+    source queues grow without bound and a drain would never finish — the
+    hockey-stick left in the statistics is the figure's saturated tail.
+    """
+    points = []
+    for rate in rates:
+        network = make_network(kind, topo, noc)
+        traffic = make_traffic(rate)
+        traffic.drive(network, cycles, drain=False)
+        network.run(cycles)
+        points.append((rate, network.stats))
+    return points

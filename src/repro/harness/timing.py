@@ -1,0 +1,84 @@
+"""Host-time accounting for the speed experiments.
+
+Two complementary sources, matching DESIGN.md's substitution plan:
+
+* **measured** — :func:`measured_split` and :func:`measured_reduction`
+  extract wall-clock splits from real co-simulation runs (the OO network as
+  the "CPU" configuration, the SIMD network as the "GPU" configuration);
+* **modelled** — :class:`HostTimingModel` wraps
+  :class:`~repro.noc_gpu.gpu_model.GpuExecutionModel` and renders the
+  paper-anchored predictions (16% @ 256 cores, 65% @ 512) for arbitrary
+  sweeps.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+from ..core.cosim import CoSimResult
+from ..noc_gpu.gpu_model import GpuCostParams, GpuExecutionModel
+
+__all__ = [
+    "measured_split",
+    "measured_reduction",
+    "HostTimingModel",
+]
+
+
+def measured_split(result: CoSimResult) -> Dict[str, float]:
+    """Wall-clock decomposition of one co-simulation run (seconds)."""
+    other = max(0.0, result.wall_total - result.wall_system - result.wall_network)
+    return {
+        "system": result.wall_system,
+        "network": result.wall_network,
+        "coupling": other,
+        "total": result.wall_total,
+    }
+
+
+def measured_reduction(cpu_run: CoSimResult, gpu_run: CoSimResult) -> float:
+    """Fractional co-simulation time saved, from measured wall clocks.
+
+    Normalizes by simulated cycles so runs of slightly different target
+    length (execution is timing-dependent) compare fairly.
+    """
+    cpu_rate = cpu_run.wall_total / max(1, cpu_run.cycles)
+    gpu_rate = gpu_run.wall_total / max(1, gpu_run.cycles)
+    return 1.0 - gpu_rate / cpu_rate
+
+
+@dataclass
+class HostTimingModel:
+    """Paper-calibrated host-time predictions over a core-count sweep."""
+
+    params: Optional[GpuCostParams] = None
+
+    def __post_init__(self) -> None:
+        self.model = GpuExecutionModel(self.params)
+
+    def sweep(
+        self, core_counts: Sequence[int] = (64, 256, 512), quantum: int = 1
+    ) -> List[Dict[str, float]]:
+        """One row per target size: predicted times and the GPU reduction."""
+        rows = []
+        for cores in core_counts:
+            rows.append(
+                {
+                    "cores": float(cores),
+                    "fullsys_only": self.model.cosim_time(cores, 1, "none"),
+                    "cpu_cosim": self.model.cosim_time(cores, 1, "cpu"),
+                    "gpu_cosim": self.model.cosim_time(cores, 1, "gpu", quantum=quantum),
+                    "gpu_reduction": self.model.gpu_time_reduction(
+                        cores, quantum=quantum
+                    ),
+                }
+            )
+        return rows
+
+    def paper_anchor_errors(self) -> Dict[str, float]:
+        """Deviation from the paper's two anchors (should be ~0 by design)."""
+        return {
+            "err_256": abs(self.model.gpu_time_reduction(256) - 0.16),
+            "err_512": abs(self.model.gpu_time_reduction(512) - 0.65),
+        }

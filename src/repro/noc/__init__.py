@@ -1,0 +1,64 @@
+"""Cycle-level network-on-chip simulator (the paper's *detailed component*).
+
+Public surface:
+
+* topologies: :class:`Mesh`, :class:`Torus`, :class:`ConcentratedMesh`
+* routing: :func:`make_routing` and the routing-function classes
+* the simulator: :class:`CycleNetwork` configured by :class:`NocConfig`
+* traffic units: :class:`Packet`, :class:`MessageClass`
+* results: :class:`NetworkStats`
+"""
+
+from .config import NocConfig
+from .energy import EnergyBreakdown, EnergyParams, NetworkEventCounts, estimate_energy
+from .network import CycleNetwork
+from .packet import Flit, MessageClass, Packet
+from .routing import (
+    OddEvenRouting,
+    RoutingFunction,
+    WestFirstRouting,
+    XYRouting,
+    YXRouting,
+    make_routing,
+)
+from .stats import ClassStats, NetworkStats
+from .topology import (
+    EAST,
+    LOCAL,
+    NORTH,
+    SOUTH,
+    WEST,
+    ConcentratedMesh,
+    Mesh,
+    Topology,
+    Torus,
+)
+
+__all__ = [
+    "NocConfig",
+    "EnergyParams",
+    "EnergyBreakdown",
+    "NetworkEventCounts",
+    "estimate_energy",
+    "CycleNetwork",
+    "Packet",
+    "Flit",
+    "MessageClass",
+    "NetworkStats",
+    "ClassStats",
+    "Topology",
+    "Mesh",
+    "Torus",
+    "ConcentratedMesh",
+    "RoutingFunction",
+    "XYRouting",
+    "YXRouting",
+    "WestFirstRouting",
+    "OddEvenRouting",
+    "make_routing",
+    "LOCAL",
+    "EAST",
+    "WEST",
+    "NORTH",
+    "SOUTH",
+]

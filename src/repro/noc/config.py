@@ -1,0 +1,77 @@
+"""Configuration for the cycle-level NoC simulator."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import ConfigError
+from ..util import check_positive
+
+__all__ = ["NocConfig"]
+
+
+@dataclass
+class NocConfig:
+    """Parameters of the cycle-level network.
+
+    The defaults describe the canonical input-queued virtual-channel router
+    used throughout the experiments: 4 VCs of 4 flits per input port, a
+    2-cycle router pipeline, single-cycle links.
+
+    Attributes:
+        num_vcs: virtual channels per input port.
+        buffer_depth: flits of buffering per virtual channel.
+        router_delay: cycles a flit spends in the router pipeline before it
+            can arbitrate for the switch (models BW+RC+VA+SA depth).
+        link_delay: cycles to traverse an inter-router channel.
+        credit_delay: cycles for a credit to return upstream.
+        ejection_delay: extra cycles from switch traversal at the destination
+            router to delivery at the terminal.
+        vc_select: ``"any_free"`` lets a packet claim any idle VC;
+            ``"class_partition"`` restricts each message class to the VC set
+            ``class % num_vcs`` (a cheap virtual-network discipline).
+        va_arbiter: ``"round_robin"`` or ``"matrix"`` — arbiter used by the
+            VC allocator's output stage.
+        watchdog_cycles: raise if no flit moves for this many cycles while
+            packets are in flight (deadlock/livelock detector); 0 disables.
+    """
+
+    num_vcs: int = 4
+    buffer_depth: int = 4
+    router_delay: int = 2
+    link_delay: int = 1
+    credit_delay: int = 1
+    ejection_delay: int = 1
+    vc_select: str = "any_free"
+    va_arbiter: str = "round_robin"
+    watchdog_cycles: int = 100_000
+
+    def __post_init__(self) -> None:
+        check_positive(self.num_vcs, "num_vcs")
+        check_positive(self.buffer_depth, "buffer_depth")
+        check_positive(self.router_delay, "router_delay")
+        check_positive(self.link_delay, "link_delay")
+        check_positive(self.credit_delay, "credit_delay")
+        if self.ejection_delay < 0:
+            raise ConfigError(f"ejection_delay must be >= 0, got {self.ejection_delay}")
+        if self.vc_select not in ("any_free", "class_partition"):
+            raise ConfigError(f"unknown vc_select {self.vc_select!r}")
+        if self.va_arbiter not in ("round_robin", "matrix"):
+            raise ConfigError(f"unknown va_arbiter {self.va_arbiter!r}")
+        if self.watchdog_cycles < 0:
+            raise ConfigError(f"watchdog_cycles must be >= 0, got {self.watchdog_cycles}")
+
+    def min_latency(self, hops: int, size_flits: int) -> int:
+        """Zero-load latency for a packet of ``size_flits`` over ``hops`` links.
+
+        One router traversal per router on the path (hops+1 routers), one
+        link traversal per hop, serialization of the body flits, plus the
+        ejection delay.  This closed form is shared with the abstract
+        network models so that at zero load all models agree exactly.
+        """
+        return (
+            (hops + 1) * self.router_delay
+            + hops * self.link_delay
+            + (size_flits - 1)
+            + self.ejection_delay
+        )

@@ -1,0 +1,127 @@
+"""NoC energy estimation (Orion-style event-energy model).
+
+Cycle-level NoC simulators conventionally report energy alongside latency:
+each microarchitectural *event* (buffer write, buffer read + switch
+traversal, link traversal, allocation) costs a fixed dynamic energy, and
+every router leaks continuously in proportion to its buffering.  The event
+counts come from the simulators' existing statistics, so the model works
+identically over the OO and SIMD networks — and agreement between the two
+is itself a useful validation (tested in ``tests/test_energy.py``).
+
+The default per-event energies are representative 32 nm-class values (order
+of magnitude of ORION 2.0 reports, in picojoules); they are configuration
+constants, not measurements, and every experiment that reports energy says
+so.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+from ..errors import ConfigError
+from .config import NocConfig
+
+__all__ = ["EnergyParams", "NetworkEventCounts", "EnergyBreakdown", "estimate_energy"]
+
+
+@dataclass
+class EnergyParams:
+    """Per-event dynamic energies (pJ) and leakage (pW-equivalent per cycle).
+
+    ``leakage_pj_per_slot_cycle`` charges every buffer slot every cycle;
+    ``router_leakage_pj_per_cycle`` covers the rest of the router (crossbar,
+    allocators, clocking).
+    """
+
+    buffer_write_pj: float = 1.2
+    buffer_read_pj: float = 0.9
+    switch_traversal_pj: float = 1.8
+    link_traversal_pj: float = 2.4
+    allocation_pj: float = 0.2
+    ejection_pj: float = 0.4
+    router_leakage_pj_per_cycle: float = 0.6
+    leakage_pj_per_slot_cycle: float = 0.01
+
+    def __post_init__(self) -> None:
+        for name, value in vars(self).items():
+            if value < 0:
+                raise ConfigError(f"{name} must be >= 0, got {value}")
+
+
+@dataclass
+class NetworkEventCounts:
+    """Event counts a network simulator exposes for energy estimation."""
+
+    buffer_writes: int = 0
+    switch_grants: int = 0  # buffer read + crossbar traversal per grant
+    link_traversals: int = 0
+    allocations: int = 0  # allocator invocations (VA+SA grants)
+    ejected_flits: int = 0
+    cycles: int = 0
+    routers: int = 0
+
+
+@dataclass
+class EnergyBreakdown:
+    """Energy totals in picojoules, by component."""
+
+    buffers: float = 0.0
+    switch: float = 0.0
+    links: float = 0.0
+    allocators: float = 0.0
+    ejection: float = 0.0
+    leakage: float = 0.0
+
+    @property
+    def dynamic(self) -> float:
+        return self.buffers + self.switch + self.links + self.allocators + self.ejection
+
+    @property
+    def total(self) -> float:
+        return self.dynamic + self.leakage
+
+    def per_flit(self, flits: int) -> float:
+        """Total energy per delivered flit (the standard NoC efficiency
+        metric); 0 when nothing was delivered."""
+        return self.total / flits if flits else 0.0
+
+    def as_dict(self) -> Dict[str, float]:
+        return {
+            "buffers_pj": self.buffers,
+            "switch_pj": self.switch,
+            "links_pj": self.links,
+            "allocators_pj": self.allocators,
+            "ejection_pj": self.ejection,
+            "dynamic_pj": self.dynamic,
+            "leakage_pj": self.leakage,
+            "total_pj": self.total,
+        }
+
+
+def estimate_energy(
+    counts: NetworkEventCounts,
+    config: NocConfig,
+    params: EnergyParams | None = None,
+) -> EnergyBreakdown:
+    """Energy for a run described by ``counts`` on a ``config`` router.
+
+    Leakage scales with instantiated buffering (ports x VCs x depth per
+    router) — the term that penalizes over-provisioned designs in the
+    energy/performance ablation.
+    """
+    params = params or EnergyParams()
+    slots_per_router = 5 * config.num_vcs * config.buffer_depth
+    leakage_per_cycle = (
+        params.router_leakage_pj_per_cycle
+        + params.leakage_pj_per_slot_cycle * slots_per_router
+    )
+    return EnergyBreakdown(
+        buffers=counts.buffer_writes * params.buffer_write_pj
+        + counts.switch_grants * params.buffer_read_pj,
+        switch=counts.switch_grants * params.switch_traversal_pj,
+        links=counts.link_traversals * params.link_traversal_pj,
+        allocators=counts.allocations * params.allocation_pj,
+        ejection=counts.ejected_flits * params.ejection_pj,
+        leakage=counts.cycles * counts.routers * leakage_per_cycle,
+    )

@@ -1,0 +1,321 @@
+"""The cycle-level network simulator.
+
+:class:`CycleNetwork` assembles routers and links over a topology and steps
+them in lock-step, one target cycle per :meth:`step`.  It owns packet
+injection (per-router source queues feeding the local input port at one flit
+per cycle) and ejection (delivery callbacks plus a pull queue), and enforces
+the credit protocol end to end.
+
+The simulator is deterministic: given the same sequence of ``inject`` calls
+it produces identical flit movement, which the reciprocal-abstraction
+co-simulation relies on for reproducible experiments.
+"""
+
+from __future__ import annotations
+
+import heapq
+from collections import deque
+from typing import Callable, Deque, Dict, List, Optional, Tuple
+
+from ..errors import SimulationError
+from .config import NocConfig
+from .link import Link
+from .packet import Flit, Packet
+from .router import Router
+from .routing import RoutingFunction, XYRouting
+from .stats import NetworkStats
+from .topology import LOCAL, Topology, Torus, opposite_port
+
+__all__ = ["CycleNetwork"]
+
+
+class _SourceQueue:
+    """Per-router injection state: queued packets and the one mid-injection."""
+
+    __slots__ = ("pending", "current_flits", "current_vc")
+
+    def __init__(self) -> None:
+        self.pending: Deque[Packet] = deque()
+        self.current_flits: List[Flit] = []
+        self.current_vc: Optional[int] = None
+
+
+class CycleNetwork:
+    """Flit-level, cycle-accurate NoC simulator.
+
+    Args:
+        topo: network topology (routers, channels, node mapping).
+        config: router/channel parameters.
+        routing: routing function; defaults to deterministic XY.
+        on_eject: optional callback invoked as ``on_eject(packet, cycle)``
+            when a packet's tail flit is delivered.  Independently of the
+            callback, delivered packets can be pulled with
+            :meth:`pop_delivered`.
+    """
+
+    def __init__(
+        self,
+        topo: Topology,
+        config: Optional[NocConfig] = None,
+        routing: Optional[RoutingFunction] = None,
+        on_eject: Optional[Callable[[Packet, int], None]] = None,
+    ) -> None:
+        self.topo = topo
+        self.config = config or NocConfig()
+        self.routing = routing or XYRouting()
+        self.on_eject = on_eject
+        self.cycle = 0
+        self.stats = NetworkStats()
+
+        self.routers = [
+            Router(r, topo, self.routing, self.config) for r in topo.routers()
+        ]
+        #: links keyed by (src_router, src_port)
+        self.links: Dict[Tuple[int, int], Link] = {}
+        for router in topo.routers():
+            for port in range(1, topo.radix):
+                nbr = topo.neighbor(router, port)
+                if nbr is None:
+                    continue
+                self.links[(router, port)] = Link(
+                    router,
+                    port,
+                    nbr,
+                    opposite_port(port),
+                    delay=self.config.link_delay,
+                    credit_delay=self.config.credit_delay,
+                )
+
+        self._sources = [_SourceQueue() for _ in topo.routers()]
+        #: link arriving at (router, input port) — credits travel on it
+        self._reverse_links: Dict[Tuple[int, int], Link] = {
+            (link.dst_router, link.dst_port): link for link in self.links.values()
+        }
+        #: links with traffic or credits in flight (skip the rest per cycle)
+        self._active_links: set = set()
+        #: routers with a non-empty source queue (skip the rest at injection)
+        self._active_sources: set = set()
+        #: future injections as a (cycle, seq, packet) heap
+        self._future: List[Tuple[int, int, Packet]] = []
+        self._future_seq = 0
+        self._delivered: Deque[Packet] = deque()
+        self._last_progress_cycle = 0
+        self._is_torus = isinstance(topo, Torus)
+
+    # ------------------------------------------------------------------
+    # Driving the simulation
+    # ------------------------------------------------------------------
+    def inject(self, packet: Packet, cycle: Optional[int] = None) -> None:
+        """Queue ``packet`` for injection at ``cycle`` (default: now).
+
+        ``cycle`` may not be in the past; the co-simulation injects messages
+        at their creation cycles inside the upcoming quantum.
+        """
+        when = self.cycle if cycle is None else cycle
+        if when < self.cycle:
+            raise SimulationError(
+                f"cannot inject at cycle {when}; network is at {self.cycle}"
+            )
+        packet.inject_cycle = when
+        heapq.heappush(self._future, (when, self._future_seq, packet))
+        self._future_seq += 1
+
+    def step(self) -> None:
+        """Advance the whole network by one cycle."""
+        now = self.cycle
+        self._deliver_link_traffic(now)
+        self._admit_new_packets(now)
+        self._inject_flits(now)
+        progressed = False
+        for router in self.routers:
+            if not router.busy:
+                continue
+            winners = router.step(now)
+            if winners:
+                progressed = True
+            for out_port, flit, out_vc, in_port, in_vc in winners:
+                self._traverse(router.rid, out_port, flit, out_vc, in_port, in_vc, now)
+        if progressed:
+            self._last_progress_cycle = now
+        self._check_watchdog(now)
+        self.cycle += 1
+        self.stats.cycles = self.cycle
+
+    def run(self, cycles: int) -> None:
+        """Step the network ``cycles`` times."""
+        for _ in range(cycles):
+            self.step()
+
+    def drain(self, max_cycles: int = 1_000_000) -> None:
+        """Step until every injected packet has been delivered."""
+        start = self.cycle
+        while self.in_flight > 0 or self._future:
+            if self.cycle - start > max_cycles:
+                raise SimulationError(
+                    f"network failed to drain within {max_cycles} cycles "
+                    f"({self.in_flight} packets still in flight)"
+                )
+            self.step()
+
+    def pop_delivered(self) -> List[Packet]:
+        """Packets delivered since the previous call, in ejection order."""
+        out = list(self._delivered)
+        self._delivered.clear()
+        return out
+
+    @property
+    def in_flight(self) -> int:
+        """Packets injected (or scheduled) but not yet delivered."""
+        return self.stats.in_flight_packets + len(self._future)
+
+    # ------------------------------------------------------------------
+    # Per-cycle phases
+    # ------------------------------------------------------------------
+    def _deliver_link_traffic(self, now: int) -> None:
+        drained = []
+        for link in self._active_links:
+            for flit, vc in link.arrivals(now):
+                if (
+                    flit.is_head
+                    and self._is_torus
+                    and self._is_wrap_link(link.src_router, link.src_port)
+                ):
+                    flit.packet.dateline_class = 1  # type: ignore[attr-defined]
+                self.routers[link.dst_router].accept_flit(link.dst_port, vc, flit, now)
+            for vc in link.credit_arrivals(now):
+                self.routers[link.src_router].accept_credit(link.src_port, vc)
+            if link.idle:
+                drained.append(link)
+        for link in drained:
+            self._active_links.discard(link)
+
+    def _is_wrap_link(self, src: int, port: int) -> bool:
+        sx, sy = self.topo.coords(src)
+        link = self.links[(src, port)]
+        dx, dy = self.topo.coords(link.dst_router)
+        return abs(sx - dx) > 1 or abs(sy - dy) > 1
+
+    def _admit_new_packets(self, now: int) -> None:
+        while self._future and self._future[0][0] <= now:
+            _, _, packet = heapq.heappop(self._future)
+            router = self.topo.node_router(packet.src)
+            self._sources[router].pending.append(packet)
+            self._active_sources.add(router)
+            self.stats.record_injection(packet)
+
+    def _inject_flits(self, now: int) -> None:
+        """Move at most one flit per router from its source queue into the
+        local input port, claiming an idle VC for each new packet."""
+        finished = []
+        for rid in self._active_sources:
+            source = self._sources[rid]
+            router = self.routers[rid]
+            if not source.current_flits:
+                if not source.pending:
+                    finished.append(rid)
+                    continue
+                vc = router.free_input_vc(LOCAL)
+                if vc is None:
+                    continue  # all local VCs busy; head waits in the queue
+                packet = source.pending.popleft()
+                packet.network_entry_cycle = now
+                packet.dateline_class = 0  # type: ignore[attr-defined]
+                source.current_flits = packet.flits()
+                source.current_vc = vc
+            vc = source.current_vc
+            assert vc is not None
+            ivc = router.inputs[LOCAL][vc]
+            if len(ivc.buffer) >= self.config.buffer_depth:
+                continue  # no space this cycle; body flits wait at source
+            flit = source.current_flits.pop(0)
+            router.accept_flit(LOCAL, vc, flit, now)
+            if not source.current_flits:
+                source.current_vc = None
+                if not source.pending:
+                    finished.append(rid)
+        for rid in finished:
+            self._active_sources.discard(rid)
+
+    def _traverse(
+        self,
+        rid: int,
+        out_port: int,
+        flit: Flit,
+        out_vc: int,
+        in_port: int,
+        in_vc: int,
+        now: int,
+    ) -> None:
+        """Switch-traversal aftermath: move the flit, return the credit."""
+        if out_port == LOCAL:
+            self._eject(flit, now)
+        else:
+            link = self.links[(rid, out_port)]
+            if flit.is_head:
+                flit.packet.hops += 1
+            link.send_flit(flit, out_vc, now)
+            self._active_links.add(link)
+        # The input buffer slot the flit occupied is now free; tell upstream.
+        # The LOCAL input port needs no credit message: the source queue
+        # observes buffer occupancy directly.
+        upstream_link = self._reverse_link(rid, in_port)
+        if upstream_link is not None:
+            upstream_link.send_credit(in_vc, now)
+            self._active_links.add(upstream_link)
+
+    def _reverse_link(self, rid: int, in_port: int) -> Optional[Link]:
+        """Link whose traffic arrives at (rid, in_port) — credits flow on it."""
+        return self._reverse_links.get((rid, in_port))
+
+    def _eject(self, flit: Flit, now: int) -> None:
+        if flit.is_tail:
+            packet = flit.packet
+            packet.eject_cycle = now + self.config.ejection_delay
+            self.stats.record_ejection(packet)
+            self._delivered.append(packet)
+            if self.on_eject is not None:
+                self.on_eject(packet, packet.eject_cycle)
+
+    def _check_watchdog(self, now: int) -> None:
+        limit = self.config.watchdog_cycles
+        if not limit:
+            return
+        if self.stats.in_flight_packets > 0 and now - self._last_progress_cycle > limit:
+            raise SimulationError(
+                f"no flit movement for {limit} cycles with "
+                f"{self.stats.in_flight_packets} packets in flight at cycle "
+                f"{now}: likely deadlock (routing={self.routing!r})"
+            )
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def link_utilizations(self) -> Dict[Tuple[int, int], float]:
+        """Utilization per (router, out_port) link over the elapsed run."""
+        return {
+            key: link.utilization(self.cycle) for key, link in self.links.items()
+        }
+
+    def buffered_flits(self) -> int:
+        """Flits currently buffered across all routers."""
+        return sum(router.buffered_flits() for router in self.routers)
+
+    def energy_counters(self) -> "NetworkEventCounts":
+        """Event counts for :func:`repro.noc.energy.estimate_energy`."""
+        from .energy import NetworkEventCounts
+
+        return NetworkEventCounts(
+            buffer_writes=sum(r.buffer_writes for r in self.routers),
+            switch_grants=sum(r.sa_grants for r in self.routers),
+            link_traversals=sum(l.flits_carried for l in self.links.values()),
+            allocations=sum(r.sa_grants + r.va_grants for r in self.routers),
+            ejected_flits=self.stats.ejected_flits,
+            cycles=self.cycle,
+            routers=len(self.routers),
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"CycleNetwork({self.topo!r}, cycle={self.cycle}, "
+            f"in_flight={self.in_flight})"
+        )

@@ -1,0 +1,128 @@
+"""Packets and flits.
+
+A :class:`Packet` is the unit of end-to-end transfer; it is broken into
+:class:`Flit` s (flow-control units) at injection.  The first flit is the
+*head* (it carries routing information through the network), the last is the
+*tail* (it releases virtual channels as it drains).  Single-flit packets are
+both head and tail.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, List, Optional
+
+from ..errors import ConfigError
+
+__all__ = ["MessageClass", "Packet", "Flit"]
+
+
+class MessageClass:
+    """Well-known message classes, used for statistics and VC preference.
+
+    These mirror the coherence-protocol traffic the full-system simulator
+    generates.  Purely synthetic traffic uses :data:`DATA`.
+    """
+
+    REQUEST = 0  #: short control packet: GetS/GetX/upgrade
+    RESPONSE = 1  #: data-carrying response
+    CONTROL = 2  #: invalidations, acks, forwards
+    WRITEBACK = 3  #: dirty-data writeback
+    DATA = 4  #: generic data (synthetic traffic)
+
+    ALL = (REQUEST, RESPONSE, CONTROL, WRITEBACK, DATA)
+    NAMES = {
+        REQUEST: "request",
+        RESPONSE: "response",
+        CONTROL: "control",
+        WRITEBACK: "writeback",
+        DATA: "data",
+    }
+
+
+_packet_ids = itertools.count()
+
+
+@dataclass
+class Packet:
+    """One network packet.
+
+    ``inject_cycle`` is the cycle the packet was *created* (handed to the
+    network), which may precede the cycle its head flit actually enters a
+    router if the injection queue is backed up; the difference is source
+    queueing delay and is included in end-to-end latency, as the paper's
+    latency metric requires.
+    """
+
+    src: int
+    dst: int
+    size_flits: int
+    msg_class: int = MessageClass.DATA
+    inject_cycle: int = 0
+    payload: Any = None
+    pid: int = field(default_factory=lambda: next(_packet_ids))
+
+    # Filled in by the network as the packet progresses.
+    network_entry_cycle: Optional[int] = None
+    eject_cycle: Optional[int] = None
+    hops: int = 0
+
+    def __post_init__(self) -> None:
+        if self.size_flits < 1:
+            raise ConfigError(f"packet needs >= 1 flit, got {self.size_flits}")
+        if self.src == self.dst:
+            raise ConfigError(f"packet src == dst == {self.src}")
+        if self.msg_class not in MessageClass.ALL:
+            raise ConfigError(f"unknown message class {self.msg_class}")
+
+    # ------------------------------------------------------------------
+    def flits(self) -> List["Flit"]:
+        """Materialize this packet's flits, head first."""
+        last = self.size_flits - 1
+        return [
+            Flit(packet=self, seq=i, is_head=(i == 0), is_tail=(i == last))
+            for i in range(self.size_flits)
+        ]
+
+    @property
+    def latency(self) -> int:
+        """End-to-end latency (creation to tail ejection). Valid once ejected."""
+        if self.eject_cycle is None:
+            raise ValueError(f"packet {self.pid} has not been ejected yet")
+        return self.eject_cycle - self.inject_cycle
+
+    @property
+    def network_latency(self) -> int:
+        """Latency excluding source queueing (network entry to ejection)."""
+        if self.eject_cycle is None or self.network_entry_cycle is None:
+            raise ValueError(f"packet {self.pid} has not traversed the network")
+        return self.eject_cycle - self.network_entry_cycle
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"Packet(pid={self.pid}, {self.src}->{self.dst}, "
+            f"{self.size_flits}f, cls={MessageClass.NAMES[self.msg_class]})"
+        )
+
+
+@dataclass
+class Flit:
+    """One flow-control unit of a packet."""
+
+    packet: Packet
+    seq: int
+    is_head: bool
+    is_tail: bool
+
+    #: earliest cycle this flit may leave the input buffer it sits in;
+    #: the router sets this to model its pipeline depth.
+    ready_cycle: int = 0
+
+    @property
+    def dst(self) -> int:
+        return self.packet.dst
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        kind = "H" if self.is_head else ("T" if self.is_tail else "B")
+        return f"Flit(p{self.packet.pid}#{self.seq}{kind})"

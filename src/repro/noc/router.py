@@ -1,0 +1,316 @@
+"""The input-queued virtual-channel wormhole router.
+
+This is the canonical four-stage VC router (Dally & Towles): buffer write and
+route compute, VC allocation, switch allocation, switch traversal.  Pipeline
+depth is modelled by holding each flit in its input buffer for
+``router_delay`` cycles (its ``ready_cycle``) rather than by simulating the
+stages as separate latches — the timing is identical and the code is half the
+size.
+
+One :class:`Router` advances one cycle via :meth:`step`; the
+:class:`~repro.noc.network.CycleNetwork` owns the links between routers and
+delivers flit/credit arrivals before stepping each router.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Dict, List, Optional, Tuple
+
+from ..errors import SimulationError
+from .arbiter import MatrixArbiter, RoundRobinArbiter
+from .config import NocConfig
+from .packet import Flit, Packet
+from .routing import RoutingFunction
+from .topology import LOCAL, Topology, Torus
+from .vcalloc import select_output_vc
+
+__all__ = ["Router", "InputVC"]
+
+# Input-VC states
+_IDLE = 0  # no packet assigned
+_ROUTED = 1  # head flit routed, waiting for an output VC
+_ACTIVE = 2  # output VC held; flits may arbitrate for the switch
+
+
+class InputVC:
+    """One virtual channel of one input port: a flit FIFO plus wormhole state."""
+
+    __slots__ = ("buffer", "state", "route_port", "out_vc", "packet")
+
+    def __init__(self) -> None:
+        self.buffer: Deque[Flit] = deque()
+        self.state = _IDLE
+        self.route_port: Optional[int] = None
+        self.out_vc: Optional[int] = None
+        self.packet: Optional[Packet] = None
+
+    def reset_to_idle(self) -> None:
+        self.state = _IDLE
+        self.route_port = None
+        self.out_vc = None
+        self.packet = None
+
+
+class Router:
+    """One VC wormhole router."""
+
+    def __init__(
+        self,
+        rid: int,
+        topo: Topology,
+        routing: RoutingFunction,
+        config: NocConfig,
+    ) -> None:
+        self.rid = rid
+        self.topo = topo
+        self.routing = routing
+        self.config = config
+        radix = topo.radix
+        nvc = config.num_vcs
+
+        #: input VC state: _in[port][vc]
+        self.inputs: List[List[InputVC]] = [
+            [InputVC() for _ in range(nvc)] for _ in range(radix)
+        ]
+        #: downstream buffer credits per (output port, vc); the LOCAL output
+        #: (ejection) is modelled as an infinite sink, encoded as a large
+        #: credit count that is never decremented.
+        self.credits: List[List[int]] = [
+            [config.buffer_depth] * nvc for _ in range(radix)
+        ]
+        #: which (in_port, in_vc) currently owns each (out_port, vc)
+        self.out_vc_owner: List[List[Optional[Tuple[int, int]]]] = [
+            [None] * nvc for _ in range(radix)
+        ]
+
+        arb_cls = MatrixArbiter if config.va_arbiter == "matrix" else RoundRobinArbiter
+        #: VC-allocation output arbiters, one per (out_port, out_vc), over
+        #: the flattened input-VC index space.
+        self._va_arbiters = [
+            [arb_cls(radix * nvc) for _ in range(nvc)] for _ in range(radix)
+        ]
+        #: switch allocation: input stage (per input port, over VCs) and
+        #: output stage (per output port, over input ports).
+        self._sa_input = [RoundRobinArbiter(nvc) for _ in range(radix)]
+        self._sa_output = [RoundRobinArbiter(radix) for _ in range(radix)]
+
+        self._dateline_active = isinstance(topo, Torus)
+        # Activity tracking: a router with no buffered flits and no VC in a
+        # non-idle state cannot do anything this cycle, so the network skips
+        # it entirely — the dominant cost saving at low and medium load.
+        self._buffered = 0
+        self._nonidle_vcs = 0
+        # Incremental pipeline-stage work lists.  These only *skip provably
+        # inactive VCs*; every arbitration decision is identical to scanning
+        # all VCs (iteration is sorted where shared state could otherwise
+        # make results machine-dependent).
+        self._needs_route: set = set()  # (port, vc) with an unrouted head
+        self._awaiting_vc: set = set()  # (port, vc) in ROUTED state
+        self._active_vcs: List[List[int]] = [[] for _ in range(radix)]
+        # Statistics
+        self.flits_routed = 0
+        self.sa_grants = 0
+        self.sa_conflicts = 0
+        self.va_grants = 0
+        self.buffer_writes = 0
+
+    @property
+    def busy(self) -> bool:
+        """True when stepping this router this cycle could have any effect."""
+        return self._buffered > 0 or self._nonidle_vcs > 0
+
+    # ------------------------------------------------------------------
+    # Arrivals (called by the network before step())
+    # ------------------------------------------------------------------
+    def accept_flit(self, port: int, vc: int, flit: Flit, now: int) -> None:
+        """Buffer-write stage: an arriving flit enters an input VC."""
+        ivc = self.inputs[port][vc]
+        if len(ivc.buffer) >= self.config.buffer_depth:
+            raise SimulationError(
+                f"router {self.rid} port {port} vc {vc} buffer overflow "
+                f"(credit protocol violated)"
+            )
+        flit.ready_cycle = now + self.config.router_delay
+        was_empty = not ivc.buffer
+        ivc.buffer.append(flit)
+        self._buffered += 1
+        self.buffer_writes += 1
+        if was_empty and ivc.state == _IDLE:
+            self._needs_route.add((port, vc))
+
+    def accept_credit(self, port: int, vc: int) -> None:
+        """A downstream buffer slot was freed."""
+        self.credits[port][vc] += 1
+        if self.credits[port][vc] > self.config.buffer_depth and port != LOCAL:
+            raise SimulationError(
+                f"router {self.rid} port {port} vc {vc} credit overflow"
+            )
+
+    # ------------------------------------------------------------------
+    # One cycle
+    # ------------------------------------------------------------------
+    def step(self, now: int) -> List[Tuple[int, Flit, int, int, int]]:
+        """Advance one cycle.
+
+        Returns the switch-traversal winners as
+        ``(out_port, flit, out_vc, in_port, in_vc)`` tuples; the network
+        moves them onto links (or ejects them for ``out_port == LOCAL``) and
+        returns the freed input-buffer credit upstream via ``(in_port,
+        in_vc)``.
+        """
+        self._route_compute()
+        self._vc_allocate()
+        return self._switch_allocate(now)
+
+    # -- stage 1: route compute ----------------------------------------
+    def _route_compute(self) -> None:
+        if not self._needs_route:
+            return
+        for port, vc in sorted(self._needs_route):
+            ivc = self.inputs[port][vc]
+            if ivc.state != _IDLE or not ivc.buffer:
+                continue
+            head = ivc.buffer[0]
+            if not head.is_head:
+                raise SimulationError(
+                    f"router {self.rid}: non-head flit {head!r} at the "
+                    f"front of an idle VC (wormhole invariant broken)"
+                )
+            ivc.packet = head.packet
+            ivc.route_port = self._pick_route(head.packet)
+            ivc.state = _ROUTED
+            self._awaiting_vc.add((port, vc))
+            self._nonidle_vcs += 1
+            self.flits_routed += 1
+        self._needs_route.clear()
+
+    def _pick_route(self, packet: Packet) -> int:
+        candidates = self.routing.candidates(self.topo, self.rid, self._dst_router(packet))
+        if len(candidates) == 1:
+            return candidates[0]
+        # Adaptive: prefer the candidate with the most downstream credits;
+        # deterministic tie-break on candidate order.
+        return max(candidates, key=lambda p: (sum(self.credits[p]), -candidates.index(p)))
+
+    def _dst_router(self, packet: Packet) -> int:
+        return self.topo.node_router(packet.dst)
+
+    # -- stage 2: VC allocation ----------------------------------------
+    def _vc_allocate(self) -> None:
+        if not self._awaiting_vc:
+            return
+        nvc = self.config.num_vcs
+        # selection half: each ROUTED input VC picks one output VC to request
+        requests: Dict[Tuple[int, int], List[int]] = {}
+        for in_port, in_vc in sorted(self._awaiting_vc):
+            ivc = self.inputs[in_port][in_vc]
+            out_port = ivc.route_port
+            assert out_port is not None and ivc.packet is not None
+            free = [self.out_vc_owner[out_port][v] is None for v in range(nvc)]
+            choice = select_output_vc(
+                self.config.vc_select,
+                ivc.packet,
+                free,
+                nvc,
+                dateline_active=self._dateline_active,
+                dateline_class=getattr(ivc.packet, "dateline_class", 0),
+            )
+            if choice is not None:
+                requests.setdefault((out_port, choice), []).append(
+                    in_port * nvc + in_vc
+                )
+        # arbitration half: one winner per contested output VC
+        for (out_port, out_vc), reqs in requests.items():
+            winner = self._va_arbiters[out_port][out_vc].grant(reqs)
+            if winner is None:
+                continue
+            in_port, in_vc = divmod(winner, nvc)
+            ivc = self.inputs[in_port][in_vc]
+            ivc.out_vc = out_vc
+            ivc.state = _ACTIVE
+            self.out_vc_owner[out_port][out_vc] = (in_port, in_vc)
+            self.va_grants += 1
+            self._awaiting_vc.discard((in_port, in_vc))
+            self._active_vcs[in_port].append(in_vc)
+
+    # -- stage 3+4: switch allocation and traversal ---------------------
+    def _switch_allocate(self, now: int) -> List[Tuple[int, Flit, int, int, int]]:
+        radix = self.topo.radix
+        # Input stage: each input port nominates one of its ready VCs
+        # (candidates are exactly the ACTIVE VCs of that port).
+        per_output: Dict[int, List[int]] = {}
+        nominee_vc: Dict[int, int] = {}
+        for in_port in range(radix):
+            candidates = self._active_vcs[in_port]
+            if not candidates:
+                continue
+            inputs = self.inputs[in_port]
+            ready = [vc for vc in candidates if self._sa_ready(inputs[vc], now)]
+            if not ready:
+                continue
+            vc = self._sa_input[in_port].grant(ready)
+            assert vc is not None
+            nominee_vc[in_port] = vc
+            out_port = self.inputs[in_port][vc].route_port
+            assert out_port is not None
+            per_output.setdefault(out_port, []).append(in_port)
+
+        # Output stage: each output port grants one input port.
+        winners: List[Tuple[int, Flit, int, int, int]] = []
+        for out_port, in_ports in per_output.items():
+            if len(in_ports) > 1:
+                self.sa_conflicts += len(in_ports) - 1
+            in_port = self._sa_output[out_port].grant(in_ports)
+            assert in_port is not None
+            in_vc = nominee_vc[in_port]
+            ivc = self.inputs[in_port][in_vc]
+            flit = ivc.buffer.popleft()
+            self._buffered -= 1
+            out_vc = ivc.out_vc
+            assert out_vc is not None
+            self.sa_grants += 1
+            if out_port != LOCAL:
+                self.credits[out_port][out_vc] -= 1
+                if self.credits[out_port][out_vc] < 0:
+                    raise SimulationError(
+                        f"router {self.rid} port {out_port} vc {out_vc}: "
+                        f"sent a flit without a credit"
+                    )
+            if flit.is_tail:
+                self.out_vc_owner[out_port][out_vc] = None
+                ivc.reset_to_idle()
+                self._nonidle_vcs -= 1
+                self._active_vcs[in_port].remove(in_vc)
+                if ivc.buffer:
+                    # The next packet's head is already waiting behind the
+                    # departed tail; route it next cycle.
+                    self._needs_route.add((in_port, in_vc))
+            winners.append((out_port, flit, out_vc, in_port, in_vc))
+        return winners
+
+    def _sa_ready(self, ivc: InputVC, now: int) -> bool:
+        if ivc.state != _ACTIVE or not ivc.buffer:
+            return False
+        if ivc.buffer[0].ready_cycle > now:
+            return False
+        assert ivc.route_port is not None and ivc.out_vc is not None
+        if ivc.route_port == LOCAL:
+            return True  # ejection is always creditworthy (infinite sink)
+        return self.credits[ivc.route_port][ivc.out_vc] > 0
+
+    # ------------------------------------------------------------------
+    # Introspection helpers (used by stats, adaptive routing, tests)
+    # ------------------------------------------------------------------
+    def buffered_flits(self) -> int:
+        return sum(len(ivc.buffer) for port in self.inputs for ivc in port)
+
+    def free_input_vc(self, port: int) -> Optional[int]:
+        """Lowest idle, empty VC on ``port`` (used for injection)."""
+        for vc, ivc in enumerate(self.inputs[port]):
+            if ivc.state == _IDLE and not ivc.buffer:
+                return vc
+        return None
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Router({self.rid}, buffered={self.buffered_flits()})"

@@ -1,0 +1,179 @@
+"""Routing functions.
+
+A routing function maps ``(topology, current_router, destination_router)`` to
+an output port.  All functions here are deterministic and minimal except for
+``OddEvenRouting`` which is partially adaptive (it returns the set of legal
+ports and lets the router pick based on local congestion).
+
+Dimension-ordered routing (XY/YX) is deadlock-free on meshes without extra
+virtual channels, which the co-simulation relies on: the full-system side
+always sinks delivered messages, so with DOR there is no protocol-level or
+routing-level deadlock even at one VC.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from ..errors import RoutingError
+from .topology import EAST, LOCAL, NORTH, SOUTH, WEST, Topology, Torus
+
+__all__ = [
+    "RoutingFunction",
+    "XYRouting",
+    "YXRouting",
+    "WestFirstRouting",
+    "OddEvenRouting",
+    "make_routing",
+]
+
+
+class RoutingFunction:
+    """Interface: compute candidate output ports for a packet at a router."""
+
+    #: True when :meth:`candidates` may return more than one port.
+    adaptive = False
+
+    def candidates(self, topo: Topology, router: int, dst_router: int) -> List[int]:
+        """Legal output ports, in preference order. ``[LOCAL]`` on arrival."""
+        raise NotImplementedError
+
+    def first(self, topo: Topology, router: int, dst_router: int) -> int:
+        """The single preferred output port (what deterministic routers use)."""
+        return self.candidates(topo, router, dst_router)[0]
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return type(self).__name__
+
+
+def _offsets(topo: Topology, router: int, dst_router: int) -> tuple[int, int]:
+    """Signed (dx, dy) to travel, taking the short way around on a torus."""
+    x, y = topo.coords(router)
+    dx_, dy_ = topo.coords(dst_router)
+    dx = dx_ - x
+    dy = dy_ - y
+    if isinstance(topo, Torus):
+        if abs(dx) > topo.width // 2:
+            dx -= topo.width if dx > 0 else -topo.width
+        if abs(dy) > topo.height // 2:
+            dy -= topo.height if dy > 0 else -topo.height
+    return dx, dy
+
+
+class XYRouting(RoutingFunction):
+    """Dimension-ordered: correct X fully, then Y. Deadlock-free on meshes."""
+
+    def candidates(self, topo: Topology, router: int, dst_router: int) -> List[int]:
+        dx, dy = _offsets(topo, router, dst_router)
+        if dx > 0:
+            return [EAST]
+        if dx < 0:
+            return [WEST]
+        if dy > 0:
+            return [NORTH]
+        if dy < 0:
+            return [SOUTH]
+        return [LOCAL]
+
+
+class YXRouting(RoutingFunction):
+    """Dimension-ordered: correct Y fully, then X."""
+
+    def candidates(self, topo: Topology, router: int, dst_router: int) -> List[int]:
+        dx, dy = _offsets(topo, router, dst_router)
+        if dy > 0:
+            return [NORTH]
+        if dy < 0:
+            return [SOUTH]
+        if dx > 0:
+            return [EAST]
+        if dx < 0:
+            return [WEST]
+        return [LOCAL]
+
+
+class WestFirstRouting(RoutingFunction):
+    """Turn-model routing: any westward travel happens first.
+
+    When the destination is east (or due north/south), the packet may choose
+    adaptively between the remaining productive directions; when it is west,
+    routing degenerates to deterministic west-then-Y.  Deadlock-free on
+    meshes by the turn model (the two prohibited turns are *-to-west).
+    """
+
+    adaptive = True
+
+    def candidates(self, topo: Topology, router: int, dst_router: int) -> List[int]:
+        dx, dy = _offsets(topo, router, dst_router)
+        if dx == 0 and dy == 0:
+            return [LOCAL]
+        if dx < 0:
+            # Must finish all westward hops before turning.
+            return [WEST]
+        ports: List[int] = []
+        if dx > 0:
+            ports.append(EAST)
+        if dy > 0:
+            ports.append(NORTH)
+        elif dy < 0:
+            ports.append(SOUTH)
+        return ports
+
+
+class OddEvenRouting(RoutingFunction):
+    """Odd-even turn model: adaptivity limited by column parity.
+
+    East-to-north/south turns are forbidden in even columns; north/south-to-
+    west turns are forbidden in odd columns.  Minimal and deadlock-free on
+    meshes (Chiu, 2000).
+    """
+
+    adaptive = True
+
+    def candidates(self, topo: Topology, router: int, dst_router: int) -> List[int]:
+        dx, dy = _offsets(topo, router, dst_router)
+        if dx == 0 and dy == 0:
+            return [LOCAL]
+        x, _ = topo.coords(router)
+        dst_x, _ = topo.coords(dst_router)
+        even = x % 2 == 0
+        ports: List[int] = []
+        if dx > 0:
+            # Turning off the east direction is forbidden in even columns,
+            # so in even columns prefer finishing Y early (N/S first).
+            if dy != 0 and even:
+                ports.append(NORTH if dy > 0 else SOUTH)
+            ports.append(EAST)
+            if dy != 0 and not even and x != dst_x - 0:
+                ports.append(NORTH if dy > 0 else SOUTH)
+        elif dx < 0:
+            # N/S-to-west turns forbidden in odd columns: only go west there.
+            ports.append(WEST)
+            if dy != 0 and even:
+                ports.append(NORTH if dy > 0 else SOUTH)
+        else:
+            ports.append(NORTH if dy > 0 else SOUTH)
+        if not ports:
+            raise RoutingError(
+                f"odd-even produced no ports at {router} -> {dst_router}"
+            )
+        return ports
+
+
+_REGISTRY = {
+    "xy": XYRouting,
+    "yx": YXRouting,
+    "west-first": WestFirstRouting,
+    "odd-even": OddEvenRouting,
+}
+
+
+def make_routing(name: str) -> RoutingFunction:
+    """Construct a routing function by name (``xy``, ``yx``, ``west-first``,
+    ``odd-even``)."""
+    try:
+        return _REGISTRY[name]()
+    except KeyError:
+        raise RoutingError(
+            f"unknown routing {name!r}; known: {sorted(_REGISTRY)}"
+        ) from None

@@ -1,0 +1,214 @@
+"""Network-on-chip topologies.
+
+A topology describes routers, the directed channels between them, and the
+mapping of *nodes* (terminals: cores, cache banks, memory controllers) onto
+routers.  Routers expose numbered ports; port 0 is always the local
+injection/ejection port and ports 1..radix-1 are direction ports.
+
+All topologies here are two-dimensional grids because that is what the paper
+targets (mesh NoCs for 64-512 core CMPs), but the :class:`Topology` interface
+is what the simulators program against, so other shapes can be added without
+touching router or network code.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Optional, Tuple
+
+import networkx as nx
+
+from ..errors import ConfigError, TopologyError
+
+__all__ = [
+    "LOCAL",
+    "EAST",
+    "WEST",
+    "NORTH",
+    "SOUTH",
+    "PORT_NAMES",
+    "opposite_port",
+    "Topology",
+    "Mesh",
+    "Torus",
+    "ConcentratedMesh",
+]
+
+#: Port indices shared by all 2-D grid topologies.
+LOCAL, EAST, WEST, NORTH, SOUTH = 0, 1, 2, 3, 4
+
+PORT_NAMES = {LOCAL: "local", EAST: "east", WEST: "west", NORTH: "north", SOUTH: "south"}
+
+_OPPOSITE = {EAST: WEST, WEST: EAST, NORTH: SOUTH, SOUTH: NORTH}
+
+
+def opposite_port(port: int) -> int:
+    """Return the port a channel arrives on at the neighbour router."""
+    try:
+        return _OPPOSITE[port]
+    except KeyError:
+        raise TopologyError(f"port {port} has no opposite (is it LOCAL?)") from None
+
+
+class Topology:
+    """Base class for 2-D grid topologies.
+
+    Subclasses define wrap-around behaviour via :meth:`neighbor`.  The base
+    class provides coordinate arithmetic, node↔router mapping (identity by
+    default, overridden by :class:`ConcentratedMesh`), and export to a
+    :mod:`networkx` graph for analysis and tests.
+    """
+
+    #: number of ports per router, including the local port
+    radix = 5
+
+    def __init__(self, width: int, height: int, concentration: int = 1) -> None:
+        if width < 1 or height < 1:
+            raise ConfigError(f"topology dimensions must be >= 1, got {width}x{height}")
+        if concentration < 1:
+            raise ConfigError(f"concentration must be >= 1, got {concentration}")
+        self.width = width
+        self.height = height
+        self.concentration = concentration
+
+    # ------------------------------------------------------------------
+    # Router geometry
+    # ------------------------------------------------------------------
+    @property
+    def num_routers(self) -> int:
+        return self.width * self.height
+
+    @property
+    def num_nodes(self) -> int:
+        return self.num_routers * self.concentration
+
+    def coords(self, router: int) -> Tuple[int, int]:
+        """(x, y) coordinates of ``router``; x grows east, y grows north."""
+        self._check_router(router)
+        return router % self.width, router // self.width
+
+    def router_at(self, x: int, y: int) -> int:
+        if not (0 <= x < self.width and 0 <= y < self.height):
+            raise TopologyError(f"({x}, {y}) outside {self.width}x{self.height} grid")
+        return y * self.width + x
+
+    def routers(self) -> Iterator[int]:
+        return iter(range(self.num_routers))
+
+    # ------------------------------------------------------------------
+    # Node <-> router mapping
+    # ------------------------------------------------------------------
+    def node_router(self, node: int) -> int:
+        """The router a terminal node attaches to."""
+        if not 0 <= node < self.num_nodes:
+            raise TopologyError(f"node {node} outside [0, {self.num_nodes})")
+        return node // self.concentration
+
+    def router_nodes(self, router: int) -> range:
+        """All nodes attached to ``router``."""
+        self._check_router(router)
+        c = self.concentration
+        return range(router * c, (router + 1) * c)
+
+    # ------------------------------------------------------------------
+    # Connectivity
+    # ------------------------------------------------------------------
+    def neighbor(self, router: int, port: int) -> Optional[int]:
+        """Router on the far end of ``port``, or ``None`` for edge/local ports."""
+        raise NotImplementedError
+
+    def hop_distance(self, src_router: int, dst_router: int) -> int:
+        """Minimal hop count between two routers."""
+        raise NotImplementedError
+
+    def node_distance(self, src_node: int, dst_node: int) -> int:
+        """Minimal router-hop count between the routers of two nodes."""
+        return self.hop_distance(self.node_router(src_node), self.node_router(dst_node))
+
+    def to_networkx(self) -> nx.DiGraph:
+        """Directed router graph; edges carry the outgoing port index."""
+        graph = nx.DiGraph()
+        graph.add_nodes_from(self.routers())
+        for router in self.routers():
+            for port in range(1, self.radix):
+                nbr = self.neighbor(router, port)
+                if nbr is not None:
+                    graph.add_edge(router, nbr, port=port)
+        return graph
+
+    # ------------------------------------------------------------------
+    def _check_router(self, router: int) -> None:
+        if not 0 <= router < self.num_routers:
+            raise TopologyError(f"router {router} outside [0, {self.num_routers})")
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"{type(self).__name__}({self.width}x{self.height}, "
+            f"concentration={self.concentration})"
+        )
+
+
+class Mesh(Topology):
+    """2-D mesh: no wrap-around channels; corner routers have degree 2."""
+
+    def neighbor(self, router: int, port: int) -> Optional[int]:
+        self._check_router(router)
+        x, y = self.coords(router)
+        if port == LOCAL:
+            return None
+        if port == EAST:
+            return self.router_at(x + 1, y) if x + 1 < self.width else None
+        if port == WEST:
+            return self.router_at(x - 1, y) if x - 1 >= 0 else None
+        if port == NORTH:
+            return self.router_at(x, y + 1) if y + 1 < self.height else None
+        if port == SOUTH:
+            return self.router_at(x, y - 1) if y - 1 >= 0 else None
+        raise TopologyError(f"mesh has no port {port}")
+
+    def hop_distance(self, src_router: int, dst_router: int) -> int:
+        sx, sy = self.coords(src_router)
+        dx, dy = self.coords(dst_router)
+        return abs(sx - dx) + abs(sy - dy)
+
+
+class Torus(Topology):
+    """2-D torus: every dimension wraps, so all routers have full degree."""
+
+    def neighbor(self, router: int, port: int) -> Optional[int]:
+        self._check_router(router)
+        x, y = self.coords(router)
+        if port == LOCAL:
+            return None
+        if port == EAST:
+            return self.router_at((x + 1) % self.width, y)
+        if port == WEST:
+            return self.router_at((x - 1) % self.width, y)
+        if port == NORTH:
+            return self.router_at(x, (y + 1) % self.height)
+        if port == SOUTH:
+            return self.router_at(x, (y - 1) % self.height)
+        raise TopologyError(f"torus has no port {port}")
+
+    def hop_distance(self, src_router: int, dst_router: int) -> int:
+        sx, sy = self.coords(src_router)
+        dx, dy = self.coords(dst_router)
+        ddx = abs(sx - dx)
+        ddy = abs(sy - dy)
+        return min(ddx, self.width - ddx) + min(ddy, self.height - ddy)
+
+
+class ConcentratedMesh(Mesh):
+    """Mesh with ``concentration`` terminals multiplexed onto each router.
+
+    Concentration shrinks the router grid for a given core count — the usual
+    way large-core-count targets (256, 512) keep network diameter manageable.
+    The local port is shared: all attached nodes inject and eject through it,
+    which the network models as extra serialization at port 0.
+    """
+
+    def __init__(self, width: int, height: int, concentration: int = 4) -> None:
+        if concentration < 2:
+            raise ConfigError(
+                "ConcentratedMesh needs concentration >= 2; use Mesh for 1"
+            )
+        super().__init__(width, height, concentration)

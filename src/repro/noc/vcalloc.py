@@ -1,0 +1,68 @@
+"""Virtual-channel allocation policies.
+
+VC allocation is separable: first each waiting input VC *selects* one
+candidate output VC on its route port (policy below), then a per-output-VC
+arbiter resolves conflicts among input VCs that selected the same output VC.
+This module implements the selection half; the arbitration half lives in the
+router and uses :mod:`repro.noc.arbiter`.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+from ..errors import ConfigError
+from .packet import Packet
+
+__all__ = ["select_output_vc"]
+
+
+def select_output_vc(
+    policy: str,
+    packet: Packet,
+    free_vcs: Sequence[bool],
+    num_vcs: int,
+    dateline_active: bool = False,
+    dateline_class: int = 0,
+) -> Optional[int]:
+    """Pick the output VC a packet will request, or ``None`` if none is legal.
+
+    Args:
+        policy: ``"any_free"`` or ``"class_partition"``.
+        packet: the packet whose head flit is waiting in VA.
+        free_vcs: ``free_vcs[v]`` is True when output VC ``v`` is unclaimed.
+        num_vcs: total VCs per port.
+        dateline_active: True on tori, where wrap-around wormhole
+            dependencies could close a cycle; the VC space is then split in
+            two halves by dateline class.
+        dateline_class: 0 before the packet crosses the dateline in any
+            dimension, 1 after; class 0 packets use the lower half of the VC
+            space and class 1 packets the upper half.
+
+    The lowest legal free VC is chosen, which keeps allocation deterministic.
+    """
+    if policy == "any_free":
+        candidates: List[int] = list(range(num_vcs))
+    elif policy == "class_partition":
+        # Each message class hashes to one VC slot; classes sharing a slot
+        # (when num_vcs < number of classes) weaken but do not break the
+        # discipline because the full-system side always sinks deliveries.
+        candidates = [packet.msg_class % num_vcs]
+    else:
+        raise ConfigError(f"unknown vc_select policy {policy!r}")
+
+    if dateline_active:
+        half = max(1, num_vcs // 2)
+        if dateline_class:
+            allowed = range(half, num_vcs)
+        else:
+            allowed = range(0, half)
+        restricted = [v for v in candidates if v in allowed]
+        # class_partition may map a class outside its dateline half; fall
+        # back to the whole half rather than deadlock.
+        candidates = restricted or list(allowed)
+
+    for vc in candidates:
+        if free_vcs[vc]:
+            return vc
+    return None

@@ -1,0 +1,198 @@
+"""Per-cycle, whole-array update kernels for the SIMD network.
+
+Each function is the direct analogue of one GPU kernel launch in the paper's
+CPU+GPU co-simulation: it reads and writes the structure-of-arrays state for
+*all* routers at once, with no per-router Python control flow.  Conflict
+resolution (VC and switch allocation) uses scatter-min reductions
+(``np.minimum.at``) over unique priority scores — the standard way a
+data-parallel simulator replaces a sequential arbiter loop.
+
+Arbitration fidelity note: round-robin pointers are honoured exactly, but
+grant *timing* can differ from the OO router by a cycle in rare interleavings
+because all routers update in lock-step from the same snapshot.  Tests bound
+the resulting statistical deviation (see ``tests/test_simd_vs_oo.py``).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Tuple
+
+import numpy as np
+
+from ..noc.topology import EAST, LOCAL, NORTH, SOUTH, WEST
+from .layout import SimdState
+
+__all__ = [
+    "FLAG_HEAD",
+    "FLAG_TAIL",
+    "route_compute",
+    "vc_allocate",
+    "switch_traverse",
+]
+
+FLAG_HEAD = 1
+FLAG_TAIL = 2
+
+_BIG = np.iinfo(np.int64).max
+
+
+def route_compute(st: SimdState) -> None:
+    """Kernel 1: XY route for every VC whose front flit is an unrouted head."""
+    need = (st.count > 0) & (st.route_port < 0)
+    if not need.any():
+        return
+    r, p, v = np.nonzero(need)
+    slot = st.head[r, p, v]
+    pkt = st.buf_pkt[r, p, v, slot]
+    dst = st.pkt_dst_router[pkt]
+    dx = st.x[dst] - st.x[r]
+    dy = st.y[dst] - st.y[r]
+    port = np.where(
+        dx > 0,
+        EAST,
+        np.where(dx < 0, WEST, np.where(dy > 0, NORTH, np.where(dy < 0, SOUTH, LOCAL))),
+    )
+    st.route_port[r, p, v] = port.astype(np.int8)
+
+
+def vc_allocate(st: SimdState) -> int:
+    """Kernel 2: separable VC allocation.
+
+    Stage 1 (selection): each routed-but-inactive input VC picks the first
+    free output VC on its route port.  Stage 2 (arbitration): conflicting
+    selections are resolved per output VC by round-robin priority via a
+    scatter-min over unique scores.  Returns the number of grants.
+    """
+    req = (st.route_port >= 0) & ~st.active & (st.count > 0)
+    if not req.any():
+        return 0
+    r, p, v = np.nonzero(req)
+    op = st.route_port[r, p, v].astype(np.int64)
+
+    free = st.ovc_owner[r, op, :] == -1  # [n, V]
+    has_free = free.any(axis=1)
+    if not has_free.any():
+        return 0
+    r, p, v, op = r[has_free], p[has_free], v[has_free], op[has_free]
+    ov = np.argmax(free[has_free], axis=1).astype(np.int64)
+
+    PV = st.P * st.V
+    in_code = p * st.V + v
+    rank = (in_code - st.va_ptr[r, op, ov]) % PV
+    score = rank * PV + in_code  # unique per (router, op, ov)
+    target = (r * st.P + op) * st.V + ov
+    best = np.full(st.R * st.P * st.V, _BIG, dtype=np.int64)
+    np.minimum.at(best, target, score)
+    won = score == best[target]
+
+    rw, pw, vw = r[won], p[won], v[won]
+    opw, ovw = op[won], ov[won]
+    st.out_vc[rw, pw, vw] = ovw.astype(np.int8)
+    st.active[rw, pw, vw] = True
+    st.ovc_owner[rw, opw, ovw] = (pw * st.V + vw).astype(np.int16)
+    st.va_ptr[rw, opw, ovw] = ((pw * st.V + vw + 1) % PV).astype(np.int32)
+    return int(len(rw))
+
+
+def switch_traverse(
+    st: SimdState,
+    now: int,
+    eject: Callable[[np.ndarray, np.ndarray, np.ndarray, np.ndarray], None],
+    hop_counter: np.ndarray,
+) -> Tuple[int, int, np.ndarray, np.ndarray, np.ndarray]:
+    """Kernels 3+4: switch allocation (input then output stage) and
+    traversal of the winning flits.
+
+    ``eject`` receives the ejected flits' packet indices, sequence numbers,
+    flags, and source routers.  ``hop_counter`` is the per-packet hop array
+    incremented for head flits moving between routers.
+
+    Returns ``(grants, link_moves, credit_routers, credit_ports,
+    credit_vcs)``: ``grants`` counts all switch winners (incl. ejections),
+    ``link_moves`` only inter-router traversals; the credit arrays are the
+    upstream buffer credits to apply after ``credit_delay`` (the caller owns
+    the delay queue).
+    """
+    empty = np.empty(0, dtype=np.int64)
+    front_ready = np.take_along_axis(
+        st.buf_ready, st.head[..., None].astype(np.int64), axis=3
+    )[..., 0]
+    cand = st.active & (st.count > 0) & (front_ready <= now)
+    if not cand.any():
+        return 0, 0, empty, empty, empty
+    r, p, v = np.nonzero(cand)
+    op = st.route_port[r, p, v].astype(np.int64)
+    ov = st.out_vc[r, p, v].astype(np.int64)
+    has_credit = st.credits[r, op, ov] > 0
+    if not has_credit.any():
+        return 0, 0, empty, empty, empty
+    r, p, v, op, ov = (a[has_credit] for a in (r, p, v, op, ov))
+
+    # Input stage: one VC per input port (round-robin over VCs).
+    key_in = r * st.P + p
+    score_in = ((v - st.sa_in_ptr[r, p]) % st.V) * st.V + v
+    best_in = np.full(st.R * st.P, _BIG, dtype=np.int64)
+    np.minimum.at(best_in, key_in, score_in)
+    nominated = score_in == best_in[key_in]
+    r, p, v, op, ov = (a[nominated] for a in (r, p, v, op, ov))
+
+    # Output stage: one input port per output port (round-robin over ports).
+    key_out = r * st.P + op
+    score_out = ((p - st.sa_out_ptr[r, op]) % st.P) * st.P + p
+    best_out = np.full(st.R * st.P, _BIG, dtype=np.int64)
+    np.minimum.at(best_out, key_out, score_out)
+    won = score_out == best_out[key_out]
+    r, p, v, op, ov = (a[won] for a in (r, p, v, op, ov))
+
+    st.sa_in_ptr[r, p] = ((v + 1) % st.V).astype(np.int32)
+    st.sa_out_ptr[r, op] = ((p + 1) % st.P).astype(np.int32)
+
+    # Pop the front flits.
+    slot = st.head[r, p, v].astype(np.int64)
+    pkt = st.buf_pkt[r, p, v, slot]
+    seq = st.buf_seq[r, p, v, slot]
+    flags = st.buf_flags[r, p, v, slot]
+    st.buf_pkt[r, p, v, slot] = -1
+    st.head[r, p, v] = ((slot + 1) % st.B).astype(np.int32)
+    st.count[r, p, v] -= 1
+
+    # Tails release the input VC and the held output VC.
+    is_tail = (flags & FLAG_TAIL) != 0
+    rt, pt, vt = r[is_tail], p[is_tail], v[is_tail]
+    st.active[rt, pt, vt] = False
+    st.route_port[rt, pt, vt] = -1
+    st.out_vc[rt, pt, vt] = -1
+    st.ovc_owner[rt, op[is_tail], ov[is_tail]] = -1
+
+    # Ejections leave the network here.
+    local = op == LOCAL
+    if local.any():
+        eject(pkt[local], seq[local], flags[local], r[local])
+
+    # Inter-router moves land in the neighbour's input buffer.
+    mv = ~local
+    link_moves = int(mv.sum())
+    if mv.any():
+        rm, opm, ovm = r[mv], op[mv], ov[mv]
+        st.credits[rm, opm, ovm] -= 1
+        nr = st.nbr_router[rm, opm].astype(np.int64)
+        npt = st.nbr_port[rm, opm].astype(np.int64)
+        dst_slot = ((st.head[nr, npt, ovm] + st.count[nr, npt, ovm]) % st.B).astype(
+            np.int64
+        )
+        st.buf_pkt[nr, npt, ovm, dst_slot] = pkt[mv]
+        st.buf_seq[nr, npt, ovm, dst_slot] = seq[mv]
+        st.buf_flags[nr, npt, ovm, dst_slot] = flags[mv]
+        st.buf_ready[nr, npt, ovm, dst_slot] = (
+            now + st.config.link_delay + st.config.router_delay
+        )
+        st.count[nr, npt, ovm] += 1
+        head_mv = (flags[mv] & FLAG_HEAD) != 0
+        np.add.at(hop_counter, pkt[mv][head_mv], 1)
+
+    # Credits for the freed input slots flow to the upstream router; the
+    # local port needs none (the injection queue reads occupancy directly).
+    up = p != LOCAL
+    ur = st.nbr_router[r[up], p[up]].astype(np.int64)
+    uport = st.nbr_port[r[up], p[up]].astype(np.int64)
+    return int(len(r)), link_moves, ur, uport, v[up]

@@ -1,0 +1,162 @@
+"""Structure-of-arrays state for the GPU-style network simulator.
+
+A GPU NoC simulator stores router state as flat arrays and updates all
+routers in lock-step, one kernel per pipeline stage per cycle.  This module
+defines exactly that layout using NumPy arrays (our stand-in for device
+memory — see the substitution table in DESIGN.md) plus the precomputed
+neighbour/geometry tables kernels index with.
+
+Array shape conventions: ``R`` routers × ``P`` ports × ``V`` virtual
+channels × ``B`` buffer slots.  Port 0 is the local port, as in
+:mod:`repro.noc.topology`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List
+
+import numpy as np
+
+from ..errors import ConfigError
+from ..noc.config import NocConfig
+from ..noc.topology import EAST, LOCAL, NORTH, SOUTH, WEST, Mesh, Topology
+
+__all__ = ["SimdState", "build_state"]
+
+#: effectively-infinite credits for the local (ejection) port
+LOCAL_CREDITS = 1 << 20
+
+
+@dataclass
+class SimdState:
+    """All mutable simulator state, as flat arrays."""
+
+    topo: Topology
+    config: NocConfig
+    R: int
+    P: int
+    V: int
+    B: int
+
+    # --- geometry (read-only after build) -----------------------------
+    x: np.ndarray  # [R] router x coordinate
+    y: np.ndarray  # [R] router y coordinate
+    nbr_router: np.ndarray  # [R,P] neighbour router id (-1: edge/local)
+    nbr_port: np.ndarray  # [R,P] arrival port at the neighbour
+
+    # --- flit buffers (ring buffers per input VC) ----------------------
+    buf_pkt: np.ndarray  # [R,P,V,B] packet-table index, -1 empty
+    buf_seq: np.ndarray  # [R,P,V,B] flit sequence within packet
+    buf_flags: np.ndarray  # [R,P,V,B] bit0 head, bit1 tail
+    buf_ready: np.ndarray  # [R,P,V,B] earliest cycle the flit may move
+    head: np.ndarray  # [R,P,V] ring-buffer head index
+    count: np.ndarray  # [R,P,V] occupancy
+
+    # --- per-input-VC wormhole state -----------------------------------
+    route_port: np.ndarray  # [R,P,V] chosen output port, -1 unrouted
+    out_vc: np.ndarray  # [R,P,V] allocated output VC, -1 none
+    active: np.ndarray  # [R,P,V] bool: holds an output VC
+
+    # --- output side ----------------------------------------------------
+    ovc_owner: np.ndarray  # [R,P,V] flattened (in_port*V+in_vc) owner, -1 free
+    credits: np.ndarray  # [R,P,V] downstream credits per (out port, vc)
+
+    # --- arbitration pointers -------------------------------------------
+    sa_in_ptr: np.ndarray  # [R,P] round-robin over V (switch input stage)
+    sa_out_ptr: np.ndarray  # [R,P] round-robin over P (switch output stage)
+    va_ptr: np.ndarray  # [R,P,V] round-robin over P*V (VC allocation)
+
+    # --- packet table (grows; python list for objects) ------------------
+    pkt_dst_router: np.ndarray = field(default=None)  # [N]
+    pkt_objects: List = field(default_factory=list)
+
+    def grow_packet_table(self, needed: int) -> None:
+        """Ensure the packet-table arrays can index ``needed`` entries."""
+        current = len(self.pkt_dst_router)
+        if needed <= current:
+            return
+        new_size = max(needed, current * 2, 1024)
+        grown = np.full(new_size, -1, dtype=np.int32)
+        grown[:current] = self.pkt_dst_router
+        self.pkt_dst_router = grown
+
+    def register_packet(self, packet) -> int:
+        """Add a packet to the table; returns its index."""
+        idx = len(self.pkt_objects)
+        self.pkt_objects.append(packet)
+        self.grow_packet_table(idx + 1)
+        self.pkt_dst_router[idx] = self.topo.node_router(packet.dst)
+        return idx
+
+    # ------------------------------------------------------------------
+    def buffered_flits(self) -> int:
+        return int(self.count.sum())
+
+    def front_slots(self) -> np.ndarray:
+        """[R,P,V] ring index of each VC's front flit (garbage when empty)."""
+        return self.head
+
+    def flat_input_index(self) -> np.ndarray:
+        """[R,P,V] the flattened (port*V + vc) code used by ovc_owner."""
+        p = np.arange(self.P).reshape(1, self.P, 1)
+        v = np.arange(self.V).reshape(1, 1, self.V)
+        return np.broadcast_to(p * self.V + v, (self.R, self.P, self.V))
+
+
+def build_state(topo: Topology, config: NocConfig) -> SimdState:
+    """Allocate and initialize all arrays for ``topo`` under ``config``."""
+    if not isinstance(topo, Mesh):
+        raise ConfigError(
+            "the SIMD network supports mesh topologies (incl. concentrated); "
+            f"got {type(topo).__name__}"
+        )
+    R, P, V, B = topo.num_routers, topo.radix, config.num_vcs, config.buffer_depth
+
+    rid = np.arange(R, dtype=np.int32)
+    x = (rid % topo.width).astype(np.int32)
+    y = (rid // topo.width).astype(np.int32)
+
+    nbr_router = np.full((R, P), -1, dtype=np.int32)
+    nbr_port = np.full((R, P), -1, dtype=np.int32)
+    for r in range(R):
+        for port in (EAST, WEST, NORTH, SOUTH):
+            nbr = topo.neighbor(r, port)
+            if nbr is not None:
+                nbr_router[r, port] = nbr
+                nbr_port[r, port] = {EAST: WEST, WEST: EAST, NORTH: SOUTH, SOUTH: NORTH}[port]
+
+    credits = np.full((R, P, V), B, dtype=np.int64)
+    credits[:, LOCAL, :] = LOCAL_CREDITS
+    # Edge ports have no neighbour; routing never selects them, but zero
+    # credits make any bug fail loudly instead of teleporting flits.
+    for port in (EAST, WEST, NORTH, SOUTH):
+        credits[nbr_router[:, port] < 0, port, :] = 0
+
+    return SimdState(
+        topo=topo,
+        config=config,
+        R=R,
+        P=P,
+        V=V,
+        B=B,
+        x=x,
+        y=y,
+        nbr_router=nbr_router,
+        nbr_port=nbr_port,
+        buf_pkt=np.full((R, P, V, B), -1, dtype=np.int32),
+        buf_seq=np.zeros((R, P, V, B), dtype=np.int32),
+        buf_flags=np.zeros((R, P, V, B), dtype=np.int8),
+        buf_ready=np.zeros((R, P, V, B), dtype=np.int64),
+        head=np.zeros((R, P, V), dtype=np.int32),
+        count=np.zeros((R, P, V), dtype=np.int32),
+        route_port=np.full((R, P, V), -1, dtype=np.int8),
+        out_vc=np.full((R, P, V), -1, dtype=np.int8),
+        active=np.zeros((R, P, V), dtype=bool),
+        ovc_owner=np.full((R, P, V), -1, dtype=np.int16),
+        credits=credits,
+        sa_in_ptr=np.zeros((R, P), dtype=np.int32),
+        sa_out_ptr=np.zeros((R, P), dtype=np.int32),
+        va_ptr=np.zeros((R, P, V), dtype=np.int32),
+        pkt_dst_router=np.full(1024, -1, dtype=np.int32),
+    )

@@ -1,0 +1,266 @@
+"""The GPU-style (SIMD) cycle-level network simulator.
+
+:class:`SimdNetwork` exposes exactly the same driving surface as the
+object-oriented :class:`~repro.noc.network.CycleNetwork` — ``inject`` /
+``step`` / ``run`` / ``drain`` / ``pop_delivered`` / ``stats`` — but advances
+all routers in lock-step with whole-array kernels
+(:mod:`repro.noc_gpu.kernels`).  The per-cycle cost is a near-constant
+number of array operations, so host time per simulated cycle barely grows
+with router count: the cost profile of the paper's GPU coprocessor, and the
+source of the CPU+GPU speedups experiment E6 reproduces.
+
+Functional scope (documented simplifications vs. the OO simulator):
+mesh topologies, deterministic XY routing, ``any_free`` VC selection, and
+round-robin arbiters.  Timing parameters (router/link/credit/ejection
+delays, VC count, buffer depth) are honoured exactly; aggregate behaviour is
+validated against the OO simulator in ``tests/test_simd_vs_oo.py``.
+"""
+
+from __future__ import annotations
+
+import heapq
+from collections import deque
+from typing import Callable, Deque, List, Optional, Tuple
+
+import numpy as np
+
+from ..errors import ConfigError, SimulationError
+from ..noc.config import NocConfig
+from ..noc.packet import Packet
+from ..noc.stats import NetworkStats
+from ..noc.topology import LOCAL, Topology
+from .kernels import FLAG_HEAD, FLAG_TAIL, route_compute, switch_traverse, vc_allocate
+from .layout import build_state
+
+__all__ = ["SimdNetwork"]
+
+
+class _Source:
+    """Per-router injection state (mirrors the OO network's source queue)."""
+
+    __slots__ = ("pending", "flits_left", "pkt_index", "size", "vc")
+
+    def __init__(self) -> None:
+        self.pending: Deque[Packet] = deque()
+        self.flits_left = 0
+        self.pkt_index = -1
+        self.size = 0
+        self.vc = -1
+
+
+class SimdNetwork:
+    """Data-parallel flit-level NoC simulator (mesh, XY, VC wormhole)."""
+
+    def __init__(
+        self,
+        topo: Topology,
+        config: Optional[NocConfig] = None,
+        on_eject: Optional[Callable[[Packet, int], None]] = None,
+    ) -> None:
+        self.topo = topo
+        self.config = config or NocConfig()
+        if self.config.vc_select != "any_free":
+            raise ConfigError("SimdNetwork supports vc_select='any_free' only")
+        self.on_eject = on_eject
+        self.cycle = 0
+        self.stats = NetworkStats()
+        self.state = build_state(topo, self.config)
+        self._hops = np.zeros(1024, dtype=np.int64)
+        self._sources = [_Source() for _ in range(topo.num_routers)]
+        self._active_sources: set = set()
+        self._future: List[Tuple[int, int, Packet]] = []
+        self._future_seq = 0
+        self._delivered: Deque[Packet] = deque()
+        #: credits in flight: (apply_cycle, routers, ports, vcs)
+        self._pending_credits: Deque[Tuple[int, np.ndarray, np.ndarray, np.ndarray]] = (
+            deque()
+        )
+        self._last_progress = 0
+        self.kernel_launches = 0
+        # Energy event counters (see repro.noc.energy)
+        self.buffer_writes = 0
+        self.switch_grants = 0
+        self.link_traversals = 0
+        self.va_grants = 0
+
+    # ------------------------------------------------------------------
+    # Driving (same surface as CycleNetwork)
+    # ------------------------------------------------------------------
+    def inject(self, packet: Packet, cycle: Optional[int] = None) -> None:
+        when = self.cycle if cycle is None else cycle
+        if when < self.cycle:
+            raise SimulationError(
+                f"cannot inject at cycle {when}; network is at {self.cycle}"
+            )
+        packet.inject_cycle = when
+        heapq.heappush(self._future, (when, self._future_seq, packet))
+        self._future_seq += 1
+
+    def step(self) -> None:
+        now = self.cycle
+        self._apply_credits(now)
+        self._admit(now)
+        self._inject_flits(now)
+        st = self.state
+        route_compute(st)
+        self.va_grants += vc_allocate(st)
+        grants, link_moves, cr, cp, cv = switch_traverse(
+            st, now, self._eject, self._hops
+        )
+        self.switch_grants += grants
+        self.link_traversals += link_moves
+        self.buffer_writes += link_moves
+        self.kernel_launches += 4
+        if len(cr):
+            self._pending_credits.append((now + self.config.credit_delay, cr, cp, cv))
+        if grants:
+            self._last_progress = now
+        self._check_watchdog(now)
+        self.cycle += 1
+        self.stats.cycles = self.cycle
+
+    def run(self, cycles: int) -> None:
+        for _ in range(cycles):
+            self.step()
+
+    def drain(self, max_cycles: int = 1_000_000) -> None:
+        start = self.cycle
+        while self.in_flight > 0:
+            if self.cycle - start > max_cycles:
+                raise SimulationError(
+                    f"SIMD network failed to drain within {max_cycles} cycles "
+                    f"({self.in_flight} packets in flight)"
+                )
+            self.step()
+
+    def pop_delivered(self) -> List[Packet]:
+        out = list(self._delivered)
+        self._delivered.clear()
+        return out
+
+    @property
+    def in_flight(self) -> int:
+        return self.stats.in_flight_packets + len(self._future)
+
+    # ------------------------------------------------------------------
+    # Per-cycle host-side phases
+    # ------------------------------------------------------------------
+    def _apply_credits(self, now: int) -> None:
+        while self._pending_credits and self._pending_credits[0][0] <= now:
+            _, r, p, v = self._pending_credits.popleft()
+            np.add.at(self.state.credits, (r, p, v), 1)
+
+    def _admit(self, now: int) -> None:
+        while self._future and self._future[0][0] <= now:
+            _, _, packet = heapq.heappop(self._future)
+            router = self.topo.node_router(packet.src)
+            self._sources[router].pending.append(packet)
+            self._active_sources.add(router)
+            self.stats.record_injection(packet)
+
+    def _inject_flits(self, now: int) -> None:
+        st = self.state
+        done = []
+        for rid in self._active_sources:
+            source = self._sources[rid]
+            if source.flits_left == 0:
+                if not source.pending:
+                    done.append(rid)
+                    continue
+                vc = self._free_local_vc(rid)
+                if vc is None:
+                    continue
+                packet = source.pending.popleft()
+                packet.network_entry_cycle = now
+                idx = st.register_packet(packet)
+                if idx >= len(self._hops):
+                    grown = np.zeros(max(idx + 1, len(self._hops) * 2), dtype=np.int64)
+                    grown[: len(self._hops)] = self._hops
+                    self._hops = grown
+                source.pkt_index = idx
+                source.size = packet.size_flits
+                source.flits_left = packet.size_flits
+                source.vc = vc
+            vc = source.vc
+            if st.count[rid, LOCAL, vc] >= st.B:
+                continue
+            seq = source.size - source.flits_left
+            flags = (FLAG_HEAD if seq == 0 else 0) | (
+                FLAG_TAIL if source.flits_left == 1 else 0
+            )
+            slot = (st.head[rid, LOCAL, vc] + st.count[rid, LOCAL, vc]) % st.B
+            st.buf_pkt[rid, LOCAL, vc, slot] = source.pkt_index
+            st.buf_seq[rid, LOCAL, vc, slot] = seq
+            st.buf_flags[rid, LOCAL, vc, slot] = flags
+            st.buf_ready[rid, LOCAL, vc, slot] = now + self.config.router_delay
+            st.count[rid, LOCAL, vc] += 1
+            self.buffer_writes += 1
+            source.flits_left -= 1
+            if source.flits_left == 0:
+                source.vc = -1
+                if not source.pending:
+                    done.append(rid)
+        for rid in done:
+            self._active_sources.discard(rid)
+
+    def _free_local_vc(self, rid: int) -> Optional[int]:
+        st = self.state
+        for vc in range(st.V):
+            if (
+                not st.active[rid, LOCAL, vc]
+                and st.route_port[rid, LOCAL, vc] < 0
+                and st.count[rid, LOCAL, vc] == 0
+            ):
+                return vc
+        return None
+
+    def _eject(
+        self,
+        pkt_idx: np.ndarray,
+        seq: np.ndarray,
+        flags: np.ndarray,
+        routers: np.ndarray,
+    ) -> None:
+        tails = (flags & FLAG_TAIL) != 0
+        for idx in pkt_idx[tails]:
+            packet = self.state.pkt_objects[int(idx)]
+            packet.eject_cycle = self.cycle + self.config.ejection_delay
+            packet.hops = int(self._hops[int(idx)])
+            self.stats.record_ejection(packet)
+            self._delivered.append(packet)
+            if self.on_eject is not None:
+                self.on_eject(packet, packet.eject_cycle)
+
+    def _check_watchdog(self, now: int) -> None:
+        limit = self.config.watchdog_cycles
+        if not limit:
+            return
+        if self.stats.in_flight_packets > 0 and now - self._last_progress > limit:
+            raise SimulationError(
+                f"SIMD network: no flit movement for {limit} cycles with "
+                f"{self.stats.in_flight_packets} packets in flight"
+            )
+
+    # ------------------------------------------------------------------
+    def buffered_flits(self) -> int:
+        return self.state.buffered_flits()
+
+    def energy_counters(self):
+        """Event counts for :func:`repro.noc.energy.estimate_energy`."""
+        from ..noc.energy import NetworkEventCounts
+
+        return NetworkEventCounts(
+            buffer_writes=self.buffer_writes,
+            switch_grants=self.switch_grants,
+            link_traversals=self.link_traversals,
+            allocations=self.switch_grants + self.va_grants,
+            ejected_flits=self.stats.ejected_flits,
+            cycles=self.cycle,
+            routers=self.state.R,
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"SimdNetwork({self.topo!r}, cycle={self.cycle}, "
+            f"in_flight={self.in_flight})"
+        )

@@ -1,0 +1,122 @@
+"""Small shared utilities: seeded RNG streams, validation, math helpers."""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from .errors import ConfigError
+
+__all__ = [
+    "Rng",
+    "check_positive",
+    "check_non_negative",
+    "check_probability",
+    "geometric_mean",
+    "ewma",
+    "clamp",
+]
+
+
+class Rng:
+    """A named, seeded random stream.
+
+    Every stochastic component in the library draws from its own ``Rng`` so
+    that (a) runs are reproducible given a seed and (b) adding randomness to
+    one component does not perturb another component's stream.  Streams are
+    derived from a root seed and a string name using a stable hash, so the
+    same ``(seed, name)`` pair always yields the same sequence.
+    """
+
+    def __init__(self, seed: int, name: str = "") -> None:
+        self.seed = int(seed)
+        self.name = name
+        ss = np.random.SeedSequence(
+            [self.seed, *(ord(c) for c in name)] if name else [self.seed]
+        )
+        self._gen = np.random.Generator(np.random.PCG64(ss))
+
+    def child(self, name: str) -> "Rng":
+        """Derive an independent stream for a sub-component."""
+        return Rng(self.seed, f"{self.name}/{name}" if self.name else name)
+
+    # Thin wrappers so call sites read naturally and stay swappable.
+    def random(self) -> float:
+        return float(self._gen.random())
+
+    def randint(self, low: int, high: int) -> int:
+        """Uniform integer in ``[low, high)``."""
+        return int(self._gen.integers(low, high))
+
+    def choice(self, seq: Sequence):
+        return seq[self.randint(0, len(seq))]
+
+    def geometric(self, p: float) -> int:
+        """Number of trials until first success, support ``{1, 2, ...}``."""
+        return int(self._gen.geometric(p))
+
+    def shuffle(self, items: list) -> None:
+        self._gen.shuffle(items)
+
+    def bernoulli(self, p: float) -> bool:
+        return self.random() < p
+
+    def exponential(self, mean: float) -> float:
+        return float(self._gen.exponential(mean))
+
+    def zipf_index(self, n: int, s: float = 1.0) -> int:
+        """Zipf-distributed index in ``[0, n)`` with exponent ``s``.
+
+        Uses inverse-CDF sampling over the truncated Zipf distribution so
+        the support is exactly ``[0, n)`` (NumPy's ``zipf`` is unbounded).
+        """
+        if n <= 0:
+            raise ConfigError(f"zipf_index needs n >= 1, got {n}")
+        if n == 1:
+            return 0
+        weights = np.arange(1, n + 1, dtype=float) ** -s
+        cdf = np.cumsum(weights)
+        cdf /= cdf[-1]
+        return int(np.searchsorted(cdf, self._gen.random()))
+
+
+def check_positive(value: float, name: str) -> None:
+    """Raise :class:`ConfigError` unless ``value > 0``."""
+    if not value > 0:
+        raise ConfigError(f"{name} must be positive, got {value!r}")
+
+
+def check_non_negative(value: float, name: str) -> None:
+    """Raise :class:`ConfigError` unless ``value >= 0``."""
+    if value < 0:
+        raise ConfigError(f"{name} must be non-negative, got {value!r}")
+
+
+def check_probability(value: float, name: str) -> None:
+    """Raise :class:`ConfigError` unless ``0 <= value <= 1``."""
+    if not 0.0 <= value <= 1.0:
+        raise ConfigError(f"{name} must be in [0, 1], got {value!r}")
+
+
+def geometric_mean(values: Iterable[float]) -> float:
+    """Geometric mean of positive values; 0 if any value is 0."""
+    vals = list(values)
+    if not vals:
+        raise ValueError("geometric_mean of empty sequence")
+    if any(v < 0 for v in vals):
+        raise ValueError("geometric_mean requires non-negative values")
+    if any(v == 0 for v in vals):
+        return 0.0
+    return math.exp(sum(math.log(v) for v in vals) / len(vals))
+
+
+def ewma(current: float, sample: float, alpha: float) -> float:
+    """One exponentially-weighted moving-average update step."""
+    return (1.0 - alpha) * current + alpha * sample
+
+
+def clamp(value: float, low: float, high: float) -> float:
+    """Clamp ``value`` into ``[low, high]``."""
+    return max(low, min(high, value))

@@ -1,0 +1,42 @@
+"""Workloads: synthetic traffic patterns, statistical application models,
+and message traces.
+"""
+
+from .apps import (
+    APPS,
+    AppSpec,
+    PhaseSpec,
+    StatisticalProgram,
+    app_names,
+    make_mixed_programs,
+    make_programs,
+    splash_apps,
+)
+from .synthetic import SyntheticTraffic, make_pattern
+from .traces import (
+    TraceInjector,
+    TraceRecord,
+    TraceRecorder,
+    load_trace,
+    matched_load_synthetic,
+    save_trace,
+)
+
+__all__ = [
+    "APPS",
+    "AppSpec",
+    "PhaseSpec",
+    "StatisticalProgram",
+    "app_names",
+    "splash_apps",
+    "make_programs",
+    "make_mixed_programs",
+    "SyntheticTraffic",
+    "make_pattern",
+    "TraceRecord",
+    "TraceRecorder",
+    "TraceInjector",
+    "save_trace",
+    "load_trace",
+    "matched_load_synthetic",
+]

@@ -1,0 +1,207 @@
+"""Synthetic traffic patterns for driving a network in isolation.
+
+These are the standard NoC evaluation patterns (uniform random, transpose,
+bit-complement, shuffle, tornado, neighbor, hotspot).  Isolated synthetic
+injection is exactly the *vacuum* methodology the paper criticizes — we
+implement it both as the E1 validation driver and as the E2 baseline whose
+inaccuracy reciprocal abstraction removes.
+
+Destination patterns are pure functions; :class:`SyntheticTraffic` wraps one
+with an open-loop Bernoulli injection process.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional
+
+from ..errors import ConfigError, WorkloadError
+from ..noc.packet import MessageClass, Packet
+from ..noc.topology import Topology
+from ..util import Rng, check_probability
+
+__all__ = [
+    "uniform_random",
+    "transpose",
+    "bit_complement",
+    "bit_reverse",
+    "shuffle",
+    "tornado",
+    "neighbor",
+    "make_pattern",
+    "SyntheticTraffic",
+]
+
+
+def _require_power_of_two(n: int, pattern: str) -> int:
+    bits = n.bit_length() - 1
+    if 1 << bits != n:
+        raise WorkloadError(f"{pattern} needs a power-of-two node count, got {n}")
+    return bits
+
+
+def uniform_random(src: int, topo: Topology, rng: Rng) -> int:
+    """Uniformly random destination, excluding the source."""
+    dst = rng.randint(0, topo.num_nodes - 1)
+    return dst if dst < src else dst + 1
+
+
+def transpose(src: int, topo: Topology, rng: Rng) -> Optional[int]:
+    """(x, y) -> (y, x); meaningful on square grids."""
+    if topo.width != topo.height or topo.concentration != 1:
+        raise WorkloadError("transpose needs a square, non-concentrated grid")
+    x, y = topo.coords(src)
+    dst = topo.router_at(y, x)
+    return None if dst == src else dst
+
+
+def bit_complement(src: int, topo: Topology, rng: Rng) -> Optional[int]:
+    """Destination is the bitwise complement of the source index."""
+    bits = _require_power_of_two(topo.num_nodes, "bit_complement")
+    dst = ~src & ((1 << bits) - 1)
+    return None if dst == src else dst
+
+
+def bit_reverse(src: int, topo: Topology, rng: Rng) -> Optional[int]:
+    """Destination is the bit-reversed source index."""
+    bits = _require_power_of_two(topo.num_nodes, "bit_reverse")
+    dst = int(format(src, f"0{bits}b")[::-1], 2) if bits else 0
+    return None if dst == src else dst
+
+
+def shuffle(src: int, topo: Topology, rng: Rng) -> Optional[int]:
+    """Perfect shuffle: rotate the source index left by one bit."""
+    bits = _require_power_of_two(topo.num_nodes, "shuffle")
+    if bits == 0:
+        return None
+    mask = (1 << bits) - 1
+    dst = ((src << 1) | (src >> (bits - 1))) & mask
+    return None if dst == src else dst
+
+
+def tornado(src: int, topo: Topology, rng: Rng) -> Optional[int]:
+    """Half the ring width to the east — the classic torus adversary."""
+    x, y = topo.coords(topo.node_router(src))
+    dst_router = topo.router_at((x + max(1, topo.width // 2)) % topo.width, y)
+    dst = dst_router * topo.concentration + src % topo.concentration
+    return None if dst == src else dst
+
+
+def neighbor(src: int, topo: Topology, rng: Rng) -> Optional[int]:
+    """One hop east (wrapping) — the best case for any network."""
+    x, y = topo.coords(topo.node_router(src))
+    dst_router = topo.router_at((x + 1) % topo.width, y)
+    dst = dst_router * topo.concentration + src % topo.concentration
+    return None if dst == src else dst
+
+
+class _Hotspot:
+    """A fraction of traffic targets a small set of hot nodes."""
+
+    def __init__(self, hotspots: List[int], fraction: float) -> None:
+        if not hotspots:
+            raise ConfigError("hotspot pattern needs at least one hot node")
+        check_probability(fraction, "hotspot fraction")
+        self.hotspots = hotspots
+        self.fraction = fraction
+
+    def __call__(self, src: int, topo: Topology, rng: Rng) -> Optional[int]:
+        if rng.bernoulli(self.fraction):
+            dst = self.hotspots[rng.randint(0, len(self.hotspots))]
+            return None if dst == src else dst
+        return uniform_random(src, topo, rng)
+
+
+_PATTERNS: dict = {
+    "uniform": uniform_random,
+    "transpose": transpose,
+    "bit_complement": bit_complement,
+    "bit_reverse": bit_reverse,
+    "shuffle": shuffle,
+    "tornado": tornado,
+    "neighbor": neighbor,
+}
+
+
+def make_pattern(
+    name: str,
+    hotspots: Optional[List[int]] = None,
+    hotspot_fraction: float = 0.3,
+) -> Callable[[int, Topology, Rng], Optional[int]]:
+    """Look up a destination pattern by name (``hotspot`` takes parameters)."""
+    if name == "hotspot":
+        return _Hotspot(hotspots or [0], hotspot_fraction)
+    try:
+        return _PATTERNS[name]
+    except KeyError:
+        raise WorkloadError(
+            f"unknown pattern {name!r}; known: {sorted(_PATTERNS) + ['hotspot']}"
+        ) from None
+
+
+class SyntheticTraffic:
+    """Open-loop Bernoulli packet source over a destination pattern.
+
+    Args:
+        topo: target topology.
+        pattern: name or callable ``(src, topo, rng) -> dst | None``.
+        rate: packets per node per cycle (Bernoulli probability).
+        size_flits: packet length.
+        seed: RNG seed (per-run stream).
+        msg_class: message class stamped on generated packets.
+    """
+
+    def __init__(
+        self,
+        topo: Topology,
+        pattern: str | Callable = "uniform",
+        rate: float = 0.05,
+        size_flits: int = 4,
+        seed: int = 1,
+        msg_class: int = MessageClass.DATA,
+    ) -> None:
+        check_probability(rate, "injection rate")
+        if size_flits < 1:
+            raise ConfigError(f"size_flits must be >= 1, got {size_flits}")
+        self.topo = topo
+        self.pattern = make_pattern(pattern) if isinstance(pattern, str) else pattern
+        self.rate = rate
+        self.size_flits = size_flits
+        self.msg_class = msg_class
+        self.rng = Rng(seed, "synthetic")
+        self.generated = 0
+
+    def packets_for_cycle(self, cycle: int) -> List[Packet]:
+        """Packets injected network-wide during ``cycle``."""
+        packets: List[Packet] = []
+        for node in range(self.topo.num_nodes):
+            if not self.rng.bernoulli(self.rate):
+                continue
+            dst = self.pattern(node, self.topo, self.rng)
+            if dst is None:
+                continue
+            packets.append(
+                Packet(
+                    src=node,
+                    dst=dst,
+                    size_flits=self.size_flits,
+                    msg_class=self.msg_class,
+                    inject_cycle=cycle,
+                )
+            )
+            self.generated += 1
+        return packets
+
+    def drive(self, network, cycles: int, drain: bool = True) -> None:
+        """Inject into ``network`` for ``cycles`` cycles, then optionally
+        drain.  ``network`` may be any simulator with inject/step/drain —
+        the OO and SIMD networks share this surface."""
+        for _ in range(cycles):
+            for packet in self.packets_for_cycle(network.cycle):
+                network.inject(packet)
+            network.step()
+        if drain:
+            network.drain()
+
+    def expected_offered_load(self) -> float:
+        """Offered load in flits/node/cycle implied by the configuration."""
+        return self.rate * self.size_flits

@@ -1,0 +1,194 @@
+"""Message traces: record, save, load, replay.
+
+Traces connect the two simulation styles the paper contrasts:
+
+* :class:`TraceRecorder` wraps a full-system transport and logs every
+  network message — capturing traffic *in context*.
+* :class:`TraceInjector` replays a trace into a network simulator in open
+  loop (timestamps fixed, no feedback), and
+  :func:`matched_load_synthetic` reduces a trace to per-node average rates —
+  the two classic *vacuum* methodologies experiment E2 evaluates.
+
+The on-disk format is one whitespace-separated record per line:
+``cycle src dst size_flits msg_class``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Callable, Dict, Iterable, List
+
+from ..errors import WorkloadError
+from ..noc.packet import Packet
+from ..noc.topology import Topology
+from ..util import Rng
+
+__all__ = [
+    "TraceRecord",
+    "TraceRecorder",
+    "TraceInjector",
+    "save_trace",
+    "load_trace",
+    "matched_load_synthetic",
+]
+
+
+@dataclass(frozen=True)
+class TraceRecord:
+    """One network message, as observed at its source."""
+
+    cycle: int
+    src: int
+    dst: int
+    size_flits: int
+    msg_class: int
+
+    def to_packet(self, cycle_offset: int = 0) -> Packet:
+        return Packet(
+            src=self.src,
+            dst=self.dst,
+            size_flits=self.size_flits,
+            msg_class=self.msg_class,
+            inject_cycle=self.cycle + cycle_offset,
+        )
+
+
+class TraceRecorder:
+    """Transport decorator that logs messages before forwarding them."""
+
+    def __init__(self, inner: Callable) -> None:
+        self.inner = inner
+        self.records: List[TraceRecord] = []
+
+    def __call__(self, msg) -> None:
+        self.records.append(
+            TraceRecord(
+                cycle=msg.created_cycle,
+                src=msg.src,
+                dst=msg.dst,
+                size_flits=msg.size_flits,
+                msg_class=msg.msg_class,
+            )
+        )
+        self.inner(msg)
+
+    @property
+    def duration(self) -> int:
+        return self.records[-1].cycle - self.records[0].cycle if self.records else 0
+
+
+class TraceInjector:
+    """Open-loop replay of a trace into a network simulator."""
+
+    def __init__(self, records: Iterable[TraceRecord]) -> None:
+        self.records = sorted(records, key=lambda r: r.cycle)
+        if not self.records:
+            raise WorkloadError("cannot replay an empty trace")
+
+    def drive(self, network, drain: bool = True) -> List[Packet]:
+        """Inject every record at its timestamp; returns the packets."""
+        packets = []
+        base = self.records[0].cycle
+        for record in self.records:
+            packet = record.to_packet(cycle_offset=network.cycle - base)
+            network.inject(packet, cycle=packet.inject_cycle)
+            packets.append(packet)
+        end = self.records[-1].cycle - base + network.cycle
+        while network.cycle <= end:
+            network.step()
+        if drain:
+            network.drain()
+        return packets
+
+
+def save_trace(records: Iterable[TraceRecord], path: str | Path) -> None:
+    """Write records in the line format described in the module docstring."""
+    with open(path, "w", encoding="utf-8") as fh:
+        fh.write("# cycle src dst size_flits msg_class\n")
+        for r in records:
+            fh.write(f"{r.cycle} {r.src} {r.dst} {r.size_flits} {r.msg_class}\n")
+
+
+def load_trace(path: str | Path) -> List[TraceRecord]:
+    """Read a trace written by :func:`save_trace`."""
+    records: List[TraceRecord] = []
+    with open(path, encoding="utf-8") as fh:
+        for lineno, line in enumerate(fh, start=1):
+            line = line.strip()
+            if not line or line.startswith("#"):
+                continue
+            parts = line.split()
+            if len(parts) != 5:
+                raise WorkloadError(f"{path}:{lineno}: expected 5 fields, got {line!r}")
+            cycle, src, dst, size, cls = (int(p) for p in parts)
+            records.append(TraceRecord(cycle, src, dst, size, cls))
+    return records
+
+
+def matched_load_synthetic(
+    records: List[TraceRecord],
+    topo: Topology,
+    seed: int = 1,
+):
+    """The vacuum baseline: Bernoulli traffic matching a trace's averages.
+
+    Produces a generator object with the same ``packets_for_cycle`` surface
+    as :class:`~repro.workloads.synthetic.SyntheticTraffic`, whose per-node
+    injection rate, mean packet size, and destination mix equal the trace's
+    long-run averages — but with all temporal structure (bursts, phases,
+    request-response causality) destroyed.
+    """
+    if not records:
+        raise WorkloadError("cannot match an empty trace")
+    duration = max(1, records[-1].cycle - records[0].cycle + 1)
+    per_node: Dict[int, List[TraceRecord]] = {}
+    for r in records:
+        per_node.setdefault(r.src, []).append(r)
+    return _MatchedLoad(per_node, duration, topo, seed)
+
+
+class _MatchedLoad:
+    """Implementation of :func:`matched_load_synthetic`."""
+
+    def __init__(
+        self,
+        per_node: Dict[int, List[TraceRecord]],
+        duration: int,
+        topo: Topology,
+        seed: int,
+    ) -> None:
+        self.topo = topo
+        self.duration = duration
+        self.rng = Rng(seed, "matched-load")
+        self.rates = {node: len(recs) / duration for node, recs in per_node.items()}
+        self._samples = per_node  # destination/size distribution = resample
+        self.generated = 0
+
+    def packets_for_cycle(self, cycle: int) -> List[Packet]:
+        packets: List[Packet] = []
+        for node, rate in self.rates.items():
+            if not self.rng.bernoulli(min(1.0, rate)):
+                continue
+            sample = self._samples[node][self.rng.randint(0, len(self._samples[node]))]
+            if sample.dst == node:
+                continue
+            packets.append(
+                Packet(
+                    src=node,
+                    dst=sample.dst,
+                    size_flits=sample.size_flits,
+                    msg_class=sample.msg_class,
+                    inject_cycle=cycle,
+                )
+            )
+            self.generated += 1
+        return packets
+
+    def drive(self, network, cycles: int, drain: bool = True) -> None:
+        for _ in range(cycles):
+            for packet in self.packets_for_cycle(network.cycle):
+                network.inject(packet)
+            network.step()
+        if drain:
+            network.drain()

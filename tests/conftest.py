@@ -1,0 +1,44 @@
+"""Shared fixtures and hypothesis configuration for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import HealthCheck, settings
+
+from repro.noc import Mesh, NocConfig, Torus
+
+# Simulation-backed properties are slow per example; keep example counts
+# modest and disable deadlines globally.
+settings.register_profile(
+    "repro",
+    max_examples=25,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+settings.load_profile("repro")
+
+
+@pytest.fixture
+def mesh4() -> Mesh:
+    return Mesh(4, 4)
+
+
+@pytest.fixture
+def mesh8() -> Mesh:
+    return Mesh(8, 8)
+
+
+@pytest.fixture
+def torus4() -> Torus:
+    return Torus(4, 4)
+
+
+@pytest.fixture
+def noc_config() -> NocConfig:
+    return NocConfig()
+
+
+@pytest.fixture
+def tiny_noc_config() -> NocConfig:
+    """Minimal buffering: stresses backpressure paths."""
+    return NocConfig(num_vcs=1, buffer_depth=1)

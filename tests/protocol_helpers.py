@@ -1,0 +1,141 @@
+"""Helpers for scripting and checking coherence-protocol scenarios."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.fullsys import CacheLineState, CmpConfig, CmpSystem, MessageKind, Phase
+from repro.noc import Mesh
+
+#: a gap large enough to burn out any phase budget
+END = 10**9
+
+
+class ScriptedProgram:
+    """A fixed list of (gap, line, is_write) accesses, then phase end.
+
+    Assigning :attr:`script` (also after construction, as the scenario tests
+    do) recomputes the phase's instruction budget so every scripted access
+    executes before the phase ends.
+    """
+
+    barriers = True
+
+    def __init__(self, script: List[Tuple[int, int, bool]]) -> None:
+        self.script = script
+
+    @property
+    def script(self) -> List[Tuple[int, int, bool]]:
+        return self._script
+
+    @script.setter
+    def script(self, script: List[Tuple[int, int, bool]]) -> None:
+        self._script = list(script)
+        budget = sum(gap + 1 for gap, _, _ in self._script) + 1
+        self.phases = [Phase(instructions=budget, name="scripted")]
+        self._cursor = 0
+
+    def next_access(self, phase: int) -> Tuple[int, int, bool]:
+        if self._cursor >= len(self._script):
+            return (END, 0, False)  # burn the rest of the phase
+        access = self._script[self._cursor]
+        self._cursor += 1
+        return access
+
+
+class KindLatencyTransport:
+    """Deterministic transport with per-message-kind latencies.
+
+    Used to force specific message interleavings (e.g. a GetS overtaking a
+    PutM) that a uniform-latency transport would never produce.
+    """
+
+    def __init__(self, system: CmpSystem, default: int = 10,
+                 overrides: Optional[Dict[str, int]] = None) -> None:
+        self.system = system
+        self.default = default
+        self.overrides = overrides or {}
+
+    def __call__(self, msg) -> None:
+        latency = self.overrides.get(msg.kind, self.default)
+        self.system.events.schedule(
+            self.system.now + latency, lambda: self.system.deliver(msg)
+        )
+
+
+def build_system(
+    scripts: List[List[Tuple[int, int, bool]]],
+    config: Optional[CmpConfig] = None,
+    transport_overrides: Optional[Dict[str, int]] = None,
+) -> CmpSystem:
+    """A 2x2-mesh system running one scripted program per tile."""
+    topo = Mesh(2, 2)
+    assert len(scripts) == 4
+    system = CmpSystem(
+        topo,
+        config or CmpConfig(mem_latency=50),
+        [ScriptedProgram(s) for s in scripts],
+    )
+    system.transport = KindLatencyTransport(system, overrides=transport_overrides)
+    return system
+
+
+def run_and_drain(system: CmpSystem, max_cycles: int = 500_000) -> None:
+    """Run to completion, then drain the protocol's trailing events."""
+    system.run_to_completion(max_cycles)
+    system.events.run_all()
+
+
+def check_coherence_invariants(system: CmpSystem) -> None:
+    """System-wide safety invariants at quiescence.
+
+    * at most one Modified copy per line, and the directory knows its owner;
+    * every Shared copy is recorded at the directory (stale *extra* sharers
+      are allowed — silent S eviction — but never missing ones);
+    * all directory entries idle with empty queues;
+    * no MSHR or eviction-shadow left anywhere.
+    """
+    l1_m: Dict[int, List[int]] = {}
+    l1_s: Dict[int, List[int]] = {}
+    for core in system.cores:
+        assert not core.mshrs, f"core {core.core_id} left MSHRs: {core.mshrs}"
+        assert not core.evicting, f"core {core.core_id} left shadows"
+        for line, state in core.l1.resident_lines():
+            if state == CacheLineState.MODIFIED:
+                l1_m.setdefault(line, []).append(core.core_id)
+            elif state == CacheLineState.SHARED:
+                l1_s.setdefault(line, []).append(core.core_id)
+
+    for line, owners in l1_m.items():
+        assert len(owners) == 1, f"line {line} has multiple owners {owners}"
+        home = system.homes[system.address_map.home_tile(line)]
+        ent = home.entries.get(line)
+        assert ent is not None and ent.owner == owners[0]
+
+    for line, sharers in l1_s.items():
+        home = system.homes[system.address_map.home_tile(line)]
+        ent = home.entries.get(line)
+        assert ent is not None
+        assert set(sharers) <= ent.sharers, (
+            f"line {line}: copies at {sharers} but directory has {ent.sharers}"
+        )
+        assert ent.owner is None or ent.owner not in sharers
+
+    for home in system.homes:
+        for line, ent in home.entries.items():
+            assert ent.is_idle, f"home {home.tile} line {line} stuck {ent.state}"
+            assert not ent.pending
+
+
+def check_message_balance(system: CmpSystem) -> None:
+    """Every transaction's message pairs must balance at quiescence."""
+    count = system.messages_by_kind
+    assert count[MessageKind.DATA] == count[MessageKind.GETS] + count[MessageKind.GETX]
+    assert count[MessageKind.UNBLOCK] == count[MessageKind.DATA]
+    assert count[MessageKind.PUT_ACK] == count[MessageKind.PUTM]
+    assert count[MessageKind.INV_ACK] == count[MessageKind.INV]
+    assert count[MessageKind.MEM_DATA] == count[MessageKind.MEM_READ]
+    assert (
+        count[MessageKind.RECALL_DATA]
+        == count[MessageKind.RECALL_S] + count[MessageKind.RECALL_X]
+    )

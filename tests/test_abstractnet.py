@@ -1,0 +1,176 @@
+"""Tests for the abstract (message-level) network models."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.abstractnet import (
+    FixedLatencyModel,
+    QueueingLatencyModel,
+    TableLatencyModel,
+)
+from repro.errors import ConfigError
+from repro.noc import CycleNetwork, Mesh, MessageClass, NocConfig, Packet
+from repro.noc.topology import EAST, LOCAL
+
+
+@pytest.fixture
+def topo():
+    return Mesh(4, 4)
+
+
+@pytest.fixture
+def noc():
+    return NocConfig()
+
+
+class TestZeroLoadContract:
+    """All models must agree exactly with the cycle simulator at zero load."""
+
+    @given(st.integers(0, 15), st.integers(0, 15), st.integers(1, 8))
+    @settings(max_examples=20)
+    def test_fixed_equals_cycle_network(self, src, dst, size):
+        if src == dst:
+            return
+        topo, noc = Mesh(4, 4), NocConfig()
+        model = FixedLatencyModel(topo, noc)
+        net = CycleNetwork(topo, noc)
+        p = Packet(src=src, dst=dst, size_flits=size)
+        net.inject(p)
+        net.drain()
+        assert model.latency(src, dst, size, MessageClass.DATA, 0) == p.latency
+
+    def test_queueing_equals_fixed_when_unloaded(self, topo, noc):
+        fixed = FixedLatencyModel(topo, noc)
+        queueing = QueueingLatencyModel(topo, noc)
+        for dst in range(1, 16):
+            assert queueing.latency(0, dst, 4, 0, 0) == fixed.latency(0, dst, 4, 0, 0)
+
+    def test_table_seeded_with_zero_load(self, topo, noc):
+        fixed = FixedLatencyModel(topo, noc)
+        table = TableLatencyModel(topo, noc)
+        for dst in (1, 5, 15):
+            assert table.latency(0, dst, 3, 0, 0) == fixed.latency(0, dst, 3, 0, 0)
+
+
+class TestFixedModel:
+    def test_slack_added(self, topo, noc):
+        base = FixedLatencyModel(topo, noc)
+        slacked = FixedLatencyModel(topo, noc, slack=7)
+        assert slacked.latency(0, 5, 1, 0, 0) == base.latency(0, 5, 1, 0, 0) + 7
+
+    def test_negative_slack_rejected(self, topo, noc):
+        with pytest.raises(ConfigError):
+            FixedLatencyModel(topo, noc, slack=-1)
+
+    def test_load_insensitive(self, topo, noc):
+        model = FixedLatencyModel(topo, noc)
+        first = model.latency(0, 15, 4, 0, 0)
+        for _ in range(1000):
+            model.latency(0, 15, 4, 0, 0)
+        assert model.latency(0, 15, 4, 0, 0) == first
+
+    def test_describe(self, topo, noc):
+        assert FixedLatencyModel(topo, noc).describe()["model"] == "fixed"
+
+
+class TestQueueingModel:
+    def test_path_follows_xy(self, topo, noc):
+        model = QueueingLatencyModel(topo, noc)
+        path = model.path(0, 5)  # (0,0) -> (1,1): east then north
+        assert path[0] == (0, EAST)
+        assert len(path) == topo.hop_distance(0, 5)
+
+    def test_path_empty_for_same_router(self, topo, noc):
+        assert QueueingLatencyModel(topo, noc).path(3, 3) == []
+
+    def test_latency_grows_with_load(self, topo, noc):
+        model = QueueingLatencyModel(topo, noc)
+        unloaded = model.latency(0, 3, 4, 0, 0)
+        # Hammer the same path for several quanta so rho builds up.
+        for window in range(5):
+            for _ in range(200):
+                model.latency(0, 3, 4, 0, window * 64)
+            model.on_quantum((window + 1) * 64, 64)
+        assert model.latency(0, 3, 4, 0, 999) > unloaded
+
+    def test_load_decays_when_idle(self, topo, noc):
+        model = QueueingLatencyModel(topo, noc, alpha=0.5)
+        for _ in range(200):
+            model.latency(0, 3, 4, 0, 0)
+        model.on_quantum(64, 64)
+        loaded = model.channel_utilization(0, EAST)
+        for window in range(2, 12):
+            model.on_quantum(window * 64, 64)
+        assert model.channel_utilization(0, EAST) < loaded / 4
+
+    def test_rho_capped(self, topo, noc):
+        model = QueueingLatencyModel(topo, noc, rho_cap=0.9)
+        # Saturate one channel far beyond capacity.
+        for window in range(10):
+            for _ in range(2000):
+                model.latency(0, 1, 8, 0, window * 64)
+            model.on_quantum((window + 1) * 64, 64)
+        lat = model.latency(0, 1, 8, 0, 999)
+        assert lat < 10_000  # bounded despite overload
+
+    def test_feedback_correction(self, topo, noc):
+        model = QueueingLatencyModel(topo, noc, feedback_gain=1.0)
+        base = model.latency(0, 3, 4, 0, 0)
+        # Detailed sim reports systematically double latencies.
+        for _ in range(400):
+            model.observe(0, 3, 4, 0, measured=base * 2)
+        corrected = model.latency(0, 3, 4, 0, 0)
+        assert corrected > base * 1.5
+
+    def test_feedback_disabled_by_default(self, topo, noc):
+        model = QueueingLatencyModel(topo, noc)
+        before = model.latency(0, 3, 4, 0, 0)
+        for _ in range(100):
+            model.observe(0, 3, 4, 0, measured=500)
+        assert model.latency(0, 3, 4, 0, 0) == before
+
+    def test_invalid_params(self, topo, noc):
+        with pytest.raises(ConfigError):
+            QueueingLatencyModel(topo, noc, rho_cap=1.0)
+        with pytest.raises(ConfigError):
+            QueueingLatencyModel(topo, noc, feedback_gain=2.0)
+
+
+class TestTableModel:
+    def test_first_observation_replaces_seed(self, topo, noc):
+        model = TableLatencyModel(topo, noc)
+        model.observe(0, 3, 1, 0, measured=50)
+        assert model.latency(0, 3, 1, 0, 0) == 50
+
+    def test_converges_to_observed_mean(self, topo, noc):
+        model = TableLatencyModel(topo, noc, alpha=0.2)
+        for _ in range(200):
+            model.observe(0, 3, 1, 0, measured=40)
+        assert model.latency(0, 3, 1, 0, 0) == pytest.approx(40, abs=1)
+
+    def test_size_normalization(self, topo, noc):
+        """Observations of big packets must not inflate small-packet
+        predictions."""
+        model = TableLatencyModel(topo, noc)
+        model.observe(0, 3, 8, 0, measured=30)  # 7 serialization cycles inside
+        assert model.latency(0, 3, 1, 0, 0) == 23
+        assert model.latency(0, 3, 8, 0, 0) == 30
+
+    def test_buckets_by_distance_and_class(self, topo, noc):
+        model = TableLatencyModel(topo, noc)
+        model.observe(0, 1, 1, MessageClass.REQUEST, measured=99)
+        # Same distance, different class: still the seed value.
+        seed = FixedLatencyModel(topo, noc).latency(0, 1, 1, MessageClass.DATA, 0)
+        assert model.latency(0, 1, 1, MessageClass.DATA, 0) == seed
+        # Same class, same distance (0->4 is also one hop): learned value.
+        assert model.latency(0, 4, 1, MessageClass.REQUEST, 0) == 99
+        # Same class, different distance: still the (longer) seed.
+        far_seed = FixedLatencyModel(topo, noc).latency(0, 15, 1, MessageClass.REQUEST, 0)
+        assert model.latency(0, 15, 1, MessageClass.REQUEST, 0) == far_seed
+
+    def test_snapshot_and_describe(self, topo, noc):
+        model = TableLatencyModel(topo, noc)
+        model.observe(0, 3, 1, 0, measured=12)
+        assert len(model.table_snapshot()) == 1
+        assert model.describe()["observations"] == 1

@@ -1,0 +1,179 @@
+"""Tests for the address map and the set-associative cache."""
+
+from collections import OrderedDict
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ConfigError
+from repro.fullsys import AddressMap, Cache, CacheLineState
+
+
+class TestAddressMap:
+    def test_home_in_range(self):
+        amap = AddressMap(16)
+        for line in [0, 1, 12345, amap.shared_line(999)]:
+            assert 0 <= amap.home_tile(line) < 16
+
+    def test_homes_are_balanced(self):
+        amap = AddressMap(8)
+        homes = [amap.home_tile(amap.shared_line(i)) for i in range(8000)]
+        for tile in range(8):
+            assert homes.count(tile) == 1000
+
+    @given(st.integers(0, 15), st.integers(0, 15), st.integers(0, 1000), st.integers(0, 1000))
+    @settings(max_examples=30)
+    def test_private_regions_disjoint(self, core_a, core_b, off_a, off_b):
+        amap = AddressMap(16)
+        line_a = amap.private_line(core_a, off_a)
+        line_b = amap.private_line(core_b, off_b)
+        if core_a != core_b:
+            assert line_a != line_b
+        assert not amap.is_shared(line_a)
+
+    def test_shared_region_above_private(self):
+        amap = AddressMap(4)
+        assert amap.is_shared(amap.shared_line(0))
+        assert not amap.is_shared(amap.private_line(3, AddressMap.PRIVATE_REGION_LINES - 1))
+
+    def test_owner_core_roundtrip(self):
+        amap = AddressMap(4)
+        assert amap.owner_core(amap.private_line(2, 77)) == 2
+
+    def test_owner_core_rejects_shared(self):
+        amap = AddressMap(4)
+        with pytest.raises(ConfigError):
+            amap.owner_core(amap.shared_line(0))
+
+    def test_interleave_shift(self):
+        amap = AddressMap(4, interleave_shift=2)
+        # Lines 0-3 share a home with shift 2.
+        assert len({amap.home_tile(i) for i in range(4)}) == 1
+        assert amap.home_tile(0) != amap.home_tile(4)
+
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            AddressMap(0)
+        amap = AddressMap(4)
+        with pytest.raises(ConfigError):
+            amap.private_line(4, 0)
+        with pytest.raises(ConfigError):
+            amap.shared_line(-1)
+
+
+class TestCacheBasics:
+    def test_miss_then_hit(self):
+        cache = Cache(4, 2)
+        assert cache.lookup(10) is None
+        cache.insert(10, CacheLineState.SHARED)
+        assert cache.lookup(10) == CacheLineState.SHARED
+        assert cache.hits == 1 and cache.misses == 1
+
+    def test_set_state(self):
+        cache = Cache(4, 2)
+        cache.insert(10, CacheLineState.SHARED)
+        cache.set_state(10, CacheLineState.MODIFIED)
+        assert cache.peek(10) == CacheLineState.MODIFIED
+
+    def test_set_state_requires_residency(self):
+        with pytest.raises(ConfigError):
+            Cache(4, 2).set_state(1, CacheLineState.SHARED)
+
+    def test_invalidate(self):
+        cache = Cache(4, 2)
+        cache.insert(10, CacheLineState.MODIFIED)
+        assert cache.invalidate(10) == CacheLineState.MODIFIED
+        assert cache.invalidate(10) is None
+        assert cache.peek(10) is None
+
+    def test_peek_no_side_effects(self):
+        cache = Cache(4, 2)
+        cache.insert(10, CacheLineState.SHARED)
+        hits, misses = cache.hits, cache.misses
+        cache.peek(10)
+        cache.peek(11)
+        assert (cache.hits, cache.misses) == (hits, misses)
+
+    def test_geometry_validation(self):
+        with pytest.raises(ConfigError):
+            Cache(0, 2)
+        with pytest.raises(ConfigError):
+            Cache.from_geometry(10, 4)  # not divisible
+
+    def test_from_geometry(self):
+        cache = Cache.from_geometry(512, 8)
+        assert cache.num_sets == 64 and cache.ways == 8
+
+
+class TestLruReplacement:
+    def test_lru_victim(self):
+        cache = Cache(1, 2)  # one set, two ways
+        cache.insert(0, CacheLineState.SHARED)
+        cache.insert(1, CacheLineState.SHARED)
+        cache.lookup(0)  # refresh 0; LRU is now 1
+        victim = cache.insert(2, CacheLineState.SHARED)
+        assert victim == (1, CacheLineState.SHARED)
+
+    def test_reinsert_does_not_evict(self):
+        cache = Cache(1, 2)
+        cache.insert(0, CacheLineState.SHARED)
+        cache.insert(1, CacheLineState.SHARED)
+        assert cache.insert(0, CacheLineState.MODIFIED) is None
+        assert cache.peek(0) == CacheLineState.MODIFIED
+
+    def test_sets_are_independent(self):
+        cache = Cache(2, 1)
+        cache.insert(0, CacheLineState.SHARED)  # set 0
+        cache.insert(1, CacheLineState.SHARED)  # set 1
+        assert cache.peek(0) is not None and cache.peek(1) is not None
+        victim = cache.insert(2, CacheLineState.SHARED)  # set 0 again
+        assert victim == (0, CacheLineState.SHARED)
+
+    @given(
+        st.lists(
+            st.tuples(st.integers(0, 30), st.booleans()),
+            min_size=1,
+            max_size=200,
+        )
+    )
+    @settings(max_examples=50)
+    def test_against_reference_lru(self, ops):
+        """Differential test against a straightforward reference LRU model."""
+        ways = 4
+        cache = Cache(2, ways)
+        reference = [OrderedDict(), OrderedDict()]  # per set, LRU-first
+
+        for line, is_insert in ops:
+            ref = reference[line % 2]
+            if is_insert:
+                victim = cache.insert(line, CacheLineState.SHARED)
+                expected_victim = None
+                if line not in ref and len(ref) >= ways:
+                    victim_line, _ = ref.popitem(last=False)
+                    expected_victim = victim_line
+                ref[line] = CacheLineState.SHARED
+                ref.move_to_end(line)
+                assert (victim[0] if victim else None) == expected_victim
+            else:
+                state = cache.lookup(line)
+                assert (state is not None) == (line in ref)
+                if line in ref:
+                    ref.move_to_end(line)
+        # Final residency must match exactly.
+        resident = {line for line, _ in cache.resident_lines()}
+        assert resident == set(reference[0]) | set(reference[1])
+
+    def test_occupancy_and_eviction_count(self):
+        cache = Cache(1, 2)
+        for line in range(5):
+            cache.insert(line, CacheLineState.SHARED)
+        assert cache.occupancy == 2
+        assert cache.evictions == 3
+
+    def test_miss_rate(self):
+        cache = Cache(4, 2)
+        cache.lookup(0)
+        cache.insert(0, CacheLineState.SHARED)
+        cache.lookup(0)
+        assert cache.miss_rate == pytest.approx(0.5)

@@ -1,0 +1,200 @@
+"""Tests for the statistical application models."""
+
+import pytest
+
+from repro.errors import WorkloadError
+from repro.fullsys import AddressMap
+from repro.workloads import (APPS, AppSpec, PhaseSpec, StatisticalProgram,
+    app_names, make_mixed_programs, make_programs, splash_apps)
+
+
+class TestSpecs:
+    def test_suite_composition(self):
+        assert len(app_names()) == 12
+        assert len(splash_apps()) == 8
+        assert "fft" in splash_apps() and "radix" in splash_apps()
+        assert "canneal" in app_names() and "canneal" not in splash_apps()
+
+    def test_every_app_validates(self):
+        for spec in APPS.values():
+            assert spec.phases  # construction already ran validation
+
+    def test_phase_validation(self):
+        with pytest.raises(WorkloadError):
+            PhaseSpec(instructions=0)
+        with pytest.raises(WorkloadError):
+            PhaseSpec(instructions=100, mem_ratio=0.0)
+        with pytest.raises(WorkloadError):
+            PhaseSpec(instructions=100, private_lines=0)
+
+    def test_scaled(self):
+        spec = APPS["fft"].scaled(2.0)
+        assert spec.phases[0].instructions == 2 * APPS["fft"].phases[0].instructions
+        assert spec.name == "fft"
+        # Non-instruction parameters untouched.
+        assert spec.phases[0].mem_ratio == APPS["fft"].phases[0].mem_ratio
+
+    def test_scaled_validation(self):
+        with pytest.raises(WorkloadError):
+            APPS["fft"].scaled(0)
+
+    def test_barrier_flags_vary(self):
+        assert APPS["fft"].barriers
+        assert not APPS["raytrace"].barriers
+
+
+class TestPrograms:
+    def make(self, app="fft", core=0, cores=4, seed=1):
+        return StatisticalProgram(core, APPS[app], AddressMap(cores), seed=seed)
+
+    def test_phase_structure_matches_spec(self):
+        program = self.make("lu")
+        assert len(program.phases) == len(APPS["lu"].phases)
+        for phase, spec in zip(program.phases, APPS["lu"].phases):
+            assert phase.instructions == spec.instructions
+
+    def test_accesses_land_in_legal_regions(self):
+        amap = AddressMap(4)
+        program = StatisticalProgram(2, APPS["radix"], amap, seed=3)
+        for phase in range(len(program.phases)):
+            for _ in range(300):
+                gap, line, is_write = program.next_access(phase)
+                assert gap >= 0
+                if amap.is_shared(line):
+                    continue
+                assert amap.owner_core(line) == 2  # only its own private region
+
+    def test_gap_mean_tracks_mem_ratio(self):
+        spec = AppSpec(
+            "dense",
+            (PhaseSpec(instructions=1000, mem_ratio=0.25, burstiness=0.0),),
+        )
+        program = StatisticalProgram(0, spec, AddressMap(2), seed=5)
+        gaps = [program.next_access(0)[0] for _ in range(4000)]
+        mean = sum(gaps) / len(gaps)
+        assert mean == pytest.approx(1 / 0.25 - 1, rel=0.1)
+
+    def test_burstiness_clusters_accesses(self):
+        def mk(burst):
+            spec = AppSpec(
+                "b",
+                (PhaseSpec(instructions=1000, mem_ratio=0.2, burstiness=burst),),
+            )
+            return StatisticalProgram(0, spec, AddressMap(2), seed=5)
+
+        smooth_prog, bursty_prog = mk(0.0), mk(0.8)
+        smooth = [smooth_prog.next_access(0)[0] for _ in range(3000)]
+        bursty = [bursty_prog.next_access(0)[0] for _ in range(3000)]
+        zero_frac = lambda gaps: sum(g <= 1 for g in gaps) / len(gaps)
+        assert zero_frac(bursty) > zero_frac(smooth) + 0.1
+
+    def test_write_fractions_split_by_region(self):
+        spec = AppSpec(
+            "w",
+            (
+                PhaseSpec(
+                    instructions=1000,
+                    mem_ratio=0.5,
+                    shared_frac=0.5,
+                    write_frac=0.9,
+                    shared_write_frac=0.0,
+                ),
+            ),
+        )
+        amap = AddressMap(2)
+        program = StatisticalProgram(0, spec, amap, seed=7)
+        shared_writes = private_writes = shared = private = 0
+        for _ in range(4000):
+            _, line, is_write = program.next_access(0)
+            if amap.is_shared(line):
+                shared += 1
+                shared_writes += is_write
+            else:
+                private += 1
+                private_writes += is_write
+        assert shared_writes == 0
+        assert private_writes / private == pytest.approx(0.9, abs=0.05)
+
+    def test_determinism_per_seed(self):
+        a = self.make(seed=11)
+        b = self.make(seed=11)
+        assert [a.next_access(0) for _ in range(50)] == [
+            b.next_access(0) for _ in range(50)
+        ]
+
+    def test_cores_have_distinct_streams(self):
+        a = StatisticalProgram(0, APPS["fft"], AddressMap(4), seed=11)
+        b = StatisticalProgram(1, APPS["fft"], AddressMap(4), seed=11)
+        assert [a.next_access(0)[0] for _ in range(30)] != [
+            b.next_access(0)[0] for _ in range(30)
+        ]
+
+
+class TestMakePrograms:
+    def test_one_per_core(self):
+        programs = make_programs("ocean", 6, seed=2)
+        assert len(programs) == 6
+        assert [p.core_id for p in programs] == list(range(6))
+
+    def test_unknown_app(self):
+        with pytest.raises(WorkloadError):
+            make_programs("doom", 4)
+
+    def test_spec_object_accepted(self):
+        programs = make_programs(APPS["water"], 2)
+        assert programs[0].spec.name == "water"
+
+    def test_scale_applied(self):
+        programs = make_programs("water", 2, scale=0.5)
+        assert programs[0].phases[0].instructions == APPS["water"].phases[0].instructions // 2
+
+
+class TestMixedPrograms:
+    def test_round_robin_assignment(self):
+        programs = make_mixed_programs(["fft", "canneal"], 4)
+        assert [p.spec.name for p in programs] == ["fft", "canneal", "fft", "canneal"]
+
+    def test_mixes_disable_barriers(self):
+        programs = make_mixed_programs(["fft", "lu"], 4)
+        assert all(not p.barriers for p in programs)
+
+    def test_disjoint_shared_windows(self):
+        """Cores running different apps of a mix must share no lines."""
+        amap = AddressMap(4)
+        programs = make_mixed_programs(["fft", "canneal"], 4, seed=3)
+        touched = [set() for _ in range(2)]
+        for p in programs:
+            for _ in range(400):
+                _, line, _ = p.next_access(0)
+                if amap.is_shared(line):
+                    touched[p.core_id % 2].add(line)
+        assert touched[0] and touched[1]
+        assert not (touched[0] & touched[1])
+
+    def test_same_app_cores_do_share(self):
+        amap = AddressMap(4)
+        programs = make_mixed_programs(["canneal"], 4, seed=3)
+        touched = [set() for _ in range(4)]
+        for p in programs:
+            for _ in range(400):
+                _, line, _ = p.next_access(0)
+                if amap.is_shared(line):
+                    touched[p.core_id].add(line)
+        assert touched[0] & touched[1]
+
+    def test_empty_mix_rejected(self):
+        with pytest.raises(WorkloadError):
+            make_mixed_programs([], 4)
+
+    def test_unknown_app_in_mix(self):
+        with pytest.raises(WorkloadError):
+            make_mixed_programs(["fft", "quake"], 4)
+
+    def test_mix_runs_on_cmp(self):
+        from repro.fullsys import CmpConfig, CmpSystem
+        from repro.noc import Mesh
+
+        topo = Mesh(2, 2)
+        programs = make_mixed_programs(["water", "blackscholes"], 4, scale=0.2)
+        system = CmpSystem(topo, CmpConfig(), programs)
+        assert system.run_to_completion() > 0

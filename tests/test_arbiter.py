@@ -1,0 +1,84 @@
+"""Tests for the round-robin and matrix arbiters."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.noc.arbiter import MatrixArbiter, RoundRobinArbiter
+
+
+@pytest.mark.parametrize("cls", [RoundRobinArbiter, MatrixArbiter])
+class TestCommon:
+    def test_empty_request_set(self, cls):
+        assert cls(4).grant([]) is None
+
+    def test_single_requester_wins(self, cls):
+        arb = cls(4)
+        assert arb.grant([2]) == 2
+
+    def test_invalid_size(self, cls):
+        with pytest.raises(ValueError):
+            cls(0)
+
+    def test_winner_is_a_requester(self, cls):
+        arb = cls(8)
+        for _ in range(50):
+            winner = arb.grant([1, 3, 5])
+            assert winner in {1, 3, 5}
+
+    @given(st.sets(st.integers(0, 7), min_size=1, max_size=8))
+    def test_grant_membership_property(self, cls, requests):
+        arb = cls(8)
+        assert arb.grant(requests) in requests
+
+    def test_fairness_under_persistent_contention(self, cls):
+        """Every persistent requester gets within 2x of its fair share."""
+        arb = cls(4)
+        requesters = [0, 1, 2, 3]
+        wins = {r: 0 for r in requesters}
+        rounds = 400
+        for _ in range(rounds):
+            wins[arb.grant(requesters)] += 1
+        for r in requesters:
+            assert rounds / 8 <= wins[r] <= rounds / 2
+
+    def test_reset(self, cls):
+        arb = cls(4)
+        first = arb.grant([0, 1, 2, 3])
+        arb.grant([0, 1, 2, 3])
+        arb.reset()
+        assert arb.grant([0, 1, 2, 3]) == first
+
+
+class TestRoundRobinSpecifics:
+    def test_rotation_order(self):
+        arb = RoundRobinArbiter(4)
+        grants = [arb.grant([0, 1, 2, 3]) for _ in range(8)]
+        assert grants == [0, 1, 2, 3, 0, 1, 2, 3]
+
+    def test_priority_moves_past_winner(self):
+        arb = RoundRobinArbiter(4)
+        assert arb.grant([2]) == 2
+        # Next highest priority is 3, so with {1, 3} requesting, 3 wins.
+        assert arb.grant([1, 3]) == 3
+
+    def test_wraps_around(self):
+        arb = RoundRobinArbiter(3)
+        assert arb.grant([2]) == 2
+        assert arb.grant([0]) == 0
+
+
+class TestMatrixSpecifics:
+    def test_least_recently_served_wins(self):
+        arb = MatrixArbiter(3)
+        assert arb.grant([0, 1, 2]) == 0
+        assert arb.grant([0, 1, 2]) == 1
+        assert arb.grant([0, 1, 2]) == 2
+        # 0 served longest ago among {0, 2}.
+        assert arb.grant([0, 2]) == 0
+
+    def test_recent_winner_loses_ties(self):
+        arb = MatrixArbiter(2)
+        first = arb.grant([0, 1])
+        second = arb.grant([0, 1])
+        assert {first, second} == {0, 1}

@@ -1,0 +1,38 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.harness.cli import build_parser, main
+
+
+class TestParser:
+    def test_experiment_ids_accepted(self):
+        parser = build_parser()
+        args = parser.parse_args(["E3", "--quick"])
+        assert args.experiment == "E3" and args.quick
+
+    def test_table1_accepted(self):
+        assert build_parser().parse_args(["table1"]).experiment == "table1"
+
+    def test_unknown_experiment_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["E42"])
+
+    def test_seed_override(self):
+        assert build_parser().parse_args(["E1", "--seed", "9"]).seed == 9
+
+
+class TestMain:
+    def test_table1(self, capsys):
+        assert main(["table1"]) == 0
+        out = capsys.readouterr().out
+        assert "Target system configuration" in out
+
+    def test_quick_experiment(self, capsys):
+        assert main(["E1", "--quick"]) == 0
+        out = capsys.readouterr().out
+        assert "[E1]" in out and "completed in" in out
+
+    def test_seed_passthrough(self, capsys):
+        assert main(["E1", "--quick", "--seed", "23"]) == 0
+        assert "[E1]" in capsys.readouterr().out

@@ -1,0 +1,154 @@
+"""Whole-system integration tests for the CMP simulator."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.fullsys import CmpConfig, CmpSystem, FixedTransport, MessageKind
+from repro.noc import Mesh
+from repro.workloads import make_programs
+
+from .protocol_helpers import check_coherence_invariants, check_message_balance
+
+
+def small_system(app="water", seed=3, config=None, width=2, height=2, scale=0.3):
+    topo = Mesh(width, height)
+    programs = make_programs(app, topo.num_nodes, seed=seed, scale=scale)
+    return CmpSystem(topo, config or CmpConfig(), programs)
+
+
+class TestConstruction:
+    def test_needs_programs(self):
+        with pytest.raises(ConfigError):
+            CmpSystem(Mesh(2, 2), CmpConfig())
+
+    def test_program_count_must_match(self):
+        programs = make_programs("fft", 3)
+        with pytest.raises(ConfigError):
+            CmpSystem(Mesh(2, 2), CmpConfig(), programs)
+
+    def test_default_memory_controllers_at_corners(self):
+        system = small_system(width=4, height=4)
+        assert set(system.memctrls) == {0, 3, 12, 15}
+
+    def test_explicit_memory_controllers(self):
+        config = CmpConfig(mem_controllers=[5])
+        system = small_system(width=4, height=4, config=config)
+        assert set(system.memctrls) == {5}
+        assert all(mc == 5 for mc in system._mem_assignment.values())
+
+
+class TestEndToEndRuns:
+    def test_runs_to_completion(self):
+        system = small_system()
+        finish = system.run_to_completion()
+        assert finish == system.finish_cycle
+        assert system.all_finished
+        assert all(core.finished for core in system.cores)
+
+    def test_all_instructions_retired(self):
+        system = small_system()
+        system.run_to_completion()
+        for core in system.cores:
+            expected = sum(p.instructions for p in core.program.phases)
+            assert core.instructions_retired == expected
+
+    def test_quiescent_state_is_coherent(self):
+        system = small_system(app="ocean", scale=0.2)
+        system.run_to_completion()
+        system.events.run_all()
+        check_coherence_invariants(system)
+        check_message_balance(system)
+
+    @pytest.mark.parametrize("app", ["fft", "radix", "raytrace"])
+    def test_multiple_apps_coherent(self, app):
+        system = small_system(app=app, scale=0.15)
+        system.run_to_completion()
+        system.events.run_all()
+        check_coherence_invariants(system)
+        check_message_balance(system)
+
+    def test_determinism(self):
+        a = small_system(seed=9)
+        b = small_system(seed=9)
+        assert a.run_to_completion() == b.run_to_completion()
+        assert a.summary() == b.summary()
+
+    def test_seed_changes_outcome(self):
+        a = small_system(seed=1)
+        b = small_system(seed=2)
+        a.run_to_completion()
+        b.run_to_completion()
+        assert a.total_instructions() != b.total_instructions() or (
+            a.finish_cycle != b.finish_cycle
+        )
+
+
+class TestBarriers:
+    def test_barrier_apps_change_phases_together(self):
+        """With barriers, no core may be two phases ahead of another."""
+        system = small_system(app="fft", scale=0.3)  # fft has barriers
+        max_spread = 0
+        system.start()
+        while not system.all_finished:
+            nxt = system.events.next_event_time()
+            if nxt is None:
+                break
+            system.events.run_until(nxt)
+            phases = [c.phase_idx for c in system.cores]
+            max_spread = max(max_spread, max(phases) - min(phases))
+        assert max_spread <= 1
+
+    def test_barrier_free_apps_complete(self):
+        system = small_system(app="raytrace", scale=0.3)  # no barriers
+        assert system.run_to_completion() > 0
+
+
+class TestStatistics:
+    def test_summary_consistency(self):
+        system = small_system()
+        system.run_to_completion()
+        summary = system.summary()
+        assert summary["instructions"] == float(system.total_instructions())
+        assert summary["finish_cycle"] == float(system.finish_cycle)
+        assert 0.0 < summary["l1_miss_rate"] < 1.0
+        assert summary["network_messages"] > 0
+
+    def test_miss_latency_positive(self):
+        system = small_system()
+        system.run_to_completion()
+        assert system.miss_latencies
+        assert all(lat > 0 for lat in system.miss_latencies)
+
+    def test_local_vs_network_split(self):
+        system = small_system()
+        system.run_to_completion()
+        assert system.local_messages > 0
+        assert system.network_messages > 0
+
+
+class TestTransportContract:
+    def test_transport_latency_affects_runtime(self):
+        fast = small_system()
+        fast.transport = FixedTransport(fast, latency=5)
+        slow = small_system()
+        slow.transport = FixedTransport(slow, latency=80)
+        assert slow.run_to_completion() > fast.run_to_completion()
+
+    def test_transport_never_sees_local_messages(self):
+        system = small_system()
+        seen = []
+        inner = FixedTransport(system)
+
+        def spying(msg):
+            seen.append(msg)
+            inner(msg)
+
+        system.transport = spying
+        system.run_to_completion()
+        assert seen
+        assert all(msg.src != msg.dst for msg in seen)
+
+    def test_fixed_transport_validation(self):
+        system = small_system()
+        with pytest.raises(ConfigError):
+            FixedTransport(system, latency=0)

@@ -1,0 +1,67 @@
+"""Unit tests for coherence message plumbing and directory entries."""
+
+import pytest
+
+from repro.errors import ProtocolError
+from repro.fullsys import DirectoryEntry, Message, MessageKind, message_profile
+from repro.noc import MessageClass
+
+
+class TestMessageProfiles:
+    def test_requests_are_control_sized(self):
+        cls, data = message_profile(MessageKind.GETS)
+        assert cls == MessageClass.REQUEST and not data
+
+    def test_data_messages_carry_data(self):
+        for kind in (MessageKind.DATA, MessageKind.PUTM, MessageKind.MEM_DATA,
+                     MessageKind.RECALL_DATA, MessageKind.MEM_WB):
+            _, carries = message_profile(kind)
+            assert carries, kind
+
+    def test_acks_are_control(self):
+        for kind in (MessageKind.INV_ACK, MessageKind.UNBLOCK, MessageKind.PUT_ACK):
+            cls, carries = message_profile(kind)
+            assert cls == MessageClass.CONTROL and not carries
+
+    def test_unknown_kind(self):
+        with pytest.raises(ProtocolError):
+            message_profile("Snoop")
+
+    def test_every_kind_has_a_profile(self):
+        kinds = [
+            v for k, v in vars(MessageKind).items() if not k.startswith("_")
+        ]
+        for kind in kinds:
+            assert message_profile(kind) is not None
+
+
+class TestMessages:
+    def test_unique_ids(self):
+        a = Message("GetS", 0, 1, 5, 0, 1, MessageClass.REQUEST)
+        b = Message("GetS", 0, 1, 5, 0, 1, MessageClass.REQUEST)
+        assert a.mid != b.mid
+
+
+class TestDirectoryEntry:
+    def test_fresh_entry_is_droppable(self):
+        assert DirectoryEntry().is_clean_and_quiet
+
+    def test_owner_pins_entry(self):
+        ent = DirectoryEntry(owner=3)
+        assert not ent.is_clean_and_quiet
+
+    def test_sharers_pin_entry(self):
+        ent = DirectoryEntry()
+        ent.sharers.add(1)
+        assert not ent.is_clean_and_quiet
+
+    def test_pending_queue_pins_entry(self):
+        ent = DirectoryEntry()
+        ent.pending.append(object())
+        assert not ent.is_clean_and_quiet
+
+    def test_busy_pins_entry(self):
+        ent = DirectoryEntry()
+        ent.state = "busy_mem"
+        assert not ent.is_clean_and_quiet
+        assert not ent.is_idle

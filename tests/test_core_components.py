@@ -1,0 +1,191 @@
+"""Unit tests for the reciprocal-abstraction building blocks:
+bridge, feedback table, quantum controllers, adapters."""
+
+import pytest
+
+from repro.abstractnet import FixedLatencyModel, TableLatencyModel
+from repro.core import (
+    AbstractModelAdapter,
+    AdaptiveQuantum,
+    DetailedNetworkAdapter,
+    FixedQuantum,
+    LatencyFeedback,
+    MessageBridge,
+)
+from repro.errors import ConfigError, SimulationError
+from repro.fullsys import Message, MessageKind, message_profile
+from repro.noc import CycleNetwork, Mesh, MessageClass, NocConfig
+
+
+def make_message(src=0, dst=5, line=77, size=1, msg_class=MessageClass.REQUEST, t=0):
+    return Message(
+        kind=MessageKind.GETS,
+        src=src,
+        dst=dst,
+        line=line,
+        requester=src,
+        size_flits=size,
+        msg_class=msg_class,
+        created_cycle=t,
+    )
+
+
+class TestBridge:
+    def test_roundtrip(self):
+        bridge = MessageBridge()
+        msg = make_message(size=5, t=42)
+        packet = bridge.to_packet(msg, inject_cycle=42)
+        assert packet.src == msg.src and packet.dst == msg.dst
+        assert packet.size_flits == 5
+        assert packet.msg_class == msg.msg_class
+        assert bridge.to_message(packet) is msg
+
+    def test_local_message_rejected(self):
+        bridge = MessageBridge()
+        with pytest.raises(SimulationError):
+            bridge.to_packet(make_message(src=3, dst=3), 0)
+
+    def test_foreign_packet_rejected(self):
+        from repro.noc import Packet
+
+        bridge = MessageBridge()
+        with pytest.raises(SimulationError):
+            bridge.to_message(Packet(src=0, dst=1, size_flits=1))
+
+    def test_counters(self):
+        bridge = MessageBridge()
+        packet = bridge.to_packet(make_message(), 0)
+        bridge.to_message(packet)
+        assert bridge.packets_created == 1
+        assert bridge.messages_recovered == 1
+
+
+class TestLatencyFeedback:
+    def test_record_and_estimate(self):
+        fb = LatencyFeedback(Mesh(4, 4))
+        fb.record(make_message(src=0, dst=3), latency=30)  # distance 3
+        assert fb.estimate(3, MessageClass.REQUEST) == 30.0
+        assert fb.count(3, MessageClass.REQUEST) == 1
+
+    def test_ewma_converges(self):
+        fb = LatencyFeedback(Mesh(4, 4), alpha=0.5)
+        for _ in range(20):
+            fb.record(make_message(src=0, dst=1), latency=10)
+        assert fb.estimate(1, MessageClass.REQUEST) == pytest.approx(10.0, abs=0.1)
+
+    def test_cross_class_fallback(self):
+        fb = LatencyFeedback(Mesh(4, 4))
+        fb.record(make_message(src=0, dst=3), latency=30)
+        assert fb.estimate(3, MessageClass.RESPONSE) == 30.0  # same-distance mean
+
+    def test_default_when_unknown(self):
+        fb = LatencyFeedback(Mesh(4, 4))
+        assert fb.estimate(5, 0) is None
+        assert fb.estimate(5, 0, default=12.5) == 12.5
+
+    def test_attach_forwards_observations(self):
+        topo, noc = Mesh(4, 4), NocConfig()
+        model = TableLatencyModel(topo, noc)
+        fb = LatencyFeedback(topo)
+        fb.attach(model)
+        fb.record(make_message(src=0, dst=3), latency=44)
+        assert model.observations == 1
+
+
+class TestQuantumControllers:
+    def test_fixed(self):
+        q = FixedQuantum(32)
+        assert q.next_quantum() == 32
+        q.observe_window(1000, 1000)
+        assert q.next_quantum() == 32
+
+    def test_fixed_validation(self):
+        with pytest.raises(ConfigError):
+            FixedQuantum(0)
+
+    def test_adaptive_shrinks_under_load(self):
+        q = AdaptiveQuantum(min_cycles=8, max_cycles=256, target_messages=16)
+        start = q.next_quantum()
+        for _ in range(10):
+            q.observe_window(messages=5000, deliveries=5000)
+        assert q.next_quantum() < start
+        assert q.next_quantum() >= 8
+
+    def test_adaptive_grows_when_idle(self):
+        q = AdaptiveQuantum(min_cycles=8, max_cycles=256, target_messages=16)
+        for _ in range(10):
+            q.observe_window(messages=5000, deliveries=5000)
+        busy = q.next_quantum()
+        for _ in range(30):
+            q.observe_window(messages=0, deliveries=0)
+        assert q.next_quantum() > busy
+
+    def test_adaptive_bounds(self):
+        with pytest.raises(ConfigError):
+            AdaptiveQuantum(min_cycles=0)
+        with pytest.raises(ConfigError):
+            AdaptiveQuantum(min_cycles=64, max_cycles=8)
+
+
+class TestDetailedAdapter:
+    def test_send_advance_deliver(self):
+        topo = Mesh(4, 4)
+        adapter = DetailedNetworkAdapter(CycleNetwork(topo, NocConfig()))
+        msg = make_message(src=0, dst=15, size=2)
+        adapter.send(msg, now=0)
+        assert adapter.in_flight == 1
+        adapter.advance(200)
+        deliveries = adapter.pop_deliveries()
+        assert len(deliveries) == 1
+        delivered, when, latency = deliveries[0]
+        assert delivered is msg
+        assert latency == NocConfig().min_latency(6, 2)
+        assert when == latency  # created at cycle 0
+
+    def test_stale_send_rejected(self):
+        adapter = DetailedNetworkAdapter(CycleNetwork(Mesh(2, 2)))
+        adapter.advance(50)
+        with pytest.raises(SimulationError):
+            adapter.send(make_message(), now=10)
+
+    def test_not_inline(self):
+        assert not DetailedNetworkAdapter(CycleNetwork(Mesh(2, 2))).inline
+
+
+class TestAbstractAdapter:
+    def test_inline_delivery(self):
+        topo, noc = Mesh(4, 4), NocConfig()
+        adapter = AbstractModelAdapter(FixedLatencyModel(topo, noc))
+        msg = make_message(src=0, dst=15, size=2, t=100)
+        adapter.send(msg, now=100)
+        ((delivered, when, latency),) = adapter.pop_deliveries()
+        assert delivered is msg
+        assert latency == noc.min_latency(6, 2)
+        assert when == 100 + latency
+        assert adapter.pop_deliveries() == []
+
+    def test_is_inline(self):
+        adapter = AbstractModelAdapter(FixedLatencyModel(Mesh(2, 2), NocConfig()))
+        assert adapter.inline
+
+    def test_advance_ages_model(self):
+        from repro.abstractnet import QueueingLatencyModel
+
+        topo, noc = Mesh(4, 4), NocConfig()
+        model = QueueingLatencyModel(topo, noc, alpha=1.0)
+        adapter = AbstractModelAdapter(model)
+        for _ in range(100):
+            adapter.send(make_message(src=0, dst=1, size=8), now=0)
+        adapter.advance(64)
+        from repro.noc.topology import EAST
+
+        assert model.channel_utilization(0, EAST) > 0.5
+
+    def test_rejects_degenerate_latency(self):
+        class BrokenModel(FixedLatencyModel):
+            def latency(self, *args):
+                return 0
+
+        adapter = AbstractModelAdapter(BrokenModel(Mesh(2, 2), NocConfig()))
+        with pytest.raises(SimulationError):
+            adapter.send(make_message(src=0, dst=1), now=0)

@@ -1,0 +1,192 @@
+"""End-to-end tests of the reciprocal-abstraction co-simulator."""
+
+import pytest
+
+from repro.core import (
+    CoSimulator,
+    FixedQuantum,
+    TargetConfig,
+    build_cosim,
+    default_target_table,
+)
+from repro.errors import ConfigError, SimulationError
+from repro.fullsys import CmpConfig
+from repro.noc import MessageClass, NocConfig
+
+
+def small(app="water", model="cycle", quantum=4, seed=3, **kw):
+    return TargetConfig(
+        width=2,
+        height=2,
+        app=app,
+        network_model=model,
+        quantum=quantum,
+        seed=seed,
+        scale=0.3,
+        **kw,
+    )
+
+
+class TestCompletion:
+    @pytest.mark.parametrize("model", ["cycle", "simd", "fixed", "queueing", "table"])
+    def test_completes_and_balances(self, model):
+        result = build_cosim(small(model=model)).run()
+        assert result.completed
+        assert result.deliveries == result.messages_sent
+        assert result.mean_latency() > 0
+        assert result.cycles >= result.finish_cycle
+
+    def test_shadow_mode_completes(self):
+        result = build_cosim(small(model="table-shadow")).run()
+        assert result.completed
+        # Shadow feeds the feedback table with real observations.
+        assert result.feedback_snapshot
+
+    def test_max_cycles_bound(self):
+        result = build_cosim(small()).run(max_cycles=50)
+        assert not result.completed
+        assert result.cycles <= 50
+
+
+class TestQuantumSemantics:
+    def test_quantum_one_never_clamps_more_than_boundary(self):
+        result = build_cosim(small(model="cycle", quantum=1)).run()
+        # At Q=1 every delivery lands at most on the next boundary; the
+        # recorded applied latency equals the network latency.
+        assert result.clamped_deliveries == 0
+
+    def test_larger_quantum_clamps(self):
+        q1 = build_cosim(small(model="cycle", quantum=1)).run()
+        q64 = build_cosim(small(model="cycle", quantum=64)).run()
+        assert q64.clamped_deliveries > 0
+        assert q64.mean_latency() > q1.mean_latency()
+
+    def test_inline_models_never_clamp(self):
+        result = build_cosim(small(model="fixed", quantum=64)).run()
+        assert result.clamped_deliveries == 0
+
+    def test_window_count(self):
+        result = build_cosim(small(model="cycle", quantum=32)).run()
+        # Windows are counted for the main loop; the drained tail after the
+        # last core finishes adds cycles but no counted windows.
+        assert result.windows == pytest.approx(result.finish_cycle / 32, abs=2)
+
+    def test_quantum_object_accepted(self):
+        config = small(model="cycle")
+        cosim = build_cosim(config)
+        assert isinstance(cosim.quantum, FixedQuantum)
+
+
+class TestLatencyAccounting:
+    def test_applied_latencies_at_least_zero_load(self):
+        config = small(model="cycle", quantum=1)
+        cosim = build_cosim(config)
+        result = cosim.run()
+        noc = config.noc
+        # Every applied latency is at least the 1-hop zero-load latency.
+        floor = noc.min_latency(1, 1)
+        assert min(result.applied_latencies[-1]) >= floor
+
+    def test_per_class_breakdown(self):
+        result = build_cosim(small(model="cycle")).run()
+        assert MessageClass.REQUEST in result.applied_latencies
+        assert MessageClass.RESPONSE in result.applied_latencies
+        total = sum(
+            len(v) for k, v in result.applied_latencies.items() if k != -1
+        )
+        assert total == len(result.applied_latencies[-1])
+
+    def test_data_messages_slower_than_requests(self):
+        """5-flit responses serialize longer than 1-flit requests."""
+        result = build_cosim(small(model="fixed")).run()
+        assert result.mean_latency(MessageClass.RESPONSE) > result.mean_latency(
+            MessageClass.REQUEST
+        )
+
+    def test_feedback_recorded_for_detailed_runs(self):
+        cosim = build_cosim(small(model="cycle"))
+        result = cosim.run()
+        assert cosim.feedback.observations == result.deliveries
+
+
+class TestReciprocalAccuracy:
+    def test_detailed_latency_exceeds_zero_load_model(self):
+        """The detailed network sees contention the fixed model cannot."""
+        truth = build_cosim(small(model="cycle", quantum=1, app="fft")).run()
+        fixed = build_cosim(small(model="fixed", app="fft")).run()
+        assert truth.mean_latency() > fixed.mean_latency()
+
+    def test_ra_closer_to_truth_than_fixed(self):
+        # On a 2x2 target latencies are tiny (~10 cycles), so the quantum
+        # must be proportionally small for RA to keep its edge.
+        truth = build_cosim(small(model="simd", quantum=1, app="fft")).run()
+        ra = build_cosim(small(model="simd", quantum=2, app="fft")).run()
+        fixed = build_cosim(small(model="fixed", app="fft")).run()
+        t = truth.mean_latency()
+        assert abs(ra.mean_latency() - t) < abs(fixed.mean_latency() - t)
+
+
+class TestConfigSurface:
+    def test_variant(self):
+        base = small()
+        changed = base.variant(quantum=99)
+        assert changed.quantum == 99 and base.quantum == 4
+        assert changed.app == base.app
+
+    def test_unknown_model_rejected(self):
+        with pytest.raises(ConfigError):
+            TargetConfig(network_model="quantum-annealer")
+
+    def test_num_cores(self):
+        assert TargetConfig(width=4, height=2, concentration=2).num_cores == 16
+
+    def test_topology_construction(self):
+        from repro.noc import ConcentratedMesh, Mesh, Torus
+
+        assert isinstance(TargetConfig(topology="mesh").make_topology(), Mesh)
+        assert isinstance(TargetConfig(topology="torus").make_topology(), Torus)
+        assert isinstance(
+            TargetConfig(topology="cmesh", concentration=2).make_topology(),
+            ConcentratedMesh,
+        )
+
+    def test_target_table_mentions_key_parameters(self):
+        table = default_target_table()
+        text = " ".join(f"{k} {v}" for k, v in table.items())
+        assert "MSI" in text and "XY" in text and "quantum" in text
+
+    def test_shadow_requires_inline_main(self):
+        from repro.core import CoSimulator, DetailedNetworkAdapter
+        from repro.fullsys import CmpSystem
+        from repro.noc import CycleNetwork, Mesh
+        from repro.workloads import make_programs
+
+        topo = Mesh(2, 2)
+        system = CmpSystem(topo, CmpConfig(), make_programs("water", 4))
+        detailed = DetailedNetworkAdapter(CycleNetwork(topo))
+        shadow = DetailedNetworkAdapter(CycleNetwork(topo))
+        with pytest.raises(ConfigError):
+            CoSimulator(system, detailed, shadow=shadow)
+
+
+class TestDeterminism:
+    def test_cosim_runs_are_reproducible(self):
+        a = build_cosim(small(model="cycle", app="fft")).run()
+        b = build_cosim(small(model="cycle", app="fft")).run()
+        assert a.finish_cycle == b.finish_cycle
+        assert a.mean_latency() == b.mean_latency()
+        assert a.messages_sent == b.messages_sent
+
+
+class TestMixedWorkloads:
+    def test_mix_syntax_builds_and_runs(self):
+        result = build_cosim(
+            small(app="mix:water+blackscholes", model="fixed")
+        ).run()
+        assert result.completed
+        assert result.deliveries == result.messages_sent
+
+    def test_mix_assigns_round_robin(self):
+        cosim = build_cosim(small(app="mix:water+blackscholes", model="fixed"))
+        names = [core.program.spec.name for core in cosim.system.cores]
+        assert names == ["water", "blackscholes", "water", "blackscholes"]

@@ -1,0 +1,70 @@
+"""Property-based tests of whole co-simulation runs.
+
+Hypothesis varies the seed, application, network model, and quantum; every
+completed run must satisfy structural invariants regardless of the drawn
+configuration: message/delivery conservation, latency floors, quiescent
+coherence, and clamping accounting.
+"""
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core import TargetConfig, build_cosim
+
+from .protocol_helpers import check_coherence_invariants, check_message_balance
+
+_CONFIGS = st.fixed_dictionaries(
+    {
+        "seed": st.integers(0, 50),
+        "app": st.sampled_from(["water", "fft", "blackscholes"]),
+        "network_model": st.sampled_from(["simd", "fixed", "queueing"]),
+        "quantum": st.sampled_from([1, 2, 4, 8]),
+    }
+)
+
+
+class TestCoSimProperties:
+    @given(_CONFIGS)
+    @settings(
+        max_examples=12,
+        deadline=None,
+        suppress_health_check=[HealthCheck.too_slow, HealthCheck.data_too_large],
+    )
+    def test_run_invariants(self, params):
+        config = TargetConfig(width=2, height=2, scale=0.15, **params)
+        cosim = build_cosim(config)
+        result = cosim.run()
+
+        # Completion and conservation.
+        assert result.completed
+        assert result.deliveries == result.messages_sent
+        assert result.latency_count() == result.deliveries
+
+        # Latency floor: nothing travels faster than a 1-hop control packet.
+        floor = config.noc.min_latency(1, 1)
+        assert min(result.applied_latencies[-1]) >= floor
+
+        # Inline models never clamp; detailed models never clamp at Q=1.
+        if params["network_model"] != "simd" or params["quantum"] == 1:
+            assert result.clamped_deliveries == 0
+
+        # The system reached quiescence coherently.
+        check_coherence_invariants(cosim.system)
+        check_message_balance(cosim.system)
+
+    @given(st.integers(0, 30))
+    @settings(max_examples=8, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    def test_model_choice_never_changes_work_done(self, seed):
+        """The network model changes *timing*, never *what executes*: total
+        instructions retired are identical across models for a given seed."""
+        totals = []
+        for model in ("fixed", "simd"):
+            config = TargetConfig(
+                width=2, height=2, app="water", scale=0.15, seed=seed,
+                network_model=model, quantum=4,
+            )
+            cosim = build_cosim(config)
+            cosim.run()
+            totals.append(cosim.system.total_instructions())
+        assert totals[0] == totals[1]

@@ -1,0 +1,226 @@
+"""Integration tests for the OO cycle-level network simulator."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import SimulationError
+from repro.noc import (
+    ConcentratedMesh,
+    CycleNetwork,
+    Mesh,
+    MessageClass,
+    NocConfig,
+    Packet,
+    Torus,
+    make_routing,
+)
+from repro.workloads import SyntheticTraffic
+
+
+def run_one(topo, src, dst, size, config=None, routing=None):
+    net = CycleNetwork(topo, config or NocConfig(), routing=routing)
+    p = Packet(src=src, dst=dst, size_flits=size)
+    net.inject(p)
+    net.drain(50_000)
+    return net, p
+
+
+class TestZeroLoadLatency:
+    @given(
+        st.integers(0, 15),
+        st.integers(0, 15),
+        st.integers(1, 8),
+    )
+    @settings(max_examples=30)
+    def test_matches_closed_form(self, src, dst, size):
+        """An uncontended packet's latency equals the analytical formula —
+        the zero-load agreement contract every abstract model builds on."""
+        if src == dst:
+            return
+        topo = Mesh(4, 4)
+        config = NocConfig()
+        net, p = run_one(topo, src, dst, size, config)
+        hops = topo.hop_distance(src, dst)
+        assert p.latency == config.min_latency(hops, size)
+        assert p.hops == hops
+
+    def test_custom_delays_respected(self):
+        topo = Mesh(3, 1)
+        config = NocConfig(router_delay=3, link_delay=2, ejection_delay=2)
+        net, p = run_one(topo, 0, 2, 4, config)
+        assert p.latency == config.min_latency(2, 4)
+
+    def test_yx_routing_same_zero_load(self):
+        topo = Mesh(4, 4)
+        config = NocConfig()
+        _, p = run_one(topo, 0, 15, 3, config, routing=make_routing("yx"))
+        assert p.latency == config.min_latency(6, 3)
+
+
+class TestConservation:
+    @pytest.mark.parametrize("rate", [0.02, 0.08])
+    def test_all_packets_delivered(self, rate):
+        topo = Mesh(4, 4)
+        net = CycleNetwork(topo)
+        traffic = SyntheticTraffic(topo, "uniform", rate=rate, seed=13)
+        traffic.drive(net, 1000, drain=True)
+        assert net.stats.injected_packets == net.stats.ejected_packets
+        assert net.stats.injected_flits == net.stats.ejected_flits
+        assert net.buffered_flits() == 0
+        assert net.in_flight == 0
+
+    def test_per_class_conservation(self):
+        topo = Mesh(3, 3)
+        net = CycleNetwork(topo)
+        for cls in (MessageClass.REQUEST, MessageClass.RESPONSE, MessageClass.DATA):
+            for i in range(5):
+                net.inject(Packet(src=i % 9, dst=(i + 3) % 9, size_flits=2, msg_class=cls))
+        net.drain()
+        for cls in (MessageClass.REQUEST, MessageClass.RESPONSE, MessageClass.DATA):
+            assert net.stats.class_summary(cls).packets == 5
+
+    def test_tiny_buffers_still_deliver(self, tiny_noc_config):
+        """Backpressure with 1 VC x 1 slot must not lose or wedge flits."""
+        topo = Mesh(3, 3)
+        net = CycleNetwork(topo, tiny_noc_config)
+        traffic = SyntheticTraffic(topo, "uniform", rate=0.05, size_flits=3, seed=5)
+        traffic.drive(net, 500, drain=True)
+        assert net.stats.injected_packets == net.stats.ejected_packets
+        assert net.stats.injected_packets > 0
+
+
+class TestOrderingAndRouting:
+    def test_same_pair_packets_arrive_in_order_single_vc(self):
+        """With one VC, same source-destination packets cannot reorder."""
+        topo = Mesh(4, 1)
+        net = CycleNetwork(topo, NocConfig(num_vcs=1))
+        packets = [Packet(src=0, dst=3, size_flits=2) for _ in range(10)]
+        for p in packets:
+            net.inject(p)
+        net.drain()
+        ejects = [p.eject_cycle for p in packets]
+        assert ejects == sorted(ejects)
+
+    def test_xy_hops_are_minimal(self):
+        topo = Mesh(5, 5)
+        net = CycleNetwork(topo)
+        pkts = [Packet(src=0, dst=d, size_flits=1) for d in range(1, 25)]
+        for p in pkts:
+            net.inject(p)
+        net.drain()
+        for p in pkts:
+            assert p.hops == topo.hop_distance(0, p.dst)
+
+    def test_adaptive_routing_delivers(self):
+        topo = Mesh(4, 4)
+        net = CycleNetwork(topo, routing=make_routing("west-first"))
+        traffic = SyntheticTraffic(topo, "uniform", rate=0.05, seed=3)
+        traffic.drive(net, 500, drain=True)
+        assert net.stats.injected_packets == net.stats.ejected_packets
+
+
+class TestInjectionSemantics:
+    def test_future_injection(self):
+        net = CycleNetwork(Mesh(2, 2))
+        p = Packet(src=0, dst=3, size_flits=1)
+        net.inject(p, cycle=50)
+        net.run(10)
+        assert net.stats.injected_packets == 0  # not admitted yet
+        net.drain()
+        assert p.inject_cycle == 50
+        assert p.network_entry_cycle >= 50
+
+    def test_past_injection_rejected(self):
+        net = CycleNetwork(Mesh(2, 2))
+        net.run(10)
+        with pytest.raises(SimulationError):
+            net.inject(Packet(src=0, dst=1, size_flits=1), cycle=5)
+
+    def test_source_queue_serializes_one_flit_per_cycle(self):
+        """A router's local port injects at most one flit per cycle."""
+        topo = Mesh(2, 1)
+        net = CycleNetwork(topo)
+        for _ in range(4):
+            net.inject(Packet(src=0, dst=1, size_flits=4))
+        net.drain()
+        # 16 flits over >= 16 injection cycles: last eject >= 16.
+        assert net.stats.ejected_flits == 16
+        assert net.cycle >= 16
+
+
+class TestDelivery:
+    def test_pop_delivered_in_eject_order(self):
+        topo = Mesh(4, 1)
+        net = CycleNetwork(topo)
+        near = Packet(src=0, dst=1, size_flits=1)
+        far = Packet(src=0, dst=3, size_flits=1)
+        net.inject(far)
+        net.inject(near)
+        net.drain()
+        delivered = net.pop_delivered()
+        assert [p.pid for p in delivered] == sorted(
+            [near.pid, far.pid], key=lambda pid: near.eject_cycle if pid == near.pid else far.eject_cycle
+        )
+        assert net.pop_delivered() == []
+
+    def test_on_eject_callback(self):
+        calls = []
+        net = CycleNetwork(Mesh(2, 2), on_eject=lambda p, c: calls.append((p.pid, c)))
+        p = Packet(src=0, dst=3, size_flits=2)
+        net.inject(p)
+        net.drain()
+        assert calls == [(p.pid, p.eject_cycle)]
+
+
+class TestDeterminism:
+    def test_same_seed_identical_stats(self):
+        def run():
+            topo = Mesh(4, 4)
+            net = CycleNetwork(topo)
+            SyntheticTraffic(topo, "uniform", rate=0.08, seed=21).drive(net, 800)
+            return net.stats.summary()
+
+        assert run() == run()
+
+
+class TestTorusDateline:
+    def test_torus_traffic_drains(self):
+        topo = Torus(4, 4)
+        net = CycleNetwork(topo, NocConfig(num_vcs=4, watchdog_cycles=20_000))
+        traffic = SyntheticTraffic(topo, "uniform", rate=0.06, seed=9)
+        traffic.drive(net, 800, drain=True)
+        assert net.stats.injected_packets == net.stats.ejected_packets
+
+    def test_torus_wrap_shortens_paths(self):
+        topo = Torus(6, 6)
+        net = CycleNetwork(topo)
+        p = Packet(src=0, dst=5, size_flits=1)  # 1 wrap hop west
+        net.inject(p)
+        net.drain()
+        assert p.hops == 1
+
+
+class TestConcentratedMesh:
+    def test_shared_local_port(self):
+        topo = ConcentratedMesh(2, 2, concentration=4)
+        net = CycleNetwork(topo)
+        pkts = [Packet(src=n, dst=(n + 4) % 16, size_flits=2) for n in range(16)]
+        for p in pkts:
+            net.inject(p)
+        net.drain()
+        assert net.stats.ejected_packets == 16
+
+
+class TestWatchdogAndErrors:
+    def test_drain_bound(self):
+        net = CycleNetwork(Mesh(2, 2))
+        net.inject(Packet(src=0, dst=3, size_flits=1), cycle=10_000)
+        with pytest.raises(SimulationError, match="drain"):
+            net.drain(max_cycles=100)
+
+    def test_link_utilizations_keys(self):
+        net = CycleNetwork(Mesh(2, 2))
+        utils = net.link_utilizations()
+        assert len(utils) == 8  # 4 bidirectional channels
+        assert all(v == 0.0 for v in utils.values())

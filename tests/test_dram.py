@@ -1,0 +1,219 @@
+"""Tests for the detailed DRAM controller (banks, row buffers, FR-FCFS)."""
+
+import heapq
+
+import pytest
+
+from repro.dram import DramConfig, DramController
+from repro.errors import ConfigError
+
+
+class _MiniKernel:
+    """A tiny event loop standing in for the CMP's kernel in unit tests."""
+
+    def __init__(self) -> None:
+        self.now = 0
+        self._heap = []
+        self._seq = 0
+
+    def schedule_in(self, delay, fn):
+        heapq.heappush(self._heap, (self.now + delay, self._seq, fn))
+        self._seq += 1
+
+    def run(self):
+        while self._heap:
+            self.now, _, fn = heapq.heappop(self._heap)
+            fn()
+
+
+def make_controller(config=None):
+    kernel = _MiniKernel()
+    mc = DramController(0, config or DramConfig(), schedule=kernel.schedule_in)
+    return mc, kernel
+
+
+def read_at(mc, line, now, results):
+    mc.read(line, now, lambda t, line=line: results.append((line, t)))
+
+
+class TestConfig:
+    def test_latency_components(self):
+        cfg = DramConfig(t_rp=10, t_rcd=20, t_cas=30, t_burst=4)
+        assert cfg.row_hit_latency == 34
+        assert cfg.row_closed_latency == 54
+        assert cfg.row_conflict_latency == 64
+
+    def test_banks_power_of_two(self):
+        with pytest.raises(ConfigError):
+            DramConfig(banks=6)
+
+    def test_positive_timings(self):
+        with pytest.raises(ConfigError):
+            DramConfig(t_cas=0)
+
+    def test_needs_scheduler(self):
+        with pytest.raises(ConfigError):
+            DramController(0, DramConfig())
+
+
+class TestAddressMapping:
+    def test_banks_interleave_low_bits(self):
+        mc, _ = make_controller(DramConfig(banks=8, row_lines=128))
+        assert mc.map_address(0)[0] == 0
+        assert mc.map_address(1)[0] == 1
+        assert mc.map_address(8)[0] == 0
+
+    def test_rows_above_bank_bits(self):
+        mc, _ = make_controller(DramConfig(banks=8, row_lines=128))
+        assert mc.map_address(0)[1] == 0
+        assert mc.map_address(8 * 128 - 1)[1] == 0
+        assert mc.map_address(8 * 128)[1] == 1
+
+
+class TestRowBufferTiming:
+    def test_cold_then_hit(self):
+        cfg = DramConfig()
+        mc, kernel = make_controller(cfg)
+        results = []
+        read_at(mc, 0, 0, results)  # cold: activates row 0 of bank 0
+        kernel.run()
+        assert results[0][1] == cfg.row_closed_latency
+        second_start = results[0][1] + 100
+        read_at(mc, 8, second_start, results)  # same bank, same row: hit
+        kernel.run()
+        assert results[1][1] == second_start + cfg.row_hit_latency
+        assert mc.row_hits == 1 and mc.row_cold == 1
+
+    def test_row_conflict_pays_precharge(self):
+        cfg = DramConfig(banks=2, row_lines=4)
+        mc, kernel = make_controller(cfg)
+        results = []
+        read_at(mc, 0, 0, results)  # bank 0, row 0
+        kernel.run()
+        read_at(mc, 8, 1000, results)  # bank 0, row 1: conflict
+        kernel.run()
+        assert results[1][1] == 1000 + cfg.row_conflict_latency
+        assert mc.row_conflicts == 1
+
+    def test_bank_parallelism_overlaps(self):
+        cfg = DramConfig()
+        mc, kernel = make_controller(cfg)
+        results = []
+        read_at(mc, 0, 0, results)  # bank 0
+        read_at(mc, 1, 0, results)  # bank 1: overlaps, pays only the gate
+        kernel.run()
+        by_line = dict(results)
+        assert by_line[0] == cfg.row_closed_latency
+        assert by_line[1] == cfg.t_burst + cfg.row_closed_latency
+
+    def test_same_bank_serializes(self):
+        cfg = DramConfig(banks=2, row_lines=4)
+        mc, kernel = make_controller(cfg)
+        results = []
+        read_at(mc, 0, 0, results)  # bank 0 row 0
+        read_at(mc, 2, 0, results)  # bank 0 row 0: must wait for the bank
+        kernel.run()
+        by_line = dict(results)
+        assert by_line[0] == cfg.row_closed_latency
+        # Second starts when the bank frees, then hits the open row.
+        assert by_line[2] == cfg.row_closed_latency + cfg.row_hit_latency
+
+
+class TestFrFcfs:
+    def test_row_hit_jumps_the_queue(self):
+        """With the bank busy, a younger row-hit request is served before an
+        older row-conflict request (FR part of FR-FCFS)."""
+        cfg = DramConfig(banks=2, row_lines=4)
+        mc, kernel = make_controller(cfg)
+        results = []
+        read_at(mc, 0, 0, results)  # bank 0 row 0: issues immediately
+        read_at(mc, 8, 0, results)  # bank 0 row 1 (conflict), older
+        read_at(mc, 2, 0, results)  # bank 0 row 0 (hit), younger
+        kernel.run()
+        order = [line for line, _ in results]
+        assert order.index(2) < order.index(8)
+        assert mc.row_hits >= 1
+
+    def test_fcfs_within_same_row_class(self):
+        cfg = DramConfig(banks=2, row_lines=4)
+        mc, kernel = make_controller(cfg)
+        results = []
+        read_at(mc, 0, 0, results)  # bank 0 row 0: issues
+        read_at(mc, 2, 0, results)  # bank 0 row 0 hit, arrived earlier
+        read_at(mc, 6, 0, results)  # bank 0 row 0 hit, arrived later
+        kernel.run()
+        order = [line for line, _ in results]
+        assert order.index(2) < order.index(6)
+
+
+class TestStatistics:
+    def test_hit_rate_for_streaming_pattern(self):
+        """Sequential lines within a row produce high hit rates."""
+        cfg = DramConfig(banks=8, row_lines=128)
+        mc, kernel = make_controller(cfg)
+        results = []
+        t = 0
+        for i in range(200):
+            read_at(mc, i % 8 + (i // 8) * 8, t, results)  # sequential lines
+            t += 200  # unloaded
+            kernel.run()
+        assert mc.row_hit_rate > 0.9
+
+    def test_writebacks_counted_but_silent(self):
+        mc, kernel = make_controller()
+        mc.writeback(5, 0)
+        kernel.run()
+        assert mc.writebacks == 1
+
+    def test_summary_keys(self):
+        mc, _ = make_controller()
+        assert {"reads", "row_hit_rate", "mean_queue_delay"} <= set(mc.summary())
+
+
+class TestSystemIntegration:
+    def test_dram_cmp_runs_and_stays_coherent(self):
+        from repro.fullsys import CmpConfig, CmpSystem
+        from repro.noc import Mesh
+        from repro.workloads import make_programs
+
+        from .protocol_helpers import (
+            check_coherence_invariants,
+            check_message_balance,
+        )
+
+        topo = Mesh(2, 2)
+        system = CmpSystem(
+            topo,
+            CmpConfig(memory_model="dram"),
+            make_programs("water", 4, seed=3, scale=0.2),
+        )
+        system.run_to_completion()
+        system.events.run_all()
+        check_coherence_invariants(system)
+        check_message_balance(system)
+        mc = next(iter(system.memctrls.values()))
+        assert mc.reads > 0
+
+    def test_dram_slower_than_flat_on_random_traffic(self):
+        from repro.fullsys import CmpConfig, CmpSystem
+        from repro.noc import Mesh
+        from repro.workloads import make_programs
+
+        def run(model):
+            topo = Mesh(2, 2)
+            system = CmpSystem(
+                topo,
+                CmpConfig(memory_model=model),
+                make_programs("ocean", 4, seed=3, scale=0.2),
+            )
+            return system.run_to_completion()
+
+        # Zipf-random traffic has poor row locality: the detailed model's
+        # conflicts and bank occupancy make it slower than the flat model.
+        assert run("dram") > run("simple")
+
+    def test_unknown_memory_model_rejected(self):
+        from repro.fullsys import CmpConfig
+
+        with pytest.raises(ConfigError):
+            CmpConfig(memory_model="hbm")

@@ -1,0 +1,115 @@
+"""Tests for the discrete-event kernel."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.fullsys import EventQueue
+
+
+class TestScheduling:
+    def test_events_fire_in_time_order(self):
+        queue = EventQueue()
+        log = []
+        queue.schedule(30, lambda: log.append(30))
+        queue.schedule(10, lambda: log.append(10))
+        queue.schedule(20, lambda: log.append(20))
+        queue.run_until(100)
+        assert log == [10, 20, 30]
+
+    def test_ties_fire_in_schedule_order(self):
+        queue = EventQueue()
+        log = []
+        for tag in range(5):
+            queue.schedule(7, lambda tag=tag: log.append(tag))
+        queue.run_until(7)
+        assert log == [0, 1, 2, 3, 4]
+
+    def test_schedule_in(self):
+        queue = EventQueue()
+        queue.run_until(10)
+        fired = []
+        queue.schedule_in(5, lambda: fired.append(queue.now))
+        queue.run_until(20)
+        assert fired == [15]
+
+    def test_past_scheduling_rejected(self):
+        queue = EventQueue()
+        queue.run_until(10)
+        with pytest.raises(SimulationError):
+            queue.schedule(5, lambda: None)
+
+    def test_run_until_backwards_rejected(self):
+        queue = EventQueue()
+        queue.run_until(10)
+        with pytest.raises(SimulationError):
+            queue.run_until(5)
+
+
+class TestWindows:
+    def test_run_until_is_inclusive(self):
+        queue = EventQueue()
+        fired = []
+        queue.schedule(10, lambda: fired.append(1))
+        queue.run_until(10)
+        assert fired == [1]
+        assert queue.now == 10
+
+    def test_events_beyond_window_wait(self):
+        queue = EventQueue()
+        fired = []
+        queue.schedule(11, lambda: fired.append(1))
+        queue.run_until(10)
+        assert fired == []
+        assert queue.pending == 1
+        queue.run_until(11)
+        assert fired == [1]
+
+    def test_cascading_events_inside_window(self):
+        queue = EventQueue()
+        log = []
+
+        def first():
+            log.append(("first", queue.now))
+            queue.schedule_in(3, lambda: log.append(("second", queue.now)))
+
+        queue.schedule(5, first)
+        queue.run_until(20)
+        assert log == [("first", 5), ("second", 8)]
+
+    def test_now_advances_to_window_end(self):
+        queue = EventQueue()
+        queue.run_until(42)
+        assert queue.now == 42
+
+
+class TestRunAll:
+    def test_run_all_drains(self):
+        queue = EventQueue()
+        count = []
+        for t in (3, 1, 2):
+            queue.schedule(t, lambda: count.append(1))
+        queue.run_all()
+        assert len(count) == 3
+        assert queue.pending == 0
+
+    def test_run_all_with_bound(self):
+        queue = EventQueue()
+        fired = []
+        queue.schedule(5, lambda: fired.append(5))
+        queue.schedule(50, lambda: fired.append(50))
+        queue.run_all(max_time=10)
+        assert fired == [5]
+        assert queue.now == 10
+
+    def test_events_processed_counter(self):
+        queue = EventQueue()
+        for t in range(4):
+            queue.schedule(t, lambda: None)
+        queue.run_all()
+        assert queue.events_processed == 4
+
+    def test_next_event_time(self):
+        queue = EventQueue()
+        assert queue.next_event_time() is None
+        queue.schedule(9, lambda: None)
+        assert queue.next_event_time() == 9

@@ -1,0 +1,33 @@
+"""Smoke checks for the example scripts.
+
+Full example runs take tens of seconds each (they are demonstrations, not
+tests), so here we only import each script — catching syntax errors, broken
+imports, and API drift — and verify each has a ``main`` guarded by
+``__main__`` so importing is side-effect free.
+"""
+
+import importlib.util
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = sorted((Path(__file__).parent.parent / "examples").glob("*.py"))
+
+
+@pytest.mark.parametrize("path", EXAMPLES, ids=lambda p: p.stem)
+def test_example_imports_cleanly(path):
+    spec = importlib.util.spec_from_file_location(f"example_{path.stem}", path)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)  # must not run the simulation
+    assert callable(getattr(module, "main", None)), f"{path.name} has no main()"
+
+
+def test_expected_example_set():
+    names = {p.stem for p in EXAMPLES}
+    assert {
+        "quickstart",
+        "vacuum_vs_context",
+        "design_space_vcs",
+        "gpu_scaling",
+        "memory_fidelity",
+    } <= names

@@ -1,0 +1,105 @@
+"""Tests for the calibrated GPU host-cost model."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.noc_gpu import GpuCostParams, GpuExecutionModel
+
+
+@pytest.fixture
+def model():
+    return GpuExecutionModel()
+
+
+class TestPaperAnchors:
+    def test_256_core_reduction(self, model):
+        assert model.gpu_time_reduction(256) == pytest.approx(0.16, abs=0.005)
+
+    def test_512_core_reduction(self, model):
+        assert model.gpu_time_reduction(512) == pytest.approx(0.65, abs=0.005)
+
+    def test_gpu_loses_at_64(self, model):
+        assert model.gpu_time_reduction(64) < 0.0
+
+    def test_reduction_monotonic_in_cores(self, model):
+        reductions = [model.gpu_time_reduction(n) for n in (64, 128, 256, 512, 1024)]
+        assert reductions == sorted(reductions)
+
+    def test_crossover_between_64_and_256(self, model):
+        assert 64 < model.crossover_cores() <= 256
+
+
+class TestCostStructure:
+    def test_fullsys_linear(self, model):
+        assert model.fullsys_cost(512) == 2 * model.fullsys_cost(256)
+
+    def test_cpu_network_superlinear(self, model):
+        ratio = model.cpu_network_cost(512) / model.cpu_network_cost(256)
+        assert ratio == pytest.approx(2**1.5, rel=1e-6)
+
+    def test_gpu_network_flat_at_small_sizes(self, model):
+        """Launch overhead dominates: doubling a small network barely moves
+        the GPU cost."""
+        small = model.gpu_network_cost(16)
+        double = model.gpu_network_cost(32)
+        assert double / small < 1.05
+
+    def test_cycles_scale_linearly(self, model):
+        one = model.cosim_time(256, 1, "cpu")
+        many = model.cosim_time(256, 1000, "cpu")
+        assert many == pytest.approx(1000 * one)
+
+    def test_reduction_independent_of_cycles(self, model):
+        assert model.gpu_time_reduction(256, cycles=1) == pytest.approx(
+            model.gpu_time_reduction(256, cycles=12345)
+        )
+
+    def test_abstract_network_is_cheapest(self, model):
+        none = model.cosim_time(256, 10, "none")
+        cpu = model.cosim_time(256, 10, "cpu")
+        gpu = model.cosim_time(256, 10, "gpu")
+        assert none < gpu < cpu
+
+
+class TestQuantumBatching:
+    def test_batching_reduces_gpu_cost(self):
+        batched = GpuExecutionModel(GpuCostParams(quantum_batching=0.9))
+        unbatched = GpuExecutionModel()
+        assert batched.gpu_network_cost(256, quantum=64) < unbatched.gpu_network_cost(
+            256, quantum=64
+        )
+
+    def test_quantum_one_equals_unbatched(self):
+        batched = GpuExecutionModel(GpuCostParams(quantum_batching=0.9))
+        assert batched.gpu_network_cost(256, quantum=1) == pytest.approx(
+            GpuExecutionModel().gpu_network_cost(256, quantum=1)
+        )
+
+    def test_cost_monotonic_in_quantum(self):
+        model = GpuExecutionModel(GpuCostParams(quantum_batching=0.5))
+        costs = [model.gpu_network_cost(256, quantum=q) for q in (1, 4, 16, 64)]
+        assert costs == sorted(costs, reverse=True)
+
+
+class TestValidation:
+    def test_bad_params(self):
+        with pytest.raises(ConfigError):
+            GpuCostParams(fullsys_unit=0)
+        with pytest.raises(ConfigError):
+            GpuCostParams(gpu_net_fraction=1.5)
+        with pytest.raises(ConfigError):
+            GpuCostParams(quantum_batching=-0.1)
+
+    def test_bad_network_kind(self, model):
+        with pytest.raises(ConfigError):
+            model.cosim_time(64, 1, "tpu")
+
+    def test_bad_quantum(self, model):
+        with pytest.raises(ConfigError):
+            model.gpu_network_cost(64, quantum=0)
+
+    def test_no_crossover_raises(self):
+        # A model whose GPU never wins below the bound.
+        params = GpuCostParams(gpu_launch_unit=1e12)
+        with pytest.raises(ConfigError):
+            GpuExecutionModel(params).crossover_cores(max_cores=1024)

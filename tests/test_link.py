@@ -1,0 +1,81 @@
+"""Tests for inter-router links: delays, credits, utilization."""
+
+from repro.noc.link import Link
+from repro.noc.packet import Packet
+
+
+def make_link(delay=2, credit_delay=1):
+    return Link(0, 1, 1, 2, delay=delay, credit_delay=credit_delay)
+
+
+def flit():
+    return Packet(src=0, dst=1, size_flits=1).flits()[0]
+
+
+class TestFlitTransport:
+    def test_arrival_after_delay(self):
+        link = make_link(delay=3)
+        f = flit()
+        link.send_flit(f, vc=1, now=10)
+        assert link.arrivals(12) == []
+        assert link.arrivals(13) == [(f, 1)]
+
+    def test_arrivals_drain_once(self):
+        link = make_link(delay=1)
+        link.send_flit(flit(), 0, now=0)
+        assert len(link.arrivals(1)) == 1
+        assert link.arrivals(1) == []
+
+    def test_pipelining_preserves_order(self):
+        link = make_link(delay=2)
+        f1, f2 = flit(), flit()
+        link.send_flit(f1, 0, now=0)
+        link.send_flit(f2, 0, now=1)
+        assert link.arrivals(2) == [(f1, 0)]
+        assert link.arrivals(3) == [(f2, 0)]
+
+    def test_in_flight_count(self):
+        link = make_link()
+        link.send_flit(flit(), 0, now=0)
+        link.send_flit(flit(), 0, now=0)
+        assert link.in_flight == 2
+
+
+class TestCredits:
+    def test_credit_delay(self):
+        link = make_link(credit_delay=2)
+        link.send_credit(vc=3, now=5)
+        assert link.credit_arrivals(6) == []
+        assert link.credit_arrivals(7) == [3]
+
+    def test_credits_and_flits_independent(self):
+        link = make_link(delay=1, credit_delay=1)
+        link.send_flit(flit(), 0, now=0)
+        link.send_credit(2, now=0)
+        assert link.credit_arrivals(1) == [2]
+        assert len(link.arrivals(1)) == 1
+
+
+class TestIdleAndUtilization:
+    def test_idle_lifecycle(self):
+        link = make_link(delay=1)
+        assert link.idle
+        link.send_flit(flit(), 0, now=0)
+        assert not link.idle
+        link.arrivals(1)
+        assert link.idle
+
+    def test_utilization(self):
+        link = make_link(delay=1)
+        for cycle in range(5):
+            link.send_flit(flit(), 0, now=cycle)
+        assert link.utilization(10) == 0.5
+
+    def test_utilization_capped_at_one(self):
+        link = make_link(delay=1)
+        for cycle in range(5):
+            link.send_flit(flit(), 0, now=cycle)
+        assert link.utilization(2) == 1.0
+
+    def test_zero_elapsed(self):
+        assert make_link().utilization(0) == 0.0

@@ -1,0 +1,74 @@
+"""Tests for the memory-controller model and controller assignment."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.fullsys import MemoryController, assign_controllers
+from repro.noc import ConcentratedMesh, Mesh
+
+
+class TestBandwidthModel:
+    def test_unloaded_latency(self):
+        mc = MemoryController(0, latency=100, service_interval=4)
+        assert mc.service_read(10) == 110
+
+    def test_back_to_back_requests_queue(self):
+        mc = MemoryController(0, latency=100, service_interval=4)
+        first = mc.service_read(0)
+        second = mc.service_read(0)
+        third = mc.service_read(0)
+        assert first == 100
+        assert second == 104
+        assert third == 108
+
+    def test_idle_gap_resets_queue(self):
+        mc = MemoryController(0, latency=100, service_interval=4)
+        mc.service_read(0)
+        assert mc.service_read(1000) == 1100
+
+    def test_writebacks_consume_bandwidth(self):
+        mc = MemoryController(0, latency=100, service_interval=4)
+        mc.service_writeback(0)
+        assert mc.service_read(0) == 104
+
+    def test_queue_delay_statistics(self):
+        mc = MemoryController(0, latency=100, service_interval=10)
+        mc.service_read(0)
+        mc.service_read(0)  # waits 10
+        assert mc.mean_queue_delay == pytest.approx(5.0)
+        assert mc.reads == 2
+
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            MemoryController(0, latency=0, service_interval=4)
+
+
+class TestAssignment:
+    def test_every_tile_assigned(self):
+        topo = Mesh(4, 4)
+        assignment = assign_controllers(topo, [0, 3, 12, 15])
+        assert set(assignment) == set(range(16))
+        assert set(assignment.values()) <= {0, 3, 12, 15}
+
+    def test_nearest_controller_wins(self):
+        topo = Mesh(4, 4)
+        assignment = assign_controllers(topo, [0, 15])
+        assert assignment[1] == 0  # adjacent to corner 0
+        assert assignment[14] == 15
+
+    def test_tie_breaks_to_lowest_id(self):
+        topo = Mesh(3, 1)
+        assignment = assign_controllers(topo, [0, 2])
+        assert assignment[1] == 0  # equidistant; lowest id wins
+
+    def test_concentrated_nodes(self):
+        topo = ConcentratedMesh(2, 2, concentration=2)
+        assignment = assign_controllers(topo, [0])
+        assert set(assignment) == set(range(8))
+
+    def test_validation(self):
+        topo = Mesh(2, 2)
+        with pytest.raises(ConfigError):
+            assign_controllers(topo, [])
+        with pytest.raises(ConfigError):
+            assign_controllers(topo, [99])

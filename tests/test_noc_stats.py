@@ -1,0 +1,113 @@
+"""Tests for network statistics collection."""
+
+import pytest
+
+from repro.noc.packet import MessageClass, Packet
+from repro.noc.stats import NetworkStats
+
+
+def delivered_packet(latency=20, size=4, msg_class=MessageClass.DATA, hops=3):
+    p = Packet(src=0, dst=1, size_flits=size, msg_class=msg_class, inject_cycle=100)
+    p.network_entry_cycle = 103
+    p.eject_cycle = 100 + latency
+    p.hops = hops
+    return p
+
+
+class TestCounting:
+    def test_injection_counts(self):
+        stats = NetworkStats()
+        stats.record_injection(delivered_packet(size=5))
+        assert stats.injected_packets == 1
+        assert stats.injected_flits == 5
+
+    def test_in_flight(self):
+        stats = NetworkStats()
+        p = delivered_packet()
+        stats.record_injection(p)
+        assert stats.in_flight_packets == 1
+        stats.record_ejection(p)
+        assert stats.in_flight_packets == 0
+
+    def test_per_class_split(self):
+        stats = NetworkStats()
+        for cls in (MessageClass.REQUEST, MessageClass.REQUEST, MessageClass.DATA):
+            p = delivered_packet(msg_class=cls)
+            stats.record_injection(p)
+            stats.record_ejection(p)
+        assert stats.class_summary(MessageClass.REQUEST).packets == 2
+        assert stats.class_summary(MessageClass.DATA).packets == 1
+
+
+class TestLatencyAggregates:
+    def test_mean_latency(self):
+        stats = NetworkStats()
+        for lat in (10, 20, 30):
+            p = delivered_packet(latency=lat)
+            stats.record_injection(p)
+            stats.record_ejection(p)
+        assert stats.mean_latency == 20.0
+
+    def test_network_latency_excludes_source_queueing(self):
+        stats = NetworkStats()
+        p = delivered_packet(latency=20)
+        stats.record_injection(p)
+        stats.record_ejection(p)
+        assert stats.mean_network_latency == 17.0
+
+    def test_percentile(self):
+        stats = NetworkStats()
+        for lat in range(1, 101):
+            p = delivered_packet(latency=lat)
+            stats.record_injection(p)
+            stats.record_ejection(p)
+        assert stats.latency_percentile(95) == pytest.approx(95, abs=1)
+
+    def test_empty_stats_are_zero(self):
+        stats = NetworkStats()
+        assert stats.mean_latency == 0.0
+        assert stats.latency_percentile(99) == 0.0
+        assert stats.mean_hops == 0.0
+        assert stats.throughput_flits_per_cycle() == 0.0
+
+    def test_mean_hops(self):
+        stats = NetworkStats()
+        for hops in (2, 4):
+            p = delivered_packet(hops=hops)
+            stats.record_injection(p)
+            stats.record_ejection(p)
+        assert stats.mean_hops == 3.0
+
+
+class TestRates:
+    def test_throughput(self):
+        stats = NetworkStats()
+        stats.cycles = 100
+        for _ in range(10):
+            p = delivered_packet(size=4)
+            stats.record_injection(p)
+            stats.record_ejection(p)
+        assert stats.throughput_flits_per_cycle() == pytest.approx(0.4)
+
+    def test_offered_load(self):
+        stats = NetworkStats()
+        stats.cycles = 100
+        for _ in range(10):
+            stats.record_injection(delivered_packet(size=4))
+        assert stats.offered_load(num_nodes=4) == pytest.approx(0.1)
+
+
+class TestHistogram:
+    def test_binning(self):
+        stats = NetworkStats()
+        for lat in (3, 5, 12):
+            p = delivered_packet(latency=lat)
+            stats.record_injection(p)
+            stats.record_ejection(p)
+        hist = stats.latency_histogram(bin_width=8)
+        assert hist == {0: 2, 8: 1}
+
+    def test_summary_keys(self):
+        stats = NetworkStats()
+        summary = stats.summary()
+        assert {"cycles", "mean_latency", "p95_latency", "mean_hops"} <= set(summary)

@@ -1,0 +1,88 @@
+"""Tests for packets, flits, and message classes."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import ConfigError
+from repro.noc.packet import Flit, MessageClass, Packet
+
+
+class TestPacketValidation:
+    def test_basic_construction(self):
+        p = Packet(src=0, dst=5, size_flits=4)
+        assert p.msg_class == MessageClass.DATA
+        assert p.hops == 0
+
+    def test_zero_flits_rejected(self):
+        with pytest.raises(ConfigError):
+            Packet(src=0, dst=1, size_flits=0)
+
+    def test_self_packet_rejected(self):
+        with pytest.raises(ConfigError):
+            Packet(src=3, dst=3, size_flits=1)
+
+    def test_unknown_class_rejected(self):
+        with pytest.raises(ConfigError):
+            Packet(src=0, dst=1, size_flits=1, msg_class=99)
+
+    def test_unique_ids(self):
+        a = Packet(src=0, dst=1, size_flits=1)
+        b = Packet(src=0, dst=1, size_flits=1)
+        assert a.pid != b.pid
+
+
+class TestFlits:
+    @given(st.integers(1, 20))
+    def test_flit_count_and_order(self, size):
+        p = Packet(src=0, dst=1, size_flits=size)
+        flits = p.flits()
+        assert len(flits) == size
+        assert [f.seq for f in flits] == list(range(size))
+
+    @given(st.integers(1, 20))
+    def test_head_and_tail_markers(self, size):
+        flits = Packet(src=0, dst=1, size_flits=size).flits()
+        assert flits[0].is_head
+        assert flits[-1].is_tail
+        assert sum(f.is_head for f in flits) == 1
+        assert sum(f.is_tail for f in flits) == 1
+
+    def test_single_flit_is_both(self):
+        (flit,) = Packet(src=0, dst=1, size_flits=1).flits()
+        assert flit.is_head and flit.is_tail
+
+    def test_flit_dst_delegates(self):
+        p = Packet(src=0, dst=9, size_flits=2)
+        assert all(f.dst == 9 for f in p.flits())
+
+
+class TestLatencyAccessors:
+    def test_latency_requires_ejection(self):
+        p = Packet(src=0, dst=1, size_flits=1)
+        with pytest.raises(ValueError):
+            _ = p.latency
+
+    def test_latency_value(self):
+        p = Packet(src=0, dst=1, size_flits=1, inject_cycle=10)
+        p.eject_cycle = 35
+        assert p.latency == 25
+
+    def test_network_latency_excludes_queueing(self):
+        p = Packet(src=0, dst=1, size_flits=1, inject_cycle=10)
+        p.network_entry_cycle = 18
+        p.eject_cycle = 35
+        assert p.network_latency == 17
+        assert p.latency == 25
+
+    def test_network_latency_requires_entry(self):
+        p = Packet(src=0, dst=1, size_flits=1)
+        p.eject_cycle = 5
+        with pytest.raises(ValueError):
+            _ = p.network_latency
+
+
+class TestMessageClass:
+    def test_all_classes_named(self):
+        for cls in MessageClass.ALL:
+            assert cls in MessageClass.NAMES

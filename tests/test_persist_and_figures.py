@@ -1,0 +1,121 @@
+"""Tests for experiment-result persistence and ASCII figure rendering."""
+
+import json
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.harness import (
+    AsciiChart,
+    load_all,
+    load_result,
+    save_all,
+    save_result,
+)
+from repro.harness.experiments import ExperimentResult
+
+
+def sample_result(eid="E1"):
+    return ExperimentResult(
+        eid=eid,
+        title="sample",
+        headers=["a", "b"],
+        rows=[("x", 1.5), ("y", 2.5)],
+        notes={"reduction": 0.5},
+    )
+
+
+class TestPersistence:
+    def test_roundtrip(self, tmp_path):
+        path = tmp_path / "e1.json"
+        original = sample_result()
+        save_result(original, path)
+        loaded = load_result(path)
+        assert loaded.eid == original.eid
+        assert loaded.headers == original.headers
+        assert [tuple(r) for r in loaded.rows] == [tuple(r) for r in original.rows]
+        assert loaded.notes == original.notes
+
+    def test_render_after_load(self, tmp_path):
+        path = tmp_path / "e1.json"
+        save_result(sample_result(), path)
+        assert "[E1]" in load_result(path).render()
+
+    def test_file_is_plain_json(self, tmp_path):
+        path = tmp_path / "e1.json"
+        save_result(sample_result(), path)
+        data = json.loads(path.read_text())
+        assert data["schema"] == 1
+        assert data["eid"] == "E1"
+
+    def test_schema_check(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text('{"schema": 99}')
+        with pytest.raises(ConfigError):
+            load_result(path)
+
+    def test_save_and_load_all(self, tmp_path):
+        results = [sample_result("E2"), sample_result("E10"), sample_result("E1")]
+        paths = save_all(results, tmp_path / "out")
+        assert len(paths) == 3
+        loaded = load_all(tmp_path / "out")
+        assert [r.eid for r in loaded] == ["E1", "E2", "E10"]
+
+    def test_figures_roundtrip(self, tmp_path):
+        result = sample_result()
+        result.figures.append("ascii art here")
+        path = tmp_path / "fig.json"
+        save_result(result, path)
+        loaded = load_result(path)
+        assert loaded.figures == ["ascii art here"]
+        assert "ascii art here" in loaded.render()
+
+
+class TestAsciiChart:
+    def test_basic_rendering(self):
+        chart = AsciiChart(width=20, height=5, title="t")
+        chart.add_series("s", [0, 1, 2], [0, 1, 2])
+        text = chart.render()
+        lines = text.splitlines()
+        assert lines[0] == "t"
+        assert "* s" in lines[-1]
+        assert any("*" in line for line in lines)
+
+    def test_extremes_plotted_at_corners(self):
+        chart = AsciiChart(width=20, height=5)
+        chart.add_series("s", [0, 10], [0, 100], marker="#")
+        lines = chart.render().splitlines()
+        # max y, max x -> top-right; min -> bottom-left.
+        assert lines[0].endswith("#")
+        assert lines[4].strip().endswith("#") or "#" in lines[4]
+
+    def test_log_y_labels(self):
+        chart = AsciiChart(width=20, height=5, log_y=True)
+        chart.add_series("s", [0, 1], [10, 1000])
+        text = chart.render()
+        assert "1000" in text and "10" in text
+
+    def test_marker_cycling(self):
+        chart = AsciiChart(width=20, height=5)
+        chart.add_series("a", [0], [0])
+        chart.add_series("b", [0], [1])
+        legend = chart.render().splitlines()[-1]
+        assert "* a" in legend and "o b" in legend
+
+    def test_flat_series_does_not_divide_by_zero(self):
+        chart = AsciiChart(width=20, height=5)
+        chart.add_series("s", [1, 1], [5, 5])
+        assert chart.render()
+
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            AsciiChart(width=4, height=5)
+        chart = AsciiChart(width=20, height=5)
+        with pytest.raises(ConfigError):
+            chart.add_series("s", [1, 2], [1])
+        with pytest.raises(ConfigError):
+            chart.add_series("s", [], [])
+        with pytest.raises(ConfigError):
+            chart.add_series("s", [1], [1], marker="ab")
+        with pytest.raises(ConfigError):
+            chart.render()  # no series

@@ -1,0 +1,101 @@
+"""Error-path tests: the protocol engines must fail loudly on states they
+should never reach (silent corruption is the failure mode being prevented)."""
+
+import pytest
+
+from repro.errors import ProtocolError
+from repro.fullsys import CmpConfig, CmpSystem, Message, MessageKind
+from repro.noc import Mesh, MessageClass
+from repro.workloads import make_programs
+
+
+def make_system():
+    return CmpSystem(Mesh(2, 2), CmpConfig(), make_programs("water", 4, scale=0.1))
+
+
+def msg(kind, src=1, dst=0, line=5, requester=1):
+    return Message(
+        kind=kind,
+        src=src,
+        dst=dst,
+        line=line,
+        requester=requester,
+        size_flits=1,
+        msg_class=MessageClass.CONTROL,
+    )
+
+
+class TestHomeControllerStrays:
+    def test_stray_recall_data(self):
+        system = make_system()
+        with pytest.raises(ProtocolError, match="stray"):
+            system.homes[0].handle_message(msg(MessageKind.RECALL_DATA))
+
+    def test_stray_mem_data(self):
+        system = make_system()
+        with pytest.raises(ProtocolError, match="stray"):
+            system.homes[0].handle_message(msg(MessageKind.MEM_DATA))
+
+    def test_stray_unblock(self):
+        system = make_system()
+        with pytest.raises(ProtocolError, match="stray"):
+            system.homes[0].handle_message(msg(MessageKind.UNBLOCK))
+
+    def test_core_bound_kind_rejected_at_home(self):
+        system = make_system()
+        with pytest.raises(ProtocolError, match="unexpected"):
+            system.homes[0].handle_message(msg(MessageKind.INV))
+
+
+class TestCoreStrays:
+    def test_data_without_mshr(self):
+        system = make_system()
+        with pytest.raises(ProtocolError, match="DATA without MSHR"):
+            system.cores[0].handle_message(msg(MessageKind.DATA, dst=0))
+
+    def test_inv_ack_without_mshr(self):
+        system = make_system()
+        with pytest.raises(ProtocolError, match="INV_ACK without MSHR"):
+            system.cores[0].handle_message(msg(MessageKind.INV_ACK, dst=0))
+
+    def test_recall_for_unowned_line(self):
+        system = make_system()
+        with pytest.raises(ProtocolError, match="we do not own"):
+            system.cores[0].handle_message(msg(MessageKind.RECALL_X, dst=0))
+
+    def test_put_ack_without_eviction(self):
+        system = make_system()
+        with pytest.raises(ProtocolError, match="not evicting"):
+            system.cores[0].handle_message(msg(MessageKind.PUT_ACK, dst=0))
+
+    def test_home_bound_kind_rejected_at_core(self):
+        system = make_system()
+        with pytest.raises(ProtocolError, match="unexpected"):
+            system.cores[0].handle_message(msg(MessageKind.GETS, dst=0))
+
+
+class TestSystemDispatch:
+    def test_mem_message_to_non_controller_tile(self):
+        system = make_system()
+        # Tile 1 has no memory controller on a 2x2 (corners 0..3 all have
+        # one actually; use explicit config to make one missing).
+        config = CmpConfig(mem_controllers=[0])
+        system = CmpSystem(Mesh(2, 2), config, make_programs("water", 4, scale=0.1))
+        with pytest.raises(ProtocolError, match="no memory controller"):
+            system.deliver(msg(MessageKind.MEM_READ, dst=3))
+
+    def test_unknown_kind_undeliverable(self):
+        system = make_system()
+        bad = msg(MessageKind.GETS)
+        bad.kind = "Snoop"
+        with pytest.raises(ProtocolError, match="undeliverable"):
+            system.deliver(bad)
+
+    def test_inv_for_absent_line_is_not_an_error(self):
+        """Stale sharer lists are legal: Inv for a silently evicted copy is
+        acknowledged, never raised."""
+        system = make_system()
+        system.cores[0].handle_message(
+            msg(MessageKind.INV, dst=0, requester=2)
+        )
+        assert system.messages_by_kind[MessageKind.INV_ACK] == 1

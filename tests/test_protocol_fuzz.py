@@ -1,0 +1,95 @@
+"""Property-based fuzzing of the coherence protocol.
+
+Hypothesis generates random access scripts (random lines, read/write mix,
+gaps) for all four cores of a 2x2 system, plus adversarial per-message-kind
+transport latencies (to explore wire reorderings).  After every run the
+system must reach a quiescent state satisfying all coherence invariants and
+message-balance equations — the strongest correctness statement the protocol
+makes.
+"""
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.fullsys import CmpConfig, MessageKind
+
+from .protocol_helpers import (
+    build_system,
+    check_coherence_invariants,
+    check_message_balance,
+    run_and_drain,
+)
+
+# A tiny line universe maximizes conflict and sharing.
+_LINE_SLOT = st.integers(0, 5)
+_ACCESS = st.tuples(st.integers(0, 60), _LINE_SLOT, st.booleans())
+_SCRIPT = st.lists(_ACCESS, min_size=0, max_size=12)
+
+_KIND_LATENCIES = st.fixed_dictionaries(
+    {},
+    optional={
+        MessageKind.PUTM: st.integers(1, 300),
+        MessageKind.DATA: st.integers(1, 300),
+        MessageKind.GETS: st.integers(1, 100),
+        MessageKind.GETX: st.integers(1, 100),
+        MessageKind.INV_ACK: st.integers(1, 150),
+        MessageKind.UNBLOCK: st.integers(1, 150),
+        MessageKind.RECALL_DATA: st.integers(1, 150),
+    },
+)
+
+
+def _materialize(system, scripts):
+    """Map abstract line slots onto real shared lines (one per home)."""
+    lines = [system.address_map.shared_line(offset) for offset in range(6)]
+    for core, script in enumerate(scripts):
+        system.cores[core].program.script = [
+            (gap, lines[slot], is_write) for gap, slot, is_write in script
+        ]
+
+
+class TestProtocolFuzz:
+    @given(st.lists(_SCRIPT, min_size=4, max_size=4), _KIND_LATENCIES)
+    @settings(
+        max_examples=40,
+        deadline=None,
+        suppress_health_check=[HealthCheck.too_slow, HealthCheck.data_too_large],
+    )
+    def test_random_sharing_reaches_coherent_quiescence(self, scripts, latencies):
+        system = build_system(
+            [[], [], [], []], transport_overrides=latencies or None
+        )
+        _materialize(system, scripts)
+        run_and_drain(system)
+        check_coherence_invariants(system)
+        check_message_balance(system)
+
+    @given(st.lists(_SCRIPT, min_size=4, max_size=4), _KIND_LATENCIES)
+    @settings(
+        max_examples=25,
+        deadline=None,
+        suppress_health_check=[HealthCheck.too_slow, HealthCheck.data_too_large],
+    )
+    def test_tiny_l1_forces_eviction_races(self, scripts, latencies):
+        """A 2-line L1 makes every third access an eviction, maximizing
+        PutM/recall interleavings."""
+        config = CmpConfig(l1_lines=2, l1_ways=2, mem_latency=40, mlp=2)
+        system = build_system(
+            [[], [], [], []], config=config, transport_overrides=latencies or None
+        )
+        _materialize(system, scripts)
+        run_and_drain(system)
+        check_coherence_invariants(system)
+        check_message_balance(system)
+
+    @given(st.lists(_SCRIPT, min_size=4, max_size=4))
+    @settings(max_examples=15, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    def test_mlp_one_strict_serialization(self, scripts):
+        """Fully blocking cores (mlp=1) — the protocol must still balance."""
+        config = CmpConfig(mlp=1, mem_latency=40)
+        system = build_system([[], [], [], []], config=config)
+        _materialize(system, scripts)
+        run_and_drain(system)
+        check_coherence_invariants(system)
+        check_message_balance(system)

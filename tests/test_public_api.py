@@ -1,0 +1,67 @@
+"""Public-API surface tests: exports exist, __all__ is honest, version set."""
+
+import importlib
+
+import pytest
+
+import repro
+
+SUBPACKAGES = [
+    "repro.core",
+    "repro.noc",
+    "repro.noc_gpu",
+    "repro.abstractnet",
+    "repro.fullsys",
+    "repro.dram",
+    "repro.workloads",
+    "repro.harness",
+]
+
+
+class TestExports:
+    def test_version(self):
+        assert repro.__version__ == "1.0.0"
+
+    @pytest.mark.parametrize("module_name", ["repro"] + SUBPACKAGES)
+    def test_all_names_resolve(self, module_name):
+        module = importlib.import_module(module_name)
+        for name in getattr(module, "__all__", []):
+            assert hasattr(module, name), f"{module_name}.__all__ lists {name}"
+
+    def test_headline_entry_points(self):
+        # The names the README's quickstart uses.
+        assert callable(repro.build_cosim)
+        assert callable(repro.TargetConfig)
+        assert callable(repro.CoSimulator)
+        assert callable(repro.SimdNetwork)
+        assert callable(repro.CycleNetwork)
+
+    def test_error_hierarchy_rooted(self):
+        for name in (
+            "ConfigError",
+            "TopologyError",
+            "RoutingError",
+            "ProtocolError",
+            "SimulationError",
+            "WorkloadError",
+        ):
+            assert issubclass(getattr(repro, name), repro.ReproError)
+
+    def test_experiment_registry_exposed(self):
+        from repro.harness import ALL_EXPERIMENTS
+
+        assert len(ALL_EXPERIMENTS) == 10
+        for runner in ALL_EXPERIMENTS.values():
+            assert callable(runner)
+
+
+class TestReadmeSnippet:
+    def test_quickstart_code_runs(self):
+        """The README's programmatic quickstart, at tiny scale."""
+        from repro import TargetConfig, build_cosim
+
+        base = TargetConfig(width=2, height=2, app="water", scale=0.2)
+        truth = build_cosim(base.variant(network_model="simd", quantum=1)).run()
+        fixed = build_cosim(base.variant(network_model="fixed")).run()
+        assert truth.mean_latency() > 0
+        assert fixed.finish_cycle is not None

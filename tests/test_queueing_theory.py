@@ -1,0 +1,85 @@
+"""Queueing-theory cross-validation of the detailed simulators.
+
+A single source sending fixed-size packets over one channel at Bernoulli
+arrivals is (discrete-time) M/D/1: mean waiting time W = rho*S / (2(1-rho))
+with S the packet service time.  The detailed simulators must reproduce this
+within sampling tolerance — the same formula the abstract
+:class:`~repro.abstractnet.queueing.QueueingLatencyModel` evaluates per
+channel, so this test validates the *consistency of the fidelity ladder*:
+detailed simulation, queueing analysis, and the abstract model agree where
+theory applies.
+"""
+
+import pytest
+
+from repro.noc import CycleNetwork, Mesh, NocConfig, Packet
+from repro.noc_gpu import SimdNetwork
+from repro.util import Rng
+
+
+def run_single_channel(cls, rate, size, cycles=30_000, seed=5):
+    """One node streaming to its neighbour; returns mean queueing delay.
+
+    Multiple VCs are essential here: with a single VC, atomic VC
+    reallocation serializes the next packet's head behind the previous
+    tail's departure, inflating the effective service time well beyond the
+    packet length (a real router effect, but not the M/D/1 being checked).
+    """
+    topo = Mesh(2, 1)
+    config = NocConfig(num_vcs=4, buffer_depth=4)
+    net = cls(topo, config)
+    rng = Rng(seed)
+    for cycle in range(cycles):
+        if rng.bernoulli(rate):
+            net.inject(Packet(src=0, dst=1, size_flits=size), cycle=cycle)
+        net.step()
+    net.drain()
+    zero_load = config.min_latency(1, size)
+    return net.stats.mean_latency - zero_load
+
+
+def md1_wait(rho: float, service: float) -> float:
+    return rho * service / (2.0 * (1.0 - rho))
+
+
+class TestMD1Agreement:
+    @pytest.mark.parametrize("cls", [CycleNetwork, SimdNetwork])
+    @pytest.mark.parametrize("rate,size", [(0.10, 4), (0.15, 4), (0.10, 6)])
+    def test_waiting_time_tracks_theory(self, cls, rate, size):
+        rho = rate * size
+        measured = run_single_channel(cls, rate, size)
+        predicted = md1_wait(rho, size)
+        # Discrete-time effects and finite samples: generous but meaningful
+        # tolerance (the measured wait is within 35% of M/D/1 and far from
+        # either zero or the saturated regime).
+        assert measured == pytest.approx(predicted, rel=0.35)
+
+    def test_wait_grows_superlinearly_with_load(self):
+        w_low = run_single_channel(CycleNetwork, 0.05, 4)
+        w_high = run_single_channel(CycleNetwork, 0.20, 4)
+        # rho 0.2 -> W=0.5; rho 0.8 -> W=8: the ratio far exceeds the load ratio.
+        assert w_high > 6 * w_low
+
+    def test_abstract_queueing_model_matches_same_formula(self):
+        """The abstract model's per-channel wait equals M/D/1 by construction
+        once its utilization estimate converges."""
+        from repro.abstractnet import QueueingLatencyModel
+
+        topo = Mesh(2, 1)
+        config = NocConfig()
+        model = QueueingLatencyModel(topo, config, alpha=1.0)
+        rate, size = 0.15, 4
+        rng = Rng(9)
+        for window in range(30):
+            for cycle in range(64):
+                if rng.bernoulli(rate):
+                    model.latency(0, 1, size, 0, window * 64 + cycle)
+            model.on_quantum((window + 1) * 64, 64)
+        rho_est = model.channel_utilization(0, 1)  # port EAST == 1
+        assert rho_est == pytest.approx(rate * size, rel=0.25)
+        predicted_wait = model.latency(0, 1, size, 0, 9999) - config.min_latency(
+            1, size
+        )
+        assert predicted_wait == pytest.approx(
+            md1_wait(rho_est, size), abs=1.0
+        )

@@ -1,0 +1,82 @@
+"""Tests for the experiment-regression comparison tool."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.harness.experiments import ExperimentResult
+from repro.harness.regress import compare, compare_many
+
+
+def result(eid="E1", rows=None, notes=None):
+    return ExperimentResult(
+        eid=eid,
+        title="t",
+        headers=["name", "value"],
+        rows=rows if rows is not None else [("a", 10.0), ("b", 20.0)],
+        notes=notes if notes is not None else {"metric": 0.5},
+    )
+
+
+class TestCompare:
+    def test_identical_results_clean(self):
+        report = compare(result(), result())
+        assert not report.regressions
+        assert report.compared_cells == 3  # two row values + one note
+        assert "no regressions" in report.render()
+
+    def test_within_tolerance_clean(self):
+        report = compare(
+            result(), result(rows=[("a", 10.4), ("b", 20.0)]), tolerance=0.05
+        )
+        assert not report.regressions
+
+    def test_drift_beyond_tolerance_flagged(self):
+        report = compare(
+            result(), result(rows=[("a", 12.0), ("b", 20.0)]), tolerance=0.05
+        )
+        assert len(report.regressions) == 1
+        drift = report.regressions[0]
+        assert drift.where == "row 0 value"
+        assert drift.relative == pytest.approx(0.2)
+        assert "regressions beyond" in report.render()
+
+    def test_note_drift_flagged(self):
+        report = compare(result(), result(notes={"metric": 1.0}), tolerance=0.05)
+        assert any("note metric" in d.where for d in report.regressions)
+
+    def test_missing_note_flagged(self):
+        report = compare(result(), result(notes={}))
+        assert any("missing" in d.where for d in report.regressions)
+
+    def test_row_count_change_flagged(self):
+        report = compare(result(), result(rows=[("a", 10.0)]))
+        assert report.regressions[0].where == "row count"
+
+    def test_strings_ignored(self):
+        report = compare(
+            result(rows=[("x", 1.0)]), result(rows=[("y", 1.0)])
+        )
+        assert not report.regressions  # labels are not compared
+
+    def test_mismatched_eids_rejected(self):
+        with pytest.raises(ConfigError):
+            compare(result("E1"), result("E2"))
+
+    def test_zero_baseline(self):
+        report = compare(
+            result(rows=[("a", 0.0)]), result(rows=[("a", 1.0)])
+        )
+        assert report.regressions[0].relative == float("inf")
+
+
+class TestCompareMany:
+    def test_matches_by_eid(self):
+        olds = [result("E1"), result("E2")]
+        news = [result("E2"), result("E1", rows=[("a", 99.0), ("b", 20.0)])]
+        report = compare_many(olds, news, tolerance=0.05)
+        assert len(report.regressions) == 1
+        assert report.regressions[0].eid == "E1"
+
+    def test_missing_experiment_flagged(self):
+        report = compare_many([result("E1"), result("E9")], [result("E1")])
+        assert any(d.eid == "E9" for d in report.regressions)

@@ -1,0 +1,146 @@
+"""Tests for routing functions: delivery, minimality, turn-model legality."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import RoutingError
+from repro.noc.routing import (
+    OddEvenRouting,
+    WestFirstRouting,
+    XYRouting,
+    YXRouting,
+    make_routing,
+)
+from repro.noc.topology import EAST, LOCAL, NORTH, SOUTH, WEST, Mesh, Torus
+
+ALL_ROUTINGS = [XYRouting(), YXRouting(), WestFirstRouting(), OddEvenRouting()]
+
+
+def walk(routing, topo, src, dst, adaptive_pick=0):
+    """Follow a routing function; returns the hop count."""
+    cur = src
+    hops = 0
+    for _ in range(topo.num_routers + 1):
+        ports = routing.candidates(topo, cur, dst)
+        assert ports, f"no candidates at {cur} toward {dst}"
+        port = ports[min(adaptive_pick, len(ports) - 1)]
+        if port == LOCAL:
+            assert cur == dst
+            return hops
+        cur = topo.neighbor(cur, port)
+        assert cur is not None, "routing walked off the mesh"
+        hops += 1
+    raise AssertionError("routing did not converge")
+
+
+@pytest.mark.parametrize("routing", ALL_ROUTINGS, ids=lambda r: repr(r))
+class TestDelivery:
+    @given(st.integers(0, 35), st.integers(0, 35))
+    def test_reaches_destination_minimally(self, routing, src, dst):
+        topo = Mesh(6, 6)
+        if src == dst:
+            assert routing.candidates(topo, src, dst) == [LOCAL]
+            return
+        # Every candidate branch must deliver in exactly the minimal hops.
+        for pick in range(2):
+            assert walk(routing, topo, src, dst, pick) == topo.hop_distance(src, dst)
+
+    def test_arrival_returns_local(self, routing):
+        topo = Mesh(3, 3)
+        assert routing.candidates(topo, 4, 4) == [LOCAL]
+
+
+class TestXY:
+    def test_x_first(self):
+        topo = Mesh(4, 4)
+        # From (0,0) to (2,2): must go EAST until x corrected.
+        assert XYRouting().first(topo, topo.router_at(0, 0), topo.router_at(2, 2)) == EAST
+        assert XYRouting().first(topo, topo.router_at(2, 0), topo.router_at(2, 2)) == NORTH
+
+    def test_torus_takes_short_way(self):
+        topo = Torus(8, 8)
+        assert XYRouting().first(topo, topo.router_at(0, 0), topo.router_at(7, 0)) == WEST
+
+    def test_not_adaptive(self):
+        assert not XYRouting().adaptive
+
+
+class TestYX:
+    def test_y_first(self):
+        topo = Mesh(4, 4)
+        assert YXRouting().first(topo, topo.router_at(0, 0), topo.router_at(2, 2)) == NORTH
+
+
+class TestWestFirst:
+    def test_west_has_no_alternatives(self):
+        topo = Mesh(6, 6)
+        src = topo.router_at(4, 2)
+        dst = topo.router_at(1, 5)
+        assert WestFirstRouting().candidates(topo, src, dst) == [WEST]
+
+    def test_eastbound_is_adaptive(self):
+        topo = Mesh(6, 6)
+        src = topo.router_at(1, 1)
+        dst = topo.router_at(4, 4)
+        ports = WestFirstRouting().candidates(topo, src, dst)
+        assert set(ports) == {EAST, NORTH}
+
+    def test_never_turns_into_west(self):
+        """Turn-model invariant: WEST only appears when still west-bound,
+        i.e. a packet that has turned off west never re-enters west."""
+        topo = Mesh(6, 6)
+        routing = WestFirstRouting()
+        for src in topo.routers():
+            for dst in topo.routers():
+                if src == dst:
+                    continue
+                cur = src
+                seen_non_west = False
+                for _ in range(topo.num_routers):
+                    ports = routing.candidates(topo, cur, dst)
+                    if ports == [LOCAL]:
+                        break
+                    if WEST in ports:
+                        assert not seen_non_west
+                    else:
+                        seen_non_west = True
+                    cur = topo.neighbor(cur, ports[0])
+
+
+class TestOddEven:
+    @given(st.integers(0, 24), st.integers(0, 24))
+    def test_minimal_and_delivering(self, src, dst):
+        topo = Mesh(5, 5)
+        if src == dst:
+            return
+        for pick in range(2):
+            assert walk(OddEvenRouting(), topo, src, dst, pick) == topo.hop_distance(
+                src, dst
+            )
+
+    def test_candidates_are_productive(self):
+        """Every candidate must reduce distance (minimal routing)."""
+        topo = Mesh(5, 5)
+        routing = OddEvenRouting()
+        for src in topo.routers():
+            for dst in topo.routers():
+                if src == dst:
+                    continue
+                for port in routing.candidates(topo, src, dst):
+                    nxt = topo.neighbor(src, port)
+                    assert nxt is not None
+                    assert (
+                        topo.hop_distance(nxt, dst)
+                        == topo.hop_distance(src, dst) - 1
+                    )
+
+
+class TestFactory:
+    @pytest.mark.parametrize("name", ["xy", "yx", "west-first", "odd-even"])
+    def test_known_names(self, name):
+        assert make_routing(name) is not None
+
+    def test_unknown_name(self):
+        with pytest.raises(RoutingError, match="unknown routing"):
+            make_routing("zigzag")

@@ -1,0 +1,85 @@
+"""Statistical-equivalence tests: the SIMD network vs the OO network.
+
+The experiments use the SIMD simulator as the cycle-level ground truth
+(it is several times faster); these tests bound how far its aggregate
+behaviour may drift from the reference OO implementation.
+"""
+
+import pytest
+
+from repro.noc import CycleNetwork, Mesh, NocConfig, Packet
+from repro.noc_gpu import SimdNetwork
+from repro.workloads import SyntheticTraffic
+
+
+def run_pair(pattern, rate, cycles=1200, size=4, config=None, topo_dims=(8, 8)):
+    results = []
+    for cls in (CycleNetwork, SimdNetwork):
+        topo = Mesh(*topo_dims)
+        net = cls(topo, config or NocConfig())
+        SyntheticTraffic(topo, pattern, rate=rate, size_flits=size, seed=17).drive(
+            net, cycles
+        )
+        results.append(net.stats)
+    return results
+
+
+class TestZeroLoadExactEquality:
+    @pytest.mark.parametrize("src,dst,size", [(0, 15, 1), (0, 15, 6), (5, 10, 3), (12, 2, 8)])
+    def test_single_packet_identical(self, src, dst, size):
+        latencies = []
+        for cls in (CycleNetwork, SimdNetwork):
+            net = cls(Mesh(4, 4))
+            p = Packet(src=src, dst=dst, size_flits=size)
+            net.inject(p)
+            net.drain()
+            latencies.append((p.latency, p.hops))
+        assert latencies[0] == latencies[1]
+
+    def test_packet_sequence_identical_when_uncontended(self):
+        """Well-separated packets see identical timing in both simulators."""
+        for cls in (CycleNetwork, SimdNetwork):
+            net = cls(Mesh(4, 4))
+            pkts = [
+                Packet(src=i, dst=15 - i, size_flits=3) for i in range(4)
+            ]
+            for i, p in enumerate(pkts):
+                net.inject(p, cycle=i * 100)
+            net.drain()
+            lats = tuple(p.latency for p in pkts)
+            if cls is CycleNetwork:
+                reference = lats
+        assert lats == reference
+
+
+class TestLoadedAgreement:
+    @pytest.mark.parametrize(
+        "pattern,rate",
+        [("uniform", 0.03), ("uniform", 0.07), ("transpose", 0.05), ("neighbor", 0.10)],
+    )
+    def test_mean_latency_within_tolerance(self, pattern, rate):
+        oo, simd = run_pair(pattern, rate)
+        assert oo.ejected_packets == simd.ejected_packets  # same offered stream
+        assert simd.mean_latency == pytest.approx(oo.mean_latency, rel=0.05)
+        assert simd.mean_hops == pytest.approx(oo.mean_hops, rel=0.01)
+
+    def test_small_buffers_agreement(self):
+        oo, simd = run_pair(
+            "uniform", 0.04, config=NocConfig(num_vcs=2, buffer_depth=2)
+        )
+        assert simd.mean_latency == pytest.approx(oo.mean_latency, rel=0.08)
+
+    def test_throughput_matches_at_moderate_load(self):
+        oo, simd = run_pair("uniform", 0.06)
+        assert simd.throughput_flits_per_cycle() == pytest.approx(
+            oo.throughput_flits_per_cycle(), rel=0.03
+        )
+
+
+class TestSaturationAgreement:
+    def test_saturation_onset_similar(self):
+        """Near saturation both simulators must show congested latencies of
+        similar magnitude (within 20%)."""
+        oo, simd = run_pair("uniform", 0.12, cycles=800)
+        assert oo.mean_latency > 40  # confirms the point is congested
+        assert simd.mean_latency == pytest.approx(oo.mean_latency, rel=0.2)

@@ -1,0 +1,155 @@
+"""Tests for synthetic traffic patterns and generators."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ConfigError, WorkloadError
+from repro.noc import ConcentratedMesh, Mesh
+from repro.util import Rng
+from repro.workloads import SyntheticTraffic, make_pattern
+from repro.workloads.synthetic import (
+    bit_complement,
+    bit_reverse,
+    neighbor,
+    shuffle,
+    tornado,
+    transpose,
+    uniform_random,
+)
+
+
+@pytest.fixture
+def topo():
+    return Mesh(4, 4)
+
+
+@pytest.fixture
+def rng():
+    return Rng(7)
+
+
+class TestPatternFunctions:
+    def test_uniform_excludes_source(self, topo, rng):
+        for src in range(topo.num_nodes):
+            for _ in range(20):
+                dst = uniform_random(src, topo, rng)
+                assert 0 <= dst < topo.num_nodes and dst != src
+
+    def test_uniform_covers_all_destinations(self, topo, rng):
+        seen = {uniform_random(0, topo, rng) for _ in range(500)}
+        assert seen == set(range(1, 16))
+
+    def test_transpose(self, topo, rng):
+        assert transpose(topo.router_at(1, 2), topo, rng) == topo.router_at(2, 1)
+        assert transpose(topo.router_at(3, 3), topo, rng) is None  # diagonal
+
+    def test_transpose_requires_square(self, rng):
+        with pytest.raises(WorkloadError):
+            transpose(0, Mesh(4, 2), rng)
+
+    def test_bit_complement(self, topo, rng):
+        assert bit_complement(0b0000, topo, rng) == 0b1111
+        assert bit_complement(0b1010, topo, rng) == 0b0101
+
+    def test_bit_reverse(self, topo, rng):
+        assert bit_reverse(0b0001, topo, rng) == 0b1000
+        assert bit_reverse(0b0110, topo, rng) is None  # palindrome
+
+    def test_shuffle(self, topo, rng):
+        assert shuffle(0b0011, topo, rng) == 0b0110
+        assert shuffle(0b1000, topo, rng) == 0b0001
+
+    def test_power_of_two_required(self, rng):
+        with pytest.raises(WorkloadError):
+            bit_complement(0, Mesh(3, 3), rng)
+
+    def test_tornado_half_width(self, topo, rng):
+        assert tornado(topo.router_at(0, 1), topo, rng) == topo.router_at(2, 1)
+
+    def test_neighbor_wraps(self, topo, rng):
+        assert neighbor(topo.router_at(3, 2), topo, rng) == topo.router_at(0, 2)
+
+    def test_patterns_on_concentrated_mesh(self, rng):
+        topo = ConcentratedMesh(4, 4, concentration=2)
+        for node in range(topo.num_nodes):
+            dst = tornado(node, topo, rng)
+            assert dst is None or 0 <= dst < topo.num_nodes
+
+    @given(st.integers(0, 63))
+    @settings(max_examples=20)
+    def test_all_patterns_produce_valid_destinations(self, src):
+        topo = Mesh(8, 8)
+        rng = Rng(3)
+        for name in ("uniform", "transpose", "bit_complement", "bit_reverse",
+                     "shuffle", "tornado", "neighbor"):
+            pattern = make_pattern(name)
+            dst = pattern(src, topo, rng)
+            assert dst is None or (0 <= dst < topo.num_nodes and dst != src)
+
+
+class TestHotspot:
+    def test_fraction_targets_hotspots(self, topo):
+        pattern = make_pattern("hotspot", hotspots=[5], hotspot_fraction=0.8)
+        rng = Rng(1)
+        hits = sum(pattern(0, topo, rng) == 5 for _ in range(2000))
+        assert hits / 2000 == pytest.approx(0.8, abs=0.05)
+
+    def test_requires_hot_nodes(self):
+        from repro.workloads.synthetic import _Hotspot
+
+        with pytest.raises(ConfigError):
+            _Hotspot([], 0.5)
+
+    def test_unknown_pattern(self):
+        with pytest.raises(WorkloadError):
+            make_pattern("gravity")
+
+
+class TestSyntheticTraffic:
+    def test_rate_controls_volume(self, topo):
+        low = SyntheticTraffic(topo, "uniform", rate=0.01, seed=3)
+        high = SyntheticTraffic(topo, "uniform", rate=0.2, seed=3)
+        n_low = sum(len(low.packets_for_cycle(c)) for c in range(300))
+        n_high = sum(len(high.packets_for_cycle(c)) for c in range(300))
+        assert n_high > 5 * n_low
+
+    def test_expected_rate(self, topo):
+        traffic = SyntheticTraffic(topo, "uniform", rate=0.1, seed=5)
+        total = sum(len(traffic.packets_for_cycle(c)) for c in range(1000))
+        assert total / (1000 * topo.num_nodes) == pytest.approx(0.1, rel=0.1)
+
+    def test_packets_carry_configuration(self, topo):
+        traffic = SyntheticTraffic(topo, "uniform", rate=0.5, size_flits=7, seed=1)
+        packet = traffic.packets_for_cycle(4)[0]
+        assert packet.size_flits == 7
+        assert packet.inject_cycle == 4
+
+    def test_determinism(self, topo):
+        a = SyntheticTraffic(topo, "uniform", rate=0.1, seed=9)
+        b = SyntheticTraffic(topo, "uniform", rate=0.1, seed=9)
+        for cycle in range(50):
+            pa = [(p.src, p.dst) for p in a.packets_for_cycle(cycle)]
+            pb = [(p.src, p.dst) for p in b.packets_for_cycle(cycle)]
+            assert pa == pb
+
+    def test_invalid_rate(self, topo):
+        with pytest.raises(ConfigError):
+            SyntheticTraffic(topo, rate=1.5)
+
+    def test_invalid_size(self, topo):
+        with pytest.raises(ConfigError):
+            SyntheticTraffic(topo, size_flits=0)
+
+    def test_expected_offered_load(self, topo):
+        traffic = SyntheticTraffic(topo, rate=0.05, size_flits=4)
+        assert traffic.expected_offered_load() == pytest.approx(0.2)
+
+    def test_drive_both_simulators(self, topo):
+        from repro.noc import CycleNetwork
+        from repro.noc_gpu import SimdNetwork
+
+        for cls in (CycleNetwork, SimdNetwork):
+            net = cls(topo)
+            SyntheticTraffic(topo, rate=0.03, seed=2).drive(net, 200)
+            assert net.stats.ejected_packets > 0

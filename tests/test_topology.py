@@ -1,0 +1,162 @@
+"""Tests for NoC topologies: geometry, connectivity, node mapping."""
+
+import networkx as nx
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import ConfigError, TopologyError
+from repro.noc.topology import (
+    EAST,
+    LOCAL,
+    NORTH,
+    SOUTH,
+    WEST,
+    ConcentratedMesh,
+    Mesh,
+    Torus,
+    opposite_port,
+)
+
+dims = st.integers(min_value=1, max_value=8)
+
+
+class TestPorts:
+    def test_opposites_are_involutions(self):
+        for port in (EAST, WEST, NORTH, SOUTH):
+            assert opposite_port(opposite_port(port)) == port
+
+    def test_local_has_no_opposite(self):
+        with pytest.raises(TopologyError):
+            opposite_port(LOCAL)
+
+
+class TestGeometry:
+    @given(dims, dims)
+    def test_coords_roundtrip(self, w, h):
+        topo = Mesh(w, h)
+        for router in topo.routers():
+            x, y = topo.coords(router)
+            assert topo.router_at(x, y) == router
+
+    def test_coords_axes(self):
+        topo = Mesh(4, 3)
+        assert topo.coords(0) == (0, 0)
+        assert topo.coords(3) == (3, 0)
+        assert topo.coords(4) == (0, 1)
+
+    def test_router_at_out_of_range(self, mesh4):
+        with pytest.raises(TopologyError):
+            mesh4.router_at(4, 0)
+
+    def test_bad_dimensions(self):
+        with pytest.raises(ConfigError):
+            Mesh(0, 4)
+
+    def test_bad_concentration(self):
+        with pytest.raises(ConfigError):
+            Mesh(4, 4, concentration=0)
+
+    def test_invalid_router_queries(self, mesh4):
+        with pytest.raises(TopologyError):
+            mesh4.coords(16)
+        with pytest.raises(TopologyError):
+            mesh4.neighbor(-1, EAST)
+
+
+class TestMeshConnectivity:
+    @given(dims, dims)
+    def test_neighbor_symmetry(self, w, h):
+        """If A sees B through port p, B sees A through the opposite port."""
+        topo = Mesh(w, h)
+        for router in topo.routers():
+            for port in (EAST, WEST, NORTH, SOUTH):
+                nbr = topo.neighbor(router, port)
+                if nbr is not None:
+                    assert topo.neighbor(nbr, opposite_port(port)) == router
+
+    def test_corner_degree(self, mesh4):
+        degree = sum(
+            1
+            for p in (EAST, WEST, NORTH, SOUTH)
+            if mesh4.neighbor(0, p) is not None
+        )
+        assert degree == 2
+
+    def test_local_port_has_no_neighbor(self, mesh4):
+        assert mesh4.neighbor(5, LOCAL) is None
+
+    def test_unknown_port(self, mesh4):
+        with pytest.raises(TopologyError):
+            mesh4.neighbor(0, 7)
+
+    @given(dims, dims)
+    def test_hop_distance_is_graph_distance(self, w, h):
+        topo = Mesh(w, h)
+        graph = topo.to_networkx()
+        lengths = dict(nx.all_pairs_shortest_path_length(graph))
+        for a in topo.routers():
+            for b in topo.routers():
+                assert topo.hop_distance(a, b) == lengths[a][b]
+
+    def test_networkx_edge_count(self, mesh4):
+        # 2*w*h - w - h bidirectional channels -> double as directed edges.
+        assert mesh4.to_networkx().number_of_edges() == 2 * (2 * 4 * 4 - 4 - 4)
+
+
+class TestTorus:
+    def test_all_routers_full_degree(self, torus4):
+        for router in torus4.routers():
+            for port in (EAST, WEST, NORTH, SOUTH):
+                assert torus4.neighbor(router, port) is not None
+
+    def test_wraparound(self):
+        topo = Torus(4, 4)
+        assert topo.neighbor(topo.router_at(3, 0), EAST) == topo.router_at(0, 0)
+        assert topo.neighbor(topo.router_at(0, 0), WEST) == topo.router_at(3, 0)
+        assert topo.neighbor(topo.router_at(0, 3), NORTH) == topo.router_at(0, 0)
+
+    @given(dims, dims)
+    def test_torus_neighbor_symmetry(self, w, h):
+        topo = Torus(w, h)
+        for router in topo.routers():
+            for port in (EAST, WEST, NORTH, SOUTH):
+                nbr = topo.neighbor(router, port)
+                # Degenerate rings (width 1/2) can make the same router
+                # reachable both ways; symmetry still must hold.
+                assert router == topo.neighbor(nbr, opposite_port(port)) or w <= 2 or h <= 2
+
+    def test_torus_distance_uses_wrap(self):
+        topo = Torus(8, 8)
+        assert topo.hop_distance(topo.router_at(0, 0), topo.router_at(7, 0)) == 1
+        assert topo.hop_distance(topo.router_at(0, 0), topo.router_at(4, 4)) == 8
+
+    def test_torus_distance_never_exceeds_mesh(self):
+        torus, mesh = Torus(6, 6), Mesh(6, 6)
+        for a in torus.routers():
+            for b in torus.routers():
+                assert torus.hop_distance(a, b) <= mesh.hop_distance(a, b)
+
+
+class TestConcentration:
+    def test_node_router_mapping(self):
+        topo = ConcentratedMesh(2, 2, concentration=4)
+        assert topo.num_nodes == 16
+        assert topo.node_router(0) == 0
+        assert topo.node_router(3) == 0
+        assert topo.node_router(4) == 1
+        assert list(topo.router_nodes(1)) == [4, 5, 6, 7]
+
+    def test_node_distance(self):
+        topo = ConcentratedMesh(2, 2, concentration=2)
+        assert topo.node_distance(0, 1) == 0  # same router
+        assert topo.node_distance(0, 7) == 2  # corner to corner
+
+    def test_requires_concentration_ge_two(self):
+        with pytest.raises(ConfigError):
+            ConcentratedMesh(2, 2, concentration=1)
+
+    def test_node_out_of_range(self):
+        topo = ConcentratedMesh(2, 2, concentration=2)
+        with pytest.raises(TopologyError):
+            topo.node_router(8)

@@ -1,0 +1,129 @@
+"""Tests for trace record/replay and the matched-load vacuum baseline."""
+
+import pytest
+
+from repro.errors import WorkloadError
+from repro.noc import CycleNetwork, Mesh, MessageClass
+from repro.workloads import (
+    TraceInjector,
+    TraceRecord,
+    TraceRecorder,
+    load_trace,
+    matched_load_synthetic,
+    save_trace,
+)
+
+
+def sample_records():
+    return [
+        TraceRecord(cycle=10, src=0, dst=5, size_flits=1, msg_class=MessageClass.REQUEST),
+        TraceRecord(cycle=12, src=5, dst=0, size_flits=5, msg_class=MessageClass.RESPONSE),
+        TraceRecord(cycle=30, src=3, dst=9, size_flits=1, msg_class=MessageClass.CONTROL),
+    ]
+
+
+class TestRoundtrip:
+    def test_save_load(self, tmp_path):
+        path = tmp_path / "trace.txt"
+        records = sample_records()
+        save_trace(records, path)
+        assert load_trace(path) == records
+
+    def test_comments_and_blank_lines_ignored(self, tmp_path):
+        path = tmp_path / "trace.txt"
+        path.write_text("# header\n\n10 0 5 1 0\n")
+        assert load_trace(path) == [TraceRecord(10, 0, 5, 1, 0)]
+
+    def test_malformed_line_rejected(self, tmp_path):
+        path = tmp_path / "trace.txt"
+        path.write_text("10 0 5\n")
+        with pytest.raises(WorkloadError, match="expected 5 fields"):
+            load_trace(path)
+
+
+class TestRecorder:
+    def test_records_and_forwards(self):
+        forwarded = []
+        recorder = TraceRecorder(forwarded.append)
+
+        class Msg:
+            created_cycle, src, dst, size_flits, msg_class = 7, 1, 2, 5, 0
+
+        recorder(Msg())
+        assert len(forwarded) == 1
+        assert recorder.records[0] == TraceRecord(7, 1, 2, 5, 0)
+
+    def test_duration(self):
+        recorder = TraceRecorder(lambda m: None)
+        assert recorder.duration == 0
+        recorder.records = sample_records()
+        assert recorder.duration == 20
+
+
+class TestInjector:
+    def test_replay_conservation(self):
+        topo = Mesh(4, 4)
+        net = CycleNetwork(topo)
+        packets = TraceInjector(sample_records()).drive(net)
+        assert len(packets) == 3
+        assert net.stats.ejected_packets == 3
+        # Relative timing preserved.
+        assert packets[0].inject_cycle + 20 == packets[2].inject_cycle
+
+    def test_replay_from_nonzero_network_time(self):
+        topo = Mesh(4, 4)
+        net = CycleNetwork(topo)
+        net.run(100)
+        packets = TraceInjector(sample_records()).drive(net)
+        assert packets[0].inject_cycle == 100 + 10 - 10
+
+    def test_empty_trace_rejected(self):
+        with pytest.raises(WorkloadError):
+            TraceInjector([])
+
+    def test_records_sorted(self):
+        records = list(reversed(sample_records()))
+        injector = TraceInjector(records)
+        assert [r.cycle for r in injector.records] == [10, 12, 30]
+
+
+class TestMatchedLoad:
+    def test_rates_match_trace_average(self):
+        topo = Mesh(4, 4)
+        records = [
+            TraceRecord(cycle=c, src=0, dst=5, size_flits=2, msg_class=4)
+            for c in range(0, 1000, 2)  # node 0 injects at rate 0.5
+        ]
+        matched = matched_load_synthetic(records, topo, seed=1)
+        generated = sum(len(matched.packets_for_cycle(c)) for c in range(2000))
+        assert generated / 2000 == pytest.approx(0.5, rel=0.1)
+
+    def test_destination_mix_resampled(self):
+        topo = Mesh(4, 4)
+        records = [
+            TraceRecord(cycle=c, src=0, dst=5 if c % 4 else 9, size_flits=1, msg_class=4)
+            for c in range(400)
+        ]
+        matched = matched_load_synthetic(records, topo, seed=1)
+        dsts = [
+            p.dst for c in range(3000) for p in matched.packets_for_cycle(c)
+        ]
+        frac9 = dsts.count(9) / len(dsts)
+        assert frac9 == pytest.approx(0.25, abs=0.05)
+
+    def test_empty_trace_rejected(self):
+        with pytest.raises(WorkloadError):
+            matched_load_synthetic([], Mesh(2, 2))
+
+    def test_destroys_burst_structure(self):
+        """A perfectly bursty trace becomes smooth Bernoulli traffic: the
+        defining property of the vacuum baseline."""
+        topo = Mesh(4, 4)
+        # All 100 messages in a 10-cycle burst within a 1000-cycle window.
+        records = [
+            TraceRecord(cycle=990 + c % 10, src=0, dst=5, size_flits=1, msg_class=4)
+            for c in range(100)
+        ] + [TraceRecord(cycle=0, src=1, dst=2, size_flits=1, msg_class=4)]
+        matched = matched_load_synthetic(sorted(records, key=lambda r: r.cycle), topo, seed=2)
+        counts = [len(matched.packets_for_cycle(c)) for c in range(1000)]
+        assert max(counts) <= 3  # never the 10-per-cycle burst

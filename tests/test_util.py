@@ -1,0 +1,151 @@
+"""Unit tests for repro.util."""
+
+import math
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import ConfigError
+from repro.util import (
+    Rng,
+    check_non_negative,
+    check_positive,
+    check_probability,
+    clamp,
+    ewma,
+    geometric_mean,
+)
+
+
+class TestRng:
+    def test_same_seed_same_sequence(self):
+        a = Rng(42)
+        b = Rng(42)
+        assert [a.random() for _ in range(10)] == [b.random() for _ in range(10)]
+
+    def test_different_seeds_differ(self):
+        assert [Rng(1).random() for _ in range(5)] != [
+            Rng(2).random() for _ in range(5)
+        ]
+
+    def test_named_streams_are_independent(self):
+        root = Rng(7)
+        a = root.child("a")
+        b = root.child("b")
+        assert [a.random() for _ in range(5)] != [b.random() for _ in range(5)]
+
+    def test_child_is_deterministic(self):
+        a = Rng(7).child("x")
+        b = Rng(7).child("x")
+        assert a.random() == b.random()
+
+    def test_nested_children_distinct(self):
+        root = Rng(3)
+        assert root.child("a").child("b").random() != root.child("a/b2").random()
+
+    @given(st.integers(min_value=0, max_value=2**31), st.integers(1, 100))
+    def test_randint_in_range(self, seed, high):
+        rng = Rng(seed)
+        for _ in range(20):
+            assert 0 <= rng.randint(0, high) < high
+
+    def test_choice_covers_all_elements(self):
+        rng = Rng(11)
+        seen = {rng.choice("abc") for _ in range(200)}
+        assert seen == {"a", "b", "c"}
+
+    def test_geometric_support(self):
+        rng = Rng(5)
+        samples = [rng.geometric(0.5) for _ in range(200)]
+        assert min(samples) >= 1
+
+    def test_geometric_mean_value(self):
+        rng = Rng(5)
+        samples = [rng.geometric(0.25) for _ in range(5000)]
+        assert sum(samples) / len(samples) == pytest.approx(4.0, rel=0.1)
+
+    def test_bernoulli_rate(self):
+        rng = Rng(9)
+        hits = sum(rng.bernoulli(0.3) for _ in range(5000))
+        assert hits / 5000 == pytest.approx(0.3, abs=0.03)
+
+    def test_zipf_index_bounds(self):
+        rng = Rng(1)
+        for _ in range(100):
+            assert 0 <= rng.zipf_index(10, 1.0) < 10
+
+    def test_zipf_index_skew(self):
+        rng = Rng(1)
+        samples = [rng.zipf_index(100, 1.5) for _ in range(2000)]
+        # Strong skew: index 0 should dominate.
+        assert samples.count(0) > samples.count(50)
+
+    def test_zipf_single_element(self):
+        assert Rng(1).zipf_index(1) == 0
+
+    def test_zipf_invalid_n(self):
+        with pytest.raises(ConfigError):
+            Rng(1).zipf_index(0)
+
+    def test_shuffle_permutes(self):
+        rng = Rng(2)
+        items = list(range(20))
+        shuffled = list(items)
+        rng.shuffle(shuffled)
+        assert sorted(shuffled) == items
+
+
+class TestValidators:
+    def test_check_positive_accepts(self):
+        check_positive(1, "x")
+        check_positive(0.001, "x")
+
+    @pytest.mark.parametrize("bad", [0, -1, -0.5])
+    def test_check_positive_rejects(self, bad):
+        with pytest.raises(ConfigError, match="x"):
+            check_positive(bad, "x")
+
+    def test_check_non_negative(self):
+        check_non_negative(0, "y")
+        with pytest.raises(ConfigError):
+            check_non_negative(-1, "y")
+
+    @pytest.mark.parametrize("bad", [-0.01, 1.01, 2])
+    def test_check_probability_rejects(self, bad):
+        with pytest.raises(ConfigError):
+            check_probability(bad, "p")
+
+    def test_check_probability_accepts_bounds(self):
+        check_probability(0.0, "p")
+        check_probability(1.0, "p")
+
+
+class TestMathHelpers:
+    def test_geometric_mean_basic(self):
+        assert geometric_mean([2, 8]) == pytest.approx(4.0)
+
+    def test_geometric_mean_zero(self):
+        assert geometric_mean([0.0, 5.0]) == 0.0
+
+    def test_geometric_mean_empty(self):
+        with pytest.raises(ValueError):
+            geometric_mean([])
+
+    def test_geometric_mean_negative(self):
+        with pytest.raises(ValueError):
+            geometric_mean([-1.0])
+
+    @given(st.floats(0.01, 100), st.floats(0.01, 100), st.floats(0.01, 0.99))
+    def test_ewma_between(self, current, sample, alpha):
+        result = ewma(current, sample, alpha)
+        eps = 1e-9 * max(abs(current), abs(sample))
+        assert min(current, sample) - eps <= result <= max(current, sample) + eps
+
+    def test_ewma_alpha_one_takes_sample(self):
+        assert ewma(5.0, 9.0, 1.0) == 9.0
+
+    def test_clamp(self):
+        assert clamp(5, 0, 10) == 5
+        assert clamp(-5, 0, 10) == 0
+        assert clamp(15, 0, 10) == 10

@@ -1,0 +1,74 @@
+"""Tests for output-VC selection policies."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.noc.packet import MessageClass, Packet
+from repro.noc.vcalloc import select_output_vc
+
+
+def pkt(msg_class=MessageClass.DATA):
+    return Packet(src=0, dst=1, size_flits=1, msg_class=msg_class)
+
+
+class TestAnyFree:
+    def test_picks_lowest_free(self):
+        assert select_output_vc("any_free", pkt(), [False, True, True], 3) == 1
+
+    def test_none_free(self):
+        assert select_output_vc("any_free", pkt(), [False, False], 2) is None
+
+    def test_all_free_picks_zero(self):
+        assert select_output_vc("any_free", pkt(), [True] * 4, 4) == 0
+
+
+class TestClassPartition:
+    def test_class_maps_to_slot(self):
+        p = pkt(MessageClass.RESPONSE)  # class 1
+        assert select_output_vc("class_partition", p, [True] * 4, 4) == 1
+
+    def test_busy_slot_blocks(self):
+        p = pkt(MessageClass.RESPONSE)
+        free = [True, False, True, True]
+        assert select_output_vc("class_partition", p, free, 4) is None
+
+    def test_wraps_when_fewer_vcs(self):
+        p = pkt(MessageClass.WRITEBACK)  # class 3 % 2 == 1
+        assert select_output_vc("class_partition", p, [True, True], 2) == 1
+
+
+class TestDateline:
+    def test_class0_uses_lower_half(self):
+        choice = select_output_vc(
+            "any_free", pkt(), [True] * 4, 4, dateline_active=True, dateline_class=0
+        )
+        assert choice in (0, 1)
+
+    def test_class1_uses_upper_half(self):
+        choice = select_output_vc(
+            "any_free", pkt(), [True] * 4, 4, dateline_active=True, dateline_class=1
+        )
+        assert choice in (2, 3)
+
+    def test_class0_blocked_when_lower_busy(self):
+        free = [False, False, True, True]
+        assert (
+            select_output_vc(
+                "any_free", pkt(), free, 4, dateline_active=True, dateline_class=0
+            )
+            is None
+        )
+
+    def test_inactive_dateline_ignores_class(self):
+        free = [True, False, False, False]
+        assert (
+            select_output_vc(
+                "any_free", pkt(), free, 4, dateline_active=False, dateline_class=1
+            )
+            == 0
+        )
+
+
+def test_unknown_policy():
+    with pytest.raises(ConfigError):
+        select_output_vc("round_robin", pkt(), [True], 1)
