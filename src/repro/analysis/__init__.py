@@ -1,0 +1,43 @@
+"""Correctness tooling for the co-simulator.
+
+Two complementary halves:
+
+* :mod:`repro.analysis.simlint` — an AST-based static-analysis pass that
+  flags simulation-correctness hazards (unseeded randomness, wall-clock
+  reads in simulated-time paths, mutable default arguments, iteration over
+  unordered sets in event-ordering code, and bare ``assert`` statements
+  that vanish under ``python -O``).  Run it with ``python -m repro lint``.
+* :mod:`repro.analysis.invariants` — a runtime invariant checker the
+  :class:`~repro.core.cosim.CoSimulator` can install: message conservation
+  per synchronization quantum, monotonic simulated time, and NoC
+  credit/VC conservation.  Enable it with ``--check-invariants`` on the
+  harness CLI or ``build_cosim(config, check_invariants=True)``.
+
+Both exist because the paper's headline numbers are only reproducible if
+every run is bit-deterministic and every quantum exchange conserves
+messages; these tools make violations loud instead of silent.
+"""
+
+from .invariants import (
+    InvariantChecker,
+    check_network_invariants,
+)
+from .simlint import (
+    RULES,
+    LintConfig,
+    Violation,
+    lint_file,
+    lint_paths,
+    render_report,
+)
+
+__all__ = [
+    "RULES",
+    "LintConfig",
+    "Violation",
+    "lint_file",
+    "lint_paths",
+    "render_report",
+    "InvariantChecker",
+    "check_network_invariants",
+]

@@ -1,0 +1,212 @@
+"""Runtime invariant checking for co-simulation runs.
+
+The static pass (:mod:`repro.analysis.simlint`) catches hazards in the
+source; this module catches the corresponding *dynamic* failures while a
+simulation runs.  An :class:`InvariantChecker` is handed to
+:class:`~repro.core.cosim.CoSimulator` (``invariants=`` argument, or
+``build_cosim(config, check_invariants=True)``, or ``--check-invariants``
+on the CLI) and is consulted at every synchronization-quantum boundary:
+
+* **message conservation** — every message the system injected is either
+  delivered, still in flight inside the network model, or waiting in the
+  co-simulator's outbox; nothing is created or destroyed by the coupling;
+* **monotonic time** — the system's and the network model's clocks land
+  exactly on each window boundary and never move backwards;
+* **NoC credit/VC conservation** — for the flit-level
+  :class:`~repro.noc.network.CycleNetwork`, every (link, VC) pair's
+  credits held upstream + credits in flight + flits in flight + flits
+  buffered downstream must equal the configured buffer depth, and the
+  output-VC ownership table must agree bijectively with the input-VC
+  states.
+
+All failures raise :class:`repro.errors.InvariantError` with enough
+context to locate the broken exchange.  The checks are O(links x VCs) per
+window, so they are cheap enough to leave on in tests and debugging runs;
+production sweeps leave them off.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from ..errors import InvariantError
+
+__all__ = ["InvariantChecker", "check_network_invariants"]
+
+# Input-VC "active" state (mirrors repro.noc.router; imported lazily in
+# checks to keep this module import-light).
+_ACTIVE = 2
+
+
+def _unwrap_cycle_network(model) -> Optional[object]:
+    """The flit-level CycleNetwork behind a network model, if there is one.
+
+    Detailed adapters expose the simulator as ``.network``; only the OO
+    cycle network has the per-router credit state these checks read (the
+    SIMD network keeps packed arrays and has its own internal checks).
+    """
+    net = getattr(model, "network", None)
+    if net is not None and hasattr(net, "routers") and hasattr(net, "links"):
+        return net
+    return None
+
+
+def check_network_invariants(net) -> None:
+    """Credit/VC conservation for a :class:`~repro.noc.network.CycleNetwork`.
+
+    Call between cycles (the network steps in whole cycles, so any point
+    outside :meth:`step` is consistent).  Raises
+    :class:`~repro.errors.InvariantError` on the first broken invariant.
+    """
+    nvc = net.config.num_vcs
+    depth = net.config.buffer_depth
+
+    for (src, port), link in net.links.items():
+        upstream = net.routers[src]
+        downstream = net.routers[link.dst_router]
+        fwd = link.in_flight_by_vc(nvc)
+        back = link.credits_in_flight_by_vc(nvc)
+        for vc in range(nvc):
+            held = upstream.credits[port][vc]
+            buffered = len(downstream.inputs[link.dst_port][vc].buffer)
+            total = held + fwd[vc] + back[vc] + buffered
+            if total != depth:
+                raise InvariantError(
+                    f"credit conservation broken on link r{src}.p{port} -> "
+                    f"r{link.dst_router}.p{link.dst_port} vc {vc}: "
+                    f"{held} held + {fwd[vc]} flits in flight + "
+                    f"{back[vc]} credits in flight + {buffered} buffered "
+                    f"!= depth {depth}"
+                )
+            if buffered > depth:
+                raise InvariantError(
+                    f"router {link.dst_router} port {link.dst_port} vc {vc} "
+                    f"holds {buffered} flits (depth {depth})"
+                )
+
+    for router in net.routers:
+        owners = {}
+        for out_port, per_vc in enumerate(router.out_vc_owner):
+            for out_vc, owner in enumerate(per_vc):
+                if owner is None:
+                    continue
+                in_port, in_vc = owner
+                ivc = router.inputs[in_port][in_vc]
+                if (
+                    ivc.state != _ACTIVE
+                    or ivc.route_port != out_port
+                    or ivc.out_vc != out_vc
+                ):
+                    raise InvariantError(
+                        f"router {router.rid}: output VC ({out_port},{out_vc}) "
+                        f"claims owner ({in_port},{in_vc}) but that input VC "
+                        f"is state={ivc.state} route_port={ivc.route_port} "
+                        f"out_vc={ivc.out_vc}"
+                    )
+                owners[(in_port, in_vc)] = (out_port, out_vc)
+        for in_port, per_vc_in in enumerate(router.inputs):
+            for in_vc, ivc in enumerate(per_vc_in):
+                if ivc.state == _ACTIVE and (in_port, in_vc) not in owners:
+                    raise InvariantError(
+                        f"router {router.rid}: input VC ({in_port},{in_vc}) is "
+                        f"ACTIVE on ({ivc.route_port},{ivc.out_vc}) but no "
+                        "output VC records it as owner"
+                    )
+
+
+class InvariantChecker:
+    """Quantum-boundary invariant checks for a co-simulation.
+
+    Args:
+        check_network: also run the NoC credit/VC conservation pass when
+            the primary (or shadow) model wraps a ``CycleNetwork``.
+        every: check every N-th window (1 = every window); time
+            monotonicity is always tracked because it is O(1).
+    """
+
+    def __init__(self, check_network: bool = True, every: int = 1) -> None:
+        if every < 1:
+            raise InvariantError(f"'every' must be >= 1, got {every}")
+        self.check_network = check_network
+        self.every = every
+        self.windows_checked = 0
+        self._windows_seen = 0
+        self._last_target: Optional[int] = None
+
+    # ------------------------------------------------------------------
+    def on_run_start(self, cosim) -> None:
+        self._last_target = None
+
+    def after_window(self, cosim, target: int) -> None:
+        """Validate co-simulator state at a window boundary ``target``."""
+        self._windows_seen += 1
+        self._check_time(cosim, target)
+        if self._windows_seen % self.every:
+            return
+        self._check_conservation(cosim)
+        if self.check_network:
+            self._check_networks(cosim)
+        self.windows_checked += 1
+
+    # ------------------------------------------------------------------
+    def _check_time(self, cosim, target: int) -> None:
+        if self._last_target is not None and target < self._last_target:
+            raise InvariantError(
+                f"simulated time moved backwards: window boundary {target} "
+                f"after {self._last_target}"
+            )
+        self._last_target = target
+        if cosim.system.now != target:
+            raise InvariantError(
+                f"system clock {cosim.system.now} disagrees with window "
+                f"boundary {target}"
+            )
+        for name, model in (("network", cosim.network), ("shadow", cosim.shadow)):
+            if model is None or model.inline:
+                continue
+            if model.cycle != target:
+                raise InvariantError(
+                    f"{name} model clock {model.cycle} disagrees with window "
+                    f"boundary {target}; quantum coupling is broken"
+                )
+
+    def _check_conservation(self, cosim) -> None:
+        in_network = getattr(cosim.network, "in_flight", 0)
+        outbox = len(cosim._outbox)
+        balance = cosim.deliveries + in_network + outbox
+        if cosim.messages_sent != balance:
+            raise InvariantError(
+                "message conservation broken: "
+                f"{cosim.messages_sent} sent != {cosim.deliveries} delivered "
+                f"+ {in_network} in flight + {outbox} in outbox "
+                f"(lost or duplicated {cosim.messages_sent - balance})"
+            )
+        recorded = len(cosim._applied.get(-1, ()))
+        if recorded != cosim.deliveries:
+            raise InvariantError(
+                f"{cosim.deliveries} deliveries but {recorded} applied "
+                "latencies recorded"
+            )
+        lats: List[int] = cosim._applied.get(-1, [])
+        if lats and lats[-1] < 0:
+            raise InvariantError(
+                f"negative applied latency {lats[-1]}: a delivery predates "
+                "its message's creation"
+            )
+
+    def _check_networks(self, cosim) -> None:
+        for model in (cosim.network, cosim.shadow):
+            if model is None:
+                continue
+            net = _unwrap_cycle_network(model)
+            if net is not None:
+                check_network_invariants(net)
+
+    # ------------------------------------------------------------------
+    def describe(self) -> dict:
+        return {
+            "invariants": "conservation+time+noc" if self.check_network
+            else "conservation+time",
+            "every": self.every,
+            "windows_checked": self.windows_checked,
+        }

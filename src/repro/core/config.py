@@ -77,12 +77,19 @@ class TargetConfig:
         return replace(self, **changes)
 
 
-def build_cosim(config: TargetConfig, simd_network_factory=None) -> CoSimulator:
+def build_cosim(
+    config: TargetConfig,
+    simd_network_factory=None,
+    check_invariants: bool = False,
+) -> CoSimulator:
     """Assemble system + network model + co-simulator from a config.
 
     ``simd_network_factory`` injects the GPU-style network constructor
     without making this module depend on :mod:`repro.noc_gpu` (which imports
-    the other way for its tests).
+    the other way for its tests).  ``check_invariants`` installs a
+    :class:`~repro.analysis.invariants.InvariantChecker` that validates
+    message conservation, time monotonicity, and NoC credit/VC conservation
+    at every quantum boundary.
     """
     topo = config.make_topology()
     if config.app.startswith("mix:"):
@@ -132,8 +139,18 @@ def build_cosim(config: TargetConfig, simd_network_factory=None) -> CoSimulator:
     else:  # pragma: no cover - guarded in __post_init__
         raise ConfigError(f"unknown network model {name!r}")
 
+    invariants = None
+    if check_invariants:
+        from ..analysis.invariants import InvariantChecker  # deferred: optional
+
+        invariants = InvariantChecker()
     return CoSimulator(
-        system, network, quantum=config.quantum, feedback=feedback, shadow=shadow
+        system,
+        network,
+        quantum=config.quantum,
+        feedback=feedback,
+        shadow=shadow,
+        invariants=invariants,
     )
 
 

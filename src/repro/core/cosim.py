@@ -86,6 +86,7 @@ class CoSimulator:
         quantum: int | FixedQuantum | object = 4,
         feedback: Optional[LatencyFeedback] = None,
         shadow: Optional[NetworkModel] = None,
+        invariants: Optional[object] = None,
     ) -> None:
         self.system = system
         self.network = network
@@ -96,6 +97,9 @@ class CoSimulator:
             system.topo
         )
         self.shadow = shadow
+        #: optional runtime checker (see repro.analysis.invariants); it is
+        #: duck-typed so the core stays import-independent of analysis.
+        self.invariants = invariants
         if shadow is not None and shadow.inline:
             raise ConfigError("a shadow network must be a detailed (non-inline) model")
         if shadow is not None and not network.inline:
@@ -151,7 +155,9 @@ class CoSimulator:
     # ------------------------------------------------------------------
     def run(self, max_cycles: int = 5_000_000) -> CoSimResult:
         """Run until every core finishes (or ``max_cycles``)."""
-        wall_start = time.perf_counter()
+        wall_start = time.perf_counter()  # simlint: allow[wall-clock]
+        if self.invariants is not None:
+            self.invariants.on_run_start(self)
         self.system.start()
         t = self.system.now
         while not self.system.all_finished:
@@ -170,10 +176,12 @@ class CoSimulator:
             window = self.quantum.next_quantum()
             target = min(t + window, max_cycles)
             sent_before = self.messages_sent
-            t0 = time.perf_counter()
+            t0 = time.perf_counter()  # simlint: allow[wall-clock]
             self.system.run_until(target)
-            self._wall_system += time.perf_counter() - t0
+            self._wall_system += time.perf_counter() - t0  # simlint: allow[wall-clock]
             self._advance_network(target)
+            if self.invariants is not None:
+                self.invariants.after_window(self, target)
             self.quantum.observe_window(
                 self.messages_sent - sent_before, self.deliveries
             )
@@ -181,7 +189,7 @@ class CoSimulator:
             t = target
         if self.system.all_finished:
             self._drain_tail()
-        return self._result(time.perf_counter() - wall_start)
+        return self._result(time.perf_counter() - wall_start)  # simlint: allow[wall-clock]
 
     def _drain_tail(self) -> None:
         """Deliver the protocol's trailing messages after the last core
@@ -204,9 +212,11 @@ class CoSimulator:
             target = self.system.now + self.quantum.next_quantum()
             self.system.run_until(target)
             self._advance_network(target)
+            if self.invariants is not None:
+                self.invariants.after_window(self, target)
 
     def _advance_network(self, target: int) -> None:
-        t0 = time.perf_counter()
+        t0 = time.perf_counter()  # simlint: allow[wall-clock]
         if not self.network.inline:
             for msg in self._outbox:
                 self.network.send(msg, msg.created_cycle)
@@ -225,7 +235,7 @@ class CoSimulator:
                 # Shadow deliveries feed the reciprocal table only; the
                 # system already received this message from the inline model.
                 self.feedback.record(msg, latency)
-        self._wall_network += time.perf_counter() - t0
+        self._wall_network += time.perf_counter() - t0  # simlint: allow[wall-clock]
 
     # ------------------------------------------------------------------
     def _result(self, wall_total: float) -> CoSimResult:

@@ -36,5 +36,14 @@ class SimulationError(ReproError):
     """A simulator was driven in an unsupported way (e.g. stepping backwards)."""
 
 
+class InvariantError(SimulationError):
+    """A runtime invariant check failed (see :mod:`repro.analysis.invariants`).
+
+    Raised when a co-simulation run violates message conservation,
+    time monotonicity, or NoC credit/VC conservation — always a bug in
+    the simulator or a model, never a user mistake.
+    """
+
+
 class WorkloadError(ReproError):
     """A workload description is malformed or exhausted unexpectedly."""

@@ -7,7 +7,7 @@ stores no data — only tags and states — because the simulator is timing-only
 from __future__ import annotations
 
 from collections import OrderedDict
-from typing import Dict, Iterator, List, Optional, Tuple
+from typing import Iterator, List, Optional, Tuple
 
 from ..errors import ConfigError
 

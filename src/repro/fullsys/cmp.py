@@ -167,7 +167,10 @@ class CmpSystem:
             if self.now > max_cycles:
                 raise SimulationError(f"exceeded {max_cycles} cycles")
             nxt = self.events.next_event_time()
-            assert nxt is not None
+            if nxt is None:
+                raise SimulationError(
+                    "event queue emptied between pending check and pop"
+                )
             self.events.run_until(nxt)
         return self.finish_cycle
 

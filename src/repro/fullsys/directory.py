@@ -143,7 +143,9 @@ class HomeController:
         else:  # GETX
             targets = ent.sharers - {msg.requester}
             self.invalidations += len(targets)
-            for sharer in targets:
+            # Sorted so invalidations are sent in node order: sharer sets
+            # iterate by hash, which is not a reproducible message order.
+            for sharer in sorted(targets):
                 self._reply(msg, MessageKind.INV, dst=sharer)
             acks = len(targets)
             ent.sharers.clear()
@@ -169,7 +171,11 @@ class HomeController:
         if ent.state != BUSY_RECALL or ent.active is None:
             raise ProtocolError(f"home {self.tile}: stray {msg!r}")
         prev_owner = ent.owner
-        assert prev_owner is not None
+        if prev_owner is None:
+            raise ProtocolError(
+                f"home {self.tile}: recall data for {msg.line:#x} arrived "
+                "with no recorded owner"
+            )
         ent.owner = None
         if ent.active.kind == MessageKind.GETS:
             ent.sharers.add(prev_owner)  # RecallS leaves the owner Shared

@@ -6,8 +6,15 @@ Examples::
     python -m repro E6 --quick      # shrunken variant
     python -m repro table1          # target configuration table
     python -m repro all --quick     # everything
+    python -m repro lint            # simulation-correctness static analysis
+    python -m repro E1 --quick --check-invariants
 
 Results print as the same fixed-width tables the benchmark suite saves.
+``lint`` runs :mod:`repro.analysis.simlint` over the installed ``repro``
+package (or ``--path``) and exits non-zero on any finding, so CI can gate
+on it.  ``--check-invariants`` installs the runtime invariant checker
+(:mod:`repro.analysis.invariants`) on every co-simulation the experiments
+build.
 """
 
 from __future__ import annotations
@@ -18,6 +25,7 @@ import time
 from typing import List, Optional
 
 from .experiments import ALL_EXPERIMENTS, run_table1
+from .runner import set_check_invariants
 
 __all__ = ["main", "build_parser"]
 
@@ -30,8 +38,9 @@ def build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "experiment",
-        choices=sorted(ALL_EXPERIMENTS) + ["table1", "all"],
-        help="experiment id (E1..E10), 'table1', or 'all'",
+        choices=sorted(ALL_EXPERIMENTS) + ["table1", "all", "lint"],
+        help="experiment id (E1..E10), 'table1', 'all', or 'lint' (static "
+        "analysis of the repro tree)",
     )
     parser.add_argument(
         "--quick",
@@ -40,6 +49,17 @@ def build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "--seed", type=int, default=None, help="override the workload seed"
+    )
+    parser.add_argument(
+        "--check-invariants",
+        action="store_true",
+        help="install the runtime invariant checker (message conservation, "
+        "time monotonicity, NoC credit conservation) on every co-simulation",
+    )
+    parser.add_argument(
+        "--path",
+        default=None,
+        help="with 'lint': tree to analyse (default: the repro package)",
     )
     return parser
 
@@ -58,13 +78,25 @@ def _run_one(eid: str, quick: bool, seed: Optional[int]) -> None:
 
 def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
-    if args.experiment == "table1":
-        print(run_table1())
+    if args.experiment == "lint":
+        from ..analysis.simlint import run as run_lint  # deferred: lint only
+
+        return run_lint(args.path)
+    if args.check_invariants:
+        set_check_invariants(True)
+    try:
+        if args.experiment == "table1":
+            print(run_table1())
+            return 0
+        targets = (
+            sorted(ALL_EXPERIMENTS) if args.experiment == "all" else [args.experiment]
+        )
+        for eid in targets:
+            _run_one(eid, args.quick, args.seed)
         return 0
-    targets = sorted(ALL_EXPERIMENTS) if args.experiment == "all" else [args.experiment]
-    for eid in targets:
-        _run_one(eid, args.quick, args.seed)
-    return 0
+    finally:
+        if args.check_invariants:
+            set_check_invariants(False)
 
 
 if __name__ == "__main__":  # pragma: no cover - exercised via __main__

@@ -34,13 +34,26 @@ __all__ = [
     "run_isolated",
     "sweep_injection",
     "clear_run_cache",
+    "set_check_invariants",
 ]
 
 _cache: Dict[Tuple, CoSimResult] = {}
 
+#: process-wide default for installing the runtime invariant checker on
+#: every co-simulation this module builds (set by the CLI's
+#: ``--check-invariants``; experiments need no per-call plumbing).
+_check_invariants_default = False
+
+
+def set_check_invariants(enabled: bool) -> None:
+    """Toggle invariant checking for all subsequent :func:`run_cosim` calls."""
+    global _check_invariants_default
+    _check_invariants_default = bool(enabled)
+
 
 def _config_key(config: TargetConfig, max_cycles: Optional[int]) -> Tuple:
     return (
+        _check_invariants_default,
         config.width,
         config.height,
         config.concentration,
@@ -64,7 +77,7 @@ def run_cosim(
     key = _config_key(config, max_cycles)
     if cache and key in _cache:
         return _cache[key]
-    cosim = build_cosim(config)
+    cosim = build_cosim(config, check_invariants=_check_invariants_default)
     result = cosim.run(**({} if max_cycles is None else {"max_cycles": max_cycles}))
     if cache:
         _cache[key] = result
@@ -80,7 +93,7 @@ def run_cosim_traced(
     returned so callers can inspect the live network's own statistics (the
     component's in-context view, needed by the vacuum experiment).
     """
-    cosim = build_cosim(config)
+    cosim = build_cosim(config, check_invariants=_check_invariants_default)
     recorder = TraceRecorder(cosim._on_message)
     cosim.system.transport = recorder
     result = cosim.run(**({} if max_cycles is None else {"max_cycles": max_cycles}))

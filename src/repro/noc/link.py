@@ -75,6 +75,20 @@ class Link:
     def in_flight(self) -> int:
         return len(self._flits)
 
+    def in_flight_by_vc(self, num_vcs: int) -> List[int]:
+        """Flits currently on the wire, counted per VC (invariant checks)."""
+        counts = [0] * num_vcs
+        for _, _, vc in self._flits:
+            counts[vc] += 1
+        return counts
+
+    def credits_in_flight_by_vc(self, num_vcs: int) -> List[int]:
+        """Credits travelling back upstream, counted per VC."""
+        counts = [0] * num_vcs
+        for _, vc in self._credits:
+            counts[vc] += 1
+        return counts
+
     @property
     def idle(self) -> bool:
         """True when nothing (flit or credit) is in flight on this channel."""

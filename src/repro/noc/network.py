@@ -91,10 +91,14 @@ class CycleNetwork:
         self._reverse_links: Dict[Tuple[int, int], Link] = {
             (link.dst_router, link.dst_port): link for link in self.links.values()
         }
-        #: links with traffic or credits in flight (skip the rest per cycle)
-        self._active_links: set = set()
-        #: routers with a non-empty source queue (skip the rest at injection)
-        self._active_sources: set = set()
+        #: links with traffic or credits in flight (skip the rest per cycle).
+        #: A dict used as an insertion-ordered set: Link objects hash by
+        #: identity, so a real set would iterate in a memory-address order
+        #: that differs between runs and machines.
+        self._active_links: Dict[Link, None] = {}
+        #: routers with a non-empty source queue (skip the rest at
+        #: injection); ordered for the same reason.
+        self._active_sources: Dict[int, None] = {}
         #: future injections as a (cycle, seq, packet) heap
         self._future: List[Tuple[int, int, Packet]] = []
         self._future_seq = 0
@@ -187,7 +191,7 @@ class CycleNetwork:
             if link.idle:
                 drained.append(link)
         for link in drained:
-            self._active_links.discard(link)
+            self._active_links.pop(link, None)
 
     def _is_wrap_link(self, src: int, port: int) -> bool:
         sx, sy = self.topo.coords(src)
@@ -200,7 +204,7 @@ class CycleNetwork:
             _, _, packet = heapq.heappop(self._future)
             router = self.topo.node_router(packet.src)
             self._sources[router].pending.append(packet)
-            self._active_sources.add(router)
+            self._active_sources[router] = None
             self.stats.record_injection(packet)
 
     def _inject_flits(self, now: int) -> None:
@@ -223,7 +227,10 @@ class CycleNetwork:
                 source.current_flits = packet.flits()
                 source.current_vc = vc
             vc = source.current_vc
-            assert vc is not None
+            if vc is None:
+                raise SimulationError(
+                    f"router {rid}: mid-injection packet lost its VC claim"
+                )
             ivc = router.inputs[LOCAL][vc]
             if len(ivc.buffer) >= self.config.buffer_depth:
                 continue  # no space this cycle; body flits wait at source
@@ -234,7 +241,7 @@ class CycleNetwork:
                 if not source.pending:
                     finished.append(rid)
         for rid in finished:
-            self._active_sources.discard(rid)
+            self._active_sources.pop(rid, None)
 
     def _traverse(
         self,
@@ -254,14 +261,14 @@ class CycleNetwork:
             if flit.is_head:
                 flit.packet.hops += 1
             link.send_flit(flit, out_vc, now)
-            self._active_links.add(link)
+            self._active_links[link] = None
         # The input buffer slot the flit occupied is now free; tell upstream.
         # The LOCAL input port needs no credit message: the source queue
         # observes buffer occupancy directly.
         upstream_link = self._reverse_link(rid, in_port)
         if upstream_link is not None:
             upstream_link.send_credit(in_vc, now)
-            self._active_links.add(upstream_link)
+            self._active_links[upstream_link] = None
 
     def _reverse_link(self, rid: int, in_port: int) -> Optional[Link]:
         """Link whose traffic arrives at (rid, in_port) — credits flow on it."""

@@ -206,7 +206,11 @@ class Router:
         for in_port, in_vc in sorted(self._awaiting_vc):
             ivc = self.inputs[in_port][in_vc]
             out_port = ivc.route_port
-            assert out_port is not None and ivc.packet is not None
+            if out_port is None or ivc.packet is None:
+                raise SimulationError(
+                    f"router {self.rid}: VC ({in_port},{in_vc}) awaits "
+                    "allocation without a route (VA before RC)"
+                )
             free = [self.out_vc_owner[out_port][v] is None for v in range(nvc)]
             choice = select_output_vc(
                 self.config.vc_select,
@@ -250,10 +254,18 @@ class Router:
             if not ready:
                 continue
             vc = self._sa_input[in_port].grant(ready)
-            assert vc is not None
+            if vc is None:
+                raise SimulationError(
+                    f"router {self.rid}: SA input arbiter granted nobody "
+                    f"among ready VCs {ready}"
+                )
             nominee_vc[in_port] = vc
             out_port = self.inputs[in_port][vc].route_port
-            assert out_port is not None
+            if out_port is None:
+                raise SimulationError(
+                    f"router {self.rid}: nominee VC ({in_port},{vc}) has no "
+                    "route (SA before RC)"
+                )
             per_output.setdefault(out_port, []).append(in_port)
 
         # Output stage: each output port grants one input port.
@@ -262,13 +274,21 @@ class Router:
             if len(in_ports) > 1:
                 self.sa_conflicts += len(in_ports) - 1
             in_port = self._sa_output[out_port].grant(in_ports)
-            assert in_port is not None
+            if in_port is None:
+                raise SimulationError(
+                    f"router {self.rid}: SA output arbiter granted nobody "
+                    f"among requesting ports {in_ports}"
+                )
             in_vc = nominee_vc[in_port]
             ivc = self.inputs[in_port][in_vc]
             flit = ivc.buffer.popleft()
             self._buffered -= 1
             out_vc = ivc.out_vc
-            assert out_vc is not None
+            if out_vc is None:
+                raise SimulationError(
+                    f"router {self.rid}: VC ({in_port},{in_vc}) traversed "
+                    "the switch without an output VC (ST before VA)"
+                )
             self.sa_grants += 1
             if out_port != LOCAL:
                 self.credits[out_port][out_vc] -= 1
@@ -294,7 +314,10 @@ class Router:
             return False
         if ivc.buffer[0].ready_cycle > now:
             return False
-        assert ivc.route_port is not None and ivc.out_vc is not None
+        if ivc.route_port is None or ivc.out_vc is None:
+            raise SimulationError(
+                f"router {self.rid}: ACTIVE VC lost its route or output VC"
+            )
         if ivc.route_port == LOCAL:
             return True  # ejection is always creditworthy (infinite sink)
         return self.credits[ivc.route_port][ivc.out_vc] > 0

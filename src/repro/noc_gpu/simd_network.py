@@ -20,7 +20,7 @@ from __future__ import annotations
 
 import heapq
 from collections import deque
-from typing import Callable, Deque, List, Optional, Tuple
+from typing import Callable, Deque, Dict, List, Optional, Tuple
 
 import numpy as np
 
@@ -67,7 +67,10 @@ class SimdNetwork:
         self.state = build_state(topo, self.config)
         self._hops = np.zeros(1024, dtype=np.int64)
         self._sources = [_Source() for _ in range(topo.num_routers)]
-        self._active_sources: set = set()
+        # Insertion-ordered (dict-as-set) so injection order never
+        # depends on hash order; int hashes are stable, but ordered
+        # iteration keeps the SIMD and OO networks bit-identical.
+        self._active_sources: Dict[int, None] = {}
         self._future: List[Tuple[int, int, Packet]] = []
         self._future_seq = 0
         self._delivered: Deque[Packet] = deque()
@@ -155,7 +158,7 @@ class SimdNetwork:
             _, _, packet = heapq.heappop(self._future)
             router = self.topo.node_router(packet.src)
             self._sources[router].pending.append(packet)
-            self._active_sources.add(router)
+            self._active_sources[router] = None
             self.stats.record_injection(packet)
 
     def _inject_flits(self, now: int) -> None:
@@ -201,7 +204,7 @@ class SimdNetwork:
                 if not source.pending:
                     done.append(rid)
         for rid in done:
-            self._active_sources.discard(rid)
+            self._active_sources.pop(rid, None)
 
     def _free_local_vc(self, rid: int) -> Optional[int]:
         st = self.state

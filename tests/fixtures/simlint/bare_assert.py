@@ -1,0 +1,6 @@
+"""Fixture: exactly one bare-assert violation."""
+
+
+def advance(now: int, target: int) -> int:
+    assert target >= now  # SIM105
+    return target

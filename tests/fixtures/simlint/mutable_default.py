@@ -1,0 +1,11 @@
+"""Fixture: exactly one mutable-default violation."""
+
+from typing import Optional
+
+
+def good(history: Optional[list] = None) -> list:
+    return history or []
+
+
+def bad(history: list = []) -> list:  # SIM103
+    return history

@@ -1,0 +1,10 @@
+"""Fixture: exactly one unordered-iteration violation (needs an
+event-ordering config that matches this path)."""
+
+
+def drain(ready: dict) -> list:
+    pending = {object(), object()}
+    ordered = [x for x in sorted(ready)]  # fine: sorted
+    for item in pending:  # SIM104
+        ordered.append(item)
+    return ordered

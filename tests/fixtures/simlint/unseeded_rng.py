@@ -1,0 +1,11 @@
+"""Fixture: exactly one unseeded-random violation."""
+
+import random
+
+from repro.util import Rng
+
+
+def roll(stream: Rng) -> float:
+    seeded = stream.random()  # fine: named, seeded stream
+    machinery = random.Random(7)  # fine: independent, explicitly seeded
+    return seeded + machinery.random() + random.random()  # SIM101

@@ -1,0 +1,7 @@
+"""Fixture: exactly one wall-clock violation."""
+
+import time
+
+
+def stamp(sim_cycle: int) -> float:
+    return sim_cycle + time.time()  # SIM102

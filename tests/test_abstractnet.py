@@ -11,7 +11,7 @@ from repro.abstractnet import (
 )
 from repro.errors import ConfigError
 from repro.noc import CycleNetwork, Mesh, MessageClass, NocConfig, Packet
-from repro.noc.topology import EAST, LOCAL
+from repro.noc.topology import EAST
 
 
 @pytest.fixture

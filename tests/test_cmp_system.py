@@ -3,7 +3,7 @@
 import pytest
 
 from repro.errors import ConfigError
-from repro.fullsys import CmpConfig, CmpSystem, FixedTransport, MessageKind
+from repro.fullsys import CmpConfig, CmpSystem, FixedTransport
 from repro.noc import Mesh
 from repro.workloads import make_programs
 

@@ -13,7 +13,7 @@ from repro.core import (
     MessageBridge,
 )
 from repro.errors import ConfigError, SimulationError
-from repro.fullsys import Message, MessageKind, message_profile
+from repro.fullsys import Message, MessageKind
 from repro.noc import CycleNetwork, Mesh, MessageClass, NocConfig
 
 

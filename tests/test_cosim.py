@@ -9,9 +9,9 @@ from repro.core import (
     build_cosim,
     default_target_table,
 )
-from repro.errors import ConfigError, SimulationError
+from repro.errors import ConfigError
 from repro.fullsys import CmpConfig
-from repro.noc import MessageClass, NocConfig
+from repro.noc import MessageClass
 
 
 def small(app="water", model="cycle", quantum=4, seed=3, **kw):

@@ -5,7 +5,7 @@ from hypothesis import given
 from hypothesis import strategies as st
 
 from repro.errors import ConfigError
-from repro.noc.packet import Flit, MessageClass, Packet
+from repro.noc.packet import MessageClass, Packet
 
 
 class TestPacketValidation:

@@ -6,7 +6,6 @@ states, the message counts the transaction should have produced, and the
 system-wide coherence invariants.
 """
 
-import pytest
 
 from repro.fullsys import CacheLineState, CmpConfig, MessageKind
 

@@ -12,7 +12,7 @@ from repro.noc.routing import (
     YXRouting,
     make_routing,
 )
-from repro.noc.topology import EAST, LOCAL, NORTH, SOUTH, WEST, Mesh, Torus
+from repro.noc.topology import EAST, LOCAL, NORTH, WEST, Mesh, Torus
 
 ALL_ROUTINGS = [XYRouting(), YXRouting(), WestFirstRouting(), OddEvenRouting()]
 
