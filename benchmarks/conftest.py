@@ -7,7 +7,11 @@ rendered table at the end of the run, so ``pytest benchmarks/
 alongside pytest-benchmark's timing table.
 
 Set ``REPRO_BENCH_QUICK=1`` to run the shrunken (test-sized) experiment
-variants — useful for smoke-testing the benchmark suite itself.
+variants — useful for smoke-testing the benchmark suite itself.  The
+multi-point sweeps (E5/E6/E7) run through the campaign engine on
+``REPRO_BENCH_WORKERS`` worker processes (default: one per sweep point up
+to 4 in full mode, sequential in quick mode); ``REPRO_BENCH_WORKERS=1``
+forces the plain sequential ``run_eN`` path.
 """
 
 from __future__ import annotations
@@ -22,6 +26,29 @@ RESULTS_DIR = Path(__file__).parent / "results"
 
 def bench_quick() -> bool:
     return os.environ.get("REPRO_BENCH_QUICK", "") == "1"
+
+
+def bench_workers() -> int:
+    raw = os.environ.get("REPRO_BENCH_WORKERS", "")
+    if raw:
+        return max(1, int(raw))
+    # Quick mode keeps the sequential path (the campaign engine's own tests
+    # cover parallel quick runs); full mode fans the sweep points out.
+    return 1 if bench_quick() else min(4, os.cpu_count() or 1)
+
+
+def bench_sweep(eid: str):
+    """Run one multi-point experiment as the suite is configured:
+    sequentially, or through the campaign engine on ``bench_workers()``
+    processes (same rows either way — that equivalence is tested)."""
+    workers = bench_workers()
+    if workers > 1:
+        from repro.campaign import run_experiment_parallel
+
+        return run_experiment_parallel(eid, quick=bench_quick(), workers=workers)
+    from repro.harness.experiments import ALL_EXPERIMENTS
+
+    return ALL_EXPERIMENTS[eid](quick=bench_quick())
 
 
 @pytest.fixture(scope="session")

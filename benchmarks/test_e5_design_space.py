@@ -5,14 +5,12 @@ component's design choices must be visible at the full-system level under
 RA and invisible to the abstract model.
 """
 
-from repro.harness import run_e5
-
-from .conftest import bench_quick
+from .conftest import bench_sweep
 
 
 def test_e5_design_space(benchmark, save_result):
     result = benchmark.pedantic(
-        lambda: run_e5(quick=bench_quick()), rounds=1, iterations=1
+        lambda: bench_sweep("E5"), rounds=1, iterations=1
     )
     save_result("E5", result.render())
     benchmark.extra_info["ra_visible_runtime_spread"] = result.notes[

@@ -6,14 +6,12 @@ runs of this library's two simulators, plus the paper-calibrated model rows
 anchored at 16% (256 cores) and 65% (512 cores).
 """
 
-from repro.harness import run_e6
-
-from .conftest import bench_quick
+from .conftest import bench_sweep
 
 
 def test_e6_gpu_scaling(benchmark, save_result):
     result = benchmark.pedantic(
-        lambda: run_e6(quick=bench_quick()), rounds=1, iterations=1
+        lambda: bench_sweep("E6"), rounds=1, iterations=1
     )
     save_result("E6", result.render())
     benchmark.extra_info.update(result.notes)

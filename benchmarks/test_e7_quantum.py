@@ -5,14 +5,12 @@ trade-off against the quantum-1 reference — the design knob at the heart of
 the reciprocal-abstraction coupling.
 """
 
-from repro.harness import run_e7
-
-from .conftest import bench_quick
+from .conftest import bench_sweep
 
 
 def test_e7_quantum_sweep(benchmark, save_result):
     result = benchmark.pedantic(
-        lambda: run_e7(quick=bench_quick()), rounds=1, iterations=1
+        lambda: bench_sweep("E7"), rounds=1, iterations=1
     )
     save_result("E7", result.render())
     errors = [row[2] for row in result.rows]

@@ -1,0 +1,114 @@
+#!/usr/bin/env python3
+"""Kill-and-resume smoke test for the campaign engine (CI gate).
+
+Launches a quick-mode E7 campaign on 2 workers, SIGKILLs the whole process
+group as soon as the store shows at least one completed job, then reruns
+with ``--resume`` and asserts:
+
+* the resumed run exits 0 with every job ``done``;
+* no job that was ``done`` before the kill was re-executed — its attempt
+  count, finish timestamp, wall time, and payload are byte-identical
+  (the wall-time-provenance check the acceptance criterion asks for).
+
+Run from the repository root: ``python scripts/campaign_smoke.py``.
+Exits non-zero (with a diagnostic) on any violation.
+"""
+
+from __future__ import annotations
+
+import os
+import signal
+import sqlite3
+import subprocess
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+CAMPAIGN = ["E7", "--quick", "--workers", "2", "--no-progress"]
+LAUNCH_BUDGET_S = 300.0
+POLL_S = 0.2
+
+
+def job_snapshot(db: str) -> dict:
+    # Read-only URI: polling must never create the db file ahead of the
+    # campaign process (it would refuse to start on an "existing" store).
+    try:
+        conn = sqlite3.connect(f"file:{db}?mode=ro", uri=True)
+    except sqlite3.OperationalError:  # not created yet
+        return {}
+    conn.row_factory = sqlite3.Row
+    try:
+        rows = conn.execute(
+            "SELECT job_id, status, attempts, finished_at, wall_s, payload "
+            "FROM jobs ORDER BY job_id"
+        ).fetchall()
+    except sqlite3.OperationalError:  # table not created yet
+        return {}
+    finally:
+        conn.close()
+    return {r["job_id"]: dict(r) for r in rows}
+
+
+def main() -> int:
+    repo = Path(__file__).resolve().parent.parent
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(repo / "src") + os.pathsep + env.get("PYTHONPATH", "")
+
+    with tempfile.TemporaryDirectory(prefix="campaign-smoke-") as tmp:
+        db = str(Path(tmp) / "smoke.db")
+        cmd = [sys.executable, "-m", "repro", "campaign", "run", *CAMPAIGN, "--db", db]
+
+        # Phase 1: start the campaign in its own process group and kill the
+        # whole group the moment one job has completed.
+        proc = subprocess.Popen(cmd, env=env, start_new_session=True)
+        deadline = time.monotonic() + LAUNCH_BUDGET_S
+        while True:
+            if time.monotonic() > deadline:
+                os.killpg(proc.pid, signal.SIGKILL)
+                print("smoke: no job completed within the launch budget")
+                return 1
+            if proc.poll() is not None:
+                print(f"smoke: campaign exited ({proc.returncode}) before the kill")
+                return 1
+            snapshot = job_snapshot(db)
+            if any(j["status"] == "done" for j in snapshot.values()):
+                break
+            time.sleep(POLL_S)
+        os.killpg(proc.pid, signal.SIGKILL)
+        proc.wait()
+        before = {k: v for k, v in job_snapshot(db).items() if v["status"] == "done"}
+        unfinished = len(job_snapshot(db)) - len(before)
+        print(f"smoke: killed mid-run with {len(before)} done, {unfinished} unfinished")
+        if not before or not unfinished:
+            print("smoke: kill window missed (nothing to resume or nothing done)")
+            return 1
+
+        # Phase 2: resume must finish the rest without touching done jobs.
+        resume = subprocess.run(
+            cmd + ["--resume"], env=env, timeout=LAUNCH_BUDGET_S
+        )
+        if resume.returncode != 0:
+            print(f"smoke: --resume exited {resume.returncode}")
+            return 1
+        after = job_snapshot(db)
+        bad = [j for j in after.values() if j["status"] != "done"]
+        if bad:
+            print(f"smoke: {len(bad)} job(s) not done after resume: {bad}")
+            return 1
+        for job_id, old in before.items():
+            if after[job_id] != old:
+                print(
+                    f"smoke: job {job_id} was re-executed on resume:\n"
+                    f"  before kill: {old}\n  after resume: {after[job_id]}"
+                )
+                return 1
+        print(
+            f"smoke: ok — resume completed {unfinished} job(s), "
+            f"left {len(before)} finished job(s) untouched"
+        )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,223 @@
+"""The host-side worker pool: one fresh process per job.
+
+Jobs are coarse (each is a whole co-simulation or sweep point, seconds to
+minutes), so the pool deliberately spawns a *fresh process per job* rather
+than reusing long-lived workers: a stuck job can be killed without
+poisoning a worker, retries automatically get the clean process the
+``--retries`` contract promises, and no simulator state can leak between
+jobs.  Results travel back over a one-shot pipe; the parent (the campaign
+engine) is the only process that touches the job store.
+
+This module is the sanctioned home of host wall-clock reads in the
+campaign package (``time.monotonic`` for job durations and timeout
+deadlines — monotonic, so neither NTP steps nor DST can corrupt
+provenance or kill a healthy job).  Simulated-time code must never read
+the host clock; ``simlint`` enforces that split.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import multiprocessing.connection
+import time
+import traceback
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from ..errors import ConfigError
+
+__all__ = ["JobOutcome", "WorkerPool", "default_start_method"]
+
+
+@dataclass(frozen=True)
+class JobOutcome:
+    """What happened to one submitted job."""
+
+    job_id: str
+    ok: bool
+    payload: Optional[dict]
+    error: Optional[str]
+    wall_s: float
+    worker: str
+    timed_out: bool = False
+
+
+def default_start_method() -> str:
+    """``fork`` where available (cheap, inherits runtime-registered
+    experiments), else ``spawn``."""
+    methods = multiprocessing.get_all_start_methods()
+    return "fork" if "fork" in methods else "spawn"
+
+
+def _worker_main(conn, job: dict) -> None:
+    """Child-process entry point: run the job, ship one result tuple."""
+    start = time.monotonic()
+    try:
+        from .spec import execute_job
+
+        payload = execute_job(job)
+        conn.send(("ok", payload, time.monotonic() - start))
+    except BaseException:
+        conn.send(("error", traceback.format_exc(), time.monotonic() - start))
+    finally:
+        conn.close()
+
+
+class _Live:
+    """Book-keeping for one in-flight job."""
+
+    __slots__ = ("job_id", "process", "conn", "deadline", "worker")
+
+    def __init__(self, job_id, process, conn, deadline, worker) -> None:
+        self.job_id = job_id
+        self.process = process
+        self.conn = conn
+        self.deadline = deadline
+        self.worker = worker
+
+
+class WorkerPool:
+    """Run jobs on up to ``workers`` concurrent single-job processes.
+
+    Args:
+        workers: concurrency cap (>= 1).
+        timeout: per-job wall-clock budget in seconds; a job past its
+            deadline is killed and reported ``timed_out`` (None: no limit).
+        start_method: multiprocessing start method; default
+            :func:`default_start_method`.
+    """
+
+    def __init__(
+        self,
+        workers: int = 1,
+        timeout: Optional[float] = None,
+        start_method: Optional[str] = None,
+    ) -> None:
+        if workers < 1:
+            raise ConfigError(f"worker pool needs workers >= 1, got {workers}")
+        if timeout is not None and timeout <= 0:
+            raise ConfigError(f"per-job timeout must be positive, got {timeout}")
+        self.workers = workers
+        self.timeout = timeout
+        self._ctx = multiprocessing.get_context(start_method or default_start_method())
+        self._live: Dict[str, _Live] = {}
+
+    # -- capacity -------------------------------------------------------
+    @property
+    def active(self) -> int:
+        return len(self._live)
+
+    def has_capacity(self) -> bool:
+        return self.active < self.workers
+
+    # -- submission -----------------------------------------------------
+    def submit(self, job_id: str, job: dict) -> str:
+        """Start a fresh process for ``job``; returns the worker name."""
+        if not self.has_capacity():
+            raise ConfigError("worker pool is full; wait() before submitting")
+        if job_id in self._live:
+            raise ConfigError(f"job {job_id} is already running")
+        recv, send = self._ctx.Pipe(duplex=False)
+        process = self._ctx.Process(
+            target=_worker_main, args=(send, job), daemon=True
+        )
+        process.start()
+        send.close()  # child holds the write end now
+        worker = f"pid{process.pid}"
+        deadline = None if self.timeout is None else time.monotonic() + self.timeout
+        self._live[job_id] = _Live(job_id, process, recv, deadline, worker)
+        return worker
+
+    # -- collection -----------------------------------------------------
+    def wait(self, poll_s: float = 0.2) -> List[JobOutcome]:
+        """Block until at least one in-flight job finishes (or times out).
+
+        Returns every outcome that became available; an empty list only
+        when nothing is in flight.
+        """
+        if not self._live:
+            return []
+        outcomes: List[JobOutcome] = []
+        while not outcomes:
+            conns = [entry.conn for entry in self._live.values()]
+            ready = multiprocessing.connection.wait(conns, timeout=poll_s)
+            ready_ids = {
+                entry.job_id
+                for entry in self._live.values()
+                if entry.conn in ready
+            }
+            for job_id in sorted(ready_ids):
+                outcomes.append(self._collect(self._live.pop(job_id)))
+            now = time.monotonic()
+            for job_id in sorted(self._live):
+                entry = self._live[job_id]
+                if entry.deadline is not None and now > entry.deadline:
+                    outcomes.append(self._kill(self._live.pop(job_id)))
+        return outcomes
+
+    def _collect(self, entry: _Live) -> JobOutcome:
+        try:
+            kind, value, wall_s = entry.conn.recv()
+        except (EOFError, OSError):
+            # The process died without reporting (segfault, oom-kill, ...).
+            entry.process.join(timeout=5.0)
+            return JobOutcome(
+                job_id=entry.job_id,
+                ok=False,
+                payload=None,
+                error=(
+                    "worker died without reporting a result "
+                    f"(exit code {entry.process.exitcode})"
+                ),
+                wall_s=0.0,
+                worker=entry.worker,
+            )
+        finally:
+            entry.conn.close()
+        entry.process.join(timeout=5.0)
+        if kind == "ok":
+            return JobOutcome(
+                job_id=entry.job_id,
+                ok=True,
+                payload=value,
+                error=None,
+                wall_s=wall_s,
+                worker=entry.worker,
+            )
+        return JobOutcome(
+            job_id=entry.job_id,
+            ok=False,
+            payload=None,
+            error=value,
+            wall_s=wall_s,
+            worker=entry.worker,
+        )
+
+    def _kill(self, entry: _Live) -> JobOutcome:
+        entry.process.kill()
+        entry.process.join(timeout=5.0)
+        entry.conn.close()
+        return JobOutcome(
+            job_id=entry.job_id,
+            ok=False,
+            payload=None,
+            error=f"job exceeded its {self.timeout}s timeout and was killed",
+            wall_s=float(self.timeout or 0.0),
+            worker=entry.worker,
+            timed_out=True,
+        )
+
+    # -- shutdown -------------------------------------------------------
+    def shutdown(self) -> None:
+        """Kill every in-flight job (abandoning their results)."""
+        for entry in self._live.values():
+            entry.process.kill()
+            entry.process.join(timeout=5.0)
+            entry.conn.close()
+        self._live.clear()
+
+    def __enter__(self) -> "WorkerPool":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.shutdown()

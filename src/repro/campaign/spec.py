@@ -1,0 +1,356 @@
+"""Campaign and job specifications, content-hashed ids, and the registry.
+
+A :class:`CampaignSpec` names a grid — experiment ids x their sweep points
+x seed replicates — and expands it into :class:`JobSpec` rows.  A job's id
+is a content hash of everything that determines its result (experiment,
+point, quick flag, seed), so the same spec always expands to the same ids:
+that is what lets the store skip completed jobs on ``--resume`` and what
+makes results independent of worker count or scheduling order.
+
+The registry maps experiment ids to :class:`CampaignExperiment` descriptors.
+Multi-point sweeps (E5/E6/E7) decompose into one job per sweep point via
+the ``eN_points`` / ``run_eN_point`` / ``assemble_eN`` trio in
+:mod:`repro.harness.experiments`; every other experiment runs as a single
+job whose payload is the full persisted result.  ``demo`` is a deliberately
+tiny sweep (2x2 targets, milliseconds per job) for smoke-testing pools and
+resume logic without burning minutes of simulation.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+
+from ..errors import ConfigError
+from ..harness import experiments as exp
+from ..harness.persist import result_from_dict, result_to_dict
+from ..util import derive_seed
+
+__all__ = [
+    "JobSpec",
+    "CampaignSpec",
+    "CampaignExperiment",
+    "REGISTRY",
+    "register",
+    "get_experiment",
+    "execute_job",
+]
+
+#: bump when the job-hash preimage or payload layout changes incompatibly
+SPEC_VERSION = 1
+
+
+def _canonical_json(data: Any) -> str:
+    """Deterministic JSON: sorted keys, no whitespace drift."""
+    return json.dumps(data, sort_keys=True, separators=(",", ":"))
+
+
+def _content_hash(data: Any) -> str:
+    return hashlib.sha256(_canonical_json(data).encode("utf-8")).hexdigest()[:16]
+
+
+# ----------------------------------------------------------------------
+# Experiment descriptors
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class CampaignExperiment:
+    """How one experiment id decomposes into campaign jobs.
+
+    Args:
+        eid: experiment id (``E1``..``E10``, ``demo``).
+        points: ``quick -> [point, ...]`` — the sweep grid; each point must
+            be JSON-serializable (it is part of the job-id hash).
+        run_point: ``(point, quick, seed) -> record`` — one independent unit
+            of work returning a JSON-serializable record.
+        assemble: ``(records, quick, seed) -> ExperimentResult`` — combine
+            the records (in ``points`` order) into the experiment's table.
+        default_seed: the seed the sequential ``run_eN`` uses, so an
+            unseeded campaign reproduces sequential output exactly.
+        host_time_columns: header names whose values are host wall-clock
+            measurements — the sanctioned nondeterminism, excluded from
+            determinism/equivalence comparisons.
+    """
+
+    eid: str
+    points: Callable[[bool], List[Any]]
+    run_point: Callable[[Any, bool, int], Any]
+    assemble: Callable[[Sequence[Any], bool, int], "exp.ExperimentResult"]
+    default_seed: int = 3
+    host_time_columns: Tuple[str, ...] = ()
+
+
+def _whole_experiment(eid: str, default_seed: int, host_time_columns=()) -> CampaignExperiment:
+    """A single-job descriptor: the record is the full persisted result."""
+    runner = exp.ALL_EXPERIMENTS[eid]
+
+    def points(quick: bool) -> List[Any]:
+        return [None]
+
+    def run_point(point: Any, quick: bool, seed: int) -> Any:
+        return result_to_dict(runner(quick=quick, seed=seed))
+
+    def assemble(records: Sequence[Any], quick: bool, seed: int):
+        return result_from_dict(records[0], source=f"{eid} job payload")
+
+    return CampaignExperiment(
+        eid=eid,
+        points=points,
+        run_point=run_point,
+        assemble=assemble,
+        default_seed=default_seed,
+        host_time_columns=tuple(host_time_columns),
+    )
+
+
+def _demo_points(quick: bool) -> List[Any]:
+    return [[i] for i in range(2 if quick else 4)]
+
+
+def _demo_run_point(point: Any, quick: bool, seed: int) -> Any:
+    """A milliseconds-scale real co-simulation (2x2 CMP, abstract network)."""
+    from ..core.config import TargetConfig
+    from ..harness.runner import run_cosim
+
+    (index,) = point
+    config = TargetConfig(
+        width=2,
+        height=2,
+        app="water",
+        seed=derive_seed(seed, "demo", index),
+        scale=0.2,
+        network_model="fixed",
+    )
+    result = run_cosim(config, cache=False)
+    return [f"job{index}", float(result.finish_cycle or 0), result.mean_latency()]
+
+
+def _demo_assemble(records: Sequence[Any], quick: bool, seed: int):
+    return exp.ExperimentResult(
+        eid="demo",
+        title="Campaign smoke sweep (tiny 2x2 co-simulations)",
+        headers=["job", "finish", "mean_lat"],
+        rows=list(records),
+        notes={"jobs": float(len(records))},
+    )
+
+
+def _build_registry() -> Dict[str, CampaignExperiment]:
+    registry: Dict[str, CampaignExperiment] = {}
+    # Multi-point sweeps: one job per sweep point.
+    registry["E5"] = CampaignExperiment(
+        eid="E5",
+        points=exp.e5_points,
+        run_point=exp.run_e5_point,
+        assemble=exp.assemble_e5,
+    )
+    registry["E6"] = CampaignExperiment(
+        eid="E6",
+        points=exp.e6_points,
+        run_point=exp.run_e6_point,
+        assemble=exp.assemble_e6,
+        host_time_columns=("cpu_time", "gpu_time", "gpu_reduction"),
+    )
+    registry["E7"] = CampaignExperiment(
+        eid="E7",
+        points=exp.e7_points,
+        run_point=exp.run_e7_point,
+        assemble=exp.assemble_e7,
+        host_time_columns=("wall_s",),
+    )
+    # Everything else: one job runs the whole experiment.
+    seeds = {"E1": 11, "E2": 5}
+    for eid in sorted(exp.ALL_EXPERIMENTS, key=lambda e: (len(e), e)):
+        if eid not in registry:
+            registry[eid] = _whole_experiment(eid, default_seed=seeds.get(eid, 3))
+    registry["demo"] = CampaignExperiment(
+        eid="demo",
+        points=_demo_points,
+        run_point=_demo_run_point,
+        assemble=_demo_assemble,
+        default_seed=1,
+    )
+    return registry
+
+
+#: experiment id -> descriptor (extensible via :func:`register`)
+REGISTRY: Dict[str, CampaignExperiment] = _build_registry()
+
+
+def register(experiment: CampaignExperiment) -> None:
+    """Add (or replace) a campaign experiment descriptor.
+
+    Registered callables must be importable/inheritable by worker processes:
+    with the default ``fork`` start method anything defined before the pool
+    starts works; under ``spawn`` they must live at module top level.
+    """
+    REGISTRY[experiment.eid] = experiment
+
+
+def get_experiment(eid: str) -> CampaignExperiment:
+    try:
+        return REGISTRY[eid]
+    except KeyError:
+        known = ", ".join(sorted(REGISTRY))
+        raise ConfigError(f"unknown campaign experiment {eid!r}; known: {known}") from None
+
+
+# ----------------------------------------------------------------------
+# Job and campaign specs
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class JobSpec:
+    """One independent unit of work, identified by a content hash."""
+
+    eid: str
+    point_index: int
+    point: Any
+    quick: bool
+    seed: int
+    replicate: int = 0
+
+    @property
+    def job_id(self) -> str:
+        """Content hash of everything that determines this job's result."""
+        return _content_hash(self.to_dict())
+
+    def to_dict(self) -> dict:
+        return {
+            "v": SPEC_VERSION,
+            "eid": self.eid,
+            "point_index": self.point_index,
+            "point": self.point,
+            "quick": self.quick,
+            "seed": self.seed,
+            "replicate": self.replicate,
+        }
+
+    def to_json(self) -> str:
+        return _canonical_json(self.to_dict())
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "JobSpec":
+        if data.get("v") != SPEC_VERSION:
+            raise ConfigError(
+                f"unsupported job-spec version {data.get('v')!r} "
+                f"(this library reads version {SPEC_VERSION})"
+            )
+        return cls(
+            eid=data["eid"],
+            point_index=data["point_index"],
+            point=data["point"],
+            quick=data["quick"],
+            seed=data["seed"],
+            replicate=data.get("replicate", 0),
+        )
+
+    @classmethod
+    def from_json(cls, text: str) -> "JobSpec":
+        return cls.from_dict(json.loads(text))
+
+
+@dataclass(frozen=True)
+class CampaignSpec:
+    """A campaign: which experiments, at which size, with which seeds.
+
+    The grid is ``experiments x points(quick) x replicates``.  Replicate 0
+    uses each experiment's own seed (``seed`` if given, else the
+    experiment's sequential default) so campaign output matches a
+    sequential ``run_eN`` exactly; replicates >= 1 derive fresh seeds with
+    :func:`repro.util.derive_seed` — one seed per (experiment, replicate),
+    shared by all of that experiment's points, because cross-point
+    aggregates (e.g. E7's error vs its quantum-1 reference) only make
+    sense within one seed.
+    """
+
+    experiments: Tuple[str, ...]
+    quick: bool = False
+    seed: Optional[int] = None
+    replicates: int = 1
+
+    def __post_init__(self) -> None:
+        if not self.experiments:
+            raise ConfigError("a campaign needs at least one experiment")
+        deduped: List[str] = []
+        for eid in self.experiments:
+            get_experiment(eid)  # validates
+            if eid not in deduped:
+                deduped.append(eid)
+        object.__setattr__(self, "experiments", tuple(deduped))
+        if self.replicates < 1:
+            raise ConfigError(f"replicates must be >= 1, got {self.replicates}")
+
+    def seed_for(self, eid: str, replicate: int) -> int:
+        base = self.seed if self.seed is not None else get_experiment(eid).default_seed
+        if replicate == 0:
+            return base
+        return derive_seed(base, eid, replicate)
+
+    def expand(self) -> List[JobSpec]:
+        """The full job grid, in deterministic order."""
+        jobs: List[JobSpec] = []
+        for eid in self.experiments:
+            experiment = get_experiment(eid)
+            points = experiment.points(self.quick)
+            for replicate in range(self.replicates):
+                seed = self.seed_for(eid, replicate)
+                for index, point in enumerate(points):
+                    jobs.append(
+                        JobSpec(
+                            eid=eid,
+                            point_index=index,
+                            point=point,
+                            quick=self.quick,
+                            seed=seed,
+                            replicate=replicate,
+                        )
+                    )
+        return jobs
+
+    def to_dict(self) -> dict:
+        return {
+            "v": SPEC_VERSION,
+            "experiments": list(self.experiments),
+            "quick": self.quick,
+            "seed": self.seed,
+            "replicates": self.replicates,
+        }
+
+    def to_json(self) -> str:
+        return _canonical_json(self.to_dict())
+
+    @property
+    def spec_hash(self) -> str:
+        return _content_hash(self.to_dict())
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "CampaignSpec":
+        if data.get("v") != SPEC_VERSION:
+            raise ConfigError(
+                f"unsupported campaign-spec version {data.get('v')!r} "
+                f"(this library reads version {SPEC_VERSION})"
+            )
+        return cls(
+            experiments=tuple(data["experiments"]),
+            quick=data["quick"],
+            seed=data["seed"],
+            replicates=data.get("replicates", 1),
+        )
+
+    @classmethod
+    def from_json(cls, text: str) -> "CampaignSpec":
+        return cls.from_dict(json.loads(text))
+
+
+def execute_job(job: dict) -> dict:
+    """Run one job (worker-side): look up the experiment, run its point.
+
+    ``job`` is the plain-dict form of a :class:`JobSpec` (what travels over
+    the pipe to a worker process).  The returned payload is JSON-serializable
+    and goes into the store verbatim.
+    """
+    spec = JobSpec.from_dict(job)
+    experiment = get_experiment(spec.eid)
+    record = experiment.run_point(spec.point, spec.quick, spec.seed)
+    return {"record": record}

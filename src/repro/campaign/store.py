@@ -1,0 +1,309 @@
+"""The SQLite-backed campaign job store.
+
+One database file per campaign.  The ``jobs`` table holds one row per
+content-hashed job: its spec, lifecycle status (``pending`` -> ``running``
+-> ``done`` | ``failed``), attempt count, result payload (the same JSON
+schema :mod:`repro.harness.persist` writes), and provenance — which worker
+ran it, when, and for how long.  The ``meta`` table pins the store schema
+version and the campaign spec, so ``--resume`` can verify it is continuing
+the *same* campaign and refuse to mix grids.
+
+Concurrency model: only the engine process (the pool's parent) touches the
+database; workers report results over pipes.  That keeps SQLite in its
+happy single-writer path — no WAL tuning, no busy-timeout dances — while
+still surviving ``kill -9`` at any instant, because every status change is
+its own committed transaction.
+
+Timestamps (``started_at`` / ``finished_at``) are written by SQLite's own
+``datetime('now')``: provenance wants host wall-clock, but keeping the
+reads inside SQL means no Python-level wall-clock calls in this module —
+per-job durations come from ``time.monotonic`` in the worker instead
+(see :mod:`repro.campaign.pool`).
+"""
+
+from __future__ import annotations
+
+import json
+import sqlite3
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence
+
+from ..errors import ConfigError
+from .spec import CampaignSpec, JobSpec
+
+__all__ = ["ResultStore", "JobRow", "STORE_SCHEMA_VERSION"]
+
+#: bump on incompatible store-layout change
+STORE_SCHEMA_VERSION = 1
+
+_STATUSES = ("pending", "running", "done", "failed")
+
+_TABLES = """
+CREATE TABLE IF NOT EXISTS meta (
+    key   TEXT PRIMARY KEY,
+    value TEXT NOT NULL
+);
+CREATE TABLE IF NOT EXISTS jobs (
+    job_id      TEXT PRIMARY KEY,
+    eid         TEXT NOT NULL,
+    point_index INTEGER NOT NULL,
+    replicate   INTEGER NOT NULL DEFAULT 0,
+    spec        TEXT NOT NULL,
+    status      TEXT NOT NULL DEFAULT 'pending',
+    attempts    INTEGER NOT NULL DEFAULT 0,
+    worker      TEXT,
+    started_at  TEXT,
+    finished_at TEXT,
+    wall_s      REAL,
+    error       TEXT,
+    payload     TEXT
+);
+CREATE INDEX IF NOT EXISTS idx_jobs_status ON jobs(status);
+CREATE INDEX IF NOT EXISTS idx_jobs_eid ON jobs(eid, replicate, point_index);
+"""
+
+
+class JobRow:
+    """One row of the ``jobs`` table, attribute-accessed."""
+
+    __slots__ = (
+        "job_id",
+        "eid",
+        "point_index",
+        "replicate",
+        "spec",
+        "status",
+        "attempts",
+        "worker",
+        "started_at",
+        "finished_at",
+        "wall_s",
+        "error",
+        "payload",
+    )
+
+    def __init__(self, row: sqlite3.Row) -> None:
+        for name in self.__slots__:
+            setattr(self, name, row[name])
+
+    def job_spec(self) -> JobSpec:
+        return JobSpec.from_json(self.spec)
+
+    def record(self):
+        """The job's result record (from the payload JSON), or None."""
+        if self.payload is None:
+            return None
+        return json.loads(self.payload).get("record")
+
+
+class ResultStore:
+    """Open (creating if needed) the campaign database at ``path``.
+
+    ``":memory:"`` is accepted for ephemeral campaigns (benchmarks, tests).
+    """
+
+    def __init__(self, path: str | Path) -> None:
+        self.path = str(path)
+        if self.path != ":memory:":
+            Path(self.path).parent.mkdir(parents=True, exist_ok=True)
+        self._conn = sqlite3.connect(self.path)
+        self._conn.row_factory = sqlite3.Row
+        self._conn.executescript(_TABLES)
+        self._conn.commit()
+        found = self.get_meta("store_schema")
+        if found is None:
+            self.set_meta("store_schema", str(STORE_SCHEMA_VERSION))
+        elif found != str(STORE_SCHEMA_VERSION):
+            raise ConfigError(
+                f"{self.path}: campaign store schema {found} is not the "
+                f"supported version {STORE_SCHEMA_VERSION} (a different "
+                "version of repro wrote this database)"
+            )
+
+    # -- lifecycle ------------------------------------------------------
+    def close(self) -> None:
+        self._conn.close()
+
+    def __enter__(self) -> "ResultStore":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    # -- meta -----------------------------------------------------------
+    def get_meta(self, key: str) -> Optional[str]:
+        row = self._conn.execute("SELECT value FROM meta WHERE key = ?", (key,)).fetchone()
+        return None if row is None else row["value"]
+
+    def set_meta(self, key: str, value: str) -> None:
+        self._conn.execute(
+            "INSERT INTO meta(key, value) VALUES(?, ?) "
+            "ON CONFLICT(key) DO UPDATE SET value = excluded.value",
+            (key, value),
+        )
+        self._conn.commit()
+
+    # -- campaign initialization ---------------------------------------
+    def initialize(self, spec: CampaignSpec) -> bool:
+        """Pin ``spec`` to this store and insert its job grid.
+
+        Returns True when the store was empty (fresh campaign), False when
+        it already held the same campaign (resume).  A store holding a
+        *different* campaign raises: resuming must never silently mix
+        grids, because job ids from the old grid would be skipped as
+        "done" while meaning something else.
+        """
+        existing = self.get_meta("spec_hash")
+        if existing is not None and existing != spec.spec_hash:
+            raise ConfigError(
+                f"{self.path} already holds campaign {existing} "
+                f"(spec {self.get_meta('spec')}); refusing to reuse it for "
+                f"campaign {spec.spec_hash} — pass a fresh --db or matching "
+                "arguments"
+            )
+        fresh = existing is None
+        if fresh:
+            self.set_meta("spec_hash", spec.spec_hash)
+            self.set_meta("spec", spec.to_json())
+            self._conn.execute(
+                "INSERT INTO meta(key, value) VALUES('created_at', datetime('now')) "
+                "ON CONFLICT(key) DO NOTHING"
+            )
+        # INSERT OR IGNORE: on resume the grid is already there, and the
+        # content-hashed primary key guarantees identity.
+        self._conn.executemany(
+            "INSERT OR IGNORE INTO jobs(job_id, eid, point_index, replicate, spec) "
+            "VALUES(?, ?, ?, ?, ?)",
+            [
+                (job.job_id, job.eid, job.point_index, job.replicate, job.to_json())
+                for job in spec.expand()
+            ],
+        )
+        self._conn.commit()
+        return fresh
+
+    def campaign_spec(self) -> CampaignSpec:
+        text = self.get_meta("spec")
+        if text is None:
+            raise ConfigError(f"{self.path} holds no campaign spec (empty store?)")
+        return CampaignSpec.from_json(text)
+
+    # -- job transitions ------------------------------------------------
+    def reset_running(self) -> int:
+        """Re-queue jobs a crashed engine left ``running``; returns count."""
+        cur = self._conn.execute(
+            "UPDATE jobs SET status = 'pending', worker = NULL WHERE status = 'running'"
+        )
+        self._conn.commit()
+        return cur.rowcount
+
+    def requeue_failed(self, max_attempts: int) -> int:
+        """Re-queue ``failed`` jobs that still have attempts left."""
+        cur = self._conn.execute(
+            "UPDATE jobs SET status = 'pending', error = NULL "
+            "WHERE status = 'failed' AND attempts < ?",
+            (max_attempts,),
+        )
+        self._conn.commit()
+        return cur.rowcount
+
+    def pending_jobs(self) -> List[JobRow]:
+        """Every pending job, in deterministic (eid, replicate, point) order."""
+        rows = self._conn.execute(
+            "SELECT * FROM jobs WHERE status = 'pending' "
+            "ORDER BY eid, replicate, point_index"
+        ).fetchall()
+        return [JobRow(r) for r in rows]
+
+    def mark_running(self, job_id: str, worker: str) -> None:
+        self._mark(
+            job_id,
+            "UPDATE jobs SET status = 'running', worker = ?, attempts = attempts + 1, "
+            "started_at = datetime('now'), finished_at = NULL, error = NULL "
+            "WHERE job_id = ?",
+            (worker, job_id),
+        )
+
+    def mark_done(self, job_id: str, payload: dict, wall_s: float) -> None:
+        self._mark(
+            job_id,
+            "UPDATE jobs SET status = 'done', payload = ?, wall_s = ?, "
+            "finished_at = datetime('now') WHERE job_id = ?",
+            (json.dumps(payload, sort_keys=True), wall_s, job_id),
+        )
+
+    def mark_failed(
+        self, job_id: str, error: str, wall_s: Optional[float], requeue: bool
+    ) -> None:
+        """Record a failure; ``requeue`` puts the job back in the queue."""
+        status = "pending" if requeue else "failed"
+        self._mark(
+            job_id,
+            "UPDATE jobs SET status = ?, error = ?, wall_s = ?, "
+            "finished_at = datetime('now') WHERE job_id = ?",
+            (status, error, wall_s, job_id),
+        )
+
+    def _mark(self, job_id: str, sql: str, params: Sequence) -> None:
+        cur = self._conn.execute(sql, params)
+        if cur.rowcount != 1:
+            self._conn.rollback()
+            raise ConfigError(f"unknown job id {job_id!r} in {self.path}")
+        self._conn.commit()
+
+    # -- queries --------------------------------------------------------
+    def get_job(self, job_id: str) -> JobRow:
+        row = self._conn.execute(
+            "SELECT * FROM jobs WHERE job_id = ?", (job_id,)
+        ).fetchone()
+        if row is None:
+            raise ConfigError(f"unknown job id {job_id!r} in {self.path}")
+        return JobRow(row)
+
+    def counts(self) -> Dict[str, int]:
+        """Job counts by status (all four statuses always present)."""
+        tally = dict.fromkeys(_STATUSES, 0)
+        for row in self._conn.execute(
+            "SELECT status, COUNT(*) AS n FROM jobs GROUP BY status"
+        ):
+            tally[row["status"]] = row["n"]
+        return tally
+
+    def counts_by_eid(self) -> Dict[str, Dict[str, int]]:
+        out: Dict[str, Dict[str, int]] = {}
+        for row in self._conn.execute(
+            "SELECT eid, status, COUNT(*) AS n FROM jobs GROUP BY eid, status"
+        ):
+            out.setdefault(row["eid"], dict.fromkeys(_STATUSES, 0))[row["status"]] = row["n"]
+        return out
+
+    def eids(self) -> List[str]:
+        rows = self._conn.execute("SELECT DISTINCT eid FROM jobs ORDER BY eid").fetchall()
+        return [r["eid"] for r in rows]
+
+    def jobs_for(self, eid: str, replicate: Optional[int] = None) -> List[JobRow]:
+        """Jobs of one experiment, ordered by (replicate, point_index)."""
+        if replicate is None:
+            rows = self._conn.execute(
+                "SELECT * FROM jobs WHERE eid = ? ORDER BY replicate, point_index",
+                (eid,),
+            ).fetchall()
+        else:
+            rows = self._conn.execute(
+                "SELECT * FROM jobs WHERE eid = ? AND replicate = ? ORDER BY point_index",
+                (eid, replicate),
+            ).fetchall()
+        return [JobRow(r) for r in rows]
+
+    def all_jobs(self) -> List[JobRow]:
+        rows = self._conn.execute(
+            "SELECT * FROM jobs ORDER BY eid, replicate, point_index"
+        ).fetchall()
+        return [JobRow(r) for r in rows]
+
+    def mean_wall_s(self) -> Optional[float]:
+        """Mean per-job wall time over completed jobs (for ETA estimates)."""
+        row = self._conn.execute(
+            "SELECT AVG(wall_s) AS mean FROM jobs WHERE status = 'done' AND wall_s IS NOT NULL"
+        ).fetchone()
+        return None if row is None or row["mean"] is None else float(row["mean"])

@@ -8,13 +8,15 @@ Examples::
     python -m repro all --quick     # everything
     python -m repro lint            # simulation-correctness static analysis
     python -m repro E1 --quick --check-invariants
+    python -m repro campaign run E5 E7 --workers 4 --db sweep.db
 
 Results print as the same fixed-width tables the benchmark suite saves.
 ``lint`` runs :mod:`repro.analysis.simlint` over the installed ``repro``
 package (or ``--path``) and exits non-zero on any finding, so CI can gate
 on it.  ``--check-invariants`` installs the runtime invariant checker
 (:mod:`repro.analysis.invariants`) on every co-simulation the experiments
-build.
+build.  ``campaign`` hands off to :mod:`repro.campaign.cli` — the
+parallel, resumable sweep engine (``run``/``report``/``status``).
 """
 
 from __future__ import annotations
@@ -77,6 +79,14 @@ def _run_one(eid: str, quick: bool, seed: Optional[int]) -> None:
 
 
 def main(argv: Optional[List[str]] = None) -> int:
+    if argv is None:
+        argv = sys.argv[1:]
+    if argv and argv[0] == "campaign":
+        # The campaign engine has its own subcommand tree; dispatch before
+        # argparse so the experiment chooser stays a simple positional.
+        from ..campaign.cli import main as campaign_main  # deferred: optional
+
+        return campaign_main(argv[1:])
     args = build_parser().parse_args(argv)
     if args.experiment == "lint":
         from ..analysis.simlint import run as run_lint  # deferred: lint only

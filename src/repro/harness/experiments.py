@@ -15,10 +15,10 @@ network at quantum 1.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Sequence
 
 from ..core.config import TargetConfig, default_target_table
-from ..core.cosim import CoSimResult
+from ..errors import ConfigError
 from ..noc.config import NocConfig
 from ..noc.topology import Mesh
 from ..workloads.apps import splash_apps
@@ -43,6 +43,15 @@ __all__ = [
     "run_e8",
     "run_e9",
     "run_e10",
+    "e5_points",
+    "run_e5_point",
+    "assemble_e5",
+    "e6_points",
+    "run_e6_point",
+    "assemble_e6",
+    "e7_points",
+    "run_e7_point",
+    "assemble_e7",
     "ALL_EXPERIMENTS",
 ]
 
@@ -58,6 +67,12 @@ class ExperimentResult:
     notes: Dict[str, float] = field(default_factory=dict)
     #: optional pre-rendered ASCII figures (appended after the table)
     figures: List[str] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        # Rows normalize to tuples so persistence round-trips compare equal
+        # (JSON has no tuple type) and assembled-from-store results match
+        # the in-process originals exactly.
+        self.rows = [tuple(row) for row in self.rows]
 
     def render(self) -> str:
         lines = [format_table(self.headers, self.rows, title=f"[{self.eid}] {self.title}")]
@@ -349,71 +364,97 @@ def run_e4(quick: bool = False, seed: int = 3) -> ExperimentResult:
 # ----------------------------------------------------------------------
 # E5: design-space exploration through the detailed component
 # ----------------------------------------------------------------------
-def run_e5(quick: bool = False, seed: int = 3) -> ExperimentResult:
-    """Router design sweep (VCs x buffers): visible through RA, invisible to
-    the abstract model.  Points are ordered weakest-first so the RA-visible
-    runtime trend is monotone."""
-    points = [(2, 2), (8, 8)] if quick else [(2, 2), (2, 4), (4, 4), (8, 8)]
+# E5/E6/E7 are multi-point sweeps.  Each is split into ``eN_points`` (the
+# sweep grid), ``run_eN_point`` (one independent, JSON-serializable unit of
+# work), and ``assemble_eN`` (cross-point aggregates) so the campaign engine
+# (:mod:`repro.campaign`) can fan the points out across worker processes;
+# the sequential ``run_eN`` entry points compose exactly these pieces, which
+# is what guarantees campaign output is identical to a sequential run.
+
+
+def e5_points(quick: bool = False) -> List[List[int]]:
+    """The (num_vcs, buffer_depth) grid, ordered weakest-first so the
+    RA-visible runtime trend is monotone."""
+    return [[2, 2], [8, 8]] if quick else [[2, 2], [2, 4], [4, 4], [8, 8]]
+
+
+def run_e5_point(point: Sequence[int], quick: bool = False, seed: int = 3) -> tuple:
+    """One router design point: RA co-sim + abstract-model run; one row."""
+    num_vcs, depth = point
+    noc = NocConfig(num_vcs=num_vcs, buffer_depth=depth)
     scale = 0.4 if quick else 1.0
-    rows = []
-    ra_finishes = []
-    for num_vcs, depth in points:
-        noc = NocConfig(num_vcs=num_vcs, buffer_depth=depth)
-        base = TargetConfig(
-            width=4, height=4, app="fft", seed=seed, scale=scale, noc=noc
-        )
-        ra = run_cosim(base.variant(network_model="simd", quantum=4))
-        fixed = run_cosim(base.variant(network_model="fixed"))
-        ra_finishes.append(float(ra.finish_cycle or 0))
-        rows.append(
-            (
-                f"{num_vcs}vc x {depth}f",
-                float(ra.finish_cycle or 0),
-                ra.mean_latency(),
-                float(fixed.finish_cycle or 0),
-                fixed.mean_latency(),
-            )
-        )
+    base = TargetConfig(
+        width=4, height=4, app="fft", seed=seed, scale=scale, noc=noc
+    )
+    ra = run_cosim(base.variant(network_model="simd", quantum=4))
+    fixed = run_cosim(base.variant(network_model="fixed"))
+    return (
+        f"{num_vcs}vc x {depth}f",
+        float(ra.finish_cycle or 0),
+        ra.mean_latency(),
+        float(fixed.finish_cycle or 0),
+        fixed.mean_latency(),
+    )
+
+
+def assemble_e5(
+    rows: Sequence[Sequence], quick: bool = False, seed: int = 3
+) -> ExperimentResult:
+    """Combine per-point rows (in :func:`e5_points` order) into the result."""
+    ra_finishes = [float(row[1]) for row in rows]
     spread = (max(ra_finishes) - min(ra_finishes)) / max(ra_finishes)
     return ExperimentResult(
         eid="E5",
         title="Design-space exploration: router design, RA co-sim vs abstract model",
         headers=["design", "ra_finish", "ra_lat", "fixed_finish", "fixed_lat"],
-        rows=rows,
+        rows=list(rows),
         notes={"ra_visible_runtime_spread": spread},
     )
+
+
+def run_e5(quick: bool = False, seed: int = 3) -> ExperimentResult:
+    """Router design sweep (VCs x buffers): visible through RA, invisible to
+    the abstract model."""
+    rows = [run_e5_point(p, quick, seed) for p in e5_points(quick)]
+    return assemble_e5(rows, quick, seed)
 
 
 # ----------------------------------------------------------------------
 # E6: CPU vs CPU+GPU co-simulation time
 # ----------------------------------------------------------------------
-def run_e6(quick: bool = False, seed: int = 3) -> ExperimentResult:
-    """Host co-simulation time at 64/256/512-core targets.
+def e6_points(quick: bool = False) -> List[List[int]]:
+    """The measured (width, height) target sizes."""
+    return [[4, 4], [8, 8]] if quick else [[8, 8], [16, 16], [32, 16]]
 
-    Measured part: wall clock of real co-simulations with the OO network
-    ("CPU") vs the SIMD network ("GPU") over a fixed window of target
-    cycles.  Modelled part: the paper-calibrated cost model (16% @ 256,
-    65% @ 512).
+
+def run_e6_point(point: Sequence[int], quick: bool = False, seed: int = 3) -> tuple:
+    """One measured target size: CPU-network vs GPU-network wall clock.
+
+    Both runs happen inside the same job so the reduction ratio compares
+    like with like even when jobs share a loaded host.
     """
-    sizes = [(4, 4), (8, 8)] if quick else [(8, 8), (16, 16), (32, 16)]
+    width, height = point
     window = 800 if quick else 3000
-    rows = []
-    for width, height in sizes:
-        cores = width * height
-        base = TargetConfig(
-            width=width, height=height, app="ocean", seed=seed, quantum=16
-        )
-        cpu = run_cosim(base.variant(network_model="cycle"), max_cycles=window)
-        gpu = run_cosim(base.variant(network_model="simd"), max_cycles=window)
-        rows.append(
-            (
-                f"measured-{cores}",
-                cores,
-                cpu.wall_total,
-                gpu.wall_total,
-                measured_reduction(cpu, gpu),
-            )
-        )
+    cores = width * height
+    base = TargetConfig(
+        width=width, height=height, app="ocean", seed=seed, quantum=16
+    )
+    cpu = run_cosim(base.variant(network_model="cycle"), max_cycles=window)
+    gpu = run_cosim(base.variant(network_model="simd"), max_cycles=window)
+    return (
+        f"measured-{cores}",
+        cores,
+        cpu.wall_total,
+        gpu.wall_total,
+        measured_reduction(cpu, gpu),
+    )
+
+
+def assemble_e6(
+    rows: Sequence[Sequence], quick: bool = False, seed: int = 3
+) -> ExperimentResult:
+    """Measured rows (in :func:`e6_points` order) + paper-calibrated model."""
+    rows = list(rows)
     model = HostTimingModel()
     for entry in model.sweep((64, 256, 512)):
         rows.append(
@@ -438,38 +479,70 @@ def run_e6(quick: bool = False, seed: int = 3) -> ExperimentResult:
     )
 
 
+def run_e6(quick: bool = False, seed: int = 3) -> ExperimentResult:
+    """Host co-simulation time at 64/256/512-core targets.
+
+    Measured part: wall clock of real co-simulations with the OO network
+    ("CPU") vs the SIMD network ("GPU") over a fixed window of target
+    cycles.  Modelled part: the paper-calibrated cost model (16% @ 256,
+    65% @ 512).
+    """
+    rows = [run_e6_point(p, quick, seed) for p in e6_points(quick)]
+    return assemble_e6(rows, quick, seed)
+
+
 # ----------------------------------------------------------------------
 # E7: synchronization-quantum ablation
 # ----------------------------------------------------------------------
-def run_e7(quick: bool = False, seed: int = 3) -> ExperimentResult:
-    """Quantum size vs accuracy and host cost of the RA coupling."""
+def e7_points(quick: bool = False) -> List[List[int]]:
+    """The quantum grid; quantum 1 leads and serves as the reference."""
     quanta = [1, 16, 64] if quick else [1, 4, 16, 64, 256]
+    return [[q] for q in quanta]
+
+
+def run_e7_point(point: Sequence[int], quick: bool = False, seed: int = 3) -> tuple:
+    """One quantum: the raw per-run record; errors are assembled later
+    against the quantum-1 record, so every point is an independent job."""
+    (quantum,) = point
     scale = 0.4 if quick else 1.0
     base = TargetConfig(
         width=4, height=4, app="fft", seed=seed, scale=scale, network_model="simd"
     )
-    truth: Optional[CoSimResult] = None
+    result = run_cosim(base.variant(quantum=quantum))
+    return (
+        quantum,
+        result.mean_latency(),
+        float(result.finish_cycle or 0),
+        result.clamped_deliveries,
+        result.deliveries,
+        result.windows,
+        result.wall_total,
+    )
+
+
+def assemble_e7(
+    records: Sequence[Sequence], quick: bool = False, seed: int = 3
+) -> ExperimentResult:
+    """Turn raw per-quantum records (in :func:`e7_points` order) into the
+    accuracy/clamping/host-cost table relative to the quantum-1 record."""
+    truth = records[0]
+    if truth[0] != 1:
+        raise ConfigError(
+            f"E7 assembly needs the quantum-1 reference first, got {truth[0]!r}"
+        )
+    truth_lat = truth[1]
+    truth_finish = float(truth[2]) or 1.0
     rows = []
-    for quantum in quanta:
-        result = run_cosim(base.variant(quantum=quantum))
-        if truth is None:
-            truth = result  # Q=1 leads the sweep and serves as reference
-        lat_err = metrics.relative_error(
-            result.mean_latency(), truth.mean_latency()
-        )
-        finish_err = metrics.relative_error(
-            float(result.finish_cycle or 0), float(truth.finish_cycle or 1)
-        )
-        clamp_frac = result.clamped_deliveries / max(1, result.deliveries)
+    for quantum, mean_lat, finish, clamped, deliveries, windows, wall in records:
         rows.append(
             (
                 quantum,
-                result.mean_latency(),
-                lat_err,
-                finish_err,
-                clamp_frac,
-                result.windows,
-                result.wall_total,
+                mean_lat,
+                metrics.relative_error(mean_lat, truth_lat),
+                metrics.relative_error(float(finish), truth_finish),
+                clamped / max(1, deliveries),
+                windows,
+                wall,
             )
         )
     return ExperimentResult(
@@ -487,6 +560,12 @@ def run_e7(quick: bool = False, seed: int = 3) -> ExperimentResult:
         rows=rows,
         notes={},
     )
+
+
+def run_e7(quick: bool = False, seed: int = 3) -> ExperimentResult:
+    """Quantum size vs accuracy and host cost of the RA coupling."""
+    records = [run_e7_point(p, quick, seed) for p in e7_points(quick)]
+    return assemble_e7(records, quick, seed)
 
 
 # ----------------------------------------------------------------------

@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+import hashlib
 import math
 from typing import Iterable, Sequence
 
@@ -11,6 +12,7 @@ from .errors import ConfigError
 
 __all__ = [
     "Rng",
+    "derive_seed",
     "check_positive",
     "check_non_negative",
     "check_probability",
@@ -80,6 +82,25 @@ class Rng:
         cdf = np.cumsum(weights)
         cdf /= cdf[-1]
         return int(np.searchsorted(cdf, self._gen.random()))
+
+
+def derive_seed(root_seed: int, *parts) -> int:
+    """Derive a child seed from a root seed and identifying parts.
+
+    The derivation is a stable content hash (SHA-256 over the root seed and
+    the ``str()`` of each part), so the same ``(root_seed, parts)`` always
+    yields the same seed — across processes, platforms, and Python versions
+    (unlike ``hash()``, which is salted per process).  Campaign workers use
+    this to give every job an independent, reproducible seed: results depend
+    only on the job's identity, never on which worker ran it or how many
+    workers the pool had.
+
+    Returns a non-negative 63-bit integer (safe for any seed consumer).
+    """
+    digest = hashlib.sha256(
+        repr((int(root_seed),) + tuple(str(p) for p in parts)).encode("utf-8")
+    ).digest()
+    return int.from_bytes(digest[:8], "big") >> 1
 
 
 def check_positive(value: float, name: str) -> None:

@@ -1,0 +1,39 @@
+"""Acceptance: a parallel campaign reproduces sequential experiment output.
+
+Quick-mode E5 and E7 run through the campaign engine on 2 workers and must
+produce row data identical to the sequential ``run_e5`` / ``run_e7`` —
+excluding only each descriptor's declared ``host_time_columns`` (host
+wall-clock measurements, the one sanctioned source of nondeterminism).
+
+These are the slowest tests in the suite (tens of seconds: they run real
+quick-mode sweeps twice each); everything structural about the campaign
+engine is covered by the fast tests in ``test_campaign.py``.
+"""
+
+import pytest
+
+from repro.campaign import get_experiment, run_experiment_parallel
+from repro.harness.experiments import run_e5, run_e7
+
+
+def _masked_rows(result, eid):
+    """Rows with the experiment's host wall-clock columns blanked out."""
+    host = set(get_experiment(eid).host_time_columns)
+    keep = [i for i, h in enumerate(result.headers) if h not in host]
+    return [tuple(row[i] for i in keep) for row in result.rows]
+
+
+@pytest.mark.parametrize(
+    "eid,sequential",
+    [("E5", run_e5), ("E7", run_e7)],
+)
+def test_campaign_matches_sequential(eid, sequential):
+    expected = sequential(quick=True)
+    actual = run_experiment_parallel(eid, quick=True, workers=2)
+    assert actual.eid == expected.eid
+    assert actual.headers == expected.headers
+    assert _masked_rows(actual, eid) == _masked_rows(expected, eid)
+    # E5's note is derived from simulated cycles, so it must match exactly;
+    # E7 has no notes.  Neither may grow host-time-derived notes silently.
+    assert actual.notes == expected.notes
+    assert actual.title == expected.title

@@ -36,3 +36,44 @@ class TestMain:
     def test_seed_passthrough(self, capsys):
         assert main(["E1", "--quick", "--seed", "23"]) == 0
         assert "[E1]" in capsys.readouterr().out
+
+
+class TestCampaignDispatch:
+    """``python -m repro campaign ...`` hands off to repro.campaign.cli."""
+
+    def test_run_and_report(self, tmp_path, capsys):
+        db = str(tmp_path / "c.db")
+        code = main(
+            ["campaign", "run", "demo", "--db", db, "--workers", "2",
+             "--no-progress"]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "campaign: 4/4 done, 0 failed" in out
+        assert "[demo]" in out  # the final report renders the table
+        assert main(["campaign", "status", "--db", db]) == 0
+        assert "Job provenance" in capsys.readouterr().out
+        assert main(["campaign", "report", "--db", db]) == 0
+        assert "[demo]" in capsys.readouterr().out
+
+    def test_resume_skips_done_jobs(self, tmp_path, capsys):
+        db = str(tmp_path / "c.db")
+        assert main(["campaign", "run", "demo", "--db", db, "--no-progress"]) == 0
+        capsys.readouterr()
+        code = main(
+            ["campaign", "run", "demo", "--db", db, "--resume", "--no-progress"]
+        )
+        assert code == 0
+        assert "0 executed, 4 skipped" in capsys.readouterr().out
+
+    def test_existing_db_without_resume_refused(self, tmp_path, capsys):
+        db = str(tmp_path / "c.db")
+        assert main(["campaign", "run", "demo", "--db", db, "--no-progress"]) == 0
+        capsys.readouterr()
+        assert main(["campaign", "run", "demo", "--db", db, "--no-progress"]) == 2
+        assert "--resume" in capsys.readouterr().err
+
+    def test_unknown_experiment_is_config_error(self, tmp_path, capsys):
+        db = str(tmp_path / "c.db")
+        assert main(["campaign", "run", "E42", "--db", db]) == 2
+        assert "unknown campaign experiment" in capsys.readouterr().err

@@ -124,6 +124,46 @@ class TestRunners:
         assert len(points) == 2
         assert points[1][1].mean_latency > points[0][1].mean_latency
 
+    def test_sweep_empty_rates(self):
+        topo = Mesh(2, 2)
+        points = sweep_injection(
+            topo,
+            lambda r: SyntheticTraffic(topo, rate=r, seed=4),
+            rates=[],
+            cycles=100,
+        )
+        assert points == []
+
+    def test_sweep_single_point(self):
+        topo = Mesh(2, 2)
+        points = sweep_injection(
+            topo,
+            lambda r: SyntheticTraffic(topo, rate=r, seed=4),
+            rates=[0.05],
+            cycles=300,
+        )
+        assert len(points) == 1
+        rate, stats = points[0]
+        assert rate == 0.05
+        assert stats.ejected_packets > 0
+
+    def test_sweep_saturating_load_keeps_backlog(self):
+        # Past saturation the sources inject faster than the mesh drains;
+        # the sweep must still terminate (no full drain) and the backlog
+        # must show up as injected > ejected in the saturated point.
+        topo = Mesh(4, 4)
+        points = sweep_injection(
+            topo,
+            lambda r: SyntheticTraffic(topo, "uniform", rate=r, seed=4),
+            rates=[0.02, 0.9],
+            cycles=400,
+            kind="simd",
+        )
+        light, saturated = points[0][1], points[1][1]
+        assert light.injected_packets == light.ejected_packets
+        assert saturated.injected_packets > saturated.ejected_packets
+        assert saturated.mean_latency > light.mean_latency
+
     def test_run_cosim_cache(self):
         clear_run_cache()
         config = TargetConfig(width=2, height=2, app="water", scale=0.2,

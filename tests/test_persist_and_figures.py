@@ -13,6 +13,7 @@ from repro.harness import (
     save_result,
 )
 from repro.harness.experiments import ExperimentResult
+from repro.harness.persist import result_from_dict, result_to_dict
 
 
 def sample_result(eid="E1"):
@@ -48,9 +49,40 @@ class TestPersistence:
         assert data["schema"] == 1
         assert data["eid"] == "E1"
 
+    def test_exact_roundtrip_equality(self, tmp_path):
+        # The satellite contract: load(save(r)) == r, not merely field-wise
+        # close.  ExperimentResult normalizes rows to tuples in
+        # __post_init__, so the JSON list round-trip compares equal.
+        path = tmp_path / "e1.json"
+        original = sample_result()
+        save_result(original, path)
+        assert load_result(path) == original
+
+    def test_dict_roundtrip_equality(self):
+        original = sample_result()
+        assert result_from_dict(result_to_dict(original)) == original
+
     def test_schema_check(self, tmp_path):
         path = tmp_path / "bad.json"
         path.write_text('{"schema": 99}')
+        with pytest.raises(ConfigError) as excinfo:
+            load_result(path)
+        assert "newer version" in str(excinfo.value)
+
+    def test_future_schema_never_keyerrors(self, tmp_path):
+        # A future-schema file missing today's keys must fail on the
+        # version check, not on a KeyError deep in field access.
+        path = tmp_path / "future.json"
+        path.write_text('{"schema": 2, "grid": "new-layout"}')
+        with pytest.raises(ConfigError):
+            load_result(path)
+
+    def test_malformed_payload_is_config_error(self, tmp_path):
+        for text in ('{"schema": 1}', '{"schema": 1, "eid": "E1"}', "[]", "42"):
+            with pytest.raises(ConfigError):
+                result_from_dict(json.loads(text))
+        path = tmp_path / "broken.json"
+        path.write_text("{not json")
         with pytest.raises(ConfigError):
             load_result(path)
 

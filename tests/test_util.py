@@ -12,6 +12,7 @@ from repro.util import (
     check_positive,
     check_probability,
     clamp,
+    derive_seed,
     ewma,
     geometric_mean,
 )
@@ -93,6 +94,34 @@ class TestRng:
         shuffled = list(items)
         rng.shuffle(shuffled)
         assert sorted(shuffled) == items
+
+
+class TestDeriveSeed:
+    def test_deterministic(self):
+        assert derive_seed(3, "E7", 1) == derive_seed(3, "E7", 1)
+
+    def test_sensitive_to_every_part(self):
+        base = derive_seed(3, "E7", 1)
+        assert base != derive_seed(4, "E7", 1)
+        assert base != derive_seed(3, "E5", 1)
+        assert base != derive_seed(3, "E7", 2)
+        assert base != derive_seed(3, "E7")
+
+    def test_fits_in_non_negative_63_bits(self):
+        for root in (0, 1, 2**31, 2**62):
+            seed = derive_seed(root, "x")
+            assert 0 <= seed < 2**63
+
+    def test_usable_as_rng_seed(self):
+        seed = derive_seed(42, "campaign", 0)
+        assert [Rng(seed).random() for _ in range(5)] == [
+            Rng(seed).random() for _ in range(5)
+        ]
+
+    @given(st.integers(0, 2**31), st.integers(0, 5))
+    def test_children_differ_from_root(self, root, replicate):
+        # 63-bit hash vs 31-bit root: a collision would be astonishing.
+        assert derive_seed(root, "eid", replicate) != root
 
 
 class TestValidators:
