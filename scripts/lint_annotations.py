@@ -1,0 +1,68 @@
+#!/usr/bin/env python
+"""Turn ``python -m repro lint --format json`` into GitHub annotations.
+
+Reads the JSON report from stdin (or a file argument) and prints one
+GitHub Actions workflow command per violation::
+
+    ::error file=src/repro/noc/router.py,line=42,col=9,title=SIM102::...
+
+so findings surface inline on the PR diff instead of in a flat log.  The
+exit code mirrors the lint result (0 clean, 1 findings, 2 bad input), so
+the CI step can pipe and still gate:
+
+    python -m repro lint --format json | python scripts/lint_annotations.py
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+
+
+def _escape(text: str) -> str:
+    """Workflow-command escaping for the message payload."""
+    return (
+        text.replace("%", "%25").replace("\r", "%0D").replace("\n", "%0A")
+    )
+
+
+def main(argv: list) -> int:
+    # Lint paths are relative to the lint root; --prefix rebases them onto
+    # the repository so annotations attach to the right files on the diff.
+    prefix = ""
+    args = list(argv[1:])
+    if "--prefix" in args:
+        i = args.index("--prefix")
+        prefix = args[i + 1]
+        del args[i : i + 2]
+    if args:
+        with open(args[0], encoding="utf-8") as fh:
+            raw = fh.read()
+    else:
+        raw = sys.stdin.read()
+    try:
+        report = json.loads(raw)
+    except json.JSONDecodeError as exc:
+        print(f"lint_annotations: stdin is not a JSON lint report: {exc}")
+        return 2
+    if "error" in report:
+        print(f"::error::{_escape(str(report['error']))}")
+        return 2
+    violations = report.get("violations", [])
+    for v in violations:
+        message = _escape(f"[{v['rule']}] {v['message']}")
+        path = prefix + v["path"] if prefix else v["path"]
+        print(
+            f"::error file={path},line={v['line']},col={v['col']},"
+            f"title={v['code']}::{message}"
+        )
+    count = len(violations)
+    if count:
+        print(f"simlint: {count} finding(s) annotated")
+        return 1
+    print("simlint: clean")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

@@ -28,6 +28,7 @@ from .simlint import (
     Violation,
     lint_file,
     lint_paths,
+    render_json,
     render_report,
 )
 
@@ -37,6 +38,7 @@ __all__ = [
     "Violation",
     "lint_file",
     "lint_paths",
+    "render_json",
     "render_report",
     "InvariantChecker",
     "check_network_invariants",

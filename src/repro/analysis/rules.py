@@ -44,6 +44,14 @@ Rules
     ``python -O``, silently disabling the check; raise a
     :class:`repro.errors.SimulationError` / ``ConfigError`` /
     ``ProtocolError`` instead.
+
+``SIM106 swallowed-exception``
+    An ``except`` handler that discards the exception — a body of nothing
+    but ``pass``/``...``, or a bare ``except:`` that catches everything
+    including ``KeyboardInterrupt``.  In a simulator a swallowed error
+    does not crash; it silently diverges the results.  Handle the
+    exception, re-raise, or excuse a deliberate suppression with
+    ``# simlint: allow[swallowed-exception]`` on the ``except`` line.
 """
 
 from __future__ import annotations
@@ -79,6 +87,10 @@ RULES: Dict[str, tuple] = {
     "bare-assert": (
         "SIM105",
         "assert statement is stripped under python -O; raise a repro error",
+    ),
+    "swallowed-exception": (
+        "SIM106",
+        "exception handler discards the error; simulations diverge silently",
     ),
 }
 
@@ -412,6 +424,34 @@ class SimLintVisitor(ast.NodeVisitor):
 
     def visit_comprehension(self, node: ast.comprehension) -> None:
         self._check_iter(node.iter)
+        self.generic_visit(node)
+
+    # -- exception handlers ---------------------------------------------
+    def visit_ExceptHandler(self, node: ast.ExceptHandler) -> None:
+        swallowed = all(
+            isinstance(stmt, ast.Pass)
+            or (
+                isinstance(stmt, ast.Expr)
+                and isinstance(stmt.value, ast.Constant)
+                and stmt.value.value is Ellipsis
+            )
+            for stmt in node.body
+        )
+        if node.type is None:
+            self._flag(
+                node,
+                "swallowed-exception",
+                "bare 'except:' catches everything, including SystemExit and "
+                "KeyboardInterrupt; name the exception types",
+            )
+        elif swallowed:
+            self._flag(
+                node,
+                "swallowed-exception",
+                "handler body is only pass/...; the error vanishes and the "
+                "simulation silently diverges — handle it, re-raise, or "
+                "pragma a deliberate suppression",
+            )
         self.generic_visit(node)
 
     # -- asserts --------------------------------------------------------

@@ -21,6 +21,7 @@ from __future__ import annotations
 
 import ast
 import fnmatch
+import json
 import re
 from dataclasses import dataclass, field
 from pathlib import Path
@@ -34,6 +35,7 @@ __all__ = [
     "Violation",
     "lint_file",
     "lint_paths",
+    "render_json",
     "render_report",
 ]
 
@@ -152,6 +154,27 @@ def lint_paths(
     return violations
 
 
+def render_json(violations: Sequence[Violation]) -> str:
+    """Machine-readable report: a JSON document CI turns into per-file
+    annotations (see ``scripts/lint_annotations.py``)."""
+    payload = {
+        "ok": not violations,
+        "count": len(violations),
+        "violations": [
+            {
+                "path": v.path,
+                "line": v.line,
+                "col": v.col,
+                "code": v.code,
+                "rule": v.rule,
+                "message": v.message,
+            }
+            for v in violations
+        ],
+    }
+    return json.dumps(payload, indent=2)
+
+
 def render_report(violations: Sequence[Violation]) -> str:
     """Human-readable report: one line per finding plus a per-rule tally."""
     if not violations:
@@ -172,13 +195,21 @@ def default_lint_root() -> Path:
     return Path(__file__).resolve().parent.parent
 
 
-def run(path: Optional[str] = None) -> int:
-    """Lint ``path`` (default: the repro package); returns a process code."""
+def run(path: Optional[str] = None, fmt: str = "text") -> int:
+    """Lint ``path`` (default: the repro package); returns a process code.
+
+    ``fmt="json"`` emits :func:`render_json` instead of the human report,
+    which the CI lint job feeds to ``scripts/lint_annotations.py`` for
+    per-file annotations.
+    """
     root = Path(path) if path else default_lint_root()
     if not root.exists():
         # A typo'd --path must not read as "clean" to CI.
-        print(f"simlint: path {root} does not exist")
+        if fmt == "json":
+            print(json.dumps({"ok": False, "error": f"path {root} does not exist"}))
+        else:
+            print(f"simlint: path {root} does not exist")
         return 2
     violations = lint_paths([root])
-    print(render_report(violations))
+    print(render_json(violations) if fmt == "json" else render_report(violations))
     return 1 if violations else 0

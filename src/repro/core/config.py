@@ -81,6 +81,7 @@ def build_cosim(
     config: TargetConfig,
     simd_network_factory=None,
     check_invariants: bool = False,
+    verify: str = "warn",
 ) -> CoSimulator:
     """Assemble system + network model + co-simulator from a config.
 
@@ -90,7 +91,36 @@ def build_cosim(
     :class:`~repro.analysis.invariants.InvariantChecker` that validates
     message conservation, time monotonicity, and NoC credit/VC conservation
     at every quantum boundary.
+
+    ``verify`` gates construction on :mod:`repro.verify`'s static checks
+    (deadlock-freedom of the routing triple, protocol safety): ``"warn"``
+    (default) emits a :class:`RuntimeWarning` per refuted property,
+    ``"strict"`` raises :class:`ConfigError`, ``"off"`` skips the pass.
+    Verification is memoized per process, so sweeps pay for each distinct
+    configuration shape once.
     """
+    if verify not in ("off", "warn", "strict"):
+        raise ConfigError(
+            f"verify must be 'off', 'warn', or 'strict', got {verify!r}"
+        )
+    if verify != "off":
+        from ..verify import verify_target_config  # deferred: optional pass
+
+        failed = [r for r in verify_target_config(config) if not r.ok]
+        if failed:
+            text = "\n".join(r.render() for r in failed)
+            if verify == "strict":
+                raise ConfigError(
+                    "configuration failed pre-simulation verification:\n" + text
+                )
+            import warnings
+
+            warnings.warn(
+                "configuration failed pre-simulation verification "
+                "(simulating anyway; pass verify='strict' to refuse):\n" + text,
+                RuntimeWarning,
+                stacklevel=2,
+            )
     topo = config.make_topology()
     if config.app.startswith("mix:"):
         # Multiprogrammed mix, e.g. "mix:fft+canneal": apps round-robin over

@@ -21,7 +21,14 @@ from ..errors import ConfigError, ProtocolError, SimulationError
 from ..noc.topology import Topology
 from .address import AddressMap
 from .config import CmpConfig
-from .coherence import Message, MessageKind, message_profile
+from .coherence import (
+    Message,
+    MessageKind,
+    cache_bound_kinds,
+    home_bound_kinds,
+    memory_bound_kinds,
+    message_profile,
+)
 from .core_model import Core, CoreProgram, Mshr
 from .directory import HomeController
 from .events import EventQueue
@@ -29,23 +36,11 @@ from .memory import MemoryController, assign_controllers
 
 __all__ = ["CmpSystem", "FixedTransport"]
 
-_HOME_KINDS = {
-    MessageKind.GETS,
-    MessageKind.GETX,
-    MessageKind.PUTM,
-    MessageKind.RECALL_DATA,
-    MessageKind.MEM_DATA,
-    MessageKind.UNBLOCK,
-}
-_CORE_KINDS = {
-    MessageKind.DATA,
-    MessageKind.INV,
-    MessageKind.INV_ACK,
-    MessageKind.RECALL_S,
-    MessageKind.RECALL_X,
-    MessageKind.PUT_ACK,
-}
-_MEM_KINDS = {MessageKind.MEM_READ, MessageKind.MEM_WB}
+# Delivery routing is derived from the protocol tables so the dispatch
+# below can never drift from the specification the verifier checks.
+_HOME_KINDS = home_bound_kinds()
+_CORE_KINDS = cache_bound_kinds()
+_MEM_KINDS = memory_bound_kinds()
 
 
 class FixedTransport:

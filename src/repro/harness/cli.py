@@ -7,6 +7,7 @@ Examples::
     python -m repro table1          # target configuration table
     python -m repro all --quick     # everything
     python -m repro lint            # simulation-correctness static analysis
+    python -m repro verify          # deadlock/protocol verification
     python -m repro E1 --quick --check-invariants
     python -m repro campaign run E5 E7 --workers 4 --db sweep.db
 
@@ -16,7 +17,9 @@ package (or ``--path``) and exits non-zero on any finding, so CI can gate
 on it.  ``--check-invariants`` installs the runtime invariant checker
 (:mod:`repro.analysis.invariants`) on every co-simulation the experiments
 build.  ``campaign`` hands off to :mod:`repro.campaign.cli` — the
-parallel, resumable sweep engine (``run``/``report``/``status``).
+parallel, resumable sweep engine (``run``/``report``/``status``) — and
+``verify`` to :mod:`repro.verify.cli`, the pre-simulation deadlock and
+protocol-safety checker.
 """
 
 from __future__ import annotations
@@ -63,6 +66,12 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="with 'lint': tree to analyse (default: the repro package)",
     )
+    parser.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        help="with 'lint': report format (json feeds CI annotations)",
+    )
     return parser
 
 
@@ -87,11 +96,16 @@ def main(argv: Optional[List[str]] = None) -> int:
         from ..campaign.cli import main as campaign_main  # deferred: optional
 
         return campaign_main(argv[1:])
+    if argv and argv[0] == "verify":
+        # Configuration verification likewise owns its own flags.
+        from ..verify.cli import main as verify_main  # deferred: optional
+
+        return verify_main(argv[1:])
     args = build_parser().parse_args(argv)
     if args.experiment == "lint":
         from ..analysis.simlint import run as run_lint  # deferred: lint only
 
-        return run_lint(args.path)
+        return run_lint(args.path, fmt=args.format)
     if args.check_invariants:
         set_check_invariants(True)
     try:

@@ -52,8 +52,55 @@ __all__ = [
     "e7_points",
     "run_e7_point",
     "assemble_e7",
+    "shipped_target_configs",
     "ALL_EXPERIMENTS",
 ]
+
+
+def shipped_target_configs() -> List[tuple]:
+    """Every distinctive ``(label, TargetConfig)`` the experiments build.
+
+    This is the enumeration ``python -m repro verify`` (and the CI verify
+    job) walks: one entry per configuration shape that differs in anything
+    the verifier looks at — topology, routing, VC count, VC-selection
+    policy, or network model.  Sweep dimensions the verifier is blind to
+    (apps, seeds, scales, quanta) are collapsed to one representative.
+    """
+    configs: List[tuple] = [
+        ("E1/E2 4x4 mesh, cycle network", TargetConfig(width=4, height=4)),
+        (
+            "E3/E4/E7-E10 4x4 mesh, SIMD network",
+            TargetConfig(width=4, height=4, network_model="simd"),
+        ),
+        (
+            "E3 abstract baselines (fixed latency)",
+            TargetConfig(width=4, height=4, network_model="fixed"),
+        ),
+        (
+            "table-shadow calibration",
+            TargetConfig(width=4, height=4, network_model="table-shadow"),
+        ),
+    ]
+    for num_vcs, depth in e5_points(quick=False):
+        configs.append(
+            (
+                f"E5 router design point {num_vcs}vc x {depth}f",
+                TargetConfig(
+                    width=4,
+                    height=4,
+                    network_model="simd",
+                    noc=NocConfig(num_vcs=num_vcs, buffer_depth=depth),
+                ),
+            )
+        )
+    for width, height in e6_points(quick=False):
+        configs.append(
+            (
+                f"E6 measured target {width}x{height}",
+                TargetConfig(width=width, height=height, network_model="simd"),
+            )
+        )
+    return configs
 
 
 @dataclass

@@ -24,7 +24,7 @@ from .packet import Flit, Packet
 from .router import Router
 from .routing import RoutingFunction, XYRouting
 from .stats import NetworkStats
-from .topology import LOCAL, Topology, Torus, opposite_port
+from .topology import LOCAL, Topology, Torus, opposite_port, port_dimension
 
 __all__ = ["CycleNetwork"]
 
@@ -182,9 +182,12 @@ class CycleNetwork:
                 if (
                     flit.is_head
                     and self._is_torus
-                    and self._is_wrap_link(link.src_router, link.src_port)
+                    and self.topo.is_wrap_channel(link.src_router, link.src_port)
                 ):
-                    flit.packet.dateline_class = 1  # type: ignore[attr-defined]
+                    if port_dimension(link.src_port) == 0:
+                        flit.packet.dateline_x = 1
+                    else:
+                        flit.packet.dateline_y = 1
                 self.routers[link.dst_router].accept_flit(link.dst_port, vc, flit, now)
             for vc in link.credit_arrivals(now):
                 self.routers[link.src_router].accept_credit(link.src_port, vc)
@@ -192,12 +195,6 @@ class CycleNetwork:
                 drained.append(link)
         for link in drained:
             self._active_links.pop(link, None)
-
-    def _is_wrap_link(self, src: int, port: int) -> bool:
-        sx, sy = self.topo.coords(src)
-        link = self.links[(src, port)]
-        dx, dy = self.topo.coords(link.dst_router)
-        return abs(sx - dx) > 1 or abs(sy - dy) > 1
 
     def _admit_new_packets(self, now: int) -> None:
         while self._future and self._future[0][0] <= now:
@@ -223,7 +220,8 @@ class CycleNetwork:
                     continue  # all local VCs busy; head waits in the queue
                 packet = source.pending.popleft()
                 packet.network_entry_cycle = now
-                packet.dateline_class = 0  # type: ignore[attr-defined]
+                packet.dateline_x = 0
+                packet.dateline_y = 0
                 source.current_flits = packet.flits()
                 source.current_vc = vc
             vc = source.current_vc

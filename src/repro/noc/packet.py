@@ -68,6 +68,15 @@ class Packet:
     eject_cycle: Optional[int] = None
     hops: int = 0
 
+    #: Dateline VC class per ring dimension, maintained by the network on
+    #: tori: 0 until the packet crosses that dimension's wrap channel, 1
+    #: after.  Tracked per dimension because the X and Y rings have
+    #: independent datelines — a single shared bit would let a stale X
+    #: crossing restrict the Y-ring VC choice and reopen the cycle the
+    #: dateline exists to break.
+    dateline_x: int = 0
+    dateline_y: int = 0
+
     def __post_init__(self) -> None:
         if self.size_flits < 1:
             raise ConfigError(f"packet needs >= 1 flit, got {self.size_flits}")

@@ -22,7 +22,7 @@ from .arbiter import MatrixArbiter, RoundRobinArbiter
 from .config import NocConfig
 from .packet import Flit, Packet
 from .routing import RoutingFunction
-from .topology import LOCAL, Topology, Torus
+from .topology import LOCAL, Topology, Torus, port_dimension
 from .vcalloc import select_output_vc
 
 __all__ = ["Router", "InputVC"]
@@ -212,13 +212,22 @@ class Router:
                     "allocation without a route (VA before RC)"
                 )
             free = [self.out_vc_owner[out_port][v] is None for v in range(nvc)]
+            # Dateline classes are per ring dimension: the class that matters
+            # is the one of the dimension the packet is about to travel in.
+            # Ejecting packets (LOCAL) hold no further channel, so class 0.
+            if out_port == LOCAL:
+                dateline_class = 0
+            elif port_dimension(out_port) == 0:
+                dateline_class = ivc.packet.dateline_x
+            else:
+                dateline_class = ivc.packet.dateline_y
             choice = select_output_vc(
                 self.config.vc_select,
                 ivc.packet,
                 free,
                 nvc,
                 dateline_active=self._dateline_active,
-                dateline_class=getattr(ivc.packet, "dateline_class", 0),
+                dateline_class=dateline_class,
             )
             if choice is not None:
                 requests.setdefault((out_port, choice), []).append(

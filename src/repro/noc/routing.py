@@ -13,7 +13,7 @@ routing-level deadlock even at one VC.
 
 from __future__ import annotations
 
-from typing import List
+from typing import FrozenSet, List, Tuple
 
 from ..errors import RoutingError
 from .topology import EAST, LOCAL, NORTH, SOUTH, WEST, Topology, Torus
@@ -27,9 +27,28 @@ __all__ = [
     "make_routing",
 ]
 
+#: every (incoming travel direction, outgoing travel direction) 90-degree turn
+_ALL_TURNS = frozenset(
+    (d_in, d_out)
+    for d_in in (EAST, WEST, NORTH, SOUTH)
+    for d_out in (EAST, WEST, NORTH, SOUTH)
+    if {d_in, d_out} not in ({EAST, WEST}, {NORTH, SOUTH})
+)
+
 
 class RoutingFunction:
-    """Interface: compute candidate output ports for a packet at a router."""
+    """Interface: compute candidate output ports for a packet at a router.
+
+    Besides the operational :meth:`candidates` interface, every routing
+    function exposes the *turn structure* its deadlock-freedom argument
+    rests on via :meth:`forbidden_turns`: the set of (incoming travel
+    direction, outgoing travel direction) turns it promises never to take at
+    a given router.  The static verifier (:mod:`repro.verify`) checks the
+    promise against the actual candidate sets and uses the channel
+    dependencies the function *does* permit to build the extended
+    channel-dependency graph.  180-degree reversals are excluded by
+    minimality and are not listed.
+    """
 
     #: True when :meth:`candidates` may return more than one port.
     adaptive = False
@@ -41,6 +60,18 @@ class RoutingFunction:
     def first(self, topo: Topology, router: int, dst_router: int) -> int:
         """The single preferred output port (what deterministic routers use)."""
         return self.candidates(topo, router, dst_router)[0]
+
+    def forbidden_turns(
+        self, topo: Topology, router: int
+    ) -> FrozenSet[Tuple[int, int]]:
+        """Turns this function never takes at ``router``.
+
+        Expressed over travel directions: ``(EAST, NORTH)`` is an
+        east-travelling packet turning north.  The base class promises
+        nothing (empty set); turn-model routings override this with the
+        prohibitions their deadlock argument is built on.
+        """
+        return frozenset()
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return type(self).__name__
@@ -75,6 +106,14 @@ class XYRouting(RoutingFunction):
             return [SOUTH]
         return [LOCAL]
 
+    def forbidden_turns(
+        self, topo: Topology, router: int
+    ) -> FrozenSet[Tuple[int, int]]:
+        # X is fully corrected before Y, so no Y-to-X turn ever occurs.
+        return frozenset(
+            t for t in _ALL_TURNS if t[0] in (NORTH, SOUTH) and t[1] in (EAST, WEST)
+        )
+
 
 class YXRouting(RoutingFunction):
     """Dimension-ordered: correct Y fully, then X."""
@@ -90,6 +129,14 @@ class YXRouting(RoutingFunction):
         if dx < 0:
             return [WEST]
         return [LOCAL]
+
+    def forbidden_turns(
+        self, topo: Topology, router: int
+    ) -> FrozenSet[Tuple[int, int]]:
+        # Y is fully corrected before X, so no X-to-Y turn ever occurs.
+        return frozenset(
+            t for t in _ALL_TURNS if t[0] in (EAST, WEST) and t[1] in (NORTH, SOUTH)
+        )
 
 
 class WestFirstRouting(RoutingFunction):
@@ -119,6 +166,13 @@ class WestFirstRouting(RoutingFunction):
             ports.append(SOUTH)
         return ports
 
+    def forbidden_turns(
+        self, topo: Topology, router: int
+    ) -> FrozenSet[Tuple[int, int]]:
+        # The two prohibited turns of the west-first turn model: once a
+        # packet is travelling north or south it may never turn west.
+        return frozenset(((NORTH, WEST), (SOUTH, WEST)))
+
 
 class OddEvenRouting(RoutingFunction):
     """Odd-even turn model: adaptivity limited by column parity.
@@ -135,19 +189,28 @@ class OddEvenRouting(RoutingFunction):
         if dx == 0 and dy == 0:
             return [LOCAL]
         x, _ = topo.coords(router)
-        dst_x, _ = topo.coords(dst_router)
         even = x % 2 == 0
         ports: List[int] = []
         if dx > 0:
-            # Turning off the east direction is forbidden in even columns,
-            # so in even columns prefer finishing Y early (N/S first).
-            if dy != 0 and even:
+            # EN/ES turns are forbidden in even columns, and the candidate
+            # set cannot depend on how the packet arrived, so Y correction
+            # is only ever offered in odd columns (where an east-travelling
+            # packet may legally turn off).
+            if dy == 0 or even:
+                ports.append(EAST)
+            elif dx == 1:
+                # The next column east is the (even) destination column,
+                # where turning off EAST is forbidden: all remaining Y
+                # correction must finish in this last odd column.
                 ports.append(NORTH if dy > 0 else SOUTH)
-            ports.append(EAST)
-            if dy != 0 and not even and x != dst_x - 0:
+            else:
+                ports.append(EAST)
                 ports.append(NORTH if dy > 0 else SOUTH)
         elif dx < 0:
-            # N/S-to-west turns forbidden in odd columns: only go west there.
+            # NW/SW turns are forbidden in odd columns: Y correction is
+            # offered only in even columns.  Westbound packets only ever
+            # arrive at odd columns travelling west, so continuing west
+            # there takes no forbidden turn.
             ports.append(WEST)
             if dy != 0 and even:
                 ports.append(NORTH if dy > 0 else SOUTH)
@@ -158,6 +221,16 @@ class OddEvenRouting(RoutingFunction):
                 f"odd-even produced no ports at {router} -> {dst_router}"
             )
         return ports
+
+    def forbidden_turns(
+        self, topo: Topology, router: int
+    ) -> FrozenSet[Tuple[int, int]]:
+        # Chiu's odd-even rules: EN/ES turns are forbidden in even columns,
+        # NW/SW turns in odd columns.
+        x, _ = topo.coords(router)
+        if x % 2 == 0:
+            return frozenset(((EAST, NORTH), (EAST, SOUTH)))
+        return frozenset(((NORTH, WEST), (SOUTH, WEST)))
 
 
 _REGISTRY = {

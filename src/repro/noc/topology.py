@@ -27,6 +27,7 @@ __all__ = [
     "SOUTH",
     "PORT_NAMES",
     "opposite_port",
+    "port_dimension",
     "Topology",
     "Mesh",
     "Torus",
@@ -40,6 +41,9 @@ PORT_NAMES = {LOCAL: "local", EAST: "east", WEST: "west", NORTH: "north", SOUTH:
 
 _OPPOSITE = {EAST: WEST, WEST: EAST, NORTH: SOUTH, SOUTH: NORTH}
 
+#: dimension index (0 = X, 1 = Y) each direction port travels in
+_PORT_DIM = {EAST: 0, WEST: 0, NORTH: 1, SOUTH: 1}
+
 
 def opposite_port(port: int) -> int:
     """Return the port a channel arrives on at the neighbour router."""
@@ -47,6 +51,19 @@ def opposite_port(port: int) -> int:
         return _OPPOSITE[port]
     except KeyError:
         raise TopologyError(f"port {port} has no opposite (is it LOCAL?)") from None
+
+
+def port_dimension(port: int) -> int:
+    """The grid dimension a direction port travels in (0 = X, 1 = Y).
+
+    Dateline virtual-channel classes are tracked per dimension, so both the
+    router (choosing an output VC) and the static deadlock verifier need to
+    map ports onto ring dimensions.
+    """
+    try:
+        return _PORT_DIM[port]
+    except KeyError:
+        raise TopologyError(f"port {port} has no dimension (is it LOCAL?)") from None
 
 
 class Topology:
@@ -115,6 +132,29 @@ class Topology:
     def neighbor(self, router: int, port: int) -> Optional[int]:
         """Router on the far end of ``port``, or ``None`` for edge/local ports."""
         raise NotImplementedError
+
+    def channels(self) -> Iterator[Tuple[int, int, int]]:
+        """Every directed inter-router channel as ``(src, out_port, dst)``.
+
+        This is the node set of the channel-dependency graph the static
+        deadlock verifier builds; injection/ejection (LOCAL) channels are
+        excluded because the source queue holds no network resource and the
+        ejection port is an infinite sink.
+        """
+        for router in self.routers():
+            for port in range(1, self.radix):
+                nbr = self.neighbor(router, port)
+                if nbr is not None:
+                    yield router, port, nbr
+
+    def is_wrap_channel(self, router: int, port: int) -> bool:
+        """True when the channel out of ``port`` crosses a dateline.
+
+        Wrap-around channels are where torus rings close; packets crossing
+        one switch to the upper dateline half of the VC space (see
+        :mod:`repro.noc.vcalloc`).  Meshes have no wrap channels.
+        """
+        return False
 
     def hop_distance(self, src_router: int, dst_router: int) -> int:
         """Minimal hop count between two routers."""
@@ -195,6 +235,18 @@ class Torus(Topology):
         ddx = abs(sx - dx)
         ddy = abs(sy - dy)
         return min(ddx, self.width - ddx) + min(ddy, self.height - ddy)
+
+    def is_wrap_channel(self, router: int, port: int) -> bool:
+        x, y = self.coords(router)
+        if port == EAST:
+            return x == self.width - 1
+        if port == WEST:
+            return x == 0
+        if port == NORTH:
+            return y == self.height - 1
+        if port == SOUTH:
+            return y == 0
+        return False
 
 
 class ConcentratedMesh(Mesh):

@@ -5,49 +5,56 @@ candidate output VC on its route port (policy below), then a per-output-VC
 arbiter resolves conflicts among input VCs that selected the same output VC.
 This module implements the selection half; the arbitration half lives in the
 router and uses :mod:`repro.noc.arbiter`.
+
+The *static* half of the policy — which VCs a packet of a given message
+class and dateline class may ever use, before runtime free-ness is known —
+is exposed separately as :func:`legal_output_vcs` so the configuration
+verifier (:mod:`repro.verify`) can reason about the exact partition
+structure the router will enforce at runtime.
 """
 
 from __future__ import annotations
 
-from typing import List, Optional, Sequence
+from typing import Optional, Sequence, Tuple
 
 from ..errors import ConfigError
 from .packet import Packet
 
-__all__ = ["select_output_vc"]
+__all__ = ["legal_output_vcs", "select_output_vc"]
 
 
-def select_output_vc(
+def legal_output_vcs(
     policy: str,
-    packet: Packet,
-    free_vcs: Sequence[bool],
+    msg_class: int,
     num_vcs: int,
     dateline_active: bool = False,
     dateline_class: int = 0,
-) -> Optional[int]:
-    """Pick the output VC a packet will request, or ``None`` if none is legal.
+) -> Tuple[int, ...]:
+    """The output VCs a packet may ever claim, in preference order.
+
+    This is the selection policy with runtime free-ness abstracted away:
+    :func:`select_output_vc` picks the first *free* VC of exactly this
+    tuple.  The static deadlock verifier labels channel-dependency-graph
+    nodes with these sets.
 
     Args:
         policy: ``"any_free"`` or ``"class_partition"``.
-        packet: the packet whose head flit is waiting in VA.
-        free_vcs: ``free_vcs[v]`` is True when output VC ``v`` is unclaimed.
+        msg_class: the packet's message class.
         num_vcs: total VCs per port.
         dateline_active: True on tori, where wrap-around wormhole
             dependencies could close a cycle; the VC space is then split in
             two halves by dateline class.
-        dateline_class: 0 before the packet crosses the dateline in any
-            dimension, 1 after; class 0 packets use the lower half of the VC
-            space and class 1 packets the upper half.
-
-    The lowest legal free VC is chosen, which keeps allocation deterministic.
+        dateline_class: 0 before the packet crosses the dateline of the ring
+            it is travelling in, 1 after; class 0 packets use the lower half
+            of the VC space and class 1 packets the upper half.
     """
     if policy == "any_free":
-        candidates: List[int] = list(range(num_vcs))
+        candidates = list(range(num_vcs))
     elif policy == "class_partition":
         # Each message class hashes to one VC slot; classes sharing a slot
         # (when num_vcs < number of classes) weaken but do not break the
         # discipline because the full-system side always sinks deliveries.
-        candidates = [packet.msg_class % num_vcs]
+        candidates = [msg_class % num_vcs]
     else:
         raise ConfigError(f"unknown vc_select policy {policy!r}")
 
@@ -62,7 +69,29 @@ def select_output_vc(
         # back to the whole half rather than deadlock.
         candidates = restricted or list(allowed)
 
-    for vc in candidates:
+    return tuple(candidates)
+
+
+def select_output_vc(
+    policy: str,
+    packet: Packet,
+    free_vcs: Sequence[bool],
+    num_vcs: int,
+    dateline_active: bool = False,
+    dateline_class: int = 0,
+) -> Optional[int]:
+    """Pick the output VC a packet will request, or ``None`` if none is legal.
+
+    The lowest legal free VC is chosen, which keeps allocation deterministic.
+    See :func:`legal_output_vcs` for the argument semantics.
+    """
+    for vc in legal_output_vcs(
+        policy,
+        packet.msg_class,
+        num_vcs,
+        dateline_active=dateline_active,
+        dateline_class=dateline_class,
+    ):
         if free_vcs[vc]:
             return vc
     return None

@@ -1,0 +1,65 @@
+"""Deliberately-broken configurations the verifier must refute.
+
+These are the negative controls for :mod:`repro.verify`: a checker that
+certifies everything certifies nothing, so the CLI's ``--self-test`` (and
+the CI ``verify`` job) assert that each fixture here is *refuted* with a
+printed counterexample.
+
+* :class:`FullyAdaptiveMinimalRouting` — the textbook deadlock: offer every
+  productive direction at every hop with no turn restriction.  Minimal and
+  live under light load, but four packets can hold one buffer each around a
+  mesh cycle and wait on the next.  The extended channel-dependency graph
+  is cyclic already on a 2x2 mesh at 1 VC.
+* :func:`broken_cache_table` — the shipped cache specification with the
+  ``(S, Inv)`` row removed: the claim that a Shared copy is never
+  invalidated.  Reachable in a handful of steps (one core reads, another
+  writes), which the model checker prints as the message interleaving.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from ..fullsys.coherence import CACHE_TABLE, CacheLabel, MessageKind, TransitionSpec
+from ..noc.routing import RoutingFunction
+from ..noc.topology import EAST, LOCAL, NORTH, SOUTH, WEST, Topology
+
+__all__ = ["FullyAdaptiveMinimalRouting", "broken_cache_table"]
+
+
+class FullyAdaptiveMinimalRouting(RoutingFunction):
+    """Unrestricted minimal-adaptive routing: every productive port, always.
+
+    No turn model, no virtual-channel discipline — the classic example of a
+    routing function that is minimal, reaches every destination, and still
+    deadlocks.  Shipped only as a verifier fixture.
+    """
+
+    adaptive = True
+
+    def candidates(self, topo: Topology, router: int, dst_router: int) -> List[int]:
+        x, y = topo.coords(router)
+        dx_, dy_ = topo.coords(dst_router)
+        dx = dx_ - x
+        dy = dy_ - y
+        ports: List[int] = []
+        if dx > 0:
+            ports.append(EAST)
+        elif dx < 0:
+            ports.append(WEST)
+        if dy > 0:
+            ports.append(NORTH)
+        elif dy < 0:
+            ports.append(SOUTH)
+        return ports or [LOCAL]
+
+
+def broken_cache_table() -> Dict[Tuple[str, str], TransitionSpec]:
+    """The shipped cache table minus its ``(S, Inv)`` row.
+
+    Removing the row asserts that a core in Shared never receives an
+    invalidation — refuted by any reader/writer pair on the same line.
+    """
+    table = dict(CACHE_TABLE)
+    del table[(CacheLabel.S, MessageKind.INV)]
+    return table

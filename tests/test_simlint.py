@@ -1,5 +1,8 @@
 """Tests for the simulation-correctness static-analysis pass."""
 
+import json
+import subprocess
+import sys
 from pathlib import Path
 
 import pytest
@@ -10,6 +13,7 @@ from repro.analysis import (
     LintConfig,
     lint_file,
     lint_paths,
+    render_json,
     render_report,
 )
 from repro.harness.cli import main
@@ -30,6 +34,7 @@ class TestRulesFireExactlyOnce:
             ("mutable_default.py", "mutable-default"),
             ("unordered_iter.py", "unordered-iteration"),
             ("bare_assert.py", "bare-assert"),
+            ("swallowed_exception.py", "swallowed-exception"),
         ],
     )
     def test_one_violation_per_fixture(self, fixture, rule):
@@ -65,7 +70,7 @@ class TestTree:
     def test_fixture_tree_reports_all_violations(self):
         violations = lint_paths([FIXTURES], config=FIXTURE_CONFIG)
         assert {v.rule for v in violations} == set(RULES) - {"parse-error"}
-        assert len(violations) == 5
+        assert len(violations) == 6
 
     def test_unparseable_file_reported_not_crashed(self, tmp_path):
         bad = tmp_path / "bad.py"
@@ -77,8 +82,101 @@ class TestTree:
     def test_report_renders_tally(self):
         violations = lint_paths([FIXTURES], config=FIXTURE_CONFIG)
         report = render_report(violations)
-        assert "5 finding(s)" in report
+        assert "6 finding(s)" in report
         assert render_report([]) == "simlint: clean"
+
+
+class TestSwallowedException:
+    def test_bare_except_flagged_even_with_real_body(self, tmp_path):
+        src = tmp_path / "bare.py"
+        src.write_text(
+            "try:\n    x = 1\nexcept:\n    x = 2\n    handle()\n"
+        )
+        (violation,) = lint_file(src)
+        assert violation.rule == "swallowed-exception"
+        assert violation.code == "SIM106"
+        assert "bare" in violation.message
+
+    def test_ellipsis_body_flagged(self, tmp_path):
+        src = tmp_path / "dots.py"
+        src.write_text("try:\n    x = 1\nexcept OSError:\n    ...\n")
+        (violation,) = lint_file(src)
+        assert violation.rule == "swallowed-exception"
+
+    def test_handler_that_handles_is_clean(self, tmp_path):
+        src = tmp_path / "handled.py"
+        src.write_text(
+            "try:\n    x = 1\nexcept OSError as exc:\n    x = fallback(exc)\n"
+        )
+        assert lint_file(src) == []
+
+    def test_inline_pragma_excuses_suppression(self, tmp_path):
+        src = tmp_path / "excused.py"
+        src.write_text(
+            "try:\n    x = 1\n"
+            "except OSError:  # simlint: allow[swallowed-exception]\n"
+            "    pass\n"
+        )
+        assert lint_file(src) == []
+
+    def test_path_allowlist_suppresses_rule(self):
+        config = LintConfig(
+            allow_paths={"swallowed-exception": ("swallowed_*.py",)}
+        )
+        assert lint_file(FIXTURES / "swallowed_exception.py", config=config) == []
+
+
+class TestJsonFormat:
+    def test_render_json_round_trips(self):
+        violations = lint_paths([FIXTURES], config=FIXTURE_CONFIG)
+        report = json.loads(render_json(violations))
+        assert report["ok"] is False
+        assert report["count"] == len(violations) == len(report["violations"])
+        first = report["violations"][0]
+        assert set(first) == {"path", "line", "col", "code", "rule", "message"}
+
+    def test_render_json_clean(self):
+        report = json.loads(render_json([]))
+        assert report == {"ok": True, "count": 0, "violations": []}
+
+    def test_cli_format_json(self, capsys):
+        assert main(["lint", "--format", "json"]) == 0
+        report = json.loads(capsys.readouterr().out)
+        assert report["ok"] is True
+
+    def test_cli_format_json_with_findings(self, capsys):
+        assert main(["lint", "--path", str(FIXTURES), "--format", "json"]) == 1
+        report = json.loads(capsys.readouterr().out)
+        assert report["ok"] is False
+        assert report["count"] >= 1
+
+    def test_annotation_script_emits_github_commands(self):
+        script = (
+            Path(__file__).parent.parent / "scripts" / "lint_annotations.py"
+        )
+        violations = lint_paths([FIXTURES], config=FIXTURE_CONFIG)
+        proc = subprocess.run(
+            [sys.executable, str(script), "--prefix", "tests/fixtures/simlint/"],
+            input=render_json(violations),
+            capture_output=True,
+            text=True,
+        )
+        assert proc.returncode == 1
+        assert "::error file=tests/fixtures/simlint/" in proc.stdout
+        assert "title=SIM106" in proc.stdout
+
+    def test_annotation_script_clean_exits_zero(self):
+        script = (
+            Path(__file__).parent.parent / "scripts" / "lint_annotations.py"
+        )
+        proc = subprocess.run(
+            [sys.executable, str(script)],
+            input=render_json([]),
+            capture_output=True,
+            text=True,
+        )
+        assert proc.returncode == 0
+        assert "clean" in proc.stdout
 
 
 class TestCli:

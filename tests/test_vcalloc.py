@@ -4,7 +4,7 @@ import pytest
 
 from repro.errors import ConfigError
 from repro.noc.packet import MessageClass, Packet
-from repro.noc.vcalloc import select_output_vc
+from repro.noc.vcalloc import legal_output_vcs, select_output_vc
 
 
 def pkt(msg_class=MessageClass.DATA):
@@ -69,6 +69,123 @@ class TestDateline:
         )
 
 
+class TestLegalOutputVcs:
+    """The static candidate lists the deadlock verifier reasons about."""
+
+    def test_any_free_is_every_vc_in_order(self):
+        assert legal_output_vcs("any_free", MessageClass.DATA, 4) == (0, 1, 2, 3)
+
+    def test_class_partition_is_the_hashed_slot(self):
+        assert legal_output_vcs(
+            "class_partition", MessageClass.RESPONSE, 4
+        ) == (MessageClass.RESPONSE,)
+        assert legal_output_vcs(
+            "class_partition", MessageClass.WRITEBACK, 2
+        ) == (MessageClass.WRITEBACK % 2,)
+
+    def test_dateline_halves_split_the_space(self):
+        assert legal_output_vcs(
+            "any_free", MessageClass.DATA, 4, dateline_active=True, dateline_class=0
+        ) == (0, 1)
+        assert legal_output_vcs(
+            "any_free", MessageClass.DATA, 4, dateline_active=True, dateline_class=1
+        ) == (2, 3)
+
+    def test_select_uses_exactly_the_legal_list(self):
+        # The runtime selection is "first free of the static list": with
+        # all VCs free the pick is the head of legal_output_vcs for every
+        # policy/dateline combination.
+        for policy in ("any_free", "class_partition"):
+            for dclass in (0, 1):
+                legal = legal_output_vcs(
+                    "any_free" if policy == "any_free" else policy,
+                    MessageClass.CONTROL,
+                    4,
+                    dateline_active=True,
+                    dateline_class=dclass,
+                )
+                choice = select_output_vc(
+                    policy,
+                    pkt(MessageClass.CONTROL),
+                    [True] * 4,
+                    4,
+                    dateline_active=True,
+                    dateline_class=dclass,
+                )
+                assert choice == legal[0]
+
+
+class TestClassPartitionDatelineFallback:
+    """class_partition can hash a class outside its dateline half; the
+    policy then falls back to the whole half rather than starving."""
+
+    def test_class_outside_upper_half_falls_back(self):
+        # REQUEST hashes to VC 0, but dateline class 1 restricts to {2, 3}:
+        # the intersection is empty, so the entire upper half is offered.
+        assert legal_output_vcs(
+            "class_partition",
+            MessageClass.REQUEST,
+            4,
+            dateline_active=True,
+            dateline_class=1,
+        ) == (2, 3)
+
+    def test_class_outside_lower_half_falls_back(self):
+        # DATA (class 4) hashes to VC 2 at 3 VCs; dateline class 0 allows
+        # {0}: empty intersection, fall back to the lower half.
+        assert legal_output_vcs(
+            "class_partition",
+            MessageClass.DATA,
+            3,
+            dateline_active=True,
+            dateline_class=0,
+        ) == (0,)
+
+    def test_class_inside_half_keeps_the_partition(self):
+        # DATA (class 4) hashes to VC 0 at 4 VCs, which IS in the lower
+        # half: no fallback, the partition discipline is preserved.
+        assert legal_output_vcs(
+            "class_partition",
+            MessageClass.DATA,
+            4,
+            dateline_active=True,
+            dateline_class=0,
+        ) == (0,)
+
+    def test_runtime_selection_follows_the_fallback(self):
+        # With the hashed slot unavailable by dateline, selection picks
+        # from the fallback half — and honors free-ness inside it.
+        choice = select_output_vc(
+            "class_partition",
+            pkt(MessageClass.REQUEST),
+            [True, True, False, True],
+            4,
+            dateline_active=True,
+            dateline_class=1,
+        )
+        assert choice == 3
+
+    def test_single_vc_dateline_class1_starves(self):
+        # At 1 VC the upper half is empty: no legal VC at all.  This is
+        # the starvation the verifier reports as no-legal-vc on 1-VC tori.
+        assert (
+            legal_output_vcs(
+                "any_free", MessageClass.DATA, 1, dateline_active=True,
+                dateline_class=1,
+            )
+            == ()
+        )
+        assert (
+            select_output_vc(
+                "any_free", pkt(), [True], 1, dateline_active=True,
+                dateline_class=1,
+            )
+            is None
+        )
+
+
 def test_unknown_policy():
     with pytest.raises(ConfigError):
         select_output_vc("round_robin", pkt(), [True], 1)
+    with pytest.raises(ConfigError):
+        legal_output_vcs("round_robin", MessageClass.DATA, 2)
