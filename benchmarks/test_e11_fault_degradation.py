@@ -1,0 +1,27 @@
+"""Benchmark E11 (extension) — latency degradation under injected faults.
+
+Sweeps permanent link failures (plus proportional corruption) over the
+4x4 FFT workload: the detailed network reroutes and retransmits, so its
+latency climbs with fault level; the fault-blind abstract model stays
+flat — a fidelity gap only co-simulation with the detailed component can
+expose.
+"""
+
+from repro.harness import run_e11
+
+from .conftest import bench_quick
+
+
+def test_e11_fault_degradation(benchmark, save_result):
+    result = benchmark.pedantic(
+        lambda: run_e11(quick=bench_quick()), rounds=1, iterations=1
+    )
+    save_result("E11", result.render())
+    benchmark.extra_info.update(result.notes)
+    # Faults must visibly degrade the detailed network while the abstract
+    # model, which cannot see them, reports an unchanged latency.
+    assert result.notes["max_latency_degradation"] > 1.1
+    assert result.notes["abstract_model_degradation"] == 1.0
+    # Every faulty run recovered all of its drops (counters are per-row).
+    for row in result.rows[1:]:
+        assert row[4] >= row[5]  # retransmits cover corrupt drops

@@ -8,7 +8,10 @@ with ``--resume`` and asserts:
 * the resumed run exits 0 with every job ``done``;
 * no job that was ``done`` before the kill was re-executed — its attempt
   count, finish timestamp, wall time, and payload are byte-identical
-  (the wall-time-provenance check the acceptance criterion asks for).
+  (the wall-time-provenance check the acceptance criterion asks for);
+* the run uses ``--checkpoint-dir``, so killed jobs resume from their
+  last quantum-boundary snapshot, and no stale ``.ckpt`` file survives
+  the completed campaign.
 
 Run from the repository root: ``python scripts/campaign_smoke.py``.
 Exits non-zero (with a diagnostic) on any violation.
@@ -57,7 +60,12 @@ def main() -> int:
 
     with tempfile.TemporaryDirectory(prefix="campaign-smoke-") as tmp:
         db = str(Path(tmp) / "smoke.db")
-        cmd = [sys.executable, "-m", "repro", "campaign", "run", *CAMPAIGN, "--db", db]
+        ckpt_dir = Path(tmp) / "ckpts"
+        cmd = [
+            sys.executable, "-m", "repro", "campaign", "run", *CAMPAIGN,
+            "--db", db,
+            "--checkpoint-dir", str(ckpt_dir), "--checkpoint-every", "32",
+        ]
 
         # Phase 1: start the campaign in its own process group and kill the
         # whole group the moment one job has completed.
@@ -103,9 +111,14 @@ def main() -> int:
                     f"  before kill: {old}\n  after resume: {after[job_id]}"
                 )
                 return 1
+        stale = sorted(ckpt_dir.glob("*.ckpt")) if ckpt_dir.is_dir() else []
+        if stale:
+            print(f"smoke: stale checkpoint(s) after resume: {stale}")
+            return 1
         print(
             f"smoke: ok — resume completed {unfinished} job(s), "
-            f"left {len(before)} finished job(s) untouched"
+            f"left {len(before)} finished job(s) untouched, "
+            "no stale checkpoints"
         )
     return 0
 

@@ -1,0 +1,102 @@
+#!/usr/bin/env python3
+"""Resilience smoke test (CI gate): selftest + checkpoint kill/restore.
+
+Two phases:
+
+1. ``python -m repro resilience selftest`` — the in-process safety
+   claims: the watchdog detects a seeded livelock fixture, degraded
+   routing passes the CDG deadlock re-check, and a checkpoint round-trip
+   is bit-identical.
+2. A cross-process kill/restore cycle on a faulty run: a reference run
+   writes its canonical JSON metrics; a checkpointing victim is
+   SIGKILLed mid-flight; ``--restore-from`` finishes the snapshot; the
+   two JSON dumps must be byte-identical.
+
+Run from the repository root: ``python scripts/resilience_smoke.py``.
+Exits non-zero (with a diagnostic) on any violation.
+"""
+
+from __future__ import annotations
+
+import os
+import signal
+import subprocess
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+RUN = [
+    "--width", "4", "--height", "4", "--app", "fft", "--seed", "3",
+    "--scale", "0.05", "--link-failures", "1", "--corrupt-rate", "0.01",
+    "--fault-window", "1000",
+]
+BUDGET_S = 300.0
+POLL_S = 0.05
+
+
+def main() -> int:
+    repo = Path(__file__).resolve().parent.parent
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(repo / "src") + os.pathsep + env.get("PYTHONPATH", "")
+    base = [sys.executable, "-m", "repro", "resilience"]
+
+    # Phase 1: the in-process safety claims.
+    selftest = subprocess.run(base + ["selftest"], env=env, timeout=BUDGET_S)
+    if selftest.returncode != 0:
+        print(f"smoke: resilience selftest exited {selftest.returncode}")
+        return 1
+
+    with tempfile.TemporaryDirectory(prefix="resilience-smoke-") as tmp:
+        reference_json = Path(tmp) / "reference.json"
+        victim_json = Path(tmp) / "victim.json"
+        ckpt = Path(tmp) / "victim.ckpt"
+
+        # Phase 2a: the uninterrupted reference run.
+        reference = subprocess.run(
+            base + ["run", *RUN, "--json-out", str(reference_json)],
+            env=env, timeout=BUDGET_S,
+        )
+        if reference.returncode != 0:
+            print(f"smoke: reference run exited {reference.returncode}")
+            return 1
+
+        # Phase 2b: SIGKILL a checkpointing victim as soon as a snapshot
+        # lands.
+        victim = subprocess.Popen(
+            base + ["run", *RUN, "--checkpoint", str(ckpt),
+                    "--checkpoint-every", "32"],
+            env=env,
+        )
+        deadline = time.monotonic() + BUDGET_S
+        while not ckpt.exists():
+            if time.monotonic() > deadline:
+                victim.kill()
+                print("smoke: victim produced no checkpoint in time")
+                return 1
+            if victim.poll() is not None:
+                print("smoke: victim finished before the kill window")
+                return 1
+            time.sleep(POLL_S)
+        victim.send_signal(signal.SIGKILL)
+        victim.wait(timeout=30)
+        print(f"smoke: SIGKILLed the victim after {ckpt.name} appeared")
+
+        # Phase 2c: restore must match the reference byte for byte.
+        restore = subprocess.run(
+            base + ["run", "--restore-from", str(ckpt),
+                    "--json-out", str(victim_json)],
+            env=env, timeout=BUDGET_S,
+        )
+        if restore.returncode != 0:
+            print(f"smoke: restore exited {restore.returncode}")
+            return 1
+        if victim_json.read_bytes() != reference_json.read_bytes():
+            print("smoke: restored metrics differ from the reference run")
+            return 1
+        print("smoke: ok — restored run is byte-identical to the reference")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

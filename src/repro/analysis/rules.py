@@ -52,6 +52,19 @@ Rules
     does not crash; it silently diverges the results.  Handle the
     exception, re-raise, or excuse a deliberate suppression with
     ``# simlint: allow[swallowed-exception]`` on the ``except`` line.
+
+``SIM107 unbounded-loop``
+    A ``while`` loop in simulation-kernel code (paths matching the
+    configured unbounded-loop patterns, by default ``core/*`` and
+    ``noc/*``) that the analysis cannot prove terminates or fails loudly:
+    its test is constant-truthy (``while True``) or contains no
+    comparison, and its body reaches no ``break``, ``raise``, or
+    ``return`` (a ``break`` inside a *nested* loop does not count — it
+    exits the wrong loop).  Such a loop can spin forever on a wedged
+    simulation, burning a campaign job's whole wall-clock budget with no
+    diagnostics; add a cycle-budget check that raises
+    :class:`repro.errors.StallError`, or excuse a loop bounded by
+    collection drain with ``# simlint: allow[unbounded-loop]``.
 """
 
 from __future__ import annotations
@@ -91,6 +104,10 @@ RULES: Dict[str, tuple] = {
     "swallowed-exception": (
         "SIM106",
         "exception handler discards the error; simulations diverge silently",
+    ),
+    "unbounded-loop": (
+        "SIM107",
+        "while loop in kernel code with no provable exit or loud failure",
     ),
 }
 
@@ -164,6 +181,63 @@ _MUTABLE_FACTORIES = {
     "Counter",
     "OrderedDict",
 }
+
+
+def _test_is_unbounded(test: ast.AST) -> bool:
+    """A loop test that bounds nothing: constant-truthy or comparison-free.
+
+    Comparisons (``while cycle < target``) are taken as evidence of a
+    cycle or size budget; anything else (``while True``, ``while pending``,
+    ``while not done``) promises nothing about termination on its own.
+    """
+    if isinstance(test, ast.Constant):
+        return bool(test.value)
+    return not any(isinstance(n, ast.Compare) for n in ast.walk(test))
+
+
+def _subtree_raises_or_returns(node: ast.AST) -> bool:
+    """Does this statement's subtree raise/return, ignoring nested defs?"""
+    if isinstance(node, (ast.Raise, ast.Return)):
+        return True
+    if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+        return False
+    for child in ast.iter_child_nodes(node):
+        if _subtree_raises_or_returns(child):
+            return True
+    return False
+
+
+def _stmt_blocks(stmt: ast.stmt):
+    """Every nested statement block of a compound statement."""
+    for fld in ("body", "orelse", "finalbody"):
+        block = getattr(stmt, fld, None)
+        if block:
+            yield block
+    for handler in getattr(stmt, "handlers", []):
+        yield handler.body
+    for case in getattr(stmt, "cases", []):
+        yield case.body
+
+
+def _loop_body_exits(body: List[ast.stmt]) -> bool:
+    """Can this loop body reach a ``break``, ``raise``, or ``return``?
+
+    ``break`` only counts at the loop's own nesting level — one inside a
+    nested loop exits that inner loop, not this one.  ``raise``/``return``
+    count anywhere except inside nested function/class definitions.
+    """
+    for stmt in body:
+        if isinstance(stmt, (ast.Break, ast.Raise, ast.Return)):
+            return True
+        if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+            continue
+        if isinstance(stmt, (ast.For, ast.AsyncFor, ast.While)):
+            if _subtree_raises_or_returns(stmt):
+                return True
+            continue
+        if any(_loop_body_exits(block) for block in _stmt_blocks(stmt)):
+            return True
+    return False
 
 
 def _dotted_name(node: ast.AST) -> Optional[str]:
@@ -258,13 +332,20 @@ class SimLintVisitor(ast.NodeVisitor):
         event_ordering: True when the unordered-iteration rule applies to
             this file.
         enabled: the rule names to run.
+        unbounded_loops: True when the unbounded-loop rule applies to this
+            file (simulation-kernel paths).
     """
 
     def __init__(
-        self, path: str, event_ordering: bool, enabled: Set[str]
+        self,
+        path: str,
+        event_ordering: bool,
+        enabled: Set[str],
+        unbounded_loops: bool = False,
     ) -> None:
         self.path = path
         self.event_ordering = event_ordering
+        self.unbounded_loops = unbounded_loops
         self.enabled = enabled
         self.violations: List[Violation] = []
         #: import alias -> real module path ("np" -> "numpy")
@@ -420,6 +501,23 @@ class SimLintVisitor(ast.NodeVisitor):
 
     def visit_For(self, node: ast.For) -> None:
         self._check_iter(node.iter)
+        self.generic_visit(node)
+
+    # -- loop boundedness ------------------------------------------------
+    def visit_While(self, node: ast.While) -> None:
+        if (
+            self.unbounded_loops
+            and _test_is_unbounded(node.test)
+            and not _loop_body_exits(node.body)
+        ):
+            self._flag(
+                node,
+                "unbounded-loop",
+                "loop has no comparison bound and no reachable "
+                "break/raise/return; a wedged simulation spins here forever "
+                "— add a cycle-budget StallError, or pragma a loop bounded "
+                "by collection drain",
+            )
         self.generic_visit(node)
 
     def visit_comprehension(self, node: ast.comprehension) -> None:

@@ -63,6 +63,9 @@ class LintConfig:
         event_ordering_paths: glob patterns for files where iteration
             order is simulation-visible; the unordered-iteration rule
             only applies there.
+        unbounded_loop_paths: glob patterns for simulation-kernel files
+            where every ``while`` loop must provably terminate or fail
+            loudly; the unbounded-loop rule only applies there.
     """
 
     enabled: Tuple[str, ...] = tuple(RULES)
@@ -76,6 +79,10 @@ class LintConfig:
         "fullsys/*",
         "abstractnet/*",
         "dram/*",
+    )
+    unbounded_loop_paths: Tuple[str, ...] = (
+        "core/*",
+        "noc/*",
     )
 
 
@@ -123,6 +130,7 @@ def lint_file(
         rel,
         event_ordering=_matches(rel, config.event_ordering_paths),
         enabled=enabled,
+        unbounded_loops=_matches(rel, config.unbounded_loop_paths),
     )
     visitor.visit(tree)
 

@@ -46,7 +46,7 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument(
         "experiments",
         nargs="*",
-        help="experiment ids (E1..E10, demo) or 'all'; may be omitted with "
+        help="experiment ids (E1..E11, demo) or 'all'; may be omitted with "
         "--resume (the stored spec is reused)",
     )
     run.add_argument("--db", default="campaign.db", help="job-store path (default: %(default)s)")
@@ -67,6 +67,20 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument(
         "--timeout", type=float, default=None,
         help="per-job wall-clock budget in seconds (stuck jobs are killed)",
+    )
+    run.add_argument(
+        "--retry-backoff", type=float, default=0.0,
+        help="base seconds between retry attempts (doubles per attempt, "
+        "capped at 60s; 0 retries immediately)",
+    )
+    run.add_argument(
+        "--checkpoint-dir", default=None, metavar="DIR",
+        help="checkpoint each job here; killed/timed-out attempts resume "
+        "from their last quantum-boundary snapshot",
+    )
+    run.add_argument(
+        "--checkpoint-every", type=int, default=256,
+        help="snapshot period in synchronization windows (default: %(default)s)",
     )
     run.add_argument(
         "--resume", action="store_true",
@@ -131,6 +145,9 @@ def _cmd_run(args: argparse.Namespace) -> int:
             timeout=args.timeout,
             start_method=args.start_method,
             progress=not args.no_progress,
+            retry_backoff=args.retry_backoff,
+            checkpoint_dir=args.checkpoint_dir,
+            checkpoint_every=args.checkpoint_every,
         )
         summary = engine.run()
         print(summary.render())

@@ -20,13 +20,15 @@ rows to skip, which is what makes a campaign crash-proof.
 
 from __future__ import annotations
 
+import heapq
+import os
 import sys
 from collections import deque
 from dataclasses import dataclass
-from typing import Deque, Dict, List, Optional
+from typing import Deque, Dict, List, Optional, Tuple
 
 from ..errors import ConfigError
-from .pool import WorkerPool
+from .pool import WorkerPool, now_monotonic, sleep_s
 from .spec import CampaignSpec, get_experiment
 from .store import JobRow, ResultStore
 
@@ -104,6 +106,19 @@ class CampaignEngine:
         progress: write a live progress line to ``stream``.
         stream: where progress goes (default stderr, keeping stdout clean
             for the report tables).
+        retry_backoff: base delay in seconds before re-running a failed
+            job; attempt ``n`` waits ``min(cap, backoff * 2**(n-1))``.
+            0 (default) re-queues immediately (the historic behaviour).
+            The delay gives transient host conditions (memory pressure, a
+            dying disk, a noisy neighbour) time to clear instead of
+            burning every retry in the same bad second.
+        retry_backoff_cap: ceiling for the backed-off delay, in seconds.
+        checkpoint_dir: when set, each job is executed inside a
+            :func:`repro.resilience.checkpoint.job_checkpoint` scope with a
+            per-job file in this directory — a killed or timed-out attempt
+            resumes from its last quantum-boundary snapshot instead of
+            restarting from cycle 0.
+        checkpoint_every: snapshot period in synchronization windows.
     """
 
     def __init__(
@@ -115,9 +130,23 @@ class CampaignEngine:
         start_method: Optional[str] = None,
         progress: bool = True,
         stream=None,
+        retry_backoff: float = 0.0,
+        retry_backoff_cap: float = 60.0,
+        checkpoint_dir: Optional[str] = None,
+        checkpoint_every: int = 256,
     ) -> None:
         if retries < 0:
             raise ConfigError(f"retries must be >= 0, got {retries}")
+        if retry_backoff < 0:
+            raise ConfigError(f"retry_backoff must be >= 0, got {retry_backoff}")
+        if retry_backoff_cap < 0:
+            raise ConfigError(
+                f"retry_backoff_cap must be >= 0, got {retry_backoff_cap}"
+            )
+        if checkpoint_every < 1:
+            raise ConfigError(
+                f"checkpoint_every must be >= 1, got {checkpoint_every}"
+            )
         self.store = store
         self.workers = workers
         self.retries = retries
@@ -125,6 +154,30 @@ class CampaignEngine:
         self.start_method = start_method
         self.progress = progress
         self.stream = stream if stream is not None else sys.stderr
+        self.retry_backoff = retry_backoff
+        self.retry_backoff_cap = retry_backoff_cap
+        self.checkpoint_dir = checkpoint_dir
+        self.checkpoint_every = checkpoint_every
+
+    # -- helpers --------------------------------------------------------
+    def _retry_delay(self, attempts: int) -> float:
+        """Bounded exponential backoff before attempt ``attempts + 1``."""
+        if self.retry_backoff <= 0:
+            return 0.0
+        return min(
+            self.retry_backoff_cap,
+            self.retry_backoff * (2.0 ** max(0, attempts - 1)),
+        )
+
+    def _job_dict(self, job: JobRow) -> dict:
+        """The wire form of a job, with its checkpoint request attached."""
+        data = job.job_spec().to_dict()
+        if self.checkpoint_dir is not None:
+            data["_checkpoint"] = {
+                "path": os.path.join(self.checkpoint_dir, f"{job.job_id}.ckpt"),
+                "every": self.checkpoint_every,
+            }
+        return data
 
     def run(self) -> CampaignSummary:
         store = self.store
@@ -141,18 +194,29 @@ class CampaignEngine:
 
         progress = _Progress(self.stream, total) if self.progress else None
         jobs_by_id: Dict[str, JobRow] = {}
+        #: (ready_at, seq, job) — retries waiting out their backoff delay
+        delayed: List[Tuple[float, int, JobRow]] = []
+        delayed_seq = 0
+        if self.checkpoint_dir is not None:
+            os.makedirs(self.checkpoint_dir, exist_ok=True)
 
         with WorkerPool(
             workers=self.workers,
             timeout=self.timeout,
             start_method=self.start_method,
         ) as pool:
-            while pending or pool.active:
+            while pending or delayed or pool.active:
+                while delayed and delayed[0][0] <= now_monotonic():
+                    pending.append(heapq.heappop(delayed)[2])
                 while pending and pool.has_capacity():
                     job = pending.popleft()
                     jobs_by_id[job.job_id] = job
-                    worker = pool.submit(job.job_id, job.job_spec().to_dict())
+                    worker = pool.submit(job.job_id, self._job_dict(job))
                     store.mark_running(job.job_id, worker)
+                if not pending and not pool.active and delayed:
+                    # Nothing runnable until the next backoff delay elapses.
+                    sleep_s(min(0.2, max(0.0, delayed[0][0] - now_monotonic())))
+                    continue
                 for outcome in pool.wait():
                     executed += 1
                     job = jobs_by_id.pop(outcome.job_id)
@@ -167,7 +231,16 @@ class CampaignEngine:
                             outcome.wall_s, requeue=requeue,
                         )
                         if requeue:
-                            pending.append(store.get_job(outcome.job_id))
+                            delay = self._retry_delay(attempts)
+                            row = store.get_job(outcome.job_id)
+                            if delay > 0:
+                                heapq.heappush(
+                                    delayed,
+                                    (now_monotonic() + delay, delayed_seq, row),
+                                )
+                                delayed_seq += 1
+                            else:
+                                pending.append(row)
                         else:
                             run_failures += 1
                     if progress is not None:

@@ -26,7 +26,29 @@ from typing import Dict, List, Optional
 
 from ..errors import ConfigError
 
-__all__ = ["JobOutcome", "WorkerPool", "default_start_method"]
+__all__ = [
+    "JobOutcome",
+    "WorkerPool",
+    "default_start_method",
+    "now_monotonic",
+    "sleep_s",
+]
+
+
+def now_monotonic() -> float:
+    """The sanctioned host-clock read for campaign scheduling decisions.
+
+    The engine uses this (rather than importing :mod:`time` itself) for
+    retry-backoff deadlines, keeping every wall-clock read in this module
+    where simlint expects it.
+    """
+    return time.monotonic()
+
+
+def sleep_s(seconds: float) -> None:
+    """Sleep (host time); used by the engine while backoff delays elapse."""
+    if seconds > 0:
+        time.sleep(seconds)
 
 
 @dataclass(frozen=True)
@@ -85,6 +107,10 @@ class WorkerPool:
             deadline is killed and reported ``timed_out`` (None: no limit).
         start_method: multiprocessing start method; default
             :func:`default_start_method`.
+        term_grace_s: how long a killed job gets between SIGTERM and
+            SIGKILL.  Termination always escalates — polite first (so the
+            child can flush a checkpoint or atexit handler), forceful after
+            the grace expires.
     """
 
     def __init__(
@@ -92,13 +118,17 @@ class WorkerPool:
         workers: int = 1,
         timeout: Optional[float] = None,
         start_method: Optional[str] = None,
+        term_grace_s: float = 2.0,
     ) -> None:
         if workers < 1:
             raise ConfigError(f"worker pool needs workers >= 1, got {workers}")
         if timeout is not None and timeout <= 0:
             raise ConfigError(f"per-job timeout must be positive, got {timeout}")
+        if term_grace_s < 0:
+            raise ConfigError(f"term_grace_s must be >= 0, got {term_grace_s}")
         self.workers = workers
         self.timeout = timeout
+        self.term_grace_s = term_grace_s
         self._ctx = multiprocessing.get_context(start_method or default_start_method())
         self._live: Dict[str, _Live] = {}
 
@@ -193,9 +223,16 @@ class WorkerPool:
             worker=entry.worker,
         )
 
+    def _terminate(self, entry: _Live) -> None:
+        """SIGTERM, wait out the grace period, then SIGKILL stragglers."""
+        entry.process.terminate()
+        entry.process.join(timeout=self.term_grace_s)
+        if entry.process.is_alive():
+            entry.process.kill()
+            entry.process.join(timeout=5.0)
+
     def _kill(self, entry: _Live) -> JobOutcome:
-        entry.process.kill()
-        entry.process.join(timeout=5.0)
+        self._terminate(entry)
         entry.conn.close()
         return JobOutcome(
             job_id=entry.job_id,
@@ -209,10 +246,13 @@ class WorkerPool:
 
     # -- shutdown -------------------------------------------------------
     def shutdown(self) -> None:
-        """Kill every in-flight job (abandoning their results)."""
+        """Stop every in-flight job (abandoning their results).
+
+        Escalates per job: SIGTERM first (letting workers flush checkpoints
+        and atexit handlers), SIGKILL after the grace period.
+        """
         for entry in self._live.values():
-            entry.process.kill()
-            entry.process.join(timeout=5.0)
+            self._terminate(entry)
             entry.conn.close()
         self._live.clear()
 

@@ -159,6 +159,12 @@ def _build_registry() -> Dict[str, CampaignExperiment]:
         assemble=exp.assemble_e7,
         host_time_columns=("wall_s",),
     )
+    registry["E11"] = CampaignExperiment(
+        eid="E11",
+        points=exp.e11_points,
+        run_point=exp.run_e11_point,
+        assemble=exp.assemble_e11,
+    )
     # Everything else: one job runs the whole experiment.
     seeds = {"E1": 11, "E2": 5}
     for eid in sorted(exp.ALL_EXPERIMENTS, key=lambda e: (len(e), e)):
@@ -349,8 +355,21 @@ def execute_job(job: dict) -> dict:
     ``job`` is the plain-dict form of a :class:`JobSpec` (what travels over
     the pipe to a worker process).  The returned payload is JSON-serializable
     and goes into the store verbatim.
+
+    An optional ``_checkpoint`` key (``{"path": ..., "every": ...}``, added
+    by the engine when ``--checkpoint-dir`` is set) wraps execution in a
+    :func:`repro.resilience.checkpoint.job_checkpoint` scope: the run
+    snapshots periodically and, if a previous attempt was killed mid-run,
+    resumes from its last snapshot instead of restarting from cycle 0.
     """
-    spec = JobSpec.from_dict(job)
+    checkpoint = job.get("_checkpoint")
+    spec = JobSpec.from_dict({k: v for k, v in job.items() if not k.startswith("_")})
     experiment = get_experiment(spec.eid)
-    record = experiment.run_point(spec.point, spec.quick, spec.seed)
+    if checkpoint:
+        from ..resilience.checkpoint import job_checkpoint  # deferred
+
+        with job_checkpoint(checkpoint["path"], checkpoint["every"]):
+            record = experiment.run_point(spec.point, spec.quick, spec.seed)
+    else:
+        record = experiment.run_point(spec.point, spec.quick, spec.seed)
     return {"record": record}

@@ -15,7 +15,7 @@ from __future__ import annotations
 from typing import List
 
 from ..abstractnet.base import AbstractNetworkModel
-from ..errors import SimulationError
+from ..errors import InvariantError, SimulationError, StallError
 from ..fullsys.coherence import Message
 from .bridge import MessageBridge
 from .interfaces import Delivery
@@ -62,7 +62,25 @@ class DetailedNetworkAdapter:
         return out
 
     def drain(self, max_cycles: int = 1_000_000) -> None:
-        self.network.drain(max_cycles)
+        """Step until empty; a hit cycle cap is a *stall*, never silent.
+
+        The cap exists so a wedged network cannot spin forever, but hitting
+        it is always a bug or an injected fault — so it raises a structured
+        :class:`~repro.errors.StallError` with the full diagnostic dump
+        (VC occupancy, oldest packets) rather than a bare message.
+        """
+        try:
+            self.network.drain(max_cycles)
+        except (StallError, InvariantError):
+            raise  # already structured / a different failure class
+        except SimulationError as exc:
+            from ..resilience.watchdog import network_diagnostics
+
+            diag = network_diagnostics(self.network)
+            raise StallError(
+                f"network failed to drain: {exc}\n" + diag.render(),
+                diagnostics=diag,
+            ) from exc
 
     def describe(self) -> dict:
         return {

@@ -50,12 +50,29 @@ class TargetConfig:
     quantum: int = 4
     noc: NocConfig = field(default_factory=NocConfig)
     cmp: CmpConfig = field(default_factory=CmpConfig)
+    #: optional :class:`repro.resilience.faults.FaultConfig` (typed loosely
+    #: so the core never imports resilience at module level); requires the
+    #: cycle network model.  None keeps every fault hook disabled.
+    faults: object = None
+    #: watchdog threshold in synchronization quanta: 0 = automatic (a
+    #: watchdog is installed only when faults are injected, with its
+    #: default threshold); > 0 = always install one with this threshold.
+    stall_quanta: int = 0
 
     def __post_init__(self) -> None:
         if self.network_model not in _NETWORK_MODELS:
             raise ConfigError(
                 f"unknown network model {self.network_model!r}; "
                 f"known: {_NETWORK_MODELS}"
+            )
+        if self.stall_quanta < 0:
+            raise ConfigError(
+                f"stall_quanta must be >= 0, got {self.stall_quanta}"
+            )
+        if self.faults is not None and self.network_model != "cycle":
+            raise ConfigError(
+                "fault injection requires network_model='cycle' "
+                f"(got {self.network_model!r})"
             )
 
     # ------------------------------------------------------------------
@@ -139,7 +156,26 @@ def build_cosim(
 
     name = config.network_model
     shadow = None
-    if name == "cycle":
+    faults_state = None
+    if config.faults is not None:
+        # Deferred: the core never imports resilience at module level (the
+        # harness package eagerly imports this module, and resilience
+        # imports the harness-facing core surface back).
+        from ..resilience import (
+            DegradedRouting,
+            FaultState,
+            ResilientNetworkAdapter,
+            compile_schedule,
+        )
+
+        schedule = compile_schedule(config.faults, topo)
+        faults_state = FaultState(schedule, topo)
+        degraded = DegradedRouting(routing, faults_state, topo, noc=config.noc)
+        faults_state.attach_routing(degraded)
+        cycle_net = CycleNetwork(topo, config.noc, routing=degraded)
+        cycle_net.attach_faults(faults_state)
+        network = ResilientNetworkAdapter(cycle_net, faults=faults_state)
+    elif name == "cycle":
         network = DetailedNetworkAdapter(
             CycleNetwork(topo, config.noc, routing=routing)
         )
@@ -174,6 +210,13 @@ def build_cosim(
         from ..analysis.invariants import InvariantChecker  # deferred: optional
 
         invariants = InvariantChecker()
+    watchdog = None
+    if config.stall_quanta > 0 or faults_state is not None:
+        from ..resilience.watchdog import Watchdog  # deferred: optional
+
+        watchdog = (
+            Watchdog(config.stall_quanta) if config.stall_quanta > 0 else Watchdog()
+        )
     return CoSimulator(
         system,
         network,
@@ -181,6 +224,7 @@ def build_cosim(
         feedback=feedback,
         shadow=shadow,
         invariants=invariants,
+        watchdog=watchdog,
     )
 
 

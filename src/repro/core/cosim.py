@@ -28,6 +28,7 @@ supplies the latencies the system actually uses.
 
 from __future__ import annotations
 
+import functools
 import time
 from collections import defaultdict
 from dataclasses import dataclass, field
@@ -87,6 +88,8 @@ class CoSimulator:
         feedback: Optional[LatencyFeedback] = None,
         shadow: Optional[NetworkModel] = None,
         invariants: Optional[object] = None,
+        watchdog: Optional[object] = None,
+        checkpointer: Optional[object] = None,
     ) -> None:
         self.system = system
         self.network = network
@@ -100,6 +103,11 @@ class CoSimulator:
         #: optional runtime checker (see repro.analysis.invariants); it is
         #: duck-typed so the core stays import-independent of analysis.
         self.invariants = invariants
+        #: optional progress monitor (see repro.resilience.watchdog) and
+        #: checkpoint writer (see repro.resilience.checkpoint); duck-typed
+        #: for the same reason — core never imports resilience.
+        self.watchdog = watchdog
+        self.checkpointer = checkpointer
         if shadow is not None and shadow.inline:
             raise ConfigError("a shadow network must be a detailed (non-inline) model")
         if shadow is not None and not network.inline:
@@ -117,6 +125,10 @@ class CoSimulator:
         self.windows = 0
         self._wall_system = 0.0
         self._wall_network = 0.0
+        #: False until the first run() call has started the system; lets a
+        #: checkpoint-restored CoSimulator resume run() without re-running
+        #: system start-up (which would double-schedule core wake-ups).
+        self._started = False
         system.transport = self._on_message
 
     # ------------------------------------------------------------------
@@ -146,8 +158,10 @@ class CoSimulator:
         self.deliveries += 1
         if record_feedback:
             self.feedback.record(msg, latency)
+        # functools.partial of a bound method (not a lambda) so the pending
+        # event heap stays picklable for checkpoint/restore.
         self.system.events.schedule(
-            deliver_at, lambda m=msg: self.system.deliver(m)
+            deliver_at, functools.partial(self.system.deliver, msg)
         )
 
     # ------------------------------------------------------------------
@@ -156,9 +170,11 @@ class CoSimulator:
     def run(self, max_cycles: int = 5_000_000) -> CoSimResult:
         """Run until every core finishes (or ``max_cycles``)."""
         wall_start = time.perf_counter()  # simlint: allow[wall-clock]
-        if self.invariants is not None:
-            self.invariants.on_run_start(self)
-        self.system.start()
+        if not self._started:
+            if self.invariants is not None:
+                self.invariants.on_run_start(self)
+            self.system.start()
+            self._started = True
         t = self.system.now
         while not self.system.all_finished:
             if t >= max_cycles:
@@ -186,6 +202,10 @@ class CoSimulator:
                 self.messages_sent - sent_before, self.deliveries
             )
             self.windows += 1
+            if self.watchdog is not None:
+                self.watchdog.after_window(self, target)
+            if self.checkpointer is not None:
+                self.checkpointer.after_window(self, target)
             t = target
         if self.system.all_finished:
             self._drain_tail()
@@ -195,7 +215,14 @@ class CoSimulator:
         """Deliver the protocol's trailing messages after the last core
         finishes (writebacks, acks, unblocks) so message accounting balances
         and the final system state is quiescent."""
-        guard = self.system.now + max(10_000, 100 * self.quantum.next_quantum())
+        # A retransmitting network model may legitimately need far longer
+        # than the default guard (bounded exponential backoff between
+        # attempts); it advertises its worst case via ``drain_guard_cycles``.
+        guard = self.system.now + max(
+            10_000,
+            100 * self.quantum.next_quantum(),
+            getattr(self.network, "drain_guard_cycles", 0),
+        )
         while (
             self.system.events.pending
             or self._outbox

@@ -14,6 +14,7 @@ reciprocal abstraction argues for (experiment E10 quantifies the impact).
 
 from __future__ import annotations
 
+import functools
 from collections import deque
 from dataclasses import dataclass
 from typing import Callable, Deque, Dict, Optional
@@ -137,12 +138,13 @@ class DramController:
             target = self._next_ready_time()
             delay = max(1, target - self._now)
             self._wakeup_pending = True
+            # A partial of a bound method (not a closure) so pending wakeups
+            # sitting in the event heap pickle for checkpoint/restore.
+            self._schedule(delay, functools.partial(self._wake, target))
 
-            def wake() -> None:
-                self._wakeup_pending = False
-                self._pump(target)
-
-            self._schedule(delay, wake)
+    def _wake(self, target: int) -> None:
+        self._wakeup_pending = False
+        self._pump(target)
 
     def _try_issue(self, now: int) -> bool:
         """Pick and issue one request if the channel and a bank are free.

@@ -47,3 +47,37 @@ class InvariantError(SimulationError):
 
 class WorkloadError(ReproError):
     """A workload description is malformed or exhausted unexpectedly."""
+
+
+class StallError(SimulationError):
+    """A simulation stopped making forward progress (stall or livelock).
+
+    Raised by the resilience watchdog (:mod:`repro.resilience.watchdog`) and
+    by ``drain`` paths when a cycle cap is hit.  Carries a structured
+    diagnostic dump (``diagnostics``) describing per-router VC occupancy,
+    the oldest in-flight packet, and the invariant-checker summary, so a
+    stalled job fails loudly with evidence instead of burning its whole
+    wall-clock timeout budget.
+    """
+
+    def __init__(self, message: str, diagnostics: object = None) -> None:
+        super().__init__(message)
+        self.diagnostics = diagnostics
+
+
+class FaultError(ReproError):
+    """A fault schedule is unsatisfiable or degradation cannot preserve safety.
+
+    Raised when a requested fault schedule would partition the network (and
+    partitions were not explicitly allowed) or when the degraded routing
+    function fails the channel-dependency-graph re-check.
+    """
+
+
+class CheckpointError(ReproError):
+    """A checkpoint could not be written, read, or safely restored.
+
+    Raised on content-hash mismatch (corrupt snapshot), version skew, or an
+    attempt to restore a checkpoint into a different configuration than the
+    one that produced it.
+    """

@@ -14,6 +14,7 @@ for unit tests and zero-load studies.
 
 from __future__ import annotations
 
+import functools
 from collections import defaultdict
 from typing import Callable, Dict, List, Optional
 
@@ -53,8 +54,11 @@ class FixedTransport:
         self.latency = latency
 
     def __call__(self, msg: Message) -> None:
+        # Scheduled callbacks are partials of bound methods (never lambdas)
+        # so the pending event heap stays picklable for checkpoint/restore.
         self.system.events.schedule(
-            self.system.now + self.latency, lambda: self.system.deliver(msg)
+            self.system.now + self.latency,
+            functools.partial(self.system.deliver, msg),
         )
 
 
@@ -211,7 +215,7 @@ class CmpSystem:
         )
         self.messages_by_kind[kind] += 1
         if created > self.now:
-            self.events.schedule(created, lambda: self._dispatch(msg))
+            self.events.schedule(created, functools.partial(self._dispatch, msg))
         else:
             self._dispatch(msg)
 
@@ -219,7 +223,8 @@ class CmpSystem:
         if msg.src == msg.dst:
             self.local_messages += 1
             self.events.schedule(
-                self.now + self.config.local_latency, lambda: self.deliver(msg)
+                self.now + self.config.local_latency,
+                functools.partial(self.deliver, msg),
             )
         else:
             self.network_messages += 1
@@ -245,28 +250,32 @@ class CmpSystem:
         if msg.kind == MessageKind.MEM_WB:
             mc.writeback(msg.line, self.now)
             return
-        home = msg.src
+        # The completion callback is a partial of a bound method, not a
+        # closure: the DRAM controller stores it in its request queue, which
+        # must pickle for checkpoint/restore.
+        mc.read(msg.line, self.now, functools.partial(self._memory_ready, msg))
 
-        def on_ready(ready: int) -> None:
-            self.events.schedule(
-                ready,
-                lambda: self.send_protocol(
-                    MessageKind.MEM_DATA,
-                    src=msg.dst,
-                    dst=home,
-                    line=msg.line,
-                    requester=msg.requester,
-                ),
-            )
+    def _memory_ready(self, msg: Message, ready: int) -> None:
+        """A memory read issued for ``msg`` completes at cycle ``ready``."""
+        self.events.schedule(ready, functools.partial(self._send_mem_data, msg))
 
-        mc.read(msg.line, self.now, on_ready)
+    def _send_mem_data(self, msg: Message) -> None:
+        self.send_protocol(
+            MessageKind.MEM_DATA,
+            src=msg.dst,
+            dst=msg.src,
+            line=msg.line,
+            requester=msg.requester,
+        )
 
     # ------------------------------------------------------------------
     # Barrier and completion
     # ------------------------------------------------------------------
     def barrier_arrive(self, core_id: int, phase: int, t: int) -> None:
         """A core's segment reached the end of ``phase`` at local time ``t``."""
-        self.events.schedule(t, lambda: self._barrier_register(core_id, phase))
+        self.events.schedule(
+            t, functools.partial(self._barrier_register, core_id, phase)
+        )
 
     def _barrier_register(self, core_id: int, phase: int) -> None:
         core = self.cores[core_id]

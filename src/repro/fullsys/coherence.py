@@ -26,13 +26,13 @@ Message walk-throughs:
 
 from __future__ import annotations
 
-import itertools
 from collections import deque
 from dataclasses import dataclass, field
 from typing import Deque, Dict, FrozenSet, Iterable, Optional, Set, Tuple
 
 from ..errors import ProtocolError
 from ..noc.packet import MessageClass
+from ..util import SerialCounter
 
 __all__ = [
     "MessageKind",
@@ -98,7 +98,19 @@ def message_profile(kind: str) -> tuple:
         raise ProtocolError(f"unknown message kind {kind!r}") from None
 
 
-_msg_ids = itertools.count()
+# Restorable (not itertools.count) so checkpoint/restore can reinstate the
+# exact id position and a restored run issues the same mids it would have.
+_msg_ids = SerialCounter()
+
+
+def message_id_state() -> int:
+    """Snapshot the message-id counter (for checkpoint/restore)."""
+    return _msg_ids.state()
+
+
+def restore_message_id_state(state: int) -> None:
+    """Reinstate a snapshotted message-id counter position."""
+    _msg_ids.restore(state)
 
 
 @dataclass
@@ -118,7 +130,7 @@ class Message:
     msg_class: int
     created_cycle: int = 0
     acks_expected: int = 0
-    mid: int = field(default_factory=lambda: next(_msg_ids))
+    mid: int = field(default_factory=_msg_ids.next)
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return (

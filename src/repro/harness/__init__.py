@@ -14,6 +14,7 @@ from .experiments import (
     run_e8,
     run_e9,
     run_e10,
+    run_e11,
     run_table1,
 )
 from .figures import AsciiChart
@@ -51,6 +52,7 @@ __all__ = [
     "run_e8",
     "run_e9",
     "run_e10",
+    "run_e11",
     "AsciiChart",
     "RegressionReport",
     "compare",

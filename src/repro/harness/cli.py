@@ -10,6 +10,8 @@ Examples::
     python -m repro verify          # deadlock/protocol verification
     python -m repro E1 --quick --check-invariants
     python -m repro campaign run E5 E7 --workers 4 --db sweep.db
+    python -m repro resilience run --link-failures 2 --corrupt-rate 0.005
+    python -m repro resilience selftest
 
 Results print as the same fixed-width tables the benchmark suite saves.
 ``lint`` runs :mod:`repro.analysis.simlint` over the installed ``repro``
@@ -17,9 +19,10 @@ package (or ``--path``) and exits non-zero on any finding, so CI can gate
 on it.  ``--check-invariants`` installs the runtime invariant checker
 (:mod:`repro.analysis.invariants`) on every co-simulation the experiments
 build.  ``campaign`` hands off to :mod:`repro.campaign.cli` — the
-parallel, resumable sweep engine (``run``/``report``/``status``) — and
+parallel, resumable sweep engine (``run``/``report``/``status``) —
 ``verify`` to :mod:`repro.verify.cli`, the pre-simulation deadlock and
-protocol-safety checker.
+protocol-safety checker, and ``resilience`` to
+:mod:`repro.resilience.cli` (fault injection, watchdog, checkpoints).
 """
 
 from __future__ import annotations
@@ -44,7 +47,7 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "experiment",
         choices=sorted(ALL_EXPERIMENTS) + ["table1", "all", "lint"],
-        help="experiment id (E1..E10), 'table1', 'all', or 'lint' (static "
+        help="experiment id (E1..E11), 'table1', 'all', or 'lint' (static "
         "analysis of the repro tree)",
     )
     parser.add_argument(
@@ -101,6 +104,11 @@ def main(argv: Optional[List[str]] = None) -> int:
         from ..verify.cli import main as verify_main  # deferred: optional
 
         return verify_main(argv[1:])
+    if argv and argv[0] == "resilience":
+        # Fault injection / watchdog / checkpoint tooling, same shape.
+        from ..resilience.cli import main as resilience_main  # deferred: optional
+
+        return resilience_main(argv[1:])
     args = build_parser().parse_args(argv)
     if args.experiment == "lint":
         from ..analysis.simlint import run as run_lint  # deferred: lint only

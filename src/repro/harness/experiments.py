@@ -43,6 +43,7 @@ __all__ = [
     "run_e8",
     "run_e9",
     "run_e10",
+    "run_e11",
     "e5_points",
     "run_e5_point",
     "assemble_e5",
@@ -52,6 +53,9 @@ __all__ = [
     "e7_points",
     "run_e7_point",
     "assemble_e7",
+    "e11_points",
+    "run_e11_point",
+    "assemble_e11",
     "shipped_target_configs",
     "ALL_EXPERIMENTS",
 ]
@@ -783,6 +787,43 @@ def run_e10(quick: bool = False, seed: int = 3) -> ExperimentResult:
     )
 
 
+# ----------------------------------------------------------------------
+# E11 (extension): fault injection and graceful degradation
+# ----------------------------------------------------------------------
+# Thin wrappers over :mod:`repro.resilience.experiment` (imported lazily so
+# the harness never pays for the resilience package unless E11 runs); the
+# trio shape matches E5/E6/E7 so the campaign engine can fan out the levels.
+
+
+def e11_points(quick: bool = False) -> List[List[int]]:
+    """The fault-severity grid (see :mod:`repro.resilience.experiment`)."""
+    from ..resilience.experiment import e11_points as points
+
+    return points(quick)
+
+
+def run_e11_point(point: Sequence[int], quick: bool = False, seed: int = 3) -> tuple:
+    """One fault level: faulty detailed run + fault-blind abstract run."""
+    from ..resilience.experiment import run_e11_point as run_point
+
+    return run_point(point, quick, seed)
+
+
+def assemble_e11(
+    rows: Sequence[Sequence], quick: bool = False, seed: int = 3
+) -> ExperimentResult:
+    from ..resilience.experiment import assemble_e11 as assemble
+
+    return assemble(rows, quick, seed)
+
+
+def run_e11(quick: bool = False, seed: int = 3) -> ExperimentResult:
+    """Fault-severity sweep: latency degradation only the detailed model sees."""
+    from ..resilience.experiment import run_e11 as run
+
+    return run(quick=quick, seed=seed)
+
+
 ALL_EXPERIMENTS = {
     "E1": run_e1,
     "E2": run_e2,
@@ -794,4 +835,5 @@ ALL_EXPERIMENTS = {
     "E8": run_e8,
     "E9": run_e9,
     "E10": run_e10,
+    "E11": run_e11,
 }

@@ -66,6 +66,8 @@ def _config_key(config: TargetConfig, max_cycles: Optional[int]) -> Tuple:
         config.quantum,
         repr(config.noc),
         repr(config.cmp),
+        repr(config.faults),
+        config.stall_quanta,
         max_cycles,
     )
 
@@ -73,14 +75,49 @@ def _config_key(config: TargetConfig, max_cycles: Optional[int]) -> Tuple:
 def run_cosim(
     config: TargetConfig, max_cycles: Optional[int] = None, cache: bool = True
 ) -> CoSimResult:
-    """Build and run one co-simulation (memoized by configuration)."""
+    """Build and run one co-simulation (memoized by configuration).
+
+    When a campaign worker has opened a
+    :func:`repro.resilience.checkpoint.job_checkpoint` scope, the run
+    checkpoints periodically, resumes from an existing snapshot left by a
+    killed previous attempt, and skips the in-process memo cache (a resumed
+    attempt must actually run, and its checkpoint file must not leak into
+    unrelated runs).
+    """
+    from ..resilience.checkpoint import active_job_checkpoint  # deferred
+
     key = _config_key(config, max_cycles)
-    if cache and key in _cache:
-        return _cache[key]
-    cosim = build_cosim(config, check_invariants=_check_invariants_default)
+    spec = active_job_checkpoint()
+    if spec is None:
+        if cache and key in _cache:
+            return _cache[key]
+        cosim = build_cosim(config, check_invariants=_check_invariants_default)
+        result = cosim.run(
+            **({} if max_cycles is None else {"max_cycles": max_cycles})
+        )
+        if cache:
+            _cache[key] = result
+        return result
+
+    import os
+
+    from ..resilience.checkpoint import Checkpointer, load_checkpoint
+
+    token = repr(key)
+    if os.path.exists(spec.path):
+        cosim = load_checkpoint(spec.path, expect_config=token)
+    else:
+        cosim = build_cosim(config, check_invariants=_check_invariants_default)
+    cosim.checkpointer = Checkpointer(
+        spec.path, every=spec.every, config_token=token
+    )
     result = cosim.run(**({} if max_cycles is None else {"max_cycles": max_cycles}))
-    if cache:
-        _cache[key] = result
+    # A finished run owes nobody a resume point; remove it so a later job
+    # reusing the path can never restore a stale simulation.
+    try:
+        os.remove(spec.path)
+    except OSError:  # simlint: allow[swallowed-exception] — best-effort cleanup
+        pass
     return result
 
 

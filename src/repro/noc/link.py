@@ -43,6 +43,10 @@ class Link:
         self._credits: Deque[Tuple[int, int]] = deque()
         self.flit_cycles = 0  # cycles this link carried a flit (utilization)
         self.flits_carried = 0
+        #: fail-stop flag (set by repro.resilience fault injection): a failed
+        #: channel is masked out of routing candidate sets; flits already on
+        #: the wire still arrive (the pipeline registers survive the fault).
+        self.failed = False
 
     # ------------------------------------------------------------------
     def send_flit(self, flit: Flit, vc: int, now: int) -> None:

@@ -17,7 +17,7 @@ import heapq
 from collections import deque
 from typing import Callable, Deque, Dict, List, Optional, Tuple
 
-from ..errors import SimulationError
+from ..errors import SimulationError, StallError
 from .config import NocConfig
 from .link import Link
 from .packet import Flit, Packet
@@ -103,8 +103,15 @@ class CycleNetwork:
         self._future: List[Tuple[int, int, Packet]] = []
         self._future_seq = 0
         self._delivered: Deque[Packet] = deque()
+        #: packets diverted at ejection (corrupted payloads); the resilient
+        #: transport pulls these and retransmits their messages.
+        self._dropped: Deque[Packet] = deque()
         self._last_progress_cycle = 0
         self._is_torus = isinstance(topo, Torus)
+        #: optional fault-injection state (see repro.resilience.faults);
+        #: None means every fault hook below is skipped — zero overhead and
+        #: bit-identical behaviour for fault-free runs.
+        self.faults = None
 
     # ------------------------------------------------------------------
     # Driving the simulation
@@ -124,15 +131,21 @@ class CycleNetwork:
         heapq.heappush(self._future, (when, self._future_seq, packet))
         self._future_seq += 1
 
+    def attach_faults(self, state) -> None:
+        """Install a :class:`repro.resilience.faults.FaultState` (or None)."""
+        self.faults = state
+
     def step(self) -> None:
         """Advance the whole network by one cycle."""
         now = self.cycle
+        if self.faults is not None:
+            self.faults.on_cycle(self, now)
         self._deliver_link_traffic(now)
         self._admit_new_packets(now)
         self._inject_flits(now)
         progressed = False
         for router in self.routers:
-            if not router.busy:
+            if router.failed or not router.busy:
                 continue
             winners = router.step(now)
             if winners:
@@ -258,6 +271,8 @@ class CycleNetwork:
             link = self.links[(rid, out_port)]
             if flit.is_head:
                 flit.packet.hops += 1
+                if self.faults is not None:
+                    self.faults.on_link_traverse(flit.packet, rid, out_port)
             link.send_flit(flit, out_vc, now)
             self._active_links[link] = None
         # The input buffer slot the flit occupied is now free; tell upstream.
@@ -277,20 +292,40 @@ class CycleNetwork:
             packet = flit.packet
             packet.eject_cycle = now + self.config.ejection_delay
             self.stats.record_ejection(packet)
+            if packet.corrupted:
+                # Corrupted payloads traverse and eject normally (credit/VC
+                # conservation) but are discarded at the ejection port; the
+                # resilient transport observes the drop and retransmits.
+                self._dropped.append(packet)
+                return
             self._delivered.append(packet)
             if self.on_eject is not None:
                 self.on_eject(packet, packet.eject_cycle)
+
+    def pop_dropped(self) -> List[Packet]:
+        """Packets discarded at ejection (corrupted) since the last call."""
+        out = list(self._dropped)
+        self._dropped.clear()
+        return out
 
     def _check_watchdog(self, now: int) -> None:
         limit = self.config.watchdog_cycles
         if not limit:
             return
         if self.stats.in_flight_packets > 0 and now - self._last_progress_cycle > limit:
-            raise SimulationError(
+            message = (
                 f"no flit movement for {limit} cycles with "
                 f"{self.stats.in_flight_packets} packets in flight at cycle "
                 f"{now}: likely deadlock (routing={self.routing!r})"
             )
+            if self.faults is not None:
+                # Under fault injection a freeze is an expected failure mode;
+                # raise the structured error with the full diagnostic dump.
+                from ..resilience.watchdog import network_diagnostics
+
+                diag = network_diagnostics(self)
+                raise StallError(message + "\n" + diag.render(), diagnostics=diag)
+            raise SimulationError(message)
 
     # ------------------------------------------------------------------
     # Introspection

@@ -9,13 +9,13 @@ both head and tail.
 
 from __future__ import annotations
 
-import itertools
 from dataclasses import dataclass, field
 from typing import Any, List, Optional
 
 from ..errors import ConfigError
+from ..util import SerialCounter
 
-__all__ = ["MessageClass", "Packet", "Flit"]
+__all__ = ["MessageClass", "Packet", "Flit", "packet_id_state", "restore_packet_id_state"]
 
 
 class MessageClass:
@@ -41,7 +41,19 @@ class MessageClass:
     }
 
 
-_packet_ids = itertools.count()
+# Restorable (not itertools.count) so checkpoint/restore can reinstate the
+# exact id position and a restored run issues the same pids it would have.
+_packet_ids = SerialCounter()
+
+
+def packet_id_state() -> int:
+    """Snapshot the packet-id counter (for checkpoint/restore)."""
+    return _packet_ids.state()
+
+
+def restore_packet_id_state(state: int) -> None:
+    """Reinstate a snapshotted packet-id counter position."""
+    _packet_ids.restore(state)
 
 
 @dataclass
@@ -61,12 +73,18 @@ class Packet:
     msg_class: int = MessageClass.DATA
     inject_cycle: int = 0
     payload: Any = None
-    pid: int = field(default_factory=lambda: next(_packet_ids))
+    pid: int = field(default_factory=_packet_ids.next)
 
     # Filled in by the network as the packet progresses.
     network_entry_cycle: Optional[int] = None
     eject_cycle: Optional[int] = None
     hops: int = 0
+
+    #: Set by a fault schedule when a transit fault corrupts one of this
+    #: packet's flits.  The packet still traverses and ejects normally (so
+    #: credit/VC conservation holds) but is discarded at the ejection port
+    #: instead of being delivered — end-to-end retransmission recovers it.
+    corrupted: bool = False
 
     #: Dateline VC class per ring dimension, maintained by the network on
     #: tori: 0 until the packet crosses that dimension's wrap channel, 1

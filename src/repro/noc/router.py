@@ -96,6 +96,11 @@ class Router:
         self._sa_output = [RoundRobinArbiter(radix) for _ in range(radix)]
 
         self._dateline_active = isinstance(topo, Torus)
+        #: fail-stop flag (set by repro.resilience fault injection): a failed
+        #: router stops arbitrating — the network skips its step() — but its
+        #: input buffers still accept arriving flits, so upstream credits
+        #: starve realistically rather than flits vanishing mid-network.
+        self.failed = False
         # Activity tracking: a router with no buffered flits and no VC in a
         # non-idle state cannot do anything this cycle, so the network skips
         # it entirely — the dominant cost saving at low and medium load.

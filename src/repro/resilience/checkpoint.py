@@ -1,0 +1,179 @@
+"""Content-hashed checkpoint/restore for the co-simulator.
+
+A checkpoint is a pickle of the complete :class:`~repro.core.cosim.CoSimulator`
+object graph taken at a synchronization-quantum boundary — the one point
+where the system and the network agree on time and no delivery is half
+transferred — plus the two module-global id counters (packet ids, message
+ids) that live outside the graph.  The body is wrapped in an envelope
+carrying a format version, the run's configuration token, and a SHA-256
+digest of the body, so a restore refuses stale formats, checkpoints from a
+*different* configuration, and truncated/corrupted files instead of silently
+resuming the wrong simulation.
+
+Because every scheduled callback in the simulator is a ``functools.partial``
+of a bound method (never a lambda or closure) the whole graph pickles, and
+because restore reinstates the id counters, a restored run issues the same
+packet/message ids it would have — the continuation is bit-identical to the
+uninterrupted run.
+
+:func:`job_checkpoint` / :func:`active_job_checkpoint` pass a checkpoint
+request through the campaign layer without threading new parameters through
+every call: the worker opens the context, and ``run_cosim`` deep inside
+consults it.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import hashlib
+import os
+import pickle
+from contextvars import ContextVar
+from dataclasses import dataclass
+from typing import Iterator, Optional
+
+from ..errors import CheckpointError
+
+__all__ = [
+    "CHECKPOINT_VERSION",
+    "Checkpointer",
+    "save_checkpoint",
+    "load_checkpoint",
+    "job_checkpoint",
+    "active_job_checkpoint",
+    "JobCheckpoint",
+]
+
+CHECKPOINT_VERSION = 1
+
+
+def save_checkpoint(cosim, path: str, config_token: str = "") -> str:
+    """Snapshot ``cosim`` to ``path`` atomically; returns the body digest."""
+    from ..fullsys.coherence import message_id_state
+    from ..noc.packet import packet_id_state
+
+    body = pickle.dumps(
+        {
+            "cosim": cosim,
+            "packet_ids": packet_id_state(),
+            "message_ids": message_id_state(),
+        },
+        protocol=pickle.HIGHEST_PROTOCOL,
+    )
+    digest = hashlib.sha256(body).hexdigest()
+    envelope = pickle.dumps(
+        {
+            "version": CHECKPOINT_VERSION,
+            "config": config_token,
+            "cycle": cosim.system.now,
+            "sha256": digest,
+            "body": body,
+        },
+        protocol=pickle.HIGHEST_PROTOCOL,
+    )
+    tmp = f"{path}.tmp.{os.getpid()}"
+    with open(tmp, "wb") as fh:
+        fh.write(envelope)
+    os.replace(tmp, path)  # atomic: a reader sees the old or the new file
+    return digest
+
+
+def load_checkpoint(path: str, expect_config: Optional[str] = None):
+    """Restore a co-simulator from ``path``; verifies hash and provenance."""
+    try:
+        with open(path, "rb") as fh:
+            envelope = pickle.load(fh)
+    except (OSError, pickle.UnpicklingError, EOFError) as exc:
+        raise CheckpointError(f"cannot read checkpoint {path}: {exc}") from exc
+    if not isinstance(envelope, dict) or "body" not in envelope:
+        raise CheckpointError(f"{path} is not a checkpoint envelope")
+    if envelope.get("version") != CHECKPOINT_VERSION:
+        raise CheckpointError(
+            f"{path}: checkpoint format v{envelope.get('version')} "
+            f"!= supported v{CHECKPOINT_VERSION}"
+        )
+    digest = hashlib.sha256(envelope["body"]).hexdigest()
+    if digest != envelope.get("sha256"):
+        raise CheckpointError(
+            f"{path}: content hash mismatch (truncated or corrupted file)"
+        )
+    if expect_config is not None and envelope.get("config") != expect_config:
+        raise CheckpointError(
+            f"{path}: checkpoint belongs to a different configuration "
+            f"({envelope.get('config')!r} != {expect_config!r})"
+        )
+    state = pickle.loads(envelope["body"])
+
+    from ..fullsys.coherence import restore_message_id_state
+    from ..noc.packet import restore_packet_id_state
+
+    restore_packet_id_state(state["packet_ids"])
+    restore_message_id_state(state["message_ids"])
+    return state["cosim"]
+
+
+class Checkpointer:
+    """Periodic checkpoint writer installed on a co-simulator.
+
+    Args:
+        path: checkpoint file (rewritten in place, atomically).
+        every: take a snapshot every ``every`` synchronization windows.
+        config_token: provenance string stored in the envelope; restore
+            verifies it so a checkpoint can never resume a different run.
+    """
+
+    def __init__(self, path: str, every: int = 256, config_token: str = "") -> None:
+        if every < 1:
+            raise CheckpointError(f"checkpoint interval must be >= 1, got {every}")
+        self.path = str(path)
+        self.every = int(every)
+        self.config_token = config_token
+        self.saves = 0
+        self.last_cycle: Optional[int] = None
+        self._windows = 0
+
+    def after_window(self, cosim, target: int) -> None:
+        """Called by the co-simulator after every synchronization window."""
+        self._windows += 1
+        if self._windows % self.every != 0:
+            return
+        save_checkpoint(cosim, self.path, self.config_token)
+        self.saves += 1
+        self.last_cycle = target
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Checkpointer({self.path!r}, every={self.every}, saves={self.saves})"
+
+
+@dataclass(frozen=True)
+class JobCheckpoint:
+    """A campaign worker's checkpoint request for the run it executes."""
+
+    path: str
+    every: int = 256
+
+
+_active_checkpoint: ContextVar[Optional[JobCheckpoint]] = ContextVar(
+    "repro_active_job_checkpoint", default=None
+)
+
+
+@contextlib.contextmanager
+def job_checkpoint(path: str, every: int = 256) -> Iterator[JobCheckpoint]:
+    """Scope within which ``run_cosim`` checkpoints to ``path``.
+
+    The campaign worker wraps job execution in this context; the harness
+    consults :func:`active_job_checkpoint` when building the simulator, and
+    resumes from ``path`` if a previous (killed) attempt left one behind.
+    """
+    spec = JobCheckpoint(path=str(path), every=int(every))
+    token = _active_checkpoint.set(spec)
+    try:
+        yield spec
+    finally:
+        _active_checkpoint.reset(token)
+
+
+def active_job_checkpoint() -> Optional[JobCheckpoint]:
+    """The enclosing :func:`job_checkpoint` request, if any."""
+    return _active_checkpoint.get()

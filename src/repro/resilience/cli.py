@@ -1,0 +1,273 @@
+"""``python -m repro resilience`` — faulty runs, restore, and selftests.
+
+Examples::
+
+    python -m repro resilience run --link-failures 2 --corrupt-rate 0.005
+    python -m repro resilience run --checkpoint run.ckpt --checkpoint-every 64
+    python -m repro resilience run --restore-from run.ckpt --json-out out.json
+    python -m repro resilience selftest
+
+``run`` executes one co-simulation with an optional fault schedule,
+watchdog threshold, and checkpoint file; ``--restore-from`` resumes a
+snapshot instead of building from the configuration flags (the snapshot
+carries its own configuration).  ``--json-out`` writes the full metric
+set as canonical JSON, which is what the kill/restore equivalence tests
+and the CI smoke job byte-compare.
+
+``selftest`` exercises the package's three safety claims in-process:
+the watchdog detects a manufactured livelock, degraded routing passes the
+CDG deadlock re-check, and a checkpoint restores bit-identically.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+import tempfile
+from typing import List, Optional
+
+from ..core.config import TargetConfig, build_cosim
+from ..errors import CheckpointError, ConfigError, FaultError, StallError
+from .checkpoint import Checkpointer, load_checkpoint, save_checkpoint
+from .faults import FaultConfig
+
+__all__ = ["build_parser", "main"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro resilience",
+        description="Fault injection, watchdog, and checkpoint/restore "
+        "for the co-simulator.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    run = sub.add_parser("run", help="one co-simulation, optionally faulty")
+    run.add_argument("--width", type=int, default=4)
+    run.add_argument("--height", type=int, default=4)
+    run.add_argument("--app", default="fft")
+    run.add_argument("--seed", type=int, default=3)
+    run.add_argument("--scale", type=float, default=0.2)
+    run.add_argument("--quantum", type=int, default=4)
+    run.add_argument(
+        "--max-cycles", type=int, default=None,
+        help="stop after this many simulated cycles (default: to completion)",
+    )
+    run.add_argument(
+        "--stall-quanta", type=int, default=0,
+        help="watchdog threshold in frozen synchronization windows "
+        "(0: default watchdog only when faults are injected)",
+    )
+    fault = run.add_argument_group("fault schedule (omit all for a clean run)")
+    fault.add_argument("--link-failures", type=int, default=0)
+    fault.add_argument("--router-failures", type=int, default=0)
+    fault.add_argument("--transient-links", type=int, default=0)
+    fault.add_argument("--corrupt-rate", type=float, default=0.0)
+    fault.add_argument("--fault-seed", type=int, default=0)
+    fault.add_argument(
+        "--fault-window", type=int, default=20_000,
+        help="fault times are drawn uniformly from [1, window]",
+    )
+    fault.add_argument(
+        "--allow-partition", action="store_true",
+        help="permit fault patterns that disconnect the alive graph",
+    )
+    ckpt = run.add_argument_group("checkpoint/restore")
+    ckpt.add_argument(
+        "--checkpoint", default=None, metavar="PATH",
+        help="snapshot the run here at quantum boundaries",
+    )
+    ckpt.add_argument(
+        "--checkpoint-every", type=int, default=256,
+        help="snapshot period in synchronization windows (default: %(default)s)",
+    )
+    ckpt.add_argument(
+        "--restore-from", default=None, metavar="PATH",
+        help="resume this snapshot (configuration flags are ignored; the "
+        "snapshot carries its own)",
+    )
+    run.add_argument(
+        "--json-out", default=None, metavar="PATH",
+        help="write the full metric set as canonical JSON",
+    )
+
+    sub.add_parser(
+        "selftest",
+        help="watchdog livelock detection + degraded CDG check + "
+        "checkpoint roundtrip",
+    )
+    return parser
+
+
+def _fault_config(args: argparse.Namespace) -> Optional[FaultConfig]:
+    config = FaultConfig(
+        seed=args.fault_seed,
+        link_failures=args.link_failures,
+        router_failures=args.router_failures,
+        transient_links=args.transient_links,
+        corrupt_rate=args.corrupt_rate,
+        window=args.fault_window,
+        allow_partition=args.allow_partition,
+    )
+    return config if config.any_faults else None
+
+
+def _result_dict(result) -> dict:
+    return {
+        "finish_cycle": result.finish_cycle,
+        "cycles": result.cycles,
+        "windows": result.windows,
+        "messages_sent": result.messages_sent,
+        "deliveries": result.deliveries,
+        "clamped_deliveries": result.clamped_deliveries,
+        "mean_latency": result.mean_latency(),
+        "applied_latencies": {
+            str(k): v for k, v in sorted(result.applied_latencies.items())
+        },
+        "system_summary": result.system_summary,
+        "network_description": result.network_description,
+    }
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    if args.restore_from is not None:
+        cosim = load_checkpoint(args.restore_from)
+        print(f"restored snapshot {args.restore_from} at cycle {cosim.system.now}")
+    else:
+        config = TargetConfig(
+            width=args.width,
+            height=args.height,
+            app=args.app,
+            seed=args.seed,
+            scale=args.scale,
+            quantum=args.quantum,
+            network_model="cycle",
+            faults=_fault_config(args),
+            stall_quanta=args.stall_quanta,
+        )
+        cosim = build_cosim(config)
+    if args.checkpoint is not None:
+        cosim.checkpointer = Checkpointer(args.checkpoint, every=args.checkpoint_every)
+    try:
+        result = cosim.run(
+            **({} if args.max_cycles is None else {"max_cycles": args.max_cycles})
+        )
+    except StallError as exc:
+        print(f"stall detected:\n{exc}", file=sys.stderr)
+        return 3
+    status = (
+        f"finished at cycle {result.finish_cycle}"
+        if result.finish_cycle is not None
+        else f"stopped at cycle {result.cycles} (max-cycles)"
+    )
+    print(f"{status}: {result.deliveries} deliveries, "
+          f"mean latency {result.mean_latency():.2f}")
+    resilience = result.network_description.get("resilience")
+    if resilience:
+        print("transport: " + ", ".join(f"{k}={v}" for k, v in resilience.items()))
+    if args.json_out is not None:
+        with open(args.json_out, "w") as handle:
+            json.dump(_result_dict(result), handle, sort_keys=True,
+                      separators=(",", ":"))
+            handle.write("\n")
+    return 0
+
+
+def _selftest_watchdog() -> str:
+    from .fixtures import build_livelock_cosim
+
+    cosim = build_livelock_cosim(stall_quanta=24)
+    try:
+        cosim.run(max_cycles=50_000)
+    except StallError as exc:
+        diag = exc.diagnostics
+        if diag is None or "no progress" not in str(exc):
+            raise ConfigError("watchdog StallError carried no diagnostics")
+        return f"watchdog: livelock detected at cycle {diag.cycle} (ok)"
+    raise ConfigError("watchdog failed to detect the livelock fixture")
+
+
+def _selftest_degraded() -> str:
+    config = TargetConfig(
+        width=4, height=4, app="fft", scale=0.1, network_model="cycle",
+        faults=FaultConfig(seed=7, link_failures=3, window=200),
+    )
+    cosim = build_cosim(config)
+    cosim.run(max_cycles=400)  # past the fault window: all failures applied
+    routing = cosim.network.network.routing
+    if not routing.state.degraded:
+        raise ConfigError("fault schedule applied no failures before cycle 400")
+    from .degrade import verify_degraded
+
+    report = verify_degraded(routing)
+    if not report.ok:
+        raise ConfigError(
+            "degraded routing failed the CDG re-check:\n" + report.render()
+        )
+    return (
+        f"degrade: {len(routing.state.failed_ports) // 2} masked links, "
+        f"{routing.rebuilds} rebuilds, CDG re-check ok"
+    )
+
+
+def _selftest_checkpoint(tmp_path: str) -> str:
+    import os
+
+    config = TargetConfig(width=2, height=2, app="water", scale=0.2,
+                          network_model="cycle")
+    reference = build_cosim(config).run()
+    partial = build_cosim(config)
+    partial.run(max_cycles=800)
+    digest = save_checkpoint(partial, tmp_path, config_token="selftest")
+    restored = load_checkpoint(tmp_path, expect_config="selftest")
+    result = restored.run()
+    os.remove(tmp_path)
+    if (
+        result.finish_cycle != reference.finish_cycle
+        or result.deliveries != reference.deliveries
+        or result.applied_latencies != reference.applied_latencies
+    ):
+        raise ConfigError(
+            "restored run diverged from the uninterrupted reference "
+            f"({result.finish_cycle} vs {reference.finish_cycle})"
+        )
+    return (
+        f"checkpoint: restore at cycle 800 reconverged bit-identically "
+        f"(finish {result.finish_cycle}, sha256 {digest[:12]}...)"
+    )
+
+
+def _cmd_selftest() -> int:
+    checks = [
+        _selftest_watchdog,
+        _selftest_degraded,
+        lambda: _selftest_checkpoint(
+            os.path.join(tempfile.mkdtemp(prefix="repro-selftest-"), "run.ckpt")
+        ),
+    ]
+    failures = 0
+    for check in checks:
+        try:
+            print(check())
+        except (ConfigError, FaultError, CheckpointError, StallError) as exc:
+            failures += 1
+            print(f"FAILED: {exc}", file=sys.stderr)
+    print("resilience selftest: " + ("ok" if not failures else f"{failures} failed"))
+    return 0 if not failures else 1
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    try:
+        if args.command == "run":
+            return _cmd_run(args)
+        return _cmd_selftest()
+    except (ConfigError, FaultError, CheckpointError) as exc:
+        print(f"resilience: {exc}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    sys.exit(main())

@@ -1,0 +1,205 @@
+"""Graceful degradation: routing around failed channels and routers.
+
+:class:`DegradedRouting` wraps any shipped
+:class:`~repro.noc.routing.RoutingFunction` and, while the fault mask is
+empty, returns its candidate sets untouched (bit-identical routing).  Once
+channels fail it:
+
+1. masks failed channels out of the base candidate set — minimal, shaped
+   routes survive wherever the base function offers an alive alternative;
+2. falls back to the unique path on an up*/down* BFS spanning tree of the
+   *alive* graph when masking empties the candidate set (dimension-ordered
+   functions offer exactly one port, so any failure on it needs the tree);
+3. after every topology-affecting fault event, re-runs the
+   :func:`repro.verify.cdg.check_network` channel-dependency-graph pass over
+   the degraded function.  If the mixed masked-base + tree routing is
+   refuted, the function degrades further to *tree-only* mode (pure
+   up-then-down tree paths — the classic provably deadlock-free irregular
+   routing) and re-checks; a refutation even then raises
+   :class:`~repro.errors.FaultError` rather than simulating toward deadlock.
+
+Traffic *to* a fail-stopped router is undeliverable by definition; the
+resilient adapter refuses it at injection.  A packet already in flight when
+its destination dies keeps its base route and blocks at the dead router's
+buffers — realistic fail-stop behaviour the watchdog then reports.  The CDG
+re-check therefore certifies the degraded function over alive endpoints
+(the only traffic degradation promises to deliver).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, List, Optional, Tuple
+
+from ..errors import FaultError
+from ..noc.routing import RoutingFunction
+from ..noc.topology import Topology
+from .faults import FaultState
+
+__all__ = ["DegradedRouting", "verify_degraded"]
+
+
+class _AliveView(RoutingFunction):
+    """Verification view: no routes originate at or target dead routers."""
+
+    def __init__(self, degraded: "DegradedRouting") -> None:
+        self._degraded = degraded
+
+    @property
+    def adaptive(self) -> bool:  # type: ignore[override]
+        return True
+
+    def candidates(self, topo: Topology, router: int, dst_router: int) -> List[int]:
+        state = self._degraded.state
+        if not state.router_alive(router) or not state.router_alive(dst_router):
+            return []
+        return self._degraded.candidates(topo, router, dst_router)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"AliveView({self._degraded!r})"
+
+
+class DegradedRouting(RoutingFunction):
+    """A routing function that masks failures and survives on a tree."""
+
+    adaptive = True  # candidate sets may hold >1 port; router tie-breaks
+
+    def __init__(
+        self,
+        base: RoutingFunction,
+        state: FaultState,
+        topo: Topology,
+        noc=None,
+        verify: bool = True,
+    ) -> None:
+        self.base = base
+        self.state = state
+        self.topo = topo
+        self.noc = noc
+        self.verify = verify
+        self.tree_only = False
+        #: (router, dst_router) -> output port along the alive spanning tree
+        self._tree_next: Dict[Tuple[int, int], int] = {}
+        self.rebuilds = 0
+        self.recheck_reports: List[str] = []
+
+    # ------------------------------------------------------------------
+    # RoutingFunction interface
+    # ------------------------------------------------------------------
+    def candidates(self, topo: Topology, router: int, dst_router: int) -> List[int]:
+        base = self.base.candidates(topo, router, dst_router)
+        state = self.state
+        if not state.degraded:
+            return base
+        if router == dst_router:
+            return base  # [LOCAL]: ejection is always available
+        if not state.router_alive(dst_router):
+            # Undeliverable; keep the base route so in-flight packets block
+            # at the dead router (watchdog territory) instead of crashing
+            # route compute.  New sends are refused at the adapter.
+            return base
+        if not self.tree_only:
+            alive = [p for p in base if state.channel_alive(router, p)]
+            if alive:
+                return alive
+        port = self._tree_next.get((router, dst_router))
+        if port is not None:
+            return [port]
+        # No tree path (partitioned and explicitly allowed): fall back to
+        # the base route; the packet blocks at the failed channel.
+        return base
+
+    def forbidden_turns(
+        self, topo: Topology, router: int
+    ) -> FrozenSet[Tuple[int, int]]:
+        # Once degraded, the base function's turn-model argument no longer
+        # holds; the CDG re-check is the deadlock-freedom certificate.
+        return frozenset()
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        mode = "tree-only" if self.tree_only else "masked"
+        return f"DegradedRouting({self.base!r}, {mode})"
+
+    # ------------------------------------------------------------------
+    # Fault-event response
+    # ------------------------------------------------------------------
+    def on_topology_change(self) -> None:
+        """Rebuild the alive spanning tree and re-certify deadlock freedom."""
+        self.rebuilds += 1
+        self._rebuild_tree()
+        if not self.verify:
+            return
+        report = verify_degraded(self)
+        if report.ok:
+            self.recheck_reports.append(f"ok: {report.subject}")
+            return
+        if not self.tree_only:
+            # Masked-base + tree mixing can create cycles the base turn
+            # model never allowed; retreat to pure tree paths and re-check.
+            self.tree_only = True
+            report = verify_degraded(self)
+            if report.ok:
+                self.recheck_reports.append(f"ok (tree-only): {report.subject}")
+                return
+        raise FaultError(
+            "degraded routing failed the CDG deadlock re-check; refusing to "
+            "simulate toward deadlock:\n" + report.render()
+        )
+
+    def _rebuild_tree(self) -> None:
+        """All-pairs next-hop table over a BFS spanning tree of alive routers.
+
+        Paths on a tree are unique and run up toward the BFS root then down
+        — the up*/down* order that makes tree routing deadlock-free on any
+        irregular (here: degraded) topology.
+        """
+        from ..noc.topology import opposite_port
+
+        topo = self.topo
+        state = self.state
+        alive = [r for r in topo.routers() if state.router_alive(r)]
+        self._tree_next = {}
+        if not alive:
+            return
+        # BFS from the lowest alive router over alive channels -> tree edges.
+        root = alive[0]
+        parent: Dict[int, Tuple[int, int]] = {}  # router -> (parent, port_to_parent)
+        tree_adj: Dict[int, List[Tuple[int, int]]] = {r: [] for r in alive}
+        seen = {root}
+        frontier = [root]
+        while frontier:
+            router = frontier.pop(0)
+            for port in range(1, topo.radix):
+                nbr = topo.neighbor(router, port)
+                if (
+                    nbr is None
+                    or nbr in seen
+                    or not state.router_alive(nbr)
+                    or not state.channel_alive(router, port)
+                ):
+                    continue
+                seen.add(nbr)
+                parent[nbr] = (router, opposite_port(port))
+                tree_adj[router].append((nbr, port))
+                tree_adj[nbr].append((router, opposite_port(port)))
+                frontier.append(nbr)
+        # Per destination, BFS over tree edges records the first hop.
+        # tree_adj[r] holds (neighbour, port_from_r_to_neighbour) pairs.
+        for dst in seen:
+            dist = {dst: 0}
+            queue = [dst]
+            while queue:
+                router = queue.pop(0)
+                for nbr, port_to_nbr in tree_adj[router]:
+                    if nbr in dist:
+                        continue
+                    dist[nbr] = dist[router] + 1
+                    # nbr's next hop toward dst is back toward `router`.
+                    self._tree_next[(nbr, dst)] = opposite_port(port_to_nbr)
+                    queue.append(nbr)
+
+
+def verify_degraded(routing: DegradedRouting):
+    """Run the CDG pass over the degraded routing (alive endpoints only)."""
+    from ..verify.cdg import check_network  # deferred: verify is optional
+
+    return check_network(routing.topo, _AliveView(routing), routing.noc)

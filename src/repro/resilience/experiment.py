@@ -1,0 +1,117 @@
+"""E11 (extension): latency degradation under injected network faults.
+
+Reciprocal abstraction's promise is that the detailed component keeps its
+full behaviour inside a fast full-system context.  This extension probes a
+behaviour only the detailed model *can* have: physical faults.  We sweep a
+fault-severity level over the cycle-level network — ``level`` link
+fail-stops plus a proportional flit-corruption rate, injected from a
+seeded :class:`~repro.resilience.faults.FaultSchedule` — and record the
+full-system latency and runtime degradation as routing degrades onto the
+surviving channels and corrupted packets are retransmitted end to end.
+
+The abstract fixed-latency model is run alongside at every level as the
+control: it has no links to fail and no flits to corrupt, so its curve is
+flat by construction.  The gap between the two curves is the experiment's
+point — fault response is part of the behaviour an abstract model erases,
+and only the reciprocal-abstraction coupling can show it at full-system
+scale.
+
+Level 0 attaches *no* fault schedule (``faults=None``), so the baseline
+row exercises exactly the pre-resilience code path and doubles as the
+zero-overhead control for the whole package.
+
+Like E5/E6/E7 this sweep decomposes into the ``points / run_point /
+assemble`` trio so the campaign engine can fan the levels out across
+worker processes.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+from ..core.config import TargetConfig
+from ..harness.experiments import ExperimentResult
+from ..harness.figures import AsciiChart
+from ..harness.runner import run_cosim
+from ..util import derive_seed
+from .faults import FaultConfig
+
+__all__ = ["e11_points", "run_e11_point", "assemble_e11", "run_e11"]
+
+
+def e11_points(quick: bool = False) -> List[List[int]]:
+    """The fault-severity grid: permanent link failures per level."""
+    return [[0], [2]] if quick else [[0], [1], [2], [4]]
+
+
+def _fault_config(level: int, quick: bool, seed: int) -> FaultConfig:
+    """The fault schedule for one severity level (deterministic in seed)."""
+    return FaultConfig(
+        seed=derive_seed(seed, "e11", level),
+        link_failures=level,
+        corrupt_rate=0.003 * level,
+        window=4_000 if quick else 12_000,
+    )
+
+
+def run_e11_point(point: Sequence[int], quick: bool = False, seed: int = 3) -> tuple:
+    """One severity level: faulty detailed run + fault-blind abstract run."""
+    (level,) = point
+    scale = 0.15 if quick else 0.5
+    base = TargetConfig(
+        width=4, height=4, app="fft", seed=seed, scale=scale,
+        network_model="cycle", quantum=4,
+    )
+    if level == 0:
+        detailed = run_cosim(base)  # faults=None: the pre-resilience code path
+    else:
+        detailed = run_cosim(base.variant(faults=_fault_config(level, quick, seed)))
+    abstract = run_cosim(base.variant(network_model="fixed"))
+    resil = detailed.network_description.get("resilience") or {}
+    return (
+        f"{level} faults",
+        float(detailed.finish_cycle or detailed.cycles),
+        detailed.mean_latency(),
+        abstract.mean_latency(),
+        float(resil.get("retransmits", 0)),
+        float(resil.get("corrupt_drops", 0)),
+    )
+
+
+def assemble_e11(
+    rows: Sequence[Sequence], quick: bool = False, seed: int = 3
+) -> ExperimentResult:
+    """Append the degradation-vs-baseline column and the latency curve."""
+    rows = [tuple(row) for row in rows]
+    base_lat = float(rows[0][2]) or 1.0
+    base_finish = float(rows[0][1]) or 1.0
+    full = [row + (float(row[2]) / base_lat,) for row in rows]
+    levels = [float(str(row[0]).split()[0]) for row in full]
+    chart = AsciiChart(
+        title="E11: mean latency vs fault level (x: link failures, y: cycles)"
+    )
+    chart.add_series("detailed", levels, [float(r[2]) for r in full], marker="*")
+    chart.add_series("abstract", levels, [float(r[3]) for r in full], marker="o")
+    worst = full[-1]
+    return ExperimentResult(
+        eid="E11",
+        title="Extension: fault injection — latency degradation visible only "
+        "to the detailed model",
+        headers=[
+            "faults", "finish", "detailed_lat", "abstract_lat",
+            "retransmits", "corrupt_drops", "lat_degradation",
+        ],
+        rows=full,
+        notes={
+            "max_latency_degradation": float(worst[6]),
+            "max_runtime_degradation": float(worst[1]) / base_finish,
+            "abstract_model_degradation": float(full[-1][3]) / (float(full[0][3]) or 1.0),
+        },
+        figures=[chart.render()],
+    )
+
+
+def run_e11(quick: bool = False, seed: int = 3) -> ExperimentResult:
+    """Fault-severity sweep: detailed (faulty) vs abstract (fault-blind)."""
+    rows = [run_e11_point(p, quick, seed) for p in e11_points(quick)]
+    return assemble_e11(rows, quick, seed)

@@ -1,0 +1,452 @@
+"""Deterministic fault schedules for the cycle-level NoC.
+
+A :class:`FaultConfig` describes *how much* to break (counts and rates); a
+:class:`FaultSchedule` is the compiled, fully-deterministic list of
+:class:`FaultEvent` s — which channels fail, which routers die, and when —
+derived from the config via :func:`repro.util.derive_seed`, never from
+wall-clock state.  The same config always compiles to the same schedule on
+every machine, so faulty runs are as reproducible as fault-free ones.
+
+Fault semantics (and why they respect the simulator's invariants):
+
+* **link fail-stop** — an undirected channel is removed from the routing
+  candidate sets forever.  Flits already on the wire still arrive (the
+  channel's pipeline registers survive); no flit is ever destroyed
+  mid-network, so credit/VC conservation holds throughout.
+* **transient link outage** — the same masking, but the channel heals after
+  ``transient_duration`` cycles.
+* **router fail-stop** — the router stops stepping: it accepts arriving
+  flits into its input buffers (dead silicon still has wires into it) but
+  never arbitrates or returns credits, so traffic aimed at it backs up and
+  the watchdog reports the stall.  All channels adjacent to the router are
+  masked so *other* traffic routes around it.
+* **flit corruption** — with probability ``corrupt_rate`` per traversed
+  link, a packet's payload is marked corrupted.  The packet still traverses
+  and ejects normally (conservation again) but is diverted to a drop queue
+  at the ejection port instead of being delivered; end-to-end
+  retransmission (:mod:`repro.resilience.transport`) recovers the message.
+
+Schedules that would partition the set of *alive* routers are refused with
+:class:`~repro.errors.FaultError` unless ``allow_partition`` is set,
+because no routing function can deliver across a partition.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, List, Set, Tuple
+
+from ..errors import FaultError
+from ..util import Rng, check_non_negative, check_probability, derive_seed
+
+__all__ = [
+    "FaultConfig",
+    "FaultEvent",
+    "FaultSchedule",
+    "FaultState",
+    "compile_schedule",
+]
+
+#: an undirected channel, canonicalized as its lower-id directed half:
+#: (src_router, src_port) with (src_router, src_port) < (dst_router, dst_port)
+Channel = Tuple[int, int]
+
+
+@dataclass(frozen=True)
+class FaultConfig:
+    """How much to break, described declaratively.
+
+    The compiled schedule depends only on ``(seed, counts, topology)``;
+    compile once, replay anywhere.
+    """
+
+    seed: int = 0
+    #: permanent undirected-channel failures
+    link_failures: int = 0
+    #: routers that fail-stop (stop arbitrating; see module docstring)
+    router_failures: int = 0
+    #: temporary undirected-channel outages
+    transient_links: int = 0
+    #: cycles a transient outage lasts
+    transient_duration: int = 2_000
+    #: per-link-traversal probability that a packet is corrupted
+    corrupt_rate: float = 0.0
+    #: fault times are drawn uniformly from [1, window]
+    window: int = 20_000
+    #: permit schedules that disconnect the alive routers (default: refuse)
+    allow_partition: bool = False
+    #: retransmission timeout in simulated cycles (first attempt)
+    retry_timeout: int = 4_000
+    #: timeout multiplier per attempt (bounded exponential backoff)
+    retry_backoff: float = 2.0
+    #: ceiling for the backed-off resend delay, in cycles
+    retry_max_delay: int = 64_000
+    #: attempts before a message is abandoned (then only the watchdog helps)
+    max_retries: int = 8
+
+    def __post_init__(self) -> None:
+        check_non_negative(self.link_failures, "link_failures")
+        check_non_negative(self.router_failures, "router_failures")
+        check_non_negative(self.transient_links, "transient_links")
+        check_probability(self.corrupt_rate, "corrupt_rate")
+        if self.transient_links and self.transient_duration < 1:
+            raise FaultError(
+                f"transient_duration must be >= 1, got {self.transient_duration}"
+            )
+        if self.window < 1:
+            raise FaultError(f"window must be >= 1, got {self.window}")
+        if self.retry_timeout < 1:
+            raise FaultError(f"retry_timeout must be >= 1, got {self.retry_timeout}")
+        if self.retry_backoff < 1.0:
+            raise FaultError(
+                f"retry_backoff must be >= 1.0, got {self.retry_backoff}"
+            )
+        if self.max_retries < 0:
+            raise FaultError(f"max_retries must be >= 0, got {self.max_retries}")
+
+    @property
+    def any_faults(self) -> bool:
+        """True if this config injects anything at all."""
+        return bool(
+            self.link_failures
+            or self.router_failures
+            or self.transient_links
+            or self.corrupt_rate > 0.0
+        )
+
+
+@dataclass(frozen=True)
+class FaultEvent:
+    """One scheduled fault: what breaks, where, and when."""
+
+    cycle: int
+    kind: str  # "link" | "router" | "transient"
+    router: int
+    port: int = -1  # channel endpoint for link faults; -1 for router faults
+    duration: int = 0  # transient outages only
+
+    def describe(self) -> str:
+        if self.kind == "router":
+            return f"@{self.cycle}: router {self.router} fail-stop"
+        if self.kind == "transient":
+            return (
+                f"@{self.cycle}: channel ({self.router},p{self.port}) down "
+                f"for {self.duration} cycles"
+            )
+        return f"@{self.cycle}: channel ({self.router},p{self.port}) fail-stop"
+
+
+@dataclass(frozen=True)
+class FaultSchedule:
+    """A compiled, deterministic fault schedule (safe to share/pickle)."""
+
+    config: FaultConfig
+    events: Tuple[FaultEvent, ...]
+    #: all undirected channels of the topology (for masks and diagnostics)
+    num_channels: int
+
+    @property
+    def corrupt_rate(self) -> float:
+        return self.config.corrupt_rate
+
+    def describe(self) -> Dict[str, object]:
+        return {
+            "seed": self.config.seed,
+            "events": [e.describe() for e in self.events],
+            "corrupt_rate": self.config.corrupt_rate,
+            "retry_timeout": self.config.retry_timeout,
+            "max_retries": self.config.max_retries,
+        }
+
+
+# ----------------------------------------------------------------------
+# Compilation
+# ----------------------------------------------------------------------
+def _undirected_channels(topo) -> List[Channel]:
+    """Every undirected channel, canonicalized and sorted (deterministic)."""
+    from ..noc.topology import opposite_port
+
+    seen: Set[Channel] = set()
+    out: List[Channel] = []
+    for router in topo.routers():
+        for port in range(1, topo.radix):
+            nbr = topo.neighbor(router, port)
+            if nbr is None:
+                continue
+            key = min((router, port), (nbr, opposite_port(port)))
+            if key not in seen:
+                seen.add(key)
+                out.append(key)
+    out.sort()
+    return out
+
+
+def _alive_connected(
+    topo, dead_channels: FrozenSet[Channel], dead_routers: FrozenSet[int]
+) -> bool:
+    """BFS: do the alive routers still form one connected component?"""
+    from ..noc.topology import opposite_port
+
+    alive = [r for r in topo.routers() if r not in dead_routers]
+    if len(alive) <= 1:
+        return True
+    seen = {alive[0]}
+    frontier = [alive[0]]
+    while frontier:
+        router = frontier.pop()
+        for port in range(1, topo.radix):
+            nbr = topo.neighbor(router, port)
+            if nbr is None or nbr in dead_routers or nbr in seen:
+                continue
+            key = min((router, port), (nbr, opposite_port(port)))
+            if key in dead_channels:
+                continue
+            seen.add(nbr)
+            frontier.append(nbr)
+    return len(seen) == len(alive)
+
+
+def compile_schedule(config: FaultConfig, topo) -> FaultSchedule:
+    """Compile a :class:`FaultConfig` into a deterministic schedule.
+
+    Permanent failures (links then routers) are drawn without replacement
+    from the sorted channel/router lists using a stream seeded by
+    ``derive_seed(config.seed, "fault-schedule")``; the draw is re-attempted
+    (deterministically — the stream position advances) while the resulting
+    alive graph is disconnected, unless ``allow_partition`` permits it.
+    """
+    rng = Rng(derive_seed(config.seed, "fault-schedule"), "faults")
+    channels = _undirected_channels(topo)
+    routers = sorted(topo.routers())
+    if config.link_failures > len(channels):
+        raise FaultError(
+            f"{config.link_failures} link failures requested but the "
+            f"topology has only {len(channels)} channels"
+        )
+    if config.router_failures >= len(routers):
+        raise FaultError(
+            f"{config.router_failures} router failures requested with only "
+            f"{len(routers)} routers (at least one must survive)"
+        )
+
+    events: List[FaultEvent] = []
+    dead_channels: Set[Channel] = set()
+    dead_routers: Set[int] = set()
+    for _ in range(200):  # bounded deterministic re-draw
+        candidate_channels = list(channels)
+        rng.shuffle(candidate_channels)
+        picked_channels = candidate_channels[: config.link_failures]
+        candidate_routers = list(routers)
+        rng.shuffle(candidate_routers)
+        picked_routers = candidate_routers[: config.router_failures]
+        dead_channels = set(picked_channels)
+        dead_routers = set(picked_routers)
+        if config.allow_partition or _alive_connected(
+            topo, frozenset(dead_channels), frozenset(dead_routers)
+        ):
+            break
+    else:
+        raise FaultError(
+            f"could not find a non-partitioning schedule for {config!r} "
+            "after 200 attempts (pass allow_partition=True to force)"
+        )
+
+    for router, port in sorted(dead_channels):
+        events.append(
+            FaultEvent(
+                cycle=rng.randint(1, config.window + 1),
+                kind="link",
+                router=router,
+                port=port,
+            )
+        )
+    for router in sorted(dead_routers):
+        events.append(
+            FaultEvent(
+                cycle=rng.randint(1, config.window + 1),
+                kind="router",
+                router=router,
+            )
+        )
+    # Transient outages may hit any channel (including already-failed ones —
+    # masking an already-masked channel is harmless).
+    for _ in range(config.transient_links):
+        router, port = channels[rng.randint(0, len(channels))]
+        events.append(
+            FaultEvent(
+                cycle=rng.randint(1, config.window + 1),
+                kind="transient",
+                router=router,
+                port=port,
+                duration=config.transient_duration,
+            )
+        )
+    events.sort(key=lambda e: (e.cycle, e.kind, e.router, e.port))
+    return FaultSchedule(
+        config=config, events=tuple(events), num_channels=len(channels)
+    )
+
+
+# ----------------------------------------------------------------------
+# Runtime state
+# ----------------------------------------------------------------------
+class FaultState:
+    """The live fault mask a :class:`~repro.noc.network.CycleNetwork` consults.
+
+    Attached via ``CycleNetwork.attach_faults``; the network calls
+    :meth:`on_cycle` once per cycle (cheap: one integer compare until the
+    next event is due) and :meth:`on_link_traverse` per head-flit link
+    traversal (a no-op unless ``corrupt_rate > 0``).
+    """
+
+    def __init__(self, schedule: FaultSchedule, topo) -> None:
+        from ..noc.topology import opposite_port
+
+        self.schedule = schedule
+        self.topo = topo
+        self._opposite_port = opposite_port
+        self._events = list(schedule.events)
+        self._next_event = 0
+        self._next_cycle = self._events[0].cycle if self._events else None
+        #: directed (router, port) halves currently masked from routing
+        self.failed_ports: Set[Tuple[int, int]] = set()
+        self.failed_routers: Set[int] = set()
+        #: (expiry_cycle, router, port) for transient outages, sorted list
+        self._expiries: List[Tuple[int, int, int]] = []
+        #: directed halves that must never heal (fail-stop faults)
+        self._permanent: Set[Tuple[int, int]] = set()
+        self._corrupt_rng = (
+            Rng(derive_seed(schedule.config.seed, "fault-corruption"), "corrupt")
+            if schedule.corrupt_rate > 0.0
+            else None
+        )
+        #: degraded routing to notify on topology changes (set by build)
+        self.routing = None
+        # Accounting
+        self.corrupted_packets = 0
+        self.applied_events: List[str] = []
+
+    # -- wiring --------------------------------------------------------
+    def attach_routing(self, routing) -> None:
+        """Register the DegradedRouting to rebuild/re-verify on changes."""
+        self.routing = routing
+
+    # -- queries (hot paths keep these tiny) ---------------------------
+    @property
+    def degraded(self) -> bool:
+        return bool(self.failed_ports or self.failed_routers)
+
+    def channel_alive(self, router: int, port: int) -> bool:
+        return (router, port) not in self.failed_ports
+
+    def router_alive(self, router: int) -> bool:
+        return router not in self.failed_routers
+
+    # -- hooks ---------------------------------------------------------
+    def on_cycle(self, network, now: int) -> None:
+        """Apply due fault events and heal expired transient outages."""
+        changed = False
+        while self._next_cycle is not None and self._next_cycle <= now:
+            event = self._events[self._next_event]
+            self._apply(event, network)
+            changed = True
+            self._next_event += 1
+            self._next_cycle = (
+                self._events[self._next_event].cycle
+                if self._next_event < len(self._events)
+                else None
+            )
+        while self._expiries and self._expiries[0][0] <= now:
+            _, router, port = self._expiries.pop(0)
+            self._unmask_channel(router, port)
+            self._sync_link_flags(network, router, port)
+            self.applied_events.append(
+                f"@{now}: channel ({router},p{port}) healed"
+            )
+            changed = True
+        if changed and self.routing is not None:
+            self.routing.on_topology_change()
+
+    def on_link_traverse(self, packet, router: int, port: int) -> None:
+        """Per-hop corruption draw (called for head flits only)."""
+        rng = self._corrupt_rng
+        if rng is None or packet.corrupted:
+            return
+        if rng.bernoulli(self.schedule.corrupt_rate):
+            packet.corrupted = True
+            self.corrupted_packets += 1
+
+    # -- internals -----------------------------------------------------
+    def _sync_link_flags(self, network, router: int, port: int) -> None:
+        """Mirror the channel mask onto the Link objects' ``failed`` flags
+        (both directions) for diagnostics and tests."""
+        if network is None:
+            return
+        links = getattr(network, "links", None)
+        if links is None:
+            return
+        link = links.get((router, port))
+        if link is not None:
+            link.failed = not self.channel_alive(router, port)
+        nbr = self.topo.neighbor(router, port)
+        if nbr is not None:
+            back = links.get((nbr, self._opposite_port(port)))
+            if back is not None:
+                back.failed = not self.channel_alive(nbr, self._opposite_port(port))
+
+    def _mask_channel(self, router: int, port: int) -> None:
+        nbr = self.topo.neighbor(router, port)
+        self.failed_ports.add((router, port))
+        if nbr is not None:
+            self.failed_ports.add((nbr, self._opposite_port(port)))
+
+    def _unmask_channel(self, router: int, port: int) -> None:
+        # Never heal a channel adjacent to a dead router or permanently dead.
+        nbr = self.topo.neighbor(router, port)
+        if router not in self.failed_routers and (router, port) not in self._permanent:
+            self.failed_ports.discard((router, port))
+        if nbr is not None:
+            back = (nbr, self._opposite_port(port))
+            if nbr not in self.failed_routers and back not in self._permanent:
+                self.failed_ports.discard(back)
+
+    def _apply(self, event: FaultEvent, network) -> None:
+        if event.kind == "router":
+            self.failed_routers.add(event.router)
+            if network is not None:
+                network.routers[event.router].failed = True
+            # All adjacent channels (both directions) become unusable.
+            for port in range(1, self.topo.radix):
+                nbr = self.topo.neighbor(event.router, port)
+                if nbr is None:
+                    continue
+                self.failed_ports.add((event.router, port))
+                self.failed_ports.add((nbr, self._opposite_port(port)))
+                self._permanent.add((event.router, port))
+                self._permanent.add((nbr, self._opposite_port(port)))
+                self._sync_link_flags(network, event.router, port)
+        elif event.kind == "link":
+            self._mask_channel(event.router, event.port)
+            self._permanent.add((event.router, event.port))
+            nbr = self.topo.neighbor(event.router, event.port)
+            if nbr is not None:
+                self._permanent.add((nbr, self._opposite_port(event.port)))
+            self._sync_link_flags(network, event.router, event.port)
+        elif event.kind == "transient":
+            self._mask_channel(event.router, event.port)
+            expiry = (event.cycle + event.duration, event.router, event.port)
+            self._expiries.append(expiry)
+            self._expiries.sort()
+            self._sync_link_flags(network, event.router, event.port)
+        else:  # pragma: no cover - schedule compiler emits known kinds
+            raise FaultError(f"unknown fault kind {event.kind!r}")
+        self.applied_events.append(event.describe())
+
+    def describe(self) -> Dict[str, object]:
+        return {
+            "schedule": self.schedule.describe(),
+            "applied": list(self.applied_events),
+            "failed_ports": sorted(self.failed_ports),
+            "failed_routers": sorted(self.failed_routers),
+            "corrupted_packets": self.corrupted_packets,
+        }

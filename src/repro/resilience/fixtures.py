@@ -1,0 +1,84 @@
+"""Seeded failure fixtures for watchdog and checkpoint testing.
+
+The watchdog's job is to *refute* a livelock: a simulation that keeps
+burning cycles while delivering nothing and retiring nothing.  Producing a
+genuine protocol livelock on demand is hard (the MSI protocol is verified
+deadlock-free); :class:`BlackholeNetwork` manufactures the observable
+symptom instead — it accepts every message and never delivers any, exactly
+what a network wedged by an unlucky fault pattern looks like from the
+system's side.  Cores issue their first misses, block in their MSHRs, and
+the run stops retiring: the watchdog must detect the frozen progress
+signature and raise :class:`~repro.errors.StallError` within its threshold.
+
+These fixtures are used by the test suite, the ``resilience selftest`` CLI,
+and the CI smoke job.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from ..core.config import TargetConfig
+from ..core.cosim import CoSimulator
+from ..core.interfaces import Delivery
+from ..fullsys.cmp import CmpSystem
+from ..fullsys.coherence import Message
+from ..workloads.apps import make_programs
+from .watchdog import Watchdog
+
+__all__ = ["BlackholeNetwork", "build_livelock_cosim"]
+
+
+class BlackholeNetwork:
+    """A detailed-model impostor that swallows every message forever."""
+
+    inline = False
+
+    def __init__(self) -> None:
+        self.cycle = 0
+        self.swallowed: List[Tuple[int, Message]] = []
+
+    @property
+    def in_flight(self) -> int:
+        return len(self.swallowed)
+
+    def send(self, msg: Message, now: int) -> None:
+        self.swallowed.append((now, msg))
+
+    def advance(self, to_cycle: int) -> None:
+        self.cycle = to_cycle
+
+    def pop_deliveries(self) -> List[Delivery]:
+        return []
+
+    def drain(self, max_cycles: int = 1_000_000) -> None:
+        """Nothing ever drains from a black hole; the fixture never gets
+        here (the watchdog fires first)."""
+
+    def describe(self) -> dict:
+        return {"network": "blackhole", "swallowed": len(self.swallowed)}
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"BlackholeNetwork(swallowed={len(self.swallowed)})"
+
+
+def build_livelock_cosim(
+    stall_quanta: int = 64, width: int = 2, height: int = 2
+) -> CoSimulator:
+    """A co-simulation guaranteed to livelock, watched by a `Watchdog`.
+
+    Running it must raise :class:`~repro.errors.StallError` within roughly
+    ``stall_quanta`` synchronization windows of the last real progress.
+    """
+    config = TargetConfig(width=width, height=height, app="fft", scale=0.05)
+    topo = config.make_topology()
+    programs = make_programs(
+        config.app, topo.num_nodes, seed=config.seed, scale=config.scale
+    )
+    system = CmpSystem(topo, config.cmp, programs)
+    return CoSimulator(
+        system,
+        BlackholeNetwork(),
+        quantum=config.quantum,
+        watchdog=Watchdog(stall_quanta),
+    )

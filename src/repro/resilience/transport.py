@@ -1,0 +1,202 @@
+"""End-to-end retransmission over a faulty detailed network.
+
+:class:`ResilientNetworkAdapter` extends the plain
+:class:`~repro.core.adapters.DetailedNetworkAdapter` with the recovery the
+fault model requires:
+
+* every network-bound message is tracked in a
+  :class:`~repro.core.bridge.ResilientBridge` until its delivery is
+  confirmed;
+* a corrupted packet (diverted by the network at its ejection port) triggers
+  a retransmission — a *new* packet carrying the same message — after a
+  bounded exponential backoff;
+* a simulated-cycle timeout backstops losses the drop queue cannot observe
+  (a packet wedged behind a failed channel never ejects at all);
+* duplicate deliveries (original and retransmission both arriving) are
+  suppressed by message id, so the protocol layer sees each message at most
+  once;
+* sends to a fail-stopped destination are refused at injection — traffic to
+  a dead router is undeliverable by definition, and refusing it keeps it
+  out of the network's buffers while the watchdog's diagnostics name it.
+
+All timing is in *simulated* cycles derived from the fault schedule's
+config, so runs remain bit-reproducible: the same seed produces the same
+faults, the same drops, the same retransmissions.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import List, Optional, Tuple
+
+from ..core.adapters import DetailedNetworkAdapter
+from ..core.bridge import OutstandingSend, ResilientBridge
+from ..core.interfaces import Delivery
+from ..errors import StallError
+from ..fullsys.coherence import Message
+from .faults import FaultState
+
+__all__ = ["ResilientNetworkAdapter"]
+
+
+class ResilientNetworkAdapter(DetailedNetworkAdapter):
+    """Quantum-coupled adapter with retransmission, dedupe, and refusal."""
+
+    def __init__(
+        self,
+        network,
+        faults: Optional[FaultState] = None,
+        bridge: Optional[ResilientBridge] = None,
+    ) -> None:
+        super().__init__(network, bridge or ResilientBridge())
+        self.faults = faults
+        cfg = faults.schedule.config if faults is not None else None
+        self.retry_timeout = cfg.retry_timeout if cfg else 4_000
+        self.retry_backoff = cfg.retry_backoff if cfg else 2.0
+        self.retry_max_delay = cfg.retry_max_delay if cfg else 64_000
+        self.max_retries = cfg.max_retries if cfg else 8
+        #: (due_cycle, seq, mid) min-heap of scheduled retransmissions
+        self._resend_heap: List[Tuple[int, int, int]] = []
+        self._resend_seq = 0
+
+    # ------------------------------------------------------------------
+    # NetworkModel surface
+    # ------------------------------------------------------------------
+    def send(self, msg: Message, now: int) -> None:
+        bridge: ResilientBridge = self.bridge
+        if self.faults is not None:
+            dst_router = self.network.topo.node_router(msg.dst)
+            if not self.faults.router_alive(dst_router):
+                bridge.refuse(msg)
+                return
+        bridge.register(msg, deadline=now + self.retry_timeout)
+        super().send(msg, now)
+
+    def advance(self, to_cycle: int) -> None:
+        net = self.network
+        while net.cycle < to_cycle:
+            self._flush_resends(net.cycle)
+            net.step()
+            self._absorb_drops()
+        self._scan_timeouts(net.cycle)
+
+    def pop_deliveries(self) -> List[Delivery]:
+        out: List[Delivery] = []
+        for packet in self.network.pop_delivered():
+            msg = self.bridge.to_message(packet)
+            if self.bridge.complete(msg) is None:
+                continue  # duplicate of an already-confirmed delivery
+            out.append((msg, packet.eject_cycle, packet.latency))
+        return out
+
+    @property
+    def in_flight(self) -> int:
+        """Messages sent but not yet confirmed delivered.
+
+        This intentionally counts *messages* (including refused/abandoned
+        ones), not packets: the co-simulator's wedge check and drain logic
+        care about outstanding protocol traffic, and an abandoned message
+        keeps the count non-zero so a stall is diagnosed by the watchdog
+        rather than misreported as \"no traffic in flight\".
+        """
+        return len(self.bridge.outstanding)
+
+    @property
+    def drain_guard_cycles(self) -> int:
+        """Worst-case cycles a drain may legitimately need.
+
+        The co-simulator's tail drain honours this: a message on its last
+        permitted attempt can sit out up to ``retry_max_delay`` of backoff
+        per remaining retry, so the default 10k-cycle guard would misreport
+        a recovering (not stalled) tail as a failure.
+        """
+        return (self.max_retries + 1) * self.retry_max_delay + self.retry_timeout
+
+    def drain(self, max_cycles: int = 1_000_000) -> None:
+        start = self.network.cycle
+        while self.in_flight > 0 or self.network.in_flight > 0:
+            if self.network.cycle - start > max_cycles:
+                from .watchdog import network_diagnostics
+
+                diag = network_diagnostics(self.network)
+                diag.transport = self.bridge.counters()
+                raise StallError(
+                    f"resilient network failed to drain within {max_cycles} "
+                    f"cycles ({self.in_flight} messages outstanding)\n"
+                    + diag.render(),
+                    diagnostics=diag,
+                )
+            self.advance(self.network.cycle + 1)
+
+    def describe(self) -> dict:
+        description = super().describe()
+        description["resilience"] = self.bridge.counters()
+        if self.faults is not None:
+            description["faults"] = self.faults.describe()
+        return description
+
+    def resilience_counters(self) -> dict:
+        """Counter snapshot for stall diagnostics and experiment reports."""
+        return self.bridge.counters()
+
+    # ------------------------------------------------------------------
+    # Retransmission machinery
+    # ------------------------------------------------------------------
+    def _backoff_window(self, attempts: int) -> int:
+        """Timeout window after ``attempts`` sends: bounded exponential."""
+        window = self.retry_timeout * (self.retry_backoff ** max(0, attempts - 1))
+        return min(self.retry_max_delay, max(1, int(window)))
+
+    def _schedule_resend(self, entry: OutstandingSend, when: int) -> None:
+        if entry.abandoned or entry.resend_at is not None:
+            return
+        if entry.attempts - 1 >= self.max_retries:
+            entry.abandoned = True
+            self.bridge.abandoned += 1
+            return
+        # Backoff between attempts, on top of the observation/timeout cycle.
+        due = when + self._backoff_window(entry.attempts)
+        entry.resend_at = due
+        heapq.heappush(self._resend_heap, (due, self._resend_seq, entry.msg.mid))
+        self._resend_seq += 1
+
+    def _flush_resends(self, now: int) -> None:
+        heap = self._resend_heap
+        while heap and heap[0][0] <= now:
+            _, _, mid = heapq.heappop(heap)
+            entry = self.bridge.outstanding.get(mid)
+            if entry is None or entry.abandoned or entry.resend_at is None:
+                continue  # delivered (or abandoned) while queued
+            entry.resend_at = None
+            entry.attempts += 1
+            entry.deadline = now + self._backoff_window(entry.attempts)
+            self.bridge.retransmits += 1
+            self.network.inject(self.bridge.to_packet(entry.msg, now), cycle=now)
+
+    def _absorb_drops(self) -> None:
+        """React to packets the network diverted at ejection (corruption)."""
+        pop_dropped = getattr(self.network, "pop_dropped", None)
+        if pop_dropped is None:
+            return
+        now = self.network.cycle
+        for packet in pop_dropped():
+            self.bridge.corrupt_drops += 1
+            msg = self.bridge.to_message(packet)
+            entry = self.bridge.outstanding.get(msg.mid)
+            if entry is not None:
+                self._schedule_resend(entry, now)
+
+    def _scan_timeouts(self, now: int) -> None:
+        """Backstop: retransmit messages whose attempt is presumed lost."""
+        for mid in sorted(self.bridge.outstanding):
+            entry = self.bridge.outstanding[mid]
+            if entry.abandoned or entry.resend_at is not None:
+                continue
+            if entry.deadline <= now:
+                self._schedule_resend(entry, now)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"ResilientNetworkAdapter({self.network!r}, "
+            f"outstanding={len(self.bridge.outstanding)})"
+        )

@@ -1,0 +1,231 @@
+"""Quantum-boundary progress monitoring for the co-simulator.
+
+The cycle network's own watchdog (``NocConfig.watchdog_cycles``) catches a
+*frozen* network — no flit moved for a long stretch.  It cannot see a
+*livelock*: flits circulating (or timers firing) forever while no message is
+ever delivered and no core retires an instruction.  :class:`Watchdog` closes
+that gap at the co-simulation layer: it snapshots a progress signature —
+``(deliveries, instructions retired)`` — after every synchronization quantum
+and raises a structured :class:`~repro.errors.StallError` once the signature
+has been frozen for ``stall_quanta`` consecutive windows while work remains
+outstanding.
+
+The error carries a :class:`StallDiagnostics` dump (per-router VC occupancy,
+the oldest in-flight packet's age and route so far, outstanding
+retransmissions, and the runtime invariant checker's summary when one is
+installed) so a stalled campaign job fails *fast* and *explains itself*
+instead of burning its wall-clock timeout budget and leaving a bare
+``Killed`` in the log.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from ..errors import StallError
+
+__all__ = [
+    "Watchdog",
+    "StallDiagnostics",
+    "network_diagnostics",
+    "stall_diagnostics",
+]
+
+
+@dataclass
+class StallDiagnostics:
+    """Everything :class:`Watchdog` could learn about a stalled simulation."""
+
+    cycle: int
+    windows_frozen: int
+    deliveries: int
+    instructions: int
+    messages_sent: int
+    pending_events: int
+    network_in_flight: int
+    #: router -> occupied-VC summaries like ``"p1v0: 3 flits (active)"``
+    vc_occupancy: Dict[int, List[str]] = field(default_factory=dict)
+    #: (pid, age_cycles, "src->dst", hops) of the oldest in-flight packets
+    oldest_packets: List[Tuple[int, int, str, int]] = field(default_factory=list)
+    #: transport-layer counters (retransmits, duplicates, ...) if resilient
+    transport: Dict[str, int] = field(default_factory=dict)
+    #: runtime invariant-checker summary, when one is installed
+    invariants: Optional[str] = None
+    #: active fault-schedule summary, when one is attached
+    faults: Optional[str] = None
+
+    def render(self) -> str:
+        lines = [
+            f"stall at cycle {self.cycle}: no deliveries and no retirement "
+            f"for {self.windows_frozen} quanta",
+            f"  progress: {self.deliveries} deliveries, "
+            f"{self.instructions} instructions, "
+            f"{self.messages_sent} messages sent",
+            f"  outstanding: {self.pending_events} pending events, "
+            f"{self.network_in_flight} packets in the network",
+        ]
+        if self.oldest_packets:
+            lines.append("  oldest in-flight packets (pid, age, route, hops):")
+            for pid, age, route, hops in self.oldest_packets:
+                lines.append(f"    p{pid}: {age} cycles old, {route}, {hops} hops")
+        if self.vc_occupancy:
+            lines.append("  occupied VCs by router:")
+            for rid in sorted(self.vc_occupancy):
+                lines.append(f"    r{rid}: " + "; ".join(self.vc_occupancy[rid]))
+        if self.transport:
+            counters = ", ".join(
+                f"{k}={v}" for k, v in sorted(self.transport.items())
+            )
+            lines.append(f"  transport: {counters}")
+        if self.faults:
+            lines.append(f"  faults: {self.faults}")
+        if self.invariants:
+            lines.append(f"  invariants: {self.invariants}")
+        return "\n".join(lines)
+
+
+def network_diagnostics(
+    network, diag: Optional[StallDiagnostics] = None, top_packets: int = 5
+) -> StallDiagnostics:
+    """Scan a flit-level network for occupancy and the oldest packets.
+
+    Works on any network exposing the :class:`~repro.noc.network.CycleNetwork`
+    surface; attributes are probed with ``getattr`` so partial lookalikes
+    (e.g. the SIMD network) degrade to whatever they expose rather than
+    raising inside error handling.
+    """
+    if diag is None:
+        diag = StallDiagnostics(
+            cycle=getattr(network, "cycle", 0),
+            windows_frozen=0,
+            deliveries=0,
+            instructions=0,
+            messages_sent=0,
+            pending_events=0,
+            network_in_flight=getattr(network, "in_flight", 0),
+        )
+    now = getattr(network, "cycle", 0)
+    seen: Dict[int, object] = {}  # pid -> packet, oldest occurrence wins
+
+    def note(packet) -> None:
+        if packet is not None and packet.pid not in seen:
+            seen[packet.pid] = packet
+
+    for router in getattr(network, "routers", []):
+        entries: List[str] = []
+        for port, vcs in enumerate(getattr(router, "inputs", [])):
+            for vc, ivc in enumerate(vcs):
+                if not ivc.buffer and ivc.state == 0:
+                    continue
+                state = {0: "idle", 1: "routed", 2: "active"}.get(
+                    ivc.state, str(ivc.state)
+                )
+                entries.append(f"p{port}v{vc}: {len(ivc.buffer)} flits ({state})")
+                note(ivc.packet)
+                for flit in ivc.buffer:
+                    note(flit.packet)
+        if entries:
+            diag.vc_occupancy[router.rid] = entries
+    for link in getattr(network, "links", {}).values():
+        for _, flit, _ in getattr(link, "_flits", ()):
+            note(flit.packet)
+    for source in getattr(network, "_sources", []):
+        for packet in source.pending:
+            note(packet)
+        for flit in source.current_flits:
+            note(flit.packet)
+    for _, _, packet in getattr(network, "_future", []):
+        note(packet)
+
+    ranked = sorted(
+        seen.values(), key=lambda p: (p.inject_cycle, p.pid)
+    )[:top_packets]
+    diag.oldest_packets = [
+        (p.pid, now - p.inject_cycle, f"{p.src}->{p.dst}", p.hops) for p in ranked
+    ]
+    faults = getattr(network, "faults", None)
+    if faults is not None:
+        diag.faults = faults.describe()
+    return diag
+
+
+def stall_diagnostics(cosim, windows_frozen: int = 0) -> StallDiagnostics:
+    """Full diagnostic dump for a (possibly stalled) co-simulation."""
+    network = cosim.network
+    diag = StallDiagnostics(
+        cycle=cosim.system.now,
+        windows_frozen=windows_frozen,
+        deliveries=cosim.deliveries,
+        instructions=cosim.system.total_instructions(),
+        messages_sent=cosim.messages_sent,
+        pending_events=cosim.system.events.pending,
+        network_in_flight=getattr(network, "in_flight", 0),
+    )
+    inner = getattr(network, "network", None)
+    if inner is not None:  # a DetailedNetworkAdapter wrapping a flit simulator
+        network_diagnostics(inner, diag)
+    counters = getattr(network, "resilience_counters", None)
+    if counters is not None:
+        diag.transport = dict(counters())
+    if cosim.invariants is not None:
+        try:
+            diag.invariants = cosim.invariants.describe()
+        except Exception as exc:  # diagnostics must never mask the stall
+            diag.invariants = f"<invariant summary failed: {exc!r}>"
+    return diag
+
+
+class Watchdog:
+    """Raise :class:`~repro.errors.StallError` when progress freezes.
+
+    Args:
+        stall_quanta: consecutive synchronization windows without a single
+            delivery or retired instruction (while work remains outstanding)
+            before the run is declared stalled.  The default is generous:
+            a healthy run at quantum 4 sees progress every few windows, so
+            2048 frozen windows (~8k cycles) is unambiguous livelock, while
+            still triggering orders of magnitude before a campaign job's
+            wall-clock timeout would.
+    """
+
+    def __init__(self, stall_quanta: int = 2048) -> None:
+        if stall_quanta < 1:
+            raise ValueError(f"stall_quanta must be >= 1, got {stall_quanta}")
+        self.stall_quanta = stall_quanta
+        self._signature: Optional[Tuple[int, int]] = None
+        self._frozen = 0
+        self.trips = 0
+
+    def after_window(self, cosim, target: int) -> None:
+        """Called by the co-simulator after every synchronization window."""
+        signature = (cosim.deliveries, cosim.system.total_instructions())
+        if signature != self._signature:
+            self._signature = signature
+            self._frozen = 0
+            return
+        # Frozen signature with nothing outstanding is just the tail of a
+        # finished run, not a stall.
+        outstanding = (
+            cosim.system.events.pending
+            or getattr(cosim.network, "in_flight", 0)
+            or cosim._outbox
+        )
+        if not outstanding or cosim.system.all_finished:
+            return
+        self._frozen += 1
+        if self._frozen < self.stall_quanta:
+            return
+        self.trips += 1
+        diag = stall_diagnostics(cosim, windows_frozen=self._frozen)
+        raise StallError(
+            f"watchdog: no progress for {self._frozen} quanta "
+            f"(cycle {cosim.system.now})\n" + diag.render(),
+            diagnostics=diag,
+        )
+
+    def describe(self) -> Dict[str, int]:
+        return {"stall_quanta": self.stall_quanta, "frozen_windows": self._frozen}
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Watchdog(stall_quanta={self.stall_quanta}, frozen={self._frozen})"

@@ -12,6 +12,7 @@ from .errors import ConfigError
 
 __all__ = [
     "Rng",
+    "SerialCounter",
     "derive_seed",
     "check_positive",
     "check_non_negative",
@@ -82,6 +83,36 @@ class Rng:
         cdf = np.cumsum(weights)
         cdf /= cdf[-1]
         return int(np.searchsorted(cdf, self._gen.random()))
+
+
+class SerialCounter:
+    """A restorable serial-number source.
+
+    Replaces module-level ``itertools.count()`` id generators wherever ids
+    must survive checkpoint/restore: an ``itertools.count`` cannot report its
+    position, so a restored process would re-issue ids already present in
+    the snapshot.  ``state()``/``restore()`` let a checkpoint capture and
+    reinstate the exact position.
+    """
+
+    __slots__ = ("_next",)
+
+    def __init__(self, start: int = 0) -> None:
+        self._next = int(start)
+
+    def next(self) -> int:
+        value = self._next
+        self._next = value + 1
+        return value
+
+    __call__ = next
+
+    def state(self) -> int:
+        """The id the next call will return (snapshot this)."""
+        return self._next
+
+    def restore(self, state: int) -> None:
+        self._next = int(state)
 
 
 def derive_seed(root_seed: int, *parts) -> int:

@@ -1,0 +1,6 @@
+"""SIM107 fixture: an unbounded spin with no progress guard."""
+
+
+def spin(network):
+    while True:
+        network.step()

@@ -1,0 +1,36 @@
+"""SIM107 negative control: every loop shape the rule must stay quiet on."""
+
+from repro.errors import StallError
+
+
+def bounded_by_comparison(network, target):
+    while network.cycle < target:
+        network.step()
+
+
+def guarded_by_raise(network, budget):
+    spent = 0
+    while True:
+        if spent > budget:
+            raise StallError("network failed to drain")
+        network.step()
+        spent += 1
+
+
+def exits_with_break(queue):
+    while True:
+        if not queue:
+            break
+        queue.pop()
+
+
+def returns_from_loop(queue):
+    while True:
+        if not queue:
+            return None
+        queue.pop()
+
+
+def drains_a_collection(frontier):
+    while frontier:  # simlint: allow[unbounded-loop]
+        frontier.pop()

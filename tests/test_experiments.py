@@ -25,7 +25,7 @@ def _shared_cache():
 
 class TestExperimentSurface:
     def test_registry_complete(self):
-        assert set(ALL_EXPERIMENTS) == {f"E{i}" for i in range(1, 11)}
+        assert set(ALL_EXPERIMENTS) == {f"E{i}" for i in range(1, 12)}
 
     def test_table1_renders(self):
         text = run_table1()

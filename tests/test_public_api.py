@@ -50,7 +50,7 @@ class TestExports:
     def test_experiment_registry_exposed(self):
         from repro.harness import ALL_EXPERIMENTS
 
-        assert len(ALL_EXPERIMENTS) == 10
+        assert len(ALL_EXPERIMENTS) == 11
         for runner in ALL_EXPERIMENTS.values():
             assert callable(runner)
 

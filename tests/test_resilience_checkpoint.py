@@ -1,0 +1,160 @@
+"""Checkpoint/restore: bit-identical resume, corruption detection, SIGKILL.
+
+The subprocess test is the package's acceptance scenario (the analogue of
+``test_campaign_equivalence.py`` for resilience): a faulty co-simulation is
+SIGKILLed mid-flight, restored from its last quantum-boundary snapshot in a
+fresh process, and must produce the *byte-identical* JSON metric dump an
+uninterrupted run produces.
+"""
+
+import json
+import os
+import signal
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+import pytest
+
+import repro
+from repro.core.config import TargetConfig, build_cosim
+from repro.errors import CheckpointError
+from repro.resilience import (
+    FaultConfig,
+    load_checkpoint,
+    save_checkpoint,
+)
+from repro.resilience.checkpoint import Checkpointer
+
+SRC = str(Path(repro.__file__).resolve().parent.parent)
+
+SMALL = dict(width=2, height=2, app="water", seed=3, scale=0.2,
+             network_model="cycle")
+
+
+class TestRoundTrip:
+    def test_restore_is_bit_identical(self, tmp_path):
+        reference = build_cosim(TargetConfig(**SMALL)).run()
+        partial = build_cosim(TargetConfig(**SMALL))
+        partial.run(max_cycles=800)
+        path = str(tmp_path / "run.ckpt")
+        save_checkpoint(partial, path, config_token="t")
+        restored = load_checkpoint(path, expect_config="t")
+        result = restored.run()
+        assert result.finish_cycle == reference.finish_cycle
+        assert result.deliveries == reference.deliveries
+        assert result.applied_latencies == reference.applied_latencies
+        assert result.system_summary == reference.system_summary
+
+    def test_restore_under_faults_is_bit_identical(self, tmp_path):
+        config = TargetConfig(
+            width=4, height=4, app="fft", seed=3, scale=0.05,
+            network_model="cycle", quantum=4,
+            faults=FaultConfig(seed=9, link_failures=1, corrupt_rate=0.01,
+                               window=1_000),
+        )
+        reference = build_cosim(config).run()
+        partial = build_cosim(config)
+        partial.run(max_cycles=2_000)  # past the fault window: degraded state
+        path = str(tmp_path / "faulty.ckpt")
+        save_checkpoint(partial, path)
+        result = load_checkpoint(path).run()
+        assert result.finish_cycle == reference.finish_cycle
+        assert result.applied_latencies == reference.applied_latencies
+        assert (
+            result.network_description["resilience"]
+            == reference.network_description["resilience"]
+        )
+
+    def test_checkpointer_saves_periodically(self, tmp_path):
+        path = str(tmp_path / "auto.ckpt")
+        cosim = build_cosim(TargetConfig(**SMALL))
+        cosim.checkpointer = Checkpointer(path, every=16)
+        cosim.run(max_cycles=600)
+        assert cosim.checkpointer.saves >= 1
+        assert os.path.exists(path)
+        restored = load_checkpoint(path)
+        assert restored.system.now == cosim.checkpointer.last_cycle
+
+
+class TestValidation:
+    def _snapshot(self, tmp_path, token=""):
+        cosim = build_cosim(TargetConfig(**SMALL))
+        cosim.run(max_cycles=200)
+        path = str(tmp_path / "snap.ckpt")
+        save_checkpoint(cosim, path, config_token=token)
+        return path
+
+    def test_corrupt_body_detected_by_hash(self, tmp_path):
+        path = self._snapshot(tmp_path)
+        blob = bytearray(Path(path).read_bytes())
+        blob[-20] ^= 0xFF  # flip one byte deep in the pickled body
+        Path(path).write_bytes(bytes(blob))
+        with pytest.raises(CheckpointError, match="hash"):
+            load_checkpoint(path)
+
+    def test_config_mismatch_refused(self, tmp_path):
+        path = self._snapshot(tmp_path, token="config-a")
+        with pytest.raises(CheckpointError, match="config"):
+            load_checkpoint(path, expect_config="config-b")
+
+    def test_truncated_file_refused(self, tmp_path):
+        path = self._snapshot(tmp_path)
+        Path(path).write_bytes(Path(path).read_bytes()[:40])
+        with pytest.raises(CheckpointError):
+            load_checkpoint(path)
+
+    def test_not_a_checkpoint_refused(self, tmp_path):
+        path = tmp_path / "noise.ckpt"
+        path.write_bytes(b"not a checkpoint at all")
+        with pytest.raises(CheckpointError):
+            load_checkpoint(str(path))
+
+
+class TestSigkillRestore:
+    """Kill a faulty run mid-flight; the restored run must match byte-for-byte."""
+
+    ARGS = [
+        "--width", "4", "--height", "4", "--app", "fft", "--seed", "3",
+        "--scale", "0.05", "--link-failures", "1", "--corrupt-rate", "0.01",
+        "--fault-window", "1000",
+    ]
+
+    def _cli(self, *args):
+        env = dict(os.environ, PYTHONPATH=SRC)
+        return subprocess.run(
+            [sys.executable, "-m", "repro", "resilience", "run", *args],
+            capture_output=True, text=True, env=env, timeout=300,
+        )
+
+    def test_sigkill_then_restore_matches_uninterrupted(self, tmp_path):
+        reference_json = tmp_path / "reference.json"
+        proc = self._cli(*self.ARGS, "--json-out", str(reference_json))
+        assert proc.returncode == 0, proc.stderr
+
+        ckpt = tmp_path / "victim.ckpt"
+        victim_json = tmp_path / "victim.json"
+        env = dict(os.environ, PYTHONPATH=SRC)
+        victim = subprocess.Popen(
+            [sys.executable, "-m", "repro", "resilience", "run",
+             *self.ARGS, "--checkpoint", str(ckpt), "--checkpoint-every", "32"],
+            stdout=subprocess.DEVNULL, stderr=subprocess.DEVNULL, env=env,
+        )
+        # Wait for at least one snapshot to land, then kill without warning.
+        deadline = time.monotonic() + 120
+        while not ckpt.exists() and time.monotonic() < deadline:
+            time.sleep(0.05)
+        assert ckpt.exists(), "victim produced no checkpoint before deadline"
+        victim.send_signal(signal.SIGKILL)
+        victim.wait(timeout=30)
+        assert victim.returncode != 0
+
+        proc = self._cli("--restore-from", str(ckpt),
+                         "--json-out", str(victim_json))
+        assert proc.returncode == 0, proc.stderr
+        assert "restored snapshot" in proc.stdout
+        assert victim_json.read_bytes() == reference_json.read_bytes()
+        restored = json.loads(victim_json.read_text())
+        assert restored["finish_cycle"] is not None
+        assert restored["network_description"]["resilience"]["outstanding"] == 0

@@ -1,0 +1,104 @@
+"""Watchdog stall detection, diagnostics, and the drain StallError contract."""
+
+import pytest
+
+from repro.core.adapters import DetailedNetworkAdapter
+from repro.core.config import TargetConfig, build_cosim
+from repro.errors import StallError
+from repro.noc.config import NocConfig
+from repro.noc.network import CycleNetwork
+from repro.resilience import Watchdog, network_diagnostics
+from repro.resilience.fixtures import BlackholeNetwork, build_livelock_cosim
+
+
+class TestLivelockDetection:
+    def test_watchdog_raises_stall_error_with_diagnostics(self):
+        cosim = build_livelock_cosim(stall_quanta=32)
+        with pytest.raises(StallError) as excinfo:
+            cosim.run(max_cycles=100_000)
+        err = excinfo.value
+        assert "no progress" in str(err)
+        diag = err.diagnostics
+        assert diag is not None
+        assert diag.windows_frozen >= 32
+        assert diag.network_in_flight > 0  # the blackhole's swallowed traffic
+        rendered = diag.render()
+        assert "stall at cycle" in rendered
+        assert "outstanding" in rendered
+
+    def test_detection_latency_tracks_threshold(self):
+        # Trips shortly after stall_quanta frozen windows (quantum 4), not
+        # after some unrelated number of cycles.
+        cosim = build_livelock_cosim(stall_quanta=16)
+        with pytest.raises(StallError) as excinfo:
+            cosim.run(max_cycles=100_000)
+        assert excinfo.value.diagnostics.cycle <= 16 * 4 * 4
+
+    def test_healthy_run_never_trips(self):
+        config = TargetConfig(width=2, height=2, app="water", scale=0.2,
+                              network_model="cycle", stall_quanta=64)
+        cosim = build_cosim(config)
+        assert cosim.watchdog is not None
+        result = cosim.run()
+        assert result.finish_cycle is not None
+        assert cosim.watchdog.trips == 0
+
+    def test_no_watchdog_by_default_without_faults(self):
+        cosim = build_cosim(
+            TargetConfig(width=2, height=2, app="water", scale=0.2)
+        )
+        assert cosim.watchdog is None
+
+    def test_stall_quanta_validation(self):
+        with pytest.raises(ValueError):
+            Watchdog(stall_quanta=0)
+
+
+class TestNetworkDiagnostics:
+    def test_diagnostics_scan_a_real_network(self):
+        config = TargetConfig(width=2, height=2, app="water", scale=0.2,
+                              network_model="cycle")
+        cosim = build_cosim(config)
+        cosim.run(max_cycles=400)
+        diag = network_diagnostics(cosim.network.network)
+        assert isinstance(diag.vc_occupancy, dict)
+        assert diag.render()
+
+    def test_blackhole_duck_types(self):
+        diag = network_diagnostics(BlackholeNetwork())
+        assert diag.vc_occupancy == {}
+        assert diag.oldest_packets == []
+
+
+class TestDrainStallError:
+    def test_wedged_drain_raises_stall_error_with_dump(self):
+        topo = TargetConfig(width=2, height=2, app="fft").make_topology()
+        network = CycleNetwork(topo, NocConfig())
+        adapter = DetailedNetworkAdapter(network)
+        from repro.fullsys.coherence import Message
+
+        msg = Message(kind="GetS", src=0, dst=topo.num_nodes - 1, line=0,
+                      requester=0, size_flits=2, msg_class=0, created_cycle=0)
+        adapter.send(msg, 0)
+        # Fail-stop the destination router directly: its input buffers
+        # accept the flits but never arbitrate, so the packet wedges and
+        # the network's own progress guard fires inside drain.
+        network.routers[topo.node_router(msg.dst)].failed = True
+        network.attach_faults(_StaticFaults())
+        with pytest.raises(StallError) as excinfo:
+            adapter.drain(max_cycles=500_000)
+        assert excinfo.value.diagnostics is not None
+        assert "drain" in str(excinfo.value) or "stall" in str(excinfo.value)
+
+
+class _StaticFaults:
+    """Minimal FaultState stand-in: no schedule, no corruption, no healing."""
+
+    def on_cycle(self, network, now):
+        return None
+
+    def on_link_traverse(self, packet, router, port):
+        return None
+
+    def describe(self):
+        return {"static": True}

@@ -21,8 +21,10 @@ from repro.harness.cli import main
 FIXTURES = Path(__file__).parent / "fixtures" / "simlint"
 PACKAGE = Path(repro.__file__).resolve().parent
 
-#: config whose event-ordering patterns cover the flat fixture dir
-FIXTURE_CONFIG = LintConfig(event_ordering_paths=("*",))
+#: config whose path-scoped rules cover the flat fixture dir
+FIXTURE_CONFIG = LintConfig(
+    event_ordering_paths=("*",), unbounded_loop_paths=("*",)
+)
 
 
 class TestRulesFireExactlyOnce:
@@ -35,6 +37,7 @@ class TestRulesFireExactlyOnce:
             ("unordered_iter.py", "unordered-iteration"),
             ("bare_assert.py", "bare-assert"),
             ("swallowed_exception.py", "swallowed-exception"),
+            ("unbounded_loop.py", "unbounded-loop"),
         ],
     )
     def test_one_violation_per_fixture(self, fixture, rule):
@@ -70,7 +73,7 @@ class TestTree:
     def test_fixture_tree_reports_all_violations(self):
         violations = lint_paths([FIXTURES], config=FIXTURE_CONFIG)
         assert {v.rule for v in violations} == set(RULES) - {"parse-error"}
-        assert len(violations) == 6
+        assert len(violations) == 7
 
     def test_unparseable_file_reported_not_crashed(self, tmp_path):
         bad = tmp_path / "bad.py"
@@ -82,7 +85,7 @@ class TestTree:
     def test_report_renders_tally(self):
         violations = lint_paths([FIXTURES], config=FIXTURE_CONFIG)
         report = render_report(violations)
-        assert "6 finding(s)" in report
+        assert "7 finding(s)" in report
         assert render_report([]) == "simlint: clean"
 
 
@@ -124,6 +127,99 @@ class TestSwallowedException:
             allow_paths={"swallowed-exception": ("swallowed_*.py",)}
         )
         assert lint_file(FIXTURES / "swallowed_exception.py", config=config) == []
+
+
+class TestUnboundedLoop:
+    """SIM107: while loops in kernel code must provably exit or fail loudly."""
+
+    KERNEL = LintConfig(unbounded_loop_paths=("*",))
+
+    def _lint(self, tmp_path, source):
+        src = tmp_path / "loop.py"
+        src.write_text(source)
+        return lint_file(src, config=self.KERNEL)
+
+    def test_while_true_without_guard_flagged(self, tmp_path):
+        (violation,) = self._lint(tmp_path, "while True:\n    step()\n")
+        assert violation.rule == "unbounded-loop"
+        assert violation.code == "SIM107"
+
+    def test_comparison_free_test_flagged(self, tmp_path):
+        (violation,) = self._lint(
+            tmp_path, "while pending:\n    step()\n"
+        )
+        assert violation.rule == "unbounded-loop"
+
+    def test_negative_control_fixture_is_clean(self):
+        assert lint_file(
+            FIXTURES / "unbounded_loop_guarded.py", config=FIXTURE_CONFIG
+        ) == []
+
+    def test_raise_in_body_is_a_guard(self, tmp_path):
+        assert self._lint(
+            tmp_path,
+            "while True:\n"
+            "    if stuck():\n"
+            "        raise RuntimeError('stall')\n"
+            "    step()\n",
+        ) == []
+
+    def test_comparison_bound_is_clean(self, tmp_path):
+        assert self._lint(
+            tmp_path, "while cycle < target:\n    cycle += 1\n"
+        ) == []
+
+    def test_break_in_nested_loop_is_not_a_guard(self, tmp_path):
+        # The inner break exits the inner loop only; the outer spin remains.
+        (violation,) = self._lint(
+            tmp_path,
+            "while True:\n"
+            "    for item in items:\n"
+            "        if item:\n"
+            "            break\n",
+        )
+        assert violation.rule == "unbounded-loop"
+
+    def test_return_in_nested_def_is_not_a_guard(self, tmp_path):
+        (violation,) = self._lint(
+            tmp_path,
+            "while True:\n"
+            "    def helper():\n"
+            "        return 1\n"
+            "    helper()\n",
+        )
+        assert violation.rule == "unbounded-loop"
+
+    def test_scoped_to_kernel_paths_by_default(self, tmp_path):
+        src = tmp_path / "loop.py"
+        src.write_text("while True:\n    step()\n")
+        # Default config scopes SIM107 to core/* and noc/*; a flat path
+        # is outside the kernel and stays unflagged.
+        assert lint_file(src) == []
+
+    def test_pragma_excuses_the_loop(self, tmp_path):
+        assert self._lint(
+            tmp_path,
+            "while frontier:  # simlint: allow[unbounded-loop]\n"
+            "    frontier.pop()\n",
+        ) == []
+
+    def test_path_allowlist_suppresses_rule(self, tmp_path):
+        src = tmp_path / "loop.py"
+        src.write_text("while True:\n    step()\n")
+        config = LintConfig(
+            unbounded_loop_paths=("*",),
+            allow_paths={"unbounded-loop": ("loop.py",)},
+        )
+        assert lint_file(src, config=config) == []
+
+    def test_kernel_tree_has_no_unbounded_loops(self):
+        violations = [
+            v
+            for v in lint_paths([PACKAGE])
+            if v.rule == "unbounded-loop"
+        ]
+        assert violations == []
 
 
 class TestJsonFormat:
