@@ -1,0 +1,263 @@
+#!/usr/bin/env python3
+"""End-to-end smoke test for the serve daemon (CI gate).
+
+Drives a real ``python -m repro serve start`` subprocess through the
+full service contract:
+
+1. **Concurrency + caching** — N concurrent clients submit a mix of
+   duplicate and distinct jobs; every duplicate must resolve to one
+   computation (asserted via the ``jobs_dispatched_total`` counter and
+   the cache hit ratio scraped from ``/metrics``).
+2. **Equivalence** — E3 and E5 results fetched through the service must
+   be identical to direct in-process runs, excluding only each
+   experiment's declared ``host_time_columns``.
+3. **SIGTERM drain + restart** — the daemon is SIGTERMed with jobs
+   still queued; a restart on the same ``--db`` must complete every
+   accepted job exactly once, and previously cached payloads must come
+   back byte-identical.
+
+Run from the repository root: ``python scripts/serve_smoke.py``.
+Exits non-zero (with a diagnostic) on any violation.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import re
+import signal
+import subprocess
+import sys
+import tempfile
+import threading
+import time
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO / "src"))
+
+from repro.campaign.spec import get_experiment  # noqa: E402
+from repro.harness.experiments import run_e3, run_e5  # noqa: E402
+from repro.harness.persist import result_from_dict  # noqa: E402
+from repro.serve import ServeClient  # noqa: E402
+
+LISTEN_RE = re.compile(r"listening on ([\d.]+):(\d+)")
+START_BUDGET_S = 60.0
+N_CLIENTS = 4
+
+
+def fail(message: str) -> None:
+    print(f"serve_smoke: FAIL: {message}", file=sys.stderr)
+    raise SystemExit(1)
+
+
+def step(message: str) -> None:
+    print(f"serve_smoke: {message}", flush=True)
+
+
+class Daemon:
+    """One serve daemon subprocess on an ephemeral port."""
+
+    def __init__(self, db: str, workers: int = 2) -> None:
+        env = dict(os.environ)
+        env["PYTHONPATH"] = str(REPO / "src") + os.pathsep + env.get(
+            "PYTHONPATH", ""
+        )
+        self.proc = subprocess.Popen(
+            [
+                sys.executable, "-m", "repro", "serve", "start",
+                "--db", db, "--workers", str(workers), "--port", "0",
+            ],
+            cwd=str(REPO),
+            env=env,
+            stderr=subprocess.PIPE,
+            text=True,
+        )
+        self.port = self._await_port()
+        # keep draining stderr so the pipe never fills and blocks the daemon
+        threading.Thread(target=self._drain, daemon=True).start()
+
+    def _await_port(self) -> int:
+        deadline = time.monotonic() + START_BUDGET_S
+        assert self.proc.stderr is not None
+        while time.monotonic() < deadline:
+            line = self.proc.stderr.readline()
+            if not line:
+                break
+            match = LISTEN_RE.search(line)
+            if match:
+                return int(match.group(2))
+        fail("daemon never announced its listen port")
+        raise AssertionError  # unreachable
+
+    def _drain(self) -> None:
+        assert self.proc.stderr is not None
+        for _ in self.proc.stderr:
+            pass
+
+    def sigterm_and_wait(self, timeout_s: float = 180.0) -> int:
+        self.proc.send_signal(signal.SIGTERM)
+        try:
+            return self.proc.wait(timeout=timeout_s)
+        except subprocess.TimeoutExpired:
+            self.proc.kill()
+            fail("daemon did not drain within the SIGTERM budget")
+            raise AssertionError  # unreachable
+
+
+def masked_rows(result, eid):
+    """Rows with the experiment's host wall-clock columns blanked out."""
+    host = set(get_experiment(eid).host_time_columns)
+    keep = [i for i, h in enumerate(result.headers) if h not in host]
+    return [tuple(row[i] for i in keep) for row in result.rows]
+
+
+def scrape(metrics_text: str, name: str) -> float:
+    for line in metrics_text.splitlines():
+        if line.startswith(f"{name} ") or line.startswith(f"{name}{{"):
+            return float(line.rsplit(" ", 1)[1])
+    fail(f"metric {name} missing from /metrics")
+    raise AssertionError  # unreachable
+
+
+def phase_concurrency(port: int) -> str:
+    """N clients, duplicate + distinct demo jobs; returns a cached text."""
+    step(f"phase 1: {N_CLIENTS} concurrent clients, duplicate+distinct jobs")
+    errors = []
+
+    def one_client(idx: int) -> None:
+        try:
+            client = ServeClient(port=port, client_id=f"smoke{idx}")
+            # everyone submits the same duplicate job ...
+            client.submit_and_wait("demo", point_index=0, quick=True,
+                                   timeout_s=300)
+            # ... and one distinct job of their own (seed = identity)
+            client.submit_and_wait("demo", point_index=1, quick=True,
+                                   seed=100 + idx, timeout_s=300)
+            # ... then resubmits the shared job, which must now be a hit
+            ack = client.submit("demo", point_index=0, quick=True)
+            if not ack["cached"]:
+                errors.append((idx, "repeat submission missed the cache"))
+        except Exception as exc:  # noqa: BLE001 - smoke harness boundary
+            errors.append((idx, exc))
+
+    threads = [
+        threading.Thread(target=one_client, args=(i,)) for i in range(N_CLIENTS)
+    ]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join(timeout=600)
+    if errors:
+        fail(f"client errors: {errors[:3]}")
+
+    client = ServeClient(port=port, client_id="probe")
+    metrics = client.metrics_text()
+    # the contract: queue depth, in-flight, hit ratio, p50/p99 all exposed
+    scrape(metrics, "repro_serve_queue_depth")
+    scrape(metrics, "repro_serve_jobs_in_flight")
+    for quantile in ("0.5", "0.99"):
+        if f'repro_serve_service_time_seconds{{quantile="{quantile}"}}' not in metrics:
+            fail(f"p{quantile} service time missing from /metrics")
+    dispatched = scrape(metrics, "repro_serve_jobs_dispatched_total")
+    ratio = scrape(metrics, "repro_serve_cache_hit_ratio")
+    # N_CLIENTS+1 distinct jobs exist; 2*N_CLIENTS submissions were made.
+    if dispatched > N_CLIENTS + 1:
+        fail(f"{dispatched:.0f} workers spawned for {N_CLIENTS + 1} distinct jobs")
+    if ratio <= 0.0:
+        fail(f"cache hit ratio {ratio} after duplicate submissions")
+    step(f"  ok: dispatched={dispatched:.0f}, hit_ratio={ratio:.2f}")
+    ack = client.submit("demo", point_index=0, quick=True)
+    if not ack["cached"]:
+        fail("repeat submission missed the cache")
+    return client.result_text(ack["job_id"])
+
+
+def phase_equivalence(port: int) -> None:
+    """Served E3/E5 results == direct runs, modulo host_time_columns."""
+    step("phase 2: served E3/E5 vs direct sequential runs")
+    client = ServeClient(port=port, client_id="equiv")
+
+    served_e3 = result_from_dict(
+        client.submit_and_wait("E3", quick=True, timeout_s=900)["record"],
+        source="served E3",
+    )
+    direct_e3 = run_e3(quick=True)
+    if served_e3.headers != direct_e3.headers:
+        fail("E3 headers differ")
+    if masked_rows(served_e3, "E3") != masked_rows(direct_e3, "E3"):
+        fail("E3 rows differ beyond host-time columns")
+    step("  ok: E3 matches")
+
+    e5 = get_experiment("E5")
+    points = e5.points(True)
+    records = [
+        client.submit_and_wait("E5", point_index=i, quick=True,
+                               timeout_s=900)["record"]
+        for i in range(len(points))
+    ]
+    served_e5 = e5.assemble(records, True, e5.default_seed)
+    direct_e5 = run_e5(quick=True)
+    if served_e5.headers != direct_e5.headers:
+        fail("E5 headers differ")
+    if masked_rows(served_e5, "E5") != masked_rows(direct_e5, "E5"):
+        fail("E5 rows differ beyond host-time columns")
+    step("  ok: E5 matches (assembled from per-point service jobs)")
+
+
+def phase_drain_load(port: int) -> list:
+    """Queue the E7 quantum sweep; the caller SIGTERMs with it pending."""
+    step("phase 3: SIGTERM mid-queue, restart, drain to completion")
+    client = ServeClient(port=port, client_id="drain")
+    n_points = len(get_experiment("E7").points(True))
+    return [
+        client.submit("E7", point_index=i, quick=True)["job_id"]
+        for i in range(n_points)
+    ]
+
+
+def main() -> int:
+    tmp = tempfile.mkdtemp(prefix="serve_smoke_")
+    db = os.path.join(tmp, "serve.db")
+
+    daemon = Daemon(db)
+    step(f"daemon 1 up on port {daemon.port} (db={db})")
+    cached_text = phase_concurrency(daemon.port)
+    phase_equivalence(daemon.port)
+
+    job_ids = phase_drain_load(daemon.port)
+    code = daemon.sigterm_and_wait()
+    if code != 0:
+        fail(f"daemon exited {code} on SIGTERM drain")
+    step("  daemon 1 drained cleanly with jobs still queued")
+
+    daemon2 = Daemon(db)
+    step(f"daemon 2 up on port {daemon2.port} (same db)")
+    client = ServeClient(port=daemon2.port, client_id="drain")
+    for job_id in job_ids:
+        state = client.wait(job_id, timeout_s=900)
+        if state["status"] != "done":
+            fail(f"job {job_id} not done after restart: {state}")
+        if state["attempts"] > 2:
+            fail(f"job {job_id} ran {state['attempts']} times; expected <= 2")
+    step(f"  ok: all {len(job_ids)} accepted jobs completed after restart")
+
+    # byte-identical replay across the restart
+    ack = client.submit("demo", point_index=0, quick=True)
+    if not ack["cached"]:
+        fail("restart lost the cache")
+    replay = client.result_text(ack["job_id"])
+    if replay != cached_text:
+        fail("cached payload changed across restart (not byte-identical)")
+    json.loads(replay)  # and it is well-formed JSON
+    step("  ok: cached payload byte-identical across restart")
+
+    code = daemon2.sigterm_and_wait()
+    if code != 0:
+        fail(f"daemon 2 exited {code}")
+    step("PASS")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -55,8 +55,10 @@ Rules
 
 ``SIM107 unbounded-loop``
     A ``while`` loop in simulation-kernel code (paths matching the
-    configured unbounded-loop patterns, by default ``core/*`` and
-    ``noc/*``) that the analysis cannot prove terminates or fails loudly:
+    configured unbounded-loop patterns, by default ``core/*``, ``noc/*``,
+    and ``serve/*`` — the serve daemon's event-driven accept loops are
+    then excused via the path allowlist) that the analysis cannot prove
+    terminates or fails loudly:
     its test is constant-truthy (``while True``) or contains no
     comparison, and its body reaches no ``break``, ``raise``, or
     ``return`` (a ``break`` inside a *nested* loop does not count — it

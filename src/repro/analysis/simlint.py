@@ -46,10 +46,16 @@ def _default_allow_paths() -> Dict[str, Tuple[str, ...]]:
     # The harness measures host time by design (speed experiments, CLI
     # stopwatch), and the campaign worker pool is the one sanctioned home
     # of host-clock reads in the campaign package (job durations, timeout
-    # deadlines — time.monotonic only).  Everything else, including the
-    # rest of repro.campaign, must account for wall-clock reads with an
-    # inline pragma.
-    return {"wall-clock": ("harness/*", "campaign/pool.py")}
+    # deadlines — time.monotonic only).  The serve daemon lives in
+    # wall-clock reality end to end (Retry-After hints, service-time
+    # quantiles, drain grace), and its accept/scheduler loops are
+    # event-driven rather than cycle-bounded, so serve/* is the scoped
+    # home of both hazards.  Everything else must account for wall-clock
+    # reads or unbounded loops with an inline pragma.
+    return {
+        "wall-clock": ("harness/*", "campaign/pool.py", "serve/*"),
+        "unbounded-loop": ("serve/*",),
+    }
 
 
 @dataclass
@@ -83,6 +89,7 @@ class LintConfig:
     unbounded_loop_paths: Tuple[str, ...] = (
         "core/*",
         "noc/*",
+        "serve/*",
     )
 
 

@@ -159,16 +159,24 @@ class WorkerPool:
         return worker
 
     # -- collection -----------------------------------------------------
-    def wait(self, poll_s: float = 0.2) -> List[JobOutcome]:
+    def wait(
+        self, poll_s: float = 0.2, budget_s: Optional[float] = None
+    ) -> List[JobOutcome]:
         """Block until at least one in-flight job finishes (or times out).
 
         Returns every outcome that became available; an empty list only
-        when nothing is in flight.
+        when nothing is in flight — or, with ``budget_s`` set, when the
+        wait budget elapsed first.  The budget is what lets the serve
+        scheduler keep admitting new jobs while long jobs run instead of
+        parking inside this call.
         """
         if not self._live:
             return []
+        give_up = None if budget_s is None else time.monotonic() + budget_s
         outcomes: List[JobOutcome] = []
         while not outcomes:
+            if give_up is not None and time.monotonic() > give_up:
+                break
             conns = [entry.conn for entry in self._live.values()]
             ready = multiprocessing.connection.wait(conns, timeout=poll_s)
             ready_ids = {

@@ -8,11 +8,15 @@ ran it, when, and for how long.  The ``meta`` table pins the store schema
 version and the campaign spec, so ``--resume`` can verify it is continuing
 the *same* campaign and refuse to mix grids.
 
-Concurrency model: only the engine process (the pool's parent) touches the
-database; workers report results over pipes.  That keeps SQLite in its
-happy single-writer path — no WAL tuning, no busy-timeout dances — while
-still surviving ``kill -9`` at any instant, because every status change is
-its own committed transaction.
+Concurrency model: a campaign has exactly one *writer* — the engine
+process (the pool's parent) — and workers report results over pipes, so
+writes never race each other.  Readers are another matter: the serve
+daemon (:mod:`repro.serve`) opens additional connections to answer status
+and result queries while the writer commits, so file-backed stores run in
+WAL mode with a busy timeout — readers see consistent snapshots instead
+of ``database is locked`` errors, and the writer never blocks on them.
+Every status change is still its own committed transaction, which is what
+makes the store survive ``kill -9`` at any instant.
 
 Timestamps (``started_at`` / ``finished_at``) are written by SQLite's own
 ``datetime('now')``: provenance wants host wall-clock, but keeping the
@@ -35,6 +39,9 @@ __all__ = ["ResultStore", "JobRow", "STORE_SCHEMA_VERSION"]
 
 #: bump on incompatible store-layout change
 STORE_SCHEMA_VERSION = 1
+
+#: how long a connection waits on a competing writer before erroring (ms)
+BUSY_TIMEOUT_MS = 5_000
 
 _STATUSES = ("pending", "running", "done", "failed")
 
@@ -100,14 +107,31 @@ class ResultStore:
     """Open (creating if needed) the campaign database at ``path``.
 
     ``":memory:"`` is accepted for ephemeral campaigns (benchmarks, tests).
+
+    Args:
+        path: database file (created with its parent directories).
+        cross_thread: allow this store to be used from threads other than
+            the creating one.  The store does **not** become lock-free —
+            the caller must serialize access (the serve daemon wraps its
+            shared store in an ``RLock``); this only lifts sqlite3's
+            same-thread ownership check.
     """
 
-    def __init__(self, path: str | Path) -> None:
+    def __init__(self, path: str | Path, cross_thread: bool = False) -> None:
         self.path = str(path)
         if self.path != ":memory:":
             Path(self.path).parent.mkdir(parents=True, exist_ok=True)
-        self._conn = sqlite3.connect(self.path)
+        self._conn = sqlite3.connect(self.path, check_same_thread=not cross_thread)
         self._conn.row_factory = sqlite3.Row
+        if self.path != ":memory:":
+            # WAL lets the serve daemon's reader connections see consistent
+            # snapshots while the single writer commits; the busy timeout
+            # absorbs the brief writer-vs-writer window on requeue paths.
+            # NORMAL sync is the standard WAL pairing (durable except power
+            # loss mid-checkpoint; a campaign re-runs the lost job anyway).
+            self._conn.execute("PRAGMA journal_mode=WAL")
+            self._conn.execute(f"PRAGMA busy_timeout={BUSY_TIMEOUT_MS}")
+            self._conn.execute("PRAGMA synchronous=NORMAL")
         self._conn.executescript(_TABLES)
         self._conn.commit()
         found = self.get_meta("store_schema")
@@ -181,6 +205,41 @@ class ResultStore:
         )
         self._conn.commit()
         return fresh
+
+    def add_jobs(self, jobs: Sequence[JobSpec]) -> int:
+        """Insert ad-hoc job rows (serve-daemon admission path).
+
+        Unlike :meth:`initialize` this pins no campaign spec: the serve
+        daemon grows its job set one submission at a time.  Rows that
+        already exist (same content hash) are left untouched — a completed
+        job stays ``done`` and becomes a cache hit.  Returns the number of
+        rows actually inserted.
+        """
+        before = self._conn.total_changes
+        self._conn.executemany(
+            "INSERT OR IGNORE INTO jobs(job_id, eid, point_index, replicate, spec) "
+            "VALUES(?, ?, ?, ?, ?)",
+            [
+                (job.job_id, job.eid, job.point_index, job.replicate, job.to_json())
+                for job in jobs
+            ],
+        )
+        self._conn.commit()
+        return self._conn.total_changes - before
+
+    def requeue_one(self, job_id: str) -> bool:
+        """Put one ``failed`` job back in the queue (fresh submission).
+
+        Attempt counts are preserved — provenance, not punishment.  Returns
+        True when the row was failed and is now pending again.
+        """
+        cur = self._conn.execute(
+            "UPDATE jobs SET status = 'pending', error = NULL "
+            "WHERE job_id = ? AND status = 'failed'",
+            (job_id,),
+        )
+        self._conn.commit()
+        return cur.rowcount == 1
 
     def campaign_spec(self) -> CampaignSpec:
         text = self.get_meta("spec")

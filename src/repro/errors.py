@@ -74,6 +74,31 @@ class FaultError(ReproError):
     """
 
 
+class ServeError(ReproError):
+    """A simulation-service request failed (daemon side or client side).
+
+    Carries the HTTP status code the daemon answered with (0 when the
+    failure happened before a response arrived, e.g. connection refused).
+    """
+
+    def __init__(self, message: str, status: int = 0) -> None:
+        super().__init__(message)
+        self.status = status
+
+
+class BackpressureError(ServeError):
+    """The daemon refused a submission because its queue is full.
+
+    ``retry_after_s`` is the daemon's own estimate of when capacity will
+    free up (the ``Retry-After`` header); clients should back off at least
+    that long before resubmitting.
+    """
+
+    def __init__(self, message: str, retry_after_s: float) -> None:
+        super().__init__(message, status=429)
+        self.retry_after_s = retry_after_s
+
+
 class CheckpointError(ReproError):
     """A checkpoint could not be written, read, or safely restored.
 

@@ -11,18 +11,18 @@ Examples::
     python -m repro E1 --quick --check-invariants
     python -m repro campaign run E5 E7 --workers 4 --db sweep.db
     python -m repro resilience run --link-failures 2 --corrupt-rate 0.005
-    python -m repro resilience selftest
+    python -m repro serve start --db serve.db --workers 4
 
 Results print as the same fixed-width tables the benchmark suite saves.
-``lint`` runs :mod:`repro.analysis.simlint` over the installed ``repro``
-package (or ``--path``) and exits non-zero on any finding, so CI can gate
-on it.  ``--check-invariants`` installs the runtime invariant checker
+``--check-invariants`` installs the runtime invariant checker
 (:mod:`repro.analysis.invariants`) on every co-simulation the experiments
-build.  ``campaign`` hands off to :mod:`repro.campaign.cli` — the
-parallel, resumable sweep engine (``run``/``report``/``status``) —
-``verify`` to :mod:`repro.verify.cli`, the pre-simulation deadlock and
-protocol-safety checker, and ``resilience`` to
-:mod:`repro.resilience.cli` (fault injection, watchdog, checkpoints).
+build.
+
+Tool subcommands (``lint``, ``verify``, ``campaign``, ``resilience``,
+``serve``) each own their flags and dispatch through one registry,
+:data:`SUBCOMMANDS` — the single source of truth that the ``--help``
+epilog, the dispatcher, and the dispatch-agreement test all read, so a
+new subcommand cannot be wired into one and forgotten in another.
 """
 
 from __future__ import annotations
@@ -30,12 +30,98 @@ from __future__ import annotations
 import argparse
 import sys
 import time
-from typing import List, Optional
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional
 
 from .experiments import ALL_EXPERIMENTS, run_table1
 from .runner import set_check_invariants
 
-__all__ = ["main", "build_parser"]
+__all__ = ["main", "build_parser", "SUBCOMMANDS", "Subcommand"]
+
+#: a subcommand entry point: argv (after the subcommand name) -> exit code
+SubMain = Callable[[Optional[List[str]]], int]
+
+
+@dataclass(frozen=True)
+class Subcommand:
+    """One registered tool subcommand.
+
+    ``load`` returns the subcommand's ``main`` lazily, so ``python -m
+    repro E3`` never pays the import cost of the tool packages.
+    """
+
+    name: str
+    help: str
+    load: Callable[[], SubMain]
+
+
+def _load_lint() -> SubMain:
+    return _lint_main
+
+
+def _load_verify() -> SubMain:
+    from ..verify.cli import main as verify_main
+
+    return verify_main
+
+
+def _load_campaign() -> SubMain:
+    from ..campaign.cli import main as campaign_main
+
+    return campaign_main
+
+
+def _load_resilience() -> SubMain:
+    from ..resilience.cli import main as resilience_main
+
+    return resilience_main
+
+
+def _load_serve() -> SubMain:
+    from ..serve.cli import main as serve_main
+
+    return serve_main
+
+
+#: every tool subcommand, in display order — the one dispatch table
+SUBCOMMANDS: Dict[str, Subcommand] = {
+    sub.name: sub
+    for sub in (
+        Subcommand(
+            "lint",
+            "simulation-correctness static analysis (simlint rules)",
+            _load_lint,
+        ),
+        Subcommand(
+            "verify",
+            "pre-simulation deadlock and protocol-safety verification",
+            _load_verify,
+        ),
+        Subcommand(
+            "campaign",
+            "parallel, resumable experiment campaigns (run/report/status)",
+            _load_campaign,
+        ),
+        Subcommand(
+            "resilience",
+            "fault injection, watchdog, and checkpoint/restore",
+            _load_resilience,
+        ),
+        Subcommand(
+            "serve",
+            "simulation-as-a-service daemon (start/submit/status/result)",
+            _load_serve,
+        ),
+    )
+}
+
+
+def _subcommand_epilog() -> str:
+    width = max(len(name) for name in SUBCOMMANDS)
+    lines = ["tool subcommands (each owns its flags; try 'repro <name> --help'):"]
+    for name, sub in SUBCOMMANDS.items():
+        lines.append(f"  {name:<{width}}  {sub.help}")
+    return "\n".join(lines)
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -43,12 +129,13 @@ def build_parser() -> argparse.ArgumentParser:
         prog="repro",
         description="Reproduce experiments from 'Reciprocal abstraction for "
         "computer architecture co-simulation' (ISPASS 2015).",
+        epilog=_subcommand_epilog(),
+        formatter_class=argparse.RawDescriptionHelpFormatter,
     )
     parser.add_argument(
         "experiment",
-        choices=sorted(ALL_EXPERIMENTS) + ["table1", "all", "lint"],
-        help="experiment id (E1..E11), 'table1', 'all', or 'lint' (static "
-        "analysis of the repro tree)",
+        choices=sorted(ALL_EXPERIMENTS) + ["table1", "all"],
+        help="experiment id (E1..E11), 'table1', or 'all'",
     )
     parser.add_argument(
         "--quick",
@@ -64,18 +151,29 @@ def build_parser() -> argparse.ArgumentParser:
         help="install the runtime invariant checker (message conservation, "
         "time monotonicity, NoC credit conservation) on every co-simulation",
     )
+    return parser
+
+
+def _lint_main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro lint",
+        description="Simulation-correctness static analysis of a Python tree.",
+    )
     parser.add_argument(
         "--path",
         default=None,
-        help="with 'lint': tree to analyse (default: the repro package)",
+        help="tree to analyse (default: the installed repro package)",
     )
     parser.add_argument(
         "--format",
         choices=("text", "json"),
         default="text",
-        help="with 'lint': report format (json feeds CI annotations)",
+        help="report format (json feeds CI annotations)",
     )
-    return parser
+    args = parser.parse_args(argv)
+    from ..analysis.simlint import run as run_lint  # deferred: lint only
+
+    return run_lint(args.path, fmt=args.format)
 
 
 def _run_one(eid: str, quick: bool, seed: Optional[int]) -> None:
@@ -93,27 +191,11 @@ def _run_one(eid: str, quick: bool, seed: Optional[int]) -> None:
 def main(argv: Optional[List[str]] = None) -> int:
     if argv is None:
         argv = sys.argv[1:]
-    if argv and argv[0] == "campaign":
-        # The campaign engine has its own subcommand tree; dispatch before
-        # argparse so the experiment chooser stays a simple positional.
-        from ..campaign.cli import main as campaign_main  # deferred: optional
-
-        return campaign_main(argv[1:])
-    if argv and argv[0] == "verify":
-        # Configuration verification likewise owns its own flags.
-        from ..verify.cli import main as verify_main  # deferred: optional
-
-        return verify_main(argv[1:])
-    if argv and argv[0] == "resilience":
-        # Fault injection / watchdog / checkpoint tooling, same shape.
-        from ..resilience.cli import main as resilience_main  # deferred: optional
-
-        return resilience_main(argv[1:])
+    # Tool subcommands own their flags: dispatch through the registry
+    # before argparse so the experiment chooser stays a simple positional.
+    if argv and argv[0] in SUBCOMMANDS:
+        return SUBCOMMANDS[argv[0]].load()(argv[1:])
     args = build_parser().parse_args(argv)
-    if args.experiment == "lint":
-        from ..analysis.simlint import run as run_lint  # deferred: lint only
-
-        return run_lint(args.path, fmt=args.format)
     if args.check_invariants:
         set_check_invariants(True)
     try:

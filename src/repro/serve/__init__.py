@@ -1,0 +1,45 @@
+"""``repro.serve`` — simulation-as-a-service over the experiment registry.
+
+A stdlib-only (asyncio + JSON-over-HTTP) daemon that turns the E1-E11
+experiment kernels and the reciprocal-abstraction co-simulator into
+endpoints many concurrent clients can hit cheaply and safely:
+
+* **content-addressed caching** — jobs canonicalize to the campaign
+  layer's SHA-256-hashed :class:`~repro.campaign.spec.JobSpec`; repeats
+  return the byte-identical stored payload with zero recomputation,
+  across restarts (SQLite tier) and with an in-memory LRU in front;
+* **batching** — queued jobs sharing an ``(eid, quick)`` shape coalesce
+  into one dispatch round on the fresh-process-per-job
+  :class:`~repro.campaign.pool.WorkerPool`;
+* **admission control** — a bounded queue with round-robin client
+  fairness; overload answers ``429`` + ``Retry-After`` instead of
+  growing, and SIGTERM drains gracefully (checkpoints flush, the queue
+  persists, a restart resumes every accepted job exactly once);
+* **observability** — ``/metrics`` in Prometheus text format: queue
+  depth, cache hit ratio, jobs in flight, p50/p99 service time.
+
+Start it with ``python -m repro serve start``; drive it with
+:class:`ServeClient` or ``python -m repro serve submit/status/result``.
+"""
+
+from .cache import ResultCache
+from .client import ServeClient
+from .metrics import Metrics
+from .protocol import PROTOCOL_VERSION, canonicalize_submission
+from .queuein import AdmissionQueue, QueuedJob, QueueFull
+from .scheduler import Scheduler
+from .server import ServeConfig, ServeDaemon
+
+__all__ = [
+    "AdmissionQueue",
+    "Metrics",
+    "PROTOCOL_VERSION",
+    "QueueFull",
+    "QueuedJob",
+    "ResultCache",
+    "Scheduler",
+    "ServeClient",
+    "ServeConfig",
+    "ServeDaemon",
+    "canonicalize_submission",
+]

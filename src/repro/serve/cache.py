@@ -1,0 +1,178 @@
+"""The content-addressed result cache behind the daemon.
+
+Identity is the campaign layer's SHA-256 job hash: two submissions that
+canonicalize to the same :class:`~repro.campaign.spec.JobSpec` share one
+cache entry, whatever their field order or client.  Payloads are stored
+*as the canonical JSON text the store committed* and returned verbatim,
+so a cache hit is byte-identical to the first computation — across the
+in-memory LRU, the SQLite tier, and daemon restarts.
+
+Two tiers:
+
+* an in-memory LRU (``OrderedDict``) for the hot set — hits cost a dict
+  move-to-end, no SQLite round trip;
+* the :class:`~repro.campaign.store.ResultStore` SQLite database as the
+  durable tier — the same schema ``python -m repro campaign`` writes, so
+  a finished campaign database can be mounted read-hot as a serve cache
+  and a serve cache can be inspected with ``campaign status``.
+
+The store connection is shared across the daemon's threads (asyncio
+frontier + scheduler), so every access is serialized behind one lock;
+WAL mode on the store keeps any *other* process's readers unblocked.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from collections import OrderedDict
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..campaign.spec import JobSpec
+from ..campaign.store import JobRow, ResultStore
+from ..errors import ConfigError
+
+__all__ = ["ResultCache"]
+
+
+class ResultCache:
+    """LRU-over-SQLite result cache keyed by job content hash.
+
+    Args:
+        path: SQLite database path (``":memory:"`` for ephemeral daemons).
+        lru_size: entries kept in the in-memory tier (0 disables it).
+    """
+
+    def __init__(self, path: str, lru_size: int = 256) -> None:
+        if lru_size < 0:
+            raise ConfigError(f"lru_size must be >= 0, got {lru_size}")
+        self._lock = threading.RLock()
+        self._store = ResultStore(path, cross_thread=True)
+        self._lru: "OrderedDict[str, str]" = OrderedDict()
+        self._lru_size = lru_size
+        # Tag fresh databases so `campaign run` refuses to mix a campaign
+        # grid into a serve cache (spec_hash is its refusal key).
+        if self._store.get_meta("spec_hash") is None:
+            self._store.set_meta("spec_hash", "serve")
+            self._store.set_meta("spec", json.dumps({"service": "repro.serve"}))
+
+    @property
+    def path(self) -> str:
+        return self._store.path
+
+    # -- lookups --------------------------------------------------------
+    def lookup(self, job_id: str) -> Optional[str]:
+        """The cached payload text for ``job_id``, or None on miss.
+
+        The text is exactly what :meth:`commit` stored — byte-identical
+        replay is the whole contract.
+        """
+        with self._lock:
+            text = self._lru.get(job_id)
+            if text is not None:
+                self._lru.move_to_end(job_id)
+                return text
+            try:
+                row = self._store.get_job(job_id)
+            except ConfigError:
+                return None
+            if row.status != "done" or row.payload is None:
+                return None
+            self._remember(job_id, row.payload)
+            return row.payload
+
+    def job_row(self, job_id: str) -> Optional[JobRow]:
+        """The store row for ``job_id`` (status/attempts/provenance), or None."""
+        with self._lock:
+            try:
+                return self._store.get_job(job_id)
+            except ConfigError:
+                return None
+
+    def counts(self) -> Dict[str, int]:
+        with self._lock:
+            return self._store.counts()
+
+    # -- admission ------------------------------------------------------
+    def admit(self, spec: JobSpec) -> bool:
+        """Ensure a pending row exists for ``spec``.
+
+        A brand-new job inserts ``pending``; a previously ``failed`` job is
+        re-queued (fresh submission, preserved attempt count).  Returns
+        False when the job is already ``done`` (caller should answer from
+        cache instead of queueing).
+        """
+        with self._lock:
+            inserted = self._store.add_jobs([spec])
+            if inserted:
+                return True
+            row = self._store.get_job(spec.job_id)
+            if row.status == "done":
+                return False
+            if row.status == "failed":
+                self._store.requeue_one(spec.job_id)
+            return True
+
+    # -- scheduler side -------------------------------------------------
+    def mark_running(self, job_id: str, worker: str) -> None:
+        with self._lock:
+            self._store.mark_running(job_id, worker)
+
+    def commit(self, job_id: str, payload: dict, wall_s: float) -> str:
+        """Record a computed result; returns the canonical payload text."""
+        with self._lock:
+            self._store.mark_done(job_id, payload, wall_s)
+            text = self._store.get_job(job_id).payload
+            if text is None:  # pragma: no cover - mark_done always writes
+                raise ConfigError(f"store lost the payload for {job_id}")
+            self._remember(job_id, text)
+            return text
+
+    def mark_failed(self, job_id: str, error: str, wall_s: Optional[float],
+                    requeue: bool) -> None:
+        with self._lock:
+            self._store.mark_failed(job_id, error, wall_s, requeue=requeue)
+
+    def attempts(self, job_id: str) -> int:
+        with self._lock:
+            return self._store.get_job(job_id).attempts
+
+    # -- restart recovery -----------------------------------------------
+    def recover(self) -> Tuple[List[JobSpec], int]:
+        """Re-queue interrupted work after a restart.
+
+        Returns ``(specs, reclaimed)``: every job the previous daemon had
+        accepted but not finished (``running`` rows are first reset to
+        ``pending`` — the SIGTERM-drain signature), ready for re-admission
+        to the queue.
+        """
+        with self._lock:
+            reclaimed = self._store.reset_running()
+            specs = [row.job_spec() for row in self._store.pending_jobs()]
+            return specs, reclaimed
+
+    # -- lifecycle ------------------------------------------------------
+    def close(self) -> None:
+        with self._lock:
+            self._store.close()
+            self._lru.clear()
+
+    def __enter__(self) -> "ResultCache":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    # -- internals ------------------------------------------------------
+    def _remember(self, job_id: str, text: str) -> None:
+        if not self._lru_size:
+            return
+        self._lru[job_id] = text
+        self._lru.move_to_end(job_id)
+        while len(self._lru) > self._lru_size:
+            self._lru.popitem(last=False)
+
+    def lru_contents(self) -> Sequence[str]:
+        """Job ids currently in the memory tier, oldest first (tests)."""
+        with self._lock:
+            return tuple(self._lru)

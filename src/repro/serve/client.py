@@ -1,0 +1,210 @@
+"""``ServeClient`` — the programmatic face of the serve daemon.
+
+A thin, dependency-free (stdlib ``http.client``) synchronous client.
+Submissions are plain keyword arguments; the client never computes job
+hashes itself — identity is the daemon's business — but it does surface
+the daemon's backpressure contract as typed exceptions:
+
+* :class:`repro.errors.BackpressureError` on ``429`` (carries the
+  daemon's ``Retry-After`` estimate);
+* :class:`repro.errors.ServeError` on any other non-2xx answer or
+  transport failure (carries the HTTP status).
+
+``wait()`` polls status until the job completes; ``submit_and_wait()``
+is the one-call happy path the CLI and the smoke script use.
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import time
+from typing import Any, Dict, Optional, Tuple
+
+from ..errors import BackpressureError, ServeError
+from .protocol import API_PREFIX, PROTOCOL_VERSION
+
+__all__ = ["ServeClient"]
+
+
+class ServeClient:
+    """Talk to one serve daemon.
+
+    Args:
+        host: daemon host.
+        port: daemon port.
+        client_id: fairness identity — the daemon round-robins across
+            client ids, so share one id per logical tenant.
+        timeout_s: per-request socket timeout.
+    """
+
+    def __init__(
+        self,
+        host: str = "127.0.0.1",
+        port: int = 8421,
+        client_id: str = "anon",
+        timeout_s: float = 30.0,
+    ) -> None:
+        self.host = host
+        self.port = port
+        self.client_id = client_id
+        self.timeout_s = timeout_s
+
+    # -- submissions ----------------------------------------------------
+    def submit(
+        self,
+        eid: str,
+        point_index: Optional[int] = None,
+        point: Any = None,
+        quick: bool = False,
+        seed: Optional[int] = None,
+        replicate: int = 0,
+    ) -> Dict[str, Any]:
+        """Submit one job; returns the daemon's acknowledgement.
+
+        The acknowledgement carries ``job_id`` (the content hash),
+        ``status`` (``done`` for a cache hit, else ``queued``) and
+        ``cached``.  Raises :class:`BackpressureError` when the daemon
+        sheds load.
+        """
+        body: Dict[str, Any] = {
+            "v": PROTOCOL_VERSION,
+            "eid": eid,
+            "quick": quick,
+            "replicate": replicate,
+            "client": self.client_id,
+        }
+        if point_index is not None:
+            body["point_index"] = point_index
+        if point is not None:
+            body["point"] = point
+        if seed is not None:
+            body["seed"] = seed
+        status, payload, headers = self._request("POST", f"{API_PREFIX}/jobs", body)
+        if status == 429:
+            retry_after = float(
+                payload.get("retry_after_s", headers.get("retry-after", 1))
+            )
+            raise BackpressureError(
+                payload.get("error", "queue full"), retry_after_s=retry_after
+            )
+        self._raise_unless_ok(status, payload)
+        return payload
+
+    def status(self, job_id: str) -> Dict[str, Any]:
+        status, payload, _ = self._request("GET", f"{API_PREFIX}/jobs/{job_id}")
+        self._raise_unless_ok(status, payload)
+        return payload
+
+    def result_text(self, job_id: str) -> str:
+        """The job's payload as verbatim text (byte-identical contract)."""
+        status, _, _, raw = self._request_raw("GET", f"{API_PREFIX}/jobs/{job_id}/result")
+        if status != 200:
+            payload = _parse_json(raw)
+            raise ServeError(
+                payload.get("error", f"result fetch failed ({status})"), status=status
+            )
+        return raw.decode("utf-8")
+
+    def result(self, job_id: str) -> Dict[str, Any]:
+        return json.loads(self.result_text(job_id))
+
+    def wait(
+        self, job_id: str, timeout_s: float = 300.0, poll_s: float = 0.1
+    ) -> Dict[str, Any]:
+        """Poll until the job is ``done``; returns its final status.
+
+        Raises :class:`ServeError` when the job fails or the wait times
+        out (host wall clock: this module is on the serve allowlist).
+        """
+        deadline = time.monotonic() + timeout_s
+        while True:
+            state = self.status(job_id)
+            if state["status"] == "done":
+                return state
+            if state["status"] == "failed":
+                raise ServeError(
+                    f"job {job_id} failed after {state['attempts']} attempt(s): "
+                    f"{state.get('error')}",
+                    status=200,
+                )
+            if time.monotonic() > deadline:
+                raise ServeError(
+                    f"job {job_id} still {state['status']} after {timeout_s}s"
+                )
+            time.sleep(poll_s)
+
+    def submit_and_wait(
+        self, eid: str, timeout_s: float = 300.0, **kwargs: Any
+    ) -> Dict[str, Any]:
+        """Submit, wait, and fetch the result payload in one call."""
+        ack = self.submit(eid, **kwargs)
+        if ack["status"] != "done":
+            self.wait(ack["job_id"], timeout_s=timeout_s)
+        return self.result(ack["job_id"])
+
+    # -- daemon introspection -------------------------------------------
+    def catalog(self) -> Dict[str, Any]:
+        status, payload, _ = self._request("GET", f"{API_PREFIX}/catalog")
+        self._raise_unless_ok(status, payload)
+        return payload
+
+    def health(self) -> Dict[str, Any]:
+        status, payload, _ = self._request("GET", "/healthz")
+        self._raise_unless_ok(status, payload)
+        return payload
+
+    def metrics_text(self) -> str:
+        status, _, _, raw = self._request_raw("GET", "/metrics")
+        if status != 200:
+            raise ServeError(f"metrics fetch failed ({status})", status=status)
+        return raw.decode("utf-8")
+
+    def shutdown(self) -> Dict[str, Any]:
+        """Ask the daemon to drain (the remote spelling of SIGTERM)."""
+        status, payload, _ = self._request("POST", f"{API_PREFIX}/shutdown", {})
+        self._raise_unless_ok(status, payload)
+        return payload
+
+    # -- plumbing -------------------------------------------------------
+    def _request(
+        self, method: str, path: str, body: Optional[dict] = None
+    ) -> Tuple[int, Dict[str, Any], Dict[str, str]]:
+        status, headers, _, raw = self._request_raw(method, path, body)
+        return status, _parse_json(raw), headers
+
+    def _request_raw(
+        self, method: str, path: str, body: Optional[dict] = None
+    ) -> Tuple[int, Dict[str, str], str, bytes]:
+        payload = None if body is None else json.dumps(body).encode("utf-8")
+        headers = {"Content-Type": "application/json"} if payload else {}
+        conn = http.client.HTTPConnection(
+            self.host, self.port, timeout=self.timeout_s
+        )
+        try:
+            conn.request(method, path, body=payload, headers=headers)
+            response = conn.getresponse()
+            raw = response.read()
+            response_headers = {k.lower(): v for k, v in response.getheaders()}
+            return response.status, response_headers, response.reason, raw
+        except (ConnectionError, OSError) as exc:
+            raise ServeError(
+                f"cannot reach serve daemon at {self.host}:{self.port}: {exc}"
+            ) from exc
+        finally:
+            conn.close()
+
+    @staticmethod
+    def _raise_unless_ok(status: int, payload: Dict[str, Any]) -> None:
+        if not 200 <= status < 300:
+            raise ServeError(
+                payload.get("error", f"request failed ({status})"), status=status
+            )
+
+
+def _parse_json(raw: bytes) -> Dict[str, Any]:
+    try:
+        parsed = json.loads(raw.decode("utf-8")) if raw else {}
+    except (UnicodeDecodeError, json.JSONDecodeError):
+        return {}
+    return parsed if isinstance(parsed, dict) else {}

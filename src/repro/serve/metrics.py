@@ -1,0 +1,182 @@
+"""Service metrics: counters, gauges, and a service-time quantile window.
+
+The daemon exports these at ``GET /metrics`` in the Prometheus text
+exposition format (version 0.0.4), so any scraper — or ``curl`` — can
+watch queue depth, cache hit ratio, in-flight jobs, and p50/p99 service
+time without touching the job store.
+
+Everything here is host-time instrumentation by design: the serve layer
+is the part of the system that lives in wall-clock reality (clients,
+timeouts, Retry-After hints), which is why ``serve/*`` sits on simlint's
+wall-clock allowlist.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import deque
+from typing import Callable, Deque, Dict, List, Optional, Tuple
+
+__all__ = ["Metrics", "quantile"]
+
+#: metric name prefix, shared by every exported series
+PREFIX = "repro_serve"
+
+#: how many recent service times back the quantile estimates
+_WINDOW = 1024
+
+
+def quantile(samples: List[float], q: float) -> float:
+    """Nearest-rank quantile of ``samples`` (which must be non-empty)."""
+    ordered = sorted(samples)
+    index = min(len(ordered) - 1, max(0, round(q * (len(ordered) - 1))))
+    return ordered[index]
+
+
+class Metrics:
+    """Thread-safe metric registry for one daemon instance.
+
+    Counters only ever increase; gauges are sampled via callbacks at
+    render time so they can never drift from the structures they watch
+    (the admission queue and scheduler own the truth, the registry only
+    reads it).
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._counters: Dict[Tuple[str, Tuple[Tuple[str, str], ...]], float] = {}
+        self._counter_help: Dict[str, str] = {}
+        self._gauges: Dict[str, Tuple[str, Callable[[], float]]] = {}
+        self._service_times: Deque[float] = deque(maxlen=_WINDOW)
+        self._service_count = 0
+        self._service_sum = 0.0
+        self._started = time.monotonic()
+
+    # -- counters -------------------------------------------------------
+    def inc(
+        self,
+        name: str,
+        help_text: str,
+        amount: float = 1.0,
+        **labels: str,
+    ) -> None:
+        key = (name, tuple(sorted(labels.items())))
+        with self._lock:
+            self._counter_help.setdefault(name, help_text)
+            self._counters[key] = self._counters.get(key, 0.0) + amount
+
+    def counter_value(self, name: str, **labels: str) -> float:
+        key = (name, tuple(sorted(labels.items())))
+        with self._lock:
+            return self._counters.get(key, 0.0)
+
+    def counter_total(self, name: str) -> float:
+        """Sum of a counter across all label sets."""
+        with self._lock:
+            return sum(
+                value for (n, _), value in self._counters.items() if n == name
+            )
+
+    # -- gauges ---------------------------------------------------------
+    def register_gauge(
+        self, name: str, help_text: str, read: Callable[[], float]
+    ) -> None:
+        with self._lock:
+            self._gauges[name] = (help_text, read)
+
+    # -- service times --------------------------------------------------
+    def observe_service_time(self, seconds: float) -> None:
+        with self._lock:
+            self._service_times.append(seconds)
+            self._service_count += 1
+            self._service_sum += seconds
+
+    def service_time_quantiles(self) -> Optional[Dict[str, float]]:
+        with self._lock:
+            samples = list(self._service_times)
+        if not samples:
+            return None
+        return {"0.5": quantile(samples, 0.5), "0.99": quantile(samples, 0.99)}
+
+    def mean_service_time(self) -> Optional[float]:
+        with self._lock:
+            if not self._service_count:
+                return None
+            return self._service_sum / self._service_count
+
+    # -- derived --------------------------------------------------------
+    def cache_hit_ratio(self) -> Optional[float]:
+        hits = self.counter_total(f"{PREFIX}_cache_hits_total")
+        misses = self.counter_total(f"{PREFIX}_cache_misses_total")
+        if hits + misses == 0:
+            return None
+        return hits / (hits + misses)
+
+    # -- exposition -----------------------------------------------------
+    def render_prometheus(self) -> str:
+        """The full registry in Prometheus text format, one stable order."""
+        lines: List[str] = []
+        with self._lock:
+            counters = dict(self._counters)
+            counter_help = dict(self._counter_help)
+            gauges = dict(self._gauges)
+            samples = list(self._service_times)
+            service_count = self._service_count
+            service_sum = self._service_sum
+            uptime = time.monotonic() - self._started
+        for name in sorted(counter_help):
+            lines.append(f"# HELP {name} {counter_help[name]}")
+            lines.append(f"# TYPE {name} counter")
+            for (cname, labels), value in sorted(counters.items()):
+                if cname != name:
+                    continue
+                label_text = (
+                    "{" + ",".join(f'{k}="{v}"' for k, v in labels) + "}"
+                    if labels
+                    else ""
+                )
+                lines.append(f"{name}{label_text} {_fmt(value)}")
+        for name in sorted(gauges):
+            help_text, read = gauges[name]
+            lines.append(f"# HELP {name} {help_text}")
+            lines.append(f"# TYPE {name} gauge")
+            lines.append(f"{name} {_fmt(float(read()))}")
+        ratio = None
+        hits = sum(
+            v for (n, _), v in counters.items() if n == f"{PREFIX}_cache_hits_total"
+        )
+        misses = sum(
+            v for (n, _), v in counters.items() if n == f"{PREFIX}_cache_misses_total"
+        )
+        if hits + misses > 0:
+            ratio = hits / (hits + misses)
+        lines.append(
+            f"# HELP {PREFIX}_cache_hit_ratio Fraction of submissions answered "
+            "from the content-addressed cache."
+        )
+        lines.append(f"# TYPE {PREFIX}_cache_hit_ratio gauge")
+        lines.append(f"{PREFIX}_cache_hit_ratio {_fmt(ratio if ratio is not None else 0.0)}")
+        name = f"{PREFIX}_service_time_seconds"
+        lines.append(
+            f"# HELP {name} Per-job service time (queue admission to result commit)."
+        )
+        lines.append(f"# TYPE {name} summary")
+        if samples:
+            lines.append(f'{name}{{quantile="0.5"}} {_fmt(quantile(samples, 0.5))}')
+            lines.append(f'{name}{{quantile="0.99"}} {_fmt(quantile(samples, 0.99))}')
+        lines.append(f"{name}_sum {_fmt(service_sum)}")
+        lines.append(f"{name}_count {_fmt(float(service_count))}")
+        lines.append(
+            f"# HELP {PREFIX}_uptime_seconds Daemon uptime (monotonic host clock)."
+        )
+        lines.append(f"# TYPE {PREFIX}_uptime_seconds gauge")
+        lines.append(f"{PREFIX}_uptime_seconds {_fmt(uptime)}")
+        return "\n".join(lines) + "\n"
+
+
+def _fmt(value: float) -> str:
+    """Integers without a trailing .0, floats as repr (full precision)."""
+    if float(value).is_integer():
+        return str(int(value))
+    return repr(float(value))

@@ -1,0 +1,223 @@
+"""The serve wire protocol: submission canonicalization + HTTP framing.
+
+Two halves live here so that :mod:`repro.serve.server` is routing and
+lifecycle only:
+
+* **canonicalization** — a client submission (a JSON object) becomes the
+  exact :class:`repro.campaign.spec.JobSpec` the campaign engine would
+  build for the same work, so the job's SHA-256 content hash — and
+  therefore its cache identity — is shared between ``python -m repro
+  campaign`` and the daemon.  Key order, omitted defaults, and equivalent
+  spellings all collapse to one id; anything that changes the result
+  (seed, sweep point, quick flag, replicate) changes the id.
+
+* **HTTP framing** — a deliberately small HTTP/1.1 subset over asyncio
+  streams: one request per connection, ``Content-Length`` bodies only,
+  ``Connection: close`` responses.  Enough for ``http.client``, ``curl``,
+  and Prometheus scrapers; nothing more.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+from dataclasses import dataclass
+from typing import Any, Dict, Mapping, Optional, Tuple
+
+from ..campaign.spec import JobSpec, get_experiment
+from ..errors import ConfigError
+
+__all__ = [
+    "PROTOCOL_VERSION",
+    "API_PREFIX",
+    "Request",
+    "canonicalize_submission",
+    "read_request",
+    "render_response",
+]
+
+#: bump on incompatible wire-format change (clients send it, daemon checks)
+PROTOCOL_VERSION = 1
+
+API_PREFIX = "/api/v1"
+
+#: request bodies past this size are refused with 413 (a submission is
+#: a few hundred bytes; anything larger is a client bug)
+MAX_BODY_BYTES = 1 << 20
+
+#: submission keys that are part of the job identity
+_SPEC_KEYS = {"eid", "point", "point_index", "quick", "seed", "replicate"}
+#: submission keys that are transport metadata, never hashed
+_META_KEYS = {"client", "v"}
+
+
+def canonicalize_submission(data: Mapping[str, Any]) -> Tuple[JobSpec, str]:
+    """Turn a submission JSON object into ``(job_spec, client_id)``.
+
+    The spec is validated against the campaign experiment registry (the
+    service catalog): the experiment must exist, the point index must be
+    in range, and an explicit ``point`` must match the registry's grid —
+    otherwise two spellings of the same work would hash apart, or a job
+    would be admitted that no worker can run.
+    """
+    if not isinstance(data, Mapping):
+        raise ConfigError(
+            f"submission must be a JSON object, got {type(data).__name__}"
+        )
+    unknown = sorted(set(data) - _SPEC_KEYS - _META_KEYS)
+    if unknown:
+        raise ConfigError(
+            f"unknown submission field(s) {', '.join(unknown)}; "
+            f"accepted: {', '.join(sorted(_SPEC_KEYS | _META_KEYS))}"
+        )
+    version = data.get("v", PROTOCOL_VERSION)
+    if version != PROTOCOL_VERSION:
+        raise ConfigError(
+            f"unsupported serve protocol version {version!r} "
+            f"(this daemon speaks version {PROTOCOL_VERSION})"
+        )
+    eid = data.get("eid")
+    if not isinstance(eid, str):
+        raise ConfigError("submission needs an 'eid' string (see /api/v1/catalog)")
+    experiment = get_experiment(eid)  # raises ConfigError on unknown eid
+    quick = data.get("quick", False)
+    if not isinstance(quick, bool):
+        raise ConfigError(f"'quick' must be a boolean, got {quick!r}")
+    replicate = data.get("replicate", 0)
+    if not isinstance(replicate, int) or replicate < 0:
+        raise ConfigError(f"'replicate' must be a non-negative integer, got {replicate!r}")
+    seed = data.get("seed")
+    if seed is None:
+        seed = experiment.default_seed
+    if not isinstance(seed, int):
+        raise ConfigError(f"'seed' must be an integer, got {seed!r}")
+
+    points = experiment.points(quick)
+    if "point" in data and "point_index" not in data:
+        # Submissions may name the sweep point itself; resolve it to its
+        # grid position so both spellings share one content hash.
+        try:
+            point_index = points.index(data["point"])
+        except ValueError:
+            raise ConfigError(
+                f"point {data['point']!r} is not on {eid}'s grid "
+                f"(quick={quick}); see /api/v1/catalog"
+            ) from None
+    else:
+        point_index = data.get("point_index", 0)
+    if not isinstance(point_index, int) or not 0 <= point_index < len(points):
+        raise ConfigError(
+            f"'point_index' must be in [0, {len(points)}) for {eid} "
+            f"(quick={quick}), got {point_index!r}"
+        )
+    point = points[point_index]
+    if "point" in data and data["point"] != point:
+        raise ConfigError(
+            f"submitted point {data['point']!r} is not {eid}'s point "
+            f"#{point_index} ({point!r}); submit by point_index against "
+            "the catalog grid"
+        )
+    client = data.get("client", "anon")
+    if not isinstance(client, str) or not client:
+        raise ConfigError(f"'client' must be a non-empty string, got {client!r}")
+    spec = JobSpec(
+        eid=eid,
+        point_index=point_index,
+        point=point,
+        quick=quick,
+        seed=seed,
+        replicate=replicate,
+    )
+    return spec, client
+
+
+# ----------------------------------------------------------------------
+# HTTP framing
+# ----------------------------------------------------------------------
+_REASONS = {
+    200: "OK",
+    400: "Bad Request",
+    404: "Not Found",
+    409: "Conflict",
+    413: "Payload Too Large",
+    429: "Too Many Requests",
+    500: "Internal Server Error",
+    503: "Service Unavailable",
+}
+
+
+@dataclass
+class Request:
+    """One parsed HTTP request."""
+
+    method: str
+    path: str
+    headers: Dict[str, str]
+    body: bytes
+
+    def json(self) -> Any:
+        if not self.body:
+            return {}
+        try:
+            return json.loads(self.body.decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+            raise ConfigError(f"request body is not valid JSON: {exc}") from exc
+
+
+async def read_request(reader: asyncio.StreamReader) -> Optional[Request]:
+    """Parse one request off the stream; None on clean EOF before a request.
+
+    Raises :class:`ConfigError` on malformed framing or oversized bodies —
+    the server maps that to a 400/413 response.
+    """
+    try:
+        request_line = await reader.readline()
+    except (ConnectionError, asyncio.LimitOverrunError):
+        return None
+    if not request_line.strip():
+        return None
+    try:
+        method, path, _version = request_line.decode("ascii").split(None, 2)
+    except (UnicodeDecodeError, ValueError):
+        raise ConfigError("malformed HTTP request line") from None
+    headers: Dict[str, str] = {}
+    while True:
+        line = await reader.readline()
+        if line in (b"\r\n", b"\n", b""):
+            break
+        try:
+            name, _, value = line.decode("latin-1").partition(":")
+        except UnicodeDecodeError:
+            raise ConfigError("malformed HTTP header") from None
+        headers[name.strip().lower()] = value.strip()
+    length_text = headers.get("content-length", "0")
+    try:
+        length = int(length_text)
+    except ValueError:
+        raise ConfigError(f"bad Content-Length {length_text!r}") from None
+    if length < 0 or length > MAX_BODY_BYTES:
+        raise ConfigError(
+            f"request body of {length} bytes exceeds the {MAX_BODY_BYTES}-byte limit"
+        )
+    body = await reader.readexactly(length) if length else b""
+    return Request(method=method.upper(), path=path, headers=headers, body=body)
+
+
+def render_response(
+    status: int,
+    body: bytes,
+    content_type: str = "application/json",
+    extra_headers: Optional[Mapping[str, str]] = None,
+) -> bytes:
+    """One full HTTP/1.1 response (``Connection: close``)."""
+    reason = _REASONS.get(status, "Unknown")
+    lines = [
+        f"HTTP/1.1 {status} {reason}",
+        f"Content-Type: {content_type}",
+        f"Content-Length: {len(body)}",
+        "Connection: close",
+    ]
+    for name, value in (extra_headers or {}).items():
+        lines.append(f"{name}: {value}")
+    head = ("\r\n".join(lines) + "\r\n\r\n").encode("ascii")
+    return head + body

@@ -1,0 +1,179 @@
+"""Admission control: a bounded, client-fair queue with shape batching.
+
+The queue is the daemon's only buffer between the HTTP frontier and the
+worker pool, and it is deliberately *bounded*: when it is full the daemon
+answers ``429`` with a ``Retry-After`` hint instead of growing without
+limit — overload sheds to the clients, never to the host's memory.
+
+Fairness is round-robin across client ids: each client has its own FIFO
+and the scheduler's pop rotates through clients, so one client submitting
+a thousand jobs cannot starve another submitting one.
+
+Batching happens at pop time: after the round-robin pick, the batch is
+topped up with queued jobs of the same *shape* — ``(eid, quick)`` — from
+every client (still in rotation order).  Jobs of one shape share warm
+caches and comparable runtimes, so dispatching them in one scheduler
+round keeps the pool full with homogeneous work.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Deque, Dict, List, Optional, Tuple
+
+from ..campaign.spec import JobSpec
+from ..errors import ConfigError
+
+__all__ = ["QueuedJob", "AdmissionQueue", "QueueFull"]
+
+
+class QueueFull(ConfigError):
+    """Internal signal: the bounded queue refused an offer (maps to 429)."""
+
+
+@dataclass
+class QueuedJob:
+    """One admitted job waiting for dispatch."""
+
+    spec: JobSpec
+    client: str
+    job_id: str = field(init=False)
+
+    def __post_init__(self) -> None:
+        self.job_id = self.spec.job_id
+
+    @property
+    def shape(self) -> Tuple[str, bool]:
+        """The batching key: jobs of one shape coalesce into one dispatch."""
+        return (self.spec.eid, self.spec.quick)
+
+
+class AdmissionQueue:
+    """Bounded multi-client FIFO with round-robin, shape-batched pops.
+
+    Thread-safe: the asyncio frontier offers, the scheduler thread takes.
+    """
+
+    def __init__(self, max_depth: int) -> None:
+        if max_depth < 1:
+            raise ConfigError(f"queue depth must be >= 1, got {max_depth}")
+        self.max_depth = max_depth
+        self._lock = threading.Condition()
+        self._per_client: Dict[str, Deque[QueuedJob]] = {}
+        self._rotation: Deque[str] = deque()
+        self._queued_ids: Dict[str, QueuedJob] = {}
+        self._depth = 0
+        self._closed = False
+
+    # -- frontier side --------------------------------------------------
+    @property
+    def depth(self) -> int:
+        with self._lock:
+            return self._depth
+
+    def contains(self, job_id: str) -> bool:
+        with self._lock:
+            return job_id in self._queued_ids
+
+    def offer(self, entry: QueuedJob) -> bool:
+        """Admit one job.
+
+        Returns False when an identical job (same content hash) is already
+        queued — the submission joins the queued one instead of doubling
+        the work.  Raises :class:`QueueFull` when the bound is hit.
+        """
+        with self._lock:
+            if self._closed:
+                raise QueueFull("queue is draining; daemon is shutting down")
+            if entry.job_id in self._queued_ids:
+                return False
+            if self._depth >= self.max_depth:
+                raise QueueFull(
+                    f"admission queue is full ({self._depth}/{self.max_depth})"
+                )
+            fifo = self._per_client.get(entry.client)
+            if fifo is None:
+                fifo = self._per_client[entry.client] = deque()
+                self._rotation.append(entry.client)
+            fifo.append(entry)
+            self._queued_ids[entry.job_id] = entry
+            self._depth += 1
+            self._lock.notify()
+            return True
+
+    # -- scheduler side -------------------------------------------------
+    def take_batch(
+        self, max_batch: int, timeout_s: Optional[float] = None
+    ) -> List[QueuedJob]:
+        """Pop the next round-robin job plus same-shape companions.
+
+        Blocks up to ``timeout_s`` for the first job (None: no wait).
+        Returns an empty list on timeout or when the queue is closed and
+        empty.
+        """
+        with self._lock:
+            if not self._depth and timeout_s:
+                self._lock.wait(timeout=timeout_s)
+            if not self._depth:
+                return []
+            first = self._pop_next()
+            batch = [first]
+            if max_batch > 1:
+                batch.extend(self._pop_matching(first.shape, max_batch - 1))
+            self._sweep_idle_clients()
+            return batch
+
+    def _pop_next(self) -> QueuedJob:
+        """The head of the next non-empty client FIFO, rotating fairly."""
+        while True:
+            client = self._rotation[0]
+            self._rotation.rotate(-1)
+            fifo = self._per_client[client]
+            if fifo:
+                return self._remove(fifo.popleft())
+
+    def _pop_matching(self, shape: Tuple[str, bool], budget: int) -> List[QueuedJob]:
+        """Up to ``budget`` queued jobs of ``shape``, in rotation order."""
+        matched: List[QueuedJob] = []
+        for client in list(self._rotation):
+            if len(matched) >= budget:
+                break
+            fifo = self._per_client[client]
+            kept: Deque[QueuedJob] = deque()
+            while fifo:
+                entry = fifo.popleft()
+                if entry.shape == shape and len(matched) < budget:
+                    matched.append(self._remove(entry))
+                else:
+                    kept.append(entry)
+            fifo.extend(kept)
+        return matched
+
+    def _remove(self, entry: QueuedJob) -> QueuedJob:
+        del self._queued_ids[entry.job_id]
+        self._depth -= 1
+        return entry
+
+    def _sweep_idle_clients(self) -> None:
+        """Forget clients whose FIFOs drained, keeping the rotation small."""
+        for client in [c for c, fifo in self._per_client.items() if not fifo]:
+            del self._per_client[client]
+            self._rotation.remove(client)
+
+    # -- lifecycle ------------------------------------------------------
+    def close(self) -> None:
+        """Refuse further offers and wake any waiting taker."""
+        with self._lock:
+            self._closed = True
+            self._lock.notify_all()
+
+    def snapshot(self) -> List[QueuedJob]:
+        """Every queued job, client-grouped (for status and drain audits)."""
+        with self._lock:
+            return [
+                entry
+                for client in list(self._rotation)
+                for entry in self._per_client.get(client, ())
+            ]

@@ -1,0 +1,243 @@
+"""The dispatch thread: admission queue -> worker pool -> result cache.
+
+One scheduler thread owns the :class:`~repro.campaign.pool.WorkerPool`
+(fresh process per job, SIGTERM->SIGKILL escalation, per-job timeouts)
+and is the only writer of job *lifecycle* transitions.  Its loop:
+
+1. keep the pool full from the admission queue, taking shape-coalesced
+   batches (jobs sharing ``(eid, quick)`` dispatch together);
+2. collect outcomes under a small wait budget so new arrivals are
+   dispatched while long jobs run;
+3. commit results to the content-addressed cache (canonical payload
+   text), re-queue failures while retry attempts remain, and feed the
+   service-time summary.
+
+Graceful drain (SIGTERM): the loop stops dispatching, the pool shuts
+down politely — workers get the grace window to flush resilience-layer
+checkpoints — and every interrupted job is reset to ``pending`` in the
+store, so a restarted daemon resumes exactly where this one stopped and
+no accepted job is ever executed twice.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+from typing import Deque, Dict, List, Optional, Set
+
+from collections import deque
+
+from ..campaign.pool import WorkerPool
+from ..campaign.spec import JobSpec
+from ..errors import ConfigError
+from .cache import ResultCache
+from .metrics import PREFIX, Metrics
+from .queuein import AdmissionQueue, QueuedJob
+
+__all__ = ["Scheduler"]
+
+#: how long one collect pass may block while dispatch slots are free (s)
+_WAIT_BUDGET_S = 0.1
+#: queue wait while the pool is idle (s) — the loop's only sleep
+_IDLE_WAIT_S = 0.2
+
+
+class Scheduler:
+    """Run admitted jobs on a worker pool, committing results to the cache.
+
+    Args:
+        queue: the admission queue to drain.
+        cache: the result cache / job store.
+        metrics: the daemon's metric registry.
+        workers: pool concurrency.
+        batch_max: max jobs coalesced into one dispatch round.
+        retries: extra attempts per failed/timed-out job.
+        timeout: per-job wall-clock budget in seconds (None: unlimited).
+        checkpoint_dir: give each job a resilience-layer checkpoint file
+            here, so a drained or killed attempt resumes mid-simulation.
+        checkpoint_every: snapshot period in synchronization windows.
+        start_method: multiprocessing start method override.
+    """
+
+    def __init__(
+        self,
+        queue: AdmissionQueue,
+        cache: ResultCache,
+        metrics: Metrics,
+        workers: int = 1,
+        batch_max: int = 8,
+        retries: int = 0,
+        timeout: Optional[float] = None,
+        checkpoint_dir: Optional[str] = None,
+        checkpoint_every: int = 256,
+        start_method: Optional[str] = None,
+    ) -> None:
+        if batch_max < 1:
+            raise ConfigError(f"batch_max must be >= 1, got {batch_max}")
+        if retries < 0:
+            raise ConfigError(f"retries must be >= 0, got {retries}")
+        self.queue = queue
+        self.cache = cache
+        self.metrics = metrics
+        self.retries = retries
+        self.batch_max = batch_max
+        self.checkpoint_dir = checkpoint_dir
+        self.checkpoint_every = checkpoint_every
+        self._pool = WorkerPool(
+            workers=workers, timeout=timeout, start_method=start_method
+        )
+        self._lock = threading.Lock()
+        self._running: Set[str] = set()
+        self._buffer: Deque[QueuedJob] = deque()
+        self._entries: Dict[str, QueuedJob] = {}
+        self._stop = threading.Event()
+        self._thread: Optional[threading.Thread] = None
+        metrics.register_gauge(
+            f"{PREFIX}_jobs_in_flight",
+            "Jobs currently executing on worker processes.",
+            lambda: float(len(self.running_ids())),
+        )
+
+    # -- observers ------------------------------------------------------
+    def running_ids(self) -> Set[str]:
+        with self._lock:
+            return set(self._running)
+
+    def is_tracked(self, job_id: str) -> bool:
+        """Queued-in-scheduler or running (dedupe check for submissions)."""
+        with self._lock:
+            return job_id in self._running or job_id in self._entries
+
+    # -- lifecycle ------------------------------------------------------
+    def start(self) -> None:
+        if self._thread is not None:
+            raise ConfigError("scheduler already started")
+        self._thread = threading.Thread(
+            target=self._run, name="repro-serve-scheduler", daemon=True
+        )
+        self._thread.start()
+
+    def stop(self) -> None:
+        """Stop dispatching and shut the pool down politely.
+
+        In-flight workers get the pool's SIGTERM grace window — long
+        enough to flush a resilience-layer checkpoint — before SIGKILL;
+        their jobs, and everything still queued, are reset to ``pending``
+        in the store so the next daemon instance resumes them.
+        """
+        self._stop.set()
+        self.queue.close()
+        if self._thread is not None:
+            self._thread.join(timeout=30.0)
+            self._thread = None
+
+    # -- the loop -------------------------------------------------------
+    def _run(self) -> None:
+        pool = self._pool
+        while not self._stop.is_set():
+            self._fill_pool()
+            if pool.active:
+                for outcome in pool.wait(poll_s=0.05, budget_s=_WAIT_BUDGET_S):
+                    self._handle_outcome(outcome)
+            elif not self._buffer:
+                batch = self.queue.take_batch(self.batch_max, timeout_s=_IDLE_WAIT_S)
+                self._admit_batch(batch)
+        # Drain: polite shutdown, then hand interrupted work back to the
+        # store as pending rows (the restart-resume contract).
+        pool.shutdown()
+        with self._lock:
+            self._running.clear()
+            self._buffer.clear()
+            self._entries.clear()
+        interrupted, _ = self.cache.recover()
+        if interrupted:
+            self.metrics.inc(
+                f"{PREFIX}_drained_jobs_total",
+                "Jobs handed back to the store as pending during drain.",
+                amount=float(len(interrupted)),
+            )
+
+    def _admit_batch(self, batch: List[QueuedJob]) -> None:
+        if not batch:
+            return
+        self.metrics.inc(
+            f"{PREFIX}_batches_total",
+            "Dispatch rounds taken off the admission queue.",
+        )
+        self.metrics.inc(
+            f"{PREFIX}_batched_jobs_total",
+            "Jobs admitted to dispatch, counted per batch member.",
+            amount=float(len(batch)),
+        )
+        with self._lock:
+            for entry in batch:
+                self._buffer.append(entry)
+                self._entries[entry.job_id] = entry
+
+    def _fill_pool(self) -> None:
+        pool = self._pool
+        while pool.has_capacity():
+            if not self._buffer:
+                batch = self.queue.take_batch(self.batch_max, timeout_s=None)
+                self._admit_batch(batch)
+                if not self._buffer:
+                    return
+            with self._lock:
+                entry = self._buffer.popleft()
+            worker = pool.submit(entry.job_id, self._job_dict(entry.spec))
+            self.cache.mark_running(entry.job_id, worker)
+            with self._lock:
+                self._running.add(entry.job_id)
+            self.metrics.inc(
+                f"{PREFIX}_jobs_dispatched_total",
+                "Worker processes spawned (cache hits never increment this).",
+            )
+
+    def _job_dict(self, spec: JobSpec) -> dict:
+        data = spec.to_dict()
+        if self.checkpoint_dir is not None:
+            os.makedirs(self.checkpoint_dir, exist_ok=True)
+            data["_checkpoint"] = {
+                "path": os.path.join(self.checkpoint_dir, f"{spec.job_id}.ckpt"),
+                "every": self.checkpoint_every,
+            }
+        return data
+
+    def _handle_outcome(self, outcome) -> None:
+        with self._lock:
+            self._running.discard(outcome.job_id)
+            entry = self._entries.pop(outcome.job_id, None)
+        if outcome.ok:
+            self.cache.commit(outcome.job_id, outcome.payload, outcome.wall_s)
+            self.metrics.inc(
+                f"{PREFIX}_jobs_completed_total",
+                "Jobs that finished successfully and entered the cache.",
+            )
+            self.metrics.observe_service_time(outcome.wall_s)
+            return
+        attempts = self.cache.attempts(outcome.job_id)
+        requeue = attempts < self.retries + 1
+        self.cache.mark_failed(
+            outcome.job_id,
+            outcome.error or "unknown error",
+            outcome.wall_s,
+            requeue=requeue,
+        )
+        self.metrics.inc(
+            f"{PREFIX}_worker_restarts_total",
+            "Worker processes that died, timed out, or failed their job.",
+        )
+        if requeue:
+            if entry is None:
+                row = self.cache.job_row(outcome.job_id)
+                if row is None:  # pragma: no cover - outcome implies a row
+                    return
+                entry = QueuedJob(spec=row.job_spec(), client="retry")
+            with self._lock:
+                self._buffer.append(entry)
+                self._entries[entry.job_id] = entry
+        else:
+            self.metrics.inc(
+                f"{PREFIX}_jobs_failed_total",
+                "Jobs that exhausted their attempts and stayed failed.",
+            )

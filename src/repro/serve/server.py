@@ -1,0 +1,418 @@
+"""The simulation-as-a-service daemon: asyncio HTTP frontier + lifecycle.
+
+``ServeDaemon`` wires the serve components together and owns their
+lifecycle:
+
+* the asyncio HTTP frontier (this module) answers submissions, status
+  and result queries, the experiment catalog, ``/metrics`` and
+  ``/healthz`` — it never simulates and never blocks on a job;
+* the :class:`~repro.serve.scheduler.Scheduler` thread drains the
+  :class:`~repro.serve.queuein.AdmissionQueue` onto the campaign
+  :class:`~repro.campaign.pool.WorkerPool`;
+* the :class:`~repro.serve.cache.ResultCache` answers repeats
+  byte-identically with zero recomputation.
+
+Endpoints (all JSON unless noted)::
+
+    POST /api/v1/jobs          submit one canonicalized job
+    GET  /api/v1/jobs/<id>     lifecycle status + provenance
+    GET  /api/v1/jobs/<id>/result   the cached payload, verbatim bytes
+    GET  /api/v1/catalog       the experiment registry (service catalog)
+    GET  /healthz              liveness + drain state
+    GET  /metrics              Prometheus text format
+    POST /api/v1/shutdown      graceful drain (same path as SIGTERM)
+
+Backpressure contract: a full admission queue answers ``429`` with a
+``Retry-After`` header estimated from observed service times; while
+draining every submission answers ``503``.  Accepted jobs are durable
+(a ``pending`` row commits before the submission is acknowledged), so a
+SIGTERM between acceptance and execution never loses work — the next
+daemon on the same database resumes it.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import signal
+import threading
+from dataclasses import dataclass
+from typing import Any, Dict, Optional, Tuple
+
+from ..campaign.spec import REGISTRY
+from ..errors import ConfigError, ServeError
+from .cache import ResultCache
+from .metrics import PREFIX, Metrics
+from .protocol import (
+    API_PREFIX,
+    PROTOCOL_VERSION,
+    Request,
+    canonicalize_submission,
+    read_request,
+    render_response,
+)
+from .queuein import AdmissionQueue, QueueFull, QueuedJob
+from .scheduler import Scheduler
+
+__all__ = ["ServeConfig", "ServeDaemon"]
+
+
+@dataclass(frozen=True)
+class ServeConfig:
+    """Everything a daemon instance needs to start."""
+
+    host: str = "127.0.0.1"
+    port: int = 0  # 0: pick a free port (the daemon reports it)
+    db: str = "serve.db"
+    workers: int = 2
+    max_queue: int = 64
+    batch_max: int = 8
+    retries: int = 0
+    timeout: Optional[float] = None
+    checkpoint_dir: Optional[str] = None
+    checkpoint_every: int = 256
+    lru_size: int = 256
+    start_method: Optional[str] = None
+    #: fallback Retry-After before any service time has been observed (s)
+    retry_after_floor_s: float = 2.0
+
+
+class ServeDaemon:
+    """One serve instance: start, serve, drain.
+
+    Embeddable: ``start()`` runs the asyncio loop on a background thread
+    and returns once the socket is bound (``daemon.port`` is then real),
+    which is how the tests and the smoke script drive it.  The CLI calls
+    ``run_forever()`` instead, which installs SIGTERM/SIGINT handlers and
+    blocks until a signal (or ``POST /api/v1/shutdown``) drains it.
+    """
+
+    def __init__(self, config: ServeConfig) -> None:
+        self.config = config
+        self.metrics = Metrics()
+        self.cache = ResultCache(config.db, lru_size=config.lru_size)
+        self.queue = AdmissionQueue(max_depth=config.max_queue)
+        self.scheduler = Scheduler(
+            queue=self.queue,
+            cache=self.cache,
+            metrics=self.metrics,
+            workers=config.workers,
+            batch_max=config.batch_max,
+            retries=config.retries,
+            timeout=config.timeout,
+            checkpoint_dir=config.checkpoint_dir,
+            checkpoint_every=config.checkpoint_every,
+            start_method=config.start_method,
+        )
+        self.port: Optional[int] = None
+        self._draining = threading.Event()
+        self._stopped = threading.Event()
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        self._loop_done: Optional[asyncio.Event] = None
+        self._thread: Optional[threading.Thread] = None
+        self.metrics.register_gauge(
+            f"{PREFIX}_queue_depth",
+            "Jobs admitted and waiting for dispatch.",
+            lambda: float(self.queue.depth),
+        )
+
+    # -- lifecycle ------------------------------------------------------
+    def start(self) -> None:
+        """Bind, recover interrupted work, and serve on a background thread."""
+        if self._thread is not None:
+            raise ConfigError("daemon already started")
+        self._recover()
+        self.scheduler.start()
+        bound = threading.Event()
+        failure: Dict[str, BaseException] = {}
+        self._thread = threading.Thread(
+            target=self._run_loop,
+            args=(bound, failure),
+            name="repro-serve-http",
+            daemon=True,
+        )
+        self._thread.start()
+        if not bound.wait(timeout=10.0):
+            raise ServeError("daemon failed to bind within 10s")
+        if "error" in failure:
+            raise ServeError(f"daemon failed to start: {failure['error']}")
+
+    def run_forever(self) -> int:
+        """CLI mode: serve until SIGTERM/SIGINT, then drain gracefully."""
+        signal.signal(signal.SIGTERM, lambda *_: self.begin_drain())
+        signal.signal(signal.SIGINT, lambda *_: self.begin_drain())
+        if self._thread is None:
+            self.start()
+        self._stopped.wait()
+        return 0
+
+    def begin_drain(self) -> None:
+        """Refuse new work and stop the daemon (signal-handler safe)."""
+        self._draining.set()
+        # The actual teardown must not run on the signal frame; hand it to
+        # a plain thread so HTTP responses in flight can still complete.
+        threading.Thread(target=self.stop, name="repro-serve-drain", daemon=True).start()
+
+    def stop(self) -> None:
+        """Drain: stop intake, stop the scheduler (checkpoints flush,
+        interrupted jobs return to ``pending``), stop the loop."""
+        if self._stopped.is_set():
+            return
+        self._draining.set()
+        self.scheduler.stop()
+        loop, done = self._loop, self._loop_done
+        if loop is not None and done is not None:
+            try:
+                loop.call_soon_threadsafe(done.set)
+            except RuntimeError:  # simlint: allow[swallowed-exception]
+                pass  # loop already closed (startup failure path)
+        if self._thread is not None:
+            self._thread.join(timeout=10.0)
+            self._thread = None
+        self.cache.close()
+        self._stopped.set()
+
+    def _recover(self) -> None:
+        """Re-admit every accepted-but-unfinished job from the store."""
+        specs, reclaimed = self.cache.recover()
+        for spec in specs:
+            try:
+                self.queue.offer(QueuedJob(spec=spec, client="recovered"))
+            except QueueFull:
+                # Deeper backlogs than the queue bound stay pending in the
+                # store; the scheduler re-admits them as capacity frees up
+                # via subsequent recover passes on restart.  Record it.
+                self.metrics.inc(
+                    f"{PREFIX}_recovery_overflow_total",
+                    "Recovered jobs that exceeded the queue bound at startup.",
+                )
+                break
+        if specs:
+            self.metrics.inc(
+                f"{PREFIX}_recovered_jobs_total",
+                "Accepted jobs re-admitted after a restart.",
+                amount=float(len(specs)),
+            )
+        if reclaimed:
+            self.metrics.inc(
+                f"{PREFIX}_reclaimed_running_total",
+                "Jobs a previous daemon left running (drained or killed).",
+                amount=float(reclaimed),
+            )
+
+    # -- asyncio plumbing ----------------------------------------------
+    def _run_loop(self, bound: threading.Event, failure: Dict[str, BaseException]) -> None:
+        try:
+            asyncio.run(self._serve(bound))
+        except BaseException as exc:  # surfaced to start() via `failure`
+            failure["error"] = exc
+            bound.set()
+        finally:
+            self._stopped.set()
+
+    async def _serve(self, bound: threading.Event) -> None:
+        self._loop = asyncio.get_running_loop()
+        self._loop_done = asyncio.Event()
+        server = await asyncio.start_server(
+            self._handle_connection, host=self.config.host, port=self.config.port
+        )
+        self.port = server.sockets[0].getsockname()[1]
+        bound.set()
+        async with server:
+            await self._loop_done.wait()
+
+    async def _handle_connection(self, reader, writer) -> None:
+        try:
+            try:
+                request = await read_request(reader)
+            except (ConfigError, asyncio.IncompleteReadError) as exc:
+                writer.write(_json_response(400, {"error": str(exc)}))
+                await writer.drain()
+                return
+            if request is None:
+                return
+            status, payload, raw, headers = self._route(request)
+            if raw is not None:
+                body, content_type = raw
+                writer.write(
+                    render_response(status, body, content_type, extra_headers=headers)
+                )
+            else:
+                writer.write(_json_response(status, payload, headers))
+            await writer.drain()
+        except (ConnectionError, BrokenPipeError):  # client went away mid-answer
+            return
+        finally:
+            try:
+                writer.close()
+                await writer.wait_closed()
+            except (ConnectionError, BrokenPipeError):
+                return
+
+    # -- routing --------------------------------------------------------
+    def _route(
+        self, request: Request
+    ) -> Tuple[int, Any, Optional[Tuple[bytes, str]], Optional[Dict[str, str]]]:
+        """Dispatch one request; returns (status, json, raw-body, headers)."""
+        method, path = request.method, request.path.rstrip("/")
+        path = path or "/"
+        self.metrics.inc(
+            f"{PREFIX}_requests_total",
+            "HTTP requests, by endpoint.",
+            endpoint=_endpoint_label(method, path),
+        )
+        try:
+            if method == "GET" and path == "/healthz":
+                return 200, {
+                    "ok": True,
+                    "draining": self._draining.is_set(),
+                    "protocol": PROTOCOL_VERSION,
+                }, None, None
+            if method == "GET" and path == "/metrics":
+                body = self.metrics.render_prometheus().encode("utf-8")
+                return 200, None, (body, "text/plain; version=0.0.4"), None
+            if method == "GET" and path == f"{API_PREFIX}/catalog":
+                return 200, self._catalog(), None, None
+            if method == "POST" and path == f"{API_PREFIX}/jobs":
+                return self._submit(request)
+            if method == "GET" and path.startswith(f"{API_PREFIX}/jobs/"):
+                tail = path[len(f"{API_PREFIX}/jobs/"):]
+                if tail.endswith("/result"):
+                    return self._result(tail[: -len("/result")])
+                if "/" not in tail:
+                    return self._status(tail)
+            if method == "POST" and path == f"{API_PREFIX}/shutdown":
+                self.begin_drain()
+                return 200, {"ok": True, "draining": True}, None, None
+            return 404, {"error": f"no route for {method} {path}"}, None, None
+        except ConfigError as exc:
+            return 400, {"error": str(exc)}, None, None
+
+    # -- endpoint bodies -------------------------------------------------
+    def _submit(self, request: Request):
+        if self._draining.is_set():
+            return 503, {"error": "daemon is draining; resubmit to the next instance"}, None, None
+        spec, client = canonicalize_submission(request.json())
+        job_id = spec.job_id
+        cached = self.cache.lookup(job_id)
+        if cached is not None:
+            self.metrics.inc(
+                f"{PREFIX}_cache_hits_total",
+                "Submissions answered from the content-addressed cache.",
+            )
+            return 200, {
+                "job_id": job_id,
+                "status": "done",
+                "cached": True,
+            }, None, None
+        self.metrics.inc(
+            f"{PREFIX}_cache_misses_total",
+            "Submissions that required (or joined) a computation.",
+        )
+        if self.queue.contains(job_id) or self.scheduler.is_tracked(job_id):
+            # Identical work is already on its way; this submission joins it.
+            return 200, {
+                "job_id": job_id,
+                "status": "queued",
+                "cached": False,
+                "joined": True,
+            }, None, None
+        if not self.cache.admit(spec):
+            # A racing duplicate completed between lookup and admit.
+            return 200, {"job_id": job_id, "status": "done", "cached": True}, None, None
+        try:
+            self.queue.offer(QueuedJob(spec=spec, client=client))
+        except QueueFull as exc:
+            retry_after = self._retry_after_s()
+            self.metrics.inc(
+                f"{PREFIX}_rejected_total",
+                "Submissions refused with 429 backpressure.",
+            )
+            return 429, {
+                "error": str(exc),
+                "retry_after_s": retry_after,
+            }, None, {"Retry-After": str(retry_after)}
+        return 200, {
+            "job_id": job_id,
+            "status": "queued",
+            "cached": False,
+            "queue_depth": self.queue.depth,
+        }, None, None
+
+    def _status(self, job_id: str):
+        row = self.cache.job_row(job_id)
+        if row is None:
+            return 404, {"error": f"unknown job id {job_id!r}"}, None, None
+        status = row.status
+        if status == "pending" and (
+            self.queue.contains(job_id) or self.scheduler.is_tracked(job_id)
+        ):
+            status = "queued"
+        body = {
+            "job_id": job_id,
+            "status": "running" if job_id in self.scheduler.running_ids() else status,
+            "eid": row.eid,
+            "attempts": row.attempts,
+            "error": row.error,
+            "wall_s": row.wall_s,
+            "worker": row.worker,
+        }
+        return 200, body, None, None
+
+    def _result(self, job_id: str):
+        row = self.cache.job_row(job_id)
+        if row is None:
+            return 404, {"error": f"unknown job id {job_id!r}"}, None, None
+        text = self.cache.lookup(job_id)
+        if text is None:
+            return 404, {
+                "error": f"job {job_id} is {row.status}, not done",
+                "status": row.status,
+            }, None, None
+        # Verbatim stored bytes: the byte-identical replay contract.
+        return 200, None, (text.encode("utf-8"), "application/json"), None
+
+    def _catalog(self) -> dict:
+        experiments = {}
+        for eid in sorted(REGISTRY, key=lambda e: (len(e), e)):
+            experiment = REGISTRY[eid]
+            experiments[eid] = {
+                "default_seed": experiment.default_seed,
+                "host_time_columns": list(experiment.host_time_columns),
+                "points": {
+                    "quick": len(experiment.points(True)),
+                    "full": len(experiment.points(False)),
+                },
+            }
+        return {"protocol": PROTOCOL_VERSION, "experiments": experiments}
+
+    def _retry_after_s(self) -> int:
+        """Seconds until capacity plausibly frees up, from observed times."""
+        mean = self.metrics.mean_service_time()
+        if mean is None:
+            estimate = self.config.retry_after_floor_s
+        else:
+            estimate = mean * (self.queue.depth + 1) / max(1, self.config.workers)
+        return max(1, min(300, round(estimate)))
+
+
+def _endpoint_label(method: str, path: str) -> str:
+    """Collapse per-job paths to one label so cardinality stays bounded."""
+    if path.startswith(f"{API_PREFIX}/jobs/"):
+        return "result" if path.endswith("/result") else "status"
+    if path == f"{API_PREFIX}/jobs":
+        return "submit"
+    if path == f"{API_PREFIX}/catalog":
+        return "catalog"
+    if path in ("/healthz", "/metrics"):
+        return path.strip("/")
+    if path == f"{API_PREFIX}/shutdown":
+        return "shutdown"
+    return "other"
+
+
+def _json_response(
+    status: int, payload: Any, headers: Optional[Dict[str, str]] = None
+) -> bytes:
+    body = (json.dumps(payload, sort_keys=True) + "\n").encode("utf-8")
+    return render_response(status, body, "application/json", extra_headers=headers)

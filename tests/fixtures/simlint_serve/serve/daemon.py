@@ -1,0 +1,16 @@
+"""Fixture: serve-layer code is sanctioned wall-clock/unbounded territory.
+
+Under the default config the ``serve/*`` allowlists make this file clean
+even though it reads the host clock and spins an event loop.
+"""
+
+import time
+
+
+def retry_after(depth: int) -> float:
+    return time.monotonic() + depth  # allowlisted for serve/*
+
+
+def accept_loop(queue):
+    while True:  # event-driven, not cycle-bounded: allowlisted for serve/*
+        queue.take()

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.harness.cli import build_parser, main
+from repro.harness.cli import SUBCOMMANDS, build_parser, main
 
 
 class TestParser:
@@ -77,3 +77,64 @@ class TestCampaignDispatch:
         db = str(tmp_path / "c.db")
         assert main(["campaign", "run", "E42", "--db", db]) == 2
         assert "unknown campaign experiment" in capsys.readouterr().err
+
+
+class TestSubcommandRegistry:
+    """The SUBCOMMANDS table is the single source of truth for tool
+    dispatch; these tests keep the table, the dispatcher, and --help in
+    lockstep so a new tool cannot be wired into one and forgotten in
+    another."""
+
+    EXPECTED = {"lint", "verify", "campaign", "resilience", "serve"}
+
+    def test_table_names_every_tool(self):
+        assert set(SUBCOMMANDS) == self.EXPECTED
+
+    def test_table_entries_are_consistent(self):
+        for name, sub in SUBCOMMANDS.items():
+            assert sub.name == name
+            assert sub.help, f"{name} needs a help line for the epilog"
+
+    def test_help_epilog_lists_every_subcommand(self, capsys):
+        with pytest.raises(SystemExit) as err:
+            main(["--help"])
+        assert err.value.code == 0
+        out = capsys.readouterr().out
+        for name, sub in SUBCOMMANDS.items():
+            assert f"\n  {name}" in out
+            assert sub.help in out
+
+    @pytest.mark.parametrize("name", sorted(EXPECTED))
+    def test_every_subcommand_dispatches_to_a_real_parser(self, name, capsys):
+        """main([name, "--help"]) must reach the tool's own argparse: the
+        loader resolves, the tool's parser exists, and it exits cleanly."""
+        with pytest.raises(SystemExit) as err:
+            main([name, "--help"])
+        assert err.value.code == 0
+        out = capsys.readouterr().out
+        assert "usage:" in out
+
+    def test_loaders_resolve_to_callables(self):
+        for sub in SUBCOMMANDS.values():
+            assert callable(sub.load())
+
+    def test_subcommand_names_never_collide_with_experiments(self):
+        from repro.harness.experiments import ALL_EXPERIMENTS
+
+        assert not set(SUBCOMMANDS) & set(ALL_EXPERIMENTS)
+
+
+class TestServeDispatch:
+    """``python -m repro serve ...`` hands off to repro.serve.cli."""
+
+    def test_serve_requires_a_command(self, capsys):
+        with pytest.raises(SystemExit) as err:
+            main(["serve"])
+        assert err.value.code == 2
+        assert "command" in capsys.readouterr().err
+
+    def test_serve_client_without_daemon_fails_cleanly(self, capsys):
+        # port 1 is never listening; the client must map the socket error
+        # to exit code 2, not a traceback
+        assert main(["serve", "catalog", "--port", "1"]) == 2
+        assert "cannot reach serve daemon" in capsys.readouterr().err

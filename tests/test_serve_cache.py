@@ -1,0 +1,186 @@
+"""Cache-identity edge cases for the serve layer.
+
+The whole value proposition of ``repro.serve`` rests on one invariant:
+*the content hash is the job*.  Two submissions that mean the same
+experiment must collapse to one cache entry no matter how the request
+was spelled, and two submissions that differ in anything that changes
+simulated behaviour (seed, synchronization quantum, point, quick flag)
+must never collide.  These tests pin that boundary, plus the
+byte-identical replay contract across a daemon restart.
+"""
+
+import json
+
+import pytest
+
+from repro.campaign.spec import JobSpec, get_experiment
+from repro.errors import ConfigError
+from repro.harness.persist import result_from_dict, result_to_dict
+from repro.serve.cache import ResultCache
+from repro.serve.protocol import PROTOCOL_VERSION, canonicalize_submission
+
+
+def _submission(**overrides):
+    body = {
+        "v": PROTOCOL_VERSION,
+        "eid": "E7",
+        "point_index": 1,
+        "quick": True,
+        "client": "t",
+    }
+    body.update(overrides)
+    return body
+
+
+class TestFieldOrderInsensitivity:
+    def test_key_order_never_changes_the_job_id(self):
+        a, _ = canonicalize_submission(_submission())
+        scrambled = dict(reversed(list(_submission().items())))
+        b, _ = canonicalize_submission(scrambled)
+        assert a == b and a.job_id == b.job_id
+
+    def test_point_by_value_matches_point_by_index(self):
+        # E7's quick grid is [[1], [16], [64]]; naming the point by value
+        # must land on the same content hash as naming its grid slot.
+        by_index, _ = canonicalize_submission(_submission())
+        by_value, _ = canonicalize_submission(
+            {k: v for k, v in _submission(point=[16]).items()
+             if k != "point_index"}
+        )
+        assert by_value.job_id == by_index.job_id
+
+    def test_explicit_default_seed_matches_omitted_seed(self):
+        default = get_experiment("E7").default_seed
+        implicit, _ = canonicalize_submission(_submission())
+        explicit, _ = canonicalize_submission(_submission(seed=default))
+        assert implicit.job_id == explicit.job_id
+
+    def test_order_insensitive_submission_is_a_cache_hit(self):
+        with ResultCache(":memory:") as cache:
+            spec, _ = canonicalize_submission(_submission())
+            assert cache.admit(spec)
+            cache.mark_running(spec.job_id, "t")
+            text = cache.commit(spec.job_id, {"record": {"q": 16}}, 0.5)
+            scrambled, _ = canonicalize_submission(
+                dict(reversed(list(_submission().items())))
+            )
+            assert cache.lookup(scrambled.job_id) == text
+
+
+class TestIdentityDiscriminants:
+    """Anything that changes simulated behaviour must miss the cache."""
+
+    def test_seed_is_part_of_the_identity(self):
+        a, _ = canonicalize_submission(_submission(seed=1))
+        b, _ = canonicalize_submission(_submission(seed=2))
+        assert a.job_id != b.job_id
+
+    def test_quantum_is_part_of_the_identity(self):
+        # E7 sweeps the synchronization quantum; index 0 is Q=1, index 2
+        # is Q=64.  Different quantum, different simulation, different hash.
+        q1, _ = canonicalize_submission(_submission(point_index=0))
+        q64, _ = canonicalize_submission(_submission(point_index=2))
+        assert q1.job_id != q64.job_id
+
+    def test_quick_flag_is_part_of_the_identity(self):
+        # quick=False re-indexes into the full grid; E7 index 1 exists in
+        # both grids but the flag itself still separates the hashes.
+        quick, _ = canonicalize_submission(_submission())
+        full, _ = canonicalize_submission(_submission(quick=False))
+        assert quick.job_id != full.job_id
+
+    def test_replicate_is_part_of_the_identity(self):
+        r0, _ = canonicalize_submission(_submission(replicate=0))
+        r1, _ = canonicalize_submission(_submission(replicate=1))
+        assert r0.job_id != r1.job_id
+
+    def test_misses_stay_separate_in_the_cache(self):
+        with ResultCache(":memory:") as cache:
+            a, _ = canonicalize_submission(_submission(seed=1))
+            b, _ = canonicalize_submission(_submission(seed=2))
+            cache.admit(a)
+            cache.mark_running(a.job_id, "t")
+            cache.commit(a.job_id, {"record": {"seed": 1}}, 0.1)
+            assert cache.lookup(b.job_id) is None
+            assert cache.admit(b), "a different seed must be a fresh job"
+
+
+class TestSubmissionValidation:
+    def test_unknown_keys_rejected(self):
+        with pytest.raises(ConfigError, match="unknown"):
+            canonicalize_submission(_submission(surprise=1))
+
+    def test_wrong_protocol_version_rejected(self):
+        with pytest.raises(ConfigError, match="protocol"):
+            canonicalize_submission(_submission(v=PROTOCOL_VERSION + 1))
+
+    def test_unknown_experiment_rejected(self):
+        with pytest.raises(ConfigError):
+            canonicalize_submission(_submission(eid="E99"))
+
+    def test_point_not_on_grid_rejected(self):
+        with pytest.raises(ConfigError, match="grid"):
+            canonicalize_submission(
+                {k: v for k, v in _submission(point=[17]).items()
+                 if k != "point_index"}
+            )
+
+    def test_mismatched_point_and_index_rejected(self):
+        with pytest.raises(ConfigError):
+            canonicalize_submission(_submission(point=[64]))  # slot 1 is [16]
+
+
+class TestRestartByteIdentity:
+    def test_payload_survives_restart_byte_identical(self, tmp_path):
+        db = str(tmp_path / "serve.db")
+        spec = JobSpec(eid="demo", point_index=0, point=[0], quick=True, seed=7)
+        with ResultCache(db) as cache:
+            cache.admit(spec)
+            cache.mark_running(spec.job_id, "t")
+            first = cache.commit(
+                spec.job_id, {"record": {"idx": 0, "lat": 3.25}}, 0.2
+            )
+        # "Restart": a brand-new cache instance on the same file, with a
+        # cold LRU — the hit must come from SQLite and match byte for byte.
+        with ResultCache(db) as reborn:
+            assert spec.job_id not in reborn.lru_contents()
+            assert reborn.lookup(spec.job_id) == first
+            assert spec.job_id in reborn.lru_contents(), "hit should promote"
+            assert not reborn.admit(spec), "done job must never recompute"
+
+    def test_stored_text_is_canonical_json(self):
+        with ResultCache(":memory:") as cache:
+            spec = JobSpec(eid="demo", point_index=1, point=[1], quick=True, seed=7)
+            cache.admit(spec)
+            cache.mark_running(spec.job_id, "t")
+            text = cache.commit(spec.job_id, {"record": {"b": 2, "a": 1}}, 0.0)
+            assert text == json.dumps(json.loads(text), sort_keys=True)
+            assert json.loads(text)["record"] == {"a": 1, "b": 2}
+
+
+class TestPersistRoundTrip:
+    def test_cached_payload_round_trips_through_harness_persist(self):
+        """A whole-experiment payload is a persisted ExperimentResult: it
+        must survive cache storage and reload through ``harness.persist``
+        with nothing lost."""
+        experiment = get_experiment("E1")
+        payload = experiment.run_point(None, quick=True, seed=experiment.default_seed)
+        spec = JobSpec(
+            eid="E1", point_index=0, point=None, quick=True,
+            seed=experiment.default_seed,
+        )
+        with ResultCache(":memory:") as cache:
+            cache.admit(spec)
+            cache.mark_running(spec.job_id, "t")
+            text = cache.commit(spec.job_id, {"record": payload}, 0.1)
+        stored = json.loads(text)["record"]
+        result = result_from_dict(stored, source="serve cache")
+        assert result_to_dict(result) == stored
+        # and the reload is stable: dict -> result -> dict is a fixpoint
+        assert result_to_dict(result_from_dict(result_to_dict(result))) == stored
+
+
+if __name__ == "__main__":
+    import sys
+
+    sys.exit(pytest.main([__file__, "-q"]))

@@ -1,0 +1,147 @@
+"""Metrics registry and Prometheus text-exposition tests."""
+
+import pytest
+
+from repro.serve.metrics import PREFIX, Metrics, quantile
+
+
+class TestQuantile:
+    def test_single_sample(self):
+        assert quantile([4.0], 0.5) == 4.0
+        assert quantile([4.0], 0.99) == 4.0
+
+    def test_median_of_odd_run(self):
+        assert quantile([3.0, 1.0, 2.0], 0.5) == 2.0
+
+    def test_p99_is_near_max(self):
+        samples = [float(i) for i in range(100)]
+        assert quantile(samples, 0.99) == 98.0
+        assert quantile(samples, 1.0) == 99.0
+
+    def test_order_independent(self):
+        a = [5.0, 1.0, 3.0, 2.0, 4.0]
+        assert quantile(a, 0.5) == quantile(sorted(a), 0.5) == 3.0
+
+
+class TestCounters:
+    def test_inc_accumulates(self):
+        m = Metrics()
+        m.inc("x_total", "help", 1.0)
+        m.inc("x_total", "help", 2.0)
+        assert m.counter_value("x_total") == 3.0
+
+    def test_labels_are_separate_series(self):
+        m = Metrics()
+        m.inc("req_total", "h", endpoint="/jobs")
+        m.inc("req_total", "h", endpoint="/metrics")
+        m.inc("req_total", "h", endpoint="/jobs")
+        assert m.counter_value("req_total", endpoint="/jobs") == 2.0
+        assert m.counter_value("req_total", endpoint="/metrics") == 1.0
+        assert m.counter_total("req_total") == 3.0
+
+    def test_label_order_is_canonical(self):
+        m = Metrics()
+        m.inc("y_total", "h", a="1", b="2")
+        assert m.counter_value("y_total", b="2", a="1") == 1.0
+
+
+class TestCacheHitRatio:
+    def test_none_before_any_submission(self):
+        assert Metrics().cache_hit_ratio() is None
+
+    def test_ratio(self):
+        m = Metrics()
+        m.inc(f"{PREFIX}_cache_hits_total", "h", 3.0)
+        m.inc(f"{PREFIX}_cache_misses_total", "h", 1.0)
+        assert m.cache_hit_ratio() == pytest.approx(0.75)
+
+
+class TestServiceTimes:
+    def test_quantiles_none_when_empty(self):
+        m = Metrics()
+        assert m.service_time_quantiles() is None
+        assert m.mean_service_time() is None
+
+    def test_quantiles_and_mean(self):
+        m = Metrics()
+        for s in (1.0, 2.0, 3.0, 4.0, 5.0):
+            m.observe_service_time(s)
+        q = m.service_time_quantiles()
+        assert q["0.5"] == 3.0 and q["0.99"] == 5.0
+        assert m.mean_service_time() == pytest.approx(3.0)
+
+    def test_window_bounds_memory_but_not_the_count(self):
+        m = Metrics()
+        for _ in range(2000):
+            m.observe_service_time(0.001)
+        rendered = m.render_prometheus()
+        assert f"{PREFIX}_service_time_seconds_count 2000" in rendered
+
+
+class TestPrometheusRendering:
+    def _metrics(self):
+        m = Metrics()
+        m.inc(f"{PREFIX}_jobs_dispatched_total", "Workers spawned.", 2.0)
+        m.inc(f"{PREFIX}_cache_hits_total", "Hits.", 1.0)
+        m.inc(f"{PREFIX}_cache_misses_total", "Misses.", 1.0)
+        m.register_gauge(f"{PREFIX}_queue_depth", "Depth.", lambda: 5)
+        m.observe_service_time(0.25)
+        return m
+
+    def test_help_and_type_precede_every_series(self):
+        text = self._metrics().render_prometheus()
+        for series in (
+            f"{PREFIX}_jobs_dispatched_total",
+            f"{PREFIX}_queue_depth",
+            f"{PREFIX}_cache_hit_ratio",
+            f"{PREFIX}_service_time_seconds",
+            f"{PREFIX}_uptime_seconds",
+        ):
+            assert f"# HELP {series} " in text
+            assert f"# TYPE {series} " in text
+
+    def test_counter_gauge_and_summary_lines(self):
+        text = self._metrics().render_prometheus()
+        assert f"{PREFIX}_jobs_dispatched_total 2\n" in text
+        assert f"{PREFIX}_queue_depth 5\n" in text
+        assert f"{PREFIX}_cache_hit_ratio 0.5\n" in text
+        assert f'{PREFIX}_service_time_seconds{{quantile="0.5"}} 0.25' in text
+        assert f"{PREFIX}_service_time_seconds_count 1\n" in text
+
+    def test_labelled_counter_formatting(self):
+        m = Metrics()
+        m.inc(f"{PREFIX}_requests_total", "Requests.", endpoint="/jobs")
+        text = m.render_prometheus()
+        assert f'{PREFIX}_requests_total{{endpoint="/jobs"}} 1\n' in text
+
+    def test_integer_values_have_no_decimal_point(self):
+        text = self._metrics().render_prometheus()
+        line = next(
+            ln for ln in text.splitlines()
+            if ln.startswith(f"{PREFIX}_jobs_dispatched_total ")
+        )
+        assert line.endswith(" 2")
+
+    def test_render_is_stable_order(self):
+        m = self._metrics()
+        a = [
+            ln for ln in m.render_prometheus().splitlines()
+            if not ln.startswith(f"{PREFIX}_uptime") and "uptime" not in ln
+        ]
+        b = [
+            ln for ln in m.render_prometheus().splitlines()
+            if not ln.startswith(f"{PREFIX}_uptime") and "uptime" not in ln
+        ]
+        assert a == b
+
+    def test_empty_registry_still_renders(self):
+        text = Metrics().render_prometheus()
+        assert f"{PREFIX}_cache_hit_ratio 0\n" in text
+        assert f"{PREFIX}_service_time_seconds_count 0\n" in text
+        assert text.endswith("\n")
+
+
+if __name__ == "__main__":
+    import sys
+
+    sys.exit(pytest.main([__file__, "-q"]))

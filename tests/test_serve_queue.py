@@ -1,0 +1,153 @@
+"""AdmissionQueue semantics: bounds, fairness, dedupe, shape batching."""
+
+import threading
+
+import pytest
+
+from repro.campaign.spec import JobSpec
+from repro.errors import ConfigError
+from repro.serve.queuein import AdmissionQueue, QueuedJob, QueueFull
+
+
+def _job(client, eid="demo", idx=0, quick=True, seed=7, replicate=0):
+    return QueuedJob(
+        spec=JobSpec(
+            eid=eid, point_index=idx, point=[idx], quick=quick,
+            seed=seed, replicate=replicate,
+        ),
+        client=client,
+    )
+
+
+class TestBoundsAndDedupe:
+    def test_depth_bound_enforced(self):
+        q = AdmissionQueue(max_depth=2)
+        assert q.offer(_job("a", idx=0))
+        assert q.offer(_job("a", idx=1))
+        with pytest.raises(QueueFull):
+            q.offer(_job("a", idx=2))
+        assert q.depth == 2
+
+    def test_duplicate_content_hash_joins_not_doubles(self):
+        q = AdmissionQueue(max_depth=8)
+        assert q.offer(_job("a"))
+        assert not q.offer(_job("b")), "same hash from another client joins"
+        assert q.depth == 1
+
+    def test_closed_queue_refuses_offers(self):
+        q = AdmissionQueue(max_depth=2)
+        q.close()
+        with pytest.raises(QueueFull):
+            q.offer(_job("a"))
+
+    def test_bad_depth_rejected(self):
+        with pytest.raises(ConfigError):
+            AdmissionQueue(max_depth=0)
+
+    def test_contains_tracks_queued_ids(self):
+        q = AdmissionQueue(max_depth=4)
+        entry = _job("a")
+        q.offer(entry)
+        assert q.contains(entry.job_id)
+        q.take_batch(1)
+        assert not q.contains(entry.job_id)
+
+
+class TestFairness:
+    def test_round_robin_across_clients(self):
+        """A flood from one client cannot starve a single-job client."""
+        q = AdmissionQueue(max_depth=64)
+        for i in range(10):
+            q.offer(_job("hog", eid="E5", idx=i % 2, seed=i))
+        q.offer(_job("mouse", eid="E7", idx=0))
+        # batching is per-shape, so E7 can't ride along with E5 pops;
+        # the mouse must get the second round-robin turn regardless.
+        first = q.take_batch(1)
+        second = q.take_batch(1)
+        clients = {first[0].client, second[0].client}
+        assert clients == {"hog", "mouse"}
+
+    def test_rotation_survives_client_drain(self):
+        q = AdmissionQueue(max_depth=8)
+        q.offer(_job("a", idx=0))
+        q.offer(_job("b", eid="E7", idx=0))
+        q.offer(_job("b", eid="E7", idx=1))
+        drained = []
+        while q.depth:
+            drained.extend(e.client for e in q.take_batch(1))
+        assert sorted(drained) == ["a", "b", "b"]
+        # client books empty out with the queue (no rotation leak)
+        assert q.snapshot() == []
+        q.offer(_job("a", idx=1))
+        assert [e.client for e in q.take_batch(1)] == ["a"]
+
+
+class TestShapeBatching:
+    def test_batch_tops_up_with_same_shape(self):
+        q = AdmissionQueue(max_depth=16)
+        q.offer(_job("a", eid="E5", idx=0))
+        q.offer(_job("a", eid="E7", idx=0))
+        q.offer(_job("b", eid="E5", idx=1))
+        batch = q.take_batch(4)
+        assert [e.spec.eid for e in batch] == ["E5", "E5"]
+        assert {e.client for e in batch} == {"a", "b"}
+        assert q.depth == 1  # the E7 job stayed queued
+
+    def test_quick_flag_separates_shapes(self):
+        q = AdmissionQueue(max_depth=16)
+        q.offer(_job("a", idx=0, quick=True))
+        q.offer(_job("a", idx=1, quick=False))
+        batch = q.take_batch(4)
+        assert len(batch) == 1 and batch[0].spec.quick
+
+    def test_batch_respects_max(self):
+        q = AdmissionQueue(max_depth=16)
+        for i in range(6):
+            q.offer(_job("a", idx=i % 2, seed=i))
+        assert len(q.take_batch(4)) == 4
+        assert q.depth == 2
+
+    def test_preserves_fifo_within_client(self):
+        q = AdmissionQueue(max_depth=16)
+        for seed in (3, 1, 2):
+            q.offer(_job("a", seed=seed))
+        seeds = [e.spec.seed for e in q.take_batch(8)]
+        assert seeds == [3, 1, 2]
+
+
+class TestBlockingTake:
+    def test_take_times_out_empty(self):
+        q = AdmissionQueue(max_depth=2)
+        assert q.take_batch(1, timeout_s=0.01) == []
+
+    def test_offer_wakes_a_waiting_taker(self):
+        q = AdmissionQueue(max_depth=2)
+        got = []
+
+        def taker():
+            got.extend(q.take_batch(1, timeout_s=5.0))
+
+        t = threading.Thread(target=taker)
+        t.start()
+        q.offer(_job("a"))
+        t.join(timeout=5)
+        assert not t.is_alive() and len(got) == 1
+
+    def test_close_wakes_waiters_empty_handed(self):
+        q = AdmissionQueue(max_depth=2)
+        got = {}
+
+        def taker():
+            got["batch"] = q.take_batch(1, timeout_s=5.0)
+
+        t = threading.Thread(target=taker)
+        t.start()
+        q.close()
+        t.join(timeout=5)
+        assert not t.is_alive() and got["batch"] == []
+
+
+if __name__ == "__main__":
+    import sys
+
+    sys.exit(pytest.main([__file__, "-q"]))

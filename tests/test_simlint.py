@@ -89,6 +89,38 @@ class TestTree:
         assert render_report([]) == "simlint: clean"
 
 
+class TestServeScopedAllowlists:
+    """The serve daemon is the sanctioned home of host-clock reads and
+    event-driven (unbounded) loops; the same patterns anywhere else in
+    the tree must still be violations.  The fixture tree mirrors the
+    package layout: ``serve/daemon.py`` vs ``core/engine.py`` with
+    byte-for-byte-equivalent hazards."""
+
+    SERVE_FIXTURES = Path(__file__).parent / "fixtures" / "simlint_serve"
+
+    def test_serve_paths_are_clean_under_defaults(self):
+        violations = lint_paths([self.SERVE_FIXTURES])
+        assert not any("serve/" in v.path for v in violations)
+
+    def test_same_patterns_outside_serve_are_flagged(self):
+        violations = lint_paths([self.SERVE_FIXTURES])
+        rules = sorted(v.rule for v in violations if "core/" in v.path)
+        assert rules == ["unbounded-loop", "wall-clock"]
+
+    def test_serve_exemption_is_path_scoped_not_global(self):
+        # With the allowlists stripped, the serve file's hazards surface —
+        # proof the default cleanliness comes from scoping, not blindness.
+        strict = LintConfig(allow_paths={}, unbounded_loop_paths=("*",))
+        violations = lint_paths([self.SERVE_FIXTURES / "serve"], config=strict)
+        assert {v.rule for v in violations} == {"wall-clock", "unbounded-loop"}
+
+    def test_default_config_scopes_serve(self):
+        config = LintConfig()
+        assert "serve/*" in config.allow_paths["wall-clock"]
+        assert "serve/*" in config.allow_paths["unbounded-loop"]
+        assert "serve/*" in config.unbounded_loop_paths
+
+
 class TestSwallowedException:
     def test_bare_except_flagged_even_with_real_body(self, tmp_path):
         src = tmp_path / "bare.py"

@@ -1,0 +1,207 @@
+"""Concurrent reader/writer stress tests for the SQLite ResultStore.
+
+The serve daemon shares one store between its HTTP thread and its
+scheduler thread, and separate processes (the CLI, a second daemon on
+the same ``--db``) may open their own connections concurrently.  WAL
+journaling plus ``busy_timeout`` is what makes that safe; these tests
+hammer the store from threads holding *independent connections* and
+assert nobody sees a torn read or a spurious ``database is locked``.
+"""
+
+import threading
+
+import pytest
+
+from repro.campaign.spec import JobSpec
+from repro.campaign.store import ResultStore
+
+
+def _specs(n, eid="demo"):
+    return [
+        JobSpec(eid=eid, point_index=i, point=[1, i], quick=True, seed=7)
+        for i in range(n)
+    ]
+
+
+class TestWalConfiguration:
+    def test_file_store_uses_wal(self, tmp_path):
+        with ResultStore(str(tmp_path / "s.db")) as store:
+            mode = store._conn.execute("PRAGMA journal_mode").fetchone()[0]
+            assert mode == "wal"
+            timeout = store._conn.execute("PRAGMA busy_timeout").fetchone()[0]
+            assert timeout == 5_000
+
+    def test_memory_store_skips_wal(self):
+        # WAL is meaningless for :memory:; sqlite would answer "memory".
+        with ResultStore(":memory:") as store:
+            mode = store._conn.execute("PRAGMA journal_mode").fetchone()[0]
+            assert mode == "memory"
+
+    def test_cross_thread_flag_allows_other_threads(self, tmp_path):
+        store = ResultStore(str(tmp_path / "s.db"), cross_thread=True)
+        store.add_jobs(_specs(1))
+        seen = {}
+
+        def reader():
+            seen["counts"] = store.counts()
+
+        t = threading.Thread(target=reader)
+        t.start()
+        t.join()
+        store.close()
+        assert seen["counts"]["pending"] == 1
+
+    def test_default_store_refuses_other_threads(self, tmp_path):
+        store = ResultStore(str(tmp_path / "s.db"))
+        failures = []
+
+        def reader():
+            try:
+                store.counts()
+            except Exception as exc:  # sqlite3.ProgrammingError
+                failures.append(exc)
+
+        t = threading.Thread(target=reader)
+        t.start()
+        t.join()
+        store.close()
+        assert failures, "check_same_thread guard should stay on by default"
+
+
+class TestConcurrentReadersWriter:
+    """Many independent connections on one file, no lock errors."""
+
+    N_JOBS = 40
+    N_READERS = 4
+
+    def test_readers_never_block_the_writer(self, tmp_path):
+        path = str(tmp_path / "stress.db")
+        with ResultStore(path) as seedstore:
+            seedstore.add_jobs(_specs(self.N_JOBS))
+
+        stop = threading.Event()
+        errors = []
+        reads = []
+
+        def reader(idx):
+            count = 0
+            try:
+                with ResultStore(path) as store:
+                    while not stop.is_set():
+                        counts = store.counts()
+                        assert sum(counts.values()) == self.N_JOBS
+                        for row in store.all_jobs():
+                            if row.status == "done":
+                                # Done rows must always be fully formed:
+                                # payload committed with the status flip.
+                                assert row.payload is not None
+                                assert row.record()["idx"] >= 0
+                        count += 1
+            except Exception as exc:
+                errors.append((idx, exc))
+            reads.append(count)
+
+        threads = [
+            threading.Thread(target=reader, args=(i,))
+            for i in range(self.N_READERS)
+        ]
+        for t in threads:
+            t.start()
+        try:
+            with ResultStore(path) as writer:
+                for spec in _specs(self.N_JOBS):
+                    writer.mark_running(spec.job_id, worker="stress")
+                    writer.mark_done(
+                        spec.job_id,
+                        {"record": {"idx": spec.point_index, "lat": 1.5}},
+                        wall_s=0.01,
+                    )
+        finally:
+            stop.set()
+            for t in threads:
+                t.join(timeout=30)
+        assert not errors, f"concurrent access failed: {errors[:3]}"
+        with ResultStore(path) as store:
+            assert store.counts()["done"] == self.N_JOBS
+        assert sum(reads) > 0, "readers never got a single pass in"
+
+    def test_two_writers_interleave_without_lock_errors(self, tmp_path):
+        path = str(tmp_path / "two.db")
+        specs = _specs(self.N_JOBS)
+        with ResultStore(path) as seedstore:
+            seedstore.add_jobs(specs)
+        halves = [specs[::2], specs[1::2]]
+        errors = []
+
+        def writer(mine):
+            try:
+                with ResultStore(path) as store:
+                    for spec in mine:
+                        store.mark_running(spec.job_id, worker="w")
+                        store.mark_done(
+                            spec.job_id, {"point_index": spec.point_index}, 0.0
+                        )
+            except Exception as exc:
+                errors.append(exc)
+
+        threads = [threading.Thread(target=writer, args=(h,)) for h in halves]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=60)
+        assert not errors, f"writer hit: {errors[:3]}"
+        with ResultStore(path) as store:
+            counts = store.counts()
+        assert counts["done"] == self.N_JOBS
+
+
+class TestRequeueOne:
+    def test_failed_job_returns_to_pending(self, tmp_path):
+        with ResultStore(str(tmp_path / "r.db")) as store:
+            (spec,) = _specs(1)
+            store.add_jobs([spec])
+            store.mark_running(spec.job_id, worker="w")
+            store.mark_failed(spec.job_id, "boom", wall_s=0.1, requeue=False)
+            assert store.requeue_one(spec.job_id)
+            row = store.get_job(spec.job_id)
+            assert row.status == "pending" and row.error is None
+            # attempts survive the requeue so retry budgets keep counting
+            assert row.attempts == 1
+
+    def test_requeue_one_refuses_done_rows(self, tmp_path):
+        with ResultStore(str(tmp_path / "r.db")) as store:
+            (spec,) = _specs(1)
+            store.add_jobs([spec])
+            store.mark_running(spec.job_id, worker="w")
+            store.mark_done(spec.job_id, {"x": 1}, 0.0)
+            assert not store.requeue_one(spec.job_id)
+            assert store.get_job(spec.job_id).status == "done"
+
+    def test_requeue_unknown_job(self, tmp_path):
+        with ResultStore(str(tmp_path / "r.db")) as store:
+            assert not store.requeue_one("feedfacedeadbeef")
+
+
+class TestAddJobsIdempotence:
+    def test_add_jobs_counts_only_new_rows(self, tmp_path):
+        with ResultStore(str(tmp_path / "a.db")) as store:
+            specs = _specs(3)
+            assert store.add_jobs(specs) == 3
+            assert store.add_jobs(specs) == 0
+            assert store.add_jobs(specs + _specs(4)) == 1
+
+    def test_add_jobs_never_clobbers_done_rows(self, tmp_path):
+        with ResultStore(str(tmp_path / "a.db")) as store:
+            (spec,) = _specs(1)
+            store.add_jobs([spec])
+            store.mark_running(spec.job_id, worker="w")
+            store.mark_done(spec.job_id, {"record": {"answer": 42}}, 0.0)
+            store.add_jobs([spec])
+            row = store.get_job(spec.job_id)
+            assert row.status == "done" and row.record() == {"answer": 42}
+
+
+if __name__ == "__main__":
+    import sys
+
+    sys.exit(pytest.main([__file__, "-q"]))
