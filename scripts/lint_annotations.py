@@ -52,8 +52,15 @@ def main(argv: list) -> int:
     for v in violations:
         message = _escape(f"[{v['rule']}] {v['message']}")
         path = prefix + v["path"] if prefix else v["path"]
+        # endLine/endColumn make GitHub underline the exact span; they
+        # are emitted only when the lint pass knew the node's extent.
+        span = ""
+        if v.get("end_line"):
+            span = f",endLine={v['end_line']}"
+            if v.get("end_col"):
+                span += f",endColumn={v['end_col']}"
         print(
-            f"::error file={path},line={v['line']},col={v['col']},"
+            f"::error file={path},line={v['line']},col={v['col']}{span},"
             f"title={v['code']}::{message}"
         )
     count = len(violations)

@@ -7,6 +7,11 @@ Two complementary halves:
   reads in simulated-time paths, mutable default arguments, iteration over
   unordered sets in event-ordering code, and bare ``assert`` statements
   that vanish under ``python -O``).  Run it with ``python -m repro lint``.
+* :mod:`repro.analysis.flow` — the interprocedural deep pass (SIM2xx):
+  whole-program call graph, per-function dataflow summaries cached by
+  content hash, nondeterminism taint, await-atomicity, fork-safety,
+  unit-confusion, and resource-lifecycle rules.  Run it with ``python -m
+  repro lint --deep``.
 * :mod:`repro.analysis.invariants` — a runtime invariant checker the
   :class:`~repro.core.cosim.CoSimulator` can install: message conservation
   per synchronization quantum, monotonic simulated time, and NoC
@@ -18,6 +23,14 @@ every run is bit-deterministic and every quantum exchange conserves
 messages; these tools make violations loud instead of silent.
 """
 
+from .flow import (
+    DEEP_RULES,
+    DeepConfig,
+    DeepReport,
+    deep_lint_paths,
+    render_sarif,
+    run_deep,
+)
 from .invariants import (
     InvariantChecker,
     check_network_invariants,
@@ -33,13 +46,19 @@ from .simlint import (
 )
 
 __all__ = [
+    "DEEP_RULES",
     "RULES",
+    "DeepConfig",
+    "DeepReport",
     "LintConfig",
     "Violation",
+    "deep_lint_paths",
     "lint_file",
     "lint_paths",
     "render_json",
     "render_report",
+    "render_sarif",
+    "run_deep",
     "InvariantChecker",
     "check_network_invariants",
 ]

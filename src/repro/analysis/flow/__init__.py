@@ -1,0 +1,47 @@
+"""``repro.analysis.flow`` — interprocedural concurrency & determinism
+analysis (the SIM2xx deep rule family).
+
+Pipeline: :mod:`.summaries` extracts per-function dataflow facts in one
+AST pass per module (cached by content hash in :mod:`.parser`);
+:mod:`.callgraph` links them into a whole-program call graph;
+:mod:`.taint` runs the SIM201 nondeterminism fixpoint; :mod:`.rules`
+interprets the facts as findings under a :class:`DeepConfig`;
+:mod:`.engine` drives the whole thing and merges with the classic pass;
+:mod:`.sarif` and :mod:`.baseline` handle interchange and suppression.
+"""
+
+from .baseline import (
+    apply_baseline,
+    fingerprint_all,
+    load_baseline,
+    write_baseline,
+)
+from .callgraph import CallGraph, build_callgraph
+from .engine import DeepReport, deep_lint_paths, run_deep
+from .parser import ModuleSet, SummaryCache, collect_files, load_modules
+from .rules import DEEP_RULES, DeepConfig, deep_violations
+from .sarif import render_sarif
+from .summaries import extract_module
+from .taint import TaintAnalysis
+
+__all__ = [
+    "DEEP_RULES",
+    "CallGraph",
+    "DeepConfig",
+    "DeepReport",
+    "ModuleSet",
+    "SummaryCache",
+    "TaintAnalysis",
+    "apply_baseline",
+    "build_callgraph",
+    "collect_files",
+    "deep_lint_paths",
+    "deep_violations",
+    "extract_module",
+    "fingerprint_all",
+    "load_baseline",
+    "load_modules",
+    "render_sarif",
+    "run_deep",
+    "write_baseline",
+]

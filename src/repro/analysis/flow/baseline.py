@@ -1,0 +1,81 @@
+"""Suppression baseline: CI fails only on *new* findings.
+
+A baseline is a committed JSON document of finding fingerprints.  The
+fingerprint deliberately excludes line numbers — it is built from
+``(rule, path, context, occurrence-index)`` where *context* is the
+semantic anchor the rule recorded (function + attribute, function +
+resource name …) and the occurrence index disambiguates repeats of the
+same anchor.  Editing unrelated lines above a baselined finding
+therefore does not resurrect it, while a genuinely new instance of the
+same hazard in the same function does fail CI.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from collections import Counter
+from pathlib import Path
+from typing import Dict, List, Sequence, Tuple
+
+from ..rules import Violation
+
+__all__ = [
+    "fingerprint_all",
+    "load_baseline",
+    "write_baseline",
+    "apply_baseline",
+]
+
+_BASELINE_VERSION = 1
+
+
+def fingerprint_all(violations: Sequence[Violation]) -> List[str]:
+    """Stable fingerprint per finding (order follows the input)."""
+    seen: Counter = Counter()
+    prints: List[str] = []
+    for v in violations:
+        anchor = (v.rule, v.path, v.context)
+        index = seen[anchor]
+        seen[anchor] += 1
+        raw = f"{v.rule}|{v.path}|{v.context}|{index}"
+        prints.append(hashlib.sha256(raw.encode("utf-8")).hexdigest()[:20])
+    return prints
+
+
+def load_baseline(path: Path) -> Dict[str, str]:
+    """fingerprint -> short description; empty when absent/invalid."""
+    try:
+        payload = json.loads(path.read_text(encoding="utf-8"))
+    except (OSError, ValueError):
+        return {}
+    if payload.get("version") != _BASELINE_VERSION:
+        return {}
+    prints = payload.get("fingerprints")
+    return dict(prints) if isinstance(prints, dict) else {}
+
+
+def write_baseline(path: Path, violations: Sequence[Violation]) -> int:
+    """Write the baseline for the given findings; returns the count."""
+    prints = fingerprint_all(violations)
+    payload = {
+        "version": _BASELINE_VERSION,
+        "fingerprints": {
+            fp: f"{v.code} {v.path}:{v.line} {v.context or v.message[:60]}"
+            for fp, v in zip(prints, violations)
+        },
+    }
+    path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n",
+                    encoding="utf-8")
+    return len(violations)
+
+
+def apply_baseline(
+    violations: Sequence[Violation], baseline: Dict[str, str]
+) -> Tuple[List[Violation], int]:
+    """``(surviving findings, suppressed count)``."""
+    if not baseline:
+        return list(violations), 0
+    prints = fingerprint_all(violations)
+    kept = [v for v, fp in zip(violations, prints) if fp not in baseline]
+    return kept, len(violations) - len(kept)

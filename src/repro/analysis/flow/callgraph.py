@@ -1,0 +1,216 @@
+"""Whole-program call graph over the per-module summaries.
+
+Nodes are ``"<relpath>::<qualname>"`` strings; edges come from the call
+sites, fork targets, and decorator lists the extractor recorded.  Names
+are resolved with a deliberately simple, conservative scheme:
+
+1. a bare or ``Class.method`` name defined in the same module wins;
+2. ``self.meth`` resolves within the caller's own class, then module;
+3. a from-import resolves against the *project* module whose relative
+   path matches the imported module's dotted suffix (``from ..campaign
+   import pool`` → ``campaign/pool.py``), including relative imports;
+4. anything else (stdlib, third-party, computed receivers) stays
+   unresolved — absent from the graph, never a spurious edge.
+
+That is exactly the precision the SIM2xx rules need: interprocedural
+taint and fork-reachability within ``src/repro``, nothing more.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Dict, Iterable, List, Optional, Set, Tuple
+
+__all__ = ["CallGraph", "build_callgraph"]
+
+
+def _module_dotted(relpath: str) -> str:
+    """``serve/scheduler.py`` → ``serve.scheduler`` (package-relative)."""
+    dotted = relpath[:-3] if relpath.endswith(".py") else relpath
+    dotted = dotted.replace("/", ".")
+    if dotted.endswith(".__init__"):
+        dotted = dotted[: -len(".__init__")]
+    return dotted
+
+
+class CallGraph:
+    """Resolved call edges plus the name tables used to build them."""
+
+    def __init__(self, modules: Dict[str, Dict]) -> None:
+        self.modules = modules
+        #: node -> set of callee nodes
+        self.edges: Dict[str, Set[str]] = {}
+        #: dotted module name -> relpath (longest-suffix lookup table)
+        self.module_index: Dict[str, str] = {
+            _module_dotted(rel): rel for rel in modules
+        }
+        #: (relpath, local name) -> node, for intra-module resolution
+        self.local_defs: Dict[Tuple[str, str], str] = {}
+        self._build_local_defs()
+        self._build_edges()
+
+    # -- construction ---------------------------------------------------
+    def _build_local_defs(self) -> None:
+        for rel, facts in self.modules.items():
+            for qual in facts["functions"]:
+                node = f"{rel}::{qual}"
+                self.local_defs[(rel, qual)] = node
+                # a method is also reachable by its bare name within the
+                # class scope; keep full quals only to avoid ambiguity
+            for cls, info in facts["classes"].items():
+                for meth in info["methods"]:
+                    self.local_defs.setdefault(
+                        (rel, f"{cls}.{meth}"), f"{rel}::{cls}.{meth}"
+                    )
+
+    def node_for(self, rel: str, qual: str) -> str:
+        return f"{rel}::{qual}"
+
+    def resolve(
+        self, rel: str, caller_qual: str, name: Optional[str]
+    ) -> Optional[str]:
+        """Resolve a (possibly dotted) callee name from inside a caller."""
+        if not name or name.startswith("?"):
+            return None
+        facts = self.modules[rel]
+        caller = facts["functions"].get(caller_qual, {})
+        cls = caller.get("class")
+
+        # self.meth → own class method, then a bare module-level function
+        if name.startswith("self.") or name.startswith("cls."):
+            leaf = name.split(".", 1)[1]
+            if "." not in leaf:
+                if cls and (rel, f"{cls}.{leaf}") in self.local_defs:
+                    return self.local_defs[(rel, f"{cls}.{leaf}")]
+            return None
+
+        # same-module definition (function, Class.method, nested)
+        if (rel, name) in self.local_defs:
+            return self.local_defs[(rel, name)]
+        if cls and (rel, f"{cls}.{name}") in self.local_defs:
+            return self.local_defs[(rel, f"{cls}.{name}")]
+
+        # Class() constructor → Class.__init__ in this module
+        if (rel, f"{name}.__init__") in self.local_defs:
+            return self.local_defs[(rel, f"{name}.__init__")]
+
+        # relative from-import (from .b import helper; from ..pkg import f)
+        via_site = self._resolve_from_site(rel, name)
+        if via_site is not None:
+            return via_site
+
+        # cross-module: resolve the module part against project paths
+        return self._resolve_dotted(rel, name)
+
+    def _resolve_from_site(self, rel: str, name: str) -> Optional[str]:
+        sites = self.modules[rel].get("imports", {}).get("from_sites", {})
+        head, _, rest = name.partition(".")
+        if head not in sites:
+            return None
+        level, module, orig = sites[head]
+        if level:
+            pkg_parts = rel.split("/")[:-1]
+            if level - 1 > len(pkg_parts):
+                return None
+            base = pkg_parts[: len(pkg_parts) - (level - 1)]
+            mod_dotted = ".".join(base + (module.split(".") if module else []))
+        else:
+            mod_dotted = module or ""
+        symbol = orig + (f".{rest}" if rest else "")
+        for candidate_mod, candidate_sym in (
+            (mod_dotted, symbol),  # orig is a function/class in module
+            (f"{mod_dotted}.{orig}" if mod_dotted else orig, rest),
+        ):
+            if not candidate_mod or not candidate_sym:
+                continue
+            target_rel = self._module_relpath(candidate_mod)
+            if target_rel is None:
+                continue
+            if (target_rel, candidate_sym) in self.local_defs:
+                return self.local_defs[(target_rel, candidate_sym)]
+            init = f"{candidate_sym}.__init__"
+            if (target_rel, init) in self.local_defs:
+                return self.local_defs[(target_rel, init)]
+        return None
+
+    def _resolve_dotted(self, rel: str, dotted: str) -> Optional[str]:
+        """``campaign.pool.submit_job`` / ``pool.submit_job`` → node."""
+        parts = dotted.split(".")
+        # try successively shorter module prefixes, longest first
+        for split in range(len(parts) - 1, 0, -1):
+            module = ".".join(parts[:split])
+            func = ".".join(parts[split:])
+            target_rel = self._module_relpath(module)
+            if target_rel is None:
+                continue
+            if (target_rel, func) in self.local_defs:
+                return self.local_defs[(target_rel, func)]
+            if (target_rel, f"{func}.__init__") in self.local_defs:
+                return self.local_defs[(target_rel, f"{func}.__init__")]
+        return None
+
+    def _module_relpath(self, dotted: str) -> Optional[str]:
+        """Match a dotted module name to a project relpath by suffix."""
+        if dotted in self.module_index:
+            return self.module_index[dotted]
+        # absolute imports carry the installed package prefix
+        # (repro.campaign.pool) while relpaths are package-relative
+        # (campaign/pool.py): match on dotted suffix
+        for known, rel in self.module_index.items():
+            if dotted.endswith("." + known) or known.endswith("." + dotted):
+                return rel
+        for known, rel in self.module_index.items():
+            if known.split(".")[-1] == dotted:
+                return rel
+        return None
+
+    def _build_edges(self) -> None:
+        for rel, facts in self.modules.items():
+            for qual, fn in facts["functions"].items():
+                node = self.node_for(rel, qual)
+                out = self.edges.setdefault(node, set())
+                names: List[Optional[str]] = [c["fn"] for c in fn["calls"]]
+                names += [site.get("target") for site in fn["fork_sites"]]
+                names += list(fn.get("decorators", ()))
+                # ref terms inside call args (callbacks, partial targets)
+                for call in fn["calls"]:
+                    for _, term in call["args"]:
+                        names.extend(_ref_names(term))
+                for name in names:
+                    target = self.resolve(rel, qual, name)
+                    if target is not None:
+                        out.add(target)
+
+    # -- queries --------------------------------------------------------
+    def reachable(self, start: str, max_depth: int = 6) -> Set[str]:
+        """Nodes reachable from ``start`` within ``max_depth`` edges."""
+        seen = {start}
+        frontier = deque([(start, 0)])
+        while frontier:
+            node, depth = frontier.popleft()
+            if depth >= max_depth:
+                continue
+            for nxt in self.edges.get(node, ()):
+                if nxt not in seen:
+                    seen.add(nxt)
+                    frontier.append((nxt, depth + 1))
+        return seen
+
+    def edge_count(self) -> int:
+        return sum(len(v) for v in self.edges.values())
+
+
+def _ref_names(term: Dict) -> Iterable[str]:
+    kind = term.get("k")
+    if kind == "ref":
+        yield term["fn"]
+    elif kind == "join":
+        for sub in term["t"]:
+            yield from _ref_names(sub)
+    elif kind == "call":
+        for _, sub in term.get("args", ()):
+            yield from _ref_names(sub)
+
+
+def build_callgraph(modules: Dict[str, Dict]) -> CallGraph:
+    return CallGraph(modules)

@@ -1,0 +1,157 @@
+"""File collection, content hashing, and the incremental summary cache.
+
+The deep pass's per-module facts (:mod:`.summaries`) are pure functions
+of file content, so they cache trivially: one JSON document maps each
+relative path to ``{"sha": <content hash>, "facts": {...}}``.  A warm run
+re-hashes every file (cheap) and only re-parses the ones whose hash
+moved; everything interprocedural (call graph, taint fixpoint, rule
+scoping) is recomputed from the summaries each run, which is what keeps
+the cache key config-independent.
+
+The cache document carries a version stamp combining the schema version
+with :data:`repro.analysis.flow.summaries.FACTS_VERSION`; any mismatch
+discards the whole cache rather than attempting migration.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ...errors import ConfigError
+from .summaries import FACTS_VERSION, extract_module
+
+__all__ = ["SummaryCache", "ModuleSet", "collect_files", "load_modules"]
+
+_CACHE_SCHEMA = 1
+_CACHE_FILENAME = "summaries.json"
+
+
+def cache_stamp() -> str:
+    return f"{_CACHE_SCHEMA}.{FACTS_VERSION}"
+
+
+def collect_files(roots: Sequence[Path]) -> List[Tuple[Path, str]]:
+    """Every ``*.py`` under each root as ``(path, relpath)`` pairs.
+
+    Mirrors :func:`repro.analysis.simlint.lint_paths` collection order so
+    classic and deep findings sort identically.
+    """
+    files: List[Tuple[Path, str]] = []
+    for root in roots:
+        root = Path(root)
+        if root.is_file():
+            files.append((root, root.name))
+            continue
+        for path in sorted(root.rglob("*.py")):
+            if "__pycache__" in path.parts:
+                continue
+            files.append((path, path.relative_to(root).as_posix()))
+    return files
+
+
+class SummaryCache:
+    """Content-hash keyed store of per-module facts.
+
+    ``cache_dir=None`` disables persistence entirely (library default);
+    the CLI points it at ``$REPRO_LINT_CACHE`` or ``.simlint_cache``.
+    """
+
+    def __init__(self, cache_dir: Optional[Path]) -> None:
+        self.cache_dir = Path(cache_dir) if cache_dir else None
+        self.entries: Dict[str, Dict] = {}
+        self.hits = 0
+        self.misses = 0
+        self._loaded_stamp: Optional[str] = None
+        if self.cache_dir is not None:
+            self._load()
+
+    def _path(self) -> Path:
+        if self.cache_dir is None:
+            raise ConfigError("summary cache is disabled (no cache_dir)")
+        return self.cache_dir / _CACHE_FILENAME
+
+    def _load(self) -> None:
+        try:
+            payload = json.loads(self._path().read_text(encoding="utf-8"))
+        except (OSError, ValueError):
+            return
+        if payload.get("version") != cache_stamp():
+            return
+        entries = payload.get("entries")
+        if isinstance(entries, dict):
+            self.entries = entries
+            self._loaded_stamp = payload["version"]
+
+    def save(self) -> None:
+        if self.cache_dir is None:
+            return
+        self.cache_dir.mkdir(parents=True, exist_ok=True)
+        payload = {"version": cache_stamp(), "entries": self.entries}
+        tmp = self._path().with_suffix(".tmp")
+        tmp.write_text(json.dumps(payload), encoding="utf-8")
+        tmp.replace(self._path())
+
+    def lookup(self, relpath: str, sha: str) -> Tuple[bool, Optional[Dict]]:
+        """``(hit, facts)`` — facts may be None for cached parse failures."""
+        entry = self.entries.get(relpath)
+        if entry is not None and entry.get("sha") == sha:
+            self.hits += 1
+            return True, entry["facts"]
+        self.misses += 1
+        return False, None
+
+    def store(self, relpath: str, sha: str, facts: Optional[Dict]) -> None:
+        self.entries[relpath] = {"sha": sha, "facts": facts}
+
+    def prune(self, live_relpaths: Sequence[str]) -> None:
+        live = set(live_relpaths)
+        for stale in [k for k in self.entries if k not in live]:
+            del self.entries[stale]
+
+
+@dataclass
+class ModuleSet:
+    """Everything the interprocedural phases need, plus cache telemetry."""
+
+    #: relpath -> module facts (parse failures excluded)
+    modules: Dict[str, Dict] = field(default_factory=dict)
+    #: relpaths that failed to parse (classic pass reports these)
+    unparsed: List[str] = field(default_factory=list)
+    #: relpath -> absolute source path (for pragma re-reads)
+    sources: Dict[str, Path] = field(default_factory=dict)
+    cache_hits: int = 0
+    cache_misses: int = 0
+
+
+def load_modules(
+    roots: Sequence[Path], cache: Optional[SummaryCache] = None
+) -> ModuleSet:
+    """Hash, (re)summarize, and collect facts for every module."""
+    cache = cache or SummaryCache(None)
+    result = ModuleSet()
+    files = collect_files(roots)
+    for path, rel in files:
+        try:
+            raw = path.read_bytes()
+        except OSError:
+            result.unparsed.append(rel)
+            continue
+        sha = hashlib.sha256(raw).hexdigest()
+        hit, facts = cache.lookup(rel, sha)
+        if not hit:
+            facts = extract_module(rel, raw.decode("utf-8", errors="replace"))
+            cache.store(rel, sha, facts)
+        result.sources[rel] = path
+        if facts is None:
+            result.unparsed.append(rel)
+        else:
+            result.modules[rel] = facts
+    cache.prune([rel for _, rel in files])
+    cache.save()
+    result.cache_hits = cache.hits
+    result.cache_misses = cache.misses
+    return result

@@ -1,0 +1,195 @@
+"""SIM201: interprocedural nondeterminism taint.
+
+Works in two phases over the cached summaries:
+
+1. **Fixpoint** — for every function, compute (a) whether its return
+   value can carry a nondeterminism source outright, and (b) which of
+   its parameters flow into its return value or into simulation state
+   (``self.X`` / global writes).  Both are iterated to a fixed point over
+   the call graph so taint crosses any number of call hops, including
+   recursion (the visited-set per evaluation breaks cycles).
+2. **Reporting** — re-walk each *sink-scoped* function's state writes and
+   call sites, evaluate their terms under the fixpoint tables, and emit
+   one finding per tainted write (or per tainted argument passed into a
+   parameter that some callee stores into state).
+
+Sanitizers (``derive_seed``, ``sorted`` …) were already collapsed to
+``clean`` terms at extraction time, so the fixpoint never needs to know
+about them.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Set, Tuple
+
+from .callgraph import CallGraph
+
+__all__ = ["TaintAnalysis"]
+
+_MAX_ROUNDS = 24
+
+
+class TaintAnalysis:
+    """Global taint tables plus finding generation."""
+
+    def __init__(self, graph: CallGraph) -> None:
+        self.graph = graph
+        self.modules = graph.modules
+        #: node -> source description when its return can be tainted
+        self.returns_taint: Dict[str, Optional[str]] = {}
+        #: node -> set of param indices that flow into the return value
+        self.params_to_return: Dict[str, Set[int]] = {}
+        #: node -> {param index -> state attr written}
+        self.params_to_state: Dict[str, Dict[int, str]] = {}
+        self._fixpoint()
+
+    # -- term evaluation -------------------------------------------------
+    def eval_term(
+        self,
+        rel: str,
+        qual: str,
+        term: Dict,
+        visiting: Optional[Set[str]] = None,
+    ) -> Tuple[Optional[str], Set[int]]:
+        """``(source description | None, {param indices})`` for a term."""
+        visiting = visiting if visiting is not None else set()
+        kind = term.get("k")
+        if kind == "src":
+            return term["s"], set()
+        if kind == "param":
+            return None, {term["i"]}
+        if kind == "join":
+            src: Optional[str] = None
+            params: Set[int] = set()
+            for sub in term["t"]:
+                s, p = self.eval_term(rel, qual, sub, visiting)
+                src = src or s
+                params |= p
+            return src, params
+        if kind == "call":
+            return self._eval_call(rel, qual, term, visiting)
+        return None, set()
+
+    def _eval_call(
+        self, rel: str, qual: str, term: Dict, visiting: Set[str]
+    ) -> Tuple[Optional[str], Set[int]]:
+        callee = self.graph.resolve(rel, qual, term.get("fn"))
+        src: Optional[str] = None
+        params: Set[int] = set()
+        if callee is not None and callee not in visiting:
+            src = self.returns_taint.get(callee)
+            passthrough = self.params_to_return.get(callee, set())
+            callee_params = self._param_names(callee)
+            for key, arg in term.get("args", ()):
+                idx = self._param_index(callee_params, key)
+                if idx is not None and idx in passthrough:
+                    s, p = self.eval_term(rel, qual, arg, visiting)
+                    src = src or s
+                    params |= p
+        elif callee is None:
+            # unresolved callee: taint passes through conservatively only
+            # when an argument is already a direct source — a plain call
+            # of a clean value stays clean (precision over recall)
+            for _, arg in term.get("args", ()):
+                s, p = self.eval_term(rel, qual, arg, visiting)
+                src = src or s
+                params |= p
+        return src, params
+
+    def _param_names(self, node: str) -> List[str]:
+        rel, _, qual = node.partition("::")
+        return self.modules[rel]["functions"][qual]["params"]
+
+    @staticmethod
+    def _param_index(names: List[str], key) -> Optional[int]:
+        if isinstance(key, int):
+            return key if key < len(names) else None
+        if isinstance(key, str) and key in names:
+            return names.index(key)
+        return None
+
+    # -- fixpoint ---------------------------------------------------------
+    def _fixpoint(self) -> None:
+        for rel, facts in self.modules.items():
+            for qual in facts["functions"]:
+                node = f"{rel}::{qual}"
+                self.returns_taint[node] = None
+                self.params_to_return[node] = set()
+                self.params_to_state[node] = {}
+        for _ in range(_MAX_ROUNDS):
+            if not self._one_round():
+                break
+
+    def _one_round(self) -> bool:
+        changed = False
+        for rel, facts in self.modules.items():
+            for qual, fn in facts["functions"].items():
+                node = f"{rel}::{qual}"
+                ret_src: Optional[str] = self.returns_taint[node]
+                ret_params = set(self.params_to_return[node])
+                for ret in fn["returns"]:
+                    visiting = {node}
+                    s, p = self.eval_term(rel, qual, ret["term"], visiting)
+                    ret_src = ret_src or s
+                    ret_params |= p
+                state_params = dict(self.params_to_state[node])
+                for write in fn["state_writes"]:
+                    visiting = {node}
+                    _, p = self.eval_term(rel, qual, write["term"], visiting)
+                    for idx in p:
+                        state_params.setdefault(idx, write["attr"])
+                if ret_src != self.returns_taint[node]:
+                    self.returns_taint[node] = ret_src
+                    changed = True
+                if ret_params != self.params_to_return[node]:
+                    self.params_to_return[node] = ret_params
+                    changed = True
+                if state_params != self.params_to_state[node]:
+                    self.params_to_state[node] = state_params
+                    changed = True
+        return changed
+
+    # -- findings ---------------------------------------------------------
+    def findings_for(self, rel: str) -> List[Dict]:
+        """SIM201 raw findings for one (sink-scoped) module."""
+        out: List[Dict] = []
+        facts = self.modules[rel]
+        for qual, fn in facts["functions"].items():
+            node = f"{rel}::{qual}"
+            for write in fn["state_writes"]:
+                src, _ = self.eval_term(rel, qual, write["term"], {node})
+                if src is not None:
+                    out.append(
+                        {
+                            "loc": write["loc"],
+                            "end": write.get("end", [0, 0]),
+                            "attr": write["attr"],
+                            "source": src,
+                            "via": qual,
+                        }
+                    )
+            # tainted argument into a callee that stores it in state
+            for call in fn["calls"]:
+                callee = self.graph.resolve(rel, qual, call.get("fn"))
+                if callee is None:
+                    continue
+                to_state = self.params_to_state.get(callee, {})
+                if not to_state:
+                    continue
+                names = self._param_names(callee)
+                for key, arg in call["args"]:
+                    idx = self._param_index(names, key)
+                    if idx is None or idx not in to_state:
+                        continue
+                    src, _ = self.eval_term(rel, qual, arg, {node})
+                    if src is not None:
+                        out.append(
+                            {
+                                "loc": call["loc"],
+                                "end": call.get("end", [0, 0]),
+                                "attr": to_state[idx],
+                                "source": src,
+                                "via": f"{qual} → {callee.split('::')[1]}",
+                            }
+                        )
+        return out

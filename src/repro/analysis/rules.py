@@ -75,9 +75,9 @@ import ast
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Set
 
-__all__ = ["RULES", "Violation", "SimLintVisitor"]
+__all__ = ["RULES", "RULE_CODES", "Violation", "SimLintVisitor", "register_rules"]
 
-#: rule name -> (code, one-line description)
+#: rule name -> (code, one-line description) — the classic single-file rules
 RULES: Dict[str, tuple] = {
     "parse-error": (
         "SIM100",
@@ -113,20 +113,40 @@ RULES: Dict[str, tuple] = {
     ),
 }
 
+#: rule name -> (code, description) for *every* registered pass.  The
+#: classic rules seed it; the deep (SIM2xx) pass extends it via
+#: :func:`register_rules` on import, so one Finding dataclass serves both.
+RULE_CODES: Dict[str, tuple] = dict(RULES)
+
+
+def register_rules(rules: Dict[str, tuple]) -> None:
+    """Add another pass's rules to the shared code registry."""
+    RULE_CODES.update(rules)
+
 
 @dataclass(frozen=True)
 class Violation:
-    """One finding: where it is, which rule fired, and why."""
+    """One finding: where it is, which rule fired, and why.
+
+    Shared by the classic (SIM1xx) and deep (SIM2xx) passes.  ``end_line``
+    / ``end_col`` bound the exact source span (0 when unknown: the finding
+    is then a single point at ``line:col``); ``context`` names the
+    enclosing function or class, which keeps baseline fingerprints stable
+    across unrelated line shifts.
+    """
 
     path: str
     line: int
     col: int
     rule: str
     message: str
+    end_line: int = 0
+    end_col: int = 0
+    context: str = ""
 
     @property
     def code(self) -> str:
-        return RULES[self.rule][0]
+        return RULE_CODES[self.rule][0]
 
     def render(self) -> str:
         return (
@@ -368,6 +388,8 @@ class SimLintVisitor(ast.NodeVisitor):
                     getattr(node, "col_offset", 0) + 1,
                     rule,
                     message,
+                    end_line=getattr(node, "end_lineno", 0) or 0,
+                    end_col=(getattr(node, "end_col_offset", 0) or 0) + 1,
                 )
             )
 

@@ -180,6 +180,8 @@ def render_json(violations: Sequence[Violation]) -> str:
                 "path": v.path,
                 "line": v.line,
                 "col": v.col,
+                "end_line": v.end_line,
+                "end_col": v.end_col,
                 "code": v.code,
                 "rule": v.rule,
                 "message": v.message,

@@ -148,10 +148,17 @@ class WorkerPool:
         if job_id in self._live:
             raise ConfigError(f"job {job_id} is already running")
         recv, send = self._ctx.Pipe(duplex=False)
-        process = self._ctx.Process(
-            target=_worker_main, args=(send, job), daemon=True
-        )
-        process.start()
+        try:
+            process = self._ctx.Process(
+                target=_worker_main, args=(send, job), daemon=True
+            )
+            process.start()
+        except BaseException:
+            # Pipe fds must not outlive a failed spawn (fd exhaustion
+            # under repeated submit retries).
+            recv.close()
+            send.close()
+            raise
         send.close()  # child holds the write end now
         worker = f"pid{process.pid}"
         deadline = None if self.timeout is None else time.monotonic() + self.timeout

@@ -241,6 +241,21 @@ class ResultStore:
         self._conn.commit()
         return cur.rowcount == 1
 
+    def discard_pending(self, job_id: str) -> bool:
+        """Delete a never-attempted ``pending`` row (admission rollback).
+
+        Only rows with zero attempts qualify: a requeued failure carries
+        provenance worth keeping, and anything past ``pending`` has been
+        (or is being) executed.  Returns True when a row was deleted.
+        """
+        cur = self._conn.execute(
+            "DELETE FROM jobs WHERE job_id = ? AND status = 'pending' "
+            "AND attempts = 0",
+            (job_id,),
+        )
+        self._conn.commit()
+        return cur.rowcount == 1
+
     def campaign_spec(self) -> CampaignSpec:
         text = self.get_meta("spec")
         if text is None:

@@ -194,7 +194,7 @@ class CoSimulator:
             sent_before = self.messages_sent
             t0 = time.perf_counter()  # simlint: allow[wall-clock]
             self.system.run_until(target)
-            self._wall_system += time.perf_counter() - t0  # simlint: allow[wall-clock]
+            self._wall_system += time.perf_counter() - t0  # simlint: allow[wall-clock, nondeterminism-taint]
             self._advance_network(target)
             if self.invariants is not None:
                 self.invariants.after_window(self, target)
@@ -262,7 +262,7 @@ class CoSimulator:
                 # Shadow deliveries feed the reciprocal table only; the
                 # system already received this message from the inline model.
                 self.feedback.record(msg, latency)
-        self._wall_network += time.perf_counter() - t0  # simlint: allow[wall-clock]
+        self._wall_network += time.perf_counter() - t0  # simlint: allow[wall-clock, nondeterminism-taint]
 
     # ------------------------------------------------------------------
     def _result(self, wall_total: float) -> CoSimResult:

@@ -166,14 +166,145 @@ def _lint_main(argv: Optional[List[str]] = None) -> int:
     )
     parser.add_argument(
         "--format",
-        choices=("text", "json"),
+        choices=("text", "json", "sarif"),
         default="text",
-        help="report format (json feeds CI annotations)",
+        help="report format (json feeds CI annotations, sarif feeds "
+        "GitHub code scanning)",
+    )
+    parser.add_argument(
+        "--deep",
+        action="store_true",
+        help="also run the interprocedural SIM2xx pass "
+        "(repro.analysis.flow) and apply the suppression baseline",
+    )
+    parser.add_argument(
+        "--baseline",
+        default=None,
+        help="suppression baseline file (default: .simlint-baseline.json "
+        "in the working directory or the repo root)",
+    )
+    parser.add_argument(
+        "--update-baseline",
+        action="store_true",
+        help="rewrite the baseline to suppress every current finding "
+        "(deep runs only); exits 0",
+    )
+    parser.add_argument(
+        "--prefix",
+        default=None,
+        help="prepend to file paths in SARIF output (e.g. src/repro/)",
+    )
+    parser.add_argument(
+        "--stats",
+        action="store_true",
+        help="print per-rule finding counts and analyzer coverage for "
+        "both passes, then exit 0",
+    )
+    parser.add_argument(
+        "--cache-dir",
+        default=None,
+        help="summary cache directory for --deep (default: "
+        "$REPRO_LINT_CACHE or .simlint_cache)",
+    )
+    parser.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="disable the --deep summary cache",
     )
     args = parser.parse_args(argv)
-    from ..analysis.simlint import run as run_lint  # deferred: lint only
+    from pathlib import Path
 
-    return run_lint(args.path, fmt=args.format)
+    from ..analysis.simlint import (
+        default_lint_root,
+        lint_paths,
+        render_json,
+        render_report,
+        run as run_lint,
+    )
+
+    root = Path(args.path) if args.path else default_lint_root()
+    if not root.exists():
+        # A typo'd --path must not read as "clean" to CI.
+        print(f"simlint: path {root} does not exist")
+        return 2
+
+    if not (args.deep or args.stats or args.update_baseline):
+        if args.format != "sarif":
+            return run_lint(args.path, fmt=args.format)
+        from ..analysis.flow import render_sarif
+
+        violations = lint_paths([root])
+        print(render_sarif(violations, prefix=args.prefix))
+        return 1 if violations else 0
+
+    import os
+
+    from ..analysis.flow import render_sarif, run_deep, write_baseline
+
+    if args.no_cache:
+        cache_dir = None
+    else:
+        cache_dir = Path(
+            args.cache_dir
+            or os.environ.get("REPRO_LINT_CACHE")
+            or ".simlint_cache"
+        )
+
+    baseline_path: Optional[Path] = None
+    if args.baseline:
+        baseline_path = Path(args.baseline)
+    else:
+        for candidate in (
+            Path.cwd() / ".simlint-baseline.json",
+            default_lint_root().parent.parent / ".simlint-baseline.json",
+        ):
+            if candidate.exists():
+                baseline_path = candidate
+                break
+
+    if args.update_baseline:
+        report = run_deep([root], cache_dir=cache_dir, baseline_path=None)
+        target = baseline_path or (
+            default_lint_root().parent.parent / ".simlint-baseline.json"
+        )
+        count = write_baseline(target, report.violations)
+        print(f"simlint: baseline updated ({count} finding(s) -> {target})")
+        return 0
+
+    report = run_deep(
+        [root], cache_dir=cache_dir, baseline_path=baseline_path
+    )
+
+    if args.stats:
+        stats = report.stats
+        print("simlint --deep statistics")
+        print(f"  modules analyzed : {stats.get('modules', 0)}")
+        print(f"  functions        : {stats.get('functions', 0)}")
+        print(f"  call edges       : {stats.get('call_edges', 0)}")
+        print(
+            f"  summary cache    : {stats.get('cache_hits', 0)} hit(s), "
+            f"{stats.get('cache_misses', 0)} miss(es)"
+        )
+        print(f"  baseline         : {report.suppressed} suppressed")
+        print("  findings by rule (pre-baseline):")
+        for rule_key in sorted(
+            k for k in stats if k.startswith("rule:")
+        ):
+            rule = rule_key[len("rule:"):]
+            print(f"    {rule:<24} {stats[rule_key]}")
+        if not any(k.startswith("rule:") for k in stats):
+            print("    (none)")
+        return 0
+
+    if args.format == "sarif":
+        print(render_sarif(report.violations, prefix=args.prefix))
+    elif args.format == "json":
+        print(render_json(report.violations))
+    else:
+        print(render_report(report.violations))
+        if report.suppressed:
+            print(f"simlint: {report.suppressed} baselined finding(s) suppressed")
+    return 1 if report.violations else 0
 
 
 def _run_one(eid: str, quick: bool, seed: Optional[int]) -> None:

@@ -113,6 +113,18 @@ class ResultCache:
                 self._store.requeue_one(spec.job_id)
             return True
 
+    def retract(self, job_id: str) -> bool:
+        """Roll back an admission that never made it into the queue.
+
+        Deletes the job's ``pending`` row iff it has never been attempted
+        — the compensation for :meth:`admit` when the admission queue
+        refuses the job (429).  Without it the rejected submission would
+        survive as a pending row and a restart's recovery pass would
+        silently execute work the client was told to retry elsewhere.
+        """
+        with self._lock:
+            return self._store.discard_pending(job_id)
+
     # -- scheduler side -------------------------------------------------
     def mark_running(self, job_id: str, worker: str) -> None:
         with self._lock:

@@ -160,19 +160,37 @@ class Scheduler:
     def _admit_batch(self, batch: List[QueuedJob]) -> None:
         if not batch:
             return
+        admitted = 0
+        with self._lock:
+            for entry in batch:
+                # Between the queue's take_batch (which forgets the id)
+                # and this registration, the job is tracked nowhere, so
+                # the frontier's dedupe check can re-admit it.  Dropping
+                # the duplicate here closes that window — dispatching it
+                # would double the work and, worse, make pool.submit
+                # raise on the id collision and kill this thread.
+                if entry.job_id in self._entries or entry.job_id in self._running:
+                    continue
+                self._buffer.append(entry)
+                self._entries[entry.job_id] = entry
+                admitted += 1
         self.metrics.inc(
             f"{PREFIX}_batches_total",
             "Dispatch rounds taken off the admission queue.",
         )
-        self.metrics.inc(
-            f"{PREFIX}_batched_jobs_total",
-            "Jobs admitted to dispatch, counted per batch member.",
-            amount=float(len(batch)),
-        )
-        with self._lock:
-            for entry in batch:
-                self._buffer.append(entry)
-                self._entries[entry.job_id] = entry
+        if admitted:
+            self.metrics.inc(
+                f"{PREFIX}_batched_jobs_total",
+                "Jobs admitted to dispatch, counted per batch member.",
+                amount=float(admitted),
+            )
+        if admitted != len(batch):
+            self.metrics.inc(
+                f"{PREFIX}_duplicate_admissions_total",
+                "Batch members dropped because their job was already "
+                "buffered or running (admission handoff race).",
+                amount=float(len(batch) - admitted),
+            )
 
     def _fill_pool(self) -> None:
         pool = self._pool
@@ -184,6 +202,18 @@ class Scheduler:
                     return
             with self._lock:
                 entry = self._buffer.popleft()
+            if self.cache.lookup(entry.job_id) is not None:
+                # A racing duplicate finished while this entry waited in
+                # the buffer; its result is committed — spawning a worker
+                # would recompute (and re-commit) done work.
+                with self._lock:
+                    self._entries.pop(entry.job_id, None)
+                self.metrics.inc(
+                    f"{PREFIX}_duplicate_dispatches_skipped_total",
+                    "Buffered jobs skipped at dispatch because their "
+                    "result was already committed.",
+                )
+                continue
             worker = pool.submit(entry.job_id, self._job_dict(entry.spec))
             self.cache.mark_running(entry.job_id, worker)
             with self._lock:

@@ -323,6 +323,10 @@ class ServeDaemon:
         try:
             self.queue.offer(QueuedJob(spec=spec, client=client))
         except QueueFull as exc:
+            # Roll the admission back: the client is being told to retry
+            # elsewhere, so the pending row must not survive for a
+            # restart's recovery pass to execute behind its back.
+            self.cache.retract(job_id)
             retry_after = self._retry_after_s()
             self.metrics.inc(
                 f"{PREFIX}_rejected_total",

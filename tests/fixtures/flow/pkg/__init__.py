@@ -1,0 +1,1 @@
+"""Callgraph fixture package: cross-module edges, cycles, decorators."""

@@ -1,0 +1,40 @@
+"""Callgraph fixture: decorators, functools.partial, cross-module calls."""
+
+import functools
+import random
+
+from .b import helper
+
+
+def timed(fn):
+    return fn
+
+
+@timed
+def top(x):
+    return helper(x)
+
+
+def base(x):
+    return x + 1
+
+
+def make_adder():
+    return functools.partial(base, 1)
+
+
+def noisy():
+    return random.random()
+
+
+def stash(state, value):
+    # a module-level "state write" target for interprocedural taint:
+    # param 1 flows into a global-declared name
+    global _last
+    _last = value
+    return state
+
+
+def caller(state):
+    # taints stash's second parameter through a kwarg
+    return stash(state, value=noisy())

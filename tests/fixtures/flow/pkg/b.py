@@ -1,0 +1,15 @@
+"""Callgraph fixture: a mutual-recursion cycle plus a back-import."""
+
+from .a import base
+
+
+def helper(x):
+    return base(x) * 2
+
+
+def ping(n):
+    return pong(n - 1) if n else 0
+
+
+def pong(n):
+    return ping(n - 1) if n else 1

@@ -1,0 +1,17 @@
+"""SIM201 negative: the same flow, laundered through derive_seed."""
+
+from repro.util import derive_seed
+
+
+def stable(seed):
+    return derive_seed(seed, "router")
+
+
+class Router:
+    def __init__(self, seed):
+        self.latency = 0.0
+        self.seed = stable(seed)
+
+    def tick(self, order):
+        # sorted() sanitizes unordered iteration before it becomes state
+        self.latency = sorted(order)[0]

@@ -1,0 +1,17 @@
+"""SIM201 positive: RNG taint crosses a call boundary into state."""
+
+import random
+
+
+def jitter():
+    # the source: unseeded module-level RNG
+    return random.random()
+
+
+class Router:
+    def __init__(self):
+        self.latency = 0.0
+
+    def tick(self):
+        # tainted interprocedurally: jitter() -> return -> state write
+        self.latency = jitter()

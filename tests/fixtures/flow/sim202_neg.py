@@ -1,0 +1,18 @@
+"""SIM202 negative: the same update guarded by an async lock."""
+
+import asyncio
+
+
+class Window:
+    def __init__(self):
+        self.pending = 0
+        self.gate = asyncio.Lock()
+
+    async def admit(self, extra):
+        async with self.gate:
+            count = self.pending
+            await asyncio.sleep(0)
+            self.pending = count + extra
+
+    async def drain(self):
+        self.pending = 0

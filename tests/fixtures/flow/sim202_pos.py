@@ -1,0 +1,16 @@
+"""SIM202 positive: read-modify-write of shared state spans an await."""
+
+import asyncio
+
+
+class Window:
+    def __init__(self):
+        self.pending = 0
+
+    async def admit(self, extra):
+        count = self.pending  # read before the suspension point
+        await asyncio.sleep(0)
+        self.pending = count + extra  # dependent write after it
+
+    async def drain(self):
+        self.pending = 0

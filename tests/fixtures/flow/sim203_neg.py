@@ -1,0 +1,22 @@
+"""SIM203 negative: the child opens its own connection post-fork."""
+
+import sqlite3
+from multiprocessing import Process
+
+
+def _child(path, job):
+    conn = sqlite3.connect(path)
+    try:
+        conn.execute("INSERT INTO jobs VALUES (?)", (job,))
+    finally:
+        conn.close()
+
+
+class PoolHost:
+    def __init__(self, path):
+        self.path = path
+
+    def launch(self, job):
+        proc = Process(target=_child, args=(self.path, job))
+        proc.start()
+        return proc

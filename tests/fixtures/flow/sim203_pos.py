@@ -1,0 +1,18 @@
+"""SIM203 positive: the fork target uses a pre-fork SQLite connection."""
+
+import sqlite3
+from multiprocessing import Process
+
+
+class PoolHost:
+    def __init__(self, path):
+        self.conn = sqlite3.connect(path)
+
+    def _child(self, job):
+        # runs in the forked child, but self.conn was opened pre-fork
+        self.conn.execute("INSERT INTO jobs VALUES (?)", (job,))
+
+    def launch(self, job):
+        proc = Process(target=self._child, args=(job,))
+        proc.start()
+        return proc

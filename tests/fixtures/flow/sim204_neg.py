@@ -1,0 +1,12 @@
+"""SIM204 negative: each time domain stays arithmetic-pure."""
+
+import time
+
+
+def cycles_overdue(elapsed_cycles, budget_cycles):
+    return elapsed_cycles > budget_cycles
+
+
+def wall_budget_left(start_s, budget_s):
+    now_s = time.monotonic()  # simlint: allow[wall-clock]
+    return budget_s - (now_s - start_s)

@@ -1,0 +1,8 @@
+"""SIM204 positive: simulated cycles compared against wall seconds."""
+
+import time
+
+
+def overdue(start_wall, elapsed_cycles):
+    now_wall = time.monotonic()  # simlint: allow[wall-clock]
+    return elapsed_cycles > now_wall - start_wall

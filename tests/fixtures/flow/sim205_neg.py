@@ -1,0 +1,17 @@
+"""SIM205 negatives: finally-guarded close and with-managed lifetime."""
+
+import sqlite3
+
+
+def tally(path):
+    conn = sqlite3.connect(path)
+    try:
+        rows = conn.execute("SELECT COUNT(*) FROM jobs").fetchone()
+    finally:
+        conn.close()
+    return rows[0]
+
+
+def logged(path):
+    with open(path) as fh:
+        return fh.read()

@@ -1,0 +1,16 @@
+"""SIM205 positives: straight-line close, and no close at all."""
+
+import sqlite3
+
+
+def tally(path):
+    conn = sqlite3.connect(path)
+    # if execute() raises, conn leaks: the close is not in a finally
+    rows = conn.execute("SELECT COUNT(*) FROM jobs").fetchone()
+    conn.close()
+    return rows[0]
+
+
+def forgotten(path):
+    log = open(path, "w")
+    log.write("start\n")

@@ -1,0 +1,230 @@
+"""Regression tests for the serve-path races the deep lint pass targets.
+
+Three pre-existing hazards, each locked in behaviorally:
+
+* the **admission handoff window** — between ``AdmissionQueue.take_batch``
+  (which forgets a job id) and ``Scheduler._admit_batch`` (which registers
+  it), a job is tracked nowhere, so the frontier's dedupe check can admit
+  a duplicate that would later double-execute and crash the scheduler
+  thread on the pool's id collision;
+* the **429 orphan row** — ``ServeDaemon._submit`` admits a durable
+  pending row *before* offering to the bounded queue, so a QueueFull
+  rejection used to leave the row behind for a restart's recovery pass to
+  execute silently;
+* the **spawn-failure pipe leak** — ``WorkerPool.submit`` used to leak
+  both ends of its result pipe when ``Process.start()`` raised.
+"""
+
+import json
+
+import pytest
+
+from repro.campaign.pool import WorkerPool
+from repro.campaign.spec import JobSpec
+from repro.serve.cache import ResultCache
+from repro.serve.metrics import PREFIX, Metrics
+from repro.serve.protocol import Request, canonicalize_submission
+from repro.serve.queuein import AdmissionQueue, QueuedJob
+from repro.serve.scheduler import Scheduler
+from repro.serve.server import ServeConfig, ServeDaemon
+
+
+def _job(client, eid="demo", idx=0):
+    return QueuedJob(
+        spec=JobSpec(
+            eid=eid, point_index=idx, point=[idx], quick=True,
+            seed=7, replicate=0,
+        ),
+        client=client,
+    )
+
+
+def _sched(queue, cache, metrics, **kw):
+    kw.setdefault("workers", 1)
+    return Scheduler(queue=queue, cache=cache, metrics=metrics, **kw)
+
+
+class TestAdmissionHandoffWindow:
+    """take_batch -> _admit_batch must not lose dedupe coverage."""
+
+    def test_window_is_observable(self):
+        # Proof the race exists: after take_batch, before _admit_batch,
+        # the job is invisible to both dedupe probes the frontier uses.
+        queue = AdmissionQueue(max_depth=8)
+        with ResultCache(":memory:") as cache:
+            sched = _sched(queue, cache, Metrics())
+            job = _job("a")
+            cache.admit(job.spec)
+            queue.offer(job)
+            batch = queue.take_batch(8)
+            assert [e.job_id for e in batch] == [job.job_id]
+            assert not queue.contains(job.job_id)
+            assert not sched.is_tracked(job.job_id)
+
+    def test_duplicate_admission_is_dropped(self):
+        queue = AdmissionQueue(max_depth=8)
+        with ResultCache(":memory:") as cache:
+            metrics = Metrics()
+            sched = _sched(queue, cache, metrics)
+            job = _job("a")
+            cache.admit(job.spec)
+            queue.offer(job)
+            batch = queue.take_batch(8)
+            # The frontier re-admits the same work mid-handoff (its
+            # dedupe probes both said "unknown", per the test above).
+            dup = _job("b")
+            assert cache.admit(dup.spec)  # row is pending, not done
+            queue.offer(dup)
+            sched._admit_batch(batch)
+            sched._admit_batch(queue.take_batch(8))
+            with sched._lock:
+                assert len(sched._buffer) == 1
+                assert list(sched._entries) == [job.job_id]
+            assert metrics.counter_value(
+                f"{PREFIX}_duplicate_admissions_total"
+            ) == 1.0
+
+    def test_done_job_is_not_redispatched(self):
+        # A duplicate whose twin finished while it waited in the buffer
+        # must not spawn a worker (recompute + double commit).
+        queue = AdmissionQueue(max_depth=8)
+        with ResultCache(":memory:") as cache:
+            metrics = Metrics()
+            sched = _sched(queue, cache, metrics)
+            job = _job("a")
+            cache.admit(job.spec)
+            sched._admit_batch([job])
+            cache.mark_running(job.job_id, "w0")
+            cache.commit(job.job_id, {"records": []}, wall_s=0.01)
+            sched._fill_pool()
+            assert sched._pool.active == 0
+            assert not sched.is_tracked(job.job_id)
+            assert metrics.counter_value(
+                f"{PREFIX}_duplicate_dispatches_skipped_total"
+            ) == 1.0
+
+    def test_distinct_jobs_still_admit(self):
+        queue = AdmissionQueue(max_depth=8)
+        with ResultCache(":memory:") as cache:
+            metrics = Metrics()
+            sched = _sched(queue, cache, metrics)
+            sched._admit_batch([_job("a", idx=0), _job("a", idx=1)])
+            with sched._lock:
+                assert len(sched._buffer) == 2
+            assert metrics.counter_value(
+                f"{PREFIX}_batched_jobs_total"
+            ) == 2.0
+            assert metrics.counter_value(
+                f"{PREFIX}_duplicate_admissions_total"
+            ) == 0.0
+
+
+def _submit_request(payload):
+    body = json.dumps(payload).encode("utf-8")
+    return Request("POST", "/api/v1/jobs", {}, body)
+
+
+class TestRejectedSubmissionRollback:
+    """429 must not leave a durable pending row behind."""
+
+    def _daemon(self, tmp_path, max_queue=1):
+        return ServeDaemon(
+            ServeConfig(db=str(tmp_path / "serve.db"), max_queue=max_queue)
+        )
+
+    def test_429_retracts_the_admission(self, tmp_path):
+        d = self._daemon(tmp_path)
+        try:
+            accepted = {"eid": "demo", "point_index": 0, "quick": True}
+            rejected = {"eid": "demo", "point_index": 1, "quick": True}
+            status, payload, _, _ = d._submit(_submit_request(accepted))
+            assert status == 200 and payload["status"] == "queued"
+            status, payload, _, headers = d._submit(_submit_request(rejected))
+            assert status == 429
+            assert "Retry-After" in headers
+            jid_ok = canonicalize_submission(accepted)[0].job_id
+            jid_rejected = canonicalize_submission(rejected)[0].job_id
+            # the accepted job's durability is untouched ...
+            assert d.cache.job_row(jid_ok).status == "pending"
+            # ... and the rejected one left no orphan row
+            assert d.cache.job_row(jid_rejected) is None
+        finally:
+            d.cache.close()
+
+    def test_rejected_job_is_not_recovered_after_restart(self, tmp_path):
+        d = self._daemon(tmp_path)
+        rejected = {"eid": "demo", "point_index": 1, "quick": True}
+        try:
+            d._submit(_submit_request({"eid": "demo", "point_index": 0,
+                                       "quick": True}))
+            status, _, _, _ = d._submit(_submit_request(rejected))
+            assert status == 429
+        finally:
+            d.cache.close()
+        # a new daemon on the same database must only recover the
+        # accepted job, not the one that was told to retry elsewhere
+        with ResultCache(str(tmp_path / "serve.db")) as reborn:
+            specs, _ = reborn.recover()
+            jid_rejected = canonicalize_submission(rejected)[0].job_id
+            assert jid_rejected not in [s.job_id for s in specs]
+            assert len(specs) == 1
+
+    def test_retract_spares_requeued_failures(self):
+        # A previously-failed job carries attempt provenance; a 429 on
+        # its resubmission must not delete that history.
+        with ResultCache(":memory:") as cache:
+            spec = _job("a").spec
+            cache.admit(spec)
+            cache.mark_running(spec.job_id, "w0")
+            cache.mark_failed(spec.job_id, "boom", 0.01, requeue=True)
+            assert cache.retract(spec.job_id) is False
+            row = cache.job_row(spec.job_id)
+            assert row is not None and row.attempts == 1
+
+    def test_retract_is_a_noop_for_unknown_jobs(self):
+        with ResultCache(":memory:") as cache:
+            assert cache.retract("feedfacedeadbeef") is False
+
+
+class _ExplodingProcess:
+    def __init__(self, *args, **kwargs):
+        pass
+
+    def start(self):
+        raise OSError("spawn failed (fd limit)")
+
+
+class _ExplodingContext:
+    """A multiprocessing context whose Pipe is real but Process won't start."""
+
+    def __init__(self, real_ctx):
+        self._real = real_ctx
+
+    def Pipe(self, duplex=True):
+        return self._real.Pipe(duplex=duplex)
+
+    def Process(self, *args, **kwargs):
+        return _ExplodingProcess(*args, **kwargs)
+
+
+class TestPoolSpawnFailure:
+    def test_pipe_ends_closed_when_start_raises(self):
+        opened = []
+        with WorkerPool(workers=1) as pool:
+            real_ctx = pool._ctx
+            ctx = _ExplodingContext(real_ctx)
+
+            def recording_pipe(duplex=True):
+                pair = real_ctx.Pipe(duplex=duplex)
+                opened.extend(pair)
+                return pair
+
+            ctx.Pipe = recording_pipe
+            pool._ctx = ctx
+            with pytest.raises(OSError, match="spawn failed"):
+                pool.submit("job-1", {"eid": "demo"})
+            assert len(opened) == 2
+            assert all(conn.closed for conn in opened)
+            # the failed submission must not occupy a pool slot
+            assert pool.active == 0
+            assert pool.has_capacity()

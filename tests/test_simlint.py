@@ -261,7 +261,14 @@ class TestJsonFormat:
         assert report["ok"] is False
         assert report["count"] == len(violations) == len(report["violations"])
         first = report["violations"][0]
-        assert set(first) == {"path", "line", "col", "code", "rule", "message"}
+        assert set(first) == {
+            "path", "line", "col", "end_line", "end_col",
+            "code", "rule", "message",
+        }
+        # spans are real when present: end never precedes start
+        for v in report["violations"]:
+            if v["end_line"]:
+                assert v["end_line"] >= v["line"]
 
     def test_render_json_clean(self):
         report = json.loads(render_json([]))
@@ -292,6 +299,9 @@ class TestJsonFormat:
         assert proc.returncode == 1
         assert "::error file=tests/fixtures/simlint/" in proc.stdout
         assert "title=SIM106" in proc.stdout
+        # end-of-span fields underline the exact node on the diff
+        assert ",endLine=" in proc.stdout
+        assert ",endColumn=" in proc.stdout
 
     def test_annotation_script_clean_exits_zero(self):
         script = (
