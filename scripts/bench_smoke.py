@@ -1,0 +1,67 @@
+#!/usr/bin/env python3
+"""Benchmark-trajectory smoke test (CI gate).
+
+1. ``python -m repro bench run --quick`` must produce a schema-valid
+   ``BENCH_noc.json`` document whose quick profile shows the batched
+   kernel beating the object-per-router loop.
+2. ``python -m repro bench compare`` against the committed baseline must
+   exit 0 — a >20% drop in the quick profile's cycle-kernel speedup
+   fails the job.
+
+Run from the repository root: ``python scripts/bench_smoke.py``.
+The fresh document is left at ``bench_candidate.json`` so the CI job can
+upload it as an artifact (the measured trajectory, one point per commit).
+"""
+
+from __future__ import annotations
+
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO / "src"))
+
+from repro.bench import BENCH_FILENAME, load_bench  # noqa: E402
+
+CANDIDATE = "bench_candidate.json"
+
+
+def run(*argv: str) -> int:
+    print("+", " ".join(argv), flush=True)
+    env = os.environ.copy()
+    env["PYTHONPATH"] = str(REPO / "src") + os.pathsep + env.get("PYTHONPATH", "")
+    return subprocess.call(
+        [sys.executable, "-m", "repro", "bench", *argv], cwd=REPO, env=env
+    )
+
+
+def main() -> int:
+    code = run("run", "--quick", "--out", CANDIDATE)
+    if code != 0:
+        print(f"bench_smoke: bench run failed with exit {code}")
+        return 1
+
+    document = load_bench(str(REPO / CANDIDATE))
+    quick = document["profiles"]["quick"]
+    speedup = quick["derived"]["cycle_kernel_speedup"]
+    print(f"bench_smoke: quick cycle_kernel_speedup = {speedup:.2f}x")
+    if speedup <= 1.0:
+        print("bench_smoke: batched kernel is not faster than the OO loop")
+        return 1
+
+    baseline = REPO / BENCH_FILENAME
+    if not baseline.exists():
+        print(f"bench_smoke: no committed baseline at {baseline}")
+        return 1
+    code = run("compare", BENCH_FILENAME, CANDIDATE, "--threshold", "0.2")
+    if code != 0:
+        print("bench_smoke: regression vs the committed baseline")
+        return 1
+    print("bench_smoke: OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -15,6 +15,10 @@ full service contract:
    still queued; a restart on the same ``--db`` must complete every
    accepted job exactly once, and previously cached payloads must come
    back byte-identical.
+4. **Kernel batching** — four same-shape engine-aware jobs buffered
+   behind a busy single worker must dispatch as ONE batched engine
+   invocation (asserted via the ``engine_batch_size`` histogram), with
+   per-member payloads byte-identical to individual runs.
 
 Run from the repository root: ``python scripts/serve_smoke.py``.
 Exits non-zero (with a diagnostic) on any violation.
@@ -36,7 +40,7 @@ from pathlib import Path
 REPO = Path(__file__).resolve().parent.parent
 sys.path.insert(0, str(REPO / "src"))
 
-from repro.campaign.spec import get_experiment  # noqa: E402
+from repro.campaign.spec import JobSpec, execute_job, get_experiment  # noqa: E402
 from repro.harness.experiments import run_e3, run_e5  # noqa: E402
 from repro.harness.persist import result_from_dict  # noqa: E402
 from repro.serve import ServeClient  # noqa: E402
@@ -205,6 +209,70 @@ def phase_equivalence(port: int) -> None:
     step("  ok: E5 matches (assembled from per-point service jobs)")
 
 
+def phase_batched(db_dir: str) -> None:
+    """K=4 same-shape jobs through ONE batched kernel invocation.
+
+    Runs against its own single-worker daemon on a fresh db: the first
+    engine-aware job occupies the worker, the next four accumulate in the
+    dispatch buffer, and when the worker frees they must coalesce into a
+    single batched engine invocation — whose per-member payloads are
+    byte-identical to individually-executed jobs.
+    """
+    step("phase 4: kernel batching (4 same-shape jobs, one dispatch)")
+    db = os.path.join(db_dir, "serve_batch.db")
+    daemon = Daemon(db, workers=1)
+    step(f"  daemon 3 up on port {daemon.port} (workers=1, db={db})")
+    try:
+        client = ServeClient(port=daemon.port, client_id="batch")
+        specs = [
+            JobSpec(eid="demo-noc", point_index=i % 2, point=[i % 2],
+                    quick=True, seed=1, replicate=i // 2)
+            for i in range(5)
+        ]
+        # Pilot job: dispatches solo and pins the only worker ...
+        ack = client.submit("demo-noc", point_index=0, quick=True, seed=1)
+        if ack["job_id"] != specs[0].job_id:
+            fail("client/server job-id mismatch for the pilot job")
+        deadline = time.monotonic() + 60
+        while scrape(client.metrics_text(),
+                     "repro_serve_jobs_dispatched_total") < 1:
+            if time.monotonic() > deadline:
+                fail("pilot job never dispatched")
+            time.sleep(0.02)
+        # ... so these four buffer together and share one kernel batch.
+        for spec in specs[1:]:
+            client.submit("demo-noc", point_index=spec.point_index,
+                          quick=True, seed=1, replicate=spec.replicate)
+        for spec in specs:
+            state = client.wait(spec.job_id, timeout_s=600)
+            if state["status"] != "done":
+                fail(f"batched job {spec.job_id} not done: {state}")
+
+        metrics = client.metrics_text()
+        dispatched = scrape(metrics, "repro_serve_jobs_dispatched_total")
+        count = scrape(metrics, "repro_serve_engine_batch_size_count")
+        lanes = scrape(metrics, "repro_serve_engine_batch_size_sum")
+        if dispatched != 2:
+            fail(f"expected 2 dispatches (pilot + one batch), got {dispatched:.0f}")
+        if count != 2 or lanes != 5:
+            fail(f"batch-size histogram shows {lanes:.0f} lanes over "
+                 f"{count:.0f} dispatches; expected 5 over 2")
+        step("  ok: 4 jobs ran as one batched invocation (1+4 dispatches)")
+
+        for spec in specs:
+            served = client.result_text(spec.job_id)
+            direct = execute_job(spec.to_dict())
+            direct.pop("_provenance", None)
+            if served != json.dumps(direct, sort_keys=True):
+                fail(f"batched result for {spec.job_id} is not "
+                     "byte-identical to an individual run")
+        step("  ok: every batched payload byte-identical to individual runs")
+    finally:
+        code = daemon.sigterm_and_wait()
+        if code != 0:
+            fail(f"daemon 3 exited {code}")
+
+
 def phase_drain_load(port: int) -> list:
     """Queue the E7 quantum sweep; the caller SIGTERMs with it pending."""
     step("phase 3: SIGTERM mid-queue, restart, drain to completion")
@@ -255,6 +323,8 @@ def main() -> int:
     code = daemon2.sigterm_and_wait()
     if code != 0:
         fail(f"daemon 2 exited {code}")
+
+    phase_batched(tmp)
     step("PASS")
     return 0
 

@@ -1,0 +1,30 @@
+"""Performance-trajectory benchmarks (``python -m repro bench``).
+
+The repo's simulators get faster (or slower) one PR at a time; this
+package makes that trajectory a tracked artifact instead of folklore.
+``bench run`` times the NoC cycle kernels and a small end-to-end
+co-simulation under pinned seeds and writes a schema-versioned
+``BENCH_noc.json``; ``bench compare`` diffs two such files and fails on
+regression past a threshold — the CI contract.
+
+Wall-clock readings are the *product* here, not a hazard, which is why
+``bench/*`` sits on simlint's wall-clock allowlist.
+"""
+
+from .harness import (
+    BENCH_FILENAME,
+    BENCH_SCHEMA_VERSION,
+    compare_bench,
+    load_bench,
+    run_bench,
+    write_bench,
+)
+
+__all__ = [
+    "BENCH_FILENAME",
+    "BENCH_SCHEMA_VERSION",
+    "compare_bench",
+    "load_bench",
+    "run_bench",
+    "write_bench",
+]

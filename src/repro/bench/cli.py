@@ -1,0 +1,107 @@
+"""``python -m repro bench`` — run and compare performance benchmarks.
+
+Examples::
+
+    python -m repro bench run                         # full, writes BENCH_noc.json
+    python -m repro bench run --quick --out /tmp/b.json
+    python -m repro bench compare BENCH_noc.json /tmp/b.json
+    python -m repro bench compare BENCH_noc.json /tmp/b.json --threshold 0.1
+
+``run`` executes every benchmark under pinned seeds and writes the
+schema-versioned document; ``compare`` exits 1 when the candidate's
+cycle-kernel speedup regresses more than the threshold below the
+baseline's (absolute wall times are advisory — see
+:mod:`repro.bench.harness`).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from ..errors import ConfigError
+from .harness import (
+    BENCH_FILENAME,
+    compare_bench,
+    load_bench,
+    run_bench,
+    write_bench,
+)
+
+__all__ = ["build_parser", "main"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro bench",
+        description="NoC performance-trajectory benchmarks.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    run = sub.add_parser("run", help="run every benchmark, write the document")
+    run.add_argument(
+        "--quick", action="store_true",
+        help="shrunken workloads (CI-sized; ratios stay comparable)",
+    )
+    run.add_argument(
+        "--out", default=BENCH_FILENAME, metavar="PATH",
+        help="where to write the document (default: %(default)s)",
+    )
+
+    compare = sub.add_parser(
+        "compare", help="diff two documents; non-zero exit on regression"
+    )
+    compare.add_argument("baseline", help="committed baseline document")
+    compare.add_argument("candidate", help="freshly measured document")
+    compare.add_argument(
+        "--threshold", type=float, default=0.2,
+        help="allowed fractional drop in cycle-kernel speedup "
+        "(default: %(default)s)",
+    )
+    return parser
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    document = run_bench(quick=args.quick)
+    write_bench(document, args.out)
+    print(f"bench: wrote {args.out} (quick={args.quick})")
+    for profile in sorted(document["profiles"]):
+        section = document["profiles"][profile]
+        for name in sorted(section["benchmarks"]):
+            wall = section["benchmarks"][name]["wall_s"]
+            print(f"  [{profile}] {name}: {wall:.3f}s")
+        derived = section["derived"]
+        print(
+            f"  [{profile}] cycle_kernel_speedup: "
+            f"{derived['cycle_kernel_speedup']:.2f}x"
+        )
+        print(f"  [{profile}] batch_efficiency: {derived['batch_efficiency']:.2f}")
+    return 0
+
+
+def _cmd_compare(args: argparse.Namespace) -> int:
+    ok, lines = compare_bench(
+        load_bench(args.baseline),
+        load_bench(args.candidate),
+        threshold=args.threshold,
+    )
+    for line in lines:
+        print(line)
+    print("bench compare:", "ok" if ok else "regression detected")
+    return 0 if ok else 1
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    try:
+        if args.command == "run":
+            return _cmd_run(args)
+        return _cmd_compare(args)
+    except ConfigError as exc:
+        print(f"bench: {exc}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    sys.exit(main())

@@ -83,6 +83,11 @@ def build_parser() -> argparse.ArgumentParser:
         help="snapshot period in synchronization windows (default: %(default)s)",
     )
     run.add_argument(
+        "--engine", default="auto", choices=["auto", "oo", "batched"],
+        help="NoC execution engine for engine-aware experiments "
+        "(default: %(default)s; recorded in job provenance)",
+    )
+    run.add_argument(
         "--resume", action="store_true",
         help="continue an existing campaign, skipping completed jobs",
     )
@@ -148,6 +153,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
             retry_backoff=args.retry_backoff,
             checkpoint_dir=args.checkpoint_dir,
             checkpoint_every=args.checkpoint_every,
+            engine=args.engine,
         )
         summary = engine.run()
         print(summary.render())

@@ -36,6 +36,8 @@ __all__ = [
     "register",
     "get_experiment",
     "execute_job",
+    "execute_job_batch",
+    "jobs_batchable",
 ]
 
 #: bump when the job-hash preimage or payload layout changes incompatibly
@@ -71,6 +73,18 @@ class CampaignExperiment:
         host_time_columns: header names whose values are host wall-clock
             measurements — the sanctioned nondeterminism, excluded from
             determinism/equivalence comparisons.
+        point_config: optional ``(point, quick, seed) -> TargetConfig`` —
+            declares the point as *one engine-executable co-simulation*.
+            Experiments that provide it (together with ``point_record``)
+            get engine selection, engine provenance in the store, and —
+            when several same-shape jobs meet in serve's admission queue —
+            lockstep batched execution.  ``run_point`` stays the sequential
+            reference; the pair must agree with it exactly.
+        point_record: optional ``(CoSimResult, point, quick, seed) ->
+            record`` — the deterministic record extractor for
+            ``point_config`` runs.  Must not include wall-clock fields:
+            records are compared byte-for-byte across engines and batch
+            sizes.
     """
 
     eid: str
@@ -79,6 +93,13 @@ class CampaignExperiment:
     assemble: Callable[[Sequence[Any], bool, int], "exp.ExperimentResult"]
     default_seed: int = 3
     host_time_columns: Tuple[str, ...] = ()
+    point_config: Optional[Callable[[Any, bool, int], Any]] = None
+    point_record: Optional[Callable[[Any, Any, bool, int], Any]] = None
+
+    @property
+    def engine_aware(self) -> bool:
+        """Whether jobs of this experiment run through the engine layer."""
+        return self.point_config is not None and self.point_record is not None
 
 
 def _whole_experiment(eid: str, default_seed: int, host_time_columns=()) -> CampaignExperiment:
@@ -136,6 +157,64 @@ def _demo_assemble(records: Sequence[Any], quick: bool, seed: int):
     )
 
 
+# -- demo-noc: the engine-aware smoke sweep -----------------------------
+#
+# Like ``demo`` but on the detailed simd network model, with the point
+# declared via ``point_config``/``point_record`` — the exemplar (and smoke
+# test) for engine selection, lockstep batching, and engine provenance.
+# Every point shares one 4x4 mesh shape, so a serve daemon holding K of
+# these dispatches them as lanes of a single batched kernel invocation.
+
+
+def _demo_noc_points(quick: bool) -> List[Any]:
+    return [[i] for i in range(2 if quick else 4)]
+
+
+def _demo_noc_config(point: Any, quick: bool, seed: int):
+    from ..core.config import TargetConfig
+
+    (index,) = point
+    return TargetConfig(
+        width=4,
+        height=4,
+        app="water",
+        seed=derive_seed(seed, "demo-noc", index),
+        scale=0.05 if quick else 0.1,
+        network_model="simd",
+        quantum=4,
+    )
+
+
+def _demo_noc_record(result: Any, point: Any, quick: bool, seed: int) -> Any:
+    # Deterministic fields only: records must be byte-identical across
+    # engines and batch sizes (no wall-clock values).
+    (index,) = point
+    return [
+        f"job{index}",
+        float(result.finish_cycle or 0),
+        result.mean_latency(),
+        float(result.deliveries),
+    ]
+
+
+def _demo_noc_run_point(point: Any, quick: bool, seed: int) -> Any:
+    """Sequential reference: one engine-selected co-simulation."""
+    from ..core.config import build_cosim
+
+    cosim = build_cosim(_demo_noc_config(point, quick, seed))
+    return _demo_noc_record(cosim.run(), point, quick, seed)
+
+
+def _demo_noc_assemble(records: Sequence[Any], quick: bool, seed: int):
+    return exp.ExperimentResult(
+        eid="demo-noc",
+        title="Engine smoke sweep (4x4 simd-model co-simulations)",
+        headers=["job", "finish", "mean_lat", "deliveries"],
+        rows=list(records),
+        notes={"jobs": float(len(records))},
+    )
+
+
 def _build_registry() -> Dict[str, CampaignExperiment]:
     registry: Dict[str, CampaignExperiment] = {}
     # Multi-point sweeps: one job per sweep point.
@@ -176,6 +255,15 @@ def _build_registry() -> Dict[str, CampaignExperiment]:
         run_point=_demo_run_point,
         assemble=_demo_assemble,
         default_seed=1,
+    )
+    registry["demo-noc"] = CampaignExperiment(
+        eid="demo-noc",
+        points=_demo_noc_points,
+        run_point=_demo_noc_run_point,
+        assemble=_demo_noc_assemble,
+        default_seed=1,
+        point_config=_demo_noc_config,
+        point_record=_demo_noc_record,
     )
     return registry
 
@@ -349,6 +437,28 @@ class CampaignSpec:
         return cls.from_dict(json.loads(text))
 
 
+def _run_engine_point(experiment: CampaignExperiment, spec: JobSpec, engine: str) -> dict:
+    """Run one engine-aware point and attach engine provenance.
+
+    The ``_provenance`` key rides in the payload only as far as the store's
+    ``mark_done``, which lifts it into dedicated columns — the canonical
+    payload text stays byte-identical across engines.
+    """
+    from ..core.config import build_cosim  # deferred: workers import lazily
+
+    config = experiment.point_config(spec.point, spec.quick, spec.seed)
+    cosim = build_cosim(config, engine=engine)
+    record = experiment.point_record(cosim.run(), spec.point, spec.quick, spec.seed)
+    payload = {"record": record}
+    decision = getattr(cosim, "engine_decision", None)
+    if decision is not None:
+        payload["_provenance"] = {
+            "engine": decision.name,
+            "kernel_version": decision.kernel_version,
+        }
+    return payload
+
+
 def execute_job(job: dict) -> dict:
     """Run one job (worker-side): look up the experiment, run its point.
 
@@ -356,15 +466,32 @@ def execute_job(job: dict) -> dict:
     the pipe to a worker process).  The returned payload is JSON-serializable
     and goes into the store verbatim.
 
-    An optional ``_checkpoint`` key (``{"path": ..., "every": ...}``, added
-    by the engine when ``--checkpoint-dir`` is set) wraps execution in a
-    :func:`repro.resilience.checkpoint.job_checkpoint` scope: the run
-    snapshots periodically and, if a previous attempt was killed mid-run,
-    resumes from its last snapshot instead of restarting from cycle 0.
+    Underscore keys are execution hints, not job identity:
+
+    - ``_checkpoint`` (``{"path": ..., "every": ...}``, added by the engine
+      when ``--checkpoint-dir`` is set) wraps execution in a
+      :func:`repro.resilience.checkpoint.job_checkpoint` scope: the run
+      snapshots periodically and, if a previous attempt was killed mid-run,
+      resumes from its last snapshot instead of restarting from cycle 0.
+    - ``_engine`` selects the NoC execution engine for engine-aware
+      experiments (``"auto"``/``"oo"``/``"batched"``); others ignore it.
+    - ``_batch_members`` (a list of job dicts) turns this into a synthetic
+      batch job: every member runs as one lane of a shared kernel batch and
+      the payload is ``{"_batch": [{"job_id", "payload"}, ...]}``.
     """
+    if "_batch_members" in job:
+        return execute_job_batch(job["_batch_members"], engine=job.get("_engine", "auto"))
     checkpoint = job.get("_checkpoint")
+    engine = job.get("_engine", "auto")
     spec = JobSpec.from_dict({k: v for k, v in job.items() if not k.startswith("_")})
     experiment = get_experiment(spec.eid)
+    if experiment.engine_aware:
+        if checkpoint:
+            from ..resilience.checkpoint import job_checkpoint  # deferred
+
+            with job_checkpoint(checkpoint["path"], checkpoint["every"]):
+                return _run_engine_point(experiment, spec, engine)
+        return _run_engine_point(experiment, spec, engine)
     if checkpoint:
         from ..resilience.checkpoint import job_checkpoint  # deferred
 
@@ -373,3 +500,70 @@ def execute_job(job: dict) -> dict:
     else:
         record = experiment.run_point(spec.point, spec.quick, spec.seed)
     return {"record": record}
+
+
+def jobs_batchable(jobs: Sequence[dict]) -> Tuple[bool, str]:
+    """Whether these job dicts may run as lanes of one kernel batch.
+
+    True only when there are at least two jobs, every job's experiment is
+    engine-aware, and the configs they declare agree on network shape and
+    quantum (per :func:`repro.engine.batch.configs_batchable`).
+    """
+    if len(jobs) < 2:
+        return False, "batching needs at least two jobs"
+    configs = []
+    for job in jobs:
+        spec = JobSpec.from_dict(
+            {k: v for k, v in job.items() if not k.startswith("_")}
+        )
+        experiment = get_experiment(spec.eid)
+        if not experiment.engine_aware:
+            return False, f"experiment {spec.eid!r} is not engine-aware"
+        configs.append(experiment.point_config(spec.point, spec.quick, spec.seed))
+    from ..engine.batch import configs_batchable  # deferred
+
+    return configs_batchable(configs)
+
+
+def execute_job_batch(jobs: Sequence[dict], engine: str = "auto") -> dict:
+    """Run several same-shape jobs as lanes of one batched kernel.
+
+    Returns ``{"_batch": [{"job_id": ..., "payload": ...}, ...]}`` in job
+    order; each member payload is exactly what :func:`execute_job` would
+    have produced for that job, with batched-engine provenance attached.
+    """
+    from ..engine.batch import run_cosim_batch  # deferred
+
+    specs: List[JobSpec] = []
+    experiments: List[CampaignExperiment] = []
+    configs = []
+    for job in jobs:
+        spec = JobSpec.from_dict(
+            {k: v for k, v in job.items() if not k.startswith("_")}
+        )
+        experiment = get_experiment(spec.eid)
+        if not experiment.engine_aware:
+            raise ConfigError(
+                f"experiment {spec.eid!r} cannot join a kernel batch "
+                "(no point_config/point_record)"
+            )
+        specs.append(spec)
+        experiments.append(experiment)
+        configs.append(experiment.point_config(spec.point, spec.quick, spec.seed))
+    batch = run_cosim_batch(configs)
+    members = []
+    for spec, experiment, result in zip(specs, experiments, batch.results):
+        record = experiment.point_record(result, spec.point, spec.quick, spec.seed)
+        members.append(
+            {
+                "job_id": spec.job_id,
+                "payload": {
+                    "record": record,
+                    "_provenance": {
+                        "engine": batch.engine.name,
+                        "kernel_version": batch.engine.kernel_version,
+                    },
+                },
+            }
+        )
+    return {"_batch": members}

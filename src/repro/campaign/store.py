@@ -38,7 +38,7 @@ from .spec import CampaignSpec, JobSpec
 __all__ = ["ResultStore", "JobRow", "STORE_SCHEMA_VERSION"]
 
 #: bump on incompatible store-layout change
-STORE_SCHEMA_VERSION = 1
+STORE_SCHEMA_VERSION = 2
 
 #: how long a connection waits on a competing writer before erroring (ms)
 BUSY_TIMEOUT_MS = 5_000
@@ -63,11 +63,21 @@ CREATE TABLE IF NOT EXISTS jobs (
     finished_at TEXT,
     wall_s      REAL,
     error       TEXT,
-    payload     TEXT
+    payload     TEXT,
+    engine      TEXT,
+    kernel_version TEXT
 );
 CREATE INDEX IF NOT EXISTS idx_jobs_status ON jobs(status);
 CREATE INDEX IF NOT EXISTS idx_jobs_eid ON jobs(eid, replicate, point_index);
 """
+
+#: schema version -> SQL that upgrades it one step.  v1 -> v2 adds the
+#: engine-provenance columns; old rows keep NULL (engine unrecorded) and
+#: stay fully readable.
+_MIGRATIONS: Dict[int, str] = {
+    1: "ALTER TABLE jobs ADD COLUMN engine TEXT;\n"
+    "ALTER TABLE jobs ADD COLUMN kernel_version TEXT;",
+}
 
 
 class JobRow:
@@ -87,6 +97,8 @@ class JobRow:
         "wall_s",
         "error",
         "payload",
+        "engine",
+        "kernel_version",
     )
 
     def __init__(self, row: sqlite3.Row) -> None:
@@ -137,7 +149,31 @@ class ResultStore:
         found = self.get_meta("store_schema")
         if found is None:
             self.set_meta("store_schema", str(STORE_SCHEMA_VERSION))
-        elif found != str(STORE_SCHEMA_VERSION):
+        else:
+            self._migrate(found)
+
+    def _migrate(self, found: str) -> None:
+        """Upgrade an older on-disk schema in place, one step at a time.
+
+        Each step is committed with its version bump in one transaction,
+        so a crash mid-upgrade leaves a database some *complete* older
+        version still recognizes.  Newer-than-supported schemas refuse.
+        """
+        try:
+            version = int(found)
+        except ValueError:
+            version = -1
+        while version < STORE_SCHEMA_VERSION:
+            if version not in _MIGRATIONS:
+                break
+            self._conn.executescript(_MIGRATIONS[version])
+            version += 1
+            self._conn.execute(
+                "UPDATE meta SET value = ? WHERE key = 'store_schema'",
+                (str(version),),
+            )
+            self._conn.commit()
+        if version != STORE_SCHEMA_VERSION:
             raise ConfigError(
                 f"{self.path}: campaign store schema {found} is not the "
                 f"supported version {STORE_SCHEMA_VERSION} (a different "
@@ -299,11 +335,29 @@ class ResultStore:
         )
 
     def mark_done(self, job_id: str, payload: dict, wall_s: float) -> None:
+        """Commit a result.
+
+        A ``_provenance`` key in ``payload`` (``{"engine": ...,
+        "kernel_version": ...}``, attached by the worker-side executor) is
+        *lifted out* into the provenance columns rather than stored: the
+        canonical payload text stays byte-identical whichever engine
+        computed it — the engines' bit-identity contract is what keeps a
+        cached row valid — while the columns record which engine did.
+        """
+        provenance = payload.get("_provenance") or {}
+        payload = {k: v for k, v in payload.items() if k != "_provenance"}
         self._mark(
             job_id,
             "UPDATE jobs SET status = 'done', payload = ?, wall_s = ?, "
+            "engine = ?, kernel_version = ?, "
             "finished_at = datetime('now') WHERE job_id = ?",
-            (json.dumps(payload, sort_keys=True), wall_s, job_id),
+            (
+                json.dumps(payload, sort_keys=True),
+                wall_s,
+                provenance.get("engine"),
+                provenance.get("kernel_version"),
+                job_id,
+            ),
         )
 
     def mark_failed(

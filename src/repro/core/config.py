@@ -99,6 +99,7 @@ def build_cosim(
     simd_network_factory=None,
     check_invariants: bool = False,
     verify: str = "warn",
+    engine: str = "auto",
 ) -> CoSimulator:
     """Assemble system + network model + co-simulator from a config.
 
@@ -108,6 +109,14 @@ def build_cosim(
     :class:`~repro.analysis.invariants.InvariantChecker` that validates
     message conservation, time monotonicity, and NoC credit/VC conservation
     at every quantum boundary.
+
+    ``engine`` selects the NoC execution engine (see :mod:`repro.engine`):
+    ``"auto"`` (default) runs engine-compatible configs on the batched
+    vectorized kernels and everything else on the reference loop;
+    ``"batched"`` does the same but logs the fallback louder; ``"oo"``
+    pins the reference loop.  Engines are bit-identical wherever both
+    apply, and the choice is recorded on the returned co-simulator's
+    ``engine_decision`` (and in every result's ``network_description``).
 
     ``verify`` gates construction on :mod:`repro.verify`'s static checks
     (deadlock-freedom of the routing triple, protocol safety): ``"warn"``
@@ -154,6 +163,19 @@ def build_cosim(
     feedback = LatencyFeedback(topo)
     routing = make_routing(config.routing)
 
+    # Deferred so the core's module graph stays engine-free (the engine
+    # package imports core back for the lockstep batch driver).
+    from ..engine.api import OO_KERNEL_VERSION, EngineDecision, resolve_engine
+
+    if simd_network_factory is not None:
+        # The caller supplies the network; provenance says so (the
+        # lockstep batch driver overwrites this with its own decision).
+        engine_decision = EngineDecision(
+            "oo", "injected network factory", OO_KERNEL_VERSION
+        )
+    else:
+        engine_decision = resolve_engine(config, engine)
+
     name = config.network_model
     shadow = None
     faults_state = None
@@ -180,11 +202,20 @@ def build_cosim(
             CycleNetwork(topo, config.noc, routing=routing)
         )
     elif name == "simd":
-        if simd_network_factory is None:
+        if simd_network_factory is not None:
+            # An injected factory (tests, the lockstep batch driver)
+            # overrides engine selection — it *is* the engine.
+            network = DetailedNetworkAdapter(simd_network_factory(topo, config.noc))
+        elif engine_decision.is_batched:
+            from ..engine.network import SimdBatch  # deferred heavy import
+
+            network = DetailedNetworkAdapter(
+                SimdBatch(topo, config.noc, lanes=1).lane(0)
+            )
+        else:
             from ..noc_gpu import SimdNetwork  # deferred heavy import
 
-            simd_network_factory = SimdNetwork
-        network = DetailedNetworkAdapter(simd_network_factory(topo, config.noc))
+            network = DetailedNetworkAdapter(SimdNetwork(topo, config.noc))
     elif name == "fixed":
         network = AbstractModelAdapter(FixedLatencyModel(topo, config.noc))
     elif name == "queueing":
@@ -217,7 +248,7 @@ def build_cosim(
         watchdog = (
             Watchdog(config.stall_quanta) if config.stall_quanta > 0 else Watchdog()
         )
-    return CoSimulator(
+    cosim = CoSimulator(
         system,
         network,
         quantum=config.quantum,
@@ -226,6 +257,8 @@ def build_cosim(
         invariants=invariants,
         watchdog=watchdog,
     )
+    cosim.engine_decision = engine_decision
+    return cosim
 
 
 def default_target_table() -> Dict[str, str]:

@@ -125,6 +125,10 @@ class CoSimulator:
         self.windows = 0
         self._wall_system = 0.0
         self._wall_network = 0.0
+        #: execution provenance (repro.engine.api.EngineDecision), set by
+        #: build_cosim / the lockstep batch driver; duck-typed so the core
+        #: never imports the engine package at module level.
+        self.engine_decision: Optional[object] = None
         #: False until the first run() call has started the system; lets a
         #: checkpoint-restored CoSimulator resume run() without re-running
         #: system start-up (which would double-schedule core wake-ups).
@@ -165,47 +169,127 @@ class CoSimulator:
         )
 
     # ------------------------------------------------------------------
-    # Main loop
+    # Window phases
+    #
+    # One synchronization window decomposes into: (system) run the event
+    # loop to the boundary, (flush) hand buffered messages to the network
+    # at their creation cycles, (advance) step the network to the
+    # boundary, (collect) schedule its deliveries back into the event
+    # loop, (finish) invariants / quantum observation / monitors.  run()
+    # composes them sequentially; the lockstep multi-job driver
+    # (repro.engine.batch) interleaves each phase across all lanes so a
+    # shared batched kernel advances every simulation at once.
     # ------------------------------------------------------------------
-    def run(self, max_cycles: int = 5_000_000) -> CoSimResult:
-        """Run until every core finishes (or ``max_cycles``)."""
-        wall_start = time.perf_counter()  # simlint: allow[wall-clock]
+    def _begin(self) -> None:
+        """Start the system exactly once (checkpoint-restore safe)."""
         if not self._started:
             if self.invariants is not None:
                 self.invariants.on_run_start(self)
             self.system.start()
             self._started = True
+
+    def _check_wedge(self) -> None:
+        if (
+            self.system.events.pending == 0
+            and not self._outbox
+            and getattr(self.network, "in_flight", 0) == 0
+        ):
+            raise SimulationError(
+                "co-simulation wedged: no events, no traffic in flight, "
+                f"but only {self.system._finished_cores} of "
+                f"{len(self.system.cores)} cores finished"
+            )
+
+    def _phase_system(self, target: int) -> None:
+        t0 = time.perf_counter()  # simlint: allow[wall-clock]
+        self.system.run_until(target)
+        self._wall_system += time.perf_counter() - t0  # simlint: allow[wall-clock, nondeterminism-taint]
+
+    def _phase_flush(self) -> None:
+        t0 = time.perf_counter()  # simlint: allow[wall-clock]
+        if not self.network.inline:
+            for msg in self._outbox:
+                self.network.send(msg, msg.created_cycle)
+            self._outbox.clear()
+        if self.shadow is not None:
+            for msg in self._shadow_outbox:
+                self.shadow.send(msg, msg.created_cycle)
+            self._shadow_outbox.clear()
+        self._wall_network += time.perf_counter() - t0  # simlint: allow[wall-clock, nondeterminism-taint]
+
+    def _phase_advance(self, target: int) -> None:
+        t0 = time.perf_counter()  # simlint: allow[wall-clock]
+        self.network.advance(target)
+        if self.shadow is not None:
+            self.shadow.advance(target)
+        self._wall_network += time.perf_counter() - t0  # simlint: allow[wall-clock, nondeterminism-taint]
+
+    def _phase_collect(self) -> None:
+        t0 = time.perf_counter()  # simlint: allow[wall-clock]
+        if not self.network.inline:
+            for msg, when, latency in self.network.pop_deliveries():
+                self._schedule_delivery(msg, when, record_feedback=True)
+        if self.shadow is not None:
+            for msg, when, latency in self.shadow.pop_deliveries():
+                # Shadow deliveries feed the reciprocal table only; the
+                # system already received this message from the inline model.
+                self.feedback.record(msg, latency)
+        self._wall_network += time.perf_counter() - t0  # simlint: allow[wall-clock, nondeterminism-taint]
+
+    def _phase_finish(self, target: int, sent_before: int) -> None:
+        """Post-window bookkeeping for a main-loop window."""
+        if self.invariants is not None:
+            self.invariants.after_window(self, target)
+        self.quantum.observe_window(
+            self.messages_sent - sent_before, self.deliveries
+        )
+        self.windows += 1
+        if self.watchdog is not None:
+            self.watchdog.after_window(self, target)
+        if self.checkpointer is not None:
+            self.checkpointer.after_window(self, target)
+
+    def _tail_pending(self) -> bool:
+        """Anything left that :meth:`_drain_tail` must still deliver?"""
+        return bool(
+            self.system.events.pending
+            or self._outbox
+            or self._shadow_outbox
+            or getattr(self.network, "in_flight", 0)
+            or (self.shadow is not None and self.shadow.in_flight)
+        )
+
+    def _drain_guard(self) -> int:
+        """The cycle beyond which a non-empty tail is a wedge.
+
+        A retransmitting network model may legitimately need far longer
+        than the default guard (bounded exponential backoff between
+        attempts); it advertises its worst case via ``drain_guard_cycles``.
+        """
+        return self.system.now + max(
+            10_000,
+            100 * self.quantum.next_quantum(),
+            getattr(self.network, "drain_guard_cycles", 0),
+        )
+
+    # ------------------------------------------------------------------
+    # Main loop
+    # ------------------------------------------------------------------
+    def run(self, max_cycles: int = 5_000_000) -> CoSimResult:
+        """Run until every core finishes (or ``max_cycles``)."""
+        wall_start = time.perf_counter()  # simlint: allow[wall-clock]
+        self._begin()
         t = self.system.now
         while not self.system.all_finished:
             if t >= max_cycles:
                 break
-            if (
-                self.system.events.pending == 0
-                and not self._outbox
-                and getattr(self.network, "in_flight", 0) == 0
-            ):
-                raise SimulationError(
-                    "co-simulation wedged: no events, no traffic in flight, "
-                    f"but only {self.system._finished_cores} of "
-                    f"{len(self.system.cores)} cores finished"
-                )
+            self._check_wedge()
             window = self.quantum.next_quantum()
             target = min(t + window, max_cycles)
             sent_before = self.messages_sent
-            t0 = time.perf_counter()  # simlint: allow[wall-clock]
-            self.system.run_until(target)
-            self._wall_system += time.perf_counter() - t0  # simlint: allow[wall-clock, nondeterminism-taint]
+            self._phase_system(target)
             self._advance_network(target)
-            if self.invariants is not None:
-                self.invariants.after_window(self, target)
-            self.quantum.observe_window(
-                self.messages_sent - sent_before, self.deliveries
-            )
-            self.windows += 1
-            if self.watchdog is not None:
-                self.watchdog.after_window(self, target)
-            if self.checkpointer is not None:
-                self.checkpointer.after_window(self, target)
+            self._phase_finish(target, sent_before)
             t = target
         if self.system.all_finished:
             self._drain_tail()
@@ -215,21 +299,8 @@ class CoSimulator:
         """Deliver the protocol's trailing messages after the last core
         finishes (writebacks, acks, unblocks) so message accounting balances
         and the final system state is quiescent."""
-        # A retransmitting network model may legitimately need far longer
-        # than the default guard (bounded exponential backoff between
-        # attempts); it advertises its worst case via ``drain_guard_cycles``.
-        guard = self.system.now + max(
-            10_000,
-            100 * self.quantum.next_quantum(),
-            getattr(self.network, "drain_guard_cycles", 0),
-        )
-        while (
-            self.system.events.pending
-            or self._outbox
-            or self._shadow_outbox
-            or getattr(self.network, "in_flight", 0)
-            or (self.shadow is not None and self.shadow.in_flight)
-        ):
+        guard = self._drain_guard()
+        while self._tail_pending():
             if self.system.now > guard:
                 raise SimulationError(
                     "co-simulation tail failed to drain "
@@ -243,26 +314,9 @@ class CoSimulator:
                 self.invariants.after_window(self, target)
 
     def _advance_network(self, target: int) -> None:
-        t0 = time.perf_counter()  # simlint: allow[wall-clock]
-        if not self.network.inline:
-            for msg in self._outbox:
-                self.network.send(msg, msg.created_cycle)
-            self._outbox.clear()
-            self.network.advance(target)
-            for msg, when, latency in self.network.pop_deliveries():
-                self._schedule_delivery(msg, when, record_feedback=True)
-        else:
-            self.network.advance(target)
-        if self.shadow is not None:
-            for msg in self._shadow_outbox:
-                self.shadow.send(msg, msg.created_cycle)
-            self._shadow_outbox.clear()
-            self.shadow.advance(target)
-            for msg, when, latency in self.shadow.pop_deliveries():
-                # Shadow deliveries feed the reciprocal table only; the
-                # system already received this message from the inline model.
-                self.feedback.record(msg, latency)
-        self._wall_network += time.perf_counter() - t0  # simlint: allow[wall-clock, nondeterminism-taint]
+        self._phase_flush()
+        self._phase_advance(target)
+        self._phase_collect()
 
     # ------------------------------------------------------------------
     def _result(self, wall_total: float) -> CoSimResult:
@@ -270,6 +324,15 @@ class CoSimulator:
         description["quantum"] = self.quantum.describe()
         if self.shadow is not None:
             description["shadow"] = self.shadow.describe()
+        # Execution provenance, set by build_cosim / the batch driver (see
+        # repro.engine): which engine ran the NoC.  Engines are
+        # bit-identical, so this never affects the metrics themselves.
+        engine = getattr(self, "engine_decision", None)
+        if engine is not None:
+            description["engine"] = {
+                "name": engine.name,
+                "kernel_version": engine.kernel_version,
+            }
         return CoSimResult(
             finish_cycle=self.system.finish_cycle,
             cycles=self.system.now,

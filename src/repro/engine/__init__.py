@@ -1,0 +1,48 @@
+"""repro.engine: batched vectorized NoC execution engines.
+
+The engine layer separates *what* a co-simulation computes (the target
+config) from *how* its NoC cycles are executed.  Two engines implement
+the :class:`NocEngine` protocol:
+
+* :class:`OoEngine` — the existing object-oriented router loop (and the
+  single-simulation SIMD model), exactly as ``build_cosim`` has always
+  constructed it.  Always available; the semantic reference.
+* :class:`BatchedSimdEngine` — a rewritten NumPy kernel where one
+  vectorized step advances *all* routers of *N same-shape simulations*
+  as batched array ops over ``(job, router, port, VC)`` tensors.  Each
+  job is a lane of :class:`~repro.engine.network.SimdBatch`; per-lane
+  results are bit-identical to the single-simulation SIMD network.
+
+``build_cosim(..., engine="auto")`` picks the fast path automatically
+when the target config is engine-compatible and falls back to the OO
+loop with a logged reason otherwise (see :mod:`repro.engine.api`).
+Lockstep multi-job execution lives in :mod:`repro.engine.batch`.
+"""
+
+from .api import (
+    BatchedSimdEngine,
+    EngineDecision,
+    KERNEL_VERSION,
+    NocEngine,
+    OoEngine,
+    batch_supported,
+    get_engine,
+    resolve_engine,
+)
+from .batch import BatchCosimResult, run_cosim_batch
+from .network import BatchedSimdNetwork, SimdBatch
+
+__all__ = [
+    "BatchCosimResult",
+    "BatchedSimdEngine",
+    "BatchedSimdNetwork",
+    "EngineDecision",
+    "KERNEL_VERSION",
+    "NocEngine",
+    "OoEngine",
+    "SimdBatch",
+    "batch_supported",
+    "get_engine",
+    "resolve_engine",
+    "run_cosim_batch",
+]

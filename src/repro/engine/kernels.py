@@ -1,0 +1,199 @@
+"""Lane-batched per-cycle kernels for the batched SIMD network.
+
+These are the :mod:`repro.noc_gpu.kernels` stages generalized with a
+leading lane axis: one kernel invocation advances every router of every
+lane.  All scatter-reduction bucket keys carry the lane index, so
+arbitration in one lane can never observe another — per-lane results
+are bit-identical to running :mod:`repro.noc_gpu` on each lane alone
+(``tests/test_engine_batched.py`` enforces this).  ``np.nonzero`` over
+``[L,R,P,V]`` masks enumerates lane-major in C order, so the per-lane
+sub-order of every gather/scatter matches the single-lane kernels
+exactly.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Tuple
+
+import numpy as np
+
+from ..noc.topology import EAST, LOCAL, NORTH, SOUTH, WEST
+from ..noc_gpu.kernels import FLAG_HEAD, FLAG_TAIL
+from .layout import BatchState
+
+__all__ = [
+    "FLAG_HEAD",
+    "FLAG_TAIL",
+    "route_compute",
+    "vc_allocate",
+    "switch_traverse",
+]
+
+_BIG = np.iinfo(np.int64).max
+
+
+def route_compute(st: BatchState) -> None:
+    """Kernel 1: XY route for every VC whose front flit is an unrouted head."""
+    need = (st.count > 0) & (st.route_port < 0)
+    if not need.any():
+        return
+    lane, r, p, v = np.nonzero(need)
+    slot = st.head[lane, r, p, v]
+    pkt = st.buf_pkt[lane, r, p, v, slot]
+    dst = st.pkt_dst_router[pkt]
+    dx = st.x[dst] - st.x[r]
+    dy = st.y[dst] - st.y[r]
+    port = np.where(
+        dx > 0,
+        EAST,
+        np.where(dx < 0, WEST, np.where(dy > 0, NORTH, np.where(dy < 0, SOUTH, LOCAL))),
+    )
+    st.route_port[lane, r, p, v] = port.astype(np.int8)
+
+
+def vc_allocate(st: BatchState) -> np.ndarray:
+    """Kernel 2: separable VC allocation across all lanes.
+
+    Same two stages as the single-lane kernel — selection of the first
+    free output VC, then scatter-min round-robin arbitration — with the
+    lane folded into the bucket key so conflicts never cross lanes.
+    Returns the per-lane grant counts, shape ``[L]``.
+    """
+    zeros = np.zeros(st.L, dtype=np.int64)
+    req = (st.route_port >= 0) & ~st.active & (st.count > 0)
+    if not req.any():
+        return zeros
+    lane, r, p, v = np.nonzero(req)
+    op = st.route_port[lane, r, p, v].astype(np.int64)
+
+    free = st.ovc_owner[lane, r, op, :] == -1  # [n, V]
+    has_free = free.any(axis=1)
+    if not has_free.any():
+        return zeros
+    lane, r, p, v, op = (a[has_free] for a in (lane, r, p, v, op))
+    ov = np.argmax(free[has_free], axis=1).astype(np.int64)
+
+    PV = st.P * st.V
+    in_code = p * st.V + v
+    rank = (in_code - st.va_ptr[lane, r, op, ov]) % PV
+    score = rank * PV + in_code  # unique per (lane, router, op, ov)
+    target = ((lane * st.R + r) * st.P + op) * st.V + ov
+    best = np.full(st.L * st.R * st.P * st.V, _BIG, dtype=np.int64)
+    np.minimum.at(best, target, score)
+    won = score == best[target]
+
+    lw, rw, pw, vw = lane[won], r[won], p[won], v[won]
+    opw, ovw = op[won], ov[won]
+    st.out_vc[lw, rw, pw, vw] = ovw.astype(np.int8)
+    st.active[lw, rw, pw, vw] = True
+    st.ovc_owner[lw, rw, opw, ovw] = (pw * st.V + vw).astype(np.int16)
+    st.va_ptr[lw, rw, opw, ovw] = ((pw * st.V + vw + 1) % PV).astype(np.int32)
+    return np.bincount(lw, minlength=st.L).astype(np.int64)
+
+
+def switch_traverse(
+    st: BatchState,
+    now: int,
+    eject: Callable[
+        [np.ndarray, np.ndarray, np.ndarray, np.ndarray, np.ndarray], None
+    ],
+    hop_counter: np.ndarray,
+) -> Tuple[
+    np.ndarray, np.ndarray, np.ndarray, np.ndarray, np.ndarray, np.ndarray
+]:
+    """Kernels 3+4: switch allocation and traversal across all lanes.
+
+    ``eject`` receives ``(lanes, pkt_idx, seq, flags, routers)`` for
+    flits leaving at a local port, lane-major in C order (so per-lane
+    ejection order matches the single-lane kernel).  ``hop_counter`` is
+    the global per-packet hop array.
+
+    Returns ``(grants, link_moves, credit_lanes, credit_routers,
+    credit_ports, credit_vcs)``; ``grants`` and ``link_moves`` are
+    per-lane counts of shape ``[L]``.
+    """
+    empty = np.empty(0, dtype=np.int64)
+    zeros = np.zeros(st.L, dtype=np.int64)
+    front_ready = np.take_along_axis(
+        st.buf_ready, st.head[..., None].astype(np.int64), axis=4
+    )[..., 0]
+    cand = st.active & (st.count > 0) & (front_ready <= now)
+    if not cand.any():
+        return zeros, zeros, empty, empty, empty, empty
+    lane, r, p, v = np.nonzero(cand)
+    op = st.route_port[lane, r, p, v].astype(np.int64)
+    ov = st.out_vc[lane, r, p, v].astype(np.int64)
+    has_credit = st.credits[lane, r, op, ov] > 0
+    if not has_credit.any():
+        return zeros, zeros, empty, empty, empty, empty
+    lane, r, p, v, op, ov = (a[has_credit] for a in (lane, r, p, v, op, ov))
+
+    # Input stage: one VC per input port (round-robin over VCs).
+    key_in = (lane * st.R + r) * st.P + p
+    score_in = ((v - st.sa_in_ptr[lane, r, p]) % st.V) * st.V + v
+    best_in = np.full(st.L * st.R * st.P, _BIG, dtype=np.int64)
+    np.minimum.at(best_in, key_in, score_in)
+    nominated = score_in == best_in[key_in]
+    lane, r, p, v, op, ov = (a[nominated] for a in (lane, r, p, v, op, ov))
+
+    # Output stage: one input port per output port (round-robin over ports).
+    key_out = (lane * st.R + r) * st.P + op
+    score_out = ((p - st.sa_out_ptr[lane, r, op]) % st.P) * st.P + p
+    best_out = np.full(st.L * st.R * st.P, _BIG, dtype=np.int64)
+    np.minimum.at(best_out, key_out, score_out)
+    won = score_out == best_out[key_out]
+    lane, r, p, v, op, ov = (a[won] for a in (lane, r, p, v, op, ov))
+
+    st.sa_in_ptr[lane, r, p] = ((v + 1) % st.V).astype(np.int32)
+    st.sa_out_ptr[lane, r, op] = ((p + 1) % st.P).astype(np.int32)
+
+    # Pop the front flits.
+    slot = st.head[lane, r, p, v].astype(np.int64)
+    pkt = st.buf_pkt[lane, r, p, v, slot]
+    seq = st.buf_seq[lane, r, p, v, slot]
+    flags = st.buf_flags[lane, r, p, v, slot]
+    st.buf_pkt[lane, r, p, v, slot] = -1
+    st.head[lane, r, p, v] = ((slot + 1) % st.B).astype(np.int32)
+    st.count[lane, r, p, v] -= 1
+
+    # Tails release the input VC and the held output VC.
+    is_tail = (flags & FLAG_TAIL) != 0
+    lt, rt, pt, vt = lane[is_tail], r[is_tail], p[is_tail], v[is_tail]
+    st.active[lt, rt, pt, vt] = False
+    st.route_port[lt, rt, pt, vt] = -1
+    st.out_vc[lt, rt, pt, vt] = -1
+    st.ovc_owner[lt, rt, op[is_tail], ov[is_tail]] = -1
+
+    # Ejections leave the network here.
+    local = op == LOCAL
+    if local.any():
+        eject(lane[local], pkt[local], seq[local], flags[local], r[local])
+
+    # Inter-router moves land in the neighbour's input buffer.
+    mv = ~local
+    link_moves = np.bincount(lane[mv], minlength=st.L).astype(np.int64)
+    if mv.any():
+        lm, rm, opm, ovm = lane[mv], r[mv], op[mv], ov[mv]
+        st.credits[lm, rm, opm, ovm] -= 1
+        nr = st.nbr_router[rm, opm].astype(np.int64)
+        npt = st.nbr_port[rm, opm].astype(np.int64)
+        dst_slot = (
+            (st.head[lm, nr, npt, ovm] + st.count[lm, nr, npt, ovm]) % st.B
+        ).astype(np.int64)
+        st.buf_pkt[lm, nr, npt, ovm, dst_slot] = pkt[mv]
+        st.buf_seq[lm, nr, npt, ovm, dst_slot] = seq[mv]
+        st.buf_flags[lm, nr, npt, ovm, dst_slot] = flags[mv]
+        st.buf_ready[lm, nr, npt, ovm, dst_slot] = (
+            now + st.config.link_delay + st.config.router_delay
+        )
+        st.count[lm, nr, npt, ovm] += 1
+        head_mv = (flags[mv] & FLAG_HEAD) != 0
+        np.add.at(hop_counter, pkt[mv][head_mv], 1)
+
+    # Credits for the freed input slots flow to the upstream router; the
+    # local port needs none (the injection queue reads occupancy directly).
+    up = p != LOCAL
+    ur = st.nbr_router[r[up], p[up]].astype(np.int64)
+    uport = st.nbr_port[r[up], p[up]].astype(np.int64)
+    grants = np.bincount(lane, minlength=st.L).astype(np.int64)
+    return grants, link_moves, lane[up], ur, uport, v[up]

@@ -1,0 +1,143 @@
+"""Structure-of-arrays state for the *batched* SIMD network.
+
+This is :mod:`repro.noc_gpu.layout` with one extra leading axis: ``L``
+lanes, each an independent same-shape simulation.  Array shapes are
+``L`` lanes × ``R`` routers × ``P`` ports × ``V`` virtual channels × ``B``
+buffer slots.  Geometry tables are shared across lanes (one copy,
+indexed by every lane), because a batch only ever groups simulations of
+identical topology and NoC config.
+
+The packet table is global across lanes: ``buf_pkt`` stores indices into
+one shared table, and lane ownership is implicit — a packet index only
+ever appears in the lane that injected it, so kernels never need a
+per-packet lane column.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List
+
+import numpy as np
+
+from ..errors import ConfigError
+from ..noc.config import NocConfig
+from ..noc.topology import EAST, LOCAL, NORTH, SOUTH, WEST, Topology
+from ..noc_gpu.layout import LOCAL_CREDITS, mesh_geometry
+
+__all__ = ["BatchState", "build_batch_state"]
+
+
+@dataclass
+class BatchState:
+    """All mutable simulator state for ``L`` lanes, as flat arrays."""
+
+    topo: Topology
+    config: NocConfig
+    L: int
+    R: int
+    P: int
+    V: int
+    B: int
+
+    # --- geometry (read-only after build, shared by all lanes) ---------
+    x: np.ndarray  # [R] router x coordinate
+    y: np.ndarray  # [R] router y coordinate
+    nbr_router: np.ndarray  # [R,P] neighbour router id (-1: edge/local)
+    nbr_port: np.ndarray  # [R,P] arrival port at the neighbour
+
+    # --- flit buffers (ring buffers per input VC) ----------------------
+    buf_pkt: np.ndarray  # [L,R,P,V,B] packet-table index, -1 empty
+    buf_seq: np.ndarray  # [L,R,P,V,B] flit sequence within packet
+    buf_flags: np.ndarray  # [L,R,P,V,B] bit0 head, bit1 tail
+    buf_ready: np.ndarray  # [L,R,P,V,B] earliest cycle the flit may move
+    head: np.ndarray  # [L,R,P,V] ring-buffer head index
+    count: np.ndarray  # [L,R,P,V] occupancy
+
+    # --- per-input-VC wormhole state -----------------------------------
+    route_port: np.ndarray  # [L,R,P,V] chosen output port, -1 unrouted
+    out_vc: np.ndarray  # [L,R,P,V] allocated output VC, -1 none
+    active: np.ndarray  # [L,R,P,V] bool: holds an output VC
+
+    # --- output side ----------------------------------------------------
+    ovc_owner: np.ndarray  # [L,R,P,V] flattened (in_port*V+in_vc) owner
+    credits: np.ndarray  # [L,R,P,V] downstream credits per (out port, vc)
+
+    # --- arbitration pointers -------------------------------------------
+    sa_in_ptr: np.ndarray  # [L,R,P] round-robin over V (switch input stage)
+    sa_out_ptr: np.ndarray  # [L,R,P] round-robin over P (switch output stage)
+    va_ptr: np.ndarray  # [L,R,P,V] round-robin over P*V (VC allocation)
+
+    # --- packet table (global across lanes; grows) ----------------------
+    pkt_dst_router: np.ndarray = field(default=None)  # [N]
+    pkt_objects: List = field(default_factory=list)
+
+    def grow_packet_table(self, needed: int) -> None:
+        """Ensure the packet-table arrays can index ``needed`` entries."""
+        current = len(self.pkt_dst_router)
+        if needed <= current:
+            return
+        new_size = max(needed, current * 2, 1024)
+        grown = np.full(new_size, -1, dtype=np.int32)
+        grown[:current] = self.pkt_dst_router
+        self.pkt_dst_router = grown
+
+    def register_packet(self, packet) -> int:
+        """Add a packet to the global table; returns its index."""
+        idx = len(self.pkt_objects)
+        self.pkt_objects.append(packet)
+        self.grow_packet_table(idx + 1)
+        self.pkt_dst_router[idx] = self.topo.node_router(packet.dst)
+        return idx
+
+    # ------------------------------------------------------------------
+    def buffered_flits(self, lane: int) -> int:
+        return int(self.count[lane].sum())
+
+    def total_buffered_flits(self) -> int:
+        return int(self.count.sum())
+
+
+def build_batch_state(topo: Topology, config: NocConfig, lanes: int) -> BatchState:
+    """Allocate and initialize all arrays for ``lanes`` same-shape sims."""
+    if lanes < 1:
+        raise ConfigError(f"batch needs at least one lane, got {lanes}")
+    L = lanes
+    R, P, V, B = topo.num_routers, topo.radix, config.num_vcs, config.buffer_depth
+    x, y, nbr_router, nbr_port = mesh_geometry(topo)
+
+    credits = np.full((L, R, P, V), B, dtype=np.int64)
+    credits[:, :, LOCAL, :] = LOCAL_CREDITS
+    # Edge ports have no neighbour; routing never selects them, but zero
+    # credits make any bug fail loudly instead of teleporting flits.
+    for port in (EAST, WEST, NORTH, SOUTH):
+        credits[:, nbr_router[:, port] < 0, port, :] = 0
+
+    return BatchState(
+        topo=topo,
+        config=config,
+        L=L,
+        R=R,
+        P=P,
+        V=V,
+        B=B,
+        x=x,
+        y=y,
+        nbr_router=nbr_router,
+        nbr_port=nbr_port,
+        buf_pkt=np.full((L, R, P, V, B), -1, dtype=np.int32),
+        buf_seq=np.zeros((L, R, P, V, B), dtype=np.int32),
+        buf_flags=np.zeros((L, R, P, V, B), dtype=np.int8),
+        buf_ready=np.zeros((L, R, P, V, B), dtype=np.int64),
+        head=np.zeros((L, R, P, V), dtype=np.int32),
+        count=np.zeros((L, R, P, V), dtype=np.int32),
+        route_port=np.full((L, R, P, V), -1, dtype=np.int8),
+        out_vc=np.full((L, R, P, V), -1, dtype=np.int8),
+        active=np.zeros((L, R, P, V), dtype=bool),
+        ovc_owner=np.full((L, R, P, V), -1, dtype=np.int16),
+        credits=credits,
+        sa_in_ptr=np.zeros((L, R, P), dtype=np.int32),
+        sa_out_ptr=np.zeros((L, R, P), dtype=np.int32),
+        va_ptr=np.zeros((L, R, P, V), dtype=np.int32),
+        pkt_dst_router=np.full(1024, -1, dtype=np.int32),
+    )

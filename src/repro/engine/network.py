@@ -1,0 +1,341 @@
+"""The batched SIMD network: N same-shape simulations, one kernel stream.
+
+:class:`SimdBatch` owns the lane-extended structure-of-arrays state and
+steps every lane with one invocation of the :mod:`repro.engine.kernels`
+pipeline per cycle.  Each lane is driven through a
+:class:`BatchedSimdNetwork` view, which exposes exactly the
+``inject`` / ``step`` / ``run`` / ``drain`` / ``pop_delivered`` /
+``stats`` surface of :class:`~repro.noc_gpu.simd_network.SimdNetwork` —
+so existing adapters and the co-simulator drive a lane without knowing
+it shares kernels with its batch-mates.
+
+Lockstep contract: ``lane.step()`` advances the *whole batch* one cycle.
+Drivers that interleave lanes (see :mod:`repro.engine.batch`) exploit
+that an adapter's ``advance(to_cycle)`` loop no-ops once the shared
+clock has already reached the target.  Per-lane behaviour is
+bit-identical to a single-lane run: host-side injection and ejection
+are per-lane state machines identical to ``SimdNetwork``'s, and the
+kernels keep lanes independent by construction.
+"""
+
+from __future__ import annotations
+
+import heapq
+from collections import deque
+from typing import Callable, Deque, Dict, List, Optional, Tuple
+
+import numpy as np
+
+from ..errors import ConfigError, SimulationError
+from ..noc.config import NocConfig
+from ..noc.packet import Packet
+from ..noc.stats import NetworkStats
+from ..noc.topology import LOCAL, Topology
+from .kernels import FLAG_HEAD, FLAG_TAIL, route_compute, switch_traverse, vc_allocate
+from .layout import build_batch_state
+
+__all__ = ["BatchedSimdNetwork", "SimdBatch"]
+
+
+class _Source:
+    """Per-router injection state (mirrors the OO network's source queue)."""
+
+    __slots__ = ("pending", "flits_left", "pkt_index", "size", "vc")
+
+    def __init__(self) -> None:
+        self.pending: Deque[Packet] = deque()
+        self.flits_left = 0
+        self.pkt_index = -1
+        self.size = 0
+        self.vc = -1
+
+
+class SimdBatch:
+    """Shared kernel state and clock for ``lanes`` same-shape simulations."""
+
+    def __init__(
+        self,
+        topo: Topology,
+        config: Optional[NocConfig] = None,
+        lanes: int = 1,
+    ) -> None:
+        self.topo = topo
+        self.config = config or NocConfig()
+        if self.config.vc_select != "any_free":
+            raise ConfigError("SimdBatch supports vc_select='any_free' only")
+        self.cycle = 0
+        self.state = build_batch_state(topo, self.config, lanes)
+        self.lanes = self.state.L
+        self._hops = np.zeros(1024, dtype=np.int64)
+        #: credits in flight: (apply_cycle, lanes, routers, ports, vcs)
+        self._pending_credits: Deque[
+            Tuple[int, np.ndarray, np.ndarray, np.ndarray, np.ndarray]
+        ] = deque()
+        self.kernel_launches = 0
+        self._lane_views = [BatchedSimdNetwork(self, i) for i in range(self.lanes)]
+
+    def lane(self, index: int) -> "BatchedSimdNetwork":
+        return self._lane_views[index]
+
+    @property
+    def in_flight(self) -> int:
+        return sum(view.in_flight for view in self._lane_views)
+
+    # ------------------------------------------------------------------
+    def step(self) -> None:
+        """Advance every lane one cycle with one kernel invocation."""
+        now = self.cycle
+        self._apply_credits(now)
+        for view in self._lane_views:
+            view._admit(now)
+        for view in self._lane_views:
+            view._inject_flits(now)
+        st = self.state
+        route_compute(st)
+        va = vc_allocate(st)
+        grants, link_moves, cl, cr, cp, cv = switch_traverse(
+            st, now, self._dispatch_eject, self._hops
+        )
+        self.kernel_launches += 4
+        if len(cl):
+            self._pending_credits.append(
+                (now + self.config.credit_delay, cl, cr, cp, cv)
+            )
+        for i, view in enumerate(self._lane_views):
+            view.va_grants += int(va[i])
+            g = int(grants[i])
+            m = int(link_moves[i])
+            view.switch_grants += g
+            view.link_traversals += m
+            view.buffer_writes += m
+            if g:
+                view._last_progress = now
+            view._check_watchdog(now)
+        self.cycle += 1
+        for view in self._lane_views:
+            view.stats.cycles = self.cycle
+
+    def run(self, cycles: int) -> None:
+        for _ in range(cycles):
+            self.step()
+
+    # ------------------------------------------------------------------
+    def _apply_credits(self, now: int) -> None:
+        while self._pending_credits and self._pending_credits[0][0] <= now:
+            _, lane, r, p, v = self._pending_credits.popleft()
+            np.add.at(self.state.credits, (lane, r, p, v), 1)
+
+    def _dispatch_eject(
+        self,
+        lanes: np.ndarray,
+        pkt_idx: np.ndarray,
+        seq: np.ndarray,
+        flags: np.ndarray,
+        routers: np.ndarray,
+    ) -> None:
+        tails = (flags & FLAG_TAIL) != 0
+        for lane, idx in zip(lanes[tails], pkt_idx[tails]):
+            self._lane_views[int(lane)]._eject_packet(int(idx))
+
+    def grow_hops(self, needed: int) -> None:
+        if needed <= len(self._hops):
+            return
+        grown = np.zeros(max(needed, len(self._hops) * 2), dtype=np.int64)
+        grown[: len(self._hops)] = self._hops
+        self._hops = grown
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"SimdBatch({self.topo!r}, lanes={self.lanes}, cycle={self.cycle}, "
+            f"in_flight={self.in_flight})"
+        )
+
+
+class BatchedSimdNetwork:
+    """One lane of a :class:`SimdBatch`, driven like a ``SimdNetwork``.
+
+    The view owns all host-side per-lane state (injection queues, the
+    future heap, delivered packets, stats, energy counters, watchdog)
+    and delegates cycle advancement to the shared batch — ``step()``
+    steps *every* lane.
+    """
+
+    def __init__(self, batch: SimdBatch, lane_index: int) -> None:
+        self.batch = batch
+        self.lane_index = lane_index
+        self.topo = batch.topo
+        self.config = batch.config
+        self.on_eject: Optional[Callable[[Packet, int], None]] = None
+        self.stats = NetworkStats()
+        self._sources = [_Source() for _ in range(batch.topo.num_routers)]
+        # Insertion-ordered (dict-as-set) so injection order never
+        # depends on hash order — keeps lanes bit-identical to the
+        # single-simulation SIMD network.
+        self._active_sources: Dict[int, None] = {}
+        self._future: List[Tuple[int, int, Packet]] = []
+        self._future_seq = 0
+        self._delivered: Deque[Packet] = deque()
+        self._last_progress = 0
+        # Energy event counters (see repro.noc.energy)
+        self.buffer_writes = 0
+        self.switch_grants = 0
+        self.link_traversals = 0
+        self.va_grants = 0
+
+    # ------------------------------------------------------------------
+    # Driving (same surface as SimdNetwork / CycleNetwork)
+    # ------------------------------------------------------------------
+    @property
+    def cycle(self) -> int:
+        return self.batch.cycle
+
+    @property
+    def kernel_launches(self) -> int:
+        return self.batch.kernel_launches
+
+    def inject(self, packet: Packet, cycle: Optional[int] = None) -> None:
+        when = self.cycle if cycle is None else cycle
+        if when < self.cycle:
+            raise SimulationError(
+                f"cannot inject at cycle {when}; network is at {self.cycle}"
+            )
+        packet.inject_cycle = when
+        heapq.heappush(self._future, (when, self._future_seq, packet))
+        self._future_seq += 1
+
+    def step(self) -> None:
+        """Advance the whole batch one cycle (lockstep contract)."""
+        self.batch.step()
+
+    def run(self, cycles: int) -> None:
+        for _ in range(cycles):
+            self.batch.step()
+
+    def drain(self, max_cycles: int = 1_000_000) -> None:
+        start = self.cycle
+        while self.in_flight > 0:
+            if self.cycle - start > max_cycles:
+                raise SimulationError(
+                    f"batched SIMD lane failed to drain within {max_cycles} "
+                    f"cycles ({self.in_flight} packets in flight)"
+                )
+            self.batch.step()
+
+    def pop_delivered(self) -> List[Packet]:
+        out = list(self._delivered)
+        self._delivered.clear()
+        return out
+
+    @property
+    def in_flight(self) -> int:
+        return self.stats.in_flight_packets + len(self._future)
+
+    # ------------------------------------------------------------------
+    # Per-cycle host-side phases (invoked by SimdBatch.step)
+    # ------------------------------------------------------------------
+    def _admit(self, now: int) -> None:
+        while self._future and self._future[0][0] <= now:
+            _, _, packet = heapq.heappop(self._future)
+            router = self.topo.node_router(packet.src)
+            self._sources[router].pending.append(packet)
+            self._active_sources[router] = None
+            self.stats.record_injection(packet)
+
+    def _inject_flits(self, now: int) -> None:
+        st = self.batch.state
+        lane = self.lane_index
+        done = []
+        for rid in self._active_sources:
+            source = self._sources[rid]
+            if source.flits_left == 0:
+                if not source.pending:
+                    done.append(rid)
+                    continue
+                vc = self._free_local_vc(rid)
+                if vc is None:
+                    continue
+                packet = source.pending.popleft()
+                packet.network_entry_cycle = now
+                idx = st.register_packet(packet)
+                self.batch.grow_hops(idx + 1)
+                source.pkt_index = idx
+                source.size = packet.size_flits
+                source.flits_left = packet.size_flits
+                source.vc = vc
+            vc = source.vc
+            if st.count[lane, rid, LOCAL, vc] >= st.B:
+                continue
+            seq = source.size - source.flits_left
+            flags = (FLAG_HEAD if seq == 0 else 0) | (
+                FLAG_TAIL if source.flits_left == 1 else 0
+            )
+            slot = (st.head[lane, rid, LOCAL, vc] + st.count[lane, rid, LOCAL, vc]) % st.B
+            st.buf_pkt[lane, rid, LOCAL, vc, slot] = source.pkt_index
+            st.buf_seq[lane, rid, LOCAL, vc, slot] = seq
+            st.buf_flags[lane, rid, LOCAL, vc, slot] = flags
+            st.buf_ready[lane, rid, LOCAL, vc, slot] = now + self.config.router_delay
+            st.count[lane, rid, LOCAL, vc] += 1
+            self.buffer_writes += 1
+            source.flits_left -= 1
+            if source.flits_left == 0:
+                source.vc = -1
+                if not source.pending:
+                    done.append(rid)
+        for rid in done:
+            self._active_sources.pop(rid, None)
+
+    def _free_local_vc(self, rid: int) -> Optional[int]:
+        st = self.batch.state
+        lane = self.lane_index
+        for vc in range(st.V):
+            if (
+                not st.active[lane, rid, LOCAL, vc]
+                and st.route_port[lane, rid, LOCAL, vc] < 0
+                and st.count[lane, rid, LOCAL, vc] == 0
+            ):
+                return vc
+        return None
+
+    def _eject_packet(self, idx: int) -> None:
+        packet = self.batch.state.pkt_objects[idx]
+        packet.eject_cycle = self.cycle + self.config.ejection_delay
+        packet.hops = int(self.batch._hops[idx])
+        self.stats.record_ejection(packet)
+        self._delivered.append(packet)
+        if self.on_eject is not None:
+            self.on_eject(packet, packet.eject_cycle)
+
+    def _check_watchdog(self, now: int) -> None:
+        limit = self.config.watchdog_cycles
+        if not limit:
+            return
+        if self.stats.in_flight_packets > 0 and now - self._last_progress > limit:
+            raise SimulationError(
+                f"batched SIMD lane {self.lane_index}: no flit movement for "
+                f"{limit} cycles with {self.stats.in_flight_packets} packets "
+                "in flight"
+            )
+
+    # ------------------------------------------------------------------
+    def buffered_flits(self) -> int:
+        return self.batch.state.buffered_flits(self.lane_index)
+
+    def energy_counters(self):
+        """Event counts for :func:`repro.noc.energy.estimate_energy`."""
+        from ..noc.energy import NetworkEventCounts
+
+        return NetworkEventCounts(
+            buffer_writes=self.buffer_writes,
+            switch_grants=self.switch_grants,
+            link_traversals=self.link_traversals,
+            allocations=self.switch_grants + self.va_grants,
+            ejected_flits=self.stats.ejected_flits,
+            cycles=self.cycle,
+            routers=self.batch.state.R,
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"BatchedSimdNetwork(lane={self.lane_index}/{self.batch.lanes}, "
+            f"cycle={self.cycle}, in_flight={self.in_flight})"
+        )

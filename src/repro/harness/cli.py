@@ -12,6 +12,7 @@ Examples::
     python -m repro campaign run E5 E7 --workers 4 --db sweep.db
     python -m repro resilience run --link-failures 2 --corrupt-rate 0.005
     python -m repro serve start --db serve.db --workers 4
+    python -m repro bench run --quick
 
 Results print as the same fixed-width tables the benchmark suite saves.
 ``--check-invariants`` installs the runtime invariant checker
@@ -19,7 +20,7 @@ Results print as the same fixed-width tables the benchmark suite saves.
 build.
 
 Tool subcommands (``lint``, ``verify``, ``campaign``, ``resilience``,
-``serve``) each own their flags and dispatch through one registry,
+``serve``, ``bench``) each own their flags and dispatch through one registry,
 :data:`SUBCOMMANDS` — the single source of truth that the ``--help``
 epilog, the dispatcher, and the dispatch-agreement test all read, so a
 new subcommand cannot be wired into one and forgotten in another.
@@ -83,6 +84,12 @@ def _load_serve() -> SubMain:
     return serve_main
 
 
+def _load_bench() -> SubMain:
+    from ..bench.cli import main as bench_main
+
+    return bench_main
+
+
 #: every tool subcommand, in display order — the one dispatch table
 SUBCOMMANDS: Dict[str, Subcommand] = {
     sub.name: sub
@@ -111,6 +118,11 @@ SUBCOMMANDS: Dict[str, Subcommand] = {
             "serve",
             "simulation-as-a-service daemon (start/submit/status/result)",
             _load_serve,
+        ),
+        Subcommand(
+            "bench",
+            "performance-trajectory benchmarks (run/compare BENCH_noc.json)",
+            _load_bench,
         ),
     )
 }

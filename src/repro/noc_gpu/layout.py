@@ -22,10 +22,39 @@ from ..errors import ConfigError
 from ..noc.config import NocConfig
 from ..noc.topology import EAST, LOCAL, NORTH, SOUTH, WEST, Mesh, Topology
 
-__all__ = ["SimdState", "build_state"]
+__all__ = ["SimdState", "build_state", "mesh_geometry", "LOCAL_CREDITS"]
 
 #: effectively-infinite credits for the local (ejection) port
 LOCAL_CREDITS = 1 << 20
+
+
+def mesh_geometry(topo: Topology):
+    """Precomputed geometry tables for a mesh: ``(x, y, nbr_router, nbr_port)``.
+
+    Shared by this module's single-simulation layout and the batched
+    layout in :mod:`repro.engine.layout` — the geometry is a property of
+    the topology alone, so a batch of same-shape simulations indexes one
+    copy of these tables.
+    """
+    if not isinstance(topo, Mesh):
+        raise ConfigError(
+            "the SIMD network supports mesh topologies (incl. concentrated); "
+            f"got {type(topo).__name__}"
+        )
+    R, P = topo.num_routers, topo.radix
+    rid = np.arange(R, dtype=np.int32)
+    x = (rid % topo.width).astype(np.int32)
+    y = (rid // topo.width).astype(np.int32)
+    nbr_router = np.full((R, P), -1, dtype=np.int32)
+    nbr_port = np.full((R, P), -1, dtype=np.int32)
+    opposite = {EAST: WEST, WEST: EAST, NORTH: SOUTH, SOUTH: NORTH}
+    for r in range(R):
+        for port in (EAST, WEST, NORTH, SOUTH):
+            nbr = topo.neighbor(r, port)
+            if nbr is not None:
+                nbr_router[r, port] = nbr
+                nbr_port[r, port] = opposite[port]
+    return x, y, nbr_router, nbr_port
 
 
 @dataclass
@@ -106,25 +135,8 @@ class SimdState:
 
 def build_state(topo: Topology, config: NocConfig) -> SimdState:
     """Allocate and initialize all arrays for ``topo`` under ``config``."""
-    if not isinstance(topo, Mesh):
-        raise ConfigError(
-            "the SIMD network supports mesh topologies (incl. concentrated); "
-            f"got {type(topo).__name__}"
-        )
     R, P, V, B = topo.num_routers, topo.radix, config.num_vcs, config.buffer_depth
-
-    rid = np.arange(R, dtype=np.int32)
-    x = (rid % topo.width).astype(np.int32)
-    y = (rid // topo.width).astype(np.int32)
-
-    nbr_router = np.full((R, P), -1, dtype=np.int32)
-    nbr_port = np.full((R, P), -1, dtype=np.int32)
-    for r in range(R):
-        for port in (EAST, WEST, NORTH, SOUTH):
-            nbr = topo.neighbor(r, port)
-            if nbr is not None:
-                nbr_router[r, port] = nbr
-                nbr_port[r, port] = {EAST: WEST, WEST: EAST, NORTH: SOUTH, SOUTH: NORTH}[port]
+    x, y, nbr_router, nbr_port = mesh_geometry(topo)
 
     credits = np.full((R, P, V), B, dtype=np.int64)
     credits[:, LOCAL, :] = LOCAL_CREDITS

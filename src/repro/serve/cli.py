@@ -78,6 +78,11 @@ def build_parser() -> argparse.ArgumentParser:
         "--lru-size", type=int, default=256,
         help="in-memory cache entries in front of the SQLite tier",
     )
+    start.add_argument(
+        "--engine", default="auto", choices=["auto", "oo", "batched"],
+        help="NoC execution engine for engine-aware jobs; unless 'oo', "
+        "same-shape jobs dispatch as lanes of one batched kernel",
+    )
 
     def client_flags(p: argparse.ArgumentParser) -> None:
         p.add_argument("--host", default="127.0.0.1")
@@ -132,6 +137,7 @@ def _cmd_start(args: argparse.Namespace) -> int:
         checkpoint_dir=args.checkpoint_dir,
         checkpoint_every=args.checkpoint_every,
         lru_size=args.lru_size,
+        engine=args.engine,
     )
     daemon = ServeDaemon(config)
     daemon.start()

@@ -26,6 +26,9 @@ PREFIX = "repro_serve"
 #: how many recent service times back the quantile estimates
 _WINDOW = 1024
 
+#: default histogram buckets (upper bounds) — sized for batch-lane counts
+_DEFAULT_BUCKETS = (1.0, 2.0, 4.0, 8.0, 16.0, 32.0)
+
 
 def quantile(samples: List[float], q: float) -> float:
     """Nearest-rank quantile of ``samples`` (which must be non-empty)."""
@@ -48,6 +51,8 @@ class Metrics:
         self._counters: Dict[Tuple[str, Tuple[Tuple[str, str], ...]], float] = {}
         self._counter_help: Dict[str, str] = {}
         self._gauges: Dict[str, Tuple[str, Callable[[], float]]] = {}
+        #: name -> (help, buckets, per-bucket counts, +Inf count, sum, count)
+        self._histograms: Dict[str, list] = {}
         self._service_times: Deque[float] = deque(maxlen=_WINDOW)
         self._service_count = 0
         self._service_sum = 0.0
@@ -85,6 +90,46 @@ class Metrics:
         with self._lock:
             self._gauges[name] = (help_text, read)
 
+    # -- histograms -----------------------------------------------------
+    def observe_histogram(
+        self,
+        name: str,
+        help_text: str,
+        value: float,
+        buckets: Tuple[float, ...] = _DEFAULT_BUCKETS,
+    ) -> None:
+        """Record one observation into a (lazily created) histogram.
+
+        Buckets are upper bounds in ascending order; the first call fixes
+        them for the series lifetime (later ``buckets`` args are ignored).
+        """
+        with self._lock:
+            hist = self._histograms.get(name)
+            if hist is None:
+                hist = self._histograms[name] = [
+                    help_text, tuple(buckets), [0] * len(buckets), 0, 0.0, 0
+                ]
+            _, bounds, counts, _, _, _ = hist
+            for index, bound in enumerate(bounds):
+                if value <= bound:
+                    counts[index] += 1
+                    break
+            else:
+                hist[3] += 1  # +Inf-only bucket
+            hist[4] += value
+            hist[5] += 1
+
+    def histogram_count(self, name: str) -> int:
+        """Total observations of a histogram (0 if it never fired)."""
+        with self._lock:
+            hist = self._histograms.get(name)
+            return 0 if hist is None else hist[5]
+
+    def histogram_sum(self, name: str) -> float:
+        with self._lock:
+            hist = self._histograms.get(name)
+            return 0.0 if hist is None else hist[4]
+
     # -- service times --------------------------------------------------
     def observe_service_time(self, seconds: float) -> None:
         with self._lock:
@@ -121,6 +166,10 @@ class Metrics:
             counters = dict(self._counters)
             counter_help = dict(self._counter_help)
             gauges = dict(self._gauges)
+            histograms = {
+                name: (h[0], h[1], list(h[2]), h[3], h[4], h[5])
+                for name, h in self._histograms.items()
+            }
             samples = list(self._service_times)
             service_count = self._service_count
             service_sum = self._service_sum
@@ -142,6 +191,18 @@ class Metrics:
             lines.append(f"# HELP {name} {help_text}")
             lines.append(f"# TYPE {name} gauge")
             lines.append(f"{name} {_fmt(float(read()))}")
+        for name in sorted(histograms):
+            help_text, bounds, counts, inf_count, total, count = histograms[name]
+            lines.append(f"# HELP {name} {help_text}")
+            lines.append(f"# TYPE {name} histogram")
+            cumulative = 0
+            for bound, bucket_count in zip(bounds, counts):
+                cumulative += bucket_count
+                lines.append(f'{name}_bucket{{le="{_fmt(bound)}"}} {cumulative}')
+            cumulative += inf_count
+            lines.append(f'{name}_bucket{{le="+Inf"}} {cumulative}')
+            lines.append(f"{name}_sum {_fmt(total)}")
+            lines.append(f"{name}_count {count}")
         ratio = None
         hits = sum(
             v for (n, _), v in counters.items() if n == f"{PREFIX}_cache_hits_total"

@@ -28,7 +28,7 @@ from typing import Deque, Dict, List, Optional, Set
 from collections import deque
 
 from ..campaign.pool import WorkerPool
-from ..campaign.spec import JobSpec
+from ..campaign.spec import JobSpec, get_experiment, jobs_batchable
 from ..errors import ConfigError
 from .cache import ResultCache
 from .metrics import PREFIX, Metrics
@@ -55,8 +55,18 @@ class Scheduler:
         timeout: per-job wall-clock budget in seconds (None: unlimited).
         checkpoint_dir: give each job a resilience-layer checkpoint file
             here, so a drained or killed attempt resumes mid-simulation.
+            Checkpointing disables kernel batching: lanes of a shared
+            batch cannot snapshot independently.
         checkpoint_every: snapshot period in synchronization windows.
         start_method: multiprocessing start method override.
+        engine: NoC execution engine hint for engine-aware jobs
+            (``"auto"``/``"oo"``/``"batched"``).  Unless pinned to
+            ``"oo"``, same-shape engine-aware jobs meeting in one dispatch
+            round run as lanes of a single batched kernel invocation —
+            but only after :func:`repro.campaign.spec.jobs_batchable`
+            confirms the engine supports the shared shape; refused groups
+            fall back to individual dispatch (counted in
+            ``repro_serve_engine_fallback_total``).
     """
 
     def __init__(
@@ -71,11 +81,16 @@ class Scheduler:
         checkpoint_dir: Optional[str] = None,
         checkpoint_every: int = 256,
         start_method: Optional[str] = None,
+        engine: str = "auto",
     ) -> None:
         if batch_max < 1:
             raise ConfigError(f"batch_max must be >= 1, got {batch_max}")
         if retries < 0:
             raise ConfigError(f"retries must be >= 0, got {retries}")
+        if engine not in ("auto", "oo", "batched"):
+            raise ConfigError(
+                f"engine must be 'auto', 'oo', or 'batched', got {engine!r}"
+            )
         self.queue = queue
         self.cache = cache
         self.metrics = metrics
@@ -83,6 +98,7 @@ class Scheduler:
         self.batch_max = batch_max
         self.checkpoint_dir = checkpoint_dir
         self.checkpoint_every = checkpoint_every
+        self.engine = engine
         self._pool = WorkerPool(
             workers=workers, timeout=timeout, start_method=start_method
         )
@@ -90,6 +106,11 @@ class Scheduler:
         self._running: Set[str] = set()
         self._buffer: Deque[QueuedJob] = deque()
         self._entries: Dict[str, QueuedJob] = {}
+        #: synthetic pool id -> members of an in-flight kernel batch
+        self._batches: Dict[str, List[QueuedJob]] = {}
+        self._batch_seq = 0
+        #: job ids demoted to individual dispatch after a batch failure
+        self._no_batch: Set[str] = set()
         self._stop = threading.Event()
         self._thread: Optional[threading.Thread] = None
         metrics.register_gauge(
@@ -149,6 +170,7 @@ class Scheduler:
             self._running.clear()
             self._buffer.clear()
             self._entries.clear()
+            self._batches.clear()
         interrupted, _ = self.cache.recover()
         if interrupted:
             self.metrics.inc(
@@ -214,6 +236,10 @@ class Scheduler:
                     "result was already committed.",
                 )
                 continue
+            group = self._take_batch_group(entry)
+            if group is not None:
+                self._dispatch_group(group)
+                continue
             worker = pool.submit(entry.job_id, self._job_dict(entry.spec))
             self.cache.mark_running(entry.job_id, worker)
             with self._lock:
@@ -222,6 +248,8 @@ class Scheduler:
                 f"{PREFIX}_jobs_dispatched_total",
                 "Worker processes spawned (cache hits never increment this).",
             )
+            if get_experiment(entry.spec.eid).engine_aware:
+                self._observe_batch_size(1)
 
     def _job_dict(self, spec: JobSpec) -> dict:
         data = spec.to_dict()
@@ -231,9 +259,83 @@ class Scheduler:
                 "path": os.path.join(self.checkpoint_dir, f"{spec.job_id}.ckpt"),
                 "every": self.checkpoint_every,
             }
+        if self.engine != "auto":
+            data["_engine"] = self.engine
         return data
 
+    # -- kernel batching ------------------------------------------------
+    def _observe_batch_size(self, lanes: int) -> None:
+        self.metrics.observe_histogram(
+            f"{PREFIX}_engine_batch_size",
+            "Engine-aware jobs per batched kernel dispatch "
+            "(1 = individual dispatch).",
+            float(lanes),
+        )
+
+    def _take_batch_group(self, entry: QueuedJob) -> Optional[List[QueuedJob]]:
+        """Grow ``entry`` into a kernel batch from same-shape buffered jobs.
+
+        Returns the member list (companions removed from the buffer), or
+        None when ``entry`` must dispatch individually.  The group is only
+        formed when the engine layer confirms every member's config can
+        share one batch — the scheduler never guesses shape support.
+        """
+        if self.engine == "oo" or self.checkpoint_dir is not None:
+            return None
+        if entry.job_id in self._no_batch:
+            return None
+        # Buffer mutation is scheduler-thread-only, so the peeked
+        # companions stay valid until the removal below; the lock only
+        # orders the reads against is_tracked/running_ids observers.
+        with self._lock:
+            companions = [
+                queued
+                for queued in self._buffer
+                if queued.shape == entry.shape
+                and queued.job_id not in self._no_batch
+            ][: self.batch_max - 1]
+        if not companions:
+            return None
+        group = [entry] + companions
+        ok, reason = jobs_batchable([queued.spec.to_dict() for queued in group])
+        if not ok:
+            if get_experiment(entry.spec.eid).engine_aware:
+                self.metrics.inc(
+                    f"{PREFIX}_engine_fallback_total",
+                    "Engine-aware dispatches that fell back to the "
+                    "individual path instead of a shared kernel batch.",
+                    reason=reason,
+                )
+            return None
+        with self._lock:
+            for queued in companions:
+                self._buffer.remove(queued)
+        return group
+
+    def _dispatch_group(self, group: List[QueuedJob]) -> None:
+        """Submit one synthetic pool job running ``group`` as kernel lanes."""
+        self._batch_seq += 1
+        batch_id = f"batch-{self._batch_seq}-{group[0].job_id[:8]}"
+        job = {"_batch_members": [queued.spec.to_dict() for queued in group]}
+        worker = self._pool.submit(batch_id, job)
+        with self._lock:
+            self._batches[batch_id] = list(group)
+            for queued in group:
+                self._running.add(queued.job_id)
+        for queued in group:
+            self.cache.mark_running(queued.job_id, worker)
+        self.metrics.inc(
+            f"{PREFIX}_jobs_dispatched_total",
+            "Worker processes spawned (cache hits never increment this).",
+        )
+        self._observe_batch_size(len(group))
+
     def _handle_outcome(self, outcome) -> None:
+        with self._lock:
+            members = self._batches.pop(outcome.job_id, None)
+        if members is not None:
+            self._handle_batch_outcome(outcome, members)
+            return
         with self._lock:
             self._running.discard(outcome.job_id)
             entry = self._entries.pop(outcome.job_id, None)
@@ -271,3 +373,68 @@ class Scheduler:
                 f"{PREFIX}_jobs_failed_total",
                 "Jobs that exhausted their attempts and stayed failed.",
             )
+
+    def _handle_batch_outcome(self, outcome, members: List[QueuedJob]) -> None:
+        """Fan one batched-worker outcome back out to its member jobs.
+
+        Success commits each member's payload individually (the member
+        payloads are byte-identical to what individual runs would have
+        produced — the engine layer's contract).  Failure demotes every
+        member: each is marked failed and, while attempts remain,
+        re-queued for *individual* dispatch so one poisonous lane cannot
+        wedge its batch-mates forever.
+        """
+        with self._lock:
+            for queued in members:
+                self._running.discard(queued.job_id)
+                self._entries.pop(queued.job_id, None)
+        if outcome.ok:
+            payloads = {
+                member["job_id"]: member["payload"]
+                for member in outcome.payload.get("_batch", [])
+            }
+            for queued in members:
+                payload = payloads.get(queued.job_id)
+                if payload is None:  # pragma: no cover - engine returns all
+                    self.cache.mark_failed(
+                        queued.job_id, "batch outcome missing this member",
+                        outcome.wall_s, requeue=False,
+                    )
+                    continue
+                self.cache.commit(queued.job_id, payload, outcome.wall_s)
+            self.metrics.inc(
+                f"{PREFIX}_jobs_completed_total",
+                "Jobs that finished successfully and entered the cache.",
+                amount=float(len(members)),
+            )
+            self.metrics.observe_service_time(outcome.wall_s)
+            return
+        self.metrics.inc(
+            f"{PREFIX}_worker_restarts_total",
+            "Worker processes that died, timed out, or failed their job.",
+        )
+        for queued in members:
+            attempts = self.cache.attempts(queued.job_id)
+            requeue = attempts < self.retries + 1
+            self.cache.mark_failed(
+                queued.job_id,
+                outcome.error or "unknown error",
+                outcome.wall_s,
+                requeue=requeue,
+            )
+            if requeue:
+                self._no_batch.add(queued.job_id)
+                self.metrics.inc(
+                    f"{PREFIX}_engine_fallback_total",
+                    "Engine-aware dispatches that fell back to the "
+                    "individual path instead of a shared kernel batch.",
+                    reason="batch-member-retry",
+                )
+                with self._lock:
+                    self._buffer.append(queued)
+                    self._entries[queued.job_id] = queued
+            else:
+                self.metrics.inc(
+                    f"{PREFIX}_jobs_failed_total",
+                    "Jobs that exhausted their attempts and stayed failed.",
+                )

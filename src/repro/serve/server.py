@@ -73,6 +73,8 @@ class ServeConfig:
     checkpoint_every: int = 256
     lru_size: int = 256
     start_method: Optional[str] = None
+    #: NoC execution engine hint for engine-aware jobs (see repro.engine)
+    engine: str = "auto"
     #: fallback Retry-After before any service time has been observed (s)
     retry_after_floor_s: float = 2.0
 
@@ -103,6 +105,7 @@ class ServeDaemon:
             checkpoint_dir=config.checkpoint_dir,
             checkpoint_every=config.checkpoint_every,
             start_method=config.start_method,
+            engine=config.engine,
         )
         self.port: Optional[int] = None
         self._draining = threading.Event()

@@ -1,0 +1,179 @@
+"""Bit-identity of the lane-batched SIMD engine at the network level.
+
+The contract under test: a K-lane :class:`repro.engine.network.SimdBatch`
+stepping all lanes in one kernel invocation produces *byte-identical*
+per-lane behaviour to K independent :class:`repro.noc_gpu.SimdNetwork`
+instances — per-packet timing, aggregate statistics, and energy event
+counts — for heterogeneous per-lane traffic.
+"""
+
+import random
+
+import pytest
+
+from repro.engine.network import BatchedSimdNetwork, SimdBatch
+from repro.errors import ConfigError, SimulationError
+from repro.noc import Mesh, NocConfig, Packet
+from repro.noc.topology import Torus
+from repro.noc_gpu import SimdNetwork
+
+
+def _traffic(num_nodes, cycles, rate_inv, seed):
+    """Deterministic (cycle, src, dst, size) schedule, heterogeneous by seed."""
+    rng = random.Random(seed)
+    schedule = []
+    for cycle in range(cycles):
+        for _ in range(rng.randrange(rate_inv)):
+            src = rng.randrange(num_nodes)
+            dst = rng.randrange(num_nodes)
+            if dst == src:
+                continue
+            schedule.append((cycle, src, dst, rng.choice((1, 3, 5))))
+    return schedule
+
+
+def _drive(network, schedule, cycles):
+    """Inject the schedule cycle by cycle; returns delivered packets."""
+    delivered = []
+    index = 0
+    for cycle in range(cycles):
+        while index < len(schedule) and schedule[index][0] == cycle:
+            _, src, dst, size = schedule[index]
+            network.inject(
+                Packet(src=src, dst=dst, size_flits=size, msg_class=0,
+                       inject_cycle=cycle),
+                cycle,
+            )
+            index += 1
+        network.step()
+        delivered.extend(network.pop_delivered())
+    network.drain()
+    delivered.extend(network.pop_delivered())
+    return delivered
+
+
+def _signature(packets):
+    return [
+        (p.src, p.dst, p.size_flits, p.inject_cycle, p.network_entry_cycle,
+         p.eject_cycle, p.hops)
+        for p in packets
+    ]
+
+
+class TestBatchBitIdentity:
+    def test_four_heterogeneous_lanes_match_singles(self):
+        topo_dims = (6, 6)
+        cycles = 160
+        seeds = (3, 7, 11, 13)
+        schedules = [
+            _traffic(topo_dims[0] * topo_dims[1], cycles, 4, seed)
+            for seed in seeds
+        ]
+
+        singles = []
+        for schedule in schedules:
+            net = SimdNetwork(Mesh(*topo_dims), NocConfig())
+            singles.append((_signature(_drive(net, schedule, cycles)), net))
+
+        batch = SimdBatch(Mesh(*topo_dims), NocConfig(), lanes=len(seeds))
+        lanes = [batch.lane(i) for i in range(len(seeds))]
+        # Interleave: inject every lane's cycle-c packets, then step once.
+        indices = [0] * len(seeds)
+        delivered = [[] for _ in seeds]
+        for cycle in range(cycles):
+            for li, schedule in enumerate(schedules):
+                while (indices[li] < len(schedule)
+                       and schedule[indices[li]][0] == cycle):
+                    _, src, dst, size = schedule[indices[li]]
+                    lanes[li].inject(
+                        Packet(src=src, dst=dst, size_flits=size, msg_class=0,
+                               inject_cycle=cycle),
+                        cycle,
+                    )
+                    indices[li] += 1
+            batch.step()
+            for li, lane in enumerate(lanes):
+                delivered[li].extend(lane.pop_delivered())
+        while batch.in_flight:
+            batch.step()
+            for li, lane in enumerate(lanes):
+                delivered[li].extend(lane.pop_delivered())
+
+        for li, (single_sig, single_net) in enumerate(singles):
+            assert _signature(delivered[li]) == single_sig
+            lane = lanes[li]
+            assert lane.stats.injected_packets == single_net.stats.injected_packets
+            assert lane.stats.ejected_packets == single_net.stats.ejected_packets
+            assert lane.stats.injected_flits == single_net.stats.injected_flits
+            assert lane.stats.ejected_flits == single_net.stats.ejected_flits
+            assert lane.stats.latencies == single_net.stats.latencies
+            assert lane.stats.network_latencies == single_net.stats.network_latencies
+            lane_energy = lane.energy_counters()
+            single_energy = single_net.energy_counters()
+            for field in ("buffer_writes", "switch_grants", "link_traversals",
+                          "allocations", "ejected_flits"):
+                assert getattr(lane_energy, field) == getattr(
+                    single_energy, field
+                ), f"lane {li} energy field {field}"
+
+    def test_kernel_launches_shared_across_lanes(self):
+        batch = SimdBatch(Mesh(4, 4), NocConfig(), lanes=4)
+        lane = batch.lane(0)
+        lane.inject(Packet(src=0, dst=15, size_flits=2, msg_class=0), 0)
+        for _ in range(30):
+            batch.step()
+        # 4 kernels per step, whatever the lane count.
+        assert batch.kernel_launches == 4 * 30
+        assert batch.lane(3).kernel_launches == batch.kernel_launches
+
+
+class TestConstruction:
+    def test_lanes_must_be_positive(self):
+        with pytest.raises(ConfigError):
+            SimdBatch(Mesh(4, 4), NocConfig(), lanes=0)
+
+    def test_mesh_required(self):
+        with pytest.raises(ConfigError):
+            SimdBatch(Torus(4, 4), NocConfig(), lanes=1)
+
+    def test_class_partition_rejected(self):
+        with pytest.raises(ConfigError):
+            SimdBatch(Mesh(4, 4), NocConfig(vc_select="class_partition"), lanes=1)
+
+    def test_lane_views_are_stable(self):
+        batch = SimdBatch(Mesh(4, 4), NocConfig(), lanes=2)
+        assert batch.lane(0) is batch.lane(0)
+        assert isinstance(batch.lane(1), BatchedSimdNetwork)
+        with pytest.raises(IndexError):
+            batch.lane(2)
+
+
+class TestLaneView:
+    def test_past_injection_rejected(self):
+        lane = SimdBatch(Mesh(4, 4), NocConfig(), lanes=1).lane(0)
+        for _ in range(5):
+            lane.step()
+        with pytest.raises(SimulationError):
+            lane.inject(Packet(src=0, dst=5, size_flits=1, msg_class=0), 2)
+
+    def test_lane_isolation(self):
+        """Traffic in lane 0 never surfaces in lane 1's deliveries/stats."""
+        batch = SimdBatch(Mesh(4, 4), NocConfig(), lanes=2)
+        busy, idle = batch.lane(0), batch.lane(1)
+        busy.inject(Packet(src=0, dst=15, size_flits=3, msg_class=0), 0)
+        busy.drain()
+        assert len(busy.pop_delivered()) == 1
+        assert idle.pop_delivered() == []
+        assert idle.stats.injected_packets == 0
+        assert idle.in_flight == 0
+
+    def test_single_lane_matches_simd_network(self):
+        """lanes=1 is bit-identical to SimdNetwork on loaded traffic."""
+        cycles = 120
+        schedule = _traffic(16, cycles, 3, 99)
+        reference = SimdNetwork(Mesh(4, 4), NocConfig())
+        ref_sig = _signature(_drive(reference, schedule, cycles))
+        lane = SimdBatch(Mesh(4, 4), NocConfig(), lanes=1).lane(0)
+        lane_sig = _signature(_drive(lane, schedule, cycles))
+        assert lane_sig == ref_sig
+        assert lane.stats.latencies == reference.stats.latencies

@@ -1,0 +1,231 @@
+"""Engine selection and co-simulation-level equivalence.
+
+Two layers of guarantee:
+
+* :func:`repro.engine.resolve_engine` picks the batched fast path only
+  for compatible configs and logs every fallback with its reason.
+* ``build_cosim(engine="oo")`` and ``build_cosim(engine="auto")``
+  produce bit-identical :class:`CoSimResult`\\ s for every shipped
+  target configuration (shrunk to test size), and
+  :func:`repro.engine.run_cosim_batch` reproduces K individual runs
+  byte for byte from one shared kernel batch.
+"""
+
+import logging
+
+import pytest
+
+from repro.core.config import TargetConfig, build_cosim
+from repro.engine import (
+    KERNEL_VERSION,
+    resolve_engine,
+    run_cosim_batch,
+)
+from repro.engine.api import OO_KERNEL_VERSION, get_engine
+from repro.engine.batch import configs_batchable
+from repro.errors import ConfigError
+from repro.harness.experiments import shipped_target_configs
+from repro.noc import NocConfig
+
+_SIMD_MESH = TargetConfig(width=4, height=4, network_model="simd")
+
+
+def _shrunk(config):
+    """A fast variant of a shipped config: same shape, tiny workload."""
+    return config.variant(app="water", scale=0.05)
+
+
+def _result_sig(result):
+    """Every deterministic field of a CoSimResult (no wall-clock)."""
+    return (
+        result.finish_cycle,
+        result.cycles,
+        result.windows,
+        result.messages_sent,
+        result.deliveries,
+        result.clamped_deliveries,
+        result.applied_latencies,
+        result.feedback_snapshot,
+    )
+
+
+class TestResolveEngine:
+    def test_oo_is_pinned(self):
+        decision = resolve_engine(_SIMD_MESH, engine="oo")
+        assert decision.name == "oo"
+        assert not decision.is_batched
+        assert decision.kernel_version == OO_KERNEL_VERSION
+
+    def test_auto_picks_batched_when_compatible(self):
+        decision = resolve_engine(_SIMD_MESH, engine="auto")
+        assert decision.is_batched
+        assert decision.kernel_version == KERNEL_VERSION
+
+    def test_unknown_engine_rejected(self):
+        with pytest.raises(ConfigError):
+            resolve_engine(_SIMD_MESH, engine="turbo")
+        with pytest.raises(ConfigError):
+            get_engine("turbo")
+
+    @pytest.mark.parametrize(
+        "config, expect_in_reason",
+        [
+            (TargetConfig(width=4, height=4), "network_model"),
+            (
+                TargetConfig(
+                    width=4, height=4, network_model="simd", topology="torus"
+                ),
+                "topology",
+            ),
+            (
+                TargetConfig(
+                    width=4,
+                    height=4,
+                    network_model="simd",
+                    noc=NocConfig(vc_select="class_partition"),
+                ),
+                "vc_select",
+            ),
+        ],
+    )
+    def test_fallback_reasons(self, config, expect_in_reason):
+        decision = resolve_engine(config, engine="auto")
+        assert decision.name == "oo"
+        assert expect_in_reason in decision.reason
+
+    def test_fallback_log_levels(self, caplog):
+        cycle = TargetConfig(width=4, height=4)  # cycle model: unsupported
+        with caplog.at_level(logging.INFO, logger="repro.engine"):
+            resolve_engine(cycle, engine="auto")
+        assert caplog.records[-1].levelno == logging.INFO
+
+        caplog.clear()
+        with caplog.at_level(logging.INFO, logger="repro.engine"):
+            resolve_engine(cycle, engine="batched")
+        record = caplog.records[-1]
+        assert record.levelno == logging.WARNING
+        assert "fallback" in record.getMessage()
+
+
+class TestBuildCosimSelection:
+    def test_decision_recorded_on_cosim(self):
+        cosim = build_cosim(_SIMD_MESH, verify="off")
+        assert cosim.engine_decision.is_batched
+
+    def test_oo_request_honoured(self):
+        cosim = build_cosim(_SIMD_MESH, verify="off", engine="oo")
+        assert cosim.engine_decision.name == "oo"
+
+    def test_injected_factory_pins_oo(self):
+        from repro.noc_gpu import SimdNetwork
+
+        cosim = build_cosim(
+            _SIMD_MESH,
+            simd_network_factory=SimdNetwork,
+            verify="off",
+        )
+        assert cosim.engine_decision.name == "oo"
+
+    def test_fault_config_falls_back(self):
+        from repro.resilience.faults import FaultConfig
+
+        config = TargetConfig(
+            width=4, height=4, app="water", scale=0.05,
+            faults=FaultConfig(seed=3),
+        )
+        cosim = build_cosim(config, verify="off", engine="batched")
+        assert cosim.engine_decision.name == "oo"
+        assert "fallback" in cosim.engine_decision.reason
+
+
+class TestShippedConfigEquivalence:
+    """oo-vs-auto bit-identity for every shipped target configuration."""
+
+    @pytest.mark.parametrize(
+        "label, config",
+        [pytest.param(label, config, id=label.replace(" ", "_"))
+         for label, config in shipped_target_configs()],
+    )
+    def test_engines_agree(self, label, config):
+        small = _shrunk(config)
+        decision = resolve_engine(small, engine="auto")
+        if not decision.is_batched:
+            # Unsupported configs must fall back, never fail.
+            assert decision.name == "oo"
+            assert "fallback" in decision.reason
+            return
+        # Large meshes: truncated-run equivalence.  Both engines execute
+        # the same bounded window sequence; a full run at test-sized
+        # workloads takes minutes on 256+ routers (and `water` at
+        # degenerate scale has a pathological protocol tail there that
+        # predates the engine layer — see the drain guard in cosim.py).
+        kwargs = {}
+        if small.width * small.height > 16:
+            kwargs["max_cycles"] = 1024
+        oo = build_cosim(small, verify="off", engine="oo").run(**kwargs)
+        fast = build_cosim(small, verify="off", engine="auto").run(**kwargs)
+        assert _result_sig(fast) == _result_sig(oo), label
+
+
+class TestRunCosimBatch:
+    def _configs(self, k=4):
+        # Heterogeneous lanes: seed, app, and scale differ; shape agrees.
+        apps = ("water", "fft", "water", "lu")
+        return [
+            TargetConfig(
+                width=4, height=4, app=apps[i % len(apps)],
+                seed=10 + 3 * i, scale=0.05 + 0.01 * i,
+                network_model="simd", quantum=4,
+            )
+            for i in range(k)
+        ]
+
+    def test_batch_matches_individual_runs(self):
+        configs = self._configs()
+        batch = run_cosim_batch(configs, verify="off")
+        assert batch.lanes == len(configs)
+        assert batch.engine.is_batched
+        singles = [
+            build_cosim(c, verify="off", engine="auto").run() for c in configs
+        ]
+        for lane, (got, want) in enumerate(zip(batch.results, singles)):
+            assert _result_sig(got) == _result_sig(want), f"lane {lane}"
+        # The whole batch shares one kernel stream: far fewer launches
+        # than K independent runs would have made.
+        assert batch.kernel_launches > 0
+
+    def test_unbatchable_configs_rejected(self):
+        configs = self._configs(2)
+        bad = configs[1].variant(width=8)
+        with pytest.raises(ConfigError, match="not batchable"):
+            run_cosim_batch([configs[0], bad], verify="off")
+
+
+class TestConfigsBatchable:
+    def test_empty(self):
+        ok, reason = configs_batchable([])
+        assert not ok and "empty" in reason
+
+    def test_shape_mismatch(self):
+        a = TargetConfig(width=4, height=4, network_model="simd")
+        b = TargetConfig(width=8, height=8, network_model="simd")
+        ok, reason = configs_batchable([a, b])
+        assert not ok and "shape" in reason
+
+    def test_noc_mismatch(self):
+        a = TargetConfig(width=4, height=4, network_model="simd")
+        b = a.variant(noc=NocConfig(num_vcs=8))
+        ok, _ = configs_batchable([a, b])
+        assert not ok
+
+    def test_unsupported_member(self):
+        a = TargetConfig(width=4, height=4, network_model="simd")
+        b = TargetConfig(width=4, height=4)  # cycle model
+        ok, reason = configs_batchable([a, b])
+        assert not ok and "network_model" in reason
+
+    def test_heterogeneous_workloads_ok(self):
+        a = TargetConfig(width=4, height=4, network_model="simd", seed=1)
+        b = a.variant(seed=2, app="water", scale=0.5)
+        ok, reason = configs_batchable([a, b])
+        assert ok, reason

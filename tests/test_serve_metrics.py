@@ -141,6 +141,50 @@ class TestPrometheusRendering:
         assert text.endswith("\n")
 
 
+class TestHistograms:
+    def test_count_and_sum(self):
+        m = Metrics()
+        assert m.histogram_count("h") == 0
+        assert m.histogram_sum("h") == 0.0
+        for value in (1.0, 3.0, 4.0, 100.0):
+            m.observe_histogram("h", "help", value)
+        assert m.histogram_count("h") == 4
+        assert m.histogram_sum("h") == 108.0
+
+    def test_first_call_fixes_buckets(self):
+        m = Metrics()
+        m.observe_histogram("h", "help", 1.0, buckets=(2.0, 4.0))
+        # Later calls cannot change the series' buckets.
+        m.observe_histogram("h", "help", 3.0, buckets=(10.0,))
+        text = m.render_prometheus()
+        assert 'h_bucket{le="2"} 1' in text
+        assert 'h_bucket{le="4"} 2' in text
+        assert 'h_bucket{le="10"}' not in text
+
+    def test_prometheus_buckets_are_cumulative(self):
+        m = Metrics()
+        for value in (1.0, 2.0, 4.0, 4.0, 50.0):
+            m.observe_histogram(
+                f"{PREFIX}_engine_batch_size", "lanes per dispatch", value
+            )
+        text = m.render_prometheus()
+        name = f"{PREFIX}_engine_batch_size"
+        assert f"# TYPE {name} histogram" in text
+        # Default buckets 1,2,4,8,16,32: cumulative counts 1,2,4,4,4,4
+        # then +Inf catches the 50.
+        assert f'{name}_bucket{{le="1"}} 1' in text
+        assert f'{name}_bucket{{le="2"}} 2' in text
+        assert f'{name}_bucket{{le="4"}} 4' in text
+        assert f'{name}_bucket{{le="32"}} 4' in text
+        assert f'{name}_bucket{{le="+Inf"}} 5' in text
+        assert f"{name}_sum 61" in text
+        assert f"{name}_count 5" in text
+
+    def test_unobserved_histogram_not_rendered(self):
+        text = Metrics().render_prometheus()
+        assert "_bucket" not in text
+
+
 if __name__ == "__main__":
     import sys
 
