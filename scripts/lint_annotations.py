@@ -18,6 +18,10 @@ from __future__ import annotations
 import json
 import sys
 
+#: GitHub drops workflow-command annotations beyond 10 per step; emitting
+#: more silently hides the overflow, so we cap and summarise instead.
+MAX_ANNOTATIONS = 10
+
 
 def _escape(text: str) -> str:
     """Workflow-command escaping for the message payload."""
@@ -49,7 +53,8 @@ def main(argv: list) -> int:
         print(f"::error::{_escape(str(report['error']))}")
         return 2
     violations = report.get("violations", [])
-    for v in violations:
+    overflow = violations[MAX_ANNOTATIONS:]
+    for v in violations[:MAX_ANNOTATIONS]:
         message = _escape(f"[{v['rule']}] {v['message']}")
         path = prefix + v["path"] if prefix else v["path"]
         # endLine/endColumn make GitHub underline the exact span; they
@@ -65,6 +70,18 @@ def main(argv: list) -> int:
         )
     count = len(violations)
     if count:
+        if overflow:
+            by_rule: dict = {}
+            for v in overflow:
+                by_rule[v["code"]] = by_rule.get(v["code"], 0) + 1
+            detail = ", ".join(
+                f"{code} x{n}" for code, n in sorted(by_rule.items())
+            )
+            print(
+                f"::notice title=simlint overflow::{len(overflow)} further "
+                f"finding(s) not annotated ({_escape(detail)}); see the "
+                f"full lint log"
+            )
         print(f"simlint: {count} finding(s) annotated")
         return 1
     print("simlint: clean")

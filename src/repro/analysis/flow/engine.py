@@ -97,13 +97,29 @@ def run_deep(
     deep_config: Optional[DeepConfig] = None,
     cache_dir: Optional[Path] = None,
     baseline_path: Optional[Path] = None,
+    include_kernels: bool = False,
+    kernels_config=None,
 ) -> DeepReport:
-    """The full ``lint --deep`` pipeline: classic + SIM2xx + baseline."""
+    """The full ``lint --deep`` pipeline: classic + SIM2xx + baseline.
+
+    With ``include_kernels`` the SIM3xx kernel pass
+    (:mod:`repro.analysis.arrays`) joins the merge, sharing this cache
+    dir, so ``lint --deep --kernels`` gates on one combined report.
+    """
     cache = SummaryCache(cache_dir)
     report = deep_lint_paths([Path(r) for r in roots], deep_config, cache)
     classic = lint_paths([Path(r) for r in roots], classic_config)
+    kernel_violations: List[Violation] = []
+    if include_kernels:
+        from ..arrays.engine import kernels_lint_paths
+
+        kernels = kernels_lint_paths(
+            [Path(r) for r in roots], kernels_config, cache_dir
+        )
+        kernel_violations = kernels.violations
+        report.stats.update(kernels.stats)
     merged = sorted(
-        list(classic) + report.violations,
+        list(classic) + report.violations + kernel_violations,
         key=lambda v: (v.path, v.line, v.col, v.rule),
     )
     baseline = load_baseline(baseline_path) if baseline_path else {}

@@ -58,10 +58,22 @@ class SummaryCache:
 
     ``cache_dir=None`` disables persistence entirely (library default);
     the CLI points it at ``$REPRO_LINT_CACHE`` or ``.simlint_cache``.
+
+    Other passes reuse this store with their own document: ``filename``
+    picks the file inside the cache dir and ``stamp`` the version string
+    that invalidates it (the kernel pass folds its shape-contract
+    registry hash into the stamp, for example).
     """
 
-    def __init__(self, cache_dir: Optional[Path]) -> None:
+    def __init__(
+        self,
+        cache_dir: Optional[Path],
+        filename: str = _CACHE_FILENAME,
+        stamp: Optional[str] = None,
+    ) -> None:
         self.cache_dir = Path(cache_dir) if cache_dir else None
+        self.filename = filename
+        self.stamp = stamp if stamp is not None else cache_stamp()
         self.entries: Dict[str, Dict] = {}
         self.hits = 0
         self.misses = 0
@@ -72,14 +84,14 @@ class SummaryCache:
     def _path(self) -> Path:
         if self.cache_dir is None:
             raise ConfigError("summary cache is disabled (no cache_dir)")
-        return self.cache_dir / _CACHE_FILENAME
+        return self.cache_dir / self.filename
 
     def _load(self) -> None:
         try:
             payload = json.loads(self._path().read_text(encoding="utf-8"))
         except (OSError, ValueError):
             return
-        if payload.get("version") != cache_stamp():
+        if payload.get("version") != self.stamp:
             return
         entries = payload.get("entries")
         if isinstance(entries, dict):
@@ -90,7 +102,7 @@ class SummaryCache:
         if self.cache_dir is None:
             return
         self.cache_dir.mkdir(parents=True, exist_ok=True)
-        payload = {"version": cache_stamp(), "entries": self.entries}
+        payload = {"version": self.stamp, "entries": self.entries}
         tmp = self._path().with_suffix(".tmp")
         tmp.write_text(json.dumps(payload), encoding="utf-8")
         tmp.replace(self._path())

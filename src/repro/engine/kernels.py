@@ -19,7 +19,7 @@ import numpy as np
 
 from ..noc.topology import EAST, LOCAL, NORTH, SOUTH, WEST
 from ..noc_gpu.kernels import FLAG_HEAD, FLAG_TAIL
-from .layout import BatchState
+from .layout import BIG, OWNER_DTYPE, PORT_DTYPE, VC_DTYPE, BatchState
 
 __all__ = [
     "FLAG_HEAD",
@@ -28,8 +28,6 @@ __all__ = [
     "vc_allocate",
     "switch_traverse",
 ]
-
-_BIG = np.iinfo(np.int64).max
 
 
 def route_compute(st: BatchState) -> None:
@@ -48,7 +46,7 @@ def route_compute(st: BatchState) -> None:
         EAST,
         np.where(dx < 0, WEST, np.where(dy > 0, NORTH, np.where(dy < 0, SOUTH, LOCAL))),
     )
-    st.route_port[lane, r, p, v] = port.astype(np.int8)
+    st.route_port[lane, r, p, v] = port.astype(PORT_DTYPE)
 
 
 def vc_allocate(st: BatchState) -> np.ndarray:
@@ -78,15 +76,15 @@ def vc_allocate(st: BatchState) -> np.ndarray:
     rank = (in_code - st.va_ptr[lane, r, op, ov]) % PV
     score = rank * PV + in_code  # unique per (lane, router, op, ov)
     target = ((lane * st.R + r) * st.P + op) * st.V + ov
-    best = np.full(st.L * st.R * st.P * st.V, _BIG, dtype=np.int64)
+    best = np.full(st.L * st.R * st.P * st.V, BIG, dtype=np.int64)
     np.minimum.at(best, target, score)
     won = score == best[target]
 
     lw, rw, pw, vw = lane[won], r[won], p[won], v[won]
     opw, ovw = op[won], ov[won]
-    st.out_vc[lw, rw, pw, vw] = ovw.astype(np.int8)
+    st.out_vc[lw, rw, pw, vw] = ovw.astype(VC_DTYPE)
     st.active[lw, rw, pw, vw] = True
-    st.ovc_owner[lw, rw, opw, ovw] = (pw * st.V + vw).astype(np.int16)
+    st.ovc_owner[lw, rw, opw, ovw] = (pw * st.V + vw).astype(OWNER_DTYPE)
     st.va_ptr[lw, rw, opw, ovw] = ((pw * st.V + vw + 1) % PV).astype(np.int32)
     return np.bincount(lw, minlength=st.L).astype(np.int64)
 
@@ -131,7 +129,7 @@ def switch_traverse(
     # Input stage: one VC per input port (round-robin over VCs).
     key_in = (lane * st.R + r) * st.P + p
     score_in = ((v - st.sa_in_ptr[lane, r, p]) % st.V) * st.V + v
-    best_in = np.full(st.L * st.R * st.P, _BIG, dtype=np.int64)
+    best_in = np.full(st.L * st.R * st.P, BIG, dtype=np.int64)
     np.minimum.at(best_in, key_in, score_in)
     nominated = score_in == best_in[key_in]
     lane, r, p, v, op, ov = (a[nominated] for a in (lane, r, p, v, op, ov))
@@ -139,7 +137,7 @@ def switch_traverse(
     # Output stage: one input port per output port (round-robin over ports).
     key_out = (lane * st.R + r) * st.P + op
     score_out = ((p - st.sa_out_ptr[lane, r, op]) % st.P) * st.P + p
-    best_out = np.full(st.L * st.R * st.P, _BIG, dtype=np.int64)
+    best_out = np.full(st.L * st.R * st.P, BIG, dtype=np.int64)
     np.minimum.at(best_out, key_out, score_out)
     won = score_out == best_out[key_out]
     lane, r, p, v, op, ov = (a[won] for a in (lane, r, p, v, op, ov))

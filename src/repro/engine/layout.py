@@ -23,9 +23,61 @@ import numpy as np
 from ..errors import ConfigError
 from ..noc.config import NocConfig
 from ..noc.topology import EAST, LOCAL, NORTH, SOUTH, WEST, Topology
-from ..noc_gpu.layout import LOCAL_CREDITS, mesh_geometry
+from ..noc_gpu.layout import (
+    BIG,
+    LOCAL_CREDITS,
+    OWNER_DTYPE,
+    PORT_DTYPE,
+    PTR_DTYPE,
+    VC_DTYPE,
+    mesh_geometry,
+)
 
-__all__ = ["BatchState", "build_batch_state"]
+__all__ = [
+    "BatchState",
+    "build_batch_state",
+    "BIG",
+    "PORT_DTYPE",
+    "VC_DTYPE",
+    "OWNER_DTYPE",
+    "PTR_DTYPE",
+    "SHAPE_CONTRACT",
+]
+
+# Machine-readable layout contract for the batched state; same syntax as
+# :data:`repro.noc_gpu.layout.SHAPE_CONTRACT` with the leading lane axis.
+# The ``pkt`` domain is declared lane-partitioned: a packet index only
+# ever appears in the lane that injected it (see the module docstring),
+# which is what makes per-packet scatters keyed by gathered ``buf_pkt``
+# values lane-safe without an explicit lane term.
+SHAPE_CONTRACT = {
+    "BatchState": {
+        "dims": ["L", "R", "P", "V", "B"],
+        "lane_axis": "L",
+        "fields": {
+            "x": {"shape": "R", "dtype": "int32"},
+            "y": {"shape": "R", "dtype": "int32"},
+            "nbr_router": {"shape": "R,P", "dtype": "int32", "values": "router"},
+            "nbr_port": {"shape": "R,P", "dtype": "int32", "values": "port"},
+            "buf_pkt": {"shape": "L,R,P,V,B", "dtype": "int32", "values": "pkt"},
+            "buf_seq": {"shape": "L,R,P,V,B", "dtype": "int32"},
+            "buf_flags": {"shape": "L,R,P,V,B", "dtype": "int8"},
+            "buf_ready": {"shape": "L,R,P,V,B", "dtype": "int64"},
+            "head": {"shape": "L,R,P,V", "dtype": "int32", "values": "slot"},
+            "count": {"shape": "L,R,P,V", "dtype": "int32"},
+            "route_port": {"shape": "L,R,P,V", "dtype": "int8", "values": "port"},
+            "out_vc": {"shape": "L,R,P,V", "dtype": "int8", "values": "vc"},
+            "active": {"shape": "L,R,P,V", "dtype": "bool"},
+            "ovc_owner": {"shape": "L,R,P,V", "dtype": "int16"},
+            "credits": {"shape": "L,R,P,V", "dtype": "int64"},
+            "sa_in_ptr": {"shape": "L,R,P", "dtype": "int32"},
+            "sa_out_ptr": {"shape": "L,R,P", "dtype": "int32"},
+            "va_ptr": {"shape": "L,R,P,V", "dtype": "int32"},
+            "pkt_dst_router": {"shape": "N", "dtype": "int32", "values": "router"},
+        },
+        "domains": {"pkt": {"lane_partitioned": True}},
+    },
+}
 
 
 @dataclass
@@ -131,13 +183,13 @@ def build_batch_state(topo: Topology, config: NocConfig, lanes: int) -> BatchSta
         buf_ready=np.zeros((L, R, P, V, B), dtype=np.int64),
         head=np.zeros((L, R, P, V), dtype=np.int32),
         count=np.zeros((L, R, P, V), dtype=np.int32),
-        route_port=np.full((L, R, P, V), -1, dtype=np.int8),
-        out_vc=np.full((L, R, P, V), -1, dtype=np.int8),
+        route_port=np.full((L, R, P, V), -1, dtype=PORT_DTYPE),
+        out_vc=np.full((L, R, P, V), -1, dtype=VC_DTYPE),
         active=np.zeros((L, R, P, V), dtype=bool),
-        ovc_owner=np.full((L, R, P, V), -1, dtype=np.int16),
+        ovc_owner=np.full((L, R, P, V), -1, dtype=OWNER_DTYPE),
         credits=credits,
-        sa_in_ptr=np.zeros((L, R, P), dtype=np.int32),
-        sa_out_ptr=np.zeros((L, R, P), dtype=np.int32),
-        va_ptr=np.zeros((L, R, P, V), dtype=np.int32),
+        sa_in_ptr=np.zeros((L, R, P), dtype=PTR_DTYPE),
+        sa_out_ptr=np.zeros((L, R, P), dtype=PTR_DTYPE),
+        va_ptr=np.zeros((L, R, P, V), dtype=PTR_DTYPE),
         pkt_dst_router=np.full(1024, -1, dtype=np.int32),
     )

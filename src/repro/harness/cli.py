@@ -190,6 +190,13 @@ def _lint_main(argv: Optional[List[str]] = None) -> int:
         "(repro.analysis.flow) and apply the suppression baseline",
     )
     parser.add_argument(
+        "--kernels",
+        action="store_true",
+        help="run the SIM3xx kernel array-semantics pass "
+        "(repro.analysis.arrays): lane isolation, dtype bounds, "
+        "fancy-index aliasing, shape contracts; composes with --deep",
+    )
+    parser.add_argument(
         "--baseline",
         default=None,
         help="suppression baseline file (default: .simlint-baseline.json "
@@ -240,7 +247,7 @@ def _lint_main(argv: Optional[List[str]] = None) -> int:
         print(f"simlint: path {root} does not exist")
         return 2
 
-    if not (args.deep or args.stats or args.update_baseline):
+    if not (args.deep or args.kernels or args.stats or args.update_baseline):
         if args.format != "sarif":
             return run_lint(args.path, fmt=args.format)
         from ..analysis.flow import render_sarif
@@ -274,8 +281,24 @@ def _lint_main(argv: Optional[List[str]] = None) -> int:
                 baseline_path = candidate
                 break
 
+    def _run_report(baseline):
+        # --kernels alone runs just the SIM3xx pass; with --deep (or the
+        # deep-implying flags) the kernel findings join the full merge.
+        if not args.deep and args.kernels:
+            from ..analysis.arrays import run_kernels
+
+            return run_kernels(
+                [root], cache_dir=cache_dir, baseline_path=baseline
+            )
+        return run_deep(
+            [root],
+            cache_dir=cache_dir,
+            baseline_path=baseline,
+            include_kernels=args.kernels,
+        )
+
     if args.update_baseline:
-        report = run_deep([root], cache_dir=cache_dir, baseline_path=None)
+        report = _run_report(None)
         target = baseline_path or (
             default_lint_root().parent.parent / ".simlint-baseline.json"
         )
@@ -283,20 +306,37 @@ def _lint_main(argv: Optional[List[str]] = None) -> int:
         print(f"simlint: baseline updated ({count} finding(s) -> {target})")
         return 0
 
-    report = run_deep(
-        [root], cache_dir=cache_dir, baseline_path=baseline_path
-    )
+    report = _run_report(baseline_path)
 
     if args.stats:
         stats = report.stats
-        print("simlint --deep statistics")
-        print(f"  modules analyzed : {stats.get('modules', 0)}")
-        print(f"  functions        : {stats.get('functions', 0)}")
-        print(f"  call edges       : {stats.get('call_edges', 0)}")
-        print(
-            f"  summary cache    : {stats.get('cache_hits', 0)} hit(s), "
-            f"{stats.get('cache_misses', 0)} miss(es)"
+        kernels_only = args.kernels and not args.deep
+        passes = "--kernels" if kernels_only else (
+            "--deep --kernels" if args.kernels else "--deep"
         )
+        print(f"simlint {passes} statistics")
+        if not kernels_only:
+            print(f"  modules analyzed : {stats.get('modules', 0)}")
+            print(f"  functions        : {stats.get('functions', 0)}")
+            print(f"  call edges       : {stats.get('call_edges', 0)}")
+            print(
+                f"  summary cache    : {stats.get('cache_hits', 0)} hit(s), "
+                f"{stats.get('cache_misses', 0)} miss(es)"
+            )
+        if args.kernels:
+            print(
+                f"  kernel modules   : {stats.get('kernel_modules', 0)} "
+                f"({stats.get('kernel_functions', 0)} function(s))"
+            )
+            print(
+                f"  shape contracts  : {stats.get('contracts', 0)} "
+                f"({stats.get('dtype_bounds', 0)} bounded dtype(s))"
+            )
+            print(
+                f"  kernel cache     : "
+                f"{stats.get('kernel_cache_hits', 0)} hit(s), "
+                f"{stats.get('kernel_cache_misses', 0)} miss(es)"
+            )
         print(f"  baseline         : {report.suppressed} suppressed")
         print("  findings by rule (pre-baseline):")
         for rule_key in sorted(

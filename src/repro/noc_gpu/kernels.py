@@ -20,7 +20,7 @@ from typing import Callable, Tuple
 import numpy as np
 
 from ..noc.topology import EAST, LOCAL, NORTH, SOUTH, WEST
-from .layout import SimdState
+from .layout import BIG, OWNER_DTYPE, PORT_DTYPE, VC_DTYPE, SimdState
 
 __all__ = [
     "FLAG_HEAD",
@@ -32,8 +32,6 @@ __all__ = [
 
 FLAG_HEAD = 1
 FLAG_TAIL = 2
-
-_BIG = np.iinfo(np.int64).max
 
 
 def route_compute(st: SimdState) -> None:
@@ -52,7 +50,7 @@ def route_compute(st: SimdState) -> None:
         EAST,
         np.where(dx < 0, WEST, np.where(dy > 0, NORTH, np.where(dy < 0, SOUTH, LOCAL))),
     )
-    st.route_port[r, p, v] = port.astype(np.int8)
+    st.route_port[r, p, v] = port.astype(PORT_DTYPE)
 
 
 def vc_allocate(st: SimdState) -> int:
@@ -81,15 +79,15 @@ def vc_allocate(st: SimdState) -> int:
     rank = (in_code - st.va_ptr[r, op, ov]) % PV
     score = rank * PV + in_code  # unique per (router, op, ov)
     target = (r * st.P + op) * st.V + ov
-    best = np.full(st.R * st.P * st.V, _BIG, dtype=np.int64)
+    best = np.full(st.R * st.P * st.V, BIG, dtype=np.int64)
     np.minimum.at(best, target, score)
     won = score == best[target]
 
     rw, pw, vw = r[won], p[won], v[won]
     opw, ovw = op[won], ov[won]
-    st.out_vc[rw, pw, vw] = ovw.astype(np.int8)
+    st.out_vc[rw, pw, vw] = ovw.astype(VC_DTYPE)
     st.active[rw, pw, vw] = True
-    st.ovc_owner[rw, opw, ovw] = (pw * st.V + vw).astype(np.int16)
+    st.ovc_owner[rw, opw, ovw] = (pw * st.V + vw).astype(OWNER_DTYPE)
     st.va_ptr[rw, opw, ovw] = ((pw * st.V + vw + 1) % PV).astype(np.int32)
     return int(len(rw))
 
@@ -131,7 +129,7 @@ def switch_traverse(
     # Input stage: one VC per input port (round-robin over VCs).
     key_in = r * st.P + p
     score_in = ((v - st.sa_in_ptr[r, p]) % st.V) * st.V + v
-    best_in = np.full(st.R * st.P, _BIG, dtype=np.int64)
+    best_in = np.full(st.R * st.P, BIG, dtype=np.int64)
     np.minimum.at(best_in, key_in, score_in)
     nominated = score_in == best_in[key_in]
     r, p, v, op, ov = (a[nominated] for a in (r, p, v, op, ov))
@@ -139,7 +137,7 @@ def switch_traverse(
     # Output stage: one input port per output port (round-robin over ports).
     key_out = r * st.P + op
     score_out = ((p - st.sa_out_ptr[r, op]) % st.P) * st.P + p
-    best_out = np.full(st.R * st.P, _BIG, dtype=np.int64)
+    best_out = np.full(st.R * st.P, BIG, dtype=np.int64)
     np.minimum.at(best_out, key_out, score_out)
     won = score_out == best_out[key_out]
     r, p, v, op, ov = (a[won] for a in (r, p, v, op, ov))

@@ -22,10 +22,70 @@ from ..errors import ConfigError
 from ..noc.config import NocConfig
 from ..noc.topology import EAST, LOCAL, NORTH, SOUTH, WEST, Mesh, Topology
 
-__all__ = ["SimdState", "build_state", "mesh_geometry", "LOCAL_CREDITS"]
+__all__ = [
+    "SimdState",
+    "build_state",
+    "mesh_geometry",
+    "LOCAL_CREDITS",
+    "BIG",
+    "PORT_DTYPE",
+    "VC_DTYPE",
+    "OWNER_DTYPE",
+    "PTR_DTYPE",
+    "SHAPE_CONTRACT",
+]
 
 #: effectively-infinite credits for the local (ejection) port
 LOCAL_CREDITS = 1 << 20
+
+#: int64 ordering sentinel for scatter-min arbitration; never stored in state
+BIG = np.iinfo(np.int64).max
+
+# Narrow storage dtypes for the structure-of-arrays state.  Each carries a
+# ``# bound:`` annotation stating why the downcast can never overflow; the
+# SIM302 kernel lint treats these names as the sanctioned way to narrow
+# (see docs/static-analysis.md).
+PORT_DTYPE = np.int8  # bound: port ids < radix <= 127 (and the -1 sentinel)
+VC_DTYPE = np.int8  # bound: VC ids < num_vcs <= 127 (and the -1 sentinel)
+OWNER_DTYPE = np.int16  # bound: flat in_port*V+in_vc codes < radix*num_vcs <= 32767
+PTR_DTYPE = np.int32  # bound: round-robin pointers, always reduced mod V, P, or P*V
+
+# Machine-readable layout contract, parsed (not imported) by the SIM3xx
+# kernel analyzer in :mod:`repro.analysis.arrays`.  One entry per state
+# class: ``dims`` names the scalar dimension attributes in axis order,
+# ``lane_axis`` marks the batching axis (none here — SimdState is a single
+# simulation), each field declares its axes and dtype, and ``values``
+# names the value domain a field's elements index into.  Domains with
+# ``lane_partitioned: True`` promise that a value only ever appears in the
+# lane that produced it, so gathers from such fields are lane-safe keys.
+SHAPE_CONTRACT = {
+    "SimdState": {
+        "dims": ["R", "P", "V", "B"],
+        "lane_axis": None,
+        "fields": {
+            "x": {"shape": "R", "dtype": "int32"},
+            "y": {"shape": "R", "dtype": "int32"},
+            "nbr_router": {"shape": "R,P", "dtype": "int32", "values": "router"},
+            "nbr_port": {"shape": "R,P", "dtype": "int32", "values": "port"},
+            "buf_pkt": {"shape": "R,P,V,B", "dtype": "int32", "values": "pkt"},
+            "buf_seq": {"shape": "R,P,V,B", "dtype": "int32"},
+            "buf_flags": {"shape": "R,P,V,B", "dtype": "int8"},
+            "buf_ready": {"shape": "R,P,V,B", "dtype": "int64"},
+            "head": {"shape": "R,P,V", "dtype": "int32", "values": "slot"},
+            "count": {"shape": "R,P,V", "dtype": "int32"},
+            "route_port": {"shape": "R,P,V", "dtype": "int8", "values": "port"},
+            "out_vc": {"shape": "R,P,V", "dtype": "int8", "values": "vc"},
+            "active": {"shape": "R,P,V", "dtype": "bool"},
+            "ovc_owner": {"shape": "R,P,V", "dtype": "int16"},
+            "credits": {"shape": "R,P,V", "dtype": "int64"},
+            "sa_in_ptr": {"shape": "R,P", "dtype": "int32"},
+            "sa_out_ptr": {"shape": "R,P", "dtype": "int32"},
+            "va_ptr": {"shape": "R,P,V", "dtype": "int32"},
+            "pkt_dst_router": {"shape": "N", "dtype": "int32", "values": "router"},
+        },
+        "domains": {},
+    },
+}
 
 
 def mesh_geometry(topo: Topology):
@@ -162,13 +222,13 @@ def build_state(topo: Topology, config: NocConfig) -> SimdState:
         buf_ready=np.zeros((R, P, V, B), dtype=np.int64),
         head=np.zeros((R, P, V), dtype=np.int32),
         count=np.zeros((R, P, V), dtype=np.int32),
-        route_port=np.full((R, P, V), -1, dtype=np.int8),
-        out_vc=np.full((R, P, V), -1, dtype=np.int8),
+        route_port=np.full((R, P, V), -1, dtype=PORT_DTYPE),
+        out_vc=np.full((R, P, V), -1, dtype=VC_DTYPE),
         active=np.zeros((R, P, V), dtype=bool),
-        ovc_owner=np.full((R, P, V), -1, dtype=np.int16),
+        ovc_owner=np.full((R, P, V), -1, dtype=OWNER_DTYPE),
         credits=credits,
-        sa_in_ptr=np.zeros((R, P), dtype=np.int32),
-        sa_out_ptr=np.zeros((R, P), dtype=np.int32),
-        va_ptr=np.zeros((R, P, V), dtype=np.int32),
+        sa_in_ptr=np.zeros((R, P), dtype=PTR_DTYPE),
+        sa_out_ptr=np.zeros((R, P), dtype=PTR_DTYPE),
+        va_ptr=np.zeros((R, P, V), dtype=PTR_DTYPE),
         pkt_dst_router=np.full(1024, -1, dtype=np.int32),
     )

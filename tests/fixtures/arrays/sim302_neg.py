@@ -1,0 +1,34 @@
+"""SIM302 negatives: annotated constants, modulo bounds, upcasts."""
+
+import numpy as np
+
+SHAPE_CONTRACT = {
+    "State": {
+        "dims": ["L", "R", "V"],
+        "lane_axis": "L",
+        "fields": {
+            "count": {"shape": "L,R,V", "dtype": "int32"},
+            "owner": {"shape": "L,R,V", "dtype": "int16"},
+        },
+        "domains": {},
+    },
+}
+
+OWNER_DT = np.int16  # bound: flat r*V+v codes < R*V <= 32767
+
+
+def narrow(st: "State") -> None:
+    lane, r, v = np.nonzero(st.count > 0)
+    code = r * st.V + v
+    st.owner[lane, r, v] = code.astype(OWNER_DT)  # annotated constant
+
+
+def narrow_modulo(st: "State") -> None:
+    lane, r, v = np.nonzero(st.count > 0)
+    code = r * st.V + v
+    st.count[lane, r, v] = (code % st.V).astype(np.int32)  # bounded by %
+
+
+def widen(st: "State") -> np.ndarray:
+    lane, r, v = np.nonzero(st.count > 0)
+    return st.count[lane, r, v].astype(np.int64)  # upcast is always fine

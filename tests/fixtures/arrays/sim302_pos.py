@@ -1,0 +1,29 @@
+"""SIM302 positives: narrowing casts without a bound."""
+
+import numpy as np
+
+SHAPE_CONTRACT = {
+    "State": {
+        "dims": ["L", "R", "V"],
+        "lane_axis": "L",
+        "fields": {
+            "count": {"shape": "L,R,V", "dtype": "int32"},
+            "owner": {"shape": "L,R,V", "dtype": "int16"},
+        },
+        "domains": {},
+    },
+}
+
+UNBOUNDED_DT = np.int16  # narrow, but carries no bound annotation
+
+
+def narrow(st: "State") -> None:
+    lane, r, v = np.nonzero(st.count > 0)
+    code = r * st.V + v
+    st.owner[lane, r, v] = code.astype(np.int16)  # SIM302: int64 -> int16
+
+
+def narrow_via_count(st: "State") -> np.ndarray:
+    lane, r, v = np.nonzero(st.count > 0)
+    occupancy = st.count[lane, r, v]
+    return occupancy.astype(np.int8)  # SIM302: int32 -> int8

@@ -1,0 +1,48 @@
+"""SIM303 negatives: ufunc.at, winnowed winners, full nonzero tuples."""
+
+import numpy as np
+
+SHAPE_CONTRACT = {
+    "State": {
+        "dims": ["L", "R", "V"],
+        "lane_axis": "L",
+        "fields": {
+            "count": {"shape": "L,R,V", "dtype": "int32"},
+            "score_tbl": {"shape": "L,R,V", "dtype": "int64"},
+        },
+        "domains": {},
+    },
+}
+
+
+def accumulate(st: "State") -> np.ndarray:
+    lane, r, v = np.nonzero(st.count > 0)
+    key = lane * st.R + r
+    tallies = np.zeros(st.L * st.R, dtype=np.int64)
+    np.add.at(tallies, key, 1)  # sanctioned unbuffered scatter
+    return tallies
+
+
+def arbitrate(st: "State") -> None:
+    lane, r, v = np.nonzero(st.count > 0)
+    key = (lane * st.R + r) * st.V + v
+    score = r * st.V + v
+    best = np.full(st.L * st.R * st.V, 1 << 60, dtype=np.int64)
+    np.minimum.at(best, key, score)
+    won = score == best[key]  # winnow: at most one winner per bucket
+    lw = lane[won]
+    rw = r[won]
+    st.count[lw, rw, 0] -= 1  # winnowed indices are duplicate-free
+
+
+def decrement_all(st: "State") -> None:
+    lane, r, v = np.nonzero(st.count > 0)
+    # full nonzero tuple over distinct axes: each cell addressed once
+    st.score_tbl[lane, r, v] -= 1
+
+
+def overwrite(st: "State") -> None:
+    lane, r, v = np.nonzero(st.count > 0)
+    key = lane * st.R + r
+    marks = np.zeros(st.L * st.R, dtype=np.int64)
+    marks[key] = 1  # plain overwrite, not read-modify-write

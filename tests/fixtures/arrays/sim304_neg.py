@@ -1,0 +1,34 @@
+"""SIM304 negatives: non-lane loops and helpers never fed a contract."""
+
+import numpy as np
+
+SHAPE_CONTRACT = {
+    "State": {
+        "dims": ["L", "R", "V"],
+        "lane_axis": "L",
+        "fields": {
+            "count": {"shape": "L,R,V", "dtype": "int32"},
+        },
+        "domains": {},
+    },
+}
+
+
+def per_vc_sum(st: "State") -> np.ndarray:
+    totals = np.zeros(st.V, dtype=np.int64)
+    for v in range(st.V):  # non-lane dimension: vectorization not required
+        totals[v] = st.count[:, :, v].sum()
+    return totals
+
+
+def iterate_config(st: "State", stages: list) -> int:
+    acc = 0
+    for stage in stages:  # plain python sequence, not a lane-major array
+        acc += int(stage)
+    return acc
+
+
+def orphan_helper(st, active):
+    for li in range(st.L):  # never called with a contract argument
+        if active:
+            st.count[li] += 1

@@ -1,0 +1,38 @@
+"""SIM304 positives: python-level loops over the lane dimension."""
+
+import numpy as np
+
+SHAPE_CONTRACT = {
+    "State": {
+        "dims": ["L", "R", "V"],
+        "lane_axis": "L",
+        "fields": {
+            "count": {"shape": "L,R,V", "dtype": "int32"},
+        },
+        "domains": {},
+    },
+}
+
+
+def per_lane_sum(st: "State") -> np.ndarray:
+    totals = np.zeros(st.L, dtype=np.int64)
+    for li in range(st.L):  # SIM304: serializes the lane axis
+        totals[li] = st.count[li].sum()
+    return totals
+
+
+def iterate_rows(st: "State") -> int:
+    acc = 0
+    for row in st.count:  # SIM304: iterates the lane-major axis
+        acc += int(row.sum())
+    return acc
+
+
+def helper(st, active):  # unannotated: loop recorded, resolved via caller
+    for li in range(st.L):
+        if active:
+            st.count[li] += 1
+
+
+def driver(st: "State") -> None:
+    helper(st, True)  # SIM304: contract arg reaches helper's lane loop

@@ -1,0 +1,28 @@
+"""SIM305 positives: index arity, unpack arity, and axis out of range."""
+
+import numpy as np
+
+SHAPE_CONTRACT = {
+    "State": {
+        "dims": ["L", "R", "V"],
+        "lane_axis": "L",
+        "fields": {
+            "count": {"shape": "L,R,V", "dtype": "int32"},
+        },
+        "domains": {},
+    },
+}
+
+
+def bad_unpack(st: "State") -> np.ndarray:
+    lane, r = np.nonzero(st.count > 0)  # SIM305: rank-3 mask, 2 targets
+    return lane
+
+
+def too_many_axes(st: "State") -> np.ndarray:
+    lane, r, v = np.nonzero(st.count > 0)
+    return st.count[lane, r, v, v]  # SIM305: 4 indices into rank 3
+
+
+def bad_axis(st: "State") -> np.ndarray:
+    return st.count.sum(axis=3)  # SIM305: axis 3 out of range for rank 3

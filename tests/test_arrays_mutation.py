@@ -1,0 +1,88 @@
+"""Seeded-mutation proof: each SIM3xx rule catches its injected kernel bug.
+
+Each case copies the real lane-batched kernel modules into a temp tree,
+applies one surgical mutation that reintroduces a class of bug the pass
+exists to catch, and asserts the analyzer reports exactly that rule.
+The unmutated copy must stay clean, so the signal is the mutation alone.
+"""
+
+import shutil
+from pathlib import Path
+
+import pytest
+
+import repro
+from repro.analysis.arrays.engine import kernels_lint_paths
+
+PACKAGE = Path(repro.__file__).resolve().parent
+
+#: modules the temp tree needs: the contracts + the kernels under test
+TREE = (
+    "engine/layout.py",
+    "engine/kernels.py",
+    "noc_gpu/layout.py",
+    "noc_gpu/kernels.py",
+)
+
+#: (rule, old substring, new substring) applied to engine/kernels.py
+MUTATIONS = {
+    "lane-isolation": (
+        # drop the lane fold from the arbitration bucket key, so VC
+        # grants from different lanes collide in one bucket
+        "target = ((lane * st.R + r) * st.P + op) * st.V + ov",
+        "target = (r * st.P + op) * st.V + ov",
+    ),
+    "dtype-narrowing": (
+        # replace the bound-annotated owner dtype with a bare int16
+        "(pw * st.V + vw).astype(OWNER_DTYPE)",
+        "(pw * st.V + vw).astype(np.int16)",
+    ),
+    "index-aliasing": (
+        # rewrite the unbuffered scatter-min as a gather/scatter RMW,
+        # which loses all but one update per duplicated bucket
+        "np.minimum.at(best, target, score)",
+        "best[target] = np.minimum(best[target], score)",
+    ),
+    "lane-loop": (
+        # serialize the lane axis with a python-level loop
+        "    zeros = np.zeros(st.L, dtype=np.int64)\n",
+        "    zeros = np.zeros(st.L, dtype=np.int64)\n"
+        "    for _lane in range(st.L):\n"
+        "        pass\n",
+    ),
+    "shape-contract": (
+        # unpack one component too many from a rank-4 nonzero
+        "lane, r, p, v = np.nonzero(req)",
+        "lane, r, p, v, extra = np.nonzero(req)",
+    ),
+}
+
+
+def _build_tree(tmp_path, mutation=None):
+    root = tmp_path / "tree"
+    for rel in TREE:
+        dst = root / rel
+        dst.parent.mkdir(parents=True, exist_ok=True)
+        shutil.copy(PACKAGE / rel, dst)
+    if mutation:
+        old, new = mutation
+        target = root / "engine" / "kernels.py"
+        source = target.read_text()
+        assert old in source, f"mutation anchor vanished: {old!r}"
+        target.write_text(source.replace(old, new, 1))
+    return root
+
+
+def test_unmutated_kernels_are_clean(tmp_path):
+    root = _build_tree(tmp_path)
+    report = kernels_lint_paths([root], cache_dir=tmp_path / "cache")
+    assert report.violations == []
+
+
+@pytest.mark.parametrize("rule", sorted(MUTATIONS))
+def test_mutation_is_caught(rule, tmp_path):
+    root = _build_tree(tmp_path, MUTATIONS[rule])
+    report = kernels_lint_paths([root], cache_dir=tmp_path / "cache")
+    assert [v.rule for v in report.violations] == [rule]
+    (violation,) = report.violations
+    assert violation.path == "engine/kernels.py"

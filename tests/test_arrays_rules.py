@@ -1,0 +1,133 @@
+"""SIM3xx rule precision: mirrored fixtures, contracts, pragma scoping."""
+
+from pathlib import Path
+
+import pytest
+
+import repro
+from repro.analysis.arrays import ARRAY_RULES, ArraysConfig, build_registry
+from repro.analysis.arrays.contracts import harvest_module
+from repro.analysis.arrays.engine import kernels_lint_paths
+
+FIXTURES = Path(__file__).parent / "fixtures" / "arrays"
+PACKAGE = Path(repro.__file__).resolve().parent
+
+#: scope every rule onto the flat fixture directory
+OPEN_CONFIG = ArraysConfig(kernel_paths=("*",), lane_loop_paths=("*",))
+
+
+def _lint(path, config=OPEN_CONFIG, cache_dir=None):
+    report = kernels_lint_paths([path], config, cache_dir=cache_dir)
+    return report.violations
+
+
+class TestMirroredFixtures:
+    @pytest.mark.parametrize(
+        "rule, count",
+        [
+            ("lane-isolation", 3),
+            ("dtype-narrowing", 2),
+            ("index-aliasing", 2),
+            ("lane-loop", 3),
+            ("shape-contract", 3),
+        ],
+    )
+    def test_positive_fixture_fires(self, rule, count, tmp_path):
+        code = ARRAY_RULES[rule][0].lower()
+        violations = _lint(FIXTURES / f"{code}_pos.py", cache_dir=tmp_path)
+        assert [v.rule for v in violations] == [rule] * count
+
+    @pytest.mark.parametrize("rule", sorted(ARRAY_RULES))
+    def test_negative_fixture_is_clean(self, rule, tmp_path):
+        code = ARRAY_RULES[rule][0].lower()
+        violations = _lint(FIXTURES / f"{code}_neg.py", cache_dir=tmp_path)
+        assert violations == []
+
+    def test_every_rule_has_both_fixtures(self):
+        for code, _ in ARRAY_RULES.values():
+            assert (FIXTURES / f"{code.lower()}_pos.py").is_file()
+            assert (FIXTURES / f"{code.lower()}_neg.py").is_file()
+
+    def test_pragma_suppresses_on_the_flagged_line(self, tmp_path):
+        # sim301_neg.excused keys a bincount on a router index, which the
+        # rule would flag; the allow[lane-isolation] pragma silences it.
+        src = (FIXTURES / "sim301_neg.py").read_text()
+        stripped = src.replace("  # simlint: allow[lane-isolation]", "")
+        bad = tmp_path / "sim301_neg.py"
+        bad.write_text(stripped)
+        violations = _lint(bad, cache_dir=tmp_path / "cache")
+        assert [v.rule for v in violations] == ["lane-isolation"]
+
+    def test_interprocedural_lane_loop_names_the_helper(self, tmp_path):
+        violations = _lint(FIXTURES / "sim304_pos.py", cache_dir=tmp_path)
+        # the third finding sits inside the unannotated helper, reached
+        # only because driver() hands it a contract-typed state
+        lines = sorted(v.line for v in violations)
+        src = (FIXTURES / "sim304_pos.py").read_text().splitlines()
+        assert any("helper" in src[line - 2] for line in lines)
+
+
+class TestContracts:
+    def test_registry_harvests_fixture_contract(self):
+        registry = build_registry(
+            [(FIXTURES / "sim301_pos.py", "sim301_pos.py")]
+        )
+        contract = registry.contracts["State"]
+        assert contract.dims == ("L", "R", "V")
+        assert contract.lane_axis == "L"
+        assert contract.fields["count"].rank == 3
+
+    def test_registry_harvests_bound_constants(self):
+        registry = build_registry(
+            [(FIXTURES / "sim302_neg.py", "sim302_neg.py")]
+        )
+        assert "OWNER_DT" in registry.dtype_bounds
+
+    def test_unannotated_constant_is_not_a_bound(self):
+        registry = build_registry(
+            [(FIXTURES / "sim302_pos.py", "sim302_pos.py")]
+        )
+        assert "UNBOUNDED_DT" not in registry.dtype_bounds
+
+    def test_fingerprint_tracks_contract_changes(self):
+        src = (FIXTURES / "sim301_pos.py").read_text()
+        a_contracts, a_bounds = harvest_module(src)
+        b_contracts, b_bounds = harvest_module(
+            src.replace('"lane_axis": "L"', '"lane_axis": None')
+        )
+        assert a_contracts != b_contracts
+
+    def test_in_tree_layouts_declare_contracts(self):
+        # the real engine/noc_gpu layout modules are the production
+        # source of truth; both contracts must harvest
+        files = [
+            (PACKAGE / "engine" / "layout.py", "engine/layout.py"),
+            (PACKAGE / "noc_gpu" / "layout.py", "noc_gpu/layout.py"),
+        ]
+        registry = build_registry(files)
+        assert "BatchState" in registry.contracts
+        assert "SimdState" in registry.contracts
+        assert registry.contracts["BatchState"].lane_axis == "L"
+        assert registry.contracts["SimdState"].lane_axis is None
+        for name in ("PORT_DTYPE", "VC_DTYPE", "OWNER_DTYPE", "PTR_DTYPE"):
+            assert name in registry.dtype_bounds
+
+
+class TestTreeWide:
+    def test_kernel_pass_is_clean_on_the_package(self, tmp_path):
+        report = kernels_lint_paths([PACKAGE], cache_dir=tmp_path)
+        assert report.violations == []
+        assert report.stats["kernel_modules"] >= 8
+        assert report.stats["contracts"] >= 2
+
+    def test_cache_round_trip(self, tmp_path):
+        first = kernels_lint_paths(
+            [FIXTURES], config=OPEN_CONFIG, cache_dir=tmp_path
+        )
+        assert first.stats["kernel_cache_hits"] == 0
+        second = kernels_lint_paths(
+            [FIXTURES], config=OPEN_CONFIG, cache_dir=tmp_path
+        )
+        assert second.stats["kernel_cache_misses"] == 0
+        assert len(second.violations) == len(first.violations)
+        assert (tmp_path / "arrays.json").is_file()

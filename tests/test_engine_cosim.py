@@ -107,6 +107,79 @@ class TestResolveEngine:
         assert "fallback" in record.getMessage()
 
 
+class TestFallbackProvenance:
+    """One test per unsupported-config cause.
+
+    Each asserts the full provenance chain: the reason logged on the
+    ``repro.engine`` logger at build time, and the ``engine_decision``
+    recorded on the result's network description after the run.
+    """
+
+    def _run_and_check(self, config, expect_in_reason, caplog):
+        with caplog.at_level(logging.INFO, logger="repro.engine"):
+            cosim = build_cosim(config, verify="off")
+        record = caplog.records[-1]
+        assert record.name == "repro.engine"
+        assert expect_in_reason in record.getMessage()
+        assert cosim.engine_decision.name == "oo"
+        assert expect_in_reason in cosim.engine_decision.reason
+        result = cosim.run(max_cycles=200)
+        provenance = result.network_description["engine"]
+        assert provenance["name"] == "oo"
+        assert provenance["kernel_version"] == OO_KERNEL_VERSION
+        return result
+
+    def test_non_simd_model(self, caplog):
+        config = TargetConfig(
+            width=4, height=4, app="water", scale=0.05
+        )  # default cycle model: not the simd kernels' scope
+        self._run_and_check(config, "network_model", caplog)
+
+    def _check_unbuildable(self, config, expect_in_reason, caplog):
+        # The OO SimdNetwork enforces the same limits as the batched
+        # kernels for these causes, so no result exists to stamp; the
+        # provenance contract here is the logged reason, the decision
+        # fields, and a ConfigError instead of a silent wrong answer.
+        with caplog.at_level(logging.INFO, logger="repro.engine"):
+            decision = resolve_engine(config, engine="auto")
+        record = caplog.records[-1]
+        assert record.name == "repro.engine"
+        assert expect_in_reason in record.getMessage()
+        assert decision.name == "oo"
+        assert expect_in_reason in decision.reason
+        assert decision.kernel_version == OO_KERNEL_VERSION
+        with pytest.raises(ConfigError):
+            build_cosim(config, verify="off")
+
+    def test_non_mesh_topology(self, caplog):
+        config = TargetConfig(
+            width=4, height=4, network_model="simd", topology="torus",
+            app="water", scale=0.05,
+        )
+        self._check_unbuildable(config, "topology", caplog)
+
+    def test_class_partition_vc_select(self, caplog):
+        config = TargetConfig(
+            width=4, height=4, network_model="simd",
+            noc=NocConfig(vc_select="class_partition"),
+            app="water", scale=0.05,
+        )
+        self._check_unbuildable(config, "vc_select", caplog)
+
+    def test_fault_injection(self, caplog):
+        from repro.resilience.faults import FaultConfig
+
+        config = TargetConfig(
+            width=4, height=4, network_model="simd",
+            app="water", scale=0.05,
+        )
+        # TargetConfig refuses simd+faults up front, which is exactly
+        # why resolve_engine must still answer for the combination: the
+        # campaign layer can hand it configs built field-by-field.
+        config.faults = FaultConfig(seed=3)
+        self._run_and_check(config, "fault injection", caplog)
+
+
 class TestBuildCosimSelection:
     def test_decision_recorded_on_cosim(self):
         cosim = build_cosim(_SIMD_MESH, verify="off")

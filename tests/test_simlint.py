@@ -303,6 +303,56 @@ class TestJsonFormat:
         assert ",endLine=" in proc.stdout
         assert ",endColumn=" in proc.stdout
 
+    def test_annotation_script_caps_at_ten_with_summary(self):
+        script = (
+            Path(__file__).parent.parent / "scripts" / "lint_annotations.py"
+        )
+        violations = [
+            {
+                "rule": "bare-assert",
+                "code": "SIM105",
+                "message": f"finding {i}",
+                "path": "pkg/mod.py",
+                "line": i + 1,
+                "col": 1,
+                "end_line": None,
+                "end_col": None,
+            }
+            for i in range(14)
+        ]
+        report = json.dumps(
+            {"ok": False, "count": 14, "violations": violations}
+        )
+        proc = subprocess.run(
+            [sys.executable, str(script)],
+            input=report,
+            capture_output=True,
+            text=True,
+        )
+        assert proc.returncode == 1
+        # GitHub drops annotations beyond 10 per step: cap and summarise
+        assert proc.stdout.count("::error ") == 10
+        assert "::notice title=simlint overflow" in proc.stdout
+        assert "4 further finding(s)" in proc.stdout
+        assert "SIM105 x4" in proc.stdout
+        # the totals line still reports every finding
+        assert "14 finding(s) annotated" in proc.stdout
+
+    def test_annotation_script_no_overflow_line_under_cap(self):
+        script = (
+            Path(__file__).parent.parent / "scripts" / "lint_annotations.py"
+        )
+        violations = lint_paths([FIXTURES], config=FIXTURE_CONFIG)
+        assert len(violations) <= 10
+        proc = subprocess.run(
+            [sys.executable, str(script)],
+            input=render_json(violations),
+            capture_output=True,
+            text=True,
+        )
+        assert proc.returncode == 1
+        assert "::notice" not in proc.stdout
+
     def test_annotation_script_clean_exits_zero(self):
         script = (
             Path(__file__).parent.parent / "scripts" / "lint_annotations.py"
