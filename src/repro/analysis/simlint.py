@@ -55,8 +55,16 @@ def _default_allow_paths() -> Dict[str, Tuple[str, ...]]:
     # else must account for wall-clock reads or unbounded loops with an
     # inline pragma.
     return {
-        "wall-clock": ("harness/*", "campaign/pool.py", "serve/*", "bench/*"),
-        "unbounded-loop": ("serve/*",),
+        "wall-clock": (
+            "harness/*",
+            "campaign/pool.py",
+            "serve/*",
+            "bench/*",
+            # chaos injects host-level faults (slow-commit delays, audit
+            # round deadlines) — wall-clock is its subject matter.
+            "chaos/*",
+        ),
+        "unbounded-loop": ("serve/*", "chaos/*"),
     }
 
 

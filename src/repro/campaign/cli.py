@@ -21,7 +21,7 @@ import sys
 from pathlib import Path
 from typing import List, Optional
 
-from ..errors import ConfigError
+from ..errors import ConfigError, StoreCorruptError, StoreIOError
 from ..harness.experiments import ALL_EXPERIMENTS
 from .engine import CampaignEngine
 from .report import campaign_report, campaign_status
@@ -187,7 +187,9 @@ def main(argv: Optional[List[str]] = None) -> int:
         if args.command == "report":
             return _cmd_report(args)
         return _cmd_status(args)
-    except ConfigError as exc:
+    except (ConfigError, StoreCorruptError, StoreIOError) as exc:
+        # Structured refusals (bad flags, a corrupt/unwritable store):
+        # an operator diagnostic, never a raw traceback.
         print(f"campaign: {exc}", file=sys.stderr)
         return 2
 

@@ -201,6 +201,7 @@ class CampaignEngine:
         skipped = counts["done"]
         executed = 0
         run_failures = 0
+        spawn_failures = 0  # consecutive; any successful spawn resets it
         # wall-time provenance of completed jobs drives the ETA
         wall_done: List[float] = []
 
@@ -222,8 +223,25 @@ class CampaignEngine:
                     pending.append(heapq.heappop(delayed)[2])
                 while pending and pool.has_capacity():
                     job = pending.popleft()
+                    try:
+                        worker = pool.submit(job.job_id, self._job_dict(job))
+                    except OSError as exc:
+                        # A failed spawn (fd/process exhaustion) is a host
+                        # fault, not the job's: put it back at the head of
+                        # the queue without burning a retry attempt, give
+                        # the host a beat to recover, and only give up
+                        # after a long run of consecutive failures.
+                        pending.appendleft(job)
+                        spawn_failures += 1
+                        if spawn_failures >= 25:
+                            raise ConfigError(
+                                f"worker spawn failed {spawn_failures} times "
+                                f"in a row; giving up: {exc}"
+                            ) from exc
+                        sleep_s(0.05)
+                        break
+                    spawn_failures = 0
                     jobs_by_id[job.job_id] = job
-                    worker = pool.submit(job.job_id, self._job_dict(job))
                     store.mark_running(job.job_id, worker)
                 if not pending and not pool.active and delayed:
                     # Nothing runnable until the next backoff delay elapses.

@@ -34,6 +34,13 @@ __all__ = [
     "sleep_s",
 ]
 
+#: chaos-injection shim (see :mod:`repro.chaos.inject`): when armed, called
+#: before every worker spawn.  It may raise ``OSError`` (simulating fd
+#: exhaustion) or return a callable the pool invokes with the just-started
+#: process (simulating an immediate SIGKILL).  ``None`` (the default) costs
+#: one identity check — the pool never imports chaos.
+CHAOS_SPAWN_HOOK = None
+
 
 def now_monotonic() -> float:
     """The sanctioned host-clock read for campaign scheduling decisions.
@@ -147,6 +154,8 @@ class WorkerPool:
             raise ConfigError("worker pool is full; wait() before submitting")
         if job_id in self._live:
             raise ConfigError(f"job {job_id} is already running")
+        hook = CHAOS_SPAWN_HOOK
+        after_spawn = hook() if hook is not None else None
         recv, send = self._ctx.Pipe(duplex=False)
         try:
             process = self._ctx.Process(
@@ -160,6 +169,8 @@ class WorkerPool:
             send.close()
             raise
         send.close()  # child holds the write end now
+        if after_spawn is not None:
+            after_spawn(process)
         worker = f"pid{process.pid}"
         deadline = None if self.timeout is None else time.monotonic() + self.timeout
         self._live[job_id] = _Live(job_id, process, recv, deadline, worker)

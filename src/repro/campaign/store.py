@@ -28,14 +28,20 @@ per-job durations come from ``time.monotonic`` in the worker instead
 from __future__ import annotations
 
 import json
+import os
 import sqlite3
 from pathlib import Path
 from typing import Dict, List, Optional, Sequence
 
-from ..errors import ConfigError
+from ..errors import ConfigError, StoreCorruptError, StoreIOError
 from .spec import CampaignSpec, JobSpec
 
 __all__ = ["ResultStore", "JobRow", "STORE_SCHEMA_VERSION"]
+
+#: chaos-injection shim (see :mod:`repro.chaos.inject`): when armed, called
+#: with the store before every transaction commit.  ``None`` (the default)
+#: costs one identity check — the store never imports chaos.
+CHAOS_COMMIT_HOOK = None
 
 #: bump on incompatible store-layout change
 STORE_SCHEMA_VERSION = 2
@@ -131,26 +137,103 @@ class ResultStore:
 
     def __init__(self, path: str | Path, cross_thread: bool = False) -> None:
         self.path = str(path)
+        self._conn: Optional[sqlite3.Connection] = None
         if self.path != ":memory:":
             Path(self.path).parent.mkdir(parents=True, exist_ok=True)
-        self._conn = sqlite3.connect(self.path, check_same_thread=not cross_thread)
-        self._conn.row_factory = sqlite3.Row
-        if self.path != ":memory:":
-            # WAL lets the serve daemon's reader connections see consistent
-            # snapshots while the single writer commits; the busy timeout
-            # absorbs the brief writer-vs-writer window on requeue paths.
-            # NORMAL sync is the standard WAL pairing (durable except power
-            # loss mid-checkpoint; a campaign re-runs the lost job anyway).
-            self._conn.execute("PRAGMA journal_mode=WAL")
-            self._conn.execute(f"PRAGMA busy_timeout={BUSY_TIMEOUT_MS}")
-            self._conn.execute("PRAGMA synchronous=NORMAL")
-        self._conn.executescript(_TABLES)
-        self._conn.commit()
+        preexisting = self.path != ":memory:" and Path(self.path).exists()
+        try:
+            self._conn = sqlite3.connect(
+                self.path, check_same_thread=not cross_thread
+            )
+            self._conn.row_factory = sqlite3.Row
+            if self.path != ":memory:":
+                # WAL lets the serve daemon's reader connections see consistent
+                # snapshots while the single writer commits; the busy timeout
+                # absorbs the brief writer-vs-writer window on requeue paths.
+                # NORMAL sync is the standard WAL pairing (durable except power
+                # loss mid-checkpoint; a campaign re-runs the lost job anyway).
+                self._conn.execute("PRAGMA journal_mode=WAL")
+                self._conn.execute(f"PRAGMA busy_timeout={BUSY_TIMEOUT_MS}")
+                self._conn.execute("PRAGMA synchronous=NORMAL")
+            if preexisting:
+                # Campaign databases are resumed and trusted as provenance;
+                # a torn page must never masquerade as completed work.  The
+                # stores are small (one row per job), so the full check is
+                # cheap relative to one simulation job.
+                verdict = self._conn.execute(
+                    "PRAGMA integrity_check"
+                ).fetchone()[0]
+                if verdict != "ok":
+                    self._quarantine(f"integrity_check: {verdict}")
+            self._conn.executescript(_TABLES)
+        except sqlite3.DatabaseError as exc:
+            # "file is not a database" and friends: quarantine, never a raw
+            # sqlite3 traceback out of the constructor.
+            self._quarantine(str(exc))
+        self._commit()
         found = self.get_meta("store_schema")
         if found is None:
             self.set_meta("store_schema", str(STORE_SCHEMA_VERSION))
         else:
             self._migrate(found)
+
+    def _quarantine(self, reason: str) -> None:
+        """Move a corrupt database aside and refuse to open it.
+
+        The rename frees ``self.path`` for a fresh store while preserving
+        the damaged bytes (and their WAL/SHM sidecars — a stale WAL must
+        never be replayed into a replacement database) for forensics.
+        """
+        if self._conn is not None:
+            try:
+                self._conn.close()
+            except sqlite3.Error:  # simlint: allow[swallowed-exception] — already corrupt
+                pass
+            self._conn = None
+        quarantined = ""
+        if self.path != ":memory:":
+            target = f"{self.path}.corrupt"
+            suffix = 0
+            while Path(target).exists():
+                suffix += 1
+                target = f"{self.path}.corrupt-{suffix}"
+            os.replace(self.path, target)
+            for sidecar in (f"{self.path}-wal", f"{self.path}-shm"):
+                if Path(sidecar).exists():
+                    os.replace(sidecar, f"{target}{sidecar[len(self.path):]}")
+            quarantined = target
+        raise StoreCorruptError(
+            f"{self.path}: store failed its opening integrity check "
+            f"({reason}); quarantined to {quarantined or 'nowhere (in-memory)'}"
+            " — resume from a fresh database",
+            path=self.path,
+            quarantined_to=quarantined,
+        )
+
+    def rollback(self) -> None:
+        """Discard the open transaction (error paths and crash simulation)."""
+        self._conn.rollback()
+
+    def _commit(self) -> None:
+        """Commit the open transaction, crash-safely.
+
+        Every mutation in this module funnels through here: the chaos shim
+        fires first (when armed), and a real ``sqlite3``/OS failure rolls
+        the transaction back and surfaces as a structured
+        :class:`~repro.errors.StoreIOError` — the connection stays usable,
+        so the caller may retry the whole state transition.
+        """
+        hook = CHAOS_COMMIT_HOOK
+        if hook is not None:
+            hook(self)
+        try:
+            self._conn.commit()
+        except (sqlite3.Error, OSError) as exc:
+            try:
+                self._conn.rollback()
+            except sqlite3.Error:  # simlint: allow[swallowed-exception] — txn already dead
+                pass
+            raise StoreIOError(f"{self.path}: commit failed: {exc}") from exc
 
     def _migrate(self, found: str) -> None:
         """Upgrade an older on-disk schema in place, one step at a time.
@@ -172,7 +255,7 @@ class ResultStore:
                 "UPDATE meta SET value = ? WHERE key = 'store_schema'",
                 (str(version),),
             )
-            self._conn.commit()
+            self._commit()
         if version != STORE_SCHEMA_VERSION:
             raise ConfigError(
                 f"{self.path}: campaign store schema {found} is not the "
@@ -201,7 +284,7 @@ class ResultStore:
             "ON CONFLICT(key) DO UPDATE SET value = excluded.value",
             (key, value),
         )
-        self._conn.commit()
+        self._commit()
 
     # -- campaign initialization ---------------------------------------
     def initialize(self, spec: CampaignSpec) -> bool:
@@ -239,7 +322,7 @@ class ResultStore:
                 for job in spec.expand()
             ],
         )
-        self._conn.commit()
+        self._commit()
         return fresh
 
     def add_jobs(self, jobs: Sequence[JobSpec]) -> int:
@@ -260,7 +343,7 @@ class ResultStore:
                 for job in jobs
             ],
         )
-        self._conn.commit()
+        self._commit()
         return self._conn.total_changes - before
 
     def requeue_one(self, job_id: str) -> bool:
@@ -274,7 +357,7 @@ class ResultStore:
             "WHERE job_id = ? AND status = 'failed'",
             (job_id,),
         )
-        self._conn.commit()
+        self._commit()
         return cur.rowcount == 1
 
     def discard_pending(self, job_id: str) -> bool:
@@ -289,7 +372,7 @@ class ResultStore:
             "AND attempts = 0",
             (job_id,),
         )
-        self._conn.commit()
+        self._commit()
         return cur.rowcount == 1
 
     def campaign_spec(self) -> CampaignSpec:
@@ -304,7 +387,7 @@ class ResultStore:
         cur = self._conn.execute(
             "UPDATE jobs SET status = 'pending', worker = NULL WHERE status = 'running'"
         )
-        self._conn.commit()
+        self._commit()
         return cur.rowcount
 
     def requeue_failed(self, max_attempts: int) -> int:
@@ -314,7 +397,7 @@ class ResultStore:
             "WHERE status = 'failed' AND attempts < ?",
             (max_attempts,),
         )
-        self._conn.commit()
+        self._commit()
         return cur.rowcount
 
     def pending_jobs(self) -> List[JobRow]:
@@ -377,7 +460,7 @@ class ResultStore:
         if cur.rowcount != 1:
             self._conn.rollback()
             raise ConfigError(f"unknown job id {job_id!r} in {self.path}")
-        self._conn.commit()
+        self._commit()
 
     # -- queries --------------------------------------------------------
     def get_job(self, job_id: str) -> JobRow:

@@ -1,0 +1,42 @@
+"""``repro.chaos`` — deterministic infrastructure fault injection.
+
+:mod:`repro.resilience` breaks the *simulated* network; this package
+breaks the *service substrate* underneath it — the SQLite result store,
+the worker pool, the serve scheduler and frontier, the checkpoint files —
+with the same discipline: a declarative :class:`~repro.chaos.schedule.ChaosConfig`
+compiles (seeded, deterministic) into a :class:`~repro.chaos.schedule.ChaosSchedule`,
+and a runtime :class:`~repro.chaos.inject.ChaosState` applies it through
+narrow hooks at the substrate's choke points.  When no schedule is armed
+every hook is a module-level ``None`` checked with one ``is not None`` —
+zero overhead, bit-identical behavior (enforced by test).
+
+:mod:`repro.chaos.audit` is the capstone: run a campaign or serve session
+under a crash schedule, restart whatever dies, and prove from store
+provenance that the substrate kept its exactly-once and byte-identical
+guarantees.  ``python -m repro chaos audit`` is the CLI face.
+"""
+
+from .audit import AuditReport, run_campaign_audit, run_serve_audit
+from .inject import ChaosState, arm, armed, disarm
+from .schedule import (
+    CRASH_POINTS,
+    ChaosConfig,
+    ChaosEvent,
+    ChaosSchedule,
+    compile_schedule,
+)
+
+__all__ = [
+    "CRASH_POINTS",
+    "AuditReport",
+    "ChaosConfig",
+    "ChaosEvent",
+    "ChaosSchedule",
+    "ChaosState",
+    "arm",
+    "armed",
+    "compile_schedule",
+    "disarm",
+    "run_campaign_audit",
+    "run_serve_audit",
+]

@@ -1,0 +1,394 @@
+"""The exactly-once auditor: run under chaos, restart, prove nothing broke.
+
+The audit is the capstone of :mod:`repro.chaos`: it runs a real campaign
+(or a real serve daemon) under an armed fault schedule, restarts whatever
+the schedule kills, and then proves **from store provenance alone** that
+the substrate kept its contracts:
+
+* every accepted job completed exactly once (status ``done``, attempts
+  recorded);
+* every result is byte-identical to a fault-free reference run of the
+  same grid — infrastructure faults may cost retries and restarts, never
+  bits;
+* no rejected submission was ever executed (no row, or a row that never
+  left ``pending`` with zero attempts);
+* the store holds no phantom rows the audit cannot account for.
+
+A failed audit is a *report* (:class:`AuditReport`, ``ok=False``), not an
+exception — :class:`~repro.errors.ChaosError` is reserved for harness
+failures such as a component that will not come back within the restart
+budget.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Set, Union
+
+from ..campaign.engine import CampaignEngine
+from ..campaign.spec import CampaignSpec
+from ..campaign.store import ResultStore
+from ..errors import (
+    BackpressureError,
+    ChaosCrash,
+    ChaosError,
+    ServeError,
+    StoreIOError,
+)
+from .inject import armed
+from .schedule import ChaosConfig, ChaosSchedule
+
+__all__ = ["AuditCheck", "AuditReport", "run_campaign_audit", "run_serve_audit"]
+
+
+@dataclass(frozen=True)
+class AuditCheck:
+    """One verified property of the post-chaos store."""
+
+    name: str
+    ok: bool
+    detail: str
+
+    def render(self) -> str:
+        return f"  [{'ok' if self.ok else 'FAIL'}] {self.name}: {self.detail}"
+
+
+@dataclass
+class AuditReport:
+    """The full verdict of one chaos audit."""
+
+    mode: str  # "campaign" | "serve"
+    eid: str
+    quick: bool
+    seed: int
+    restarts: int
+    fired: List[str] = field(default_factory=list)
+    checks: List[AuditCheck] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return all(check.ok for check in self.checks)
+
+    def render(self) -> str:
+        lines = [
+            f"chaos audit ({self.mode}, eid={self.eid}, quick={self.quick}, "
+            f"seed={self.seed}): {'PASS' if self.ok else 'FAIL'}",
+            f"  restarts: {self.restarts}",
+            f"  faults fired: {len(self.fired)}"
+            + (" (" + "; ".join(self.fired) + ")" if self.fired else ""),
+        ]
+        lines.extend(check.render() for check in self.checks)
+        return "\n".join(lines)
+
+
+def _reference_payloads(spec: CampaignSpec, workers: int) -> Dict[str, str]:
+    """Fault-free ground truth: ``{job_id: canonical payload text}``.
+
+    Runs the grid through the real campaign engine against an ephemeral
+    in-memory store — same code path as the chaotic run, minus the chaos.
+    Must be called while nothing is armed.
+    """
+    with ResultStore(":memory:") as store:
+        store.initialize(spec)
+        summary = CampaignEngine(
+            store, workers=workers, retries=0, progress=False
+        ).run()
+        if not summary.ok:
+            raise ChaosError(
+                f"fault-free reference run failed ({summary.failed} job(s)); "
+                "the audit needs a healthy baseline"
+            )
+        return {
+            row.job_id: row.payload
+            for row in store.all_jobs()
+            if row.status == "done"
+        }
+
+
+def _audit_store(
+    db_path: str,
+    reference: Dict[str, str],
+    rejected: Iterable[str] = (),
+) -> List[AuditCheck]:
+    """Prove the exactly-once and byte-identity contracts from provenance."""
+    rejected_ids = set(rejected) - set(reference)
+    checks: List[AuditCheck] = []
+    with ResultStore(db_path) as store:
+        rows = {row.job_id: row for row in store.all_jobs()}
+
+    missing = [jid for jid in reference if jid not in rows]
+    not_done = [
+        jid for jid in reference if jid in rows and rows[jid].status != "done"
+    ]
+    checks.append(
+        AuditCheck(
+            name="completed-exactly-once",
+            ok=not missing and not not_done,
+            detail=(
+                f"all {len(reference)} accepted jobs are done"
+                if not missing and not not_done
+                else f"{len(missing)} missing, {len(not_done)} not done "
+                f"(e.g. {(missing + not_done)[:3]})"
+            ),
+        )
+    )
+
+    mismatched = [
+        jid
+        for jid, payload in reference.items()
+        if jid in rows and rows[jid].status == "done"
+        and rows[jid].payload != payload
+    ]
+    checks.append(
+        AuditCheck(
+            name="byte-identical-payloads",
+            ok=not mismatched,
+            detail=(
+                "every payload matches the fault-free reference byte for byte"
+                if not mismatched
+                else f"{len(mismatched)} payload(s) differ (e.g. {mismatched[:3]})"
+            ),
+        )
+    )
+
+    executed_rejects = [
+        jid
+        for jid in rejected_ids
+        if jid in rows and (rows[jid].attempts or 0) > 0
+    ]
+    checks.append(
+        AuditCheck(
+            name="rejected-never-executed",
+            ok=not executed_rejects,
+            detail=(
+                f"none of {len(rejected_ids)} rejected submission(s) ran"
+                if not executed_rejects
+                else f"{len(executed_rejects)} rejected job(s) have attempts"
+            ),
+        )
+    )
+
+    phantoms = [
+        jid for jid in rows if jid not in reference and jid not in rejected_ids
+    ]
+    checks.append(
+        AuditCheck(
+            name="no-phantom-jobs",
+            ok=not phantoms,
+            detail=(
+                "every store row is accounted for"
+                if not phantoms
+                else f"{len(phantoms)} unexplained row(s) (e.g. {phantoms[:3]})"
+            ),
+        )
+    )
+
+    unattempted = [
+        jid
+        for jid in reference
+        if jid in rows and rows[jid].status == "done"
+        and (rows[jid].attempts or 0) < 1
+    ]
+    checks.append(
+        AuditCheck(
+            name="provenance-attempts-recorded",
+            ok=not unattempted,
+            detail=(
+                "every completed job records at least one attempt"
+                if not unattempted
+                else f"{len(unattempted)} done row(s) with zero attempts"
+            ),
+        )
+    )
+    return checks
+
+
+def run_campaign_audit(
+    config: Union[ChaosConfig, ChaosSchedule],
+    db_path: str,
+    eid: str = "demo",
+    quick: bool = True,
+    seed: Optional[int] = None,
+    workers: int = 2,
+    retries: int = 3,
+    max_restarts: int = 12,
+    checkpoint_dir: Optional[str] = None,
+) -> AuditReport:
+    """Run one campaign grid under ``config``; audit the surviving store.
+
+    Torn commits and injected crashes kill the engine mid-campaign; the
+    harness reopens the store and resumes — exactly what an operator's
+    ``--resume`` does — up to ``max_restarts`` times before giving up
+    with :class:`ChaosError`.
+    """
+    spec = CampaignSpec(experiments=(eid,), quick=quick, seed=seed)
+    reference = _reference_payloads(spec, workers)
+    restarts = 0
+    with armed(config, crash_mode="raise") as state:
+        while True:
+            try:
+                with ResultStore(db_path) as store:
+                    store.initialize(spec)
+                    CampaignEngine(
+                        store,
+                        workers=workers,
+                        retries=retries,
+                        progress=False,
+                        checkpoint_dir=checkpoint_dir,
+                    ).run()
+                break
+            except (ChaosCrash, StoreIOError):
+                restarts += 1
+                if restarts > max_restarts:
+                    raise ChaosError(
+                        f"campaign did not complete within {max_restarts} "
+                        "restarts; schedule too hostile or recovery is broken"
+                    ) from None
+        fired = list(state.fired)
+    return AuditReport(
+        mode="campaign",
+        eid=eid,
+        quick=quick,
+        seed=spec.seed_for(eid, 0),
+        restarts=restarts,
+        fired=fired,
+        checks=_audit_store(db_path, reference),
+    )
+
+
+def run_serve_audit(
+    config: Union[ChaosConfig, ChaosSchedule],
+    db_path: str,
+    eid: str = "demo",
+    quick: bool = True,
+    seed: Optional[int] = None,
+    workers: int = 2,
+    retries: int = 2,
+    max_restarts: int = 12,
+    round_timeout_s: float = 120.0,
+) -> AuditReport:
+    """Drive a real in-process serve daemon under ``config``; audit.
+
+    Jobs are submitted over loopback HTTP by a retrying
+    :class:`~repro.serve.client.ServeClient`; a crashed scheduler (or a
+    daemon that dropped an ack) is answered the way an operator would —
+    stop the daemon, start a new one on the same database, let recovery
+    re-admit the pending rows — up to ``max_restarts`` times.
+    """
+    from ..serve.client import ServeClient
+    from ..serve.server import ServeConfig, ServeDaemon
+
+    spec = CampaignSpec(experiments=(eid,), quick=quick, seed=seed)
+    jobs = spec.expand()
+    reference = _reference_payloads(spec, workers)
+    rejected: Set[str] = set()
+    restarts = 0
+    with armed(config, crash_mode="raise") as state:
+        unsubmitted = {job.job_id: job for job in jobs}
+        while True:
+            daemon = None
+            done = False
+            try:
+                daemon = ServeDaemon(
+                    ServeConfig(
+                        port=0,
+                        db=db_path,
+                        workers=workers,
+                        retries=retries,
+                        max_queue=max(64, len(jobs) + 8),
+                    )
+                )
+                state.bind_metrics(daemon.metrics)
+                daemon.start()
+                client = ServeClient(
+                    port=daemon.port,
+                    client_id="chaos-audit",
+                    retries=4,
+                    backoff_s=0.05,
+                    backoff_cap_s=0.5,
+                )
+                for job_id, job in list(unsubmitted.items()):
+                    try:
+                        ack = client.submit(
+                            job.eid,
+                            point_index=job.point_index,
+                            quick=job.quick,
+                            seed=job.seed,
+                            replicate=job.replicate,
+                        )
+                    except BackpressureError:
+                        # A definitive refusal (429): the daemon promised
+                        # this submission was not accepted.  The audit
+                        # holds it to that unless a later round admits it.
+                        rejected.add(job_id)
+                        continue
+                    except ServeError as exc:
+                        if exc.status == 0:
+                            # Connection-level failure: the ack was lost,
+                            # acceptance is *indeterminate* — exactly the
+                            # window the durability contract covers.  A
+                            # later round's idempotent resubmission joins
+                            # or re-admits; never call this "rejected".
+                            continue
+                        rejected.add(job_id)  # definitive HTTP refusal (503)
+                        continue
+                    if ack.get("job_id") != job_id:  # pragma: no cover
+                        raise ChaosError(
+                            f"daemon hashed job to {ack.get('job_id')}, "
+                            f"audit expected {job_id}"
+                        )
+                    rejected.discard(job_id)
+                    del unsubmitted[job_id]
+                done = _poll_serve_round(daemon, reference, round_timeout_s)
+            except (ChaosCrash, StoreIOError):
+                # The daemon (or its store) died outside a component that
+                # handles its own faults — e.g. mid-construction.  Treat
+                # it like any other crash: restart the instance.
+                done = False
+            finally:
+                if daemon is not None:
+                    daemon.stop()
+            if done and not unsubmitted:
+                break
+            restarts += 1
+            if restarts > max_restarts:
+                raise ChaosError(
+                    f"serve session did not complete within {max_restarts} "
+                    "restarts; schedule too hostile or recovery is broken"
+                )
+        fired = list(state.fired)
+    # A job rejected in one round but accepted in a later one was, in the
+    # end, accepted: it belongs to the completed set, not the rejected one.
+    rejected -= set(reference) - set(unsubmitted)
+    return AuditReport(
+        mode="serve",
+        eid=eid,
+        quick=quick,
+        seed=spec.seed_for(eid, 0),
+        restarts=restarts,
+        fired=fired,
+        checks=_audit_store(db_path, reference, rejected),
+    )
+
+
+def _poll_serve_round(
+    daemon, reference: Dict[str, str], timeout_s: float
+) -> bool:
+    """Wait until every reference job is committed, or the daemon dies.
+
+    Returns True when the round finished the whole grid.  Polls the
+    daemon's own cache (never the store directly — an audit probe must
+    not consume the armed schedule's commit ordinals).
+    """
+    deadline = time.monotonic() + timeout_s
+    while time.monotonic() < deadline:
+        if daemon.scheduler.crashed:
+            return False
+        if all(daemon.cache.lookup(jid) is not None for jid in reference):
+            return True
+        time.sleep(0.05)
+    raise ChaosError(
+        f"serve round made no progress within {timeout_s}s "
+        "(jobs wedged, not crashed — that is a bug, not chaos)"
+    )

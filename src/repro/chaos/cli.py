@@ -1,0 +1,170 @@
+"""``python -m repro chaos`` — compile fault schedules and run audits.
+
+Examples::
+
+    python -m repro chaos show --seed 7 --torn-commits 1 --worker-kills 2
+    python -m repro chaos audit --mode campaign --torn-commits 1 --retries 3
+    python -m repro chaos audit --mode serve --crash-point serve.submit.before-ack
+
+``show`` compiles a :class:`~repro.chaos.schedule.ChaosConfig` and prints
+the deterministic event list — useful for understanding exactly what an
+audit is about to break.  ``audit`` runs the full crash-consistency
+audit: a real campaign (or serve daemon) under the armed schedule,
+restarts on every injected death, then the exactly-once / byte-identity
+verdict from store provenance.
+
+Exit codes: 0 — audit passed (or ``show``); 1 — audit FAILED (a contract
+was broken); 2 — configuration or harness error.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+import tempfile
+from typing import List, Optional
+
+from ..errors import ChaosError, ConfigError
+from .audit import run_campaign_audit, run_serve_audit
+from .schedule import CRASH_POINTS, ChaosConfig, compile_schedule
+
+__all__ = ["build_parser", "main"]
+
+
+def _chaos_flags(parser: argparse.ArgumentParser) -> None:
+    group = parser.add_argument_group("fault schedule")
+    group.add_argument("--seed", type=int, default=0)
+    group.add_argument(
+        "--window", type=int, default=8,
+        help="fault ordinals are drawn uniformly from [1, window] "
+        "per choke point (default: %(default)s)",
+    )
+    group.add_argument("--store-io-errors", type=int, default=0)
+    group.add_argument("--disk-full-errors", type=int, default=0)
+    group.add_argument("--torn-commits", type=int, default=0)
+    group.add_argument("--slow-commits", type=int, default=0)
+    group.add_argument("--slow-delay-s", type=float, default=0.05)
+    group.add_argument("--worker-kills", type=int, default=0)
+    group.add_argument("--spawn-failures", type=int, default=0)
+    group.add_argument("--checkpoint-tears", type=int, default=0)
+    group.add_argument(
+        "--crash-point", action="append", default=[], metavar="POINT",
+        choices=list(CRASH_POINTS), dest="crash_points",
+        help=f"named crash point (repeatable); one of: {', '.join(CRASH_POINTS)}",
+    )
+
+
+def _config_from(args: argparse.Namespace) -> ChaosConfig:
+    return ChaosConfig(
+        seed=args.seed,
+        window=args.window,
+        store_io_errors=args.store_io_errors,
+        disk_full_errors=args.disk_full_errors,
+        torn_commits=args.torn_commits,
+        slow_commits=args.slow_commits,
+        slow_delay_s=args.slow_delay_s,
+        worker_kills=args.worker_kills,
+        spawn_failures=args.spawn_failures,
+        checkpoint_tears=args.checkpoint_tears,
+        crash_points=tuple(args.crash_points),
+    )
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro chaos",
+        description="Deterministic infrastructure fault injection and the "
+        "crash-consistency audit for the campaign/serve substrate.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    show = sub.add_parser("show", help="compile and print a fault schedule")
+    _chaos_flags(show)
+    show.add_argument(
+        "--json", action="store_true", help="machine-readable output"
+    )
+
+    audit = sub.add_parser(
+        "audit", help="run the exactly-once crash-consistency audit"
+    )
+    _chaos_flags(audit)
+    audit.add_argument(
+        "--mode", default="campaign", choices=["campaign", "serve"],
+        help="drive the campaign engine directly or a full in-process "
+        "serve daemon (default: %(default)s)",
+    )
+    audit.add_argument(
+        "--eid", default="demo",
+        help="experiment grid to run (default: %(default)s)",
+    )
+    audit.add_argument("--quick", action="store_true", default=True)
+    audit.add_argument(
+        "--full", action="store_false", dest="quick",
+        help="audit the full (not quick) grid — slow",
+    )
+    audit.add_argument("--run-seed", type=int, default=None,
+                       help="experiment seed (default: the experiment's own)")
+    audit.add_argument("--workers", type=int, default=2)
+    audit.add_argument(
+        "--retries", type=int, default=3,
+        help="per-job retry budget for the audited engine/daemon",
+    )
+    audit.add_argument(
+        "--max-restarts", type=int, default=12,
+        help="give up (exit 2) after this many injected-death restarts",
+    )
+    audit.add_argument(
+        "--db", default=None, metavar="PATH",
+        help="campaign/serve database (default: a fresh temporary file)",
+    )
+    return parser
+
+
+def _cmd_show(args: argparse.Namespace) -> int:
+    schedule = compile_schedule(_config_from(args))
+    if args.json:
+        print(json.dumps(schedule.describe(), indent=2, sort_keys=True))
+        return 0
+    print(f"chaos schedule (seed={schedule.config.seed}, "
+          f"window={schedule.config.window}):")
+    if not schedule.events:
+        print("  (no faults)")
+    for event in schedule.events:
+        print(f"  {event.describe()}")
+    return 0
+
+
+def _cmd_audit(args: argparse.Namespace) -> int:
+    config = _config_from(args)
+    runner = run_campaign_audit if args.mode == "campaign" else run_serve_audit
+    with tempfile.TemporaryDirectory(prefix="repro-chaos-") as scratch:
+        db_path = args.db or os.path.join(scratch, "audit.db")
+        report = runner(
+            config,
+            db_path=db_path,
+            eid=args.eid,
+            quick=args.quick,
+            seed=args.run_seed,
+            workers=args.workers,
+            retries=args.retries,
+            max_restarts=args.max_restarts,
+        )
+    print(report.render())
+    return 0 if report.ok else 1
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    try:
+        if args.command == "show":
+            return _cmd_show(args)
+        return _cmd_audit(args)
+    except (ChaosError, ConfigError) as exc:
+        print(f"chaos: {exc}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    sys.exit(main())

@@ -1,0 +1,244 @@
+"""Arm a chaos schedule onto the service substrate's choke-point hooks.
+
+Each substrate module exposes one module-level hook global that defaults
+to ``None`` (``repro.campaign.store.CHAOS_COMMIT_HOOK``,
+``repro.campaign.pool.CHAOS_SPAWN_HOOK``,
+``repro.resilience.checkpoint.CHAOS_SAVE_HOOK``, and the
+``CHAOS_CRASH_HOOK`` globals in ``repro.serve.scheduler`` /
+``repro.serve.server``).  The shim at every choke point is a single
+``if HOOK is not None`` — when nothing is armed the substrate runs its
+exact pre-chaos code path, which is what the zero-overhead equivalence
+test pins down.
+
+:func:`arm` compiles (if needed) and installs a schedule, returning the
+live :class:`ChaosState`; :func:`disarm` restores every hook to ``None``.
+One schedule is armed at a time, process-wide — chaos is a property of
+the process under test, not of a call stack.  With the default ``fork``
+start method worker processes inherit the armed hooks, which is how
+checkpoint tears fire on the worker side of the pipe.
+
+Crash semantics come in two modes:
+
+* ``crash_mode="raise"`` (default) raises :class:`~repro.errors.ChaosCrash`
+  — a ``BaseException`` that generic handlers must not swallow — so
+  in-process harnesses can observe the death and restart the component;
+* ``crash_mode="exit"`` calls ``os._exit(86)``: the real thing, for
+  subprocess audits (the smoke script's daemon-crash scenario).
+"""
+
+from __future__ import annotations
+
+import contextlib
+import errno
+import os
+import threading
+import time
+from typing import Callable, Dict, Iterator, List, Optional, Union
+
+from ..errors import ChaosCrash, ChaosError, StoreIOError
+from .schedule import ChaosConfig, ChaosEvent, ChaosSchedule, compile_schedule
+
+__all__ = ["ChaosState", "arm", "armed", "disarm"]
+
+#: process exit code used by ``crash_mode="exit"`` (distinctive on purpose:
+#: a subprocess audit asserts the death was the scheduled one)
+CRASH_EXIT_CODE = 86
+
+#: metric series name for injected faults (label: kind, op).  The literal
+#: carries the serve prefix so chaos needs no import from the serve layer.
+INJECTED_METRIC = "repro_serve_chaos_injected_total"
+
+
+class ChaosState:
+    """The live per-process fault state behind the armed hooks.
+
+    Thread-safe: the serve daemon fires hooks from the asyncio frontier,
+    the scheduler thread, and (forked) worker processes.  Counters are
+    per-process — a forked worker counts its own checkpoint saves.
+    """
+
+    def __init__(
+        self,
+        schedule: ChaosSchedule,
+        crash_mode: str = "raise",
+        metrics=None,
+    ) -> None:
+        if crash_mode not in ("raise", "exit"):
+            raise ChaosError(
+                f"crash_mode must be 'raise' or 'exit', got {crash_mode!r}"
+            )
+        self.schedule = schedule
+        self.crash_mode = crash_mode
+        self._metrics = metrics
+        self._lock = threading.Lock()
+        self._counts: Dict[str, int] = {}
+        self._pending: Dict[str, Dict[int, ChaosEvent]] = {}
+        for event in schedule.events:
+            self._pending.setdefault(event.op, {})[event.nth] = event
+        #: descriptions of every event that actually fired, in firing order
+        self.fired: List[str] = []
+
+    def bind_metrics(self, metrics) -> None:
+        """Point injected-fault counters at a (new) daemon's registry."""
+        self._metrics = metrics
+
+    def counts(self) -> Dict[str, int]:
+        """Operations seen so far, per choke point."""
+        with self._lock:
+            return dict(self._counts)
+
+    # -- internals ------------------------------------------------------
+    def _next(self, op: str) -> Optional[ChaosEvent]:
+        """Count one pass of ``op``; returns the event due at it, if any."""
+        with self._lock:
+            ordinal = self._counts.get(op, 0) + 1
+            self._counts[op] = ordinal
+            event = self._pending.get(op, {}).pop(ordinal, None)
+            if event is not None:
+                self.fired.append(event.describe())
+        if event is not None and self._metrics is not None:
+            self._metrics.inc(
+                INJECTED_METRIC,
+                "Infrastructure faults injected by the armed chaos schedule.",
+                kind=event.kind,
+                op=event.op,
+            )
+        return event
+
+    def _crash(self, point: str) -> None:
+        if self.crash_mode == "exit":
+            os._exit(CRASH_EXIT_CODE)
+        raise ChaosCrash(point)
+
+    # -- hook implementations (installed by arm()) ----------------------
+    def on_store_commit(self, store) -> None:
+        """``ResultStore._commit`` shim: fail, tear, or delay this commit."""
+        event = self._next("store.commit")
+        if event is None:
+            return
+        if event.kind == "slow":
+            time.sleep(self.schedule.config.slow_delay_s)
+            return
+        # Everything else loses the open transaction, exactly as the real
+        # failure would before the WAL frame became durable.
+        store.rollback()
+        if event.kind == "torn":
+            self._crash(f"store.commit#{event.nth}")
+        if event.kind == "disk-full":
+            raise StoreIOError(
+                f"{store.path}: commit failed: [Errno {errno.ENOSPC}] "
+                f"no space left on device (chaos store.commit#{event.nth})"
+            )
+        raise StoreIOError(
+            f"{store.path}: commit failed: disk I/O error "
+            f"(chaos store.commit#{event.nth})"
+        )
+
+    def on_pool_spawn(self) -> Optional[Callable]:
+        """``WorkerPool.submit`` shim, called before the process starts.
+
+        Raises ``OSError`` for a spawn failure; for a kill, returns a
+        callable the pool invokes with the started process.
+        """
+        event = self._next("pool.spawn")
+        if event is None:
+            return None
+        if event.kind == "spawn-fail":
+            raise OSError(
+                errno.EMFILE,
+                f"too many open files (chaos pool.spawn#{event.nth})",
+            )
+        return _kill_worker
+
+    def on_checkpoint_save(self, path: str) -> None:
+        """``save_checkpoint`` shim: tear the snapshot that was just renamed.
+
+        Truncating *after* the atomic rename models a torn write the rename
+        itself cannot prevent (power cut before the data blocks hit disk):
+        the file exists, its header may parse, but its body is gone.
+        """
+        event = self._next("checkpoint.save")
+        if event is None:
+            return
+        size = os.path.getsize(path)
+        with open(path, "r+b") as fh:
+            fh.truncate(max(1, size // 2))
+
+    def on_crash_point(self, point: str) -> None:
+        """Named-crash-point shim (serve frontier and scheduler)."""
+        event = self._next(point)
+        if event is not None:
+            self._crash(f"{point}#{event.nth}")
+
+
+def _kill_worker(process) -> None:
+    """SIGKILL a just-spawned worker (no grace — that is the point)."""
+    process.kill()
+
+
+#: the one armed state, process-wide (None: substrate runs untouched)
+_ARMED: Optional[ChaosState] = None
+_ARM_LOCK = threading.Lock()
+
+
+def arm(
+    schedule: Union[ChaosConfig, ChaosSchedule],
+    crash_mode: str = "raise",
+    metrics=None,
+) -> ChaosState:
+    """Install ``schedule`` (a config compiles first) onto every hook.
+
+    Returns the live :class:`ChaosState`.  Raises :class:`ChaosError` if a
+    schedule is already armed — overlapping schedules would make the fired
+    ordinals meaningless.
+    """
+    global _ARMED
+    if isinstance(schedule, ChaosConfig):
+        schedule = compile_schedule(schedule)
+    state = ChaosState(schedule, crash_mode=crash_mode, metrics=metrics)
+    # Deferred imports: the substrate must never import chaos, and chaos
+    # only touches the substrate when actually armed.
+    from ..campaign import pool, store
+    from ..resilience import checkpoint
+    from ..serve import scheduler, server
+
+    with _ARM_LOCK:
+        if _ARMED is not None:
+            raise ChaosError("a chaos schedule is already armed; disarm() first")
+        store.CHAOS_COMMIT_HOOK = state.on_store_commit
+        pool.CHAOS_SPAWN_HOOK = state.on_pool_spawn
+        checkpoint.CHAOS_SAVE_HOOK = state.on_checkpoint_save
+        scheduler.CHAOS_CRASH_HOOK = state.on_crash_point
+        server.CHAOS_CRASH_HOOK = state.on_crash_point
+        _ARMED = state
+    return state
+
+
+def disarm() -> None:
+    """Restore every hook to ``None`` (idempotent)."""
+    global _ARMED
+    from ..campaign import pool, store
+    from ..resilience import checkpoint
+    from ..serve import scheduler, server
+
+    with _ARM_LOCK:
+        store.CHAOS_COMMIT_HOOK = None
+        pool.CHAOS_SPAWN_HOOK = None
+        checkpoint.CHAOS_SAVE_HOOK = None
+        scheduler.CHAOS_CRASH_HOOK = None
+        server.CHAOS_CRASH_HOOK = None
+        _ARMED = None
+
+
+@contextlib.contextmanager
+def armed(
+    schedule: Union[ChaosConfig, ChaosSchedule],
+    crash_mode: str = "raise",
+    metrics=None,
+) -> Iterator[ChaosState]:
+    """``with armed(config) as state:`` — arm on entry, disarm on exit."""
+    state = arm(schedule, crash_mode=crash_mode, metrics=metrics)
+    try:
+        yield state
+    finally:
+        disarm()

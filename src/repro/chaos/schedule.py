@@ -1,0 +1,238 @@
+"""Seeded infrastructure fault schedules: ``ChaosConfig → compile_schedule``.
+
+The design mirrors :mod:`repro.resilience.faults`: a frozen config says
+*how much* to break, the compiler turns it into a fully deterministic list
+of :class:`ChaosEvent` s, and the same ``(seed, counts)`` always compiles
+to the same schedule on every machine — a chaotic run is exactly as
+reproducible as a clean one.
+
+Where the resilience schedule is indexed by *simulated cycle*, an
+infrastructure schedule is indexed by **operation ordinal**: "the 3rd
+store commit fails with an I/O error", "the 2nd worker spawn is
+SIGKILLed", "the daemon dies at its 1st pass through the
+``serve.submit.before-ack`` crash point".  Ordinals are drawn without
+replacement from ``[1, window]`` per choke point, so one schedule never
+stacks two faults on the same operation.
+
+Choke points and their fault kinds:
+
+=====================  ==========================================================
+operation              kinds
+=====================  ==========================================================
+``store.commit``       ``io-error`` (sqlite disk I/O error), ``disk-full``
+                       (ENOSPC), ``torn`` (transaction rolled back *and* the
+                       process dies — the power-cut signature), ``slow``
+                       (commit delayed by ``slow_delay_s``)
+``pool.spawn``         ``spawn-fail`` (``OSError`` EMFILE — fd exhaustion),
+                       ``kill`` (worker SIGKILLed right after spawn)
+``checkpoint.save``    ``tear`` (the snapshot file is truncated after the
+                       atomic rename — a torn write)
+crash points           ``crash`` (the process dies at a named code location;
+                       see :data:`CRASH_POINTS`)
+=====================  ==========================================================
+"""
+
+from __future__ import annotations
+
+from dataclasses import asdict, dataclass
+from typing import Dict, List, Tuple
+
+from ..errors import ChaosError
+from ..util import Rng, check_non_negative, derive_seed
+
+__all__ = [
+    "CRASH_POINTS",
+    "ChaosConfig",
+    "ChaosEvent",
+    "ChaosSchedule",
+    "compile_schedule",
+]
+
+#: every named crash point a schedule may target.  Each is a single
+#: ``CHAOS_CRASH_HOOK`` call in the serve layer:
+#:
+#: * ``serve.submit.before-ack`` — after the pending row is durable and the
+#:   job is queued, before the 200 acknowledgement is written (the
+#:   accepted-but-unacked window the durability contract exists for);
+#: * ``scheduler.after-mark-running`` — a job's process is live and its row
+#:   says ``running``, but the scheduler dies before ever collecting it;
+#: * ``scheduler.before-commit`` — a worker finished, but the scheduler
+#:   dies before committing the result (the work must be redone, and redone
+#:   byte-identically).
+CRASH_POINTS: Tuple[str, ...] = (
+    "serve.submit.before-ack",
+    "scheduler.after-mark-running",
+    "scheduler.before-commit",
+)
+
+
+@dataclass(frozen=True)
+class ChaosConfig:
+    """How much infrastructure to break, described declaratively."""
+
+    seed: int = 0
+    #: operation ordinals are drawn uniformly from [1, window] per choke point
+    window: int = 8
+    #: store commits answered with a wrapped sqlite "disk I/O error"
+    store_io_errors: int = 0
+    #: store commits answered with ENOSPC
+    disk_full_errors: int = 0
+    #: store commits rolled back followed by simulated process death
+    torn_commits: int = 0
+    #: store commits delayed by ``slow_delay_s``
+    slow_commits: int = 0
+    #: delay per slow commit, seconds
+    slow_delay_s: float = 0.05
+    #: worker processes SIGKILLed immediately after spawn
+    worker_kills: int = 0
+    #: worker spawns that fail with OSError (fd exhaustion)
+    spawn_failures: int = 0
+    #: checkpoint snapshot files truncated after their atomic rename
+    checkpoint_tears: int = 0
+    #: named crash points (:data:`CRASH_POINTS`); each fires once, at a
+    #: seeded ordinal of its own pass counter
+    crash_points: Tuple[str, ...] = ()
+
+    def __post_init__(self) -> None:
+        if isinstance(self.crash_points, list):  # JSON round-trip convenience
+            object.__setattr__(self, "crash_points", tuple(self.crash_points))
+        for name in (
+            "store_io_errors",
+            "disk_full_errors",
+            "torn_commits",
+            "slow_commits",
+            "worker_kills",
+            "spawn_failures",
+            "checkpoint_tears",
+        ):
+            try:
+                check_non_negative(getattr(self, name), name)
+            except Exception as exc:
+                raise ChaosError(str(exc)) from exc
+        if self.window < 1:
+            raise ChaosError(f"window must be >= 1, got {self.window}")
+        if self.slow_delay_s < 0:
+            raise ChaosError(f"slow_delay_s must be >= 0, got {self.slow_delay_s}")
+        for point in self.crash_points:
+            if point not in CRASH_POINTS:
+                raise ChaosError(
+                    f"unknown crash point {point!r}; known points: "
+                    + ", ".join(CRASH_POINTS)
+                )
+        if len(set(self.crash_points)) != len(self.crash_points):
+            raise ChaosError(f"duplicate crash points in {self.crash_points!r}")
+        store_faults = (
+            self.store_io_errors
+            + self.disk_full_errors
+            + self.torn_commits
+            + self.slow_commits
+        )
+        if store_faults > self.window:
+            raise ChaosError(
+                f"{store_faults} store faults do not fit in a window of "
+                f"{self.window} commits (raise window=)"
+            )
+        if self.worker_kills + self.spawn_failures > self.window:
+            raise ChaosError(
+                f"{self.worker_kills + self.spawn_failures} pool faults do "
+                f"not fit in a window of {self.window} spawns (raise window=)"
+            )
+        if self.checkpoint_tears > self.window:
+            raise ChaosError(
+                f"{self.checkpoint_tears} checkpoint tears do not fit in a "
+                f"window of {self.window} saves (raise window=)"
+            )
+
+    @property
+    def any_faults(self) -> bool:
+        """True if this config injects anything at all."""
+        return bool(
+            self.store_io_errors
+            or self.disk_full_errors
+            or self.torn_commits
+            or self.slow_commits
+            or self.worker_kills
+            or self.spawn_failures
+            or self.checkpoint_tears
+            or self.crash_points
+        )
+
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-safe form (``ChaosConfig(**d)`` round-trips)."""
+        data = asdict(self)
+        data["crash_points"] = list(self.crash_points)
+        return data
+
+
+@dataclass(frozen=True)
+class ChaosEvent:
+    """One scheduled infrastructure fault: which operation, which pass."""
+
+    op: str  # "store.commit" | "pool.spawn" | "checkpoint.save" | a crash point
+    nth: int  # 1-based pass ordinal of ``op`` at which the fault fires
+    kind: str  # see the module table
+
+    def describe(self) -> str:
+        return f"{self.op}#{self.nth}: {self.kind}"
+
+
+@dataclass(frozen=True)
+class ChaosSchedule:
+    """A compiled, deterministic infrastructure fault schedule."""
+
+    config: ChaosConfig
+    events: Tuple[ChaosEvent, ...]
+
+    def describe(self) -> Dict[str, object]:
+        return {
+            "seed": self.config.seed,
+            "window": self.config.window,
+            "events": [event.describe() for event in self.events],
+        }
+
+
+def _draw_ordinals(rng: Rng, window: int, count: int) -> List[int]:
+    """``count`` distinct ordinals from [1, window], ascending."""
+    candidates = list(range(1, window + 1))
+    rng.shuffle(candidates)
+    return sorted(candidates[:count])
+
+
+def compile_schedule(config: ChaosConfig) -> ChaosSchedule:
+    """Compile a :class:`ChaosConfig` into a deterministic schedule.
+
+    Per choke point, fault kinds are shuffled together and assigned to
+    ordinals drawn without replacement — both from a stream seeded by
+    ``derive_seed(config.seed, "chaos-schedule")``, never from wall-clock
+    state, so the schedule is a pure function of the config.
+    """
+    rng = Rng(derive_seed(config.seed, "chaos-schedule"), "chaos")
+    events: List[ChaosEvent] = []
+
+    store_kinds = (
+        ["io-error"] * config.store_io_errors
+        + ["disk-full"] * config.disk_full_errors
+        + ["torn"] * config.torn_commits
+        + ["slow"] * config.slow_commits
+    )
+    rng.shuffle(store_kinds)
+    for nth, kind in zip(_draw_ordinals(rng, config.window, len(store_kinds)), store_kinds):
+        events.append(ChaosEvent(op="store.commit", nth=nth, kind=kind))
+
+    pool_kinds = ["kill"] * config.worker_kills + ["spawn-fail"] * config.spawn_failures
+    rng.shuffle(pool_kinds)
+    for nth, kind in zip(_draw_ordinals(rng, config.window, len(pool_kinds)), pool_kinds):
+        events.append(ChaosEvent(op="pool.spawn", nth=nth, kind=kind))
+
+    for nth in _draw_ordinals(rng, config.window, config.checkpoint_tears):
+        events.append(ChaosEvent(op="checkpoint.save", nth=nth, kind="tear"))
+
+    # Crash points are iterated in their canonical order (not submission
+    # order) so the schedule never depends on how the config was spelled.
+    for point in sorted(config.crash_points):
+        events.append(
+            ChaosEvent(op=point, nth=rng.randint(1, config.window + 1), kind="crash")
+        )
+
+    events.sort(key=lambda event: (event.op, event.nth))
+    return ChaosSchedule(config=config, events=tuple(events))

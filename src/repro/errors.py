@@ -106,3 +106,66 @@ class CheckpointError(ReproError):
     attempt to restore a checkpoint into a different configuration than the
     one that produced it.
     """
+
+
+class CheckpointCorruptError(CheckpointError):
+    """A checkpoint file failed content verification *before* deserializing.
+
+    Raised when the recorded SHA-256 does not match the body bytes, or the
+    file is truncated/garbled — i.e. a torn write.  Distinct from plain
+    :class:`CheckpointError` (version skew, wrong configuration) because the
+    safe reaction differs: a torn snapshot is discarded and the run restarts
+    from cycle 0, whereas skew/config mismatches are caller bugs.
+    """
+
+
+class StoreIOError(ReproError):
+    """The campaign result store could not durably commit a transaction.
+
+    Wraps the underlying ``sqlite3``/``OSError`` (disk full, I/O error,
+    database locked beyond the busy timeout).  The transaction has been
+    rolled back; the connection remains usable, so callers may retry the
+    whole state transition.
+    """
+
+
+class StoreCorruptError(ReproError):
+    """The campaign result store failed its opening integrity check.
+
+    The damaged file has been quarantined (renamed aside, path in
+    ``quarantined_to``) so no writer can extend a corrupt database and no
+    resume can trust rows from one; the original path is free for a fresh
+    store.
+    """
+
+    def __init__(self, message: str, path: str = "", quarantined_to: str = "") -> None:
+        super().__init__(message)
+        self.path = path
+        self.quarantined_to = quarantined_to
+
+
+class ChaosError(ReproError):
+    """A chaos schedule is invalid or an audit could not be carried out.
+
+    Configuration mistakes (negative counts, unknown crash points) and
+    audit-harness failures (component would not restart within budget)
+    raise this; *audit verdicts* do not — a failed audit is a report, not
+    an exception.
+    """
+
+
+class ChaosCrash(BaseException):
+    """A simulated process death injected by :mod:`repro.chaos`.
+
+    Deliberately **not** a :class:`ReproError` — not even an
+    :class:`Exception` — because a crash is not a condition to handle:
+    generic ``except Exception`` recovery paths must not swallow it, exactly
+    as they could not swallow a real SIGKILL.  Only chaos-aware restart
+    harnesses (the audit loop, the scheduler's crash latch) may catch it,
+    and their reaction must be "the component died; restart it", never
+    "carry on".
+    """
+
+    def __init__(self, point: str) -> None:
+        super().__init__(f"chaos: simulated crash at {point}")
+        self.point = point

@@ -13,6 +13,7 @@ Examples::
     python -m repro resilience run --link-failures 2 --corrupt-rate 0.005
     python -m repro serve start --db serve.db --workers 4
     python -m repro bench run --quick
+    python -m repro chaos audit --mode campaign --torn-commits 1
 
 Results print as the same fixed-width tables the benchmark suite saves.
 ``--check-invariants`` installs the runtime invariant checker
@@ -20,7 +21,7 @@ Results print as the same fixed-width tables the benchmark suite saves.
 build.
 
 Tool subcommands (``lint``, ``verify``, ``campaign``, ``resilience``,
-``serve``, ``bench``) each own their flags and dispatch through one registry,
+``serve``, ``bench``, ``chaos``) each own their flags and dispatch through one registry,
 :data:`SUBCOMMANDS` — the single source of truth that the ``--help``
 epilog, the dispatcher, and the dispatch-agreement test all read, so a
 new subcommand cannot be wired into one and forgotten in another.
@@ -90,6 +91,12 @@ def _load_bench() -> SubMain:
     return bench_main
 
 
+def _load_chaos() -> SubMain:
+    from ..chaos.cli import main as chaos_main
+
+    return chaos_main
+
+
 #: every tool subcommand, in display order — the one dispatch table
 SUBCOMMANDS: Dict[str, Subcommand] = {
     sub.name: sub
@@ -123,6 +130,11 @@ SUBCOMMANDS: Dict[str, Subcommand] = {
             "bench",
             "performance-trajectory benchmarks (run/compare BENCH_noc.json)",
             _load_bench,
+        ),
+        Subcommand(
+            "chaos",
+            "infrastructure fault injection and the crash-consistency audit",
+            _load_chaos,
         ),
     )
 }

@@ -101,12 +101,21 @@ def run_cosim(
 
     import os
 
+    from ..errors import CheckpointCorruptError
     from ..resilience.checkpoint import Checkpointer, load_checkpoint
 
     token = repr(key)
+    cosim = None
     if os.path.exists(spec.path):
-        cosim = load_checkpoint(spec.path, expect_config=token)
-    else:
+        try:
+            cosim = load_checkpoint(spec.path, expect_config=token)
+        except CheckpointCorruptError:
+            # A torn snapshot (e.g. power cut mid-write on the previous
+            # attempt) costs the resume, never the job: discard it and
+            # restart from cycle 0.  Determinism makes the rerun
+            # byte-identical, so nothing downstream can tell.
+            os.remove(spec.path)
+    if cosim is None:
         cosim = build_cosim(config, check_invariants=_check_invariants_default)
     cosim.checkpointer = Checkpointer(
         spec.path, every=spec.every, config_token=token

@@ -26,13 +26,14 @@ from __future__ import annotations
 
 import contextlib
 import hashlib
+import json
 import os
 import pickle
 from contextvars import ContextVar
 from dataclasses import dataclass
 from typing import Iterator, Optional
 
-from ..errors import CheckpointError
+from ..errors import CheckpointCorruptError, CheckpointError
 
 __all__ = [
     "CHECKPOINT_VERSION",
@@ -44,11 +45,30 @@ __all__ = [
     "JobCheckpoint",
 ]
 
-CHECKPOINT_VERSION = 1
+#: v2 moved the envelope from a pickled dict to magic + JSON header + raw
+#: body, so the content hash is verified *before* any ``pickle.loads`` —
+#: a torn file can never reach the deserializer.
+CHECKPOINT_VERSION = 2
+
+#: file magic; also the format discriminator (v1 files started with the
+#: pickle opcode ``\x80`` and are refused with a version message)
+_MAGIC = b"REPROCKPT2\n"
+
+#: chaos-injection shim (see :mod:`repro.chaos.inject`): when armed, called
+#: with the final path after every atomic replace, so tests can model a
+#: torn write that the rename could not prevent.  ``None`` (the default)
+#: costs one identity check — this module never imports chaos.
+CHAOS_SAVE_HOOK = None
 
 
 def save_checkpoint(cosim, path: str, config_token: str = "") -> str:
-    """Snapshot ``cosim`` to ``path`` atomically; returns the body digest."""
+    """Snapshot ``cosim`` to ``path`` atomically; returns the body digest.
+
+    Layout: :data:`_MAGIC`, one JSON header line (version, config token,
+    cycle, body SHA-256, body length), then the raw pickle body.  Keeping
+    the header out of the pickle stream is what lets a restore authenticate
+    the body without deserializing anything.
+    """
     from ..fullsys.coherence import message_id_state
     from ..noc.packet import packet_id_state
 
@@ -61,48 +81,95 @@ def save_checkpoint(cosim, path: str, config_token: str = "") -> str:
         protocol=pickle.HIGHEST_PROTOCOL,
     )
     digest = hashlib.sha256(body).hexdigest()
-    envelope = pickle.dumps(
+    header = json.dumps(
         {
             "version": CHECKPOINT_VERSION,
             "config": config_token,
             "cycle": cosim.system.now,
             "sha256": digest,
-            "body": body,
+            "body_len": len(body),
         },
-        protocol=pickle.HIGHEST_PROTOCOL,
-    )
+        sort_keys=True,
+    ).encode("utf-8")
     tmp = f"{path}.tmp.{os.getpid()}"
     with open(tmp, "wb") as fh:
-        fh.write(envelope)
+        fh.write(_MAGIC)
+        fh.write(header)
+        fh.write(b"\n")
+        fh.write(body)
     os.replace(tmp, path)  # atomic: a reader sees the old or the new file
+    hook = CHAOS_SAVE_HOOK
+    if hook is not None:
+        hook(path)
     return digest
 
 
+def _parse_envelope(path: str, blob: bytes):
+    """Split ``blob`` into (header dict, body bytes), verifying structure.
+
+    Raises :class:`CheckpointCorruptError` for anything that looks like a
+    torn write and plain :class:`CheckpointError` for files that were never
+    checkpoints (or are a stale format).
+    """
+    if not blob.startswith(_MAGIC):
+        if blob.startswith(b"\x80"):  # a bare pickle: the v1 envelope
+            raise CheckpointError(
+                f"{path}: checkpoint format v1 != supported "
+                f"v{CHECKPOINT_VERSION} (re-run to regenerate)"
+            )
+        raise CheckpointError(f"{path} is not a checkpoint envelope")
+    try:
+        newline = blob.index(b"\n", len(_MAGIC))
+    except ValueError:
+        raise CheckpointCorruptError(
+            f"{path}: truncated checkpoint header (torn write)"
+        ) from None
+    try:
+        header = json.loads(blob[len(_MAGIC) : newline].decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise CheckpointCorruptError(
+            f"{path}: garbled checkpoint header (torn write): {exc}"
+        ) from exc
+    if not isinstance(header, dict):
+        raise CheckpointCorruptError(f"{path}: garbled checkpoint header")
+    return header, blob[newline + 1 :]
+
+
 def load_checkpoint(path: str, expect_config: Optional[str] = None):
-    """Restore a co-simulator from ``path``; verifies hash and provenance."""
+    """Restore a co-simulator from ``path``.
+
+    The body's SHA-256 is verified against the header **before**
+    ``pickle.loads`` runs — a truncated or corrupted snapshot raises
+    :class:`~repro.errors.CheckpointCorruptError` without the torn bytes
+    ever reaching the deserializer.
+    """
     try:
         with open(path, "rb") as fh:
-            envelope = pickle.load(fh)
-    except (OSError, pickle.UnpicklingError, EOFError) as exc:
+            blob = fh.read()
+    except OSError as exc:
         raise CheckpointError(f"cannot read checkpoint {path}: {exc}") from exc
-    if not isinstance(envelope, dict) or "body" not in envelope:
-        raise CheckpointError(f"{path} is not a checkpoint envelope")
-    if envelope.get("version") != CHECKPOINT_VERSION:
+    header, body = _parse_envelope(path, blob)
+    if header.get("version") != CHECKPOINT_VERSION:
         raise CheckpointError(
-            f"{path}: checkpoint format v{envelope.get('version')} "
+            f"{path}: checkpoint format v{header.get('version')} "
             f"!= supported v{CHECKPOINT_VERSION}"
         )
-    digest = hashlib.sha256(envelope["body"]).hexdigest()
-    if digest != envelope.get("sha256"):
-        raise CheckpointError(
+    if len(body) != header.get("body_len"):
+        raise CheckpointCorruptError(
+            f"{path}: body is {len(body)} bytes, header promised "
+            f"{header.get('body_len')} (torn write)"
+        )
+    digest = hashlib.sha256(body).hexdigest()
+    if digest != header.get("sha256"):
+        raise CheckpointCorruptError(
             f"{path}: content hash mismatch (truncated or corrupted file)"
         )
-    if expect_config is not None and envelope.get("config") != expect_config:
+    if expect_config is not None and header.get("config") != expect_config:
         raise CheckpointError(
             f"{path}: checkpoint belongs to a different configuration "
-            f"({envelope.get('config')!r} != {expect_config!r})"
+            f"({header.get('config')!r} != {expect_config!r})"
         )
-    state = pickle.loads(envelope["body"])
+    state = pickle.loads(body)
 
     from ..fullsys.coherence import restore_message_id_state
     from ..noc.packet import restore_packet_id_state

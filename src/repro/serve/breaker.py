@@ -1,0 +1,129 @@
+"""A consecutive-failure circuit breaker for the serve substrate.
+
+The scheduler records an infrastructure failure (store commit error,
+worker spawn failure) after every dispatch-loop incident and a success
+after every *committed* outcome.  Once ``threshold`` consecutive failures
+accumulate the breaker **opens**: the frontier answers submissions with
+503 + ``Retry-After`` instead of accepting work it cannot durably finish,
+and the scheduler stops dispatching.  After ``cooldown_s`` the breaker
+goes **half-open** — exactly one probe dispatch is allowed through; its
+success closes the breaker, its failure reopens it for another cooldown.
+
+Counting *consecutive* failures (reset on any success) rather than a
+failure rate keeps the breaker deadline-free and deterministic for tests:
+a healthy store never trips it, a persistently failing one always does,
+and the trip point does not depend on traffic volume.
+
+The clock is injectable so tests can step time instead of sleeping; the
+default is ``time.monotonic`` (sanctioned in the serve layer — this is
+host infrastructure, not simulated time).
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Callable, Dict, Optional
+
+from ..errors import ConfigError
+
+__all__ = ["CircuitBreaker"]
+
+
+class CircuitBreaker:
+    """Trip after ``threshold`` consecutive failures; cool down and probe.
+
+    Args:
+        threshold: consecutive failures that open the breaker (>= 1).
+        cooldown_s: seconds the breaker stays open before allowing one
+            half-open probe.
+        clock: monotonic time source (injectable for tests).
+    """
+
+    def __init__(
+        self,
+        threshold: int = 5,
+        cooldown_s: float = 10.0,
+        clock: Optional[Callable[[], float]] = None,
+    ) -> None:
+        if threshold < 1:
+            raise ConfigError(f"breaker threshold must be >= 1, got {threshold}")
+        if cooldown_s < 0:
+            raise ConfigError(f"breaker cooldown must be >= 0, got {cooldown_s}")
+        self.threshold = threshold
+        self.cooldown_s = cooldown_s
+        self._clock = clock if clock is not None else time.monotonic
+        self._lock = threading.Lock()
+        self._state = "closed"  # "closed" | "open" | "half-open"
+        self._consecutive = 0
+        self._opened_at = 0.0
+        self._last_cause = ""
+        #: how many times the breaker has tripped open, ever
+        self.trips = 0
+
+    # -- state ----------------------------------------------------------
+    @property
+    def state(self) -> str:
+        """``closed`` / ``open`` / ``half-open`` (cooldown-aware)."""
+        with self._lock:
+            return self._state_locked()
+
+    def _state_locked(self) -> str:
+        if (
+            self._state == "open"
+            and self._clock() - self._opened_at >= self.cooldown_s
+        ):
+            # Cooldown elapsed: the next dispatch is the half-open probe.
+            self._state = "half-open"
+        return self._state
+
+    @property
+    def blocked(self) -> bool:
+        """True while new work must be refused (open, cooldown running)."""
+        return self.state == "open"
+
+    def retry_after_s(self) -> float:
+        """Seconds until the cooldown admits a probe (0 when not open)."""
+        with self._lock:
+            if self._state_locked() != "open":
+                return 0.0
+            return max(0.0, self.cooldown_s - (self._clock() - self._opened_at))
+
+    # -- transitions ----------------------------------------------------
+    def record_failure(self, cause: str = "") -> bool:
+        """Count one infrastructure failure; returns True if now open.
+
+        In half-open state a single failure reopens immediately — the
+        probe proved the fault is still there.
+        """
+        with self._lock:
+            self._consecutive += 1
+            self._last_cause = cause
+            state = self._state_locked()
+            if state == "half-open" or (
+                state == "closed" and self._consecutive >= self.threshold
+            ):
+                self._state = "open"
+                self._opened_at = self._clock()
+                self.trips += 1
+            return self._state == "open"
+
+    def record_success(self) -> None:
+        """One unit of work fully succeeded: reset and close."""
+        with self._lock:
+            self._consecutive = 0
+            self._last_cause = ""
+            self._state = "closed"
+
+    def describe(self) -> Dict[str, object]:
+        """JSON-safe snapshot for ``/healthz`` and 503 bodies."""
+        with self._lock:
+            state = self._state_locked()
+            return {
+                "state": state,
+                "consecutive_failures": self._consecutive,
+                "threshold": self.threshold,
+                "cooldown_s": self.cooldown_s,
+                "trips": self.trips,
+                "last_cause": self._last_cause,
+            }

@@ -24,7 +24,14 @@ import json
 import sys
 from typing import Any, List, Optional
 
-from ..errors import BackpressureError, ConfigError, ServeError
+from ..errors import (
+    BackpressureError,
+    ChaosError,
+    ConfigError,
+    ServeError,
+    StoreCorruptError,
+    StoreIOError,
+)
 from .client import ServeClient
 from .server import ServeConfig, ServeDaemon
 
@@ -83,6 +90,17 @@ def build_parser() -> argparse.ArgumentParser:
         help="NoC execution engine for engine-aware jobs; unless 'oo', "
         "same-shape jobs dispatch as lanes of one batched kernel",
     )
+    start.add_argument(
+        "--chaos-arm", default=None, metavar="JSON",
+        help="arm a chaos schedule before serving: ChaosConfig keyword "
+        'arguments as JSON, e.g. \'{"seed": 7, "crash_points": '
+        '["serve.submit.before-ack"]}\' (testing only)',
+    )
+    start.add_argument(
+        "--chaos-crash-mode", default="exit", choices=["raise", "exit"],
+        help="how armed crash points kill the daemon: 'exit' (real "
+        "process death, exit code 86) or 'raise' (in-process signal)",
+    )
 
     def client_flags(p: argparse.ArgumentParser) -> None:
         p.add_argument("--host", default="127.0.0.1")
@@ -139,7 +157,24 @@ def _cmd_start(args: argparse.Namespace) -> int:
         lru_size=args.lru_size,
         engine=args.engine,
     )
+    state = None
+    if args.chaos_arm is not None:
+        from ..chaos import ChaosConfig, arm  # deferred: testing-only path
+
+        try:
+            kwargs = json.loads(args.chaos_arm)
+        except json.JSONDecodeError as exc:
+            raise ConfigError(f"--chaos-arm must be JSON: {exc}") from exc
+        if not isinstance(kwargs, dict):
+            raise ConfigError("--chaos-arm must be a JSON object")
+        try:
+            chaos_config = ChaosConfig(**kwargs)
+        except TypeError as exc:
+            raise ConfigError(f"--chaos-arm: {exc}") from exc
+        state = arm(chaos_config, crash_mode=args.chaos_crash_mode)
     daemon = ServeDaemon(config)
+    if state is not None:
+        state.bind_metrics(daemon.metrics)
     daemon.start()
     print(
         f"repro serve: listening on {config.host}:{daemon.port} "
@@ -212,7 +247,9 @@ def main(argv: Optional[List[str]] = None) -> int:
             f"serve: {exc} (retry after ~{exc.retry_after_s}s)", file=sys.stderr
         )
         return 3
-    except (ConfigError, ServeError) as exc:
+    except (
+        ChaosError, ConfigError, ServeError, StoreCorruptError, StoreIOError,
+    ) as exc:
         print(f"serve: {exc}", file=sys.stderr)
         return 2
 

@@ -10,8 +10,17 @@ the daemon's backpressure contract as typed exceptions:
 * :class:`repro.errors.ServeError` on any other non-2xx answer or
   transport failure (carries the HTTP status).
 
-``wait()`` polls status until the job completes; ``submit_and_wait()``
-is the one-call happy path the CLI and the smoke script use.
+Transient failures — a dropped connection (the daemon restarting, a
+chaos-injected crash before the ack) or a ``429`` shed — are retried
+automatically with capped exponential backoff plus jitter, honoring the
+daemon's ``Retry-After`` estimate.  Every request is idempotent (job
+identity is the content hash, so a resubmission joins rather than
+duplicates), which is what makes blanket retry safe.  ``retries=0`` is
+the escape hatch restoring single-attempt semantics.
+
+``wait()`` polls status until the job completes (exponential poll
+interval, capped); ``submit_and_wait()`` is the one-call happy path the
+CLI and the smoke script use.
 """
 
 from __future__ import annotations
@@ -22,6 +31,7 @@ import time
 from typing import Any, Dict, Optional, Tuple
 
 from ..errors import BackpressureError, ServeError
+from ..util import Rng, derive_seed
 from .protocol import API_PREFIX, PROTOCOL_VERSION
 
 __all__ = ["ServeClient"]
@@ -36,6 +46,15 @@ class ServeClient:
         client_id: fairness identity — the daemon round-robins across
             client ids, so share one id per logical tenant.
         timeout_s: per-request socket timeout.
+        retries: extra attempts after a transient failure (connection
+            error or 429 shed).  0 restores single-attempt semantics —
+            each 429 then raises :class:`BackpressureError` immediately.
+        backoff_s: base retry delay; attempt ``n`` waits about
+            ``backoff_s * 2**n``, jittered to half–1.5× so a burst of
+            rejected clients does not retry in lockstep.
+        backoff_cap_s: ceiling on any single retry delay (also caps an
+            honored ``Retry-After``, so a pathological estimate cannot
+            park the client for minutes).
     """
 
     def __init__(
@@ -44,11 +63,24 @@ class ServeClient:
         port: int = 8421,
         client_id: str = "anon",
         timeout_s: float = 30.0,
+        retries: int = 3,
+        backoff_s: float = 0.25,
+        backoff_cap_s: float = 8.0,
     ) -> None:
+        if retries < 0:
+            raise ServeError(f"retries must be >= 0, got {retries}")
+        if backoff_s < 0 or backoff_cap_s < 0:
+            raise ServeError("backoff delays must be >= 0")
         self.host = host
         self.port = port
         self.client_id = client_id
         self.timeout_s = timeout_s
+        self.retries = retries
+        self.backoff_s = backoff_s
+        self.backoff_cap_s = backoff_cap_s
+        # Seeded per client id: deterministic for tests, decorrelated
+        # across the tenants that matter for the thundering-herd case.
+        self._rng = Rng(derive_seed(0, "serve-client", client_id), "backoff")
 
     # -- submissions ----------------------------------------------------
     def submit(
@@ -110,14 +142,22 @@ class ServeClient:
         return json.loads(self.result_text(job_id))
 
     def wait(
-        self, job_id: str, timeout_s: float = 300.0, poll_s: float = 0.1
+        self,
+        job_id: str,
+        timeout_s: float = 300.0,
+        poll_s: float = 0.1,
+        poll_cap_s: float = 2.0,
     ) -> Dict[str, Any]:
         """Poll until the job is ``done``; returns its final status.
 
-        Raises :class:`ServeError` when the job fails or the wait times
-        out (host wall clock: this module is on the serve allowlist).
+        The poll interval starts at ``poll_s`` and doubles up to
+        ``poll_cap_s``: short jobs are noticed within ~100 ms, long jobs
+        cost a couple of status requests per second of runtime instead of
+        ten.  Raises :class:`ServeError` when the job fails or the wait
+        times out (host wall clock: this module is on the serve allowlist).
         """
         deadline = time.monotonic() + timeout_s
+        interval = poll_s
         while True:
             state = self.status(job_id)
             if state["status"] == "done":
@@ -132,7 +172,8 @@ class ServeClient:
                 raise ServeError(
                     f"job {job_id} still {state['status']} after {timeout_s}s"
                 )
-            time.sleep(poll_s)
+            time.sleep(interval)
+            interval = min(poll_cap_s, interval * 2.0)
 
     def submit_and_wait(
         self, eid: str, timeout_s: float = 300.0, **kwargs: Any
@@ -176,6 +217,36 @@ class ServeClient:
     def _request_raw(
         self, method: str, path: str, body: Optional[dict] = None
     ) -> Tuple[int, Dict[str, str], str, bytes]:
+        """One request with transparent transient-failure retry.
+
+        Connection errors and ``429`` sheds consume retry attempts with
+        jittered, capped exponential backoff; any other answer (including
+        5xx — the daemon *spoke*, it is not transiently unreachable) is
+        returned to the caller as-is.  With ``retries=0`` the first
+        failure surfaces immediately.
+        """
+        attempt = 0
+        while True:
+            try:
+                return self._request_once(method, path, body)
+            except (ConnectionError, OSError) as exc:
+                if attempt >= self.retries:
+                    raise ServeError(
+                        f"cannot reach serve daemon at {self.host}:{self.port} "
+                        f"after {attempt + 1} attempt(s): {exc}"
+                    ) from exc
+                time.sleep(self._backoff_delay(attempt))
+                attempt += 1
+                continue
+            except _Shed as shed:
+                if attempt >= self.retries:
+                    return shed.response
+                time.sleep(self._backoff_delay(attempt, shed.retry_after_s))
+                attempt += 1
+
+    def _request_once(
+        self, method: str, path: str, body: Optional[dict] = None
+    ) -> Tuple[int, Dict[str, str], str, bytes]:
         payload = None if body is None else json.dumps(body).encode("utf-8")
         headers = {"Content-Type": "application/json"} if payload else {}
         conn = http.client.HTTPConnection(
@@ -186,13 +257,31 @@ class ServeClient:
             response = conn.getresponse()
             raw = response.read()
             response_headers = {k.lower(): v for k, v in response.getheaders()}
-            return response.status, response_headers, response.reason, raw
-        except (ConnectionError, OSError) as exc:
-            raise ServeError(
-                f"cannot reach serve daemon at {self.host}:{self.port}: {exc}"
-            ) from exc
+            result = response.status, response_headers, response.reason, raw
+            if response.status == 429:
+                try:
+                    retry_after = float(response_headers.get("retry-after", 1.0))
+                except ValueError:
+                    retry_after = 1.0
+                raise _Shed(result, retry_after)
+            return result
         finally:
             conn.close()
+
+    def _backoff_delay(
+        self, attempt: int, retry_after_s: Optional[float] = None
+    ) -> float:
+        """Jittered exponential delay before retry ``attempt + 1``.
+
+        An honored ``Retry-After`` raises the delay to at least the
+        daemon's estimate; the cap bounds both, so a pathological header
+        can never park the client for minutes.
+        """
+        delay = min(self.backoff_cap_s, self.backoff_s * (2.0 ** attempt))
+        delay *= 0.5 + self._rng.random()  # jitter: half to 1.5x
+        if retry_after_s is not None:
+            delay = max(delay, retry_after_s)
+        return min(self.backoff_cap_s, delay)
 
     @staticmethod
     def _raise_unless_ok(status: int, payload: Dict[str, Any]) -> None:
@@ -200,6 +289,20 @@ class ServeClient:
             raise ServeError(
                 payload.get("error", f"request failed ({status})"), status=status
             )
+
+
+class _Shed(Exception):
+    """Internal: a 429 answer, carried through the retry loop.
+
+    Never escapes :meth:`ServeClient._request_raw` — once attempts are
+    exhausted the original response is returned and the caller's 429
+    handling (``BackpressureError``) takes over.
+    """
+
+    def __init__(self, response, retry_after_s: float) -> None:
+        super().__init__("429")
+        self.response = response
+        self.retry_after_s = retry_after_s
 
 
 def _parse_json(raw: bytes) -> Dict[str, Any]:

@@ -29,7 +29,8 @@ from collections import deque
 
 from ..campaign.pool import WorkerPool
 from ..campaign.spec import JobSpec, get_experiment, jobs_batchable
-from ..errors import ConfigError
+from ..errors import ChaosCrash, ConfigError, StoreIOError
+from .breaker import CircuitBreaker
 from .cache import ResultCache
 from .metrics import PREFIX, Metrics
 from .queuein import AdmissionQueue, QueuedJob
@@ -40,6 +41,12 @@ __all__ = ["Scheduler"]
 _WAIT_BUDGET_S = 0.1
 #: queue wait while the pool is idle (s) — the loop's only sleep
 _IDLE_WAIT_S = 0.2
+
+#: chaos-injection shim (see :mod:`repro.chaos.inject`): when armed, called
+#: with the crash-point name at each named crash point below.  ``None``
+#: (the default) costs one identity check — the scheduler never imports
+#: chaos.
+CHAOS_CRASH_HOOK = None
 
 
 class Scheduler:
@@ -59,6 +66,12 @@ class Scheduler:
             batch cannot snapshot independently.
         checkpoint_every: snapshot period in synchronization windows.
         start_method: multiprocessing start method override.
+        breaker_threshold: consecutive infrastructure failures (store
+            commit errors, worker spawn failures) that trip the circuit
+            breaker open; while open the scheduler stops dispatching and
+            the frontier answers 503.
+        breaker_cooldown_s: how long the breaker stays open before a
+            single half-open probe dispatch is allowed.
         engine: NoC execution engine hint for engine-aware jobs
             (``"auto"``/``"oo"``/``"batched"``).  Unless pinned to
             ``"oo"``, same-shape engine-aware jobs meeting in one dispatch
@@ -81,6 +94,8 @@ class Scheduler:
         checkpoint_dir: Optional[str] = None,
         checkpoint_every: int = 256,
         start_method: Optional[str] = None,
+        breaker_threshold: int = 5,
+        breaker_cooldown_s: float = 10.0,
         engine: str = "auto",
     ) -> None:
         if batch_max < 1:
@@ -113,10 +128,30 @@ class Scheduler:
         self._no_batch: Set[str] = set()
         self._stop = threading.Event()
         self._thread: Optional[threading.Thread] = None
+        self.breaker = CircuitBreaker(
+            threshold=breaker_threshold, cooldown_s=breaker_cooldown_s
+        )
+        #: latched when a chaos-injected crash killed the dispatch thread
+        self._crashed = threading.Event()
         metrics.register_gauge(
             f"{PREFIX}_jobs_in_flight",
             "Jobs currently executing on worker processes.",
             lambda: float(len(self.running_ids())),
+        )
+        metrics.register_gauge(
+            f"{PREFIX}_retry_budget",
+            "Extra attempts each failed job is allowed (the --retries knob).",
+            lambda: float(self.retries),
+        )
+        metrics.register_gauge(
+            f"{PREFIX}_breaker_open",
+            "1 while the dispatch circuit breaker refuses new work.",
+            lambda: 1.0 if self.breaker.blocked else 0.0,
+        )
+        metrics.register_gauge(
+            f"{PREFIX}_breaker_trips",
+            "Times the dispatch circuit breaker has tripped open.",
+            lambda: float(self.breaker.trips),
         )
 
     # -- observers ------------------------------------------------------
@@ -128,6 +163,16 @@ class Scheduler:
         """Queued-in-scheduler or running (dedupe check for submissions)."""
         with self._lock:
             return job_id in self._running or job_id in self._entries
+
+    @property
+    def crashed(self) -> bool:
+        """True once a chaos-injected crash has killed the dispatch thread.
+
+        A crashed scheduler took nothing down gracefully (that is the
+        point); restart recovery — ``reset_running`` at the next daemon's
+        cache recover — is what reclaims its in-flight jobs.
+        """
+        return self._crashed.is_set()
 
     # -- lifecycle ------------------------------------------------------
     def start(self) -> None:
@@ -156,13 +201,31 @@ class Scheduler:
     def _run(self) -> None:
         pool = self._pool
         while not self._stop.is_set():
-            self._fill_pool()
-            if pool.active:
-                for outcome in pool.wait(poll_s=0.05, budget_s=_WAIT_BUDGET_S):
-                    self._handle_outcome(outcome)
-            elif not self._buffer:
-                batch = self.queue.take_batch(self.batch_max, timeout_s=_IDLE_WAIT_S)
-                self._admit_batch(batch)
+            try:
+                self._run_once()
+            except StoreIOError as exc:
+                # The store refused a commit (disk full, I/O error).  The
+                # transaction rolled back, the row kept its previous state,
+                # so the loop may simply try again later; the breaker is
+                # what stops an endless retry storm against a dead disk.
+                self.breaker.record_failure(cause="store")
+                self.metrics.inc(
+                    f"{PREFIX}_store_errors_total",
+                    "Store commits refused by the disk (rolled back).",
+                )
+                self.metrics.inc(
+                    f"{PREFIX}_errors_total",
+                    "Unexpected scheduler errors.",
+                    kind="store-io",
+                )
+                del exc
+            except ChaosCrash:
+                # A chaos-injected process death in "raise" mode: this
+                # thread is the process under test.  Die *without* the
+                # graceful drain below — a real SIGKILL flushes nothing —
+                # and let restart recovery reclaim the running rows.
+                self._crashed.set()
+                return
         # Drain: polite shutdown, then hand interrupted work back to the
         # store as pending rows (the restart-resume contract).
         pool.shutdown()
@@ -178,6 +241,21 @@ class Scheduler:
                 "Jobs handed back to the store as pending during drain.",
                 amount=float(len(interrupted)),
             )
+
+    def _run_once(self) -> None:
+        """One pass of the dispatch loop (split out for fault handling)."""
+        pool = self._pool
+        self._fill_pool()
+        if pool.active:
+            for outcome in pool.wait(poll_s=0.05, budget_s=_WAIT_BUDGET_S):
+                self._handle_outcome(outcome)
+        elif not self._buffer:
+            batch = self.queue.take_batch(self.batch_max, timeout_s=_IDLE_WAIT_S)
+            self._admit_batch(batch)
+        else:
+            # Work is buffered but nothing could dispatch (breaker open,
+            # spawn failures): idle instead of spinning hot.
+            self._stop.wait(_IDLE_WAIT_S)
 
     def _admit_batch(self, batch: List[QueuedJob]) -> None:
         if not batch:
@@ -217,6 +295,8 @@ class Scheduler:
     def _fill_pool(self) -> None:
         pool = self._pool
         while pool.has_capacity():
+            if self.breaker.blocked:
+                return
             if not self._buffer:
                 batch = self.queue.take_batch(self.batch_max, timeout_s=None)
                 self._admit_batch(batch)
@@ -240,16 +320,44 @@ class Scheduler:
             if group is not None:
                 self._dispatch_group(group)
                 continue
-            worker = pool.submit(entry.job_id, self._job_dict(entry.spec))
+            try:
+                worker = pool.submit(entry.job_id, self._job_dict(entry.spec))
+            except OSError as exc:
+                self._spawn_failure([entry], exc)
+                return
             self.cache.mark_running(entry.job_id, worker)
             with self._lock:
                 self._running.add(entry.job_id)
+            hook = CHAOS_CRASH_HOOK
+            if hook is not None:
+                hook("scheduler.after-mark-running")
             self.metrics.inc(
                 f"{PREFIX}_jobs_dispatched_total",
                 "Worker processes spawned (cache hits never increment this).",
             )
             if get_experiment(entry.spec.eid).engine_aware:
                 self._observe_batch_size(1)
+
+    def _spawn_failure(self, entries: List[QueuedJob], exc: OSError) -> None:
+        """Re-buffer ``entries`` after a failed worker spawn.
+
+        A spawn failure is a host fault (fd/process exhaustion), not the
+        jobs': they go back to the head of the buffer without a
+        ``mark_running`` transition, so the failure burns none of their
+        retry budget.  The breaker is what turns a *persistent* spawn
+        failure into refused admissions instead of a hot retry loop.
+        """
+        with self._lock:
+            for entry in reversed(entries):
+                self._buffer.appendleft(entry)
+                self._entries[entry.job_id] = entry
+        self.breaker.record_failure(cause="pool")
+        self.metrics.inc(
+            f"{PREFIX}_spawn_failures_total",
+            "Worker spawns refused by the host (jobs re-buffered).",
+            amount=float(len(entries)),
+        )
+        del exc
 
     def _job_dict(self, spec: JobSpec) -> dict:
         data = spec.to_dict()
@@ -317,7 +425,26 @@ class Scheduler:
         self._batch_seq += 1
         batch_id = f"batch-{self._batch_seq}-{group[0].job_id[:8]}"
         job = {"_batch_members": [queued.spec.to_dict() for queued in group]}
-        worker = self._pool.submit(batch_id, job)
+        try:
+            worker = self._pool.submit(batch_id, job)
+        except OSError as exc:
+            # Demote every member to individual dispatch: a batch that
+            # could not even spawn must not keep re-forming around the
+            # same host fault, and individual retries make progress the
+            # moment one process slot frees up.
+            with self._lock:
+                for queued in group:
+                    self._no_batch.add(queued.job_id)
+            for queued in group:
+                if get_experiment(queued.spec.eid).engine_aware:
+                    self.metrics.inc(
+                        f"{PREFIX}_engine_fallback_total",
+                        "Engine-aware dispatches that fell back to the "
+                        "individual path instead of a shared kernel batch.",
+                        reason="spawn-failure",
+                    )
+            self._spawn_failure(group, exc)
+            return
         with self._lock:
             self._batches[batch_id] = list(group)
             for queued in group:
@@ -340,7 +467,19 @@ class Scheduler:
             self._running.discard(outcome.job_id)
             entry = self._entries.pop(outcome.job_id, None)
         if outcome.ok:
-            self.cache.commit(outcome.job_id, outcome.payload, outcome.wall_s)
+            hook = CHAOS_CRASH_HOOK
+            if hook is not None:
+                hook("scheduler.before-commit")
+            try:
+                self.cache.commit(outcome.job_id, outcome.payload, outcome.wall_s)
+            except StoreIOError:
+                # The result is computed but not durable.  Re-buffer the
+                # job: determinism makes the redo byte-identical, and
+                # "redo the work" is the only path that keeps the
+                # store's exactly-once accounting honest.
+                self._requeue_entry(outcome.job_id, entry)
+                raise
+            self.breaker.record_success()
             self.metrics.inc(
                 f"{PREFIX}_jobs_completed_total",
                 "Jobs that finished successfully and entered the cache.",
@@ -360,19 +499,23 @@ class Scheduler:
             "Worker processes that died, timed out, or failed their job.",
         )
         if requeue:
-            if entry is None:
-                row = self.cache.job_row(outcome.job_id)
-                if row is None:  # pragma: no cover - outcome implies a row
-                    return
-                entry = QueuedJob(spec=row.job_spec(), client="retry")
-            with self._lock:
-                self._buffer.append(entry)
-                self._entries[entry.job_id] = entry
+            self._requeue_entry(outcome.job_id, entry)
         else:
             self.metrics.inc(
                 f"{PREFIX}_jobs_failed_total",
                 "Jobs that exhausted their attempts and stayed failed.",
             )
+
+    def _requeue_entry(self, job_id: str, entry: Optional[QueuedJob]) -> None:
+        """Put ``job_id`` back on the dispatch buffer for another attempt."""
+        if entry is None:
+            row = self.cache.job_row(job_id)
+            if row is None:  # pragma: no cover - outcome implies a row
+                return
+            entry = QueuedJob(spec=row.job_spec(), client="retry")
+        with self._lock:
+            self._buffer.append(entry)
+            self._entries[entry.job_id] = entry
 
     def _handle_batch_outcome(self, outcome, members: List[QueuedJob]) -> None:
         """Fan one batched-worker outcome back out to its member jobs.
@@ -402,6 +545,7 @@ class Scheduler:
                     )
                     continue
                 self.cache.commit(queued.job_id, payload, outcome.wall_s)
+            self.breaker.record_success()
             self.metrics.inc(
                 f"{PREFIX}_jobs_completed_total",
                 "Jobs that finished successfully and entered the cache.",

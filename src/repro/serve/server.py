@@ -40,7 +40,7 @@ from dataclasses import dataclass
 from typing import Any, Dict, Optional, Tuple
 
 from ..campaign.spec import REGISTRY
-from ..errors import ConfigError, ServeError
+from ..errors import ChaosCrash, ConfigError, ServeError
 from .cache import ResultCache
 from .metrics import PREFIX, Metrics
 from .protocol import (
@@ -55,6 +55,13 @@ from .queuein import AdmissionQueue, QueueFull, QueuedJob
 from .scheduler import Scheduler
 
 __all__ = ["ServeConfig", "ServeDaemon"]
+
+#: chaos-injection shim (see :mod:`repro.chaos.inject`): when armed, called
+#: with the crash-point name at ``serve.submit.before-ack`` — after the
+#: pending row is durable and the job queued, before the 200 is written.
+#: ``None`` (the default) costs one identity check — the frontier never
+#: imports chaos.
+CHAOS_CRASH_HOOK = None
 
 
 @dataclass(frozen=True)
@@ -77,6 +84,10 @@ class ServeConfig:
     engine: str = "auto"
     #: fallback Retry-After before any service time has been observed (s)
     retry_after_floor_s: float = 2.0
+    #: consecutive infrastructure failures that trip the dispatch breaker
+    breaker_threshold: int = 5
+    #: seconds the tripped breaker refuses work before a half-open probe
+    breaker_cooldown_s: float = 10.0
 
 
 class ServeDaemon:
@@ -105,6 +116,8 @@ class ServeDaemon:
             checkpoint_dir=config.checkpoint_dir,
             checkpoint_every=config.checkpoint_every,
             start_method=config.start_method,
+            breaker_threshold=config.breaker_threshold,
+            breaker_cooldown_s=config.breaker_cooldown_s,
             engine=config.engine,
         )
         self.port: Optional[int] = None
@@ -245,6 +258,14 @@ class ServeDaemon:
             await writer.drain()
         except (ConnectionError, BrokenPipeError):  # client went away mid-answer
             return
+        except ChaosCrash:
+            # Simulated death between durable admission and the ack: the
+            # client sees exactly what a real crash gives it — a dropped
+            # connection and no acknowledgement — while the in-process
+            # harness keeps the loop alive to observe the recovery.  (In
+            # crash_mode="exit" the process already died before this.)
+            writer.transport.abort()
+            return
         finally:
             try:
                 writer.close()
@@ -270,6 +291,8 @@ class ServeDaemon:
                     "ok": True,
                     "draining": self._draining.is_set(),
                     "protocol": PROTOCOL_VERSION,
+                    "circuit": self.scheduler.breaker.describe(),
+                    "scheduler_crashed": self.scheduler.crashed,
                 }, None, None
             if method == "GET" and path == "/metrics":
                 body = self.metrics.render_prometheus().encode("utf-8")
@@ -295,6 +318,22 @@ class ServeDaemon:
     def _submit(self, request: Request):
         if self._draining.is_set():
             return 503, {"error": "daemon is draining; resubmit to the next instance"}, None, None
+        breaker = self.scheduler.breaker
+        if breaker.blocked:
+            # Accepting work the dispatch path cannot durably finish would
+            # only grow an unservable backlog; refuse until the cooldown
+            # lets a probe through.
+            retry_after = max(1, round(breaker.retry_after_s()))
+            self.metrics.inc(
+                f"{PREFIX}_breaker_rejections_total",
+                "Submissions refused with 503 while the breaker was open.",
+            )
+            return 503, {
+                "error": "dispatch circuit breaker is open "
+                "(infrastructure failures); retry later",
+                "circuit": breaker.describe(),
+                "retry_after_s": retry_after,
+            }, None, {"Retry-After": str(retry_after)}
         spec, client = canonicalize_submission(request.json())
         job_id = spec.job_id
         cached = self.cache.lookup(job_id)
@@ -339,6 +378,12 @@ class ServeDaemon:
                 "error": str(exc),
                 "retry_after_s": retry_after,
             }, None, {"Retry-After": str(retry_after)}
+        hook = CHAOS_CRASH_HOOK
+        if hook is not None:
+            # The accepted-but-unacked window the durability contract
+            # exists for: the pending row is committed, the job queued,
+            # and the 200 not yet written.
+            hook("serve.submit.before-ack")
         return 200, {
             "job_id": job_id,
             "status": "queued",

@@ -1,0 +1,149 @@
+"""The exactly-once crash-consistency audit, positive and negative.
+
+Positive: real campaigns (and one real in-process serve daemon) run under
+hostile schedules and the audit proves the substrate kept its contracts.
+Negative: a tampered store must make the audit FAIL — an auditor that
+cannot detect a planted violation proves nothing.
+"""
+
+import sqlite3
+
+import pytest
+
+from repro.campaign.spec import CampaignSpec
+from repro.chaos import ChaosConfig, run_campaign_audit, run_serve_audit
+from repro.chaos.audit import _audit_store, _reference_payloads
+from repro.errors import ChaosError
+
+SPEC = CampaignSpec(experiments=("demo",), quick=True, seed=1)
+
+
+def _check(report_checks, name):
+    matches = [c for c in report_checks if c.name == name]
+    assert len(matches) == 1, f"missing check {name}"
+    return matches[0]
+
+
+class TestCampaignAudit:
+    def test_torn_commit_survived_with_restart(self, tmp_path):
+        report = run_campaign_audit(
+            ChaosConfig(seed=1, window=2, torn_commits=1),
+            db_path=str(tmp_path / "audit.db"),
+            seed=1,
+        )
+        assert report.ok, report.render()
+        assert report.restarts >= 1
+        assert any("torn" in f for f in report.fired)
+
+    def test_worker_kill_retried_to_byte_identity(self, tmp_path):
+        report = run_campaign_audit(
+            ChaosConfig(seed=3, window=2, worker_kills=1),
+            db_path=str(tmp_path / "audit.db"),
+            seed=1,
+            retries=3,
+        )
+        assert report.ok, report.render()
+        assert any("kill" in f for f in report.fired)
+        assert _check(report.checks, "byte-identical-payloads").ok
+
+    def test_io_error_and_spawn_failure_mix(self, tmp_path):
+        report = run_campaign_audit(
+            ChaosConfig(seed=5, window=3, store_io_errors=1, spawn_failures=1),
+            db_path=str(tmp_path / "audit.db"),
+            seed=1,
+            retries=3,
+        )
+        assert report.ok, report.render()
+
+    def test_hopeless_schedule_exhausts_restart_budget(self, tmp_path):
+        # Every commit in a huge window is torn: recovery cannot make
+        # progress, and the harness must give up loudly instead of looping.
+        config = ChaosConfig(seed=2, window=64, torn_commits=64)
+        with pytest.raises(ChaosError, match="restarts"):
+            run_campaign_audit(
+                config,
+                db_path=str(tmp_path / "audit.db"),
+                seed=1,
+                max_restarts=3,
+            )
+
+    def test_report_renders_verdict(self, tmp_path):
+        report = run_campaign_audit(
+            ChaosConfig(),  # no faults: trivial pass, fast
+            db_path=str(tmp_path / "audit.db"),
+            seed=1,
+        )
+        text = report.render()
+        assert "PASS" in text
+        assert "completed-exactly-once" in text
+        assert report.restarts == 0 and report.fired == []
+
+
+class TestNegativeControls:
+    """A planted violation must flip the verdict to FAIL."""
+
+    def _clean_db(self, tmp_path):
+        db = str(tmp_path / "audit.db")
+        report = run_campaign_audit(ChaosConfig(), db_path=db, seed=1)
+        assert report.ok
+        return db
+
+    def test_tampered_payload_fails_byte_identity(self, tmp_path):
+        db = self._clean_db(tmp_path)
+        reference = _reference_payloads(SPEC, workers=2)
+        with sqlite3.connect(db) as conn:
+            conn.execute(
+                "UPDATE jobs SET payload = ? WHERE job_id = "
+                "(SELECT job_id FROM jobs LIMIT 1)",
+                ('{"record": ["forged", 1.0, 1.0]}',),
+            )
+        checks = _audit_store(db, reference)
+        assert not _check(checks, "byte-identical-payloads").ok
+        assert not all(c.ok for c in checks)
+
+    def test_executed_rejection_fails_the_audit(self, tmp_path):
+        db = self._clean_db(tmp_path)
+        reference = _reference_payloads(SPEC, workers=2)
+        victim = next(iter(reference))
+        # Claim this job was rejected: its committed row (attempts > 0)
+        # is now evidence the daemon executed work it refused.
+        checks = _audit_store(db, {k: v for k, v in reference.items()
+                                   if k != victim}, rejected=[victim])
+        assert not _check(checks, "rejected-never-executed").ok
+
+    def test_phantom_row_fails_the_audit(self, tmp_path):
+        db = self._clean_db(tmp_path)
+        reference = _reference_payloads(SPEC, workers=2)
+        victim = next(iter(reference))
+        del reference[victim]  # the store row is now unaccounted for
+        checks = _audit_store(db, reference)
+        assert not _check(checks, "no-phantom-jobs").ok
+
+    def test_missing_job_fails_exactly_once(self, tmp_path):
+        db = self._clean_db(tmp_path)
+        reference = _reference_payloads(SPEC, workers=2)
+        with sqlite3.connect(db) as conn:
+            conn.execute(
+                "DELETE FROM jobs WHERE job_id = "
+                "(SELECT job_id FROM jobs LIMIT 1)"
+            )
+        checks = _audit_store(db, reference)
+        assert not _check(checks, "completed-exactly-once").ok
+
+
+class TestServeAudit:
+    def test_crash_before_ack_recovers_and_passes(self, tmp_path):
+        # The accepted-but-unacked window: the daemon dies between the
+        # durable admission and the 200 answer; a restarted daemon must
+        # recover the pending row and the client's resubmission must join.
+        report = run_serve_audit(
+            ChaosConfig(
+                seed=1, window=2, torn_commits=1,
+                crash_points=("serve.submit.before-ack",),
+            ),
+            db_path=str(tmp_path / "serve.db"),
+            seed=1,
+        )
+        assert report.ok, report.render()
+        assert report.mode == "serve"
+        assert any("before-ack" in f for f in report.fired)

@@ -1,0 +1,271 @@
+"""Arming chaos hooks: lifecycle, fault firing, and the zero-overhead pin.
+
+The equivalence test at the bottom is the tentpole contract: with nothing
+armed the substrate runs its exact pre-chaos code path, and a campaign's
+store payloads are byte-identical whether chaos was ever armed (with an
+empty schedule) or the package was never touched at all.
+"""
+
+import errno
+import os
+
+import pytest
+
+from repro.campaign import pool, store
+from repro.campaign.engine import CampaignEngine
+from repro.campaign.spec import CampaignSpec
+from repro.campaign.store import ResultStore
+from repro.chaos import ChaosConfig, ChaosState, arm, armed, disarm
+from repro.chaos.inject import INJECTED_METRIC
+from repro.chaos.schedule import ChaosEvent, ChaosSchedule
+from repro.errors import ChaosCrash, ChaosError, StoreIOError
+from repro.resilience import checkpoint
+from repro.serve import scheduler, server
+from repro.serve.metrics import Metrics
+
+
+@pytest.fixture(autouse=True)
+def _always_disarm():
+    yield
+    disarm()
+
+
+def _schedule(*events):
+    return ChaosSchedule(config=ChaosConfig(), events=tuple(events))
+
+
+class _FakeStore:
+    path = "fake.db"
+
+    def __init__(self):
+        self.rollbacks = 0
+
+    def rollback(self):
+        self.rollbacks += 1
+
+
+class TestArmLifecycle:
+    HOOKS = [
+        (store, "CHAOS_COMMIT_HOOK"),
+        (pool, "CHAOS_SPAWN_HOOK"),
+        (checkpoint, "CHAOS_SAVE_HOOK"),
+        (scheduler, "CHAOS_CRASH_HOOK"),
+        (server, "CHAOS_CRASH_HOOK"),
+    ]
+
+    def test_hooks_default_to_none(self):
+        for module, name in self.HOOKS:
+            assert getattr(module, name) is None
+
+    def test_arm_installs_every_hook_and_disarm_clears(self):
+        arm(ChaosConfig(torn_commits=1, window=4))
+        for module, name in self.HOOKS:
+            assert getattr(module, name) is not None
+        disarm()
+        for module, name in self.HOOKS:
+            assert getattr(module, name) is None
+
+    def test_double_arm_refused(self):
+        arm(ChaosConfig())
+        with pytest.raises(ChaosError, match="already armed"):
+            arm(ChaosConfig())
+
+    def test_disarm_is_idempotent(self):
+        disarm()
+        disarm()
+
+    def test_armed_context_disarms_on_exception(self):
+        with pytest.raises(RuntimeError):
+            with armed(ChaosConfig()):
+                assert store.CHAOS_COMMIT_HOOK is not None
+                raise RuntimeError("boom")
+        assert store.CHAOS_COMMIT_HOOK is None
+
+    def test_bad_crash_mode_refused(self):
+        with pytest.raises(ChaosError, match="crash_mode"):
+            ChaosState(_schedule(), crash_mode="panic")
+
+
+class TestStoreCommitHook:
+    def test_io_error_fires_at_exactly_the_nth_commit(self):
+        state = ChaosState(
+            _schedule(ChaosEvent(op="store.commit", nth=3, kind="io-error"))
+        )
+        fake = _FakeStore()
+        state.on_store_commit(fake)
+        state.on_store_commit(fake)
+        with pytest.raises(StoreIOError, match="disk I/O error"):
+            state.on_store_commit(fake)
+        assert fake.rollbacks == 1
+        # the event is consumed: later passes are clean
+        state.on_store_commit(fake)
+        assert fake.rollbacks == 1
+        assert state.fired == ["store.commit#3: io-error"]
+        assert state.counts()["store.commit"] == 4
+
+    def test_disk_full_names_enospc(self):
+        state = ChaosState(
+            _schedule(ChaosEvent(op="store.commit", nth=1, kind="disk-full"))
+        )
+        with pytest.raises(StoreIOError, match=str(errno.ENOSPC)):
+            state.on_store_commit(_FakeStore())
+
+    def test_torn_commit_rolls_back_then_crashes(self):
+        state = ChaosState(
+            _schedule(ChaosEvent(op="store.commit", nth=1, kind="torn"))
+        )
+        fake = _FakeStore()
+        with pytest.raises(ChaosCrash) as err:
+            state.on_store_commit(fake)
+        assert fake.rollbacks == 1
+        assert "store.commit#1" in str(err.value)
+
+    def test_slow_commit_never_rolls_back(self):
+        state = ChaosState(
+            ChaosSchedule(
+                config=ChaosConfig(slow_delay_s=0.0),
+                events=(ChaosEvent(op="store.commit", nth=1, kind="slow"),),
+            )
+        )
+        fake = _FakeStore()
+        state.on_store_commit(fake)
+        assert fake.rollbacks == 0
+        assert state.fired == ["store.commit#1: slow"]
+
+    def test_chaos_crash_is_not_an_exception_subclass(self):
+        # Generic `except Exception` recovery code must never swallow a
+        # simulated process death.
+        assert not issubclass(ChaosCrash, Exception)
+        assert issubclass(ChaosCrash, BaseException)
+
+
+class TestPoolAndCheckpointHooks:
+    def test_spawn_failure_raises_emfile(self):
+        state = ChaosState(
+            _schedule(ChaosEvent(op="pool.spawn", nth=2, kind="spawn-fail"))
+        )
+        assert state.on_pool_spawn() is None
+        with pytest.raises(OSError) as err:
+            state.on_pool_spawn()
+        assert err.value.errno == errno.EMFILE
+
+    def test_kill_returns_a_callable_that_kills(self):
+        state = ChaosState(
+            _schedule(ChaosEvent(op="pool.spawn", nth=1, kind="kill"))
+        )
+        after = state.on_pool_spawn()
+        assert callable(after)
+
+        class _Proc:
+            killed = False
+
+            def kill(self):
+                self.killed = True
+
+        proc = _Proc()
+        after(proc)
+        assert proc.killed
+
+    def test_checkpoint_tear_truncates_the_nth_save(self, tmp_path):
+        state = ChaosState(
+            _schedule(ChaosEvent(op="checkpoint.save", nth=2, kind="tear"))
+        )
+        snap = tmp_path / "snap.ckpt"
+        snap.write_bytes(b"x" * 100)
+        state.on_checkpoint_save(str(snap))  # save #1: untouched
+        assert snap.stat().st_size == 100
+        state.on_checkpoint_save(str(snap))  # save #2: torn
+        assert snap.stat().st_size == 50
+
+    def test_crash_point_fires_once_at_its_ordinal(self):
+        state = ChaosState(
+            _schedule(
+                ChaosEvent(op="serve.submit.before-ack", nth=2, kind="crash")
+            )
+        )
+        state.on_crash_point("serve.submit.before-ack")
+        with pytest.raises(ChaosCrash):
+            state.on_crash_point("serve.submit.before-ack")
+        state.on_crash_point("serve.submit.before-ack")  # consumed
+
+    def test_exit_mode_calls_os_exit(self, monkeypatch):
+        codes = []
+
+        def fake_exit(code):
+            # The real os._exit never returns; model that so the hook
+            # cannot fall through to the "raise" branch.
+            codes.append(code)
+            raise SystemExit(code)
+
+        monkeypatch.setattr(os, "_exit", fake_exit)
+        state = ChaosState(
+            _schedule(
+                ChaosEvent(op="scheduler.before-commit", nth=1, kind="crash")
+            ),
+            crash_mode="exit",
+        )
+        with pytest.raises(SystemExit):
+            state.on_crash_point("scheduler.before-commit")
+        assert codes == [86]
+
+
+class TestMetrics:
+    def test_injected_faults_are_counted_per_kind_and_op(self):
+        metrics = Metrics()
+        state = ChaosState(
+            _schedule(ChaosEvent(op="store.commit", nth=1, kind="io-error")),
+            metrics=metrics,
+        )
+        with pytest.raises(StoreIOError):
+            state.on_store_commit(_FakeStore())
+        assert metrics.counter_value(
+            INJECTED_METRIC, kind="io-error", op="store.commit"
+        ) == 1.0
+
+    def test_bind_metrics_repoints_a_restarted_daemon(self):
+        first, second = Metrics(), Metrics()
+        state = ChaosState(
+            _schedule(
+                ChaosEvent(op="pool.spawn", nth=1, kind="spawn-fail"),
+                ChaosEvent(op="pool.spawn", nth=2, kind="spawn-fail"),
+            ),
+            metrics=first,
+        )
+        with pytest.raises(OSError):
+            state.on_pool_spawn()
+        state.bind_metrics(second)
+        with pytest.raises(OSError):
+            state.on_pool_spawn()
+        assert first.counter_value(
+            INJECTED_METRIC, kind="spawn-fail", op="pool.spawn"
+        ) == 1.0
+        assert second.counter_value(
+            INJECTED_METRIC, kind="spawn-fail", op="pool.spawn"
+        ) == 1.0
+
+
+def _campaign_payloads(workers=2):
+    spec = CampaignSpec(experiments=("demo",), quick=True, seed=1)
+    with ResultStore(":memory:") as result_store:
+        result_store.initialize(spec)
+        summary = CampaignEngine(
+            result_store, workers=workers, retries=0, progress=False
+        ).run()
+        assert summary.ok
+        return {
+            row.job_id: row.payload for row in result_store.all_jobs()
+        }
+
+
+class TestZeroOverheadEquivalence:
+    """Disarmed chaos must be invisible: identical bytes, identical path."""
+
+    def test_empty_schedule_is_byte_identical_to_never_armed(self):
+        untouched = _campaign_payloads()
+        with armed(ChaosConfig()) as state:
+            under_empty_schedule = _campaign_payloads()
+            assert state.fired == []
+        disarmed_again = _campaign_payloads()
+        assert untouched == under_empty_schedule
+        assert untouched == disarmed_again
+        assert len(untouched) >= 2  # the demo quick grid has real jobs

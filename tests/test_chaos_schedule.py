@@ -1,0 +1,134 @@
+"""ChaosConfig validation and the determinism of compile_schedule."""
+
+import pytest
+
+from repro.chaos import CRASH_POINTS, ChaosConfig, compile_schedule
+from repro.errors import ChaosError
+
+
+class TestDeterminism:
+    def test_same_config_compiles_to_same_schedule(self):
+        config = ChaosConfig(
+            seed=7, window=16, store_io_errors=2, torn_commits=1,
+            worker_kills=1, spawn_failures=1, checkpoint_tears=1,
+            crash_points=("serve.submit.before-ack",),
+        )
+        first = compile_schedule(config)
+        second = compile_schedule(config)
+        assert first.events == second.events
+        assert [e.describe() for e in first.events] == [
+            e.describe() for e in second.events
+        ]
+
+    def test_different_seeds_differ(self):
+        kw = dict(window=64, store_io_errors=3, worker_kills=2)
+        a = compile_schedule(ChaosConfig(seed=1, **kw))
+        b = compile_schedule(ChaosConfig(seed=2, **kw))
+        assert a.events != b.events
+
+    def test_crash_point_order_is_canonical(self):
+        # The schedule must not depend on how the config spelled the tuple.
+        forward = compile_schedule(
+            ChaosConfig(seed=3, crash_points=tuple(CRASH_POINTS))
+        )
+        backward = compile_schedule(
+            ChaosConfig(seed=3, crash_points=tuple(reversed(CRASH_POINTS)))
+        )
+        assert forward.events == backward.events
+
+    def test_ordinals_are_distinct_per_choke_point(self):
+        config = ChaosConfig(
+            seed=11, window=6, store_io_errors=2, disk_full_errors=2,
+            torn_commits=1, slow_commits=1,
+        )
+        events = compile_schedule(config).events
+        store_ordinals = [e.nth for e in events if e.op == "store.commit"]
+        assert len(store_ordinals) == 6
+        assert len(set(store_ordinals)) == 6
+        assert all(1 <= nth <= 6 for nth in store_ordinals)
+
+    def test_event_counts_match_config(self):
+        config = ChaosConfig(
+            seed=5, window=32, store_io_errors=2, disk_full_errors=1,
+            torn_commits=1, slow_commits=1, worker_kills=2,
+            spawn_failures=1, checkpoint_tears=2,
+            crash_points=("scheduler.before-commit",),
+        )
+        events = compile_schedule(config).events
+        kinds = sorted(e.kind for e in events)
+        assert kinds.count("io-error") == 2
+        assert kinds.count("disk-full") == 1
+        assert kinds.count("torn") == 1
+        assert kinds.count("slow") == 1
+        assert kinds.count("kill") == 2
+        assert kinds.count("spawn-fail") == 1
+        assert kinds.count("tear") == 2
+        assert kinds.count("crash") == 1
+
+    def test_empty_config_compiles_to_no_events(self):
+        schedule = compile_schedule(ChaosConfig(seed=0))
+        assert schedule.events == ()
+        assert not schedule.config.any_faults
+
+
+class TestValidation:
+    def test_negative_count_refused(self):
+        with pytest.raises(ChaosError):
+            ChaosConfig(torn_commits=-1)
+
+    def test_window_must_be_positive(self):
+        with pytest.raises(ChaosError, match="window"):
+            ChaosConfig(window=0)
+
+    def test_unknown_crash_point_refused(self):
+        with pytest.raises(ChaosError, match="unknown crash point"):
+            ChaosConfig(crash_points=("store.commit.after-fsync",))
+
+    def test_duplicate_crash_points_refused(self):
+        point = CRASH_POINTS[0]
+        with pytest.raises(ChaosError, match="duplicate"):
+            ChaosConfig(crash_points=(point, point))
+
+    def test_store_faults_must_fit_window(self):
+        with pytest.raises(ChaosError, match="do not fit"):
+            ChaosConfig(window=2, store_io_errors=2, torn_commits=1)
+
+    def test_pool_faults_must_fit_window(self):
+        with pytest.raises(ChaosError, match="do not fit"):
+            ChaosConfig(window=1, worker_kills=1, spawn_failures=1)
+
+    def test_negative_slow_delay_refused(self):
+        with pytest.raises(ChaosError, match="slow_delay_s"):
+            ChaosConfig(slow_delay_s=-0.1)
+
+    def test_list_crash_points_coerced(self):
+        # JSON round-trips hand the constructor a list; it must normalize.
+        config = ChaosConfig(crash_points=[CRASH_POINTS[0]])
+        assert config.crash_points == (CRASH_POINTS[0],)
+
+    def test_to_dict_round_trips(self):
+        config = ChaosConfig(
+            seed=9, window=4, torn_commits=1,
+            crash_points=(CRASH_POINTS[1],),
+        )
+        rebuilt = ChaosConfig(**config.to_dict())
+        assert rebuilt == config
+        assert compile_schedule(rebuilt).events == compile_schedule(config).events
+
+
+class TestDescribe:
+    def test_event_describe_format(self):
+        events = compile_schedule(
+            ChaosConfig(seed=0, window=1, torn_commits=1)
+        ).events
+        assert len(events) == 1
+        assert events[0].describe() == "store.commit#1: torn"
+
+    def test_schedule_describe_is_json_safe(self):
+        import json
+
+        schedule = compile_schedule(
+            ChaosConfig(seed=2, window=4, worker_kills=1, slow_commits=1)
+        )
+        blob = json.dumps(schedule.describe())
+        assert "pool.spawn" in blob and "store.commit" in blob

@@ -85,7 +85,9 @@ class TestSubcommandRegistry:
     lockstep so a new tool cannot be wired into one and forgotten in
     another."""
 
-    EXPECTED = {"lint", "verify", "campaign", "resilience", "serve", "bench"}
+    EXPECTED = {
+        "lint", "verify", "campaign", "resilience", "serve", "bench", "chaos",
+    }
 
     def test_table_names_every_tool(self):
         assert set(SUBCOMMANDS) == self.EXPECTED

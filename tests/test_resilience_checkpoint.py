@@ -19,7 +19,7 @@ import pytest
 
 import repro
 from repro.core.config import TargetConfig, build_cosim
-from repro.errors import CheckpointError
+from repro.errors import CheckpointCorruptError, CheckpointError
 from repro.resilience import (
     FaultConfig,
     load_checkpoint,
@@ -110,6 +110,92 @@ class TestValidation:
         path.write_bytes(b"not a checkpoint at all")
         with pytest.raises(CheckpointError):
             load_checkpoint(str(path))
+
+
+class TestEnvelopeV2:
+    """The v2 envelope: verify-before-unpickle, torn-write taxonomy."""
+
+    def _snapshot(self, tmp_path):
+        cosim = build_cosim(TargetConfig(**SMALL))
+        cosim.run(max_cycles=200)
+        path = str(tmp_path / "snap.ckpt")
+        save_checkpoint(cosim, path)
+        return path
+
+    def test_envelope_leads_with_magic_and_json_header(self, tmp_path):
+        path = self._snapshot(tmp_path)
+        blob = Path(path).read_bytes()
+        assert blob.startswith(b"REPROCKPT2\n")
+        header = json.loads(
+            blob[len(b"REPROCKPT2\n"):].split(b"\n", 1)[0]
+        )
+        assert header["version"] == 2
+        assert len(header["sha256"]) == 64
+        assert header["body_len"] > 0
+
+    def test_torn_body_is_corrupt_not_generic(self, tmp_path):
+        # The chaos tear: half the file is gone, the header may survive.
+        path = self._snapshot(tmp_path)
+        blob = Path(path).read_bytes()
+        Path(path).write_bytes(blob[: len(blob) // 2])
+        with pytest.raises(CheckpointCorruptError, match="torn write"):
+            load_checkpoint(path)
+
+    def test_torn_header_is_corrupt(self, tmp_path):
+        path = self._snapshot(tmp_path)
+        # cut inside the header line: magic intact, no newline follows
+        Path(path).write_bytes(Path(path).read_bytes()[:20])
+        with pytest.raises(CheckpointCorruptError, match="header"):
+            load_checkpoint(path)
+
+    def test_flipped_body_byte_never_reaches_pickle(self, tmp_path, monkeypatch):
+        import pickle
+
+        path = self._snapshot(tmp_path)
+        blob = bytearray(Path(path).read_bytes())
+        blob[-30] ^= 0xFF
+        Path(path).write_bytes(bytes(blob))
+
+        def forbidden(*a, **k):  # pragma: no cover - the assertion
+            raise AssertionError("pickle.loads ran on unverified bytes")
+
+        monkeypatch.setattr(pickle, "loads", forbidden)
+        with pytest.raises(CheckpointCorruptError, match="hash mismatch"):
+            load_checkpoint(path)
+
+    def test_v1_bare_pickle_refused_with_version_message(self, tmp_path):
+        import pickle
+
+        path = str(tmp_path / "old.ckpt")
+        Path(path).write_bytes(
+            pickle.dumps({"version": 1}, protocol=pickle.HIGHEST_PROTOCOL)
+        )
+        with pytest.raises(CheckpointError, match="format v1"):
+            load_checkpoint(path)
+
+    def test_corrupt_error_is_a_checkpoint_error(self):
+        # Callers catching the broad class keep working.
+        assert issubclass(CheckpointCorruptError, CheckpointError)
+
+    def test_runner_discards_corrupt_checkpoint_and_restarts(self, tmp_path):
+        # The campaign-worker resume path: a torn snapshot costs the
+        # resume, never the job — run_cosim deletes it, restarts from
+        # cycle 0, and determinism makes the rerun indistinguishable.
+        from repro.harness.runner import run_cosim
+        from repro.resilience.checkpoint import job_checkpoint
+
+        reference = build_cosim(TargetConfig(**SMALL)).run()
+        path = tmp_path / "job.ckpt"
+        cosim = build_cosim(TargetConfig(**SMALL))
+        cosim.run(max_cycles=400)
+        save_checkpoint(cosim, str(path))
+        blob = path.read_bytes()
+        path.write_bytes(blob[: len(blob) // 2])  # the torn write
+        with job_checkpoint(str(path), every=10_000):
+            result = run_cosim(TargetConfig(**SMALL), cache=False)
+        assert result.finish_cycle == reference.finish_cycle
+        assert result.deliveries == reference.deliveries
+        assert not path.exists()  # finished runs owe nobody a resume point
 
 
 class TestSigkillRestore:

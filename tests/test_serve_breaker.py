@@ -1,0 +1,224 @@
+"""The dispatch circuit breaker: unit transitions and the serve wiring.
+
+Unit tests drive a fake clock (no sleeps); the integration tests prove
+the scheduler's spawn-failure path trips the breaker, the frontier
+answers 503 + Retry-After while it is open, and a half-open probe closes
+it again.
+"""
+
+import json
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.serve.breaker import CircuitBreaker
+from repro.serve.cache import ResultCache
+from repro.serve.metrics import PREFIX, Metrics
+from repro.serve.protocol import Request
+from repro.serve.queuein import AdmissionQueue, QueuedJob
+from repro.serve.scheduler import Scheduler
+from repro.serve.server import ServeConfig, ServeDaemon
+from repro.campaign.spec import JobSpec
+
+
+class _Clock:
+    def __init__(self):
+        self.now = 0.0
+
+    def __call__(self):
+        return self.now
+
+    def advance(self, seconds):
+        self.now += seconds
+
+
+class TestBreakerUnit:
+    def test_starts_closed(self):
+        breaker = CircuitBreaker(threshold=3, clock=_Clock())
+        assert breaker.state == "closed"
+        assert not breaker.blocked
+        assert breaker.retry_after_s() == 0.0
+
+    def test_opens_after_threshold_consecutive_failures(self):
+        breaker = CircuitBreaker(threshold=3, cooldown_s=10.0, clock=_Clock())
+        assert breaker.record_failure("store") is False
+        assert breaker.record_failure("store") is False
+        assert breaker.record_failure("store") is True
+        assert breaker.state == "open"
+        assert breaker.blocked
+        assert breaker.trips == 1
+        assert breaker.retry_after_s() == pytest.approx(10.0)
+
+    def test_success_resets_the_streak(self):
+        breaker = CircuitBreaker(threshold=2, clock=_Clock())
+        breaker.record_failure()
+        breaker.record_success()
+        breaker.record_failure()
+        assert breaker.state == "closed"  # never two in a row
+
+    def test_cooldown_elapses_to_half_open(self):
+        clock = _Clock()
+        breaker = CircuitBreaker(threshold=1, cooldown_s=5.0, clock=clock)
+        breaker.record_failure("pool")
+        assert breaker.blocked
+        clock.advance(4.9)
+        assert breaker.blocked
+        clock.advance(0.2)
+        assert breaker.state == "half-open"
+        assert not breaker.blocked  # the probe may dispatch
+
+    def test_half_open_failure_reopens_immediately(self):
+        clock = _Clock()
+        breaker = CircuitBreaker(threshold=3, cooldown_s=5.0, clock=clock)
+        for _ in range(3):
+            breaker.record_failure()
+        clock.advance(6.0)
+        assert breaker.state == "half-open"
+        # One failed probe re-trips without needing a fresh streak.
+        assert breaker.record_failure("probe") is True
+        assert breaker.blocked
+        assert breaker.trips == 2
+
+    def test_half_open_success_closes(self):
+        clock = _Clock()
+        breaker = CircuitBreaker(threshold=1, cooldown_s=5.0, clock=clock)
+        breaker.record_failure()
+        clock.advance(6.0)
+        assert breaker.state == "half-open"
+        breaker.record_success()
+        assert breaker.state == "closed"
+        assert not breaker.blocked
+
+    def test_describe_is_json_safe(self):
+        clock = _Clock()
+        breaker = CircuitBreaker(threshold=2, cooldown_s=3.0, clock=clock)
+        breaker.record_failure("store")
+        breaker.record_failure("store")
+        snapshot = json.loads(json.dumps(breaker.describe()))
+        assert snapshot["state"] == "open"
+        assert snapshot["consecutive_failures"] == 2
+        assert snapshot["trips"] == 1
+        assert snapshot["last_cause"] == "store"
+
+    def test_invalid_parameters_refused(self):
+        with pytest.raises(ConfigError):
+            CircuitBreaker(threshold=0)
+        with pytest.raises(ConfigError):
+            CircuitBreaker(cooldown_s=-1.0)
+
+
+def _job(idx=0, client="a"):
+    return QueuedJob(
+        spec=JobSpec(
+            eid="demo", point_index=idx, point=[idx], quick=True,
+            seed=7, replicate=0,
+        ),
+        client=client,
+    )
+
+
+class TestSchedulerTripsBreaker:
+    def test_spawn_failures_open_the_breaker_and_stop_dispatch(self):
+        queue = AdmissionQueue(max_depth=8)
+        with ResultCache(":memory:") as cache:
+            metrics = Metrics()
+            clock = _Clock()
+            sched = Scheduler(
+                queue=queue, cache=cache, metrics=metrics, workers=1,
+                breaker_threshold=2, breaker_cooldown_s=30.0,
+            )
+            sched.breaker = CircuitBreaker(
+                threshold=2, cooldown_s=30.0, clock=clock
+            )
+            job = _job()
+            cache.admit(job.spec)
+            sched._admit_batch([job])
+
+            calls = []
+
+            def exploding_submit(job_id, payload):
+                calls.append(job_id)
+                raise OSError("spawn failed (fd limit)")
+
+            sched._pool.submit = exploding_submit
+            sched._fill_pool()  # failure 1: re-buffered, breaker counting
+            sched._fill_pool()  # failure 2: breaker opens
+            assert sched.breaker.blocked
+            assert len(calls) == 2
+            # open breaker: _fill_pool returns without touching the pool
+            sched._fill_pool()
+            assert len(calls) == 2
+            # the job survived every failed attempt, exactly once
+            with sched._lock:
+                assert [e.job_id for e in sched._buffer] == [job.job_id]
+            # no failed spawn burned the job's retry budget
+            assert cache.attempts(job.job_id) == 0
+            assert metrics.counter_value(
+                f"{PREFIX}_spawn_failures_total"
+            ) == 2.0
+            sched._pool.shutdown()
+
+    def test_half_open_probe_success_closes_and_dispatches(self):
+        queue = AdmissionQueue(max_depth=8)
+        with ResultCache(":memory:") as cache:
+            clock = _Clock()
+            sched = Scheduler(
+                queue=queue, cache=cache, metrics=Metrics(), workers=1,
+            )
+            sched.breaker = CircuitBreaker(
+                threshold=1, cooldown_s=5.0, clock=clock
+            )
+            sched.breaker.record_failure("pool")
+            assert sched.breaker.blocked
+            clock.advance(6.0)
+            assert sched.breaker.state == "half-open"
+            sched.breaker.record_success()
+            assert sched.breaker.state == "closed"
+            sched._pool.shutdown()
+
+
+class TestFrontier503:
+    def _submit_request(self, payload):
+        body = json.dumps(payload).encode("utf-8")
+        return Request("POST", "/api/v1/jobs", {}, body)
+
+    def test_open_breaker_answers_503_with_retry_after(self, tmp_path):
+        d = ServeDaemon(
+            ServeConfig(
+                db=str(tmp_path / "serve.db"),
+                breaker_threshold=2, breaker_cooldown_s=30.0,
+            )
+        )
+        try:
+            for _ in range(2):
+                d.scheduler.breaker.record_failure("store")
+            status, payload, _, headers = d._submit(
+                self._submit_request(
+                    {"eid": "demo", "point_index": 0, "quick": True}
+                )
+            )
+            assert status == 503
+            assert "Retry-After" in headers
+            assert payload["circuit"]["state"] == "open"
+            assert payload["retry_after_s"] >= 1
+            assert d.metrics.counter_value(
+                f"{PREFIX}_breaker_rejections_total"
+            ) == 1.0
+            # the refused submission left no durable row behind
+            rendered = d.metrics.render_prometheus()
+            assert f"{PREFIX}_breaker_open 1" in rendered
+            assert f"{PREFIX}_breaker_trips 1" in rendered
+        finally:
+            d.cache.close()
+
+    def test_breaker_state_in_healthz(self, tmp_path):
+        d = ServeDaemon(ServeConfig(db=str(tmp_path / "serve.db")))
+        try:
+            status, payload, _, _ = d._route(
+                Request("GET", "/healthz", {}, b"")
+            )
+            assert status == 200
+            assert payload["circuit"]["state"] == "closed"
+            assert payload["scheduler_crashed"] is False
+        finally:
+            d.cache.close()

@@ -148,7 +148,9 @@ class TestBackpressure:
         )
         d.start()
         try:
-            client = ServeClient(port=d.port, client_id="burst")
+            # retries=0: this test asserts the *raw* 429 contract, so the
+            # client's transparent shed-retry must stay out of the way.
+            client = ServeClient(port=d.port, client_id="burst", retries=0)
             acks = []
             rejected = None
             # Slow jobs glue up the single worker; the bounded queue must

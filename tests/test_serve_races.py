@@ -207,6 +207,89 @@ class _ExplodingContext:
         return _ExplodingProcess(*args, **kwargs)
 
 
+class TestBatchSpawnFailureDemotion:
+    """A kernel batch that cannot spawn demotes every member to the
+    individual path: no member is lost, none is duplicated, and the
+    batch never re-forms around the same host fault."""
+
+    def _demo_noc_jobs(self, k=4):
+        return [
+            QueuedJob(
+                spec=JobSpec(
+                    eid="demo-noc", point_index=i % 2, point=[i % 2],
+                    quick=True, seed=1, replicate=i // 2,
+                ),
+                client="pytest",
+            )
+            for i in range(k)
+        ]
+
+    def test_batch_members_demoted_and_rebuffered_exactly_once(self, tmp_path):
+        with ResultCache(str(tmp_path / "serve.db")) as cache:
+            metrics = Metrics()
+            sched = _sched(
+                AdmissionQueue(max_depth=64), cache, metrics, batch_max=8
+            )
+            try:
+                entries = self._demo_noc_jobs(4)
+                for entry in entries:
+                    assert cache.admit(entry.spec)
+                sched._admit_batch(entries)
+
+                real_submit = sched._pool.submit
+                batch_attempts = []
+
+                def batch_hostile_submit(job_id, payload):
+                    if "_batch_members" in payload:
+                        batch_attempts.append(job_id)
+                        raise OSError("spawn failed (fd limit)")
+                    return real_submit(job_id, payload)
+
+                sched._pool.submit = batch_hostile_submit
+                sched._fill_pool()
+                # one batch spawn was attempted and refused ...
+                assert len(batch_attempts) == 1
+                # ... every member is demoted to individual dispatch
+                member_ids = {e.job_id for e in entries}
+                assert sched._no_batch >= member_ids
+                # ... and each member is tracked exactly once (the pool
+                # held one slot, so one dispatched individually and the
+                # other three are re-buffered — none lost, none doubled)
+                with sched._lock:
+                    buffered = [e.job_id for e in sched._buffer]
+                    running = set(sched._running)
+                assert len(buffered) == len(set(buffered))
+                assert set(buffered) | running == member_ids
+                assert len(buffered) + len(running) == 4
+                # a failed spawn burns no member's retry budget
+                assert all(
+                    cache.attempts(jid) == 0 for jid in buffered
+                )
+                assert metrics.counter_value(
+                    f"{PREFIX}_engine_fallback_total", reason="spawn-failure"
+                ) == 4.0
+                assert metrics.counter_value(
+                    f"{PREFIX}_spawn_failures_total"
+                ) == 4.0
+                assert sched.breaker.describe()["consecutive_failures"] == 1
+
+                # drain: every member completes individually, exactly once
+                waited = 0.0
+                while sched._pool.active or sched._buffer:
+                    sched._fill_pool()
+                    for outcome in sched._pool.wait(poll_s=0.05, budget_s=0.5):
+                        sched._handle_outcome(outcome)
+                    waited += 0.5
+                    assert waited < 180.0, "scheduler did not drain in time"
+                for jid in member_ids:
+                    row = cache.job_row(jid)
+                    assert row.status == "done"
+                    assert row.attempts == 1
+                assert sched.breaker.state == "closed"
+            finally:
+                sched._pool.shutdown()
+
+
 class TestPoolSpawnFailure:
     def test_pipe_ends_closed_when_start_raises(self):
         opened = []

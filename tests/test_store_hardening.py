@@ -1,0 +1,124 @@
+"""Store hardening: corrupt databases quarantine, commit failures wrap.
+
+A campaign database is provenance; the store must refuse damaged bytes
+with a structured error (never a raw sqlite3 traceback) and preserve the
+evidence in a ``.corrupt`` quarantine instead of silently rebuilding over
+it.
+"""
+
+import sqlite3
+from pathlib import Path
+
+import pytest
+
+from repro.campaign.spec import CampaignSpec
+from repro.campaign.store import ResultStore
+from repro.errors import StoreCorruptError, StoreIOError
+
+
+def _seed_store(path):
+    spec = CampaignSpec(experiments=("demo",), quick=True, seed=1)
+    with ResultStore(path) as store:
+        store.initialize(spec)
+    return spec
+
+
+class TestQuarantine:
+    def test_not_a_database_is_quarantined(self, tmp_path):
+        db = str(tmp_path / "c.db")
+        Path(db).write_bytes(b"this was never sqlite\n" * 64)
+        with pytest.raises(StoreCorruptError) as err:
+            ResultStore(db)
+        assert err.value.quarantined_to == db + ".corrupt"
+        assert Path(db + ".corrupt").exists()
+        assert not Path(db).exists()  # the path is freed for a fresh store
+
+    def test_torn_page_fails_integrity_check(self, tmp_path):
+        db = str(tmp_path / "c.db")
+        _seed_store(db)
+        blob = bytearray(Path(db).read_bytes())
+        # Zero a page in the middle of the file: still a valid sqlite
+        # header, but the b-tree is now inconsistent.
+        page = 4096
+        blob[page : page + 256] = b"\x00" * 256
+        Path(db).write_bytes(bytes(blob))
+        with pytest.raises(StoreCorruptError, match="integrity check"):
+            ResultStore(db)
+        assert Path(db + ".corrupt").exists()
+
+    def test_quarantine_names_never_collide(self, tmp_path):
+        db = str(tmp_path / "c.db")
+        for expected in (db + ".corrupt", db + ".corrupt-1"):
+            Path(db).write_bytes(b"garbage")
+            with pytest.raises(StoreCorruptError) as err:
+                ResultStore(db)
+            assert err.value.quarantined_to == expected
+            assert Path(expected).exists()
+
+    def test_wal_sidecars_are_quarantined_with_the_db(self, tmp_path):
+        # A stale WAL replayed into a *replacement* database would graft
+        # old transactions onto a fresh store; it must move aside too.
+        # (Driven through _quarantine directly: sqlite itself disposes of
+        # sidecars it can prove stale during open, so the rename path
+        # only triggers when corruption is found with live sidecars.)
+        db = str(tmp_path / "c.db")
+        _seed_store(db)
+        store = ResultStore(db)
+        # Detach the connection before planting sidecars: sqlite deletes
+        # WAL files it owns on close, which would mask the rename path.
+        store.close()
+        store._conn = None
+        Path(db + "-wal").write_bytes(b"stale wal frames")
+        Path(db + "-shm").write_bytes(b"stale shm")
+        with pytest.raises(StoreCorruptError):
+            store._quarantine("forced by test")
+        assert Path(db + ".corrupt-wal").exists()
+        assert Path(db + ".corrupt-shm").exists()
+        assert not Path(db + "-wal").exists()
+        assert not Path(db).exists()
+
+    def test_fresh_store_opens_after_quarantine(self, tmp_path):
+        db = str(tmp_path / "c.db")
+        Path(db).write_bytes(b"garbage")
+        with pytest.raises(StoreCorruptError):
+            ResultStore(db)
+        spec = _seed_store(db)  # the freed path accepts a new campaign
+        with ResultStore(db) as store:
+            assert len(store.all_jobs()) == len(spec.expand())
+
+    def test_healthy_store_reopens_clean(self, tmp_path):
+        db = str(tmp_path / "c.db")
+        _seed_store(db)
+        with ResultStore(db) as store:
+            assert store.get_meta("store_schema") is not None
+        assert not Path(db + ".corrupt").exists()
+
+
+class TestCommitWrapping:
+    def test_commit_failure_surfaces_as_store_io_error(self, tmp_path):
+        db = str(tmp_path / "c.db")
+        spec = _seed_store(db)
+        job_id = spec.expand()[0].job_id
+        store = ResultStore(db)
+        try:
+            original = store._conn
+
+            class _FailingConn:
+                def __getattr__(self, name):
+                    return getattr(original, name)
+
+                def commit(self):
+                    raise sqlite3.OperationalError("disk I/O error")
+
+            store._conn = _FailingConn()
+            with pytest.raises(StoreIOError, match="commit failed"):
+                store.mark_running(job_id, "w0")
+            store._conn = original
+            # the transaction rolled back: the row kept its previous state
+            # and the connection stays usable for a retry
+            assert store.get_job(job_id).status == "pending"
+            store.mark_running(job_id, "w0")
+            assert store.get_job(job_id).status == "running"
+        finally:
+            store._conn = original
+            store.close()
