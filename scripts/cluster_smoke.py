@@ -1,0 +1,352 @@
+#!/usr/bin/env python3
+"""End-to-end smoke test for the sharded cluster service (CI gate).
+
+Drives three real ``python -m repro cluster start`` subprocesses as one
+ring through the full cluster contract:
+
+1. **Ring formation** — three nodes on ephemeral ports gossip to a
+   converged membership view (asserted via ``/healthz``).
+2. **Mixed concurrent load** — four clients submit the demo + demo-noc
+   quick grids round-robin over every node (duplicates on purpose);
+   every result fetched through every client must be byte-identical.
+3. **Peer cache-fill** — a job computed on its ring owner is then
+   submitted to a *non-owner*, which must answer ``cached`` with ZERO
+   new worker spawns on that node (proved by ``jobs_dispatched_total``
+   before/after) and a ring-wide peer-fill hit.
+4. **SIGKILL a node mid-queue** — with a fresh batch queued, one node
+   dies ``kill -9``-style and is restarted on the same database and
+   port; the ring must drain every accepted job, and the final store
+   files must pass the cluster crash-consistency audit (exactly-once,
+   byte-identical to a fault-free in-process reference).
+
+Run from the repository root: ``python scripts/cluster_smoke.py``.
+Exits non-zero (with a diagnostic) on any violation.
+"""
+
+from __future__ import annotations
+
+import os
+import re
+import signal
+import subprocess
+import sys
+import tempfile
+import threading
+import time
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO / "src"))
+
+from repro.campaign.spec import CampaignSpec  # noqa: E402
+from repro.chaos.audit import _audit_cluster_stores, _reference_payloads  # noqa: E402
+from repro.cluster import HashRing  # noqa: E402
+from repro.errors import ServeError  # noqa: E402
+from repro.serve import ServeClient  # noqa: E402
+
+LISTEN_RE = re.compile(r"listening on ([\d.]+):(\d+)")
+START_BUDGET_S = 60.0
+DRAIN_BUDGET_S = 300.0
+NODE_IDS = ("n1", "n2", "n3")
+N_CLIENTS = 4
+
+MIXED_SPEC = CampaignSpec(experiments=("demo", "demo-noc"), quick=True)
+KILL_SPEC = CampaignSpec(experiments=("demo", "demo-noc"), quick=True, seed=7000)
+FILL_SPEC = CampaignSpec(experiments=("demo",), quick=True, seed=424242)
+FILL_JOB = FILL_SPEC.expand()[0]
+
+
+def fail(message: str) -> None:
+    print(f"cluster_smoke: FAIL: {message}", file=sys.stderr)
+    raise SystemExit(1)
+
+
+def step(message: str) -> None:
+    print(f"cluster_smoke: {message}", flush=True)
+
+
+class Node:
+    """One cluster-node subprocess on an ephemeral (then pinned) port."""
+
+    def __init__(self, node_id: str, db: str, port: int = 0,
+                 peers: str = "") -> None:
+        self.node_id = node_id
+        self.db = db
+        env = dict(os.environ)
+        env["PYTHONPATH"] = str(REPO / "src") + os.pathsep + env.get(
+            "PYTHONPATH", ""
+        )
+        command = [
+            sys.executable, "-m", "repro", "cluster", "start",
+            "--node-id", node_id, "--db", db, "--port", str(port),
+            "--workers", "2", "--gossip-interval", "0.2",
+            "--fail-after", "2.0",
+        ]
+        if peers:
+            command += ["--peers", peers]
+        self.proc = subprocess.Popen(
+            command, cwd=str(REPO), env=env,
+            stderr=subprocess.PIPE, text=True,
+        )
+        self.port = self._await_port()
+        threading.Thread(target=self._drain_stderr, daemon=True).start()
+
+    def _await_port(self) -> int:
+        deadline = time.monotonic() + START_BUDGET_S
+        assert self.proc.stderr is not None
+        while time.monotonic() < deadline:
+            line = self.proc.stderr.readline()
+            if not line:
+                break
+            match = LISTEN_RE.search(line)
+            if match:
+                return int(match.group(2))
+        fail(f"node {self.node_id} never announced its listen port")
+        raise AssertionError  # unreachable
+
+    def _drain_stderr(self) -> None:
+        assert self.proc.stderr is not None
+        for _ in self.proc.stderr:
+            pass
+
+    def sigkill(self) -> None:
+        self.proc.kill()
+        self.proc.wait(timeout=30)
+
+    def sigterm_and_wait(self, timeout_s: float = 120.0) -> None:
+        self.proc.send_signal(signal.SIGTERM)
+        try:
+            self.proc.wait(timeout=timeout_s)
+        except subprocess.TimeoutExpired:
+            self.proc.kill()
+            fail(f"node {self.node_id} did not drain within {timeout_s}s")
+
+
+def scrape(metrics_text: str, name: str) -> float:
+    for line in metrics_text.splitlines():
+        if line.startswith(f"{name} ") or line.startswith(f"{name}{{"):
+            return float(line.rsplit(" ", 1)[1])
+    return 0.0
+
+
+def ring_scrape(clients, name: str) -> float:
+    return sum(scrape(c.metrics_text(), name) for c in clients.values())
+
+
+def await_converged(clients, timeout_s: float = 30.0) -> None:
+    deadline = time.monotonic() + timeout_s
+    want = sorted(NODE_IDS)
+    while time.monotonic() < deadline:
+        views = {}
+        for node_id, client in clients.items():
+            body = client.health()
+            views[node_id] = sorted(body["cluster"]["membership"]["alive"])
+        if all(view == want for view in views.values()):
+            return
+        time.sleep(0.2)
+    fail(f"gossip never converged to {want}: {views}")
+
+
+def submit_spec(client, spec):
+    return client.submit(
+        spec.eid, point_index=spec.point_index, replicate=spec.replicate,
+        quick=spec.quick, seed=spec.seed,
+    )
+
+
+def await_done(clients, job_ids, timeout_s: float = DRAIN_BUDGET_S) -> None:
+    """Every job done as seen through *some* node (redirects welcome)."""
+    pending = set(job_ids)
+    deadline = time.monotonic() + timeout_s
+    while pending and time.monotonic() < deadline:
+        for jid in sorted(pending):
+            for client in clients.values():
+                try:
+                    if client.status(jid)["status"] == "done":
+                        pending.discard(jid)
+                        break
+                except ServeError:
+                    continue  # node mid-restart or row not visible yet
+        time.sleep(0.2)
+    if pending:
+        fail(f"{len(pending)} job(s) never drained: {sorted(pending)[:4]}")
+
+
+def phase_mixed_load(clients) -> list:
+    step(f"phase 2: {N_CLIENTS} clients, mixed duplicate grids over the ring")
+    jobs = MIXED_SPEC.expand()
+    ports = [c.port for c in clients.values()]
+    errors = []
+    texts = {}
+
+    def one_client(idx: int) -> None:
+        try:
+            client = ServeClient(port=ports[idx % len(ports)],
+                                 client_id=f"smoke{idx}")
+            try:
+                jids = [submit_spec(client, spec)["job_id"] for spec in jobs]
+                for jid in jids:
+                    client.wait(jid, timeout_s=DRAIN_BUDGET_S)
+                texts[idx] = [client.result_text(jid) for jid in jids]
+            finally:
+                client.close()
+        except Exception as exc:  # noqa: BLE001 - smoke harness boundary
+            errors.append((idx, exc))
+
+    threads = [
+        threading.Thread(target=one_client, args=(i,))
+        for i in range(N_CLIENTS)
+    ]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join(timeout=DRAIN_BUDGET_S + 60)
+    if errors:
+        fail(f"client errors: {errors[:3]}")
+    baseline = texts[0]
+    for idx in range(1, N_CLIENTS):
+        if texts[idx] != baseline:
+            fail(f"client {idx} saw different bytes than client 0")
+    step("  all clients drained; results byte-identical across clients")
+    return [spec.job_id for spec in jobs]
+
+
+def phase_peer_fill(clients) -> None:
+    step("phase 3: peer cache-fill answers a non-owner with zero spawns")
+    ring = HashRing(list(NODE_IDS))
+    probe = ServeClient(port=clients["n1"].port, client_id="fill-probe")
+    try:
+        ack = submit_spec(probe, FILL_JOB)
+        job_id = ack["job_id"]
+        owner = ring.owner(job_id)
+        non_owner = next(n for n in NODE_IDS if n != owner)
+        # Wait on the owner so the non-owner never sees this id first.
+        clients[owner].wait(job_id, timeout_s=DRAIN_BUDGET_S)
+    finally:
+        probe.close()
+    dispatched_before = scrape(
+        clients[non_owner].metrics_text(), "repro_serve_jobs_dispatched_total"
+    )
+    fills_before = ring_scrape(clients, "repro_serve_cluster_peer_fill_hits")
+    ack = submit_spec(clients[non_owner], FILL_JOB)
+    if not ack.get("cached"):
+        fail(f"non-owner {non_owner} recomputed instead of peer-filling")
+    text = clients[non_owner].result_text(job_id)
+    owner_text = clients[owner].result_text(job_id)
+    if text != owner_text:
+        fail("peer-filled bytes differ from the owner's bytes")
+    dispatched_after = scrape(
+        clients[non_owner].metrics_text(), "repro_serve_jobs_dispatched_total"
+    )
+    if dispatched_after != dispatched_before:
+        fail(
+            f"non-owner {non_owner} spawned workers for a ring-cached job "
+            f"({dispatched_before} -> {dispatched_after})"
+        )
+    fills_after = ring_scrape(clients, "repro_serve_cluster_peer_fill_hits")
+    if fills_after <= fills_before:
+        fail("peer-fill hit counter never moved")
+    step(f"  {non_owner} answered {job_id} from the ring (owner {owner}), "
+         "zero new spawns")
+
+
+def phase_kill_mid_queue(nodes, clients) -> list:
+    step("phase 4: SIGKILL one node mid-queue, restart, drain exactly-once")
+    jobs = KILL_SPEC.expand()
+    victim_id = "n2"
+    job_ids = []
+    order = list(NODE_IDS)
+    for index, spec in enumerate(jobs):
+        client = clients[order[index % len(order)]]
+        job_ids.append(submit_spec(client, spec)["job_id"])
+    # Die with the queue loaded; no drain, no goodbye.
+    nodes[victim_id].sigkill()
+    clients.pop(victim_id).close()
+    step(f"  {victim_id} SIGKILLed with the batch in flight")
+    # Restart on the same database and port: recovery re-admits its rows,
+    # the bumped generation resurrects it through gossip.
+    nodes[victim_id] = Node(
+        victim_id,
+        db=nodes[victim_id].db,
+        port=nodes[victim_id].port,
+        peers=",".join(
+            f"127.0.0.1:{nodes[n].port}" for n in NODE_IDS if n != victim_id
+        ),
+    )
+    clients[victim_id] = ServeClient(
+        port=nodes[victim_id].port, client_id=f"smoke-{victim_id}", retries=4
+    )
+    await_converged(clients)
+    step(f"  {victim_id} restarted on port {nodes[victim_id].port}; "
+         "ring re-converged")
+    await_done(clients, job_ids)
+    step("  batch drained across the ring")
+    return job_ids
+
+
+def main() -> int:
+    scratch = tempfile.mkdtemp(prefix="repro-cluster-smoke-")
+    step(f"scratch: {scratch}")
+    step("building fault-free reference payloads (in-process)")
+    reference = {}
+    reference.update(_reference_payloads(MIXED_SPEC, workers=2))
+    reference.update(_reference_payloads(KILL_SPEC, workers=2))
+    # Only the one submitted point of the fill grid belongs to the
+    # accepted set (the rest would read as never-completed).
+    fill_reference = _reference_payloads(FILL_SPEC, workers=2)
+    reference[FILL_JOB.job_id] = fill_reference[FILL_JOB.job_id]
+
+    step("phase 1: three-node ring formation")
+    nodes = {}
+    clients = {}
+    try:
+        peers = ""
+        for node_id in NODE_IDS:
+            nodes[node_id] = Node(
+                node_id,
+                db=os.path.join(scratch, f"{node_id}.db"),
+                peers=peers,
+            )
+            clients[node_id] = ServeClient(
+                port=nodes[node_id].port, client_id=f"smoke-{node_id}",
+                retries=4,
+            )
+            peers = ",".join(
+                f"127.0.0.1:{nodes[n].port}" for n in nodes
+            )
+        await_converged(clients)
+        step(f"  converged: ports "
+             f"{ {n: nodes[n].port for n in NODE_IDS} }")
+
+        phase_mixed_load(clients)
+        phase_peer_fill(clients)
+        phase_kill_mid_queue(nodes, clients)
+
+        step("phase 5: drain the ring and audit the store files")
+        for client in clients.values():
+            client.close()
+        clients.clear()
+        for node in nodes.values():
+            node.sigterm_and_wait()
+    finally:
+        for client in clients.values():
+            client.close()
+        for node in nodes.values():
+            if node.proc.poll() is None:
+                node.proc.kill()
+
+    checks = _audit_cluster_stores(
+        [os.path.join(scratch, f"{n}.db") for n in NODE_IDS], reference
+    )
+    for check in checks:
+        marker = "ok" if check.ok else "FAIL"
+        step(f"  [{marker}] {check.name}: {check.detail}")
+    if not all(check.ok for check in checks):
+        fail("cluster store audit failed")
+    step("PASS: ring formation, mixed load, peer fill, kill/restart, "
+         "exactly-once byte-identical drain")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -63,8 +63,11 @@ def _default_allow_paths() -> Dict[str, Tuple[str, ...]]:
             # chaos injects host-level faults (slow-commit delays, audit
             # round deadlines) — wall-clock is its subject matter.
             "chaos/*",
+            # cluster liveness (gossip sweeps, lent-job re-admit deadlines)
+            # is a wall-clock question by nature.
+            "cluster/*",
         ),
-        "unbounded-loop": ("serve/*", "chaos/*"),
+        "unbounded-loop": ("serve/*", "chaos/*", "cluster/*"),
     }
 
 
@@ -101,6 +104,7 @@ class LintConfig:
         "core/*",
         "noc/*",
         "serve/*",
+        "cluster/*",
     )
 
 

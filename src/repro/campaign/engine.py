@@ -31,6 +31,7 @@ from ..errors import ConfigError
 from .pool import WorkerPool, now_monotonic, sleep_s
 from .spec import CampaignSpec, get_experiment
 from .store import JobRow, ResultStore
+from .storeapi import ResultStoreAPI
 
 __all__ = ["CampaignEngine", "CampaignSummary", "run_experiment_parallel"]
 
@@ -98,7 +99,9 @@ class CampaignEngine:
     """Drive one campaign store to completion.
 
     Args:
-        store: the campaign's :class:`ResultStore` (already initialized).
+        store: the campaign's job store (already initialized) — any
+            :class:`~repro.campaign.storeapi.ResultStoreAPI` implementation;
+            production campaigns use the SQLite :class:`ResultStore`.
         workers: pool concurrency.
         retries: extra attempts per job after its first failure/timeout.
         timeout: per-job wall-clock budget in seconds (None: unlimited).
@@ -127,7 +130,7 @@ class CampaignEngine:
 
     def __init__(
         self,
-        store: ResultStore,
+        store: ResultStoreAPI,
         workers: int = 1,
         retries: int = 0,
         timeout: Optional[float] = None,

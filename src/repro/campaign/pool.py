@@ -271,6 +271,19 @@ class WorkerPool:
         )
 
     # -- shutdown -------------------------------------------------------
+    def kill_all(self) -> None:
+        """SIGKILL every in-flight worker immediately (crash simulation).
+
+        No SIGTERM grace, no checkpoint flush — the cluster chaos audit's
+        in-process stand-in for a node dying under ``kill -9``.  Restart
+        recovery (``reset_running``) is what reclaims the jobs.
+        """
+        for entry in self._live.values():
+            entry.process.kill()
+            entry.process.join(timeout=5.0)
+            entry.conn.close()
+        self._live.clear()
+
     def shutdown(self) -> None:
         """Stop every in-flight job (abandoning their results).
 

@@ -35,6 +35,7 @@ from typing import Dict, List, Optional, Sequence
 
 from ..errors import ConfigError, StoreCorruptError, StoreIOError
 from .spec import CampaignSpec, JobSpec
+from .storeapi import ResultStoreAPI
 
 __all__ = ["ResultStore", "JobRow", "STORE_SCHEMA_VERSION"]
 
@@ -121,7 +122,7 @@ class JobRow:
         return json.loads(self.payload).get("record")
 
 
-class ResultStore:
+class ResultStore(ResultStoreAPI):
     """Open (creating if needed) the campaign database at ``path``.
 
     ``":memory:"`` is accepted for ephemeral campaigns (benchmarks, tests).
@@ -442,6 +443,58 @@ class ResultStore:
                 job_id,
             ),
         )
+
+    def adopt_done(
+        self,
+        spec: JobSpec,
+        payload_text: str,
+        wall_s: Optional[float],
+        engine: Optional[str] = None,
+        kernel_version: Optional[str] = None,
+    ) -> bool:
+        """Commit a result computed elsewhere, verbatim (cluster tier).
+
+        Unlike :meth:`mark_done` the payload is stored as the exact text
+        given — never parsed and re-serialized — so a peer-filled or
+        steal-completed row is byte-identical to the store that computed
+        it.  Attempts are *not* incremented: this store did no work, and
+        the audit's "computed at least once" check relies on attempt
+        counts recording real executions.  Idempotent: an existing
+        ``done`` row is left untouched (first copy wins).  Returns True
+        when a row was created or promoted to ``done``.
+        """
+        row = self._conn.execute(
+            "SELECT status FROM jobs WHERE job_id = ?", (spec.job_id,)
+        ).fetchone()
+        if row is None:
+            self._conn.execute(
+                "INSERT INTO jobs(job_id, eid, point_index, replicate, spec, "
+                "status, payload, wall_s, engine, kernel_version, finished_at) "
+                "VALUES(?, ?, ?, ?, ?, 'done', ?, ?, ?, ?, datetime('now'))",
+                (
+                    spec.job_id,
+                    spec.eid,
+                    spec.point_index,
+                    spec.replicate,
+                    spec.to_json(),
+                    payload_text,
+                    wall_s,
+                    engine,
+                    kernel_version,
+                ),
+            )
+            self._commit()
+            return True
+        if row["status"] == "done":
+            return False
+        self._conn.execute(
+            "UPDATE jobs SET status = 'done', payload = ?, wall_s = ?, "
+            "engine = ?, kernel_version = ?, error = NULL, "
+            "finished_at = datetime('now') WHERE job_id = ?",
+            (payload_text, wall_s, engine, kernel_version, spec.job_id),
+        )
+        self._commit()
+        return True
 
     def mark_failed(
         self, job_id: str, error: str, wall_s: Optional[float], requeue: bool

@@ -16,7 +16,12 @@ provenance that the substrate kept its exactly-once and byte-identical
 guarantees.  ``python -m repro chaos audit`` is the CLI face.
 """
 
-from .audit import AuditReport, run_campaign_audit, run_serve_audit
+from .audit import (
+    AuditReport,
+    run_campaign_audit,
+    run_cluster_audit,
+    run_serve_audit,
+)
 from .inject import ChaosState, arm, armed, disarm
 from .schedule import (
     CRASH_POINTS,
@@ -38,5 +43,6 @@ __all__ = [
     "compile_schedule",
     "disarm",
     "run_campaign_audit",
+    "run_cluster_audit",
     "run_serve_audit",
 ]

@@ -22,6 +22,7 @@ budget.
 
 from __future__ import annotations
 
+import os
 import time
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Optional, Set, Union
@@ -39,7 +40,13 @@ from ..errors import (
 from .inject import armed
 from .schedule import ChaosConfig, ChaosSchedule
 
-__all__ = ["AuditCheck", "AuditReport", "run_campaign_audit", "run_serve_audit"]
+__all__ = [
+    "AuditCheck",
+    "AuditReport",
+    "run_campaign_audit",
+    "run_cluster_audit",
+    "run_serve_audit",
+]
 
 
 @dataclass(frozen=True)
@@ -58,7 +65,7 @@ class AuditCheck:
 class AuditReport:
     """The full verdict of one chaos audit."""
 
-    mode: str  # "campaign" | "serve"
+    mode: str  # "campaign" | "serve" | "cluster"
     eid: str
     quick: bool
     seed: int
@@ -391,4 +398,314 @@ def _poll_serve_round(
     raise ChaosError(
         f"serve round made no progress within {timeout_s}s "
         "(jobs wedged, not crashed — that is a bug, not chaos)"
+    )
+
+
+def _audit_cluster_stores(
+    db_paths: Iterable[str], reference: Dict[str, str]
+) -> List[AuditCheck]:
+    """Prove the ring-wide exactly-once contracts from N stores' provenance.
+
+    The single-store checks do not transfer directly: under routing,
+    stealing, and peer fill, *which* store computed a job is schedule-
+    dependent — only the union is.  The ring-wide contracts are:
+
+    * every accepted job is ``done`` on at least one store;
+    * every ``done`` copy — origin or adopted — is byte-identical to the
+      fault-free reference (and therefore to every other copy);
+    * at least one store *computed* each job (``attempts >= 1``;
+      adoption never increments attempts, so a ring where every copy is
+      adopted would mean the result appeared from nowhere);
+    * no store holds a row outside the accepted set.
+    """
+    rows_by_store: Dict[str, Dict[str, object]] = {}
+    for path in db_paths:
+        if not os.path.exists(path):
+            continue  # a node that never started owns no rows
+        with ResultStore(path) as store:
+            rows_by_store[path] = {row.job_id: row for row in store.all_jobs()}
+
+    def done_copies(jid: str):
+        return [
+            rows[jid]
+            for rows in rows_by_store.values()
+            if jid in rows and rows[jid].status == "done"
+        ]
+
+    checks: List[AuditCheck] = []
+    missing = [jid for jid in reference if not done_copies(jid)]
+    checks.append(
+        AuditCheck(
+            name="completed-somewhere-exactly-once",
+            ok=not missing,
+            detail=(
+                f"all {len(reference)} accepted jobs are done on >=1 node"
+                if not missing
+                else f"{len(missing)} job(s) done nowhere (e.g. {missing[:3]})"
+            ),
+        )
+    )
+
+    mismatched = [
+        jid
+        for jid, payload in reference.items()
+        if any(row.payload != payload for row in done_copies(jid))
+    ]
+    checks.append(
+        AuditCheck(
+            name="byte-identical-across-ring",
+            ok=not mismatched,
+            detail=(
+                "every copy on every node matches the fault-free reference "
+                "byte for byte"
+                if not mismatched
+                else f"{len(mismatched)} job(s) differ somewhere "
+                f"(e.g. {mismatched[:3]})"
+            ),
+        )
+    )
+
+    uncomputed = [
+        jid
+        for jid in reference
+        if jid not in missing
+        and not any(
+            jid in rows and (rows[jid].attempts or 0) >= 1
+            for rows in rows_by_store.values()
+        )
+    ]
+    checks.append(
+        AuditCheck(
+            name="computed-at-least-once",
+            ok=not uncomputed,
+            detail=(
+                "every completed job was actually computed on some node "
+                "(adoption alone cannot mint results)"
+                if not uncomputed
+                else f"{len(uncomputed)} job(s) exist only as adoptions"
+            ),
+        )
+    )
+
+    phantoms = sorted(
+        {
+            jid
+            for rows in rows_by_store.values()
+            for jid in rows
+            if jid not in reference
+        }
+    )
+    checks.append(
+        AuditCheck(
+            name="no-phantom-jobs",
+            ok=not phantoms,
+            detail=(
+                "every row on every node is accounted for"
+                if not phantoms
+                else f"{len(phantoms)} unexplained row(s) (e.g. {phantoms[:3]})"
+            ),
+        )
+    )
+    return checks
+
+
+def run_cluster_audit(
+    config: Union[ChaosConfig, ChaosSchedule],
+    db_dir: str,
+    eid: str = "demo",
+    quick: bool = True,
+    seed: Optional[int] = None,
+    nodes: int = 3,
+    workers: int = 2,
+    retries: int = 2,
+    max_restarts: int = 12,
+    round_timeout_s: float = 180.0,
+) -> AuditReport:
+    """Drive an N-node in-process cluster under ``config``; audit the ring.
+
+    Jobs are submitted round-robin over loopback HTTP to *every* node
+    (redirects, peer fill, and stealing route them where they belong).
+    ``cluster.node`` events — one per ``node_kills`` — are harness-driven:
+    after the scheduled submission ordinal, a seeded victim dies via
+    :meth:`ClusterNode.kill` (workers SIGKILLed, no drain) and is
+    restarted on the same database and port, exercising restart recovery,
+    gossip resurrection-by-generation, and ring rebalancing, mid-queue.
+    The verdict is :func:`_audit_cluster_stores` over every node's store.
+    """
+    from ..cluster.node import ClusterConfig, ClusterNode
+    from ..serve.client import ServeClient
+    from ..serve.server import ServeConfig
+    from ..util import Rng, derive_seed
+
+    if nodes < 1:
+        raise ChaosError(f"cluster audit needs nodes >= 1, got {nodes}")
+    spec = CampaignSpec(experiments=(eid,), quick=quick, seed=seed)
+    jobs = spec.expand()
+    reference = _reference_payloads(spec, workers)
+    os.makedirs(db_dir, exist_ok=True)
+
+    node_ids = [f"n{index + 1}" for index in range(nodes)]
+    ports: Dict[str, int] = {node_id: 0 for node_id in node_ids}
+    live: Dict[str, "ClusterNode"] = {}
+    clients: Dict[str, "ServeClient"] = {}
+    chaos_seed = (
+        config.seed if isinstance(config, ChaosConfig) else config.config.seed
+    )
+    victim_rng = Rng(derive_seed(chaos_seed, "cluster-victims"), "chaos")
+    restarts = 0
+
+    def note_restart() -> None:
+        nonlocal restarts
+        restarts += 1
+        if restarts > max_restarts:
+            raise ChaosError(
+                f"cluster audit exceeded {max_restarts} restarts; "
+                "schedule too hostile or recovery is broken"
+            )
+
+    def start_node(node_id: str) -> None:
+        while True:
+            node = None
+            try:
+                node = ClusterNode(
+                    ClusterConfig(
+                        node_id=node_id,
+                        serve=ServeConfig(
+                            port=ports[node_id],
+                            db=os.path.join(db_dir, f"{node_id}.db"),
+                            workers=workers,
+                            retries=retries,
+                            max_queue=max(64, len(jobs) + 8),
+                        ),
+                        peers=tuple(
+                            f"127.0.0.1:{ports[other]}"
+                            for other in node_ids
+                            if other != node_id and ports[other]
+                        ),
+                        gossip_interval_s=0.1,
+                        fail_after_s=1.5,
+                        re_admit_after_s=3.0,
+                    )
+                )
+                node.start()
+                break
+            except (ChaosCrash, StoreIOError):
+                # The node died *booting* — e.g. a torn commit in restart
+                # recovery's reset_running.  Same contract as any other
+                # death: clean up the carcass, count it, boot again (the
+                # fired ordinal will not fire twice).
+                if node is not None:
+                    node.kill()
+                note_restart()
+        ports[node_id] = int(node.port or 0)
+        live[node_id] = node
+        clients[node_id] = ServeClient(
+            port=ports[node_id],
+            client_id=f"chaos-cluster-{node_id}",
+            retries=4,
+            backoff_s=0.05,
+            backoff_cap_s=0.5,
+        )
+
+    def kill_and_restart(victim: Optional[str] = None) -> None:
+        if victim is None:
+            victim = node_ids[victim_rng.randint(0, len(node_ids))]
+        live[victim].kill()
+        clients.pop(victim).close()
+        del live[victim]
+        note_restart()
+        start_node(victim)  # restart recovery re-admits its pending rows
+
+    with armed(config, crash_mode="raise") as state:
+        try:
+            for node_id in node_ids:
+                start_node(node_id)
+            for index, job in enumerate(jobs):
+                # Round-robin so every node plays frontier for some jobs;
+                # a node that is mid-restart just passes its turn.
+                order = node_ids[index % nodes:] + node_ids[: index % nodes]
+                accepted = False
+                for node_id in order:
+                    if node_id not in clients:
+                        continue
+                    try:
+                        clients[node_id].submit(
+                            job.eid,
+                            point_index=job.point_index,
+                            quick=job.quick,
+                            seed=job.seed,
+                            replicate=job.replicate,
+                        )
+                    except (BackpressureError, ServeError):
+                        continue
+                    accepted = True
+                    break
+                if not accepted:
+                    raise ChaosError(
+                        f"no node accepted job {job.job_id} "
+                        "(all refused or unreachable)"
+                    )
+                if state.tick("cluster.node") is not None:
+                    kill_and_restart()
+            # Kill ordinals past the submission count still fire — the
+            # queue is at its deepest right now, which is the point.
+            window = state.schedule.config.window
+            for _ in range(len(jobs), window):
+                if state.tick("cluster.node") is not None:
+                    kill_and_restart()
+            _poll_cluster_round(
+                live, node_ids, reference, round_timeout_s,
+                on_crash=kill_and_restart,
+            )
+        finally:
+            for client in clients.values():
+                client.close()
+            for node in live.values():
+                node.stop()
+        fired = list(state.fired)
+    db_paths = [os.path.join(db_dir, f"{node_id}.db") for node_id in node_ids]
+    return AuditReport(
+        mode="cluster",
+        eid=eid,
+        quick=quick,
+        seed=spec.seed_for(eid, 0),
+        restarts=restarts,
+        fired=fired,
+        checks=_audit_cluster_stores(db_paths, reference),
+    )
+
+
+def _poll_cluster_round(
+    live: Dict[str, object],
+    node_ids: List[str],
+    reference: Dict[str, str],
+    timeout_s: float,
+    on_crash,
+) -> None:
+    """Wait until every reference job is done on at least one node.
+
+    A node whose scheduler died to an armed crash point gets the same
+    treatment as a scheduled node kill: crash-stopped and restarted via
+    ``on_crash`` (recovery re-admits its rows).  Lookups go through each
+    node's cache, so a locally missing result may be satisfied by peer
+    fill — which is itself part of what the audit exercises.
+    """
+    pending = set(reference)
+    deadline = time.monotonic() + timeout_s
+    while time.monotonic() < deadline:
+        for node_id in node_ids:
+            node = live.get(node_id)
+            if node is not None and node.scheduler.crashed:
+                on_crash(node_id)
+        for jid in sorted(pending):
+            for node in list(live.values()):
+                if node.cache.lookup(jid) is not None:
+                    pending.discard(jid)
+                    break
+        if not pending:
+            return
+        time.sleep(0.05)
+    raise ChaosError(
+        f"cluster round left {len(pending)} job(s) unfinished after "
+        f"{timeout_s}s (wedged, not crashed — that is a bug, not chaos)"
     )

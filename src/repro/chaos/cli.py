@@ -5,6 +5,7 @@ Examples::
     python -m repro chaos show --seed 7 --torn-commits 1 --worker-kills 2
     python -m repro chaos audit --mode campaign --torn-commits 1 --retries 3
     python -m repro chaos audit --mode serve --crash-point serve.submit.before-ack
+    python -m repro chaos audit --mode cluster --nodes 3 --node-kills 1
 
 ``show`` compiles a :class:`~repro.chaos.schedule.ChaosConfig` and prints
 the deterministic event list — useful for understanding exactly what an
@@ -27,7 +28,7 @@ import tempfile
 from typing import List, Optional
 
 from ..errors import ChaosError, ConfigError
-from .audit import run_campaign_audit, run_serve_audit
+from .audit import run_campaign_audit, run_cluster_audit, run_serve_audit
 from .schedule import CRASH_POINTS, ChaosConfig, compile_schedule
 
 __all__ = ["build_parser", "main"]
@@ -50,6 +51,11 @@ def _chaos_flags(parser: argparse.ArgumentParser) -> None:
     group.add_argument("--spawn-failures", type=int, default=0)
     group.add_argument("--checkpoint-tears", type=int, default=0)
     group.add_argument(
+        "--node-kills", type=int, default=0,
+        help="whole cluster nodes SIGKILLed and restarted mid-campaign "
+        "(--mode cluster only)",
+    )
+    group.add_argument(
         "--crash-point", action="append", default=[], metavar="POINT",
         choices=list(CRASH_POINTS), dest="crash_points",
         help=f"named crash point (repeatable); one of: {', '.join(CRASH_POINTS)}",
@@ -68,6 +74,7 @@ def _config_from(args: argparse.Namespace) -> ChaosConfig:
         worker_kills=args.worker_kills,
         spawn_failures=args.spawn_failures,
         checkpoint_tears=args.checkpoint_tears,
+        node_kills=args.node_kills,
         crash_points=tuple(args.crash_points),
     )
 
@@ -91,9 +98,13 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _chaos_flags(audit)
     audit.add_argument(
-        "--mode", default="campaign", choices=["campaign", "serve"],
-        help="drive the campaign engine directly or a full in-process "
-        "serve daemon (default: %(default)s)",
+        "--mode", default="campaign", choices=["campaign", "serve", "cluster"],
+        help="drive the campaign engine directly, a full in-process serve "
+        "daemon, or an N-node in-process cluster ring (default: %(default)s)",
+    )
+    audit.add_argument(
+        "--nodes", type=int, default=3,
+        help="ring size for --mode cluster (default: %(default)s)",
     )
     audit.add_argument(
         "--eid", default="demo",
@@ -138,19 +149,35 @@ def _cmd_show(args: argparse.Namespace) -> int:
 
 def _cmd_audit(args: argparse.Namespace) -> int:
     config = _config_from(args)
-    runner = run_campaign_audit if args.mode == "campaign" else run_serve_audit
     with tempfile.TemporaryDirectory(prefix="repro-chaos-") as scratch:
-        db_path = args.db or os.path.join(scratch, "audit.db")
-        report = runner(
-            config,
-            db_path=db_path,
-            eid=args.eid,
-            quick=args.quick,
-            seed=args.run_seed,
-            workers=args.workers,
-            retries=args.retries,
-            max_restarts=args.max_restarts,
-        )
+        if args.mode == "cluster":
+            # Each node owns a database, so --db names a directory here.
+            report = run_cluster_audit(
+                config,
+                db_dir=args.db or os.path.join(scratch, "ring"),
+                eid=args.eid,
+                quick=args.quick,
+                seed=args.run_seed,
+                nodes=args.nodes,
+                workers=args.workers,
+                retries=args.retries,
+                max_restarts=args.max_restarts,
+            )
+        else:
+            runner = (
+                run_campaign_audit if args.mode == "campaign" else run_serve_audit
+            )
+            db_path = args.db or os.path.join(scratch, "audit.db")
+            report = runner(
+                config,
+                db_path=db_path,
+                eid=args.eid,
+                quick=args.quick,
+                seed=args.run_seed,
+                workers=args.workers,
+                retries=args.retries,
+                max_restarts=args.max_restarts,
+            )
     print(report.render())
     return 0 if report.ok else 1
 

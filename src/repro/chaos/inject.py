@@ -87,6 +87,16 @@ class ChaosState:
         with self._lock:
             return dict(self._counts)
 
+    def tick(self, op: str) -> Optional[ChaosEvent]:
+        """Count one pass of a *harness-driven* operation.
+
+        For choke points with no substrate hook — ``cluster.node``, whose
+        kills the cluster audit performs itself — the harness calls this
+        per operation and acts on the returned event (the fired list and
+        metrics update exactly as for hooked operations).
+        """
+        return self._next(op)
+
     # -- internals ------------------------------------------------------
     def _next(self, op: str) -> Optional[ChaosEvent]:
         """Count one pass of ``op``; returns the event due at it, if any."""

@@ -27,6 +27,9 @@ operation              kinds
                        ``kill`` (worker SIGKILLed right after spawn)
 ``checkpoint.save``    ``tear`` (the snapshot file is truncated after the
                        atomic rename — a torn write)
+``cluster.node``       ``kill`` (a whole cluster node dies ``kill -9``-style
+                       and is later restarted; harness-driven — the cluster
+                       audit counts submissions and fires these itself)
 crash points           ``crash`` (the process dies at a named code location;
                        see :data:`CRASH_POINTS`)
 =====================  ==========================================================
@@ -89,6 +92,9 @@ class ChaosConfig:
     spawn_failures: int = 0
     #: checkpoint snapshot files truncated after their atomic rename
     checkpoint_tears: int = 0
+    #: whole cluster nodes SIGKILLed (and restarted) mid-campaign —
+    #: consumed only by the ``--mode cluster`` audit
+    node_kills: int = 0
     #: named crash points (:data:`CRASH_POINTS`); each fires once, at a
     #: seeded ordinal of its own pass counter
     crash_points: Tuple[str, ...] = ()
@@ -104,6 +110,7 @@ class ChaosConfig:
             "worker_kills",
             "spawn_failures",
             "checkpoint_tears",
+            "node_kills",
         ):
             try:
                 check_non_negative(getattr(self, name), name)
@@ -142,6 +149,11 @@ class ChaosConfig:
                 f"{self.checkpoint_tears} checkpoint tears do not fit in a "
                 f"window of {self.window} saves (raise window=)"
             )
+        if self.node_kills > self.window:
+            raise ChaosError(
+                f"{self.node_kills} node kills do not fit in a window of "
+                f"{self.window} submissions (raise window=)"
+            )
 
     @property
     def any_faults(self) -> bool:
@@ -154,6 +166,7 @@ class ChaosConfig:
             or self.worker_kills
             or self.spawn_failures
             or self.checkpoint_tears
+            or self.node_kills
             or self.crash_points
         )
 
@@ -226,6 +239,12 @@ def compile_schedule(config: ChaosConfig) -> ChaosSchedule:
 
     for nth in _draw_ordinals(rng, config.window, config.checkpoint_tears):
         events.append(ChaosEvent(op="checkpoint.save", nth=nth, kind="tear"))
+
+    # Guarded: drawing for a zero count would still consume RNG state and
+    # silently change every existing seeded schedule.
+    if config.node_kills:
+        for nth in _draw_ordinals(rng, config.window, config.node_kills):
+            events.append(ChaosEvent(op="cluster.node", nth=nth, kind="kill"))
 
     # Crash points are iterated in their canonical order (not submission
     # order) so the schedule never depends on how the config was spelled.

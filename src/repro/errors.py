@@ -144,6 +144,15 @@ class StoreCorruptError(ReproError):
         self.quarantined_to = quarantined_to
 
 
+class ClusterError(ServeError):
+    """A cluster-level operation failed (ring, membership, or peer RPC).
+
+    A :class:`ServeError` subtype: the cluster is the multi-node face of
+    the serve layer, and callers that already handle serve failures get
+    cluster failures for free.
+    """
+
+
 class ChaosError(ReproError):
     """A chaos schedule is invalid or an audit could not be carried out.
 

@@ -12,6 +12,7 @@ Examples::
     python -m repro campaign run E5 E7 --workers 4 --db sweep.db
     python -m repro resilience run --link-failures 2 --corrupt-rate 0.005
     python -m repro serve start --db serve.db --workers 4
+    python -m repro cluster start --node-id a --port 9301 --peers 127.0.0.1:9302
     python -m repro bench run --quick
     python -m repro chaos audit --mode campaign --torn-commits 1
 
@@ -21,7 +22,7 @@ Results print as the same fixed-width tables the benchmark suite saves.
 build.
 
 Tool subcommands (``lint``, ``verify``, ``campaign``, ``resilience``,
-``serve``, ``bench``, ``chaos``) each own their flags and dispatch through one registry,
+``serve``, ``cluster``, ``bench``, ``chaos``) each own their flags and dispatch through one registry,
 :data:`SUBCOMMANDS` — the single source of truth that the ``--help``
 epilog, the dispatcher, and the dispatch-agreement test all read, so a
 new subcommand cannot be wired into one and forgotten in another.
@@ -85,6 +86,12 @@ def _load_serve() -> SubMain:
     return serve_main
 
 
+def _load_cluster() -> SubMain:
+    from ..cluster.cli import main as cluster_main
+
+    return cluster_main
+
+
 def _load_bench() -> SubMain:
     from ..bench.cli import main as bench_main
 
@@ -125,6 +132,11 @@ SUBCOMMANDS: Dict[str, Subcommand] = {
             "serve",
             "simulation-as-a-service daemon (start/submit/status/result)",
             _load_serve,
+        ),
+        Subcommand(
+            "cluster",
+            "sharded multi-node service (start/status/route a hash ring)",
+            _load_cluster,
         ),
         Subcommand(
             "bench",

@@ -30,6 +30,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..campaign.spec import JobSpec
 from ..campaign.store import JobRow, ResultStore
+from ..campaign.storeapi import ResultStoreAPI
 from ..errors import ConfigError
 
 __all__ = ["ResultCache"]
@@ -41,13 +42,26 @@ class ResultCache:
     Args:
         path: SQLite database path (``":memory:"`` for ephemeral daemons).
         lru_size: entries kept in the in-memory tier (0 disables it).
+        store: an already-built :class:`ResultStoreAPI` to use as the
+            durable tier instead of opening ``path`` — how the cluster
+            node mounts its peer-backed store behind the same cache.
+            The caller keeps responsibility for cross-thread safety of
+            the injected store's construction; access is serialized
+            behind this cache's lock either way.
     """
 
-    def __init__(self, path: str, lru_size: int = 256) -> None:
+    def __init__(
+        self,
+        path: str,
+        lru_size: int = 256,
+        store: Optional[ResultStoreAPI] = None,
+    ) -> None:
         if lru_size < 0:
             raise ConfigError(f"lru_size must be >= 0, got {lru_size}")
         self._lock = threading.RLock()
-        self._store = ResultStore(path, cross_thread=True)
+        self._store: ResultStoreAPI = (
+            store if store is not None else ResultStore(path, cross_thread=True)
+        )
         self._lru: "OrderedDict[str, str]" = OrderedDict()
         self._lru_size = lru_size
         # Tag fresh databases so `campaign run` refuses to mix a campaign
@@ -139,6 +153,29 @@ class ResultCache:
                 raise ConfigError(f"store lost the payload for {job_id}")
             self._remember(job_id, text)
             return text
+
+    def adopt(
+        self,
+        spec: JobSpec,
+        payload_text: str,
+        wall_s: Optional[float],
+        engine: Optional[str] = None,
+        kernel_version: Optional[str] = None,
+    ) -> bool:
+        """Commit a result computed elsewhere, verbatim (cluster fill/steal).
+
+        Delegates to the store's :meth:`~ResultStoreAPI.adopt_done` and
+        warms the LRU with the adopted text.  Returns True when the row
+        was created or promoted to ``done``; False when it was already
+        done (the first, byte-identical copy is kept).
+        """
+        with self._lock:
+            adopted = self._store.adopt_done(
+                spec, payload_text, wall_s,
+                engine=engine, kernel_version=kernel_version,
+            )
+            self._remember(spec.job_id, self._store.get_job(spec.job_id).payload)
+            return adopted
 
     def mark_failed(self, job_id: str, error: str, wall_s: Optional[float],
                     requeue: bool) -> None:

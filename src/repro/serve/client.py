@@ -21,13 +21,21 @@ the escape hatch restoring single-attempt semantics.
 ``wait()`` polls status until the job completes (exponential poll
 interval, capped); ``submit_and_wait()`` is the one-call happy path the
 CLI and the smoke script use.
+
+Transport: connections are kept alive and pooled per ``(host, port)``
+target, so a submit/poll/result sequence rides one TCP handshake, and
+``307`` redirects from a cluster's non-owner nodes are followed
+transparently (same method and body, bounded hop count) — the client
+ends up holding one pooled socket per ring node it has spoken to.
 """
 
 from __future__ import annotations
 
 import http.client
 import json
+import threading
 import time
+import urllib.parse
 from typing import Any, Dict, Optional, Tuple
 
 from ..errors import BackpressureError, ServeError
@@ -35,6 +43,10 @@ from ..util import Rng, derive_seed
 from .protocol import API_PREFIX, PROTOCOL_VERSION
 
 __all__ = ["ServeClient"]
+
+#: 307 hops followed per logical request before giving up (a routing loop
+#: in the cluster would otherwise bounce a submission forever)
+MAX_REDIRECTS = 4
 
 
 class ServeClient:
@@ -81,6 +93,17 @@ class ServeClient:
         # Seeded per client id: deterministic for tests, decorrelated
         # across the tenants that matter for the thundering-herd case.
         self._rng = Rng(derive_seed(0, "serve-client", client_id), "backoff")
+        # Keep-alive pool: one cached connection per (host, port) target,
+        # checked out under the lock so a multi-threaded caller never
+        # shares a socket mid-request.  Redirect targets get their own
+        # pooled connection, so a cluster client holds one socket per
+        # node it has talked to.
+        self._pool_lock = threading.Lock()
+        self._pool: Dict[Tuple[str, int], http.client.HTTPConnection] = {}
+        #: sockets actually opened (tests assert reuse keeps this at 1)
+        self.connections_opened = 0
+        #: 307/308 redirects transparently followed
+        self.redirects_followed = 0
 
     # -- submissions ----------------------------------------------------
     def submit(
@@ -247,26 +270,100 @@ class ServeClient:
     def _request_once(
         self, method: str, path: str, body: Optional[dict] = None
     ) -> Tuple[int, Dict[str, str], str, bytes]:
+        """One logical request: pooled keep-alive exchange + 307 follow.
+
+        A ``307``/``308`` answer with a ``Location`` header (a cluster
+        node redirecting to the ring owner) is followed transparently —
+        same method, same body, up to :data:`MAX_REDIRECTS` hops — and
+        each hop's target keeps its own pooled connection.
+        """
         payload = None if body is None else json.dumps(body).encode("utf-8")
         headers = {"Content-Type": "application/json"} if payload else {}
-        conn = http.client.HTTPConnection(
-            self.host, self.port, timeout=self.timeout_s
-        )
-        try:
-            conn.request(method, path, body=payload, headers=headers)
-            response = conn.getresponse()
-            raw = response.read()
-            response_headers = {k.lower(): v for k, v in response.getheaders()}
-            result = response.status, response_headers, response.reason, raw
-            if response.status == 429:
+        target = (self.host, self.port)
+        redirects = 0
+        while True:
+            result = self._exchange(target, method, path, payload, headers)
+            status, response_headers, _, _ = result
+            if status in (307, 308) and redirects < MAX_REDIRECTS:
+                location = response_headers.get("location")
+                if location:
+                    target, path = _resolve_redirect(target, location)
+                    redirects += 1
+                    self.redirects_followed += 1
+                    continue
+            if status == 429:
                 try:
                     retry_after = float(response_headers.get("retry-after", 1.0))
                 except ValueError:
                     retry_after = 1.0
                 raise _Shed(result, retry_after)
             return result
-        finally:
+
+    def _exchange(
+        self,
+        target: Tuple[str, int],
+        method: str,
+        path: str,
+        payload: Optional[bytes],
+        headers: Dict[str, str],
+    ) -> Tuple[int, Dict[str, str], str, bytes]:
+        """One HTTP exchange against ``target`` over a pooled connection.
+
+        A reused keep-alive socket may have been closed server-side
+        between requests (daemon drain, idle timeout); that exact failure
+        retries once on a fresh connection without consuming the caller's
+        transient-retry budget — a stale socket is bookkeeping, not an
+        unreachable daemon.
+        """
+        for fresh in (False, True):
+            conn = None if fresh else self._checkout(target)
+            reused = conn is not None
+            if conn is None:
+                conn = http.client.HTTPConnection(
+                    target[0], target[1], timeout=self.timeout_s
+                )
+                self.connections_opened += 1
+            try:
+                conn.request(method, path, body=payload, headers=headers)
+                response = conn.getresponse()
+                raw = response.read()
+            except (http.client.BadStatusLine, http.client.RemoteDisconnected,
+                    ConnectionError, OSError):
+                conn.close()
+                if reused:
+                    continue  # stale keep-alive socket: one fresh retry
+                raise
+            response_headers = {k.lower(): v for k, v in response.getheaders()}
+            if response.will_close:
+                conn.close()
+            else:
+                self._checkin(target, conn)
+            return response.status, response_headers, response.reason, raw
+        raise ServeError("unreachable")  # pragma: no cover - loop always returns
+
+    def _checkout(self, target: Tuple[str, int]):
+        with self._pool_lock:
+            return self._pool.pop(target, None)
+
+    def _checkin(self, target: Tuple[str, int], conn) -> None:
+        with self._pool_lock:
+            parked = self._pool.setdefault(target, conn)
+        if parked is not conn:  # another thread refilled the slot first
             conn.close()
+
+    def close(self) -> None:
+        """Close every pooled keep-alive connection."""
+        with self._pool_lock:
+            conns = list(self._pool.values())
+            self._pool.clear()
+        for conn in conns:
+            conn.close()
+
+    def __enter__(self) -> "ServeClient":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
 
     def _backoff_delay(
         self, attempt: int, retry_after_s: Optional[float] = None
@@ -303,6 +400,25 @@ class _Shed(Exception):
         super().__init__("429")
         self.response = response
         self.retry_after_s = retry_after_s
+
+
+def _resolve_redirect(
+    target: Tuple[str, int], location: str
+) -> Tuple[Tuple[str, int], str]:
+    """Turn a ``Location`` header into the next ``(host, port)`` and path.
+
+    Absolute URLs (the cluster's cross-node form) switch targets; bare
+    paths stay on the current one.
+    """
+    parts = urllib.parse.urlsplit(location)
+    if parts.netloc:
+        host = parts.hostname or target[0]
+        port = parts.port or 80
+        target = (host, port)
+    path = parts.path or "/"
+    if parts.query:
+        path = f"{path}?{parts.query}"
+    return target, path
 
 
 def _parse_json(raw: bytes) -> Dict[str, Any]:

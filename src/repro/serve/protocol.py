@@ -12,8 +12,9 @@ lifecycle only:
   (seed, sweep point, quick flag, replicate) changes the id.
 
 * **HTTP framing** — a deliberately small HTTP/1.1 subset over asyncio
-  streams: one request per connection, ``Content-Length`` bodies only,
-  ``Connection: close`` responses.  Enough for ``http.client``, ``curl``,
+  streams: ``Content-Length`` bodies only, persistent connections by
+  default (``Connection: keep-alive`` unless the client asked to close
+  or the daemon is draining).  Enough for ``http.client``, ``curl``,
   and Prometheus scrapers; nothing more.
 """
 
@@ -136,6 +137,7 @@ def canonicalize_submission(data: Mapping[str, Any]) -> Tuple[JobSpec, str]:
 # ----------------------------------------------------------------------
 _REASONS = {
     200: "OK",
+    307: "Temporary Redirect",
     400: "Bad Request",
     404: "Not Found",
     409: "Conflict",
@@ -208,14 +210,20 @@ def render_response(
     body: bytes,
     content_type: str = "application/json",
     extra_headers: Optional[Mapping[str, str]] = None,
+    keep_alive: bool = False,
 ) -> bytes:
-    """One full HTTP/1.1 response (``Connection: close``)."""
+    """One full HTTP/1.1 response.
+
+    ``keep_alive`` controls the ``Connection`` header: the server's
+    per-connection loop passes True while it intends to read another
+    request off the same socket, False on close/drain paths.
+    """
     reason = _REASONS.get(status, "Unknown")
     lines = [
         f"HTTP/1.1 {status} {reason}",
         f"Content-Type: {content_type}",
         f"Content-Length: {len(body)}",
-        "Connection: close",
+        f"Connection: {'keep-alive' if keep_alive else 'close'}",
     ]
     for name, value in (extra_headers or {}).items():
         lines.append(f"{name}: {value}")

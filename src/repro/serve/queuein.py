@@ -162,6 +162,22 @@ class AdmissionQueue:
             del self._per_client[client]
             self._rotation.remove(client)
 
+    def steal(self, max_jobs: int) -> List[QueuedJob]:
+        """Victim side of cluster work-stealing: hand queued jobs away.
+
+        Pops up to ``max_jobs`` admitted-but-undispatched jobs in the
+        same fair rotation order the scheduler would have used.  The
+        caller (the cluster node) keeps the jobs' ``pending`` store rows
+        as its safety net — a thief that dies re-admits them — so this
+        only transfers *queue position*, never durability.
+        """
+        with self._lock:
+            taken: List[QueuedJob] = []
+            while self._depth and len(taken) < max_jobs:
+                taken.append(self._pop_next())
+            self._sweep_idle_clients()
+            return taken
+
     # -- lifecycle ------------------------------------------------------
     def close(self) -> None:
         """Refuse further offers and wake any waiting taker."""

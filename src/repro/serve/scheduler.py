@@ -127,6 +127,7 @@ class Scheduler:
         #: job ids demoted to individual dispatch after a batch failure
         self._no_batch: Set[str] = set()
         self._stop = threading.Event()
+        self._abort = threading.Event()
         self._thread: Optional[threading.Thread] = None
         self.breaker = CircuitBreaker(
             threshold=breaker_threshold, cooldown_s=breaker_cooldown_s
@@ -197,6 +198,22 @@ class Scheduler:
             self._thread.join(timeout=30.0)
             self._thread = None
 
+    def crash_stop(self) -> None:
+        """Die like ``kill -9``: no drain, no hand-back, workers SIGKILLed.
+
+        The cluster chaos audit's in-process node kill.  Store rows stay
+        exactly as the crash left them (``running`` rows and all) — the
+        next instance's restart recovery is what reclaims them, same as
+        after a real process death.
+        """
+        self._abort.set()
+        self._stop.set()
+        self.queue.close()
+        if self._thread is not None:
+            self._thread.join(timeout=10.0)
+            self._thread = None
+        self._pool.kill_all()
+
     # -- the loop -------------------------------------------------------
     def _run(self) -> None:
         pool = self._pool
@@ -226,6 +243,10 @@ class Scheduler:
                 # and let restart recovery reclaim the running rows.
                 self._crashed.set()
                 return
+        if self._abort.is_set():
+            # Crash-stop: skip the graceful tail entirely; kill_all and
+            # restart recovery are the caller's business.
+            return
         # Drain: polite shutdown, then hand interrupted work back to the
         # store as pending rows (the restart-resume contract).
         pool.shutdown()

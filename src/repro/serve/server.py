@@ -34,10 +34,11 @@ from __future__ import annotations
 
 import asyncio
 import json
+import os
 import signal
 import threading
 from dataclasses import dataclass
-from typing import Any, Dict, Optional, Tuple
+from typing import Any, Dict, Optional, Set, Tuple
 
 from ..campaign.spec import REGISTRY
 from ..errors import ChaosCrash, ConfigError, ServeError
@@ -62,6 +63,24 @@ __all__ = ["ServeConfig", "ServeDaemon"]
 #: ``None`` (the default) costs one identity check — the frontier never
 #: imports chaos.
 CHAOS_CRASH_HOOK = None
+
+#: live listening-socket fds, closed in forked children.  Workers forked
+#: while a daemon serves inherit its server socket; a worker that outlives
+#: the daemon would then hold the port at the OS level (EADDRINUSE on a
+#: same-port restart — the cluster audit's kill/restart hits exactly this).
+_LISTENER_FDS: Set[int] = set()
+
+
+def _close_inherited_listeners() -> None:  # pragma: no cover - forked child
+    for fd in list(_LISTENER_FDS):
+        try:
+            os.close(fd)
+        except OSError:  # simlint: allow[swallowed-exception]
+            pass  # already closed; nothing a worker could do anyway
+    _LISTENER_FDS.clear()
+
+
+os.register_at_fork(after_in_child=_close_inherited_listeners)
 
 
 @dataclass(frozen=True)
@@ -100,10 +119,12 @@ class ServeDaemon:
     blocks until a signal (or ``POST /api/v1/shutdown``) drains it.
     """
 
-    def __init__(self, config: ServeConfig) -> None:
+    def __init__(self, config: ServeConfig, store=None) -> None:
         self.config = config
         self.metrics = Metrics()
-        self.cache = ResultCache(config.db, lru_size=config.lru_size)
+        # ``store`` lets a subclass mount a different ResultStoreAPI tier
+        # (the cluster node's peer-backed store) behind the same cache.
+        self.cache = ResultCache(config.db, lru_size=config.lru_size, store=store)
         self.queue = AdmissionQueue(max_depth=config.max_queue)
         self.scheduler = Scheduler(
             queue=self.queue,
@@ -148,9 +169,12 @@ class ServeDaemon:
             daemon=True,
         )
         self._thread.start()
-        if not bound.wait(timeout=10.0):
-            raise ServeError("daemon failed to bind within 10s")
-        if "error" in failure:
+        bound_ok = bound.wait(timeout=10.0)
+        if not bound_ok or "error" in failure:
+            # Don't leave a started scheduler thread behind a dead bind.
+            self.scheduler.stop()
+            if not bound_ok:
+                raise ServeError("daemon failed to bind within 10s")
             raise ServeError(f"daemon failed to start: {failure['error']}")
 
     def run_forever(self) -> int:
@@ -233,29 +257,58 @@ class ServeDaemon:
             self._handle_connection, host=self.config.host, port=self.config.port
         )
         self.port = server.sockets[0].getsockname()[1]
+        listener_fd = server.sockets[0].fileno()
+        _LISTENER_FDS.add(listener_fd)
         bound.set()
-        async with server:
-            await self._loop_done.wait()
+        try:
+            async with server:
+                await self._loop_done.wait()
+        finally:
+            _LISTENER_FDS.discard(listener_fd)
 
     async def _handle_connection(self, reader, writer) -> None:
+        # Persistent connections: keep answering requests off one socket
+        # until the client closes (or asks to), framing fails, or the
+        # daemon drains.  Clients that pipeline submit/status/result reuse
+        # one TCP handshake instead of paying one per poll.
         try:
-            try:
-                request = await read_request(reader)
-            except (ConfigError, asyncio.IncompleteReadError) as exc:
-                writer.write(_json_response(400, {"error": str(exc)}))
-                await writer.drain()
-                return
-            if request is None:
-                return
-            status, payload, raw, headers = self._route(request)
-            if raw is not None:
-                body, content_type = raw
-                writer.write(
-                    render_response(status, body, content_type, extra_headers=headers)
+            await self._serve_connection(reader, writer)
+        except asyncio.CancelledError:
+            # Loop teardown (abrupt kill) cancelled us mid-read; the
+            # socket dies with the loop — nothing to clean up or log.
+            return
+
+    async def _serve_connection(self, reader, writer) -> None:
+        try:
+            while True:
+                try:
+                    request = await read_request(reader)
+                except (ConfigError, asyncio.IncompleteReadError) as exc:
+                    writer.write(_json_response(400, {"error": str(exc)}))
+                    await writer.drain()
+                    return
+                if request is None:
+                    return
+                status, payload, raw, headers = self._route(request)
+                keep_alive = (
+                    request.headers.get("connection", "").lower() != "close"
+                    and not self._draining.is_set()
                 )
-            else:
-                writer.write(_json_response(status, payload, headers))
-            await writer.drain()
+                if raw is not None:
+                    body, content_type = raw
+                    writer.write(
+                        render_response(
+                            status, body, content_type,
+                            extra_headers=headers, keep_alive=keep_alive,
+                        )
+                    )
+                else:
+                    writer.write(
+                        _json_response(status, payload, headers, keep_alive=keep_alive)
+                    )
+                await writer.drain()
+                if not keep_alive:
+                    return
         except (ConnectionError, BrokenPipeError):  # client went away mid-answer
             return
         except ChaosCrash:
@@ -287,13 +340,15 @@ class ServeDaemon:
         )
         try:
             if method == "GET" and path == "/healthz":
-                return 200, {
+                body = {
                     "ok": True,
                     "draining": self._draining.is_set(),
                     "protocol": PROTOCOL_VERSION,
                     "circuit": self.scheduler.breaker.describe(),
                     "scheduler_crashed": self.scheduler.crashed,
-                }, None, None
+                }
+                body.update(self._healthz_extra())
+                return 200, body, None, None
             if method == "GET" and path == "/metrics":
                 body = self.metrics.render_prometheus().encode("utf-8")
                 return 200, None, (body, "text/plain; version=0.0.4"), None
@@ -310,9 +365,47 @@ class ServeDaemon:
             if method == "POST" and path == f"{API_PREFIX}/shutdown":
                 self.begin_drain()
                 return 200, {"ok": True, "draining": True}, None, None
+            extra = self._route_extra(request, method, path)
+            if extra is not None:
+                return extra
             return 404, {"error": f"no route for {method} {path}"}, None, None
         except ConfigError as exc:
             return 400, {"error": str(exc)}, None, None
+
+    # -- cluster extension hooks ----------------------------------------
+    def _route_extra(self, request: Request, method: str, path: str):
+        """Subclass hook: extra routes consulted before the 404.
+
+        Returns a ``_route``-shaped tuple, or None when the path is not
+        handled.  The single-node daemon serves nothing extra.
+        """
+        return None
+
+    def _healthz_extra(self) -> Dict[str, Any]:
+        """Subclass hook: extra ``/healthz`` fields (cluster ring state)."""
+        return {}
+
+    def _redirect_for(self, spec):
+        """Subclass hook: route a cache-missed submission elsewhere.
+
+        Called after the cache lookup missed and before the job is
+        admitted locally.  A cluster node answers a 307 to the ring
+        owner here; the single-node daemon always executes locally.
+        Returns a ``_route``-shaped tuple, or None to admit locally.
+        """
+        del spec
+        return None
+
+    def _lookup_redirect(self, job_id: str, suffix: str = ""):
+        """Subclass hook: route a status/result miss elsewhere.
+
+        Called when ``GET /jobs/<id>`` (or ``.../result``) finds no local
+        row.  A cluster node answers a 307 to the ring owner so pollers
+        can follow an in-flight job that was redirected at submit time;
+        the single-node daemon keeps the plain 404.
+        """
+        del job_id, suffix
+        return None
 
     # -- endpoint bodies -------------------------------------------------
     def _submit(self, request: Request):
@@ -351,6 +444,9 @@ class ServeDaemon:
             f"{PREFIX}_cache_misses_total",
             "Submissions that required (or joined) a computation.",
         )
+        redirect = self._redirect_for(spec)
+        if redirect is not None:
+            return redirect
         if self.queue.contains(job_id) or self.scheduler.is_tracked(job_id):
             # Identical work is already on its way; this submission joins it.
             return 200, {
@@ -394,6 +490,9 @@ class ServeDaemon:
     def _status(self, job_id: str):
         row = self.cache.job_row(job_id)
         if row is None:
+            redirect = self._lookup_redirect(job_id)
+            if redirect is not None:
+                return redirect
             return 404, {"error": f"unknown job id {job_id!r}"}, None, None
         status = row.status
         if status == "pending" and (
@@ -414,6 +513,9 @@ class ServeDaemon:
     def _result(self, job_id: str):
         row = self.cache.job_row(job_id)
         if row is None:
+            redirect = self._lookup_redirect(job_id, suffix="/result")
+            if redirect is not None:
+                return redirect
             return 404, {"error": f"unknown job id {job_id!r}"}, None, None
         text = self.cache.lookup(job_id)
         if text is None:
@@ -460,11 +562,19 @@ def _endpoint_label(method: str, path: str) -> str:
         return path.strip("/")
     if path == f"{API_PREFIX}/shutdown":
         return "shutdown"
+    if path.startswith("/cluster/"):
+        return "cluster"
     return "other"
 
 
 def _json_response(
-    status: int, payload: Any, headers: Optional[Dict[str, str]] = None
+    status: int,
+    payload: Any,
+    headers: Optional[Dict[str, str]] = None,
+    keep_alive: bool = False,
 ) -> bytes:
     body = (json.dumps(payload, sort_keys=True) + "\n").encode("utf-8")
-    return render_response(status, body, "application/json", extra_headers=headers)
+    return render_response(
+        status, body, "application/json",
+        extra_headers=headers, keep_alive=keep_alive,
+    )

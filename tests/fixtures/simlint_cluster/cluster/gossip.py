@@ -1,0 +1,17 @@
+"""Fixture: cluster-layer code is sanctioned wall-clock/unbounded territory.
+
+Under the default config the ``cluster/*`` allowlists make this file clean
+even though it reads the host clock (gossip liveness sweeps, lent-job
+re-admit deadlines) and runs an open-ended agent loop.
+"""
+
+import time
+
+
+def lease_deadline(grace: float) -> float:
+    return time.monotonic() + grace  # allowlisted for cluster/*
+
+
+def agent_loop(membership, tick):
+    while True:  # event-driven, not cycle-bounded: allowlisted for cluster/*
+        tick(membership.sweep())

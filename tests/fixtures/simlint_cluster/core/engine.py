@@ -1,0 +1,16 @@
+"""Fixture: identical patterns outside cluster/ stay violations.
+
+Same host-clock read and unbounded spin as ``cluster/gossip.py``, but in
+a simulation-kernel path — both must be reported.
+"""
+
+import time
+
+
+def stamp(cycle: int) -> float:
+    return cycle + time.monotonic()  # SIM102: kernels never read host time
+
+
+def drain(engine):
+    while True:  # SIM107: no progress guard
+        engine.step()

@@ -11,8 +11,17 @@ import sqlite3
 import pytest
 
 from repro.campaign.spec import CampaignSpec
-from repro.chaos import ChaosConfig, run_campaign_audit, run_serve_audit
-from repro.chaos.audit import _audit_store, _reference_payloads
+from repro.chaos import (
+    ChaosConfig,
+    run_campaign_audit,
+    run_cluster_audit,
+    run_serve_audit,
+)
+from repro.chaos.audit import (
+    _audit_cluster_stores,
+    _audit_store,
+    _reference_payloads,
+)
 from repro.errors import ChaosError
 
 SPEC = CampaignSpec(experiments=("demo",), quick=True, seed=1)
@@ -147,3 +156,60 @@ class TestServeAudit:
         assert report.ok, report.render()
         assert report.mode == "serve"
         assert any("before-ack" in f for f in report.fired)
+
+
+class TestClusterAudit:
+    def test_node_kill_mid_campaign_recovers_and_passes(self, tmp_path):
+        # A whole ring member dies kill -9-style mid-queue and is
+        # restarted on the same database and port; the ring must still
+        # end with every job done exactly once, byte-identical everywhere
+        # a copy landed.
+        report = run_cluster_audit(
+            ChaosConfig(seed=7, node_kills=1),
+            db_dir=str(tmp_path / "ring"),
+            seed=1,
+            nodes=3,
+        )
+        assert report.ok, report.render()
+        assert report.mode == "cluster"
+        assert report.restarts >= 1
+        assert any("cluster.node" in f for f in report.fired)
+        for name in (
+            "completed-somewhere-exactly-once",
+            "byte-identical-across-ring",
+            "computed-at-least-once",
+            "no-phantom-jobs",
+        ):
+            assert _check(report.checks, name).ok
+
+    def test_tampered_ring_store_fails_byte_identity(self, tmp_path):
+        report = run_cluster_audit(
+            ChaosConfig(seed=2),  # no faults: a clean baseline run
+            db_dir=str(tmp_path / "ring"),
+            seed=1,
+            nodes=2,
+        )
+        assert report.ok, report.render()
+        # Corrupt one node's copy of a done job, then re-audit the files.
+        reference = _reference_payloads(SPEC, workers=2)
+        tampered = None
+        for node_db in sorted((tmp_path / "ring").glob("*.db")):
+            with sqlite3.connect(node_db) as conn:
+                row = conn.execute(
+                    "SELECT job_id FROM jobs WHERE status = 'done' LIMIT 1"
+                ).fetchone()
+                if row is None:
+                    continue
+                conn.execute(
+                    "UPDATE jobs SET payload = '{\"evil\": 1}' "
+                    "WHERE job_id = ?",
+                    (row[0],),
+                )
+                tampered = node_db
+                break
+        assert tampered is not None
+        checks = _audit_cluster_stores(
+            [str(p) for p in sorted((tmp_path / "ring").glob("*.db"))],
+            reference,
+        )
+        assert not _check(checks, "byte-identical-across-ring").ok

@@ -87,6 +87,7 @@ class TestSubcommandRegistry:
 
     EXPECTED = {
         "lint", "verify", "campaign", "resilience", "serve", "bench", "chaos",
+        "cluster",
     }
 
     def test_table_names_every_tool(self):

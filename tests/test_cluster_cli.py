@@ -1,0 +1,89 @@
+"""``python -m repro cluster`` CLI: route (offline), status (live), errors.
+
+``start`` in the foreground is exercised by ``scripts/cluster_smoke.py``;
+here we cover the offline placement tool end to end and ``status``
+against a real in-process node.
+"""
+
+import json
+
+import pytest
+
+from repro.cluster.cli import main
+from repro.harness.cli import main as harness_main
+
+
+class TestRoute:
+    def test_places_keys_and_reports_ring(self, capsys):
+        assert main(["route", "--nodes", "a,b,c", "k1", "k2", "k3"]) == 0
+        body = json.loads(capsys.readouterr().out)
+        assert body["ring"]["nodes"] == ["a", "b", "c"]
+        for key in ("k1", "k2", "k3"):
+            entry = body["placement"][key]
+            assert entry["owner"] in ("a", "b", "c")
+            assert entry["preference"][0] == entry["owner"]
+            assert len(entry["preference"]) == 3
+
+    def test_without_reports_bounded_remap(self, capsys):
+        keys = [f"key-{i}" for i in range(200)]
+        assert main(
+            ["route", "--nodes", "a,b,c,d", "--without", "d", *keys]
+        ) == 0
+        body = json.loads(capsys.readouterr().out)
+        fraction = body["without"]["remap_fraction"]
+        # one leaver of four strands about a quarter of the keys
+        assert 0.5 / 4 <= fraction <= 1.7 / 4
+
+    def test_single_node_ring_owns_all(self, capsys):
+        assert main(["route", "--nodes", "solo", "x", "y"]) == 0
+        body = json.loads(capsys.readouterr().out)
+        owners = {e["owner"] for e in body["placement"].values()}
+        assert owners == {"solo"}
+
+    def test_without_unknown_node_is_config_error(self, capsys):
+        assert main(["route", "--nodes", "a,b", "--without", "z", "k"]) == 2
+        assert "not in --nodes" in capsys.readouterr().err
+
+    def test_without_last_node_refused(self, capsys):
+        assert main(["route", "--nodes", "a", "--without", "a", "k"]) == 2
+        assert "empty the ring" in capsys.readouterr().err
+
+    def test_empty_nodes_is_config_error(self, capsys):
+        assert main(["route", "--nodes", " , ", "k"]) == 2
+        assert "at least one node" in capsys.readouterr().err
+
+
+class TestStatus:
+    def test_status_prints_live_ring_view(self, tmp_path, capsys):
+        from repro.cluster import ClusterConfig, ClusterNode
+        from repro.serve import ServeConfig
+
+        node = ClusterNode(
+            ClusterConfig(
+                node_id="solo",
+                serve=ServeConfig(port=0, db=str(tmp_path / "solo.db")),
+                gossip_interval_s=0.1,
+            )
+        )
+        node.start()
+        try:
+            assert main(["status", "--port", str(node.port)]) == 0
+        finally:
+            node.stop()
+        body = json.loads(capsys.readouterr().out)
+        assert body["cluster"]["node_id"] == "solo"
+        assert body["cluster"]["membership"]["alive"] == ["solo"]
+
+    def test_status_against_dead_port_is_harness_error(self, capsys):
+        # Port 1 on loopback: nothing listens there.
+        assert main(["status", "--port", "1"]) == 2
+        assert "cluster:" in capsys.readouterr().err
+
+
+class TestHarnessWiring:
+    def test_cluster_reachable_via_top_level_cli(self, capsys):
+        with pytest.raises(SystemExit) as err:
+            harness_main(["cluster", "--help"])
+        assert err.value.code == 0
+        out = capsys.readouterr().out
+        assert "usage: repro cluster" in out

@@ -1,0 +1,218 @@
+"""Unit and property tests for the cluster's consistent-hash layer.
+
+The ring is the routing contract the whole cluster stands on, so the
+properties here are exact, not statistical hand-waves: a node leaving
+moves *only* the keys it owned (the consistent-hashing guarantee), a node
+joining moves keys only *to* the joiner, and vnode placement keeps skew
+inside measured bounds over seeded key populations.
+"""
+
+import time
+
+import pytest
+
+from repro.cluster import (
+    DEFAULT_VNODES,
+    HashRing,
+    MembershipTable,
+    NodeInfo,
+    Router,
+    remap_fraction,
+    ring_position,
+)
+from repro.errors import ClusterError
+from repro.util import Rng
+
+
+def _keys(count, seed=2026):
+    rng = Rng(seed, "ring-test")
+    return [f"job-{rng.randint(0, 1 << 48):012x}-{i}" for i in range(count)]
+
+
+class TestRingPosition:
+    def test_deterministic_and_64_bit(self):
+        assert ring_position("alpha") == ring_position("alpha")
+        assert 0 <= ring_position("alpha") < (1 << 64)
+
+    def test_distinct_keys_scatter(self):
+        positions = {ring_position(k) for k in _keys(500)}
+        assert len(positions) == 500
+
+
+class TestHashRingEdges:
+    def test_empty_ring_refuses_ownership(self):
+        ring = HashRing([])
+        assert ring.empty
+        with pytest.raises(ClusterError):
+            ring.owner("any-key")
+
+    def test_empty_ring_preference_refuses_too(self):
+        with pytest.raises(ClusterError):
+            HashRing([]).preference("k", 3)
+
+    def test_single_node_owns_everything(self):
+        ring = HashRing(["solo"])
+        for key in _keys(64):
+            assert ring.owner(key) == "solo"
+        assert ring.preference("k", 3) == ["solo"]
+
+    def test_preference_is_distinct_and_capped(self):
+        ring = HashRing(["a", "b", "c"])
+        for key in _keys(32):
+            pref = ring.preference(key, 5)
+            assert len(pref) == 3  # capped at ring size
+            assert len(set(pref)) == 3
+            assert pref[0] == ring.owner(key)
+
+    def test_contains_and_len(self):
+        ring = HashRing(["a", "b"])
+        assert "a" in ring and "z" not in ring
+        assert len(ring) == 2
+
+    def test_describe_is_stable(self):
+        ring = HashRing(["b", "a"], vnodes=8)
+        desc = ring.describe()
+        assert desc["nodes"] == ["a", "b"]
+        assert desc["vnodes"] == 8
+        assert desc["points"] == 16
+
+
+class TestRemapProperties:
+    """The consistent-hashing contract, checked exactly."""
+
+    KEYS = _keys(2000)
+
+    def test_leave_moves_exactly_the_leavers_keys(self):
+        before = HashRing(["a", "b", "c"])
+        after = HashRing(["a", "b"])
+        owned_by_c = [k for k in self.KEYS if before.owner(k) == "c"]
+        moved = [k for k in self.KEYS if before.owner(k) != after.owner(k)]
+        # Every moved key was c's, and every one of c's keys moved.
+        assert set(moved) == set(owned_by_c)
+        assert remap_fraction(before, after, self.KEYS) == pytest.approx(
+            len(owned_by_c) / len(self.KEYS)
+        )
+
+    def test_join_moves_keys_only_to_the_joiner(self):
+        before = HashRing(["a", "b", "c"])
+        after = HashRing(["a", "b", "c", "d"])
+        for key in self.KEYS:
+            if before.owner(key) != after.owner(key):
+                assert after.owner(key) == "d"
+
+    @pytest.mark.parametrize("size", [3, 5, 8])
+    def test_leave_remap_is_about_one_over_n(self, size):
+        """K/N-bounded remap: one leaver strands roughly 1/N of the keys.
+
+        The exact share equals the leaver's owned share (proved above);
+        this pins that share to the same skew envelope as placement.
+        """
+        nodes = [f"n{i}" for i in range(size)]
+        before = HashRing(nodes)
+        after = HashRing(nodes[:-1])
+        fraction = remap_fraction(before, after, self.KEYS)
+        assert 0.5 / size <= fraction <= 1.7 / size
+
+    def test_remap_fraction_degenerate_inputs(self):
+        ring = HashRing(["a"])
+        assert remap_fraction(HashRing([]), ring, self.KEYS) == 1.0
+        assert remap_fraction(ring, HashRing([]), self.KEYS) == 1.0
+        assert remap_fraction(ring, ring, []) == 0.0
+
+
+class TestVnodeSkew:
+    @pytest.mark.parametrize("size", [3, 5, 8])
+    def test_spread_within_measured_envelope(self, size):
+        nodes = [f"n{i}" for i in range(size)]
+        ring = HashRing(nodes, vnodes=DEFAULT_VNODES)
+        keys = _keys(2000)
+        spread = ring.spread(keys)
+        assert sum(spread.values()) == len(keys)
+        mean = len(keys) / size
+        for node in nodes:
+            share = spread.get(node, 0)
+            assert 0.5 * mean <= share <= 1.7 * mean, (
+                f"{node} owns {share} of {len(keys)} keys "
+                f"({size} nodes, {DEFAULT_VNODES} vnodes) — past the "
+                "measured skew envelope"
+            )
+
+    def test_more_vnodes_tighten_skew(self):
+        keys = _keys(2000)
+
+        def worst(vnodes):
+            spread = HashRing(["a", "b", "c"], vnodes=vnodes).spread(keys)
+            mean = len(keys) / 3
+            return max(abs(n - mean) / mean for n in spread.values())
+
+        assert worst(256) < worst(4)
+
+
+def _info(node_id, generation=0, heartbeat=0):
+    return NodeInfo(
+        node_id=node_id, host="127.0.0.1", port=1000,
+        generation=generation, heartbeat=heartbeat,
+    )
+
+
+class TestMembership:
+    def test_merge_keeps_freshest_row(self):
+        table = MembershipTable(_info("self"))
+        assert table.merge([_info("peer", heartbeat=3)]) == 1
+        assert table.merge([_info("peer", heartbeat=2)]) == 0  # stale
+        assert table.merge([_info("peer", heartbeat=4)]) == 1
+        assert table.get("peer").heartbeat == 4
+
+    def test_generation_outranks_heartbeat(self):
+        table = MembershipTable(_info("self"))
+        table.merge([_info("peer", generation=1, heartbeat=90)])
+        # A restarted peer starts its heartbeat over but bumped generation.
+        assert table.merge([_info("peer", generation=2, heartbeat=1)]) == 1
+        assert table.get("peer").generation == 2
+
+    def test_self_row_is_authoritative(self):
+        table = MembershipTable(_info("self", generation=5))
+        table.merge([_info("self", generation=99, heartbeat=99)])
+        assert table.self_info.generation == 5
+
+    def test_sweep_then_resurrect_requires_fresher_evidence(self):
+        table = MembershipTable(_info("self"), fail_after_s=1e-6)
+        table.merge([_info("peer", generation=1, heartbeat=7)])
+        time.sleep(0.005)
+        assert table.sweep() == ["peer"]
+        assert table.alive_ids() == ["self"]
+        # Gossip echoing the dead row back must not resurrect it...
+        table.merge([_info("peer", generation=1, heartbeat=7)])
+        assert "peer" not in table.alive_ids()
+        # ...but genuinely fresher evidence (the restart's generation) must.
+        table.merge([_info("peer", generation=2, heartbeat=1)])
+        assert "peer" in table.alive_ids()
+
+    def test_wire_round_trip(self):
+        info = _info("n1", generation=3, heartbeat=11)
+        assert NodeInfo.from_wire(info.to_wire()) == info
+
+    def test_malformed_wire_row_raises(self):
+        with pytest.raises(ClusterError):
+            NodeInfo.from_wire({"node_id": "x"})
+
+
+class TestRouter:
+    def test_rebuild_tracks_membership(self):
+        table = MembershipTable(_info("self"))
+        router = Router(table)
+        router.rebuild()
+        assert router.owner_id("k") == "self"
+        table.merge([_info("peer", heartbeat=1)])
+        assert router.rebuild() is True
+        assert sorted(router.ring.nodes) == ["peer", "self"]
+        assert router.rebuild() is False  # no change, no rebuild
+
+    def test_fill_targets_exclude_self(self):
+        table = MembershipTable(_info("self"))
+        table.merge([_info("p1", heartbeat=1), _info("p2", heartbeat=1)])
+        router = Router(table)
+        router.rebuild()
+        for key in _keys(16):
+            targets = router.fill_targets(key, count=2)
+            assert "self" not in [t.node_id for t in targets]

@@ -1,0 +1,129 @@
+"""Unit tests for the peer-backed store tier and the peer wire format.
+
+``PeerBackedStore`` is exercised against a real SQLite ``ResultStore``
+with a dict-backed fill callable — no network — so every assertion is
+about the tier contract itself: local rows short-circuit, genuine misses
+fill-and-adopt verbatim, failed fills re-raise the local error surface,
+and a peer answering with the *wrong* job is rejected outright.
+"""
+
+import json
+
+import pytest
+
+from repro.campaign.spec import CampaignSpec
+from repro.campaign.store import ResultStore
+from repro.campaign.storeapi import ResultStoreAPI
+from repro.cluster import PeerBackedStore, PeerResult
+from repro.errors import ConfigError
+
+
+@pytest.fixture()
+def grid():
+    return CampaignSpec(experiments=("demo",), quick=True).expand()
+
+
+@pytest.fixture()
+def local(tmp_path):
+    store = ResultStore(tmp_path / "local.db")
+    yield store
+    store.close()
+
+
+def _done_result(spec, marker="peer"):
+    payload = json.dumps({"from": marker, "spec": spec.job_id})
+    return PeerResult(
+        spec=spec, payload_text=payload, wall_s=1.25,
+        engine="reference", kernel_version="test",
+    )
+
+
+class TestPeerBackedStore:
+    def test_is_a_result_store_api(self, local):
+        assert isinstance(PeerBackedStore(local), ResultStoreAPI)
+        assert isinstance(local, ResultStoreAPI)
+
+    def test_local_row_short_circuits_fill(self, local, grid):
+        spec = grid[0]
+        local.add_jobs([spec])  # pending row, not done
+
+        def exploding_fill(job_id):
+            raise AssertionError("fill must not run for a known id")
+
+        store = PeerBackedStore(local, fill=exploding_fill)
+        assert store.get_job(spec.job_id).status == "pending"
+        assert store.fill_hits == store.fill_misses == 0
+
+    def test_miss_fills_and_adopts_verbatim(self, local, grid):
+        spec = grid[0]
+        result = _done_result(spec)
+        store = PeerBackedStore(
+            local, fill={spec.job_id: result}.get
+        )
+        row = store.get_job(spec.job_id)
+        assert row.status == "done"
+        assert row.payload == result.payload_text  # byte-identical adoption
+        assert row.engine == "reference"
+        assert row.attempts == 0  # adoption is not computation
+        assert store.fill_hits == 1
+        # The adopted row is now local: a second lookup is a pure read.
+        store.set_fill(None)
+        assert store.get_job(spec.job_id).status == "done"
+
+    def test_miss_with_no_peer_reraises_unknown(self, local, grid):
+        store = PeerBackedStore(local, fill=lambda job_id: None)
+        with pytest.raises(ConfigError, match="unknown job id"):
+            store.get_job(grid[0].job_id)
+        assert store.fill_misses == 1
+
+    def test_no_fill_configured_keeps_local_surface(self, local, grid):
+        store = PeerBackedStore(local)
+        with pytest.raises(ConfigError, match="unknown job id"):
+            store.get_job(grid[0].job_id)
+
+    def test_wrong_job_from_peer_is_rejected(self, local, grid):
+        right, wrong = grid[0], grid[1]
+        store = PeerBackedStore(
+            local, fill=lambda job_id: _done_result(wrong)
+        )
+        with pytest.raises(ConfigError, match="content-identity"):
+            store.get_job(right.job_id)
+        # Nothing was adopted under either id.
+        with pytest.raises(ConfigError):
+            local.get_job(wrong.job_id)
+
+    def test_writes_delegate_to_local(self, local, grid):
+        spec = grid[0]
+        store = PeerBackedStore(local)
+        store.add_jobs([spec])
+        store.mark_running(spec.job_id, "w1")
+        store.mark_done(spec.job_id, {"v": 1}, 0.5)
+        assert local.get_job(spec.job_id).status == "done"
+        assert store.counts()["done"] == 1
+
+    def test_adoption_is_idempotent_through_the_tier(self, local, grid):
+        spec = grid[0]
+        result = _done_result(spec)
+        store = PeerBackedStore(local, fill={spec.job_id: result}.get)
+        first = store.get_job(spec.job_id)
+        assert store.adopt_done(spec, '{"other": "bytes"}', 9.9) is False
+        assert store.get_job(spec.job_id).payload == first.payload
+
+
+class TestPeerResultWire:
+    def test_round_trip(self, grid):
+        result = _done_result(grid[0])
+        back = PeerResult.from_wire(result.to_wire())
+        assert back.to_wire() == result.to_wire()
+        assert back.spec.job_id == grid[0].job_id
+        assert back.payload_text == result.payload_text  # verbatim text
+
+    def test_optional_provenance_survives_as_none(self, grid):
+        result = PeerResult(spec=grid[0], payload_text="{}", wall_s=0.0)
+        back = PeerResult.from_wire(result.to_wire())
+        assert back.engine is None and back.kernel_version is None
+
+    def test_malformed_body_raises_cluster_error(self, grid):
+        from repro.errors import ClusterError
+        with pytest.raises(ClusterError, match="malformed peer result"):
+            PeerResult.from_wire({"payload": "{}"})

@@ -121,6 +121,38 @@ class TestServeScopedAllowlists:
         assert "serve/*" in config.unbounded_loop_paths
 
 
+class TestClusterScopedAllowlists:
+    """The cluster layer (gossip liveness, steal deadlines, agent loops)
+    shares the serve daemon's sanction for host-clock reads and
+    event-driven loops; the same patterns in kernel paths stay
+    violations.  Mirrors ``TestServeScopedAllowlists`` with a
+    ``cluster/gossip.py`` vs ``core/engine.py`` fixture pair."""
+
+    CLUSTER_FIXTURES = Path(__file__).parent / "fixtures" / "simlint_cluster"
+
+    def test_cluster_paths_are_clean_under_defaults(self):
+        violations = lint_paths([self.CLUSTER_FIXTURES])
+        assert not any("cluster/" in v.path for v in violations)
+
+    def test_same_patterns_outside_cluster_are_flagged(self):
+        violations = lint_paths([self.CLUSTER_FIXTURES])
+        rules = sorted(v.rule for v in violations if "core/" in v.path)
+        assert rules == ["unbounded-loop", "wall-clock"]
+
+    def test_cluster_exemption_is_path_scoped_not_global(self):
+        strict = LintConfig(allow_paths={}, unbounded_loop_paths=("*",))
+        violations = lint_paths(
+            [self.CLUSTER_FIXTURES / "cluster"], config=strict
+        )
+        assert {v.rule for v in violations} == {"wall-clock", "unbounded-loop"}
+
+    def test_default_config_scopes_cluster(self):
+        config = LintConfig()
+        assert "cluster/*" in config.allow_paths["wall-clock"]
+        assert "cluster/*" in config.allow_paths["unbounded-loop"]
+        assert "cluster/*" in config.unbounded_loop_paths
+
+
 class TestSwallowedException:
     def test_bare_except_flagged_even_with_real_body(self, tmp_path):
         src = tmp_path / "bare.py"
